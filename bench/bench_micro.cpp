@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) of the engine's hot paths: waveform
+// combination, skew incorporation, primitive evaluation, and end-to-end
+// verification throughput. Not a paper table; used to track performance of
+// the reproduction itself.
+#include <benchmark/benchmark.h>
+
+#include "core/primitives.hpp"
+#include "core/verifier.hpp"
+#include "gen/regfile_example.hpp"
+#include "gen/s1_design.hpp"
+
+using namespace tv;
+
+namespace {
+
+Waveform busy_wave(Time period, int changes) {
+  Waveform w(period, Value::Stable);
+  for (int i = 0; i < changes; ++i) {
+    Time b = period * (2 * i) / (2 * changes);
+    Time e = period * (2 * i + 1) / (2 * changes);
+    w.set(b, e, Value::Change);
+  }
+  return w;
+}
+
+void BM_WaveformBinaryOr(benchmark::State& state) {
+  const Time P = from_ns(50);
+  Waveform a = busy_wave(P, static_cast<int>(state.range(0)));
+  Waveform b = busy_wave(P, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Waveform::binary(a, b, value_or));
+  }
+}
+BENCHMARK(BM_WaveformBinaryOr)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SkewIncorporation(benchmark::State& state) {
+  const Time P = from_ns(50);
+  Waveform a = busy_wave(P, static_cast<int>(state.range(0)));
+  a.set_skew(from_ns(1.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.with_skew_incorporated());
+  }
+}
+BENCHMARK(BM_SkewIncorporation)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_RegisterEvaluation(benchmark::State& state) {
+  const Time P = from_ns(50);
+  Primitive p;
+  p.kind = PrimKind::Reg;
+  p.dmin = from_ns(1.5);
+  p.dmax = from_ns(4.5);
+  PreparedInput data;
+  data.wave = busy_wave(P, 3);
+  PreparedInput ck;
+  ck.wave = Waveform(P, Value::Zero);
+  ck.wave.set(from_ns(10), from_ns(20), Value::One);
+  ck.wave.set_skew(from_ns(2));
+  std::vector<PreparedInput> ins = {data, ck};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_primitive(p, ins, P));
+  }
+}
+BENCHMARK(BM_RegisterEvaluation);
+
+void BM_VerifyRegfileExample(benchmark::State& state) {
+  Netlist nl;
+  gen::RegfileExample ex = gen::build_regfile_example(nl);
+  Verifier v(nl, ex.options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.verify());
+  }
+}
+BENCHMARK(BM_VerifyRegfileExample);
+
+void BM_VerifyS1Pipeline(benchmark::State& state) {
+  gen::S1Params p;
+  p.stages = static_cast<int>(state.range(0));
+  p.clock_tree_bufs = 0;
+  hdl::ElaboratedDesign d = gen::build_s1_design(p);
+  Verifier v(d.netlist, d.options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.verify());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d.summary.primitives));
+}
+BENCHMARK(BM_VerifyS1Pipeline)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

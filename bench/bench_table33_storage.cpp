@@ -1,0 +1,51 @@
+// Reproduces Table 3-3: "Storage required by Timing Verifier for 6357 chip
+// example". The thesis' breakdown (unpacked 4-byte PASCAL fields):
+//   CIRCUIT DESCRIPTION   37.8 %   (~260 bytes per primitive)
+//   SIGNAL VALUES                 (33 152 value lists, mean 2.97 records,
+//                                  ~56 bytes per signal)
+//   SIGNAL NAMES          11.6 %
+//   STRING SPACE          10.6 %
+//   CALL LIST ARRAY        6.9 %
+//   MISCELLANEOUS          0.7 %
+#include "bench_util.hpp"
+#include "core/storage_stats.hpp"
+#include "core/verifier.hpp"
+#include "gen/s1_design.hpp"
+
+using namespace tv;
+
+int main() {
+  gen::S1Params p;
+  hdl::ElaboratedDesign d = gen::build_s1_design(p);
+  Verifier v(d.netlist, d.options);
+  v.verify();  // populate the signal value lists
+
+  StorageBreakdown b = compute_storage(d.netlist);
+  double total = static_cast<double>(b.total());
+
+  bench::header("Table 3-3: storage required by the Timing Verifier");
+  bench::row("CIRCUIT DESCRIPTION   [% of total]", 37.8, 100.0 * b.circuit_description / total,
+             "%.1f");
+  bench::row("SIGNAL VALUES         [% of total]", 31.8, 100.0 * b.signal_values / total,
+             "%.1f");
+  bench::row("SIGNAL NAMES          [% of total]", 11.6, 100.0 * b.signal_names / total,
+             "%.1f");
+  bench::row("STRING SPACE          [% of total]", 10.6, 100.0 * b.string_space / total,
+             "%.1f");
+  bench::row("CALL LIST ARRAY       [% of total]", 6.9, 100.0 * b.call_list / total, "%.1f");
+  bench::row("MISCELLANEOUS         [% of total]", 0.7, 100.0 * b.misc / total, "%.1f");
+  std::printf("\n");
+  bench::row("bytes per primitive (circuit descr.)", 260.0, b.mean_prim_bytes, "%.0f");
+  bench::row("mean VALUE records per signal", 2.97, b.mean_value_records);
+  bench::row("mean bytes per signal value list", 56.0, b.mean_value_bytes, "%.0f");
+  bench::row("signal value lists", 33152, static_cast<double>(d.netlist.num_signals()),
+             "%.0f");
+
+  std::printf("\n  full ledger (thesis record-size model):\n%s",
+              b.to_ledger().to_table().c_str());
+  bench::note("SIGNAL VALUES %% in the paper is the remainder after the listed");
+  bench::note("categories (not printed explicitly); 31.8%% is that remainder.");
+  bench::note("our design has fewer unique vector signals (9k vs 33k) because the");
+  bench::note("synthetic netlist shares buses more aggressively than the real CPU.");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared formatting for the reproduction benchmarks: every bench prints the
+// rows the thesis reports next to our measured values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace tv::bench {
+
+inline void header(const std::string& title) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("=====================================================================\n");
+  std::printf("  %-44s %14s %14s\n", "quantity", "paper", "measured");
+  std::printf("  %-44s %14s %14s\n", "--------", "-----", "--------");
+}
+
+inline void row(const char* label, const std::string& paper, const std::string& measured) {
+  std::printf("  %-44s %14s %14s\n", label, paper.c_str(), measured.c_str());
+}
+
+inline void row(const char* label, double paper, double measured, const char* fmt = "%.2f") {
+  char a[64], b[64];
+  std::snprintf(a, sizeof a, fmt, paper);
+  std::snprintf(b, sizeof b, fmt, measured);
+  row(label, a, b);
+}
+
+inline void note(const char* text) { std::printf("  note: %s\n", text); }
+
+inline std::string fmt_count(std::size_t n) {
+  char b[32];
+  std::snprintf(b, sizeof b, "%zu", n);
+  return b;
+}
+
+}  // namespace tv::bench

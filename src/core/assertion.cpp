@@ -1,0 +1,247 @@
+#include "core/assertion.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tv {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("bad signal assertion in \"" + std::string(text) + "\": " + why);
+}
+
+// Cursor-based parser over the assertion spec with whitespace removed.
+class SpecParser {
+ public:
+  SpecParser(std::string spec, std::string_view original)
+      : spec_(std::move(spec)), original_(original) {}
+
+  bool done() const { return pos_ >= spec_.size(); }
+  char peek() const { return pos_ < spec_.size() ? spec_[pos_] : '\0'; }
+  char take() { return spec_[pos_++]; }
+
+  double number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < spec_.size() &&
+           (std::isdigit(static_cast<unsigned char>(spec_[pos_])) || spec_[pos_] == '.')) {
+      ++pos_;
+    }
+    double out;
+    if (start == pos_ || !parse_double(std::string_view(spec_).substr(start, pos_ - start), out)) {
+      fail(original_, "expected a number at \"" + spec_.substr(start) + "\"");
+    }
+    return out;
+  }
+
+ private:
+  std::string spec_;
+  std::string_view original_;
+  size_t pos_ = 0;
+};
+
+Assertion parse_spec(Assertion::Kind kind, std::string_view spec_text, std::string_view original) {
+  Assertion a;
+  a.kind = kind;
+  std::string spec;
+  for (char c : spec_text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) spec += c;
+  }
+  SpecParser p(std::move(spec), original);
+
+  // <value specification>: comma-separated time ranges.
+  while (!p.done() && (std::isdigit(static_cast<unsigned char>(p.peek())) || p.peek() == '.')) {
+    Assertion::Range r;
+    r.begin = p.number();
+    if (p.peek() == '-') {
+      p.take();
+      r.end = p.number();
+    } else if (p.peek() == '+') {
+      // "t+w": second number is a width in nanoseconds, not scaling with
+      // the cycle time (sec. 2.5.1).
+      p.take();
+      r.width_ns = p.number();
+      r.end = r.begin;
+    } else {
+      // Single time: an interval of one clock unit is assumed.
+      r.end = r.begin + 1.0;
+    }
+    a.ranges.push_back(r);
+    if (p.peek() == ',') {
+      p.take();
+      continue;
+    }
+    break;
+  }
+  if (a.ranges.empty()) fail(original, "assertion has no time ranges");
+
+  // Optional <skew specification> "(minus, plus)".
+  if (p.peek() == '(') {
+    p.take();
+    double minus = p.number();
+    if (p.peek() != ',') fail(original, "expected ',' in skew specification");
+    p.take();
+    double plus = p.number();
+    if (p.peek() != ')') fail(original, "expected ')' in skew specification");
+    p.take();
+    if (minus > 0 || plus < 0) fail(original, "skew must satisfy minus <= 0 <= plus");
+    a.skew_ns = {minus, plus};
+  }
+
+  // Optional polarity assertion "L".
+  if (p.peek() == 'L' || p.peek() == 'l') {
+    p.take();
+    a.active_low = true;
+  }
+  if (!p.done()) fail(original, "trailing characters in assertion");
+  return a;
+}
+
+}  // namespace
+
+ParsedSignal parse_signal_name(std::string_view text) {
+  ParsedSignal out;
+  out.full_name = std::string(trim(text));
+  std::string_view rest = trim(text);
+
+  // Leading "-": complement of the signal (Fig 3-5's "- WE").
+  if (!rest.empty() && rest[0] == '-' &&
+      (rest.size() == 1 || rest[1] == ' ' || std::isalpha(static_cast<unsigned char>(rest[1])))) {
+    out.complemented = true;
+    rest = trim(rest.substr(1));
+    out.full_name = std::string(rest);
+  }
+
+  // Trailing "&..." evaluation directive string (sec. 2.6).
+  if (size_t amp = rest.rfind('&'); amp != std::string_view::npos) {
+    std::string_view dir = trim(rest.substr(amp + 1));
+    for (char c : dir) {
+      char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      if (u != 'E' && u != 'W' && u != 'Z' && u != 'A' && u != 'H') {
+        fail(text, std::string("unknown evaluation directive letter '") + c + "'");
+      }
+      out.directives += u;
+    }
+    rest = trim(rest.substr(0, amp));
+    out.full_name = std::string(rest);
+  }
+
+  // Scope markers "/M" (macro-local) and "/P" (parameter), sec. 3.1. They
+  // follow the name proper (and any directives have been stripped already).
+  {
+    std::string_view t = trim(rest);
+    if (t.size() >= 2 && t[t.size() - 2] == '/') {
+      char m = static_cast<char>(std::toupper(static_cast<unsigned char>(t.back())));
+      if (m == 'M' || m == 'P') {
+        out.scope = (m == 'M') ? SignalScope::Local : SignalScope::Parameter;
+        rest = trim(t.substr(0, t.size() - 2));
+        out.full_name = std::string(rest);
+      }
+    }
+  }
+
+  // Locate the assertion: a '.' at a word boundary followed by P/C/S and a
+  // spec. Assertions are "given at the end of signal names" (sec. 2.5.1).
+  size_t assert_pos = std::string_view::npos;
+  char kind_letter = '\0';
+  for (size_t i = 0; i + 1 < rest.size(); ++i) {
+    if (rest[i] != '.') continue;
+    if (i > 0 && rest[i - 1] != ' ') continue;  // must start a token
+    char k = static_cast<char>(std::toupper(static_cast<unsigned char>(rest[i + 1])));
+    if (k != 'P' && k != 'C' && k != 'S') continue;
+    char next = (i + 2 < rest.size()) ? rest[i + 2] : ' ';
+    if (next == ' ' || std::isdigit(static_cast<unsigned char>(next)) || next == '.') {
+      assert_pos = i;
+      kind_letter = k;
+      break;
+    }
+  }
+
+  if (assert_pos == std::string_view::npos) {
+    out.base_name = std::string(trim(rest));
+    return out;
+  }
+
+  out.base_name = std::string(trim(rest.substr(0, assert_pos)));
+  std::string_view spec = rest.substr(assert_pos + 2);
+  Assertion::Kind kind = kind_letter == 'P'   ? Assertion::Kind::PrecisionClock
+                         : kind_letter == 'C' ? Assertion::Kind::Clock
+                                              : Assertion::Kind::Stable;
+  out.assertion = parse_spec(kind, spec, text);
+  return out;
+}
+
+std::string assertion_to_text(const Assertion& a) {
+  if (a.kind == Assertion::Kind::None) return "";
+  std::string out = ".";
+  out += a.kind == Assertion::Kind::PrecisionClock ? 'P'
+         : a.kind == Assertion::Kind::Clock        ? 'C'
+                                                   : 'S';
+  char buf[64];
+  bool first = true;
+  for (const Assertion::Range& r : a.ranges) {
+    if (!first) out += ',';
+    first = false;
+    if (r.width_ns) {
+      std::snprintf(buf, sizeof buf, "%g+%g", r.begin, *r.width_ns);
+    } else {
+      std::snprintf(buf, sizeof buf, "%g-%g", r.begin, r.end);
+    }
+    out += buf;
+  }
+  if (a.skew_ns) {
+    std::snprintf(buf, sizeof buf, "(%g,%g)", a.skew_ns->first, a.skew_ns->second);
+    out += buf;
+  }
+  if (a.active_low) out += " L";
+  return out;
+}
+
+Waveform assertion_waveform(const Assertion& a, Time period, const ClockUnits& units,
+                            const AssertionDefaults& defaults) {
+  if (a.kind == Assertion::Kind::None) return Waveform(period, Value::Unknown);
+
+  bool stable = a.kind == Assertion::Kind::Stable;
+  Waveform w(period, stable ? Value::Change : Value::Zero);
+  for (const Assertion::Range& r : a.ranges) {
+    Time begin = floor_mod(units.to_time(r.begin), period);
+    Time width;
+    if (r.width_ns) {
+      width = from_ns(*r.width_ns);
+    } else {
+      width = floor_mod(units.to_time(r.end) - units.to_time(r.begin), period);
+      // "0-8" in an 8-unit cycle means the whole period, not nothing.
+      if (width == 0 && r.end != r.begin) width = period;
+    }
+    w.set(begin, begin + width, stable ? Value::Stable : Value::One);
+  }
+
+  if (stable) return w;  // polarity does not alter stable/changing windows
+
+  if (a.active_low) w = w.map(value_not);
+
+  double minus, plus;
+  if (a.skew_ns) {
+    minus = a.skew_ns->first;
+    plus = a.skew_ns->second;
+  } else if (a.kind == Assertion::Kind::PrecisionClock) {
+    minus = defaults.precision_skew_minus_ns;
+    plus = defaults.precision_skew_plus_ns;
+  } else {
+    minus = defaults.clock_skew_minus_ns;
+    plus = defaults.clock_skew_plus_ns;
+  }
+  if (minus != 0 || plus != 0) {
+    // Shift the nominal waveform to the earliest possible position and keep
+    // the total uncertainty (plus - minus) in the skew field.
+    Time shift = floor_mod(from_ns(minus), period);
+    w = w.delayed(shift, shift);
+    w.set_skew(from_ns(plus - minus));
+  }
+  return w;
+}
+
+}  // namespace tv

@@ -1,0 +1,67 @@
+// Timing-constraint checking (thesis secs. 2.4.4, 2.4.5, 2.5.2, 2.6, 2.9).
+//
+// After evaluation reaches its fixpoint, every checker primitive and every
+// "&A"/"&H" evaluation directive is examined against the computed signal
+// values, and violations are reported in the style of Fig 3-11 (constraint,
+// the data and clock waveforms as seen by the checker, and the amount by
+// which the constraint was missed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace tv {
+
+struct Violation {
+  enum class Type {
+    Setup,                    // set-up interval before a rising clock edge
+    Hold,                     // hold interval after a clock edge
+    StableWhileHigh,          // SETUP RISE HOLD FALL: input moved while CK true
+    MinPulseHigh,             // high pulse narrower than the minimum
+    MinPulseLow,              // low pulse narrower than the minimum
+    Hazard,                   // &A/&H: control signal unstable while clock asserted
+    StableAssertionViolated,  // generated signal violates its .S assertion
+    Unconverged               // evaluation did not reach a fixpoint
+  };
+
+  Type type = Type::Setup;
+  PrimId prim = kNoPrim;       // the checker / gate reporting the error
+  SignalId signal = kNoSignal; // the offending data/control signal
+  Time missed_by = 0;          // amount the constraint was missed by
+  std::string message;         // fully formatted, Fig 3-11 style
+};
+
+std::string violation_type_name(Violation::Type t);
+
+/// Runs all constraint checks against the current evaluation state.
+/// Includes checker primitives, hazard directives, and stable-assertion
+/// verification of generated signals. The evaluator must have been
+/// propagated to a fixpoint first.
+std::vector<Violation> run_checks(const Evaluator& ev);
+
+/// Margin on one checker: how much earlier the data settles than required
+/// (set-up) and how much longer it stays steady than required (hold).
+/// Negative slack = violation. Supports the thesis' sec. 1.1 use case of
+/// estimating the achievable cycle time while the design is still growing.
+struct SlackEntry {
+  PrimId checker = kNoPrim;
+  SignalId data = kNoSignal;
+  bool has_setup = false;
+  bool has_hold = false;
+  Time setup_slack = 0;  // min over all clock edges
+  Time hold_slack = 0;
+};
+
+/// Computes set-up/hold slack for every SETUP HOLD CHK and SETUP RISE HOLD
+/// FALL CHK primitive.
+std::vector<SlackEntry> compute_slacks(const Evaluator& ev);
+
+/// Renders the worst-N slack table and the cycle-time estimate: the clock
+/// period could shrink by the smallest positive set-up slack (or must grow
+/// by the worst violation).
+std::string slack_report(const Netlist& nl, std::vector<SlackEntry> slacks, Time period,
+                         std::size_t worst_n = 20);
+
+}  // namespace tv

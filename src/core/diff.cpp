@@ -1,0 +1,58 @@
+#include "core/diff.hpp"
+
+#include <set>
+#include <tuple>
+
+namespace tv {
+
+namespace {
+
+using Key = std::tuple<Violation::Type, std::string, std::string>;
+
+Key key_of(const Netlist& nl, const Violation& v) {
+  std::string prim_name = v.prim != kNoPrim ? nl.prim(v.prim).name : "";
+  std::string sig_name = v.signal != kNoSignal ? nl.signal(v.signal).base_name : "";
+  return {v.type, std::move(prim_name), std::move(sig_name)};
+}
+
+}  // namespace
+
+VerifyDiff diff_results(const Netlist& baseline_nl, const std::vector<Violation>& baseline,
+                        const Netlist& current_nl, const std::vector<Violation>& current) {
+  std::set<Key> base_keys, cur_keys;
+  for (const Violation& v : baseline) base_keys.insert(key_of(baseline_nl, v));
+  for (const Violation& v : current) cur_keys.insert(key_of(current_nl, v));
+
+  VerifyDiff out;
+  for (const Violation& v : current) {
+    if (base_keys.count(key_of(current_nl, v))) {
+      out.persisting.push_back(v);
+    } else {
+      out.introduced.push_back(v);
+    }
+  }
+  for (const Violation& v : baseline) {
+    if (!cur_keys.count(key_of(baseline_nl, v))) out.fixed.push_back(v);
+  }
+  return out;
+}
+
+std::string diff_report(const VerifyDiff& d) {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "TIMING DELTA: %zu new, %zu fixed, %zu persisting violation(s)\n",
+                d.introduced.size(), d.fixed.size(), d.persisting.size());
+  out += line;
+  if (!d.introduced.empty()) {
+    out += "\nNEW SINCE BASELINE:\n";
+    for (const Violation& v : d.introduced) out += v.message + "\n";
+  }
+  if (!d.fixed.empty()) {
+    out += "\nFIXED:\n";
+    for (const Violation& v : d.fixed) out += v.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace tv

@@ -1,0 +1,33 @@
+// Day-by-day verification diffing (thesis sec. 3.3.1).
+//
+// The Mark IIA methodology was to "advance the design for about a day" and
+// re-verify, so that "possible timing errors [are] corrected while the
+// associated design is fresh in the minds of the designers". What a
+// designer wants from the daily run is the *delta*: which violations are
+// new since yesterday, which were fixed, and which persist. Violations are
+// matched by (type, checker name, offending signal base name), so reports
+// remain stable across unrelated edits that renumber primitives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/checker.hpp"
+
+namespace tv {
+
+struct VerifyDiff {
+  std::vector<Violation> introduced;  // in current, absent from baseline
+  std::vector<Violation> persisting;  // in both
+  std::vector<Violation> fixed;       // in baseline, gone now
+};
+
+/// Compares the violations of two runs. The netlists may be different
+/// revisions of the design; matching is by stable names, not ids.
+VerifyDiff diff_results(const Netlist& baseline_nl, const std::vector<Violation>& baseline,
+                        const Netlist& current_nl, const std::vector<Violation>& current);
+
+/// Renders the daily delta.
+std::string diff_report(const VerifyDiff& d);
+
+}  // namespace tv

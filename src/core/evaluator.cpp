@@ -1,0 +1,179 @@
+#include "core/evaluator.hpp"
+
+#include <stdexcept>
+
+namespace tv {
+
+Evaluator::Evaluator(Netlist& nl, VerifierOptions opts) : nl_(nl), opts_(opts) {
+  if (!nl.finalized()) nl.finalize();
+  in_worklist_.assign(nl.num_prims(), 0);
+  eval_count_.assign(nl.num_prims(), 0);
+}
+
+void Evaluator::seed_signal(SignalId id) {
+  Signal& s = nl_.signal(id);
+  if (s.assertion.kind != Assertion::Kind::None) {
+    s.wave = assertion_waveform(s.assertion, opts_.period, opts_.units,
+                                opts_.assertion_defaults);
+    if (s.assertion.kind == Assertion::Kind::Stable && s.driver != kNoPrim) {
+      // A stable assertion on a *generated* signal is a check, not a seed
+      // (sec. 2.5.2): evaluation will overwrite this and the checker will
+      // compare. Seed UNKNOWN so the driver's value wins deterministically.
+      s.wave = Waveform(opts_.period, Value::Unknown);
+    }
+  } else if (s.driver == kNoPrim) {
+    // "Undefined signals with no assertions are taken to be always stable,
+    // to prevent them from giving rise to numerous spurious timing errors"
+    // (sec. 2.5); they appear on the cross-reference listing instead.
+    s.wave = Waveform(opts_.period, Value::Stable);
+  } else {
+    s.wave = Waveform(opts_.period, Value::Unknown);
+  }
+  s.wave = apply_case_map(id, std::move(s.wave));
+  s.eval_str.clear();
+}
+
+Waveform Evaluator::apply_case_map(SignalId id, Waveform w) const {
+  auto it = case_map_.find(id);
+  if (it == case_map_.end()) return w;
+  // Sec. 2.7.1: the signal's STABLE values are mapped to the case value
+  // "whenever the circuit would normally set it to the value STABLE".
+  return w.replaced(Value::Stable, it->second);
+}
+
+void Evaluator::initialize() {
+  events_ = 0;
+  evals_ = 0;
+  converged_ = true;
+  worklist_.clear();
+  in_worklist_.assign(nl_.num_prims(), 0);
+  eval_count_.assign(nl_.num_prims(), 0);
+  for (SignalId id = 0; id < nl_.num_signals(); ++id) seed_signal(id);
+  for (PrimId pid = 0; pid < nl_.num_prims(); ++pid) {
+    if (!prim_is_checker(nl_.prim(pid).kind)) enqueue(pid);
+  }
+}
+
+void Evaluator::enqueue(PrimId pid) {
+  if (in_worklist_[pid]) return;
+  in_worklist_[pid] = 1;
+  worklist_.push_back(pid);
+}
+
+void Evaluator::enqueue_fanout(SignalId id) {
+  for (PrimId pid : nl_.signal(id).fanout) {
+    if (!prim_is_checker(nl_.prim(pid).kind)) enqueue(pid);
+  }
+}
+
+PreparedInput Evaluator::prepare(const Pin& pin) const {
+  const Signal& s = nl_.signal(pin.sig);
+  PreparedInput in;
+  // The pin's own "&" string takes precedence; otherwise the directive
+  // string propagated along the signal (EVAL STR PTR) applies.
+  const std::string& dirs = !pin.directives.empty() ? pin.directives : s.eval_str;
+  if (!dirs.empty()) {
+    in.has_directive_string = true;
+    in.directive = dirs[0];
+    in.tail = dirs.substr(1);
+  }
+  in.wave = pin.invert ? s.wave.map(value_not) : s.wave;
+  bool zero_wire = in.directive == 'W' || in.directive == 'Z' || in.directive == 'H';
+  if (!zero_wire) {
+    WireDelay wd = s.wire_delay.value_or(opts_.default_wire);
+    if (wd.dmin != 0 || wd.dmax != 0) in.wave = in.wave.delayed(wd.dmin, wd.dmax);
+  }
+  return in;
+}
+
+void Evaluator::assign(SignalId id, Waveform w, std::string eval_str, bool& changed) {
+  Signal& s = nl_.signal(id);
+  w = apply_case_map(id, std::move(w));
+  changed = !(w == s.wave) || eval_str != s.eval_str;
+  if (changed) {
+    s.wave = std::move(w);
+    s.eval_str = std::move(eval_str);
+  }
+}
+
+std::size_t Evaluator::run_worklist() {
+  std::size_t events_before = events_;
+  while (!worklist_.empty()) {
+    PrimId pid = worklist_.front();
+    worklist_.pop_front();
+    in_worklist_[pid] = 0;
+    const Primitive& p = nl_.prim(pid);
+
+    if (++eval_count_[pid] > opts_.max_evals_per_prim) {
+      // Oscillation guard: synchronous designs converge quickly; blowing
+      // through the cap means an unclocked feedback path.
+      converged_ = false;
+      continue;
+    }
+    ++evals_;
+
+    std::vector<PreparedInput> ins;
+    ins.reserve(p.inputs.size());
+    for (const Pin& pin : p.inputs) ins.push_back(prepare(pin));
+    PrimEvalResult r = evaluate_primitive(p, ins, opts_.period);
+    bool changed = false;
+    assign(p.output, std::move(r.wave), std::move(r.eval_str), changed);
+    if (changed) {
+      ++events_;
+      enqueue_fanout(p.output);
+    }
+  }
+  return events_ - events_before;
+}
+
+std::size_t Evaluator::propagate() { return run_worklist(); }
+
+std::size_t Evaluator::apply_case(const CaseSpec& c) {
+  // Only the affected parts of the circuit are reevaluated (sec. 2.7):
+  // reseed the named signals, requeue their drivers and fanout, propagate.
+  eval_count_.assign(nl_.num_prims(), 0);
+  case_map_.clear();
+  for (const auto& [sig, val] : c.pins) {
+    if (val != Value::Zero && val != Value::One) {
+      throw std::invalid_argument("case values must be 0 or 1");
+    }
+    case_map_.emplace(sig, val);
+  }
+  for (const auto& [sig, val] : c.pins) {
+    const Signal& s = nl_.signal(sig);
+    Waveform before = s.wave;
+    if (s.driver != kNoPrim) {
+      enqueue(s.driver);  // driver recomputes; assign() applies the mapping
+    } else {
+      seed_signal(sig);
+    }
+    if (!(nl_.signal(sig).wave == before)) {
+      ++events_;
+      enqueue_fanout(sig);
+    }
+  }
+  return run_worklist();
+}
+
+std::size_t Evaluator::clear_case() {
+  eval_count_.assign(nl_.num_prims(), 0);
+  std::vector<SignalId> mapped;
+  for (const auto& [sig, val] : case_map_) mapped.push_back(sig);
+  case_map_.clear();
+  for (SignalId sig : mapped) {
+    const Signal& s = nl_.signal(sig);
+    Waveform before = s.wave;
+    if (s.driver != kNoPrim) {
+      enqueue(s.driver);
+    } else {
+      seed_signal(sig);
+    }
+    if (!(nl_.signal(sig).wave == before)) {
+      ++events_;
+      enqueue_fanout(sig);
+    }
+  }
+  return run_worklist();
+}
+
+}  // namespace tv

@@ -1,0 +1,95 @@
+// Event-driven circuit evaluation (thesis sec. 2.9).
+//
+// Step 1 initializes every signal: assertion waveforms are materialized,
+// undefined signals without assertions become always-STABLE (and are listed
+// on a cross-reference for the designer), everything else starts UNKNOWN.
+// Step 2 repeatedly evaluates primitives whose inputs changed -- each output
+// change is an *event* that enqueues the output's call list -- until all
+// signals stop changing. Case analysis (sec. 2.7) then changes only the
+// signals named in the case specification and incrementally reevaluates the
+// affected cone.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/netlist.hpp"
+#include "core/primitives.hpp"
+
+namespace tv {
+
+struct VerifierOptions {
+  Time period = from_ns(50.0);
+  ClockUnits units = ClockUnits::from_ns_per_unit(6.25);
+  /// Default interconnection delay used when a signal carries no override
+  /// (sec. 2.5.3; the Mark IIA rules used 0.0/2.0 ns).
+  WireDelay default_wire{0, from_ns(2.0)};
+  AssertionDefaults assertion_defaults;
+  /// Oscillation guard: a primitive evaluated more than this many times in
+  /// one fixpoint is reported as non-convergent (combinational loops).
+  std::size_t max_evals_per_prim = 64;
+};
+
+/// One case for case analysis (sec. 2.7.1): each named signal has its
+/// STABLE values mapped to the given 0/1 value.
+struct CaseSpec {
+  std::string name;
+  std::vector<std::pair<SignalId, Value>> pins;
+};
+
+class Evaluator {
+ public:
+  Evaluator(Netlist& nl, VerifierOptions opts);
+
+  /// Seeds all signal waveforms and marks every primitive for evaluation
+  /// (sec. 2.9 step 1). Resets event counters.
+  void initialize();
+
+  /// Runs evaluation to the fixpoint. Returns the number of events (output
+  /// value changes) processed. Sets converged() false if the oscillation
+  /// guard tripped.
+  std::size_t propagate();
+
+  /// Applies a case specification: reseeds the named signals with their
+  /// STABLE values mapped, reevaluates affected primitives incrementally,
+  /// and propagates. Returns events processed for this case.
+  std::size_t apply_case(const CaseSpec& c);
+  /// Removes any active case mapping and re-propagates.
+  std::size_t clear_case();
+
+  const Waveform& wave(SignalId id) const { return nl_.signal(id).wave; }
+  bool converged() const { return converged_; }
+  std::size_t events_processed() const { return events_; }
+  std::size_t evals_performed() const { return evals_; }
+  const VerifierOptions& options() const { return opts_; }
+  Netlist& netlist() { return nl_; }
+  const Netlist& netlist() const { return nl_; }
+
+  /// Prepares one input connection for evaluation or checking: complement
+  /// applied, interconnection delay applied (zeroed under a W/Z/H
+  /// directive), directive letter resolved from the pin's own "&" string or
+  /// from the driving signal's propagated evaluation string.
+  PreparedInput prepare(const Pin& pin) const;
+
+ private:
+  void seed_signal(SignalId id);
+  Waveform apply_case_map(SignalId id, Waveform w) const;
+  void enqueue(PrimId pid);
+  void enqueue_fanout(SignalId id);
+  std::size_t run_worklist();
+  void assign(SignalId id, Waveform w, std::string eval_str, bool& changed);
+
+  Netlist& nl_;
+  VerifierOptions opts_;
+  std::deque<PrimId> worklist_;
+  std::vector<char> in_worklist_;
+  std::vector<std::size_t> eval_count_;
+  std::unordered_map<SignalId, Value> case_map_;
+  std::size_t events_ = 0;
+  std::size_t evals_ = 0;
+  bool converged_ = true;
+};
+
+}  // namespace tv

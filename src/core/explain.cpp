@@ -1,0 +1,79 @@
+#include "core/explain.hpp"
+
+#include <set>
+
+namespace tv {
+
+namespace {
+
+// When does this waveform last become steady within the cycle? Returns 0
+// for an always-steady signal and the period for a never-steady one.
+Time settle_time(const Waveform& w_raw, Time period) {
+  Waveform w = w_raw.with_skew_incorporated();
+  bool any_steady = false;
+  Time latest = 0;
+  for (const auto& b : w.boundaries()) {
+    if (is_steady(b.to) && !is_steady(b.from)) {
+      latest = std::max(latest, b.time);
+      any_steady = true;
+    }
+  }
+  if (w.boundaries().empty()) {
+    return is_steady(w.at(0)) ? 0 : period;
+  }
+  return any_steady ? latest : period;
+}
+
+}  // namespace
+
+std::vector<ChainStage> explain_chain(const Evaluator& ev, const Violation& v) {
+  std::vector<ChainStage> chain;
+  const Netlist& nl = ev.netlist();
+  if (v.signal == kNoSignal) return chain;
+  const Time period = ev.options().period;
+
+  std::set<SignalId> visited;
+  SignalId cur = v.signal;
+  while (visited.insert(cur).second) {
+    const Signal& s = nl.signal(cur);
+    chain.push_back(ChainStage{cur, s.driver, settle_time(s.wave, period)});
+    if (s.driver == kNoPrim) break;
+    const Primitive& p = nl.prim(s.driver);
+
+    // Follow the input responsible for the late settling: the one that
+    // itself settles last (a heuristic; exact for single-path cones, and
+    // the right default diagnostic elsewhere).
+    SignalId worst = kNoSignal;
+    Time worst_settle = -1;
+    for (const Pin& pin : p.inputs) {
+      Time t = settle_time(nl.signal(pin.sig).wave, period);
+      if (t > worst_settle) {
+        worst_settle = t;
+        worst = pin.sig;
+      }
+    }
+    if (worst == kNoSignal) break;
+    cur = worst;
+  }
+  return chain;
+}
+
+std::string explain_report(const Netlist& nl, const std::vector<ChainStage>& chain) {
+  if (chain.empty()) return "  (no chain available)\n";
+  std::string out = "CRITICAL CHAIN (latest-settling input at each level):\n";
+  char line[256];
+  for (const ChainStage& st : chain) {
+    const Signal& s = nl.signal(st.signal);
+    std::snprintf(line, sizeof line, "  %-36s settles %8s  %s%s\n", s.full_name.c_str(),
+                  format_ns(st.settles_at).c_str(),
+                  st.driver != kNoPrim ? "via " : "origin: ",
+                  st.driver != kNoPrim
+                      ? nl.prim(st.driver).name.c_str()
+                      : (s.assertion.kind != Assertion::Kind::None ? "assertion"
+                                                                   : "undriven input"));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tv

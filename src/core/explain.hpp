@@ -1,0 +1,36 @@
+// Violation explanation: tracing the chain that makes a constraint fail.
+//
+// The Timing Verifier computes *when* signals settle but, unlike a
+// path-searching tool, does not keep paths around. When a set-up check
+// fails, the designer's next question is "through which gates?". This
+// module reconstructs that chain after the fact: starting from the
+// checker's data pin, walk backwards through drivers, at each primitive
+// following the input whose settling (as computed by the evaluator) is the
+// latest and therefore responsible for the output's late settling. The
+// result is a critical-chain listing with per-stage settle times -- the
+// diagnostic a designer needs to know which gate to speed up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/checker.hpp"
+
+namespace tv {
+
+struct ChainStage {
+  SignalId signal = kNoSignal;
+  PrimId driver = kNoPrim;   // kNoPrim at an asserted/undriven input
+  Time settles_at = 0;       // when this signal's value stops changing
+};
+
+/// The critical chain ending at a violated checker's data input: stage 0
+/// is the checked signal, the last stage is the asserted/undriven origin.
+/// `window_end` bounds the settle search (usually the failing clock edge).
+std::vector<ChainStage> explain_chain(const Evaluator& ev, const Violation& v);
+
+/// Renders the chain, one stage per line, latest first:
+///   SIGNAL  settles 47.5  via READ OR 10102
+std::string explain_report(const Netlist& nl, const std::vector<ChainStage>& chain);
+
+}  // namespace tv

@@ -1,0 +1,38 @@
+// Machine-readable exports of verification results.
+//
+//  * VCD (Value Change Dump): one symbolic cycle of every signal, viewable
+//    in any waveform viewer. The seven values map onto VCD's four-state
+//    scalars: 0 and 1 directly; STABLE to 'z' (a defined but unknown
+//    level); CHANGE/RISE/FALL/UNKNOWN to 'x' (may be in transition). The
+//    cycle is emitted twice so periodic behaviour is visible.
+//
+//  * JSON: the violation list, slack table and run statistics in a stable
+//    schema for CI pipelines (the modern form of the thesis' day-by-day
+//    verification loop).
+#pragma once
+
+#include <string>
+
+#include "core/checker.hpp"
+#include "core/verifier.hpp"
+
+namespace tv {
+
+/// Renders one (doubled) symbolic cycle of every signal as a VCD document.
+/// `timescale_ps` sets the VCD timescale (default 1 ps = the engine's
+/// internal resolution).
+std::string export_vcd(const Netlist& nl, Time period, const std::string& design_name = "tv");
+
+/// Renders the netlist as a Graphviz DOT digraph: primitives as boxes
+/// (checkers as double octagons), signals as edges; signals listed in
+/// `highlight` (e.g. a critical chain from explain_chain) are drawn red.
+std::string export_dot(const Netlist& nl, const std::vector<SignalId>& highlight = {},
+                       const std::string& design_name = "tv");
+
+/// Renders a verification result as JSON: {design, period_ns, converged,
+/// events, violations: [...], cases: [...], slacks: [...]}.
+std::string export_json(const Netlist& nl, const VerifyResult& result, Time period,
+                        const std::vector<SlackEntry>& slacks = {},
+                        const std::string& design_name = "tv");
+
+}  // namespace tv

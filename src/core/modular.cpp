@@ -1,0 +1,110 @@
+#include "core/modular.hpp"
+
+#include <map>
+
+namespace tv {
+
+namespace {
+
+struct SignalUse {
+  const Section* section = nullptr;
+  const Signal* signal = nullptr;
+  bool driven = false;
+};
+
+}  // namespace
+
+std::vector<InterfaceIssue> check_interfaces(const std::vector<Section>& sections) {
+  std::vector<InterfaceIssue> issues;
+  std::map<std::string, std::vector<SignalUse>> by_base;
+  for (const Section& sec : sections) {
+    const Netlist& nl = *sec.netlist;
+    for (SignalId id = 0; id < nl.num_signals(); ++id) {
+      const Signal& s = nl.signal(id);
+      // "/M"-marked signals are local to their section/macro and never
+      // interface signals (sec. 3.1).
+      if (s.scope != SignalScope::Global) continue;
+      by_base[s.base_name].push_back(SignalUse{&sec, &s, s.driver != kNoPrim});
+    }
+  }
+
+  for (const auto& [base, uses] : by_base) {
+    if (uses.size() < 2) continue;  // local to one section
+    bool crosses = false;
+    for (std::size_t i = 1; i < uses.size(); ++i) {
+      if (uses[i].section != uses[0].section) crosses = true;
+    }
+    if (!crosses) continue;
+
+    int drivers = 0;
+    bool any_assertion = false;
+    bool any_unasserted = false;
+    bool names_differ = false;
+    for (const SignalUse& u : uses) {
+      if (u.driven) ++drivers;
+      if (u.signal->assertion.kind != Assertion::Kind::None) {
+        any_assertion = true;
+      } else {
+        any_unasserted = true;
+      }
+      if (u.signal->full_name != uses[0].signal->full_name) names_differ = true;
+    }
+
+    if (names_differ) {
+      // The same base name appears with different assertions. Among purely
+      // assertion-defined signals that is legitimate -- Fig 2-5's derived
+      // clocks "CK .P0-4" and "CK .P2-3" share a base -- but as soon as one
+      // variant is *generated* by a section, its consumers elsewhere must
+      // use exactly the producer's name; a differing consumer assertion is
+      // the producer/consumer disagreement sec. 2.5.2's check exists for.
+      if (drivers >= 1) {
+        std::string detail;
+        for (const SignalUse& u : uses) {
+          if (!detail.empty()) detail += ", ";
+          detail += u.section->name + " has \"" + u.signal->full_name + "\"" +
+                    (u.driven ? " (driven)" : "");
+        }
+        issues.push_back(
+            InterfaceIssue{InterfaceIssue::Kind::AssertionMismatch, base, std::move(detail)});
+      } else if (any_unasserted) {
+        issues.push_back(InterfaceIssue{
+            InterfaceIssue::Kind::MissingAssertion, base,
+            "crosses a section boundary with and without a timing assertion"});
+      }
+      continue;
+    }
+
+    if (drivers > 1) {
+      issues.push_back(InterfaceIssue{InterfaceIssue::Kind::MultipleDrivers, base,
+                                      "driven in " + std::to_string(drivers) + " sections"});
+    }
+    if (!any_assertion) {
+      // Consumers in other sections have no timing information about this
+      // signal: the per-section proofs do not compose.
+      issues.push_back(InterfaceIssue{
+          InterfaceIssue::Kind::MissingAssertion, base,
+          "crosses a section boundary without a timing assertion"});
+    }
+  }
+  return issues;
+}
+
+bool ModularResult::design_free_of_timing_errors() const {
+  if (!interface_issues.empty()) return false;
+  for (const PerSection& s : sections) {
+    if (s.result.total_violations() != 0 || !s.result.converged) return false;
+  }
+  return true;
+}
+
+ModularResult verify_modular(std::vector<Section>& sections, const VerifierOptions& opts) {
+  ModularResult out;
+  for (Section& sec : sections) {
+    Verifier v(*sec.netlist, opts);
+    out.sections.push_back(ModularResult::PerSection{sec.name, v.verify(sec.cases)});
+  }
+  out.interface_issues = check_interfaces(sections);
+  return out;
+}
+
+}  // namespace tv

@@ -1,0 +1,65 @@
+// Modular, section-by-section verification (thesis secs. 1.1, 2.5.2).
+//
+// "Putting these 'stable' assertions on interface signals is the key to the
+// ability to verify a design in sections. After each section is verified,
+// SCALD checks to see that all interface signals have the same timing
+// assertions on them. If no section of a design being verified has a timing
+// error and if all of the interface signals of all such sections have
+// consistent assertions on them, then the entire design must be free of
+// timing errors."
+//
+// A section is an independent Netlist. An *interface signal* is one that is
+// driven in one section and consumed (undriven) in another; in the consumer
+// it must carry an assertion describing its timing, and that assertion --
+// being part of the signal name -- must be textually identical everywhere
+// the signal appears. Inside the producing section a stable assertion on a
+// driven signal is checked against the computed waveform by run_checks().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace tv {
+
+struct Section {
+  std::string name;
+  Netlist* netlist = nullptr;
+  std::vector<CaseSpec> cases;
+};
+
+struct InterfaceIssue {
+  enum class Kind {
+    AssertionMismatch,   // same base name, different assertions across sections
+    MissingAssertion,    // consumed across a section boundary with no assertion
+    MultipleDrivers      // driven in more than one section
+  };
+  Kind kind = Kind::AssertionMismatch;
+  std::string base_name;
+  std::string detail;
+};
+
+/// Cross-section interface consistency check. Signals local to one section
+/// are ignored; a signal is an interface signal when its base name appears
+/// in two or more sections or when it is undriven-but-asserted anywhere.
+std::vector<InterfaceIssue> check_interfaces(const std::vector<Section>& sections);
+
+struct ModularResult {
+  struct PerSection {
+    std::string name;
+    VerifyResult result;
+  };
+  std::vector<PerSection> sections;
+  std::vector<InterfaceIssue> interface_issues;
+
+  /// The sec. 2.5.2 theorem's premise: every section clean and every
+  /// interface consistent.
+  bool design_free_of_timing_errors() const;
+};
+
+/// Verifies each section independently with its own options, then checks
+/// interface consistency.
+ModularResult verify_modular(std::vector<Section>& sections, const VerifierOptions& opts);
+
+}  // namespace tv

@@ -1,0 +1,399 @@
+#include "core/primitives.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tv {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Skew discipline (sec. 2.8): count the inputs that can change. With at most
+// one changing input the skew can stay in the separate field; with two or
+// more it must be folded into the value lists before combining.
+// ---------------------------------------------------------------------------
+
+std::size_t count_active(const std::vector<const Waveform*>& ws) {
+  std::size_t n = 0;
+  for (const Waveform* w : ws) {
+    if (w->has_activity()) ++n;
+  }
+  return n;
+}
+
+// Left-fold of a binary seven-value op over prepared waves, handling the
+// skew rule. Returns the zero-delay combination; the caller applies the
+// element delay.
+Waveform fold(const std::vector<const Waveform*>& ws, Value (*op)(Value, Value), Time period) {
+  if (ws.empty()) return Waveform(period, Value::Unknown);
+  if (ws.size() == 1) return *ws[0];
+  bool multiple_active = count_active(ws) >= 2;
+  Waveform acc = multiple_active ? ws[0]->with_skew_incorporated() : *ws[0];
+  Time carried_skew = multiple_active ? 0 : acc.skew();
+  for (std::size_t i = 1; i < ws.size(); ++i) {
+    Waveform next = multiple_active ? ws[i]->with_skew_incorporated() : *ws[i];
+    if (!multiple_active && next.has_activity()) carried_skew = next.skew();
+    acc = Waveform::binary(acc, next, op);
+  }
+  acc.set_skew(carried_skew);
+  return acc;
+}
+
+// A flip between two steady values (0 -> 1 on an input of a CHG-modeled
+// adder, say) is invisible to the pointwise seven-value tables: both sides
+// map to the same output value. The output nonetheless changes somewhere in
+// [t + dmin, t + dmax (+ input skew)], so overlay an explicit CHANGE window
+// there. Needed for CHG and XOR, whose tables collapse 0 and 1.
+void overlay_flip_windows(Waveform& out, const std::vector<const Waveform*>& ins, Time dmin,
+                          Time dmax) {
+  std::vector<std::pair<Time, Time>> wins;
+  for (const Waveform* w : ins) {
+    for (const auto& b : w->boundaries()) {
+      if (is_steady(b.from) && is_steady(b.to)) {
+        wins.emplace_back(b.time + dmin, b.time + dmax + w->skew());
+      }
+    }
+  }
+  if (wins.empty()) return;
+  out = out.with_skew_incorporated();
+  for (const auto& [s, e] : wins) out.set(s, std::max(e, s + 1), Value::Change);
+}
+
+// The identity (enabling) value a directive 'A'/'H' substitutes for the
+// non-clock inputs of a gate (sec. 2.6: "assume that the other inputs are
+// enabling the gate").
+Value enabling_value(PrimKind k) {
+  switch (k) {
+    case PrimKind::And: return Value::One;
+    case PrimKind::Or:
+    case PrimKind::Xor:
+    case PrimKind::Chg: return Value::Zero;
+    default: return Value::One;
+  }
+}
+
+Value (*gate_op(PrimKind k))(Value, Value) {
+  switch (k) {
+    case PrimKind::Or: return value_or;
+    case PrimKind::And: return value_and;
+    case PrimKind::Xor: return value_xor;
+    case PrimKind::Chg: return value_chg;
+    default: return nullptr;
+  }
+}
+
+// --- register / latch helper models ---------------------------------------
+
+Value sr_override(Value s, Value r, Value q) {
+  if (s == Value::Unknown || r == Value::Unknown) return Value::Unknown;
+  if (s == Value::One && r == Value::One) return Value::Unknown;  // sec. 2.4.3
+  if (s == Value::One) return Value::One;
+  if (r == Value::One) return Value::Zero;
+  if (is_changing(s) || is_changing(r)) return Value::Change;
+  if (s == Value::Stable || r == Value::Stable) {
+    // The asynchronous input is stable but of unknown value: it may be
+    // constantly overriding. The output is steady but its value unknown.
+    return is_steady(q) ? Value::Stable : Value::Change;
+  }
+  return q;  // both inactive: normal storage behaviour
+}
+
+Value latch_fun(Value e, Value d, Value h) {
+  if (e == Value::Unknown) return Value::Unknown;
+  if (e == Value::Zero) return h;   // opaque: held value
+  if (e == Value::One) return d;    // transparent: follows data
+  if (d == Value::Unknown || h == Value::Unknown) return Value::Unknown;
+  // Only a *definite* agreement makes the hand-over between held and data
+  // value-free; two STABLE values may differ.
+  if (d == h && is_definite(d)) return d;
+  if (e == Value::Stable) {
+    // Statically transparent or opaque (we do not know which): steady only
+    // if both possible behaviours are steady.
+    if (is_steady(d) && is_steady(h)) return Value::Stable;
+    return Value::Change;
+  }
+  // Enable may be switching: output may move between held and data values.
+  return Value::Change;
+}
+
+// Builds the piecewise-constant "held value" waveform of a latch: the value
+// captured at each falling-edge window of the enable, holding until the
+// next capture (periodic, so the last capture wraps to the cycle start).
+Waveform held_waveform(const Waveform& enable, const Waveform& data, Time period) {
+  std::vector<EdgeWindow> falls = edge_windows(enable, /*rising=*/false);
+  if (falls.empty()) return Waveform(period, Value::Stable);
+  Waveform held(period, Value::Stable);
+  for (std::size_t j = 0; j < falls.size(); ++j) {
+    Value captured = sample_over(data, falls[j]);
+    Time begin = floor_mod(falls[j].end, period);
+    Time end = floor_mod(falls[(j + 1) % falls.size()].end, period);
+    Time width = floor_mod(end - begin, period);
+    if (width == 0) width = period;  // single capture holds all cycle
+    held.set(begin, begin + width, captured);
+  }
+  return held;
+}
+
+Waveform eval_register(const Primitive& p, const Waveform& data_in, const Waveform& clock_in,
+                       Time period) {
+  Waveform clock = clock_in.with_skew_incorporated();
+  Waveform data = data_in.with_skew_incorporated();
+  if (clock.is_constant() && clock.segments()[0].value == Value::Unknown) {
+    return Waveform(period, Value::Unknown);
+  }
+  std::vector<EdgeWindow> edges = edge_windows(clock, /*rising=*/true);
+  if (edges.empty()) return Waveform(period, Value::Stable);
+
+  // Output: CHANGE from (edge start + min delay) to (edge end + max delay),
+  // then the captured value until the next edge's change window (Fig 2-1).
+  Waveform out(period, Value::Stable);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    Value captured = sample_over(data, edges[k]);
+    if (captured == Value::Unknown) captured = Value::Stable;  // sec. 2.4.3 wording
+    Time settle = floor_mod(edges[k].end + p.dmax, period);
+    Time next_change = floor_mod(edges[(k + 1) % edges.size()].start + p.dmin, period);
+    Time width = floor_mod(next_change - settle, period);
+    if (width == 0 && edges.size() == 1) width = period;
+    out.set(settle, settle + width, captured);
+  }
+  for (const EdgeWindow& e : edges) {
+    Time cb = floor_mod(e.start + p.dmin, period);
+    // The edge window may wrap the cycle boundary (end < start numerically).
+    Time cw = floor_mod(e.end - e.start, period) + (p.dmax - p.dmin);
+    if (cw >= period) return Waveform(period, Value::Change);
+    out.set(cb, cb + cw, Value::Change);
+  }
+  return out;
+}
+
+Waveform eval_latch(const Primitive& p, const Waveform& data_in, const Waveform& enable_in,
+                    Time period) {
+  Waveform enable = enable_in.with_skew_incorporated();
+  Waveform data = data_in.with_skew_incorporated();
+  Waveform held = held_waveform(enable, data, period);
+  Waveform out = Waveform::ternary(enable, data, held, latch_fun);
+  return out.delayed(p.dmin, p.dmax);
+}
+
+Waveform apply_set_reset(const Primitive& p, Waveform base, const Waveform& set_in,
+                         const Waveform& reset_in) {
+  // SET/RESET have the same propagation delay as the other inputs
+  // (sec. 2.4.3); the base output already includes the element delay.
+  Waveform s = set_in.delayed(p.dmin, p.dmax).with_skew_incorporated();
+  Waveform r = reset_in.delayed(p.dmin, p.dmax).with_skew_incorporated();
+  base = base.with_skew_incorporated();
+  return Waveform::ternary(s, r, base, sr_override);
+}
+
+}  // namespace
+
+std::vector<EdgeWindow> edge_windows(const Waveform& w, bool rising) {
+  assert(w.skew() == 0 && "incorporate skew before extracting edges");
+  std::vector<EdgeWindow> out;
+  const Value from_level = rising ? Value::Zero : Value::One;
+  const Value to_level = rising ? Value::One : Value::Zero;
+  const Value matching_edge = rising ? Value::Rise : Value::Fall;
+
+  std::vector<Waveform::Boundary> bs = w.boundaries();
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    const auto& b = bs[i];
+    // Direct instantaneous edge.
+    if (b.from == from_level && b.to == to_level) {
+      out.push_back(EdgeWindow{b.time, b.time});
+      continue;
+    }
+    // Entry into a run of transition values. Walk the run to its exit and
+    // decide whether the run can contain an edge of the wanted polarity.
+    if (is_steady(b.from) && is_changing(b.to)) {
+      bool can = false;
+      Time start = b.time;
+      std::size_t j = i;
+      Time end = start;
+      Value run_exit = b.to;
+      for (std::size_t step = 0; step < bs.size(); ++step) {
+        const auto& cur = bs[(j + step) % bs.size()];
+        if (step > 0 && !is_changing(cur.from)) break;
+        if (step > 0) {
+          if (cur.from == Value::Change || cur.from == matching_edge) can = true;
+          if (!is_changing(cur.to)) {
+            end = cur.time;
+            run_exit = cur.to;
+            break;
+          }
+        } else {
+          if (cur.to == Value::Change || cur.to == matching_edge) can = true;
+        }
+        end = cur.time;
+        run_exit = cur.to;
+      }
+      (void)run_exit;
+      // Restrict R-only runs to rising windows and F-only runs to falling.
+      if (can) {
+        // Only record the run once: when its entry boundary is processed.
+        out.push_back(EdgeWindow{start, end});
+      }
+    }
+  }
+  // A run entered from another changing value at the cycle wrap is already
+  // covered because boundaries() reports the wrap change at time 0.
+  std::sort(out.begin(), out.end(),
+            [](const EdgeWindow& a, const EdgeWindow& b) { return a.start < b.start; });
+  return out;
+}
+
+Value sample_over(const Waveform& data, const EdgeWindow& win) {
+  // The window is closed (include the edge instant) and may wrap the cycle
+  // boundary, in which case win.end is numerically smaller than win.start.
+  Time width = floor_mod(win.end - win.start, data.period()) + 1;
+  std::uint8_t mask = data.value_mask(win.start, win.start + width);
+  constexpr std::uint8_t zero_bit = 1u << static_cast<int>(Value::Zero);
+  constexpr std::uint8_t one_bit = 1u << static_cast<int>(Value::One);
+  constexpr std::uint8_t unknown_bit = 1u << static_cast<int>(Value::Unknown);
+  if (mask & unknown_bit) return Value::Unknown;
+  if (mask == zero_bit) return Value::Zero;
+  if (mask == one_bit) return Value::One;
+  return Value::Stable;
+}
+
+PrimEvalResult evaluate_primitive(const Primitive& p, const std::vector<PreparedInput>& ins,
+                                  Time period) {
+  assert(!prim_is_checker(p.kind));
+  PrimEvalResult result;
+
+  // Directive handling (sec. 2.6). 'Z'/'H' make the asserted timing refer to
+  // the gate output: the gate's own delay is zeroed (the wire delay was
+  // already zeroed during preparation). 'A'/'H' additionally assume the
+  // other inputs enable the gate. The remainder of the directive string is
+  // passed along with the output value (sec. 2.8, EVAL STR PTR).
+  Time dmin = p.dmin, dmax = p.dmax;
+  bool delay_zeroed = false;
+  int directive_pin = -1;
+  bool assume_enabling = false;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (!ins[i].has_directive_string) continue;
+    directive_pin = static_cast<int>(i);
+    char d = ins[i].directive;
+    if (d == 'Z' || d == 'H') {
+      dmin = 0;
+      dmax = 0;
+      delay_zeroed = true;
+    }
+    if (d == 'A' || d == 'H') assume_enabling = true;
+    result.eval_str = ins[i].tail;
+    break;  // one directive-carrying input per gate level
+  }
+
+  // Applies the element delay to a combinational output: polarity-dependent
+  // when rise/fall delays are given (sec. 4.2.2), min/max otherwise; a
+  // Z/H directive refers the timing to the gate output and bypasses both.
+  auto apply_delay = [&](Waveform w) {
+    if (delay_zeroed) return w;
+    if (p.rise_fall) {
+      const RiseFallDelay& rf = *p.rise_fall;
+      return w.delayed_rise_fall(rf.rise_min, rf.rise_max, rf.fall_min, rf.fall_max);
+    }
+    return w.delayed(dmin, dmax);
+  };
+  // Flip-overlay window bounds (see overlay_flip_windows): the combined
+  // delay range, since a flip's output polarity is unknown there.
+  Time omin = dmin, omax = dmax;
+  if (p.rise_fall && !delay_zeroed) {
+    omin = std::min(p.rise_fall->rise_min, p.rise_fall->fall_min);
+    omax = std::max(p.rise_fall->rise_max, p.rise_fall->fall_max);
+  }
+
+  std::vector<Waveform> storage;  // substituted enabling constants live here
+  std::vector<const Waveform*> ws;
+  ws.reserve(ins.size());
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (assume_enabling && static_cast<int>(i) != directive_pin) {
+      storage.push_back(Waveform(period, enabling_value(p.kind)));
+      ws.push_back(&storage.back());
+    } else {
+      ws.push_back(&ins[i].wave);
+    }
+  }
+
+  switch (p.kind) {
+    case PrimKind::Buf:
+      result.wave = apply_delay(*ws[0]);
+      return result;
+    case PrimKind::Not:
+      result.wave = apply_delay(ws[0]->map(value_not));
+      return result;
+    case PrimKind::Or:
+    case PrimKind::And:
+      result.wave = apply_delay(fold(ws, gate_op(p.kind), period));
+      return result;
+    case PrimKind::Xor:
+    case PrimKind::Chg:
+      result.wave = apply_delay(fold(ws, gate_op(p.kind), period));
+      overlay_flip_windows(result.wave, ws, omin, omax);
+      return result;
+    case PrimKind::Mux2: {
+      std::vector<const Waveform*> all = {ws[0], ws[1], ws[2]};
+      bool multi = count_active(all) >= 2;
+      auto prep = [&](const Waveform& w) { return multi ? w.with_skew_incorporated() : w; };
+      Waveform sel = prep(*ws[0]), d0 = prep(*ws[1]), d1 = prep(*ws[2]);
+      Time carried = 0;
+      if (!multi) {
+        for (const Waveform* w : all) {
+          if (w->has_activity()) carried = w->skew();
+        }
+      }
+      Waveform out = Waveform::ternary(sel, d0, d1, value_mux);
+      out.set_skew(carried);
+      result.wave = apply_delay(std::move(out));
+      return result;
+    }
+    case PrimKind::Mux4:
+    case PrimKind::Mux8: {
+      // Decompose into a tree of 2-way selections at zero delay, then apply
+      // the element delay once. Inputs: selects first, then data.
+      std::size_t nsel = p.kind == PrimKind::Mux4 ? 2 : 3;
+      bool multi = count_active(ws) >= 2;
+      auto prep = [&](const Waveform& w) { return multi ? w.with_skew_incorporated() : w; };
+      Time carried = 0;
+      if (!multi) {
+        for (const Waveform* w : ws) {
+          if (w->has_activity()) carried = w->skew();
+        }
+      }
+      std::vector<Waveform> level;
+      for (std::size_t i = nsel; i < ws.size(); ++i) level.push_back(prep(*ws[i]));
+      for (std::size_t s = 0; s < nsel; ++s) {
+        Waveform sel = prep(*ws[s]);  // low select bit first
+        std::vector<Waveform> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+          next.push_back(Waveform::ternary(sel, level[i], level[i + 1], value_mux));
+        }
+        level = std::move(next);
+      }
+      Waveform out = std::move(level[0]);
+      out.set_skew(carried);
+      result.wave = apply_delay(std::move(out));
+      return result;
+    }
+    case PrimKind::Reg:
+      result.wave = eval_register(p, ins[0].wave, ins[1].wave, period);
+      return result;
+    case PrimKind::RegSR: {
+      Waveform base = eval_register(p, ins[0].wave, ins[1].wave, period);
+      result.wave = apply_set_reset(p, std::move(base), ins[2].wave, ins[3].wave);
+      return result;
+    }
+    case PrimKind::Latch:
+      result.wave = eval_latch(p, ins[0].wave, ins[1].wave, period);
+      return result;
+    case PrimKind::LatchSR: {
+      Waveform base = eval_latch(p, ins[0].wave, ins[1].wave, period);
+      result.wave = apply_set_reset(p, std::move(base), ins[2].wave, ins[3].wave);
+      return result;
+    }
+    default:
+      throw std::logic_error("evaluate_primitive called on a checker");
+  }
+}
+
+}  // namespace tv

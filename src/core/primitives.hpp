@@ -1,0 +1,63 @@
+// Evaluation semantics of the built-in primitive models
+// (thesis secs. 2.4.2-2.4.5, 2.6, 2.8).
+//
+// Evaluating a primitive takes the *prepared* input waveforms -- complement
+// applied, interconnection delay applied, evaluation directive resolved --
+// and produces the output waveform plus the directive string to propagate.
+// The skew discipline of sec. 2.8 is enforced here: a signal passing through
+// a single delaying element keeps its skew in the separate field; as soon as
+// two or more changing signals are combined, their skews are folded into the
+// value lists (RISE/FALL/CHANGE) before combination.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/netlist.hpp"
+#include "core/waveform.hpp"
+
+namespace tv {
+
+/// One input after preparation by the evaluator.
+struct PreparedInput {
+  Waveform wave;            // complemented + wire-delayed signal value
+  char directive = 'E';     // effective directive for this gate level
+  std::string tail;         // rest of the directive string (next levels)
+  bool has_directive_string = false;  // had a non-empty evaluation string
+};
+
+struct PrimEvalResult {
+  Waveform wave;
+  std::string eval_str;  // directive string propagated to the output signal
+};
+
+/// Evaluates a non-checker primitive. `ins` must match the pin order
+/// documented on PrimKind. `period` is the circuit clock period.
+PrimEvalResult evaluate_primitive(const Primitive& p, const std::vector<PreparedInput>& ins,
+                                  Time period);
+
+/// A window during which a clock may be performing a (rising or falling)
+/// transition: the transition happens somewhere in [start, end]; before
+/// `start` the clock surely holds the old level, at/after `end` the new one.
+/// A clean instantaneous edge yields start == end. Windows may wrap the
+/// cycle boundary, in which case `end` is numerically smaller than `start`;
+/// widths must be computed circularly (floor_mod(end - start, period)).
+struct EdgeWindow {
+  Time start = 0;
+  Time end = 0;
+  bool operator==(const EdgeWindow&) const = default;
+};
+
+/// Extracts the possible rising (or falling) edge windows from a clock
+/// waveform. The waveform must have its skew incorporated first. CHANGE
+/// regions may hide edges of either polarity and qualify for both.
+std::vector<EdgeWindow> edge_windows(const Waveform& w, bool rising);
+
+/// Samples a data waveform across an edge window: returns Value::Zero/One
+/// when the data holds that definite value across the whole window,
+/// Value::Unknown if UNKNOWN is seen, Value::Stable otherwise (the register
+/// model's "unless the DATA input is a true or false during the rising edge
+/// ... set to STABLE").
+Value sample_over(const Waveform& data, const EdgeWindow& win);
+
+}  // namespace tv

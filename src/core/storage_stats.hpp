@@ -1,0 +1,45 @@
+// Storage accounting in the thesis' own record model (Table 3-3).
+//
+// The S-1 Mark I PASCAL compiler stored all fields as 4 bytes (chars and
+// booleans 1 byte) and packed nothing; the thesis reports the resulting
+// byte counts per data-structure category. We reproduce the same ledger for
+// any netlist so Table 3-3's breakdown (circuit description 37.8 %, signal
+// values, signal names 11.6 %, string space 10.6 %, call list array 6.9 %,
+// miscellaneous 0.7 %) can be regenerated on a synthetic design of the same
+// shape.
+#pragma once
+
+#include <cstddef>
+
+#include "core/netlist.hpp"
+#include "util/stats.hpp"
+
+namespace tv {
+
+struct StorageBreakdown {
+  std::size_t circuit_description = 0;  // primitive records + parameter lists
+  std::size_t signal_values = 0;        // VALUE BASE + VALUE records
+  std::size_t signal_names = 0;         // name records, def/use pointers
+  std::size_t string_space = 0;         // text of all signal/primitive names
+  std::size_t call_list = 0;            // CALL LIST ARRAY entries
+  std::size_t misc = 0;                 // minor bookkeeping structures
+
+  std::size_t total() const {
+    return circuit_description + signal_values + signal_names + string_space + call_list +
+           misc;
+  }
+  StorageLedger to_ledger() const;
+
+  /// Mean VALUE records per signal (the thesis reports 2.97).
+  double mean_value_records = 0;
+  /// Mean bytes per signal value list (the thesis reports ~56).
+  double mean_value_bytes = 0;
+  /// Mean circuit-description bytes per primitive (the thesis reports ~260).
+  double mean_prim_bytes = 0;
+};
+
+/// Computes the Table 3-3 ledger for a netlist in its current evaluation
+/// state (signal value lists reflect the last propagation).
+StorageBreakdown compute_storage(const Netlist& nl);
+
+}  // namespace tv

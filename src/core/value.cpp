@@ -1,0 +1,158 @@
+#include "core/value.hpp"
+
+namespace tv {
+
+char value_letter(Value v) {
+  switch (v) {
+    case Value::Zero: return '0';
+    case Value::One: return '1';
+    case Value::Stable: return 'S';
+    case Value::Change: return 'C';
+    case Value::Rise: return 'R';
+    case Value::Fall: return 'F';
+    case Value::Unknown: return 'U';
+  }
+  return '?';
+}
+
+std::string value_name(Value v) {
+  switch (v) {
+    case Value::Zero: return "0";
+    case Value::One: return "1";
+    case Value::Stable: return "STABLE";
+    case Value::Change: return "CHANGE";
+    case Value::Rise: return "RISE";
+    case Value::Fall: return "FALL";
+    case Value::Unknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+bool parse_value_letter(char c, Value& out) {
+  switch (c) {
+    case '0': out = Value::Zero; return true;
+    case '1': out = Value::One; return true;
+    case 'S': case 's': out = Value::Stable; return true;
+    case 'C': case 'c': out = Value::Change; return true;
+    case 'R': case 'r': out = Value::Rise; return true;
+    case 'F': case 'f': out = Value::Fall; return true;
+    case 'U': case 'u': out = Value::Unknown; return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Shared worst-case combination for the symmetric gates. `dominant` is the
+// value that forces the output regardless of the other input (1 for OR,
+// 0 for AND); `identity` is the value that passes the other input through.
+Value gate_combine(Value a, Value b, Value dominant, Value identity) {
+  if (a == dominant || b == dominant) return dominant;
+  if (a == identity) return b;
+  if (b == identity) return a;
+  if (a == Value::Unknown || b == Value::Unknown) return Value::Unknown;
+  // Remaining operands are drawn from {S, C, R, F}.
+  if (a == b) return a;  // S|S=S, R|R=R, F|F=F, C|C=C
+  if (a == Value::Stable) return b;  // worst case: the changing input wins
+  if (b == Value::Stable) return a;
+  // Two distinct changing values (R/F, R/C, F/C): the output may glitch in
+  // either direction, so the only sound description is CHANGE.
+  return Value::Change;
+}
+
+}  // namespace
+
+Value value_or(Value a, Value b) {
+  return gate_combine(a, b, Value::One, Value::Zero);
+}
+
+Value value_and(Value a, Value b) {
+  return gate_combine(a, b, Value::Zero, Value::One);
+}
+
+Value value_xor(Value a, Value b) {
+  if (a == Value::Unknown || b == Value::Unknown) return Value::Unknown;
+  if (a == Value::Zero) return b;
+  if (b == Value::Zero) return a;
+  if (a == Value::One) return value_not(b);
+  if (b == Value::One) return value_not(a);
+  // Both in {S, C, R, F}. XOR of a stable-but-unknown value with an edge can
+  // produce an edge of either polarity, and two edges can glitch, so any
+  // changing operand collapses to CHANGE; S^S stays S.
+  if (a == Value::Stable && b == Value::Stable) return Value::Stable;
+  return Value::Change;
+}
+
+Value value_not(Value a) {
+  switch (a) {
+    case Value::Zero: return Value::One;
+    case Value::One: return Value::Zero;
+    case Value::Rise: return Value::Fall;
+    case Value::Fall: return Value::Rise;
+    default: return a;  // S, C, U are closed under inversion
+  }
+}
+
+Value value_chg(Value a) {
+  if (a == Value::Unknown) return Value::Unknown;
+  return is_changing(a) ? Value::Change : Value::Stable;
+}
+
+Value value_chg(Value a, Value b) {
+  if (a == Value::Unknown || b == Value::Unknown) return Value::Unknown;
+  return (is_changing(a) || is_changing(b)) ? Value::Change : Value::Stable;
+}
+
+Value value_union(Value a, Value b) {
+  if (a == b) return a;
+  if (a == Value::Unknown || b == Value::Unknown) return Value::Unknown;
+  // Normalize order so each unordered pair is handled once.
+  if (static_cast<int>(a) > static_cast<int>(b)) std::swap(a, b);
+  auto pair = [](Value x, Value y) { return static_cast<int>(x) * 8 + static_cast<int>(y); };
+  switch (pair(a, b)) {
+    case 0 * 8 + 1: return Value::Change;          // {0,1}: could flip
+    case 0 * 8 + 2: return Value::Stable;          // {0,S}
+    case 1 * 8 + 2: return Value::Stable;          // {1,S}
+    case 0 * 8 + 4: return Value::Rise;            // {0,R}
+    case 1 * 8 + 4: return Value::Rise;            // {1,R}
+    case 1 * 8 + 5: return Value::Fall;            // {1,F}
+    case 0 * 8 + 5: return Value::Fall;            // {0,F}
+    case 2 * 8 + 4: return Value::Rise;            // {S,R}: may be rising
+    case 2 * 8 + 5: return Value::Fall;            // {S,F}: may be falling
+    default: return Value::Change;                 // {S,C},{C,*},{R,F},...
+  }
+}
+
+namespace {
+
+// Union of the *behaviours* of two signals when exactly one of them is
+// being observed but we do not know which (a multiplexer with a stable
+// select). Unlike value_union, {0,1} here yields STABLE: the output is one
+// constant or the other, it never switches between them.
+Value behaviour_union(Value a, Value b) {
+  if (a == b) return a;
+  if (a == Value::Unknown || b == Value::Unknown) return Value::Unknown;
+  if (is_steady(a) && is_steady(b)) return Value::Stable;
+  return value_union(a, b);
+}
+
+}  // namespace
+
+Value value_mux(Value sel, Value a, Value b) {
+  switch (sel) {
+    case Value::Zero: return a;
+    case Value::One: return b;
+    case Value::Unknown: return Value::Unknown;
+    case Value::Stable: return behaviour_union(a, b);
+    default:
+      // Select may be switching: the output can glitch between the two data
+      // inputs unless they agree on a *definite* value. Two STABLE inputs do
+      // not qualify: each is stable at an unknown value, and those values
+      // may differ, so the hand-over is a possible change.
+      if (a == Value::Unknown || b == Value::Unknown) return Value::Unknown;
+      if (a == b && is_definite(a)) return a;
+      return Value::Change;
+  }
+}
+
+}  // namespace tv

@@ -1,0 +1,87 @@
+// Seven-value signal algebra of the SCALD Timing Verifier (thesis sec. 2.4.1
+// and 2.4.2).
+//
+// At any instant every signal has exactly one of seven values:
+//
+//   0  false                       R  RISE   going from zero to one
+//   1  true                        F  FALL   going from one to zero
+//   S  STABLE  not changing        U  UNKNOWN  initial value
+//   C  CHANGE  may be changing
+//
+// The combinational functions (OR, AND, XOR, NOT, CHG) are "uniformly defined
+// to give worst-case values": e.g. STABLE OR RISE = RISE, because the output
+// is either stable or a rising edge and the rising edge is the worst case.
+// Representing most signals with STABLE/CHANGE instead of their boolean value
+// is the paper's central idea: it collapses the exponential set of value
+// patterns a logic simulator would need into a single symbolic cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tv {
+
+enum class Value : std::uint8_t {
+  Zero = 0,   // logic 0
+  One = 1,    // logic 1
+  Stable = 2, // stable, boolean value unknown
+  Change = 3, // may be changing
+  Rise = 4,   // transitioning 0 -> 1
+  Fall = 5,   // transitioning 1 -> 0
+  Unknown = 6 // uninitialized / conflicting
+};
+
+inline constexpr int kNumValues = 7;
+
+/// Single-letter names used throughout the thesis (0 1 S C R F U).
+char value_letter(Value v);
+/// Long names ("STABLE", "CHANGE", ...).
+std::string value_name(Value v);
+/// Parses a single-letter value name; returns false on unknown letters.
+bool parse_value_letter(char c, Value& out);
+
+/// True for the values that denote a (possible) transition: C, R, F.
+constexpr bool is_changing(Value v) {
+  return v == Value::Change || v == Value::Rise || v == Value::Fall;
+}
+
+/// True for values with a definite boolean meaning: 0 and 1.
+constexpr bool is_definite(Value v) { return v == Value::Zero || v == Value::One; }
+
+/// True for values during which a checker considers the signal "not
+/// changing": 0, 1, and STABLE (sec. 2.4.4 checkers accept any of these).
+constexpr bool is_steady(Value v) {
+  return v == Value::Zero || v == Value::One || v == Value::Stable;
+}
+
+// --- Worst-case combinational functions (sec. 2.4.2) ----------------------
+
+Value value_or(Value a, Value b);
+Value value_and(Value a, Value b);
+Value value_xor(Value a, Value b);
+Value value_not(Value a);
+
+/// The CHANGE (CHG) function used to model complex combinational logic
+/// (adders, parity trees) whose boolean function is irrelevant to timing:
+/// UNKNOWN if any input is UNKNOWN, else CHANGE if any input is changing,
+/// else STABLE. Note that inputs 0/1 count as "not changing".
+Value value_chg(Value a, Value b);
+/// Unary form: maps 0/1/S to STABLE, R/F/C to CHANGE, U to UNKNOWN.
+Value value_chg(Value a);
+
+/// "Uncertainty union": the single value that soundly describes a signal
+/// known only to be one of {a, b} at an instant. Used when skew is folded
+/// into a waveform and when case results are merged.
+///   union(0,1)=C (could be either, and may flip), union(0,R)=R,
+///   union(R,1)=R, union(1,F)=F, union(F,0)=F, union(S,C)=C, U dominates.
+Value value_union(Value a, Value b);
+
+/// Worst-case multiplexer select: the output of a 2-input mux whose select
+/// line carries `sel` and whose data inputs carry `a` (select=0) and `b`
+/// (select=1). When the select is STABLE the output is the union of the two
+/// data inputs' behaviours minus any actual switching; when the select is
+/// changing the output may glitch between the inputs.
+Value value_mux(Value sel, Value a, Value b);
+
+}  // namespace tv

@@ -1,0 +1,119 @@
+#include "core/verifier.hpp"
+
+namespace tv {
+
+std::size_t VerifyResult::total_violations() const {
+  std::size_t n = violations.size();
+  for (const auto& c : cases) n += c.violations.size();
+  return n;
+}
+
+VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
+  VerifyResult r;
+  ev_.initialize();
+  r.base_events = ev_.propagate();
+  r.base_evals = ev_.evals_performed();
+  r.converged = ev_.converged();
+  r.violations = run_checks(ev_);
+  r.cross_reference = ev_.netlist().undefined_unasserted();
+
+  for (const CaseSpec& c : cases) {
+    VerifyResult::CaseResult cr;
+    cr.name = c.name;
+    cr.events = ev_.apply_case(c);
+    cr.violations = run_checks(ev_);
+    r.cases.push_back(std::move(cr));
+  }
+  if (!cases.empty()) ev_.clear_case();
+  return r;
+}
+
+std::string timing_summary(const Netlist& nl) {
+  std::string out = "TIMING VERIFIER SIGNAL VALUE SUMMARY\n";
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    const Signal& s = nl.signal(id);
+    out += "  ";
+    out += s.full_name;
+    // Pad to a fixed column for readability of the listing.
+    if (s.full_name.size() < 32) out.append(32 - s.full_name.size(), ' ');
+    out += "  ";
+    out += s.wave.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string violations_report(const std::vector<Violation>& violations) {
+  if (violations.empty()) return "NO TIMING ERRORS DETECTED\n";
+  std::string out = "SETUP, HOLD AND MINIMUM PULSE WIDTH ERRORS\n";
+  for (const Violation& v : violations) {
+    out += v.message;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string where_used_listing(const Netlist& nl) {
+  std::string out = "SIGNAL CROSS REFERENCE (defined by / used by)\n";
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    const Signal& s = nl.signal(id);
+    out += "  " + s.full_name + "\n";
+    if (s.driver != kNoPrim) {
+      out += "    defined by " + nl.prim(s.driver).name + "\n";
+    } else if (s.assertion.kind != Assertion::Kind::None) {
+      out += "    defined by assertion\n";
+    } else {
+      out += "    UNDEFINED (assumed stable)\n";
+    }
+    for (PrimId pid : s.fanout) {
+      out += "    used by    " + nl.prim(pid).name + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ascii_waveform(const Waveform& w, std::size_t columns) {
+  std::string out;
+  out.reserve(columns);
+  for (std::size_t c = 0; c < columns; ++c) {
+    Time t = static_cast<Time>(static_cast<__int128>(w.period()) * static_cast<Time>(c) /
+                               static_cast<Time>(columns));
+    switch (w.at(t)) {
+      case Value::Zero: out += '_'; break;
+      case Value::One: out += '#'; break;
+      case Value::Stable: out += '='; break;
+      case Value::Change: out += 'x'; break;
+      case Value::Rise: out += '/'; break;
+      case Value::Fall: out += '\\'; break;
+      case Value::Unknown: out += '?'; break;
+    }
+  }
+  return out;
+}
+
+std::string timing_summary_waves(const Netlist& nl, std::size_t columns) {
+  std::string out = "TIMING VERIFIER SIGNAL WAVEFORMS (one cycle)\n";
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    const Signal& s = nl.signal(id);
+    out += "  ";
+    out += s.full_name;
+    if (s.full_name.size() < 32) out.append(32 - s.full_name.size(), ' ');
+    out += " |";
+    out += ascii_waveform(s.wave.with_skew_incorporated(), columns);
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string cross_reference_listing(const Netlist& nl, const std::vector<SignalId>& ids) {
+  if (ids.empty()) return "";
+  std::string out = "UNDEFINED SIGNALS (assumed always stable):\n";
+  for (SignalId id : ids) {
+    out += "  ";
+    out += nl.signal(id).full_name;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tv

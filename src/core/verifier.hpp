@@ -1,0 +1,85 @@
+// Top-level Timing Verifier API (thesis chapter II).
+//
+// Typical use:
+//
+//   tv::Netlist nl;
+//   ... build the design (directly or via the HDL front end) ...
+//   tv::VerifierOptions opts;
+//   opts.period = tv::from_ns(50.0);
+//   opts.units = tv::ClockUnits::from_ns_per_unit(6.25);
+//   tv::Verifier verifier(nl, opts);
+//   tv::VerifyResult r = verifier.verify(cases);
+//   std::cout << tv::timing_summary(nl);
+//   for (const auto& v : r.violations) std::cout << v.message;
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/evaluator.hpp"
+
+namespace tv {
+
+struct VerifyResult {
+  /// Violations found in the base (first) evaluation.
+  std::vector<Violation> violations;
+  /// Events processed in the base evaluation (one event = one output value
+  /// change; Table 3-1 reports 20 052 for the 6357-chip design).
+  std::size_t base_events = 0;
+  std::size_t base_evals = 0;
+  bool converged = true;
+
+  struct CaseResult {
+    std::string name;
+    std::size_t events = 0;  // incremental cost of this case (sec. 2.7)
+    std::vector<Violation> violations;
+  };
+  std::vector<CaseResult> cases;
+
+  /// Undefined signals without assertions (treated always-stable), for the
+  /// cross-reference listing of sec. 2.5.
+  std::vector<SignalId> cross_reference;
+
+  /// All violations across the base evaluation and every case.
+  std::size_t total_violations() const;
+};
+
+class Verifier {
+ public:
+  Verifier(Netlist& nl, VerifierOptions opts) : ev_(nl, opts) {}
+
+  /// Full verification: base evaluation, constraint checks, then each case
+  /// incrementally (sec. 2.9).
+  VerifyResult verify(const std::vector<CaseSpec>& cases = {});
+
+  Evaluator& evaluator() { return ev_; }
+  const Evaluator& evaluator() const { return ev_; }
+
+ private:
+  Evaluator ev_;
+};
+
+// --- report formatting (Figs 3-10 / 3-11) ----------------------------------
+
+/// The timing summary listing: each signal's value changes over the cycle.
+std::string timing_summary(const Netlist& nl);
+/// The error listing: one formatted block per violation.
+std::string violations_report(const std::vector<Violation>& violations);
+/// Cross-reference listing of undefined, unasserted signals.
+std::string cross_reference_listing(const Netlist& nl, const std::vector<SignalId>& ids);
+
+/// Full where-used cross reference (sec. 3.3.2: the Timing Verifier
+/// "generated cross reference listings, which aid the designer in finding
+/// where signals are used within the design"): per signal, the defining
+/// primitive and every consumer.
+std::string where_used_listing(const Netlist& nl);
+
+/// One-line ASCII rendering of a waveform, one character per column:
+/// '_' 0, '#' 1, '=' STABLE, 'x' CHANGE, '/' RISE, '\\' FALL, '?' UNKNOWN.
+std::string ascii_waveform(const Waveform& w, std::size_t columns = 64);
+
+/// The Fig 3-10 listing with an ASCII waveform strip per signal.
+std::string timing_summary_waves(const Netlist& nl, std::size_t columns = 64);
+
+}  // namespace tv

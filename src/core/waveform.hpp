@@ -1,0 +1,148 @@
+// Periodic signal-value waveform (thesis sec. 2.8, Fig 2-7).
+//
+// The Timing Verifier represents the value of every signal over exactly one
+// clock period. The thesis uses a linked list of VALUE records (value,
+// width) hanging off a VALUE BASE record that also stores the skew and the
+// evaluation-string pointer; the widths are required to sum exactly to the
+// period. We keep the same abstraction as a contiguous vector of segments
+// (cache-friendly; the invariants are identical) anchored at cycle time 0.
+//
+// Skew (sec. 2.8): when a signal is delayed by a variable amount, the value
+// list is shifted by the *minimum* delay and the residual (max - min) is
+// held in the separate skew field. This preserves pulse widths, so minimum
+// pulse-width checks are not spuriously violated. Only when two changing
+// signals are combined must the skew be folded into the value list, using
+// the RISE/FALL/CHANGE values (Fig 2-9); incorporate_skew() implements that
+// fold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/value.hpp"
+#include "util/time.hpp"
+
+namespace tv {
+
+class Waveform {
+ public:
+  /// One VALUE record: a value held for `width` picoseconds.
+  struct Segment {
+    Value value = Value::Unknown;
+    Time width = 0;
+    bool operator==(const Segment&) const = default;
+  };
+
+  /// A value change at `time`: the signal holds `from` before and `to`
+  /// after (times are cycle-relative; a change across the 0 boundary is
+  /// reported at time 0).
+  struct Boundary {
+    Time time = 0;
+    Value from = Value::Unknown;
+    Value to = Value::Unknown;
+    bool operator==(const Boundary&) const = default;
+  };
+
+  Waveform() = default;
+  /// Constructs a waveform holding `fill` for the whole period. Signals
+  /// start as UNKNOWN (sec. 2.9 step 1).
+  explicit Waveform(Time period, Value fill = Value::Unknown);
+  static Waveform constant(Time period, Value v) { return Waveform(period, v); }
+
+  Time period() const { return period_; }
+  Time skew() const { return skew_; }
+  void set_skew(Time s) { skew_ = s; }
+
+  /// Value at cycle time t (taken modulo the period).
+  Value at(Time t) const;
+
+  /// Sets the circular interval [begin, end) to `v`. `end - begin` must not
+  /// exceed the period; begin==end sets nothing; the interval may wrap.
+  void set(Time begin, Time end, Value v);
+  void fill(Value v);
+
+  /// Returns this waveform delayed by [dmin, dmax]: the value list shifted
+  /// circularly by dmin, skew increased by (dmax - dmin). Requires
+  /// 0 <= dmin <= dmax.
+  Waveform delayed(Time dmin, Time dmax) const;
+
+  /// Polarity-dependent delay (the sec. 4.2.2 extension for technologies
+  /// like nMOS with very different rising and falling delays): each value
+  /// change toward 1 is delayed by [rise_min, rise_max], each change toward
+  /// 0 by [fall_min, fall_max], and changes of unknown polarity by the
+  /// combined worst-case window. The per-edge uncertainty cannot live in
+  /// the single skew field, so it is folded into the value list (RISE/FALL/
+  /// CHANGE windows); any existing skew is folded first. Overlapping
+  /// uncertainty windows (a pulse narrower than the delay difference)
+  /// collapse conservatively to CHANGE.
+  Waveform delayed_rise_fall(Time rise_min, Time rise_max, Time fall_min,
+                             Time fall_max) const;
+
+  /// Folds the skew field into the value list (Fig 2-9): every value change
+  /// a->b is widened into a window of length skew carrying RISE for
+  /// monotone 0->1 movement, FALL for 1->0, CHANGE otherwise; overlapping
+  /// windows collapse to CHANGE (UNKNOWN dominates). Result has skew 0.
+  Waveform with_skew_incorporated() const;
+
+  /// Pointwise binary combination (both operands must share the period;
+  /// skews must already be handled by the caller -- see Primitive::eval).
+  static Waveform binary(const Waveform& a, const Waveform& b, Value (*op)(Value, Value));
+  /// Pointwise ternary combination (used by the multiplexer model).
+  static Waveform ternary(const Waveform& a, const Waveform& b, const Waveform& c,
+                          Value (*op)(Value, Value, Value));
+  /// Pointwise unary map (NOT, CHG); preserves the skew field.
+  Waveform map(Value (*op)(Value)) const;
+  /// Replaces every occurrence of `from` with `to` (case analysis,
+  /// sec. 2.7.1: STABLE values of selected control signals are mapped to
+  /// 0 or 1); preserves the skew field.
+  Waveform replaced(Value from, Value to) const;
+
+  const std::vector<Segment>& segments() const { return segs_; }
+  /// All value changes, in time order; includes a boundary at time 0 when
+  /// the value differs across the period wrap.
+  std::vector<Boundary> boundaries() const;
+
+  /// Bitmask (1 << value) of the values present in circular [begin, end).
+  /// begin==end is treated as the empty interval unless full_on_equal.
+  std::uint8_t value_mask(Time begin, Time end) const;
+  /// True if every value in circular [begin, end) is steady (0/1/S).
+  bool steady_over(Time begin, Time end) const;
+  /// True if the waveform is a single segment.
+  bool is_constant() const { return segs_.size() == 1; }
+  /// True if the signal ever (possibly) changes: any boundary, or any
+  /// C/R/F value anywhere. Constant 0/1/S/U waveforms return false.
+  bool has_activity() const;
+
+  /// Earliest cycle time (starting the scan at `from`, circularly) at which
+  /// the waveform enters a steady value that then persists until `until`.
+  /// Returns false if the signal never settles over that span. Used for
+  /// violation reporting ("data did not go stable until 47.5 nsec").
+  bool settles(Time from, Time until, Time& settle_time) const;
+
+  /// Renders e.g. "0.0:S 0.5:C 5.5:S 25.5:C 30.5:S (skew 0.5)" -- the
+  /// Fig 3-10 style listing of value-change times in nanoseconds.
+  std::string to_string(bool with_skew = true) const;
+
+  bool operator==(const Waveform& o) const {
+    return period_ == o.period_ && skew_ == o.skew_ && segs_ == o.segs_;
+  }
+
+  /// Storage accounting per the thesis' record layout (Table 3-3): a VALUE
+  /// BASE record of 20 bytes plus 12 bytes per VALUE record (unpacked
+  /// 4-byte PASCAL fields: value, width, link).
+  std::size_t paper_storage_bytes() const { return 20 + 12 * segs_.size(); }
+  std::size_t value_record_count() const { return segs_.size(); }
+
+ private:
+  /// Rebuilds from a list of (start time, value) change points sorted by
+  /// time within [0, period); consecutive equal values are merged.
+  static Waveform from_points(Time period, std::vector<std::pair<Time, Value>> pts, Time skew);
+  void normalize();
+
+  Time period_ = 0;
+  Time skew_ = 0;
+  std::vector<Segment> segs_;
+};
+
+}  // namespace tv

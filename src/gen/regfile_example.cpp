@@ -1,0 +1,85 @@
+#include "gen/regfile_example.hpp"
+
+namespace tv::gen {
+
+RegfileExample build_regfile_example(Netlist& nl) {
+  RegfileExample ex;
+  ex.options.period = from_ns(50.0);
+  ex.options.units = ClockUnits::from_ns_per_unit(6.25);
+  ex.options.default_wire = WireDelay{0, from_ns(2.0)};
+  ex.options.assertion_defaults.precision_skew_minus_ns = -1.0;
+  ex.options.assertion_defaults.precision_skew_plus_ns = 1.0;
+
+  // ---- address path: CK .P0-4 drives the multiplexer select -------------
+  // "&Z": the clock timing refers to the output of the gating buffer
+  // (sec. 2.6 / Fig 2-5); the select path of the 10158 mux has an extra
+  // 0.3-1.2 ns (Fig 3-6), modeled with a buffer per sec. 2.4.3.
+  Ref adr_sel_raw = nl.ref("ADR SEL RAW");
+  nl.buf("ADR SEL GATE", 0, 0, nl.ref("CK .P0-4 &Z"), adr_sel_raw);
+  Ref adr_sel = nl.ref("ADR SEL");
+  nl.buf("MUX SEL DELAY", from_ns(0.3), from_ns(1.2), adr_sel_raw, adr_sel);
+  nl.set_wire_delay(adr_sel_raw.id, 0, 0);
+  nl.set_wire_delay(adr_sel.id, 0, 0);
+
+  Ref write_adr = nl.ref("WRITE ADR .S0-6", 4);
+  Ref read_adr = nl.ref("READ ADR .S4-9", 4);
+  nl.set_wire_delay(write_adr.id, 0, 0);
+  nl.set_wire_delay(read_adr.id, 0, 0);
+
+  // select high (first 4 clock units) -> write address; low -> read address.
+  Ref adr = nl.ref("ADR<0:3>", 4);
+  nl.mux2("ADR MUX 10158", from_ns(1.2), from_ns(3.3), adr_sel, read_adr, write_adr, adr, 4);
+  // The designer specified 0.0-6.0 ns for the address lines (sec. 3.2).
+  nl.set_wire_delay(adr.id, 0, from_ns(6.0));
+  ex.adr = adr.id;
+
+  // ---- write-enable path: CK .P2-3 gated by the WRITE control -----------
+  // "&H" checks WRITE stable while the clock is asserted, assumes it
+  // enables the gate, and makes the clock timing refer to the gate output.
+  Ref we = nl.ref("WE");
+  nl.and_gate("WE GATE", from_ns(1.0), from_ns(2.9),
+              {nl.ref("CK .P2-3 &H"), nl.ref("WRITE .S0-6")}, we);
+  nl.set_wire_delay(we.id, 0, 0);  // macro-internal net (Fig 3-5)
+  ex.we = we.id;
+
+  Ref w_data = nl.ref("W DATA .S0-6", 32);
+
+  // ---- the 16W RAM 10145A timing model (Fig 3-5) ------------------------
+  // Write-data set-up/hold against the *falling* write-enable edge: the
+  // checker clock input is the complement "- WE"; hold is -1.0 ns.
+  ex.data_checker =
+      nl.setup_hold_chk("RAM I SETUP", from_ns(4.5), from_ns(-1.0), w_data, nl.ref("- WE"), 32);
+  // Address set-up before the WE rise, stable while WE true, hold 1.0 ns
+  // after the fall.
+  ex.adr_checker = nl.setup_rise_hold_fall_chk("RAM A SETUP", from_ns(3.5), from_ns(1.0), adr,
+                                               we, 4);
+  // WE minimum high pulse width 4.0 ns.
+  ex.we_pulse_checker = nl.min_pulse_width_chk("RAM WE WIDTH", from_ns(4.0), 0, we);
+
+  // Read data path: outputs change when the addresses change or the
+  // write-enable moves ("3 CHG" gate, 3.0-6.0 ns, Fig 3-5).
+  Ref ram_out = nl.ref("RAM OUT<0:31>", 32);
+  nl.chg("RAM READ PATH", from_ns(3.0), from_ns(6.0), {adr, we}, ram_out, 32);
+  ex.ram_out = ram_out.id;
+
+  // ---- output register (10176 model of Fig 3-7) -------------------------
+  // A 2-input OR (Fig 3-8) combines the RAM data with a read-enable that is
+  // stable all cycle.
+  Ref reg_data = nl.ref("REG DATA<0:31>", 32);
+  nl.or_gate("READ OR 10102", from_ns(1.0), from_ns(3.0),
+             {ram_out, nl.ref("READ EN .S0-8", 1)}, reg_data, 32);
+  nl.set_wire_delay(reg_data.id, 0, 0);
+  ex.reg_data = reg_data.id;
+
+  Ref reg_clk = nl.ref("REG CLK .P8-9");
+  Ref reg_out = nl.ref("REG OUT<0:31>", 32);
+  nl.reg("OUT REG 10176", from_ns(1.5), from_ns(4.5), reg_data, reg_clk, reg_out, 32);
+  ex.reg_checker =
+      nl.setup_hold_chk("REG SETUP", from_ns(2.5), from_ns(1.5), reg_data, reg_clk, 32);
+  ex.reg_out = reg_out.id;
+
+  nl.finalize();
+  return ex;
+}
+
+}  // namespace tv::gen

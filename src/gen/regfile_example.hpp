@@ -1,0 +1,44 @@
+// The thesis' worked verification example (Fig 2-5, analyzed in sec. 3.2,
+// outputs in Figs 3-10 and 3-11).
+//
+// The circuit: a 16-word by 32-bit register file (the Fairchild F10145A of
+// Figs 3-1..3-5), a 32-bit edge-triggered output register (Fig 3-7), a
+// 2-input multiplexer selecting between read and write addresses (Fig 3-6),
+// and several gates (Fig 3-8). Cycle time 50 ns; clock units of 6.25 ns
+// (8 per cycle); default wire delay 0.0/2.0 ns; precision clock skew
+// -1.0/+1.0 ns; the register-file address lines carry a designer-specified
+// wire delay of 0.0-6.0 ns.
+//
+// The verifier must find exactly the two set-up errors of Fig 3-11:
+//  * the RAM address set-up (3.5 ns before the write-enable rise) missed by
+//    the full 3.5 ns -- the addresses go stable at 11.5 ns, exactly when
+//    the write-enable pulse can start rising;
+//  * the output register set-up (2.5 ns) missed by 1.0 ns -- its data goes
+//    stable at 47.5 ns and the clock can start rising at 49.0 ns.
+#pragma once
+
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/netlist.hpp"
+
+namespace tv::gen {
+
+struct RegfileExample {
+  VerifierOptions options;
+  SignalId adr = kNoSignal;       // multiplexer output: RAM address lines
+  SignalId we = kNoSignal;        // gated write-enable pulse
+  SignalId ram_out = kNoSignal;   // register-file data output
+  SignalId reg_data = kNoSignal;  // output-register data input
+  SignalId reg_out = kNoSignal;   // output-register output
+  PrimId adr_checker = kNoPrim;   // SETUP RISE HOLD FALL CHK on the addresses
+  PrimId data_checker = kNoPrim;  // SETUP HOLD CHK on the RAM write data
+  PrimId reg_checker = kNoPrim;   // SETUP HOLD CHK on the output register
+  PrimId we_pulse_checker = kNoPrim;  // MIN PULSE WIDTH on write enable
+};
+
+/// Builds the example into `nl` and returns the handles above. The netlist
+/// is finalized and ready to verify.
+RegfileExample build_regfile_example(Netlist& nl);
+
+}  // namespace tv::gen

@@ -1,0 +1,224 @@
+#include "gen/s1_design.hpp"
+
+#include <cstdio>
+
+#include "hdl/parser.hpp"
+
+namespace tv::gen {
+
+namespace {
+
+// printf-style append.
+template <typename... Args>
+void emit(std::string& out, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  out += buf;
+}
+
+// Stage-0 inputs are asserted interface signals; later stages use the
+// driven (assertion-free) names.
+// Stage-boundary signals carry their ".S1-8" interface assertion in the
+// name *everywhere* (producer and consumer alike): inside the producing
+// stage the assertion is checked against the computed waveform
+// (sec. 2.5.2), and it is what lets the pipeline be cut into sections and
+// verified modularly with consistent interfaces.
+std::string in_bus(const S1Params& p, int s) {
+  char buf[96];
+  if (s == 0) {
+    std::snprintf(buf, sizeof buf, "PRIMARY IN<0:%d> .S1.2-8", p.bus_width - 1);
+  } else {
+    std::snprintf(buf, sizeof buf, "S%d IN<0:%d> .S1.2-8", s, p.bus_width - 1);
+  }
+  return buf;
+}
+
+std::string cpipe(int s, int k) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "S%d CPIPE%d .S1.2-8", s, k);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t s1_chip_count(const S1Params& p) {
+  // gate chips: 4 per chain + extra-OR + write-clock AND + result OR,
+  // plus 4 CORR delay buffers
+  std::size_t gates = 4 * static_cast<std::size_t>(p.chains_per_stage) + 3 + 4;
+  std::size_t per_stage = gates + 1 /*mux8*/ + static_cast<std::size_t>(p.muxes_per_stage) +
+                          5 /*reg chips*/ + 1 /*ram*/ + 1 /*alu*/ + 1 /*latch*/;
+  return per_stage * static_cast<std::size_t>(p.stages) +
+         static_cast<std::size_t>(p.clock_tree_bufs);
+}
+
+std::string generate_s1_shdl(const S1Params& p) {
+  return generate_s1_section_shdl(p, 0, p.stages, /*include_clock_tree=*/true);
+}
+
+std::string generate_s1_section_shdl(const S1Params& p, int first_stage, int stage_count,
+                                     bool include_clock_tree) {
+  std::string out;
+  out.reserve(1u << 20);
+
+  // --- chip macro library (the Fig 3-5..3-9 timing models) -----------------
+  out += R"(-- Synthetic S-1 Mark IIA-scale design (generated; see s1_design.hpp)
+
+macro REG_10176(SIZE) {                     -- edge-triggered register chip
+  param in "I<0:SIZE-1>", "CK";
+  param out "Q<0:SIZE-1>";
+  reg [delay=1.5:4.5, width=SIZE] ("I<0:SIZE-1>", "CK") -> "Q<0:SIZE-1>";
+  setup_hold [setup=2.5, hold=1.5, width=SIZE] ("I<0:SIZE-1>", "CK");
+}
+
+macro RAM_16W_10145A(SIZE) {                -- register file chip
+  param in "I<0:SIZE-1>", "A<0:3>", "WE";
+  param out "DO<0:SIZE-1>";
+  setup_hold [setup=4.5, hold=-1.0, width=SIZE] ("I<0:SIZE-1>", "- WE");
+  setup_rise_hold_fall [setup=3.5, hold=1.0, width=4] ("A<0:3>", "WE");
+  min_pulse_width [min_high=4.0] ("WE");
+  chg [delay=3.0:6.0, width=SIZE] ("A<0:3>", "WE") -> "DO<0:SIZE-1>";
+}
+
+macro MUX2_10158(SIZE) {                    -- 2-input mux chip, select buffer
+  param in "SEL", "D0<0:SIZE-1>", "D1<0:SIZE-1>";
+  param out "Q<0:SIZE-1>";
+  buf [delay=0.3:1.2] ("SEL") -> "SELD /M";
+  wire_delay "SELD /M" 0:0;
+  mux2 [delay=1.2:3.3, width=SIZE] ("SELD /M", "D0<0:SIZE-1>", "D1<0:SIZE-1>")
+      -> "Q<0:SIZE-1>";
+}
+
+macro ALU_10181(SIZE) {                     -- arithmetic/logic chip (CHG model)
+  param in "A<0:SIZE-1>", "B<0:SIZE-1>";
+  param out "F<0:SIZE-1>", "PAR", "COUT";
+  chg [delay=3.0:6.0, width=SIZE] ("A<0:SIZE-1>", "B<0:SIZE-1>") -> "F<0:SIZE-1>";
+  chg [delay=3.5:7.0] ("A<0:SIZE-1>", "B<0:SIZE-1>") -> "PAR";
+  chg [delay=2.5:5.5] ("A<0:SIZE-1>", "B<0:SIZE-1>") -> "COUT";
+}
+
+macro LATCH_10133(SIZE) {                   -- status latch chip
+  param in "D<0:SIZE-1>", "EN";
+  param out "Q<0:SIZE-1>";
+  latch [delay=1.0:3.5, width=SIZE] ("D<0:SIZE-1>", "EN") -> "Q<0:SIZE-1>";
+  setup_rise_hold_fall [setup=2.5, hold=1.0, width=SIZE] ("D<0:SIZE-1>", "EN");
+}
+
+design S1_MARK_IIA {
+  period 50.0;
+  clock_unit 6.25;
+  default_wire 0.0:2.0;
+  precision_skew -1.0:1.0;
+  clock_skew -5.0:5.0;
+
+)";
+
+  const int W = p.bus_width;
+  const char* kChainGate[3] = {"and", "or", "xor"};
+
+  for (int s = first_stage; s < first_stage + stage_count; ++s) {
+    emit(out, "  -- ================= pipeline stage %d =================\n", s);
+    std::string in = in_bus(p, s);
+
+    // "CORR" delays (Fig 4-2): the registered control pipeline feeds logic
+    // clocked by the same (skewed) clock; without a fictitious delay at
+    // least as long as the clock skew, the verifier would emit the false
+    // hold-time errors of Fig 4-1.
+    for (int k = 0; k < 4; ++k) {
+      emit(out, "  buf [delay=4.5:4.5] (\"%s\") -> \"S%d CPIPED%d\";\n",
+           cpipe(s, k).c_str(), s, k);
+      emit(out, "  wire_delay \"S%d CPIPED%d\" 0:0;\n", s, k);
+    }
+
+    // Control-decode chains: 4 gate chips each over asserted control inputs
+    // and the registered (CORR-delayed) control pipeline.
+    for (int j = 0; j < p.chains_per_stage; ++j) {
+      emit(out,
+           "  %s [delay=1.1:2.5] (\"S%d CTL%d .S4-8.5\", \"S%d CTL%d .S4-8.5\") -> "
+           "\"S%d CH%d A\";\n",
+           kChainGate[j % 3], s, j, s, (j + 2) % p.chains_per_stage, s, j);
+      emit(out, "  or [delay=1.0:2.4] (\"S%d CH%d A\", \"S%d CTL%d .S4-8.5\") -> \"S%d CH%d B\";\n",
+           s, j, s, (j + 1) % p.chains_per_stage, s, j);
+      emit(out, "  %s [delay=1.5:2.8] (\"S%d CH%d B\", \"S%d CPIPED%d\") -> \"S%d CH%d C\";\n",
+           kChainGate[(j + 1) % 3], s, j, s, (j + 1) % 4, s, j);
+      emit(out, "  not [delay=1.3:2.0] (\"S%d CH%d C\") -> \"S%d CDEC%d\";\n", s, j, s, j);
+    }
+    // Extra decode OR chip.
+    emit(out, "  or [delay=1.0:2.9] (\"S%d CDEC0\", \"S%d CDEC1\") -> \"S%d CDECX\";\n", s, s,
+         s);
+    // Control selector chip (mux8 over decode outputs).
+    emit(out,
+         "  mux8 [delay=1.5:4.0] (\"%s\", \"%s\", \"%s\", \"S%d CDEC0\", \"S%d CDEC1\", "
+         "\"S%d CDEC2\", \"S%d CDEC3\", \"S%d CDEC4\", \"S%d CDEC5\", \"S%d CDEC6\", "
+         "\"S%d CDECX\") -> \"S%d CSEL\";\n",
+         cpipe(s, 0).c_str(), cpipe(s, 1).c_str(), cpipe(s, 2).c_str(), s, s, s, s, s, s, s, s,
+         s);
+
+    // Operand-select multiplexers (asserted early-stable selects); muxes
+    // k > 0 cascade from their predecessor's output.
+    for (int k = 0; k < p.muxes_per_stage; ++k) {
+      char d1[64];
+      if (k == 0) {
+        std::snprintf(d1, sizeof d1, "%s", in.c_str());
+      } else {
+        std::snprintf(d1, sizeof d1, "S%d MX%d<0:%d>", s, k - 1, W - 1);
+      }
+      emit(out,
+           "  use MUX2_10158 [SIZE=%d] (\"S%d SEL%d .S1.5-8.6\", \"%s\", \"%s\", "
+           "\"S%d MX%d<0:%d>\");\n",
+           W, s, k, in.c_str(), d1, s, k, W - 1);
+    }
+
+    // Write-enable gating: "&H" checks the enable stable while CK asserted.
+    emit(out,
+         "  and [delay=1.0:2.9] (\"MCLK .P4-5 &H\", \"S%d WEN .S1-8\") -> \"S%d WCLK\";\n", s,
+         s);
+    emit(out, "  wire_delay \"S%d WCLK\" 0:0;\n", s);
+
+    // Register file: write data from the stage bus, address from mux 0.
+    emit(out, "  use RAM_16W_10145A [SIZE=%d] (\"%s\", \"S%d MX0<0:%d>\", \"S%d WCLK\", "
+              "\"S%d RAM OUT<0:%d>\");\n",
+         W, in.c_str(), s, W - 1, s, s, W - 1);
+    emit(out, "  wire_delay \"S%d RAM OUT<0:%d>\" 0:0;\n", s, W - 1);
+
+    // ALU over mux outputs.
+    emit(out,
+         "  use ALU_10181 [SIZE=%d] (\"S%d MX0<0:%d>\", \"S%d MX1<0:%d>\", "
+         "\"S%d ALU OUT<0:%d>\", \"S%d PAR\", \"S%d COUT\");\n",
+         W, s, W - 1, s, W - 1, s, W - 1, s, s);
+
+    // Result combine; wire zeroed (de-skewed net).
+    emit(out,
+         "  or [delay=1.0:3.0, width=%d] (\"S%d ALU OUT<0:%d>\", \"S%d RAM OUT<0:%d>\") -> "
+         "\"S%d RESULT<0:%d>\";\n",
+         W, s, W - 1, s, W - 1, s, W - 1);
+    emit(out, "  wire_delay \"S%d RESULT<0:%d>\" 0:0;\n", s, W - 1);
+
+    // Status latch sampling the stage bus mid-cycle.
+    emit(out, "  use LATCH_10133 [SIZE=12] (\"%s\", \"MCLK .P5-6\", \"S%d STATUS<0:11>\");\n",
+         in.c_str(), s);
+
+    // Stage output registers: the bus and four control-pipeline bits.
+    emit(out, "  use REG_10176 [SIZE=%d] (\"S%d RESULT<0:%d>\", \"MCLK .P8-9\", \"%s\");\n",
+         W, s, W - 1, in_bus(p, s + 1).c_str());
+    for (int k = 0; k < 4; ++k) {
+      emit(out, "  use REG_10176 [SIZE=1] (\"S%d CDEC%d\", \"MCLK .P8-9\", \"%s\");\n", s,
+           k + 2, cpipe(s + 1, k).c_str());
+    }
+    out += "\n";
+  }
+
+  // Clock distribution tree (timing refers to the buffer outputs via "&Z").
+  if (include_clock_tree) {
+    for (int i = 0; i < p.clock_tree_bufs; ++i) {
+      emit(out, "  buf (\"MCLK .P0-1 &Z\") -> \"CLK TREE %d\";\n", i);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+hdl::ElaboratedDesign build_s1_design(const S1Params& p) {
+  return hdl::elaborate(hdl::parse(generate_s1_shdl(p)));
+}
+
+}  // namespace tv::gen

@@ -1,0 +1,57 @@
+// Synthetic S-1 Mark IIA-scale design generator (thesis sec. 3.3).
+//
+// The thesis evaluates the Timing Verifier on a 6357-chip portion of the
+// S-1 Mark IIA processor: ~97 709 gate equivalents, 8282 primitives after
+// vectorized macro expansion (1.3 primitives/chip, mean width 6.5 bits),
+// 22 primitive types, 33 152 signal value lists averaging 2.97 value
+// records, 20 052 events processed. The real schematics are unavailable, so
+// this generator synthesizes a deeply pipelined design of the same shape:
+// per pipeline stage it instantiates the worked-example chip macros
+// (register file, edge-triggered registers, 2-input multiplexers with
+// select-delay buffers, a CHG-modeled ALU, a latch) plus control-decode
+// gate chains, gated clocks with "&H" hazard checks, and registered control
+// pipelines -- mirroring Fig 3-12's "typical arithmetic circuit".
+//
+// Timing is engineered to be clean (the thesis measured a mature design):
+// stage registers clock at unit 8, control inputs carry ".S1-8" assertions
+// (register-output-like: changing only early in the cycle), the register
+// file writes at units 4-5, and the latch samples at units 5-6.
+//
+// The generator emits SHDL source text so that benchmarks exercise the full
+// pipeline: reading input (parse), macro expansion pass 1 (summary), pass 2
+// (netlist emission), and verification -- the same phase structure as
+// Table 3-1.
+#pragma once
+
+#include <string>
+
+#include "hdl/elaborate.hpp"
+
+namespace tv::gen {
+
+struct S1Params {
+  int stages = 93;          // pipeline depth; 93 stages + tree = 6357 chips
+  int clock_tree_bufs = 33; // top-level clock distribution buffers
+  int bus_width = 36;       // the S-1 word width
+  int chains_per_stage = 11;  // control-decode chains (4 gate chips each)
+  int muxes_per_stage = 8;    // operand-select mux chips
+};
+
+/// Number of chips (macro instances + top-level gate/buffer chips) the
+/// generated design will contain.
+std::size_t s1_chip_count(const S1Params& p);
+
+/// Emits the SHDL source for the synthetic design.
+std::string generate_s1_shdl(const S1Params& p = {});
+
+/// Emits one *section* of the design: stages [first_stage, first_stage +
+/// stage_count). Stage boundaries carry ".S1.2-8" assertions in their
+/// names, so each section verifies independently and the sections compose
+/// under the sec. 2.5.2 interface-consistency check (see bench_modular).
+std::string generate_s1_section_shdl(const S1Params& p, int first_stage, int stage_count,
+                                     bool include_clock_tree);
+
+/// Convenience: generate + parse + elaborate.
+hdl::ElaboratedDesign build_s1_design(const S1Params& p = {});
+
+}  // namespace tv::gen

@@ -1,0 +1,113 @@
+// Abstract syntax for SHDL (the textual SCALD stand-in of sec. 3.1).
+//
+// The grammar:
+//
+//   file        := (macro_def | design_def)*
+//   macro_def   := 'macro' NAME '(' [ids] ')' '{' stmt* '}'
+//   design_def  := 'design' NAME '{' stmt* '}'
+//   stmt        := 'period' NUM ';' | 'clock_unit' NUM ';'
+//                | 'default_wire' NUM ':' NUM ';'
+//                | 'precision_skew' NUM ':' NUM ';'  (signs included)
+//                | 'clock_skew' NUM ':' NUM ';'
+//                | 'param' ('in'|'out') STRING {',' STRING} ';'
+//                | 'wire_delay' STRING expr ':' expr ';'
+//                | 'case' STRING '{' (STRING '=' NUM ';')* '}'
+//                | 'use' NAME [attrs] pins ';'           -- macro instance
+//                | PRIM  [attrs] pins ['->' STRING] ';'  -- primitive
+//   pins        := '(' STRING {',' STRING} ')'
+//   attrs       := '[' NAME '=' expr [':' expr] {',' ...} ']'
+//   expr        := integer/real arithmetic over numbers and macro
+//                  parameters (+ - * /)
+//
+// Signal strings use the full SCALD name syntax: assertions, "-" complement,
+// "&" directive strings, "/M" local and "/P" parameter scope markers, and
+// "<a:b>" vector ranges whose bounds may be parameter expressions
+// ("I<0:SIZE-1>").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tv::hdl {
+
+/// Arithmetic expression over numbers and named macro parameters.
+struct Expr {
+  enum class Op { Const, Param, Add, Sub, Mul, Div, Neg };
+  Op op = Op::Const;
+  double value = 0;          // Const
+  std::string param;         // Param
+  std::unique_ptr<Expr> lhs, rhs;
+
+  double eval(const std::map<std::string, double>& env, int line) const;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Attr {
+  std::string name;
+  ExprPtr lo;            // single value or range low
+  ExprPtr hi;            // range high (null for single values)
+  int line = 0;
+};
+
+struct Instance {
+  std::string kind;                 // primitive name or macro name (for 'use')
+  bool is_macro = false;
+  std::vector<Attr> attrs;
+  std::vector<std::string> pins;    // signal strings, inputs in order
+  std::string output;               // "-> STRING" (empty for checkers/macros)
+  int line = 0;
+};
+
+struct ParamDecl {
+  bool is_output = false;
+  std::vector<std::string> names;   // full signal strings, e.g. "I<0:SIZE-1>"
+};
+
+struct WireDelayDecl {
+  std::string signal;
+  ExprPtr dmin, dmax;
+  int line = 0;
+};
+
+/// "synonym \"A\" = \"B\";" -- two names for one signal (Pass 1).
+struct SynonymDecl {
+  std::string a, b;
+  int line = 0;
+};
+
+struct CaseDecl {
+  std::string name;
+  std::vector<std::pair<std::string, int>> pins;  // signal -> 0/1
+};
+
+struct Body {
+  std::vector<ParamDecl> params;
+  std::vector<Instance> instances;
+  std::vector<WireDelayDecl> wire_delays;
+  std::vector<SynonymDecl> synonyms;
+  std::vector<CaseDecl> cases;
+  // design-level settings (ns); negative period means "not set"
+  double period_ns = -1;
+  double clock_unit_ns = -1;
+  double wire_min_ns = -1, wire_max_ns = -1;
+  double precision_skew[2] = {1, -1};  // invalid marker (min > max)
+  double clock_skew[2] = {1, -1};
+};
+
+struct MacroDef {
+  std::string name;
+  std::vector<std::string> formals;  // numeric parameters (SIZE, ...)
+  Body body;
+  int line = 0;
+};
+
+struct File {
+  std::map<std::string, MacroDef> macros;
+  std::string design_name;
+  Body design;
+  bool has_design = false;
+};
+
+}  // namespace tv::hdl

@@ -1,0 +1,535 @@
+#include "hdl/elaborate.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "hdl/parser.hpp"
+#include "util/strings.hpp"
+
+namespace tv::hdl {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& why) {
+  throw std::invalid_argument("SHDL elaboration error at line " + std::to_string(line) + ": " +
+                              why);
+}
+
+// --- tiny arithmetic evaluator for "<0:SIZE-1>" range texts ----------------
+
+class RangeExpr {
+ public:
+  RangeExpr(std::string_view s, const std::map<std::string, double>& env, int line)
+      : s_(s), env_(env), line_(line) {}
+
+  double eval() {
+    double v = sum();
+    skip_ws();
+    if (pos_ != s_.size()) fail(line_, "bad range expression \"" + std::string(s_) + "\"");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  double sum() {
+    double v = product();
+    while (peek() == '+' || peek() == '-') {
+      char op = s_[pos_++];
+      double r = product();
+      v = op == '+' ? v + r : v - r;
+    }
+    return v;
+  }
+  double product() {
+    double v = atom();
+    while (peek() == '*' || peek() == '/') {
+      char op = s_[pos_++];
+      double r = atom();
+      v = op == '*' ? v * r : v / r;
+    }
+    return v;
+  }
+  double atom() {
+    char c = peek();
+    if (c == '(') {
+      ++pos_;
+      double v = sum();
+      if (peek() != ')') fail(line_, "missing ')' in range expression");
+      ++pos_;
+      return v;
+    }
+    if (c == '-') {
+      ++pos_;
+      return -atom();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.')) {
+        ++pos_;
+      }
+      return std::stod(std::string(s_.substr(start, pos_ - start)));
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string name(s_.substr(start, pos_ - start));
+      auto it = env_.find(name);
+      if (it == env_.end()) fail(line_, "unknown parameter \"" + name + "\" in range");
+      return it->second;
+    }
+    fail(line_, "bad range expression \"" + std::string(s_) + "\"");
+  }
+
+  std::string_view s_;
+  const std::map<std::string, double>& env_;
+  int line_;
+  std::size_t pos_ = 0;
+};
+
+// --- signal-string decomposition and substitution ---------------------------
+
+struct SigText {
+  bool complement = false;
+  std::string head;        // name before any "<range>"
+  std::string range;       // text inside "<...>", empty if none
+  std::string assertion;   // ".S0-6" etc. including the dot, no leading space
+  std::string scope;       // "/M", "/P" or ""
+  std::string directives;  // "&HZ" etc. including the '&'
+};
+
+SigText decompose(std::string_view s, int line) {
+  SigText t;
+  std::string_view rest = trim(s);
+  if (!rest.empty() && rest[0] == '-' &&
+      (rest.size() == 1 || rest[1] == ' ' ||
+       std::isalpha(static_cast<unsigned char>(rest[1])))) {
+    t.complement = true;
+    rest = trim(rest.substr(1));
+  }
+  if (std::size_t amp = rest.rfind('&'); amp != std::string_view::npos) {
+    t.directives = std::string(trim(rest.substr(amp)));
+    rest = trim(rest.substr(0, amp));
+  }
+  if (rest.size() >= 2 && rest[rest.size() - 2] == '/') {
+    char m = static_cast<char>(std::toupper(static_cast<unsigned char>(rest.back())));
+    if (m == 'M' || m == 'P') {
+      t.scope = std::string("/") + m;
+      rest = trim(rest.substr(0, rest.size() - 2));
+    }
+  }
+  // Assertion: " .P/.C/.S" token (same boundary rule as parse_signal_name).
+  for (std::size_t i = 0; i + 1 < rest.size(); ++i) {
+    if (rest[i] != '.') continue;
+    if (i > 0 && rest[i - 1] != ' ') continue;
+    char k = static_cast<char>(std::toupper(static_cast<unsigned char>(rest[i + 1])));
+    if (k != 'P' && k != 'C' && k != 'S') continue;
+    char next = (i + 2 < rest.size()) ? rest[i + 2] : ' ';
+    if (next == ' ' || std::isdigit(static_cast<unsigned char>(next)) || next == '.') {
+      t.assertion = std::string(trim(rest.substr(i)));
+      rest = trim(rest.substr(0, i));
+      break;
+    }
+  }
+  // Vector range.
+  if (std::size_t lt = rest.find('<'); lt != std::string_view::npos) {
+    std::size_t gt = rest.rfind('>');
+    if (gt == std::string_view::npos || gt < lt) fail(line, "unterminated vector range");
+    t.range = std::string(rest.substr(lt + 1, gt - lt - 1));
+    t.head = std::string(trim(rest.substr(0, lt)));
+  } else {
+    t.head = std::string(rest);
+  }
+  return t;
+}
+
+struct Resolved {
+  std::string text;  // full signal reference, ready for Netlist::ref
+  int width = 1;
+};
+
+// Environment of one macro instantiation.
+struct Scope {
+  std::map<std::string, double> env;           // numeric parameters
+  std::map<std::string, Resolved> signal_map;  // formal base -> actual
+  std::string path;                            // instance path for "/M" locals
+};
+
+Resolved resolve_signal(const std::string& raw, const Scope& scope, int line) {
+  SigText t = decompose(raw, line);
+
+  int width = 1;
+  std::string range_text;
+  if (!t.range.empty()) {
+    auto colon = t.range.find(':');
+    double lo, hi;
+    if (colon == std::string::npos) {
+      lo = hi = RangeExpr(t.range, scope.env, line).eval();
+    } else {
+      lo = RangeExpr(std::string_view(t.range).substr(0, colon), scope.env, line).eval();
+      hi = RangeExpr(std::string_view(t.range).substr(colon + 1), scope.env, line).eval();
+    }
+    width = static_cast<int>(std::llround(std::abs(hi - lo))) + 1;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "<%lld:%lld>", static_cast<long long>(std::llround(lo)),
+                  static_cast<long long>(std::llround(hi)));
+    range_text = buf;
+  }
+
+  auto it = scope.signal_map.find(t.head);
+  if (it != scope.signal_map.end()) {
+    // Formal parameter: splice in the actual connection text; the actual's
+    // own assertion wins, complements compose, directives concatenate.
+    SigText a = decompose(it->second.text, line);
+    Resolved r;
+    r.width = std::max(width, it->second.width);
+    bool comp = t.complement ^ a.complement;
+    std::string text = a.head;
+    if (!a.range.empty()) text += "<" + a.range + ">";
+    if (!a.assertion.empty()) {
+      text += " " + a.assertion;
+    } else if (!t.assertion.empty()) {
+      text += " " + t.assertion;
+    }
+    if (!a.scope.empty()) text += " " + a.scope;
+    std::string dirs = t.directives.empty() ? a.directives : t.directives;
+    if (!dirs.empty()) text += " " + dirs;
+    r.text = comp ? "- " + text : text;
+    return r;
+  }
+  if (t.scope == "/P") {
+    fail(line, "\"" + raw + "\" is marked /P but is not a declared parameter");
+  }
+
+  // Global (unmarked) or instance-local ("/M") signal.
+  Resolved r;
+  r.width = width;
+  std::string name = t.head;
+  if (t.scope == "/M" && !scope.path.empty()) name = scope.path + "/" + name;
+  std::string text = name + range_text;
+  if (!t.assertion.empty()) text += " " + t.assertion;
+  if (!t.scope.empty()) text += " " + t.scope;
+  if (!t.directives.empty()) text += " " + t.directives;
+  r.text = t.complement ? "- " + text : text;
+  return r;
+}
+
+// --- expansion walk ---------------------------------------------------------
+
+struct ExpandCtx {
+  const File& file;
+  Netlist* nl = nullptr;  // null during pass 1
+  ExpandSummary sum;
+  std::set<std::string> signal_names;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, int>>>> raw_cases;
+  std::vector<std::pair<Resolved, std::pair<Time, Time>>> wire_delays;
+  std::vector<std::pair<Resolved, Resolved>> synonyms;
+  std::size_t inst_counter = 0;
+  int depth = 0;
+};
+
+double attr_value(const Instance& inst, const char* name, const Scope& scope, double dflt,
+                  bool* found = nullptr, double* hi = nullptr) {
+  for (const Attr& a : inst.attrs) {
+    if (a.name == name) {
+      if (found) *found = true;
+      double lo = a.lo->eval(scope.env, a.line);
+      if (hi) *hi = a.hi ? a.hi->eval(scope.env, a.line) : lo;
+      return lo;
+    }
+  }
+  if (found) *found = false;
+  if (hi) *hi = dflt;
+  return dflt;
+}
+
+void note_signal(ExpandCtx& ctx, const Resolved& r) {
+  ParsedSignal p = parse_signal_name(r.text);
+  ctx.signal_names.insert(p.full_name);
+}
+
+Ref make_ref(ExpandCtx& ctx, const Resolved& r) { return ctx.nl->ref(r.text, r.width); }
+
+void build_primitive(ExpandCtx& ctx, const Instance& inst, const Scope& scope,
+                     const std::vector<Resolved>& pins, const Resolved* out,
+                     const std::string& name) {
+  const std::string& k = inst.kind;
+  double dmax_ns = 0;
+  double dmin_ns = attr_value(inst, "delay", scope, 0, nullptr, &dmax_ns);
+  Time dmin = from_ns(dmin_ns), dmax = from_ns(dmax_ns);
+  int width = static_cast<int>(attr_value(inst, "width", scope, 1));
+
+  auto need = [&](std::size_t n) {
+    if (pins.size() != n) {
+      fail(inst.line, "\"" + k + "\" needs " + std::to_string(n) + " inputs, got " +
+                          std::to_string(pins.size()));
+    }
+  };
+  auto need_out = [&]() -> Ref {
+    if (!out) fail(inst.line, "\"" + k + "\" needs an output ('-> \"SIG\"')");
+    return make_ref(ctx, *out);
+  };
+  auto refs = [&](std::size_t from, std::size_t to) {
+    std::vector<Ref> v;
+    for (std::size_t i = from; i < to; ++i) v.push_back(make_ref(ctx, pins[i]));
+    return v;
+  };
+
+  Netlist& nl = *ctx.nl;
+  PrimId made = kNoPrim;
+  if (k == "buf" || k == "wire") {
+    need(1);
+    made = nl.buf(name, dmin, dmax, make_ref(ctx, pins[0]), need_out(), width);
+  } else if (k == "not") {
+    need(1);
+    made = nl.not_gate(name, dmin, dmax, make_ref(ctx, pins[0]), need_out(), width);
+  } else if (k == "or" || k == "and" || k == "xor" || k == "chg") {
+    if (pins.empty()) fail(inst.line, "\"" + k + "\" needs at least one input");
+    PrimKind kind = k == "or"    ? PrimKind::Or
+                    : k == "and" ? PrimKind::And
+                    : k == "xor" ? PrimKind::Xor
+                                 : PrimKind::Chg;
+    made = nl.gate(kind, name, dmin, dmax, refs(0, pins.size()), need_out(), width);
+  } else if (k == "mux2") {
+    need(3);
+    made = nl.mux2(name, dmin, dmax, make_ref(ctx, pins[0]), make_ref(ctx, pins[1]),
+            make_ref(ctx, pins[2]), need_out(), width);
+  } else if (k == "mux4") {
+    need(6);
+    made = nl.mux4(name, dmin, dmax, make_ref(ctx, pins[0]), make_ref(ctx, pins[1]), refs(2, 6),
+            need_out(), width);
+  } else if (k == "mux8") {
+    need(11);
+    made = nl.mux8(name, dmin, dmax, make_ref(ctx, pins[0]), make_ref(ctx, pins[1]),
+            make_ref(ctx, pins[2]), refs(3, 11), need_out(), width);
+  } else if (k == "reg") {
+    need(2);
+    nl.reg(name, dmin, dmax, make_ref(ctx, pins[0]), make_ref(ctx, pins[1]), need_out(), width);
+  } else if (k == "reg_sr") {
+    need(4);
+    nl.reg_sr(name, dmin, dmax, make_ref(ctx, pins[0]), make_ref(ctx, pins[1]),
+              make_ref(ctx, pins[2]), make_ref(ctx, pins[3]), need_out(), width);
+  } else if (k == "latch") {
+    need(2);
+    nl.latch(name, dmin, dmax, make_ref(ctx, pins[0]), make_ref(ctx, pins[1]), need_out(),
+             width);
+  } else if (k == "latch_sr") {
+    need(4);
+    nl.latch_sr(name, dmin, dmax, make_ref(ctx, pins[0]), make_ref(ctx, pins[1]),
+                make_ref(ctx, pins[2]), make_ref(ctx, pins[3]), need_out(), width);
+  } else if (k == "setup_hold") {
+    need(2);
+    nl.setup_hold_chk(name, from_ns(attr_value(inst, "setup", scope, 0)),
+                      from_ns(attr_value(inst, "hold", scope, 0)), make_ref(ctx, pins[0]),
+                      make_ref(ctx, pins[1]), width);
+  } else if (k == "setup_rise_hold_fall") {
+    need(2);
+    nl.setup_rise_hold_fall_chk(name, from_ns(attr_value(inst, "setup", scope, 0)),
+                                from_ns(attr_value(inst, "hold", scope, 0)),
+                                make_ref(ctx, pins[0]), make_ref(ctx, pins[1]), width);
+  } else if (k == "min_pulse_width") {
+    need(1);
+    nl.min_pulse_width_chk(name, from_ns(attr_value(inst, "min_high", scope, 0)),
+                           from_ns(attr_value(inst, "min_low", scope, 0)),
+                           make_ref(ctx, pins[0]));
+  } else {
+    fail(inst.line, "unknown primitive \"" + k + "\" (and no such macro)");
+  }
+
+  // Optional polarity-dependent delays (sec. 4.2.2 extension):
+  // [rise=min:max, fall=min:max] on any combinational primitive.
+  bool has_rise = false, has_fall = false;
+  double rise_hi = 0, fall_hi = 0;
+  double rise_lo = attr_value(inst, "rise", scope, 0, &has_rise, &rise_hi);
+  double fall_lo = attr_value(inst, "fall", scope, 0, &has_fall, &fall_hi);
+  if (has_rise != has_fall) {
+    fail(inst.line, "\"" + k + "\": rise and fall delays must be given together");
+  }
+  if (has_rise && made != kNoPrim) {
+    nl.set_rise_fall(made, RiseFallDelay{from_ns(rise_lo), from_ns(rise_hi), from_ns(fall_lo),
+                                         from_ns(fall_hi)});
+  }
+}
+
+std::string prim_stat_kind(const std::string& k, int width) {
+  return k + (width > 1 ? "" : "");
+}
+
+void expand_body(ExpandCtx& ctx, const Body& body, const Scope& scope);
+
+void expand_instance(ExpandCtx& ctx, const Instance& inst, const Scope& scope) {
+  std::vector<Resolved> pins;
+  pins.reserve(inst.pins.size());
+  for (const std::string& p : inst.pins) pins.push_back(resolve_signal(p, scope, inst.line));
+
+  if (inst.is_macro || ctx.file.macros.count(inst.kind)) {
+    auto it = ctx.file.macros.find(inst.kind);
+    if (it == ctx.file.macros.end()) fail(inst.line, "unknown macro \"" + inst.kind + "\"");
+    const MacroDef& def = it->second;
+    if (ctx.depth > 64) fail(inst.line, "macro recursion too deep (cycle?)");
+
+    Scope inner;
+    inner.path =
+        (scope.path.empty() ? "" : scope.path + "/") + inst.kind + "#" +
+        std::to_string(ctx.inst_counter++);
+    // Numeric parameters from attributes.
+    for (const std::string& formal : def.formals) {
+      bool found = false;
+      double v = attr_value(inst, formal.c_str(), scope, 0, &found);
+      if (!found) fail(inst.line, "macro \"" + def.name + "\": parameter " + formal + " not given");
+      inner.env[formal] = v;
+    }
+    // Signal parameters: declaration order (ins and outs as declared) maps
+    // positionally to the instance pins.
+    std::vector<std::pair<std::string, int>> formals;  // base name, decl width
+    for (const ParamDecl& d : def.body.params) {
+      for (const std::string& n : d.names) {
+        SigText t = decompose(n, def.line);
+        int w = 1;
+        if (!t.range.empty()) {
+          auto colon = t.range.find(':');
+          if (colon == std::string::npos) {
+            w = 1;
+          } else {
+            double lo =
+                RangeExpr(std::string_view(t.range).substr(0, colon), inner.env, def.line).eval();
+            double hi = RangeExpr(std::string_view(t.range).substr(colon + 1), inner.env,
+                                  def.line)
+                            .eval();
+            w = static_cast<int>(std::llround(std::abs(hi - lo))) + 1;
+          }
+        }
+        formals.emplace_back(t.head, w);
+      }
+    }
+    if (formals.size() != pins.size()) {
+      fail(inst.line, "macro \"" + def.name + "\" declares " + std::to_string(formals.size()) +
+                          " parameters but " + std::to_string(pins.size()) + " were connected");
+    }
+    for (std::size_t i = 0; i < formals.size(); ++i) {
+      Resolved actual = pins[i];
+      actual.width = std::max(actual.width, formals[i].second);
+      inner.signal_map.emplace(formals[i].first, std::move(actual));
+    }
+    ++ctx.sum.macro_instances;
+    ++ctx.depth;
+    expand_body(ctx, def.body, inner);
+    --ctx.depth;
+    return;
+  }
+
+  // Primitive instance.
+  ++ctx.sum.primitives;
+  int width = static_cast<int>(attr_value(inst, "width", scope, 1));
+  ctx.sum.total_bits += static_cast<std::size_t>(width);
+  ++ctx.sum.prims_by_kind[prim_stat_kind(inst.kind, width)];
+  for (const Resolved& r : pins) note_signal(ctx, r);
+  Resolved out;
+  bool has_out = !inst.output.empty();
+  if (has_out) {
+    out = resolve_signal(inst.output, scope, inst.line);
+    note_signal(ctx, out);
+  }
+  if (ctx.nl) {
+    std::string name = (scope.path.empty() ? "" : scope.path + "/") + inst.kind + "#" +
+                       std::to_string(ctx.inst_counter++);
+    build_primitive(ctx, inst, scope, pins, has_out ? &out : nullptr, name);
+  }
+}
+
+void expand_body(ExpandCtx& ctx, const Body& body, const Scope& scope) {
+  for (const Instance& inst : body.instances) expand_instance(ctx, inst, scope);
+  for (const WireDelayDecl& d : body.wire_delays) {
+    Resolved r = resolve_signal(d.signal, scope, d.line);
+    note_signal(ctx, r);
+    Time lo = from_ns(d.dmin->eval(scope.env, d.line));
+    Time hi = from_ns(d.dmax->eval(scope.env, d.line));
+    ctx.wire_delays.emplace_back(std::move(r), std::make_pair(lo, hi));
+  }
+  for (const SynonymDecl& d : body.synonyms) {
+    ctx.synonyms.emplace_back(resolve_signal(d.a, scope, d.line),
+                              resolve_signal(d.b, scope, d.line));
+  }
+  for (const CaseDecl& c : body.cases) {
+    std::vector<std::pair<std::string, int>> pins;
+    for (const auto& [sig, val] : c.pins) {
+      pins.emplace_back(resolve_signal(sig, scope, 0).text, val);
+    }
+    ctx.raw_cases.emplace_back(c.name, std::move(pins));
+  }
+}
+
+ExpandCtx run_expansion(const File& file, Netlist* nl) {
+  if (!file.has_design) throw std::invalid_argument("SHDL file has no design block");
+  ExpandCtx ctx{file, nl, {}, {}, {}, {}, {}, 0, 0};
+  Scope top;
+  expand_body(ctx, file.design, top);
+  ctx.sum.unique_signals = ctx.signal_names.size();
+  return ctx;
+}
+
+}  // namespace
+
+ExpandSummary expand_summary(const File& file) { return run_expansion(file, nullptr).sum; }
+
+ElaboratedDesign elaborate(const File& file) {
+  ElaboratedDesign out;
+  out.name = file.design_name;
+
+  ExpandCtx ctx = run_expansion(file, &out.netlist);
+  out.summary = ctx.sum;
+
+  const Body& d = file.design;
+  if (d.period_ns <= 0) throw std::invalid_argument("design must specify a positive period");
+  out.options.period = from_ns(d.period_ns);
+  out.options.units = ClockUnits::from_ns_per_unit(d.clock_unit_ns > 0 ? d.clock_unit_ns : 1.0);
+  if (d.wire_min_ns >= 0) {
+    out.options.default_wire = WireDelay{from_ns(d.wire_min_ns), from_ns(d.wire_max_ns)};
+  }
+  if (d.precision_skew[0] <= d.precision_skew[1]) {
+    out.options.assertion_defaults.precision_skew_minus_ns = d.precision_skew[0];
+    out.options.assertion_defaults.precision_skew_plus_ns = d.precision_skew[1];
+  }
+  if (d.clock_skew[0] <= d.clock_skew[1]) {
+    out.options.assertion_defaults.clock_skew_minus_ns = d.clock_skew[0];
+    out.options.assertion_defaults.clock_skew_plus_ns = d.clock_skew[1];
+  }
+
+  for (const auto& [a, b] : ctx.synonyms) {
+    Ref ra = out.netlist.ref(a.text, a.width);
+    Ref rb = out.netlist.ref(b.text, b.width);
+    out.netlist.merge_signals(ra.id, rb.id);
+  }
+  for (const auto& [resolved, range] : ctx.wire_delays) {
+    Ref r = out.netlist.ref(resolved.text, resolved.width);
+    out.netlist.set_wire_delay(r.id, range.first, range.second);
+  }
+  for (const auto& [name, pins] : ctx.raw_cases) {
+    CaseSpec spec;
+    spec.name = name;
+    for (const auto& [sig, val] : pins) {
+      Ref r = out.netlist.ref(sig);
+      spec.pins.emplace_back(r.id, val ? Value::One : Value::Zero);
+    }
+    out.cases.push_back(std::move(spec));
+  }
+  out.netlist.finalize();
+  return out;
+}
+
+ElaboratedDesign elaborate_source(std::string_view src) {
+  return elaborate(parse(src));
+}
+
+}  // namespace tv::hdl

@@ -1,0 +1,122 @@
+#include "hdl/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace tv::hdl {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& why) {
+  throw std::invalid_argument("SHDL lex error at line " + std::to_string(line) + ": " + why);
+}
+}  // namespace
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::String: return "string";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Equal: return "'='";
+    case Tok::Arrow: return "'->'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  auto push = [&](Tok k, std::string text = {}) {
+    out.push_back(Token{k, std::move(text), 0, line});
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '-') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      push(Tok::Arrow);
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t start = ++i;
+      while (i < src.size() && src[i] != '"' && src[i] != '\n') ++i;
+      if (i >= src.size() || src[i] != '"') fail(line, "unterminated string");
+      push(Tok::String, std::string(src.substr(start, i - start)));
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) || src[i] == '.')) {
+        ++i;
+      }
+      Token t;
+      t.kind = Tok::Number;
+      t.text = std::string(src.substr(start, i - start));
+      t.number = std::stod(t.text);
+      t.line = line;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        ++i;
+      }
+      push(Tok::Ident, std::string(src.substr(start, i - start)));
+      continue;
+    }
+    switch (c) {
+      case '{': push(Tok::LBrace); break;
+      case '}': push(Tok::RBrace); break;
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case '[': push(Tok::LBracket); break;
+      case ']': push(Tok::RBracket); break;
+      case ',': push(Tok::Comma); break;
+      case ';': push(Tok::Semi); break;
+      case ':': push(Tok::Colon); break;
+      case '=': push(Tok::Equal); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      default: fail(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  push(Tok::End);
+  return out;
+}
+
+}  // namespace tv::hdl

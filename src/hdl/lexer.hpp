@@ -1,0 +1,39 @@
+// Lexer for the SHDL hardware description language -- a textual stand-in
+// for the graphics-based SCALD Hardware Description Language (thesis
+// sec. 3.1). Signal names (which contain spaces, assertions, directives and
+// scope markers) are written as double-quoted strings; everything else is a
+// conventional identifier/number/punctuation token stream. Comments run
+// from "--" to end of line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tv::hdl {
+
+enum class Tok : std::uint8_t {
+  Ident,    // macro, design, period, reg, SIZE, ...
+  Number,   // 50.0, 2, -1.0
+  String,   // "W DATA .S0-6"
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Comma, Semi, Colon, Equal, Arrow,  // ->
+  Plus, Minus, Star, Slash,
+  End
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;   // identifier/string contents, number spelling
+  double number = 0;  // valid when kind == Number
+  int line = 0;
+};
+
+/// Tokenizes the whole input. Throws std::invalid_argument (with a line
+/// number) on unterminated strings or unexpected characters.
+std::vector<Token> lex(std::string_view src);
+
+std::string_view tok_name(Tok t);
+
+}  // namespace tv::hdl

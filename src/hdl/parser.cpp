@@ -1,0 +1,278 @@
+#include "hdl/parser.hpp"
+
+#include <stdexcept>
+
+#include "hdl/lexer.hpp"
+
+namespace tv::hdl {
+
+double Expr::eval(const std::map<std::string, double>& env, int line) const {
+  switch (op) {
+    case Op::Const: return value;
+    case Op::Param: {
+      auto it = env.find(param);
+      if (it == env.end()) {
+        throw std::invalid_argument("SHDL error at line " + std::to_string(line) +
+                                    ": unknown parameter \"" + param + "\"");
+      }
+      return it->second;
+    }
+    case Op::Add: return lhs->eval(env, line) + rhs->eval(env, line);
+    case Op::Sub: return lhs->eval(env, line) - rhs->eval(env, line);
+    case Op::Mul: return lhs->eval(env, line) * rhs->eval(env, line);
+    case Op::Div: return lhs->eval(env, line) / rhs->eval(env, line);
+    case Op::Neg: return -lhs->eval(env, line);
+  }
+  return 0;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  File parse_file() {
+    File f;
+    while (peek().kind != Tok::End) {
+      const Token& t = expect(Tok::Ident, "'macro' or 'design'");
+      if (t.text == "macro") {
+        MacroDef m = parse_macro();
+        if (f.macros.count(m.name)) fail(m.line, "duplicate macro \"" + m.name + "\"");
+        f.macros.emplace(m.name, std::move(m));
+      } else if (t.text == "design") {
+        if (f.has_design) fail(t.line, "multiple design blocks");
+        f.design_name = expect(Tok::Ident, "design name").text;
+        f.design = parse_body();
+        f.has_design = true;
+      } else {
+        fail(t.line, "expected 'macro' or 'design', got \"" + t.text + "\"");
+      }
+    }
+    return f;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(Tok k) {
+    if (peek().kind == k) {
+      take();
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok k, const char* what) {
+    if (peek().kind != k) {
+      fail(peek().line, std::string("expected ") + what + ", got " +
+                            std::string(tok_name(peek().kind)) +
+                            (peek().text.empty() ? "" : " \"" + peek().text + "\""));
+    }
+    return take();
+  }
+  [[noreturn]] static void fail(int line, const std::string& why) {
+    throw std::invalid_argument("SHDL parse error at line " + std::to_string(line) + ": " +
+                                why);
+  }
+
+  MacroDef parse_macro() {
+    MacroDef m;
+    m.line = peek().line;
+    m.name = expect(Tok::Ident, "macro name").text;
+    expect(Tok::LParen, "'('");
+    if (peek().kind == Tok::Ident) {
+      m.formals.push_back(take().text);
+      while (accept(Tok::Comma)) m.formals.push_back(expect(Tok::Ident, "parameter").text);
+    }
+    expect(Tok::RParen, "')'");
+    m.body = parse_body();
+    return m;
+  }
+
+  // expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* ;
+  // factor := NUMBER | IDENT | '-' factor | '(' expr ')'
+  ExprPtr parse_expr() {
+    ExprPtr e = parse_term();
+    while (peek().kind == Tok::Plus || peek().kind == Tok::Minus) {
+      bool add = take().kind == Tok::Plus;
+      auto n = std::make_unique<Expr>();
+      n->op = add ? Expr::Op::Add : Expr::Op::Sub;
+      n->lhs = std::move(e);
+      n->rhs = parse_term();
+      e = std::move(n);
+    }
+    return e;
+  }
+  ExprPtr parse_term() {
+    ExprPtr e = parse_factor();
+    while (peek().kind == Tok::Star || peek().kind == Tok::Slash) {
+      bool mul = take().kind == Tok::Star;
+      auto n = std::make_unique<Expr>();
+      n->op = mul ? Expr::Op::Mul : Expr::Op::Div;
+      n->lhs = std::move(e);
+      n->rhs = parse_factor();
+      e = std::move(n);
+    }
+    return e;
+  }
+  ExprPtr parse_factor() {
+    auto n = std::make_unique<Expr>();
+    if (accept(Tok::Minus)) {
+      n->op = Expr::Op::Neg;
+      n->lhs = parse_factor();
+      return n;
+    }
+    if (peek().kind == Tok::Number) {
+      n->op = Expr::Op::Const;
+      n->value = take().number;
+      return n;
+    }
+    if (peek().kind == Tok::Ident) {
+      n->op = Expr::Op::Param;
+      n->param = take().text;
+      return n;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr inner = parse_expr();
+      expect(Tok::RParen, "')'");
+      return inner;
+    }
+    fail(peek().line, "expected an expression");
+  }
+
+  double signed_number(const char* what) {
+    bool neg = accept(Tok::Minus);
+    double v = expect(Tok::Number, what).number;
+    return neg ? -v : v;
+  }
+
+  std::vector<Attr> parse_attrs() {
+    std::vector<Attr> attrs;
+    if (!accept(Tok::LBracket)) return attrs;
+    if (accept(Tok::RBracket)) return attrs;  // "[]": no attributes
+    do {
+      Attr a;
+      a.line = peek().line;
+      a.name = expect(Tok::Ident, "attribute name").text;
+      expect(Tok::Equal, "'='");
+      a.lo = parse_expr();
+      if (accept(Tok::Colon)) a.hi = parse_expr();
+      attrs.push_back(std::move(a));
+    } while (accept(Tok::Comma));
+    expect(Tok::RBracket, "']'");
+    return attrs;
+  }
+
+  std::vector<std::string> parse_pins() {
+    std::vector<std::string> pins;
+    expect(Tok::LParen, "'('");
+    if (peek().kind == Tok::String) {
+      pins.push_back(take().text);
+      while (accept(Tok::Comma)) pins.push_back(expect(Tok::String, "signal string").text);
+    }
+    expect(Tok::RParen, "')'");
+    return pins;
+  }
+
+  Body parse_body() {
+    Body b;
+    expect(Tok::LBrace, "'{'");
+    while (!accept(Tok::RBrace)) {
+      const Token& t = expect(Tok::Ident, "statement");
+      if (t.text == "period") {
+        b.period_ns = expect(Tok::Number, "period in ns").number;
+        expect(Tok::Semi, "';'");
+      } else if (t.text == "clock_unit") {
+        b.clock_unit_ns = expect(Tok::Number, "clock unit in ns").number;
+        expect(Tok::Semi, "';'");
+      } else if (t.text == "default_wire") {
+        b.wire_min_ns = expect(Tok::Number, "min wire delay").number;
+        expect(Tok::Colon, "':'");
+        b.wire_max_ns = expect(Tok::Number, "max wire delay").number;
+        expect(Tok::Semi, "';'");
+      } else if (t.text == "precision_skew" || t.text == "clock_skew") {
+        double* dst = t.text == "precision_skew" ? b.precision_skew : b.clock_skew;
+        dst[0] = signed_number("skew minus");
+        expect(Tok::Colon, "':'");
+        dst[1] = signed_number("skew plus");
+        expect(Tok::Semi, "';'");
+      } else if (t.text == "param") {
+        ParamDecl d;
+        const Token& dir = expect(Tok::Ident, "'in' or 'out'");
+        if (dir.text == "out") {
+          d.is_output = true;
+        } else if (dir.text != "in") {
+          fail(dir.line, "expected 'in' or 'out'");
+        }
+        d.names.push_back(expect(Tok::String, "parameter signal").text);
+        while (accept(Tok::Comma)) {
+          d.names.push_back(expect(Tok::String, "parameter signal").text);
+        }
+        expect(Tok::Semi, "';'");
+        b.params.push_back(std::move(d));
+      } else if (t.text == "synonym") {
+        SynonymDecl d;
+        d.line = t.line;
+        d.a = expect(Tok::String, "signal string").text;
+        expect(Tok::Equal, "'='");
+        d.b = expect(Tok::String, "signal string").text;
+        expect(Tok::Semi, "';'");
+        b.synonyms.push_back(std::move(d));
+      } else if (t.text == "wire_delay") {
+        WireDelayDecl d;
+        d.line = t.line;
+        d.signal = expect(Tok::String, "signal string").text;
+        d.dmin = parse_expr();
+        expect(Tok::Colon, "':'");
+        d.dmax = parse_expr();
+        expect(Tok::Semi, "';'");
+        b.wire_delays.push_back(std::move(d));
+      } else if (t.text == "case") {
+        CaseDecl c;
+        c.name = expect(Tok::String, "case name").text;
+        expect(Tok::LBrace, "'{'");
+        while (!accept(Tok::RBrace)) {
+          std::string sig = expect(Tok::String, "signal string").text;
+          expect(Tok::Equal, "'='");
+          double v = expect(Tok::Number, "0 or 1").number;
+          if (v != 0 && v != 1) fail(t.line, "case values must be 0 or 1");
+          expect(Tok::Semi, "';'");
+          c.pins.emplace_back(std::move(sig), static_cast<int>(v));
+        }
+        b.cases.push_back(std::move(c));
+      } else if (t.text == "use") {
+        Instance inst;
+        inst.is_macro = true;
+        inst.line = t.line;
+        inst.kind = expect(Tok::Ident, "macro name").text;
+        inst.attrs = parse_attrs();
+        inst.pins = parse_pins();
+        expect(Tok::Semi, "';'");
+        b.instances.push_back(std::move(inst));
+      } else {
+        // Primitive instance.
+        Instance inst;
+        inst.line = t.line;
+        inst.kind = t.text;
+        inst.attrs = parse_attrs();
+        inst.pins = parse_pins();
+        if (accept(Tok::Arrow)) inst.output = expect(Tok::String, "output signal").text;
+        expect(Tok::Semi, "';'");
+        b.instances.push_back(std::move(inst));
+      }
+    }
+    return b;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+File parse(std::string_view src) { return Parser(lex(src)).parse_file(); }
+
+}  // namespace tv::hdl

@@ -1,0 +1,14 @@
+// Recursive-descent parser for SHDL. See ast.hpp for the grammar.
+#pragma once
+
+#include <string_view>
+
+#include "hdl/ast.hpp"
+
+namespace tv::hdl {
+
+/// Parses a complete SHDL source file. Throws std::invalid_argument with
+/// line information on syntax errors.
+File parse(std::string_view src);
+
+}  // namespace tv::hdl

@@ -1,0 +1,124 @@
+#include "hdl/stdlib.hpp"
+
+#include <stdexcept>
+
+#include "hdl/parser.hpp"
+
+namespace tv::hdl {
+
+std::string_view std_chip_library() {
+  static const char* kLibrary = R"(
+-- Standard ECL-10K chip timing models (thesis chapter III data sheets).
+
+macro REG_10176(SIZE) {                -- edge-triggered register (Fig 3-7)
+  param in "I<0:SIZE-1>", "CK";
+  param out "Q<0:SIZE-1>";
+  reg [delay=1.5:4.5, width=SIZE] ("I<0:SIZE-1>", "CK") -> "Q<0:SIZE-1>";
+  setup_hold [setup=2.5, hold=1.5, width=SIZE] ("I<0:SIZE-1>", "CK");
+}
+
+macro REG_SR_10135(SIZE) {             -- register with async set/reset
+  param in "I<0:SIZE-1>", "CK", "SET", "RST";
+  param out "Q<0:SIZE-1>";
+  reg_sr [delay=1.5:4.5, width=SIZE] ("I<0:SIZE-1>", "CK", "SET", "RST")
+      -> "Q<0:SIZE-1>";
+  setup_hold [setup=2.5, hold=1.5, width=SIZE] ("I<0:SIZE-1>", "CK");
+  min_pulse_width [min_high=3.0] ("SET");
+  min_pulse_width [min_high=3.0] ("RST");
+}
+
+macro RAM_16W_10145A(SIZE) {           -- 16-word register file (Fig 3-5)
+  param in "I<0:SIZE-1>", "A<0:3>", "WE";
+  param out "DO<0:SIZE-1>";
+  setup_hold [setup=4.5, hold=-1.0, width=SIZE] ("I<0:SIZE-1>", "- WE");
+  setup_rise_hold_fall [setup=3.5, hold=1.0, width=4] ("A<0:3>", "WE");
+  min_pulse_width [min_high=4.0] ("WE");
+  chg [delay=3.0:6.0, width=SIZE] ("A<0:3>", "WE") -> "DO<0:SIZE-1>";
+}
+
+macro MUX2_10158(SIZE) {               -- 2-input mux, buffered select (Fig 3-6)
+  param in "SEL", "D0<0:SIZE-1>", "D1<0:SIZE-1>";
+  param out "Q<0:SIZE-1>";
+  buf [delay=0.3:1.2] ("SEL") -> "SELD /M";
+  wire_delay "SELD /M" 0:0;
+  mux2 [delay=1.2:3.3, width=SIZE] ("SELD /M", "D0<0:SIZE-1>", "D1<0:SIZE-1>")
+      -> "Q<0:SIZE-1>";
+}
+
+macro MUX8_10164(SIZE) {               -- 8-input mux
+  param in "S0", "S1", "S2",
+           "D0<0:SIZE-1>", "D1<0:SIZE-1>", "D2<0:SIZE-1>", "D3<0:SIZE-1>",
+           "D4<0:SIZE-1>", "D5<0:SIZE-1>", "D6<0:SIZE-1>", "D7<0:SIZE-1>";
+  param out "Q<0:SIZE-1>";
+  mux8 [delay=1.5:4.0, width=SIZE]
+      ("S0", "S1", "S2", "D0<0:SIZE-1>", "D1<0:SIZE-1>", "D2<0:SIZE-1>",
+       "D3<0:SIZE-1>", "D4<0:SIZE-1>", "D5<0:SIZE-1>", "D6<0:SIZE-1>",
+       "D7<0:SIZE-1>") -> "Q<0:SIZE-1>";
+}
+
+macro ALU_10181(SIZE) {                -- ALU with output latch (Fig 3-9)
+  param in "A<0:SIZE-1>", "B<0:SIZE-1>", "S<0:3>", "E";
+  param out "F<0:SIZE-1>";
+  chg [delay=3.0:6.0, width=SIZE] ("A<0:SIZE-1>", "B<0:SIZE-1>", "S<0:3>")
+      -> "ALU CORE /M";
+  latch [delay=1.0:3.5, width=SIZE] ("ALU CORE /M", "E") -> "F<0:SIZE-1>";
+  setup_rise_hold_fall [setup=2.5, hold=1.0, width=SIZE] ("ALU CORE /M", "E");
+}
+
+macro LATCH_10133(SIZE) {              -- transparent latch
+  param in "D<0:SIZE-1>", "EN";
+  param out "Q<0:SIZE-1>";
+  latch [delay=1.0:3.5, width=SIZE] ("D<0:SIZE-1>", "EN") -> "Q<0:SIZE-1>";
+  setup_rise_hold_fall [setup=2.5, hold=1.0, width=SIZE] ("D<0:SIZE-1>", "EN");
+}
+
+macro PARITY_10160(SIZE) {             -- parity tree, CHG-modeled (sec. 2.4.2)
+  param in "I<0:SIZE-1>";
+  param out "P";
+  chg [delay=2.7:5.6, width=1] ("I<0:SIZE-1>") -> "P";
+}
+
+macro OR2_10102() {                    -- 2-input OR gate chip (Fig 3-8)
+  param in "A", "B";
+  param out "Q";
+  or [delay=1.0:2.9] ("A", "B") -> "Q";
+}
+
+macro AND2_10104() {
+  param in "A", "B";
+  param out "Q";
+  and [delay=1.0:2.9] ("A", "B") -> "Q";
+}
+
+macro XOR2_10107() {
+  param in "A", "B";
+  param out "Q";
+  xor [delay=1.1:3.3] ("A", "B") -> "Q";
+}
+)";
+  return kLibrary;
+}
+
+ElaboratedDesign elaborate_sources(const std::vector<std::string_view>& sources) {
+  File merged;
+  for (std::string_view src : sources) {
+    File f = parse(src);
+    for (auto& [name, def] : f.macros) {
+      if (merged.macros.count(name)) {
+        throw std::invalid_argument("duplicate macro \"" + name + "\" across sources");
+      }
+      merged.macros.emplace(name, std::move(def));
+    }
+    if (f.has_design) {
+      if (merged.has_design) {
+        throw std::invalid_argument("multiple design blocks across sources");
+      }
+      merged.has_design = true;
+      merged.design_name = std::move(f.design_name);
+      merged.design = std::move(f.design);
+    }
+  }
+  return elaborate(merged);
+}
+
+}  // namespace tv::hdl

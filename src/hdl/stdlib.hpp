@@ -1,0 +1,35 @@
+// The standard chip-macro library: SHDL timing models of the MSI ECL-10K
+// parts the thesis builds its examples from (chapter III's data sheets),
+// ready to `use` from any design.
+//
+//   REG_10176(SIZE)       edge-triggered register  (Fig 3-7)
+//   REG_SR_10135(SIZE)    register with async set/reset
+//   RAM_16W_10145A(SIZE)  16-word register file    (Figs 3-1..3-5)
+//   MUX2_10158(SIZE)      2-input mux w/ select buffer (Fig 3-6)
+//   MUX8_10164(SIZE)      8-input mux
+//   ALU_10181(SIZE)       ALU with output latch    (Fig 3-9)
+//   LATCH_10133(SIZE)     transparent latch
+//   PARITY_10160(SIZE)    parity tree (CHG-modeled)
+//   OR2_10102 / AND2_10104 / XOR2_10107  gate chips
+//
+// Usage:
+//   hdl::ElaboratedDesign d =
+//       hdl::elaborate_sources({hdl::std_chip_library(), my_design_src});
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "hdl/elaborate.hpp"
+
+namespace tv::hdl {
+
+/// The SHDL source of the standard chip library (macros only, no design).
+std::string_view std_chip_library();
+
+/// Parses several SHDL sources and merges them: macros accumulate across
+/// sources (duplicates are an error), and exactly one source must contain
+/// the design block. Then elaborates as usual.
+ElaboratedDesign elaborate_sources(const std::vector<std::string_view>& sources);
+
+}  // namespace tv::hdl

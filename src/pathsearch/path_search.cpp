@@ -1,0 +1,125 @@
+#include "pathsearch/path_search.hpp"
+
+#include <algorithm>
+
+namespace tv::pathsearch {
+
+namespace {
+
+bool is_clocked(PrimKind k) {
+  return k == PrimKind::Reg || k == PrimKind::RegSR || k == PrimKind::Latch ||
+         k == PrimKind::LatchSR;
+}
+
+}  // namespace
+
+std::string PathReport::to_string(const Netlist& nl) const {
+  std::string s = nl.signal(from).full_name + " -> " + nl.signal(to).full_name + " [" +
+                  format_ns(min_delay) + ", " + format_ns(max_delay) + "] via";
+  for (PrimId p : prims) {
+    s += " ";
+    s += nl.prim(p).name;
+  }
+  return s;
+}
+
+std::vector<PathReport> PathSearchResult::slower_than(Time budget) const {
+  std::vector<PathReport> out;
+  for (const PathReport& p : paths) {
+    if (p.max_delay > budget) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PathReport> PathSearchResult::faster_than(Time budget) const {
+  std::vector<PathReport> out;
+  for (const PathReport& p : paths) {
+    if (p.min_delay < budget) out.push_back(p);
+  }
+  return out;
+}
+
+PathSearcher::PathSearcher(const Netlist& nl, PathSearchOptions opts)
+    : nl_(nl), opts_(opts) {}
+
+void PathSearcher::dfs(SignalId sig, std::vector<PrimId>& stack, Time dmin, Time dmax,
+                       const std::vector<char>& is_end, SignalId from,
+                       PathSearchResult& out) {
+  // A non-trivial arrival at an endpoint terminates the path.
+  if (is_end[sig] && !(stack.empty() && sig == from)) {
+    PathReport r;
+    r.prims = stack;
+    r.from = from;
+    r.to = sig;
+    r.min_delay = dmin;
+    r.max_delay = dmax;
+    out.paths.push_back(std::move(r));
+    ++out.paths_enumerated;
+    return;
+  }
+  if (stack.size() > opts_.search_limit) {
+    // GRASP behaviour: an unbroken loop/too-deep path is abandoned and the
+    // user is expected to insert a terminating point.
+    out.search_limit_hit = true;
+    return;
+  }
+  WireDelay wire = nl_.signal(sig).wire_delay.value_or(opts_.default_wire);
+  for (PrimId pid : nl_.signal(sig).fanout) {
+    const Primitive& p = nl_.prim(pid);
+    // Clocked elements and checkers are not combinational: paths do not
+    // pass through them (their inputs are endpoints, handled above).
+    if (is_clocked(p.kind) || prim_is_checker(p.kind)) continue;
+    if (p.output == kNoSignal) continue;
+    if (std::find(stack.begin(), stack.end(), pid) != stack.end()) {
+      out.search_limit_hit = true;  // combinational loop
+      continue;
+    }
+    stack.push_back(pid);
+    dfs(p.output, stack, dmin + wire.dmin + p.dmin, dmax + wire.dmax + p.dmax, is_end, from,
+        out);
+    stack.pop_back();
+  }
+}
+
+PathSearchResult PathSearcher::analyze() {
+  // RAS mode: launch from every clocked-element output and every asserted
+  // primary input; capture at every clocked-element *data* input and every
+  // checker data input.
+  std::vector<SignalId> starts;
+  std::vector<SignalId> ends;
+  for (PrimId pid = 0; pid < nl_.num_prims(); ++pid) {
+    const Primitive& p = nl_.prim(pid);
+    if (is_clocked(p.kind)) {
+      if (p.output != kNoSignal) starts.push_back(p.output);
+      ends.push_back(p.inputs[0].sig);
+    } else if (prim_is_checker(p.kind)) {
+      ends.push_back(p.inputs[0].sig);
+    }
+  }
+  for (SignalId id = 0; id < nl_.num_signals(); ++id) {
+    const Signal& s = nl_.signal(id);
+    if (s.driver == kNoPrim && s.assertion.kind == Assertion::Kind::Stable &&
+        !s.fanout.empty()) {
+      starts.push_back(id);
+    }
+  }
+  return analyze_between(starts, ends);
+}
+
+PathSearchResult PathSearcher::analyze_between(const std::vector<SignalId>& starts,
+                                               const std::vector<SignalId>& ends) {
+  PathSearchResult out;
+  std::vector<char> is_end(nl_.num_signals(), 0);
+  for (SignalId e : ends) is_end[e] = 1;
+
+  for (SignalId s : starts) {
+    std::vector<PrimId> stack;
+    dfs(s, stack, 0, 0, is_end, s, out);
+  }
+  std::sort(out.paths.begin(), out.paths.end(),
+            [](const PathReport& a, const PathReport& b) { return a.max_delay > b.max_delay; });
+  if (out.paths.size() > opts_.max_paths * 4) out.paths.resize(opts_.max_paths * 4);
+  return out;
+}
+
+}  // namespace tv::pathsearch

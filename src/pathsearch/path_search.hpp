@@ -1,0 +1,73 @@
+// Baseline 2: worst-case path-searching analyzer in the style of GRASP and
+// the Race Analysis System (thesis sec. 1.4.2).
+//
+// Searches every combinational path between clocked elements (registers and
+// latches, as in RAS) or user-specified start/end points (as in GRASP) and
+// sums the min/max element delays along each path. Its fundamental
+// limitation, which the thesis uses to motivate the Timing Verifier, is
+// that it "is unable to take into account the value behavior of the control
+// signals ... and therefore tends to generate numerous irrelevant error
+// messages": a multiplexer is just another gate on the path, so mutually
+// exclusive select settings (Fig 2-6) still produce a reported worst path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/netlist.hpp"
+
+namespace tv::pathsearch {
+
+struct PathReport {
+  std::vector<PrimId> prims;   // elements along the path, source first
+  SignalId from = kNoSignal;   // launching point (register output / start)
+  SignalId to = kNoSignal;     // capturing point (register input / end)
+  Time min_delay = 0;
+  Time max_delay = 0;
+  std::string to_string(const Netlist& nl) const;
+};
+
+struct PathSearchOptions {
+  /// Included in every path: per-hop interconnection delay (the analyzer's
+  /// crude stand-in for per-signal wire delays).
+  WireDelay default_wire{0, 0};
+  /// Abandon traversal beyond this many elements on one path -- the GRASP
+  /// behaviour when the user has not broken a loop with a terminating
+  /// point ("proceeds until it reaches some user-specified search limit").
+  std::size_t search_limit = 64;
+  /// Report at most this many paths per endpoint pair (worst first).
+  std::size_t max_paths = 16;
+};
+
+struct PathSearchResult {
+  std::vector<PathReport> paths;       // all register-to-register paths found
+  bool search_limit_hit = false;       // an unbroken loop was abandoned
+  std::size_t paths_enumerated = 0;    // total paths walked (cost measure)
+
+  /// Paths whose max delay exceeds `budget` -- the analyzer's "errors".
+  std::vector<PathReport> slower_than(Time budget) const;
+  /// Paths whose min delay is below `budget` (fast-path/hold hazards).
+  std::vector<PathReport> faster_than(Time budget) const;
+};
+
+class PathSearcher {
+ public:
+  PathSearcher(const Netlist& nl, PathSearchOptions opts = {});
+
+  /// RAS mode: endpoints are discovered automatically from the registers
+  /// and latches in the design.
+  PathSearchResult analyze();
+
+  /// GRASP mode: the user names the start and end signals by hand.
+  PathSearchResult analyze_between(const std::vector<SignalId>& starts,
+                                   const std::vector<SignalId>& ends);
+
+ private:
+  void dfs(SignalId sig, std::vector<PrimId>& stack, Time dmin, Time dmax,
+           const std::vector<char>& is_end, SignalId from, PathSearchResult& out);
+
+  const Netlist& nl_;
+  PathSearchOptions opts_;
+};
+
+}  // namespace tv::pathsearch

@@ -1,0 +1,78 @@
+#include "physical/interconnect.hpp"
+
+#include <cmath>
+
+namespace tv::physical {
+
+WireAnalysis analyze_net(const NetGeometry& g, const LineParams& params) {
+  WireAnalysis out;
+
+  // Loading slowdown: receivers hang capacitance on the line, reducing the
+  // propagation velocity by sqrt(1 + Cd/C0) (standard loaded-line model).
+  auto loaded_ns = [&](double length_in) {
+    if (length_in <= 0) return 0.0;
+    double c_line = params.c_line_pf_per_inch * length_in;
+    double c_load = static_cast<double>(g.loads) * g.load_pf;
+    double slowdown = std::sqrt(1.0 + c_load / c_line);
+    return params.ns_per_inch * length_in * slowdown;
+  };
+
+  out.min_ns = loaded_ns(g.min_length_in);
+  out.max_ns = loaded_ns(g.max_length_in);
+
+  // An unterminated line settles only after reflections die down: charge
+  // one extra round trip into the max delay.
+  double round_trip = 2.0 * out.max_ns;
+  if (!g.terminated) out.max_ns += round_trip;
+
+  // Long-line rule (sec. 1.3.2): reflections on an unterminated run whose
+  // round-trip time is comparable to the edge time can create extra
+  // transitions.
+  out.reflection_risk = !g.terminated && round_trip > params.rise_time_ns;
+
+  out.delay.dmin = from_ns(out.min_ns);
+  out.delay.dmax = from_ns(out.max_ns);
+  return out;
+}
+
+std::vector<SignalId> apply_interconnect(Netlist& nl,
+                                         const std::map<SignalId, NetGeometry>& geometry,
+                                         const LineParams& params) {
+  std::vector<SignalId> flagged;
+  for (const auto& [sig, geo] : geometry) {
+    WireAnalysis a = analyze_net(geo, params);
+    nl.set_wire_delay(sig, a.delay.dmin, a.delay.dmax);
+    if (!a.reflection_risk) continue;
+
+    // Does this net feed an edge-sensitive input? Clock pins of registers
+    // (pin 1), enables of latches (pin 1), or any checker clock pin.
+    bool edge_sensitive = false;
+    for (PrimId pid : nl.signal(sig).fanout) {
+      const Primitive& p = nl.prim(pid);
+      bool is_clock_pin = false;
+      switch (p.kind) {
+        case PrimKind::Reg:
+        case PrimKind::RegSR:
+        case PrimKind::Latch:
+        case PrimKind::LatchSR:
+        case PrimKind::SetupHoldChk:
+        case PrimKind::SetupRiseHoldFallChk:
+          is_clock_pin = p.inputs.size() > 1 && p.inputs[1].sig == sig;
+          break;
+        case PrimKind::MinPulseWidthChk:
+          is_clock_pin = true;  // a pulse-width-checked net is edge-sensitive
+          break;
+        default:
+          break;
+      }
+      if (is_clock_pin) {
+        edge_sensitive = true;
+        break;
+      }
+    }
+    if (edge_sensitive) flagged.push_back(sig);
+  }
+  return flagged;
+}
+
+}  // namespace tv::physical

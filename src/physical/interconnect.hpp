@@ -1,0 +1,76 @@
+// Interconnection-delay analysis substrate (thesis secs. 1.3.2 and 2.5.3).
+//
+// In SCALD the "detailed transmission line analysis required to determine
+// the possible range of signal delays of a given interconnection is done in
+// the SCALD Physical Design Subsystem"; the Timing Verifier then consumes a
+// min/max delay per signal (or a default rule when layout is not yet done).
+// That subsystem is not public, so this module implements the closest
+// engineering equivalent for the ECL wire-wrap/stripline technology of the
+// era:
+//
+//   * unloaded propagation at ~0.148 ns/inch (epsilon_r ~ 4.7 microstrip);
+//   * loading slowdown sqrt(1 + C_load / C_line): each receiver's input
+//     capacitance slows the line;
+//   * min delay from the shortest (straight-line) length, max from the
+//     longest routed length estimate plus one settling round trip on
+//     unterminated lines;
+//   * the sec. 1.3.2 long-line rule: "for interconnections having
+//     propagation times longer than roughly a quarter period of the voltage
+//     wave, a detailed analysis ... is required [to rule out] reflections
+//     ... possibly causing a register to get clocked more times than is
+//     intended. Runs with such reflections on them can be flagged ...
+//     allowing the timing verification process to flag them if they affect
+//     edge-sensitive inputs." analyze_net flags such nets and
+//     apply_interconnect reports the flagged nets that feed clock/enable
+//     pins of registers and latches.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/netlist.hpp"
+
+namespace tv::physical {
+
+/// Electrical parameters of the interconnect technology.
+struct LineParams {
+  double ns_per_inch = 0.148;   // unloaded propagation delay
+  double c_line_pf_per_inch = 2.95;  // intrinsic line capacitance (Z0 ~ 50 ohm)
+  double z0_ohm = 50.0;
+  /// Signal edge (rise) time; the long-line rule compares the line's
+  /// round-trip time against this.
+  double rise_time_ns = 2.0;
+};
+
+/// Geometry/loading of one net as known after placement/routing.
+struct NetGeometry {
+  double min_length_in = 0;   // straight-line (best-case) length
+  double max_length_in = 0;   // routed (worst-case) length estimate
+  int loads = 1;              // receiving inputs on the net
+  double load_pf = 3.0;       // input capacitance per load
+  bool terminated = true;     // parallel-terminated at the far end?
+};
+
+struct WireAnalysis {
+  WireDelay delay;
+  /// Loaded one-way propagation times, for reports.
+  double min_ns = 0, max_ns = 0;
+  /// True when the unterminated line is long enough (round trip exceeding
+  /// ~the edge time) that reflections may double-clock edge-sensitive
+  /// inputs (sec. 1.3.2).
+  bool reflection_risk = false;
+};
+
+/// Analyzes one net.
+WireAnalysis analyze_net(const NetGeometry& g, const LineParams& params = {});
+
+/// Applies calculated delays to every signal with known geometry (others
+/// keep the verifier's default rule) and returns the signals with
+/// reflection risk that drive an edge-sensitive input -- a register or
+/// latch clock/enable pin (these deserve the designer's attention even
+/// though the value-level analysis cannot model the extra transitions).
+std::vector<SignalId> apply_interconnect(Netlist& nl,
+                                         const std::map<SignalId, NetGeometry>& geometry,
+                                         const LineParams& params = {});
+
+}  // namespace tv::physical

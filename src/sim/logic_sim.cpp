@@ -1,0 +1,323 @@
+#include "sim/logic_sim.hpp"
+
+#include <stdexcept>
+
+namespace tv::sim {
+
+char lv_letter(LV v) {
+  switch (v) {
+    case LV::Zero: return '0';
+    case LV::One: return '1';
+    case LV::X: return 'X';
+    case LV::U: return 'U';
+    case LV::D: return 'D';
+    case LV::E: return 'E';
+  }
+  return '?';
+}
+
+bool lv_is_definite(LV v) { return v == LV::Zero || v == LV::One; }
+
+LV lv_not(LV a) {
+  switch (a) {
+    case LV::Zero: return LV::One;
+    case LV::One: return LV::Zero;
+    case LV::U: return LV::D;
+    case LV::D: return LV::U;
+    default: return a;
+  }
+}
+
+LV lv_or(LV a, LV b) {
+  if (a == LV::One || b == LV::One) return LV::One;
+  if (a == LV::Zero) return b;
+  if (b == LV::Zero) return a;
+  if (a == b) return a;
+  if (a == LV::X || b == LV::X) return LV::X;
+  return LV::E;  // mixed edges: potential spike
+}
+
+LV lv_and(LV a, LV b) {
+  if (a == LV::Zero || b == LV::Zero) return LV::Zero;
+  if (a == LV::One) return b;
+  if (b == LV::One) return a;
+  if (a == b) return a;
+  if (a == LV::X || b == LV::X) return LV::X;
+  return LV::E;
+}
+
+LV lv_xor(LV a, LV b) {
+  if (lv_is_definite(a) && lv_is_definite(b)) {
+    return (a == b) ? LV::Zero : LV::One;
+  }
+  if (a == LV::X || b == LV::X) return LV::X;
+  if (!lv_is_definite(a) && !lv_is_definite(b)) return LV::E;
+  // One definite, one edge: the edge passes (possibly inverted).
+  LV edge = lv_is_definite(a) ? b : a;
+  LV def = lv_is_definite(a) ? a : b;
+  return def == LV::One ? lv_not(edge) : edge;
+}
+
+LogicSimulator::LogicSimulator(const Netlist& nl) : nl_(nl) {
+  if (!nl.finalized()) throw std::logic_error("netlist must be finalized");
+  reset();
+}
+
+void LogicSimulator::reset() {
+  values_.assign(nl_.num_signals(), LV::X);
+  last_change_.assign(nl_.num_signals(), -1);
+  last_rise_.assign(nl_.num_signals(), -1);
+  last_fall_.assign(nl_.num_signals(), -1);
+  reg_state_.assign(nl_.num_prims(), LV::X);
+  seen_definite_.assign(nl_.num_signals(), 0);
+  prev_pin_.assign(nl_.num_prims(), {LV::X, LV::X});
+  while (!queue_.empty()) queue_.pop();
+  stats_ = SimStats{};
+  violations_.clear();
+}
+
+void LogicSimulator::schedule(SignalId sig, Time at, LV v) {
+  queue_.push(Event{at, seq_++, sig, v});
+}
+
+LV LogicSimulator::input_value(const Pin& pin) const {
+  LV v = values_[pin.sig];
+  return pin.invert ? lv_not(v) : v;
+}
+
+void LogicSimulator::evaluate_fanout(SignalId sig, Time now) {
+  for (PrimId pid : nl_.signal(sig).fanout) evaluate_prim(pid, now);
+}
+
+namespace {
+LV settle_edge(LV from, LV to) {
+  // Intermediate value a min/max-delayed output holds between min and max.
+  if (from == LV::Zero && to == LV::One) return LV::U;
+  if (from == LV::One && to == LV::Zero) return LV::D;
+  if (to == LV::X) return LV::X;
+  return LV::E;
+}
+}  // namespace
+
+void LogicSimulator::evaluate_prim(PrimId pid, Time now) {
+  const Primitive& p = nl_.prim(pid);
+  ++stats_.gate_evaluations;
+
+  if (prim_is_checker(p.kind)) {
+    check_checker(pid, now, violations_);
+    return;
+  }
+
+  LV target = LV::X;
+  switch (p.kind) {
+    case PrimKind::Buf:
+      target = input_value(p.inputs[0]);
+      break;
+    case PrimKind::Not:
+      target = lv_not(input_value(p.inputs[0]));
+      break;
+    case PrimKind::Or:
+    case PrimKind::And: {
+      target = input_value(p.inputs[0]);
+      for (std::size_t i = 1; i < p.inputs.size(); ++i) {
+        LV v = input_value(p.inputs[i]);
+        target = p.kind == PrimKind::Or ? lv_or(target, v) : lv_and(target, v);
+      }
+      break;
+    }
+    case PrimKind::Xor:
+    case PrimKind::Chg: {
+      // A CHG primitive stands for "some combinational function"; in the
+      // value-level simulation we must pick a concrete one -- parity, the
+      // function the thesis names as the canonical CHG-modeled circuit.
+      target = input_value(p.inputs[0]);
+      for (std::size_t i = 1; i < p.inputs.size(); ++i) {
+        target = lv_xor(target, input_value(p.inputs[i]));
+      }
+      break;
+    }
+    case PrimKind::Mux2: {
+      LV sel = input_value(p.inputs[0]);
+      if (sel == LV::Zero) {
+        target = input_value(p.inputs[1]);
+      } else if (sel == LV::One) {
+        target = input_value(p.inputs[2]);
+      } else {
+        LV a = input_value(p.inputs[1]), b = input_value(p.inputs[2]);
+        target = (a == b && lv_is_definite(a)) ? a : (sel == LV::X ? LV::X : LV::E);
+      }
+      break;
+    }
+    case PrimKind::Mux4:
+    case PrimKind::Mux8: {
+      std::size_t nsel = p.kind == PrimKind::Mux4 ? 2 : 3;
+      int idx = 0;
+      bool definite = true;
+      for (std::size_t s = 0; s < nsel; ++s) {
+        LV v = input_value(p.inputs[s]);
+        if (!lv_is_definite(v)) {
+          definite = false;
+          break;
+        }
+        if (v == LV::One) idx |= (1 << s);
+      }
+      target = definite ? input_value(p.inputs[nsel + static_cast<std::size_t>(idx)]) : LV::X;
+      break;
+    }
+    case PrimKind::Reg:
+    case PrimKind::RegSR: {
+      LV ck = input_value(p.inputs[1]);
+      LV prev_ck = prev_pin_[pid][1];
+      prev_pin_[pid][1] = ck;
+      if (p.kind == PrimKind::RegSR) {
+        LV s = input_value(p.inputs[2]), r = input_value(p.inputs[3]);
+        if (s == LV::One && r == LV::One) {
+          reg_state_[pid] = LV::X;
+        } else if (s == LV::One) {
+          reg_state_[pid] = LV::One;
+        } else if (r == LV::One) {
+          reg_state_[pid] = LV::Zero;
+        }
+      }
+      if (prev_ck == LV::Zero && ck == LV::One) {
+        reg_state_[pid] = input_value(p.inputs[0]);  // capture on rising edge
+      }
+      target = reg_state_[pid];
+      break;
+    }
+    case PrimKind::Latch:
+    case PrimKind::LatchSR: {
+      LV en = input_value(p.inputs[1]);
+      if (p.kind == PrimKind::LatchSR) {
+        LV s = input_value(p.inputs[2]), r = input_value(p.inputs[3]);
+        if (s == LV::One && r == LV::One) {
+          reg_state_[pid] = LV::X;
+        } else if (s == LV::One) {
+          reg_state_[pid] = LV::One;
+        } else if (r == LV::One) {
+          reg_state_[pid] = LV::Zero;
+        }
+      }
+      if (en == LV::One) reg_state_[pid] = input_value(p.inputs[0]);
+      target = en == LV::One ? input_value(p.inputs[0]) : reg_state_[pid];
+      break;
+    }
+    default:
+      return;
+  }
+
+  LV current = values_[p.output];
+  if (target == current) return;
+  if (p.dmax > p.dmin) {
+    schedule(p.output, now + p.dmin, settle_edge(current, target));
+    schedule(p.output, now + p.dmax, target);
+  } else {
+    schedule(p.output, now + p.dmax, target);
+  }
+}
+
+void LogicSimulator::check_checker(PrimId pid, Time now, std::vector<SimViolation>& out) {
+  const Primitive& p = nl_.prim(pid);
+  char buf[200];
+
+  if (p.kind == PrimKind::MinPulseWidthChk) {
+    SignalId sig = p.inputs[0].sig;
+    LV v = input_value(p.inputs[0]);
+    LV prev = prev_pin_[pid][0];
+    prev_pin_[pid][0] = v;
+    if (prev == LV::One && v == LV::Zero && p.min_high > 0 && last_rise_[sig] >= 0 &&
+        now - last_rise_[sig] < p.min_high) {
+      std::snprintf(buf, sizeof buf, "%s: high pulse of %s < %s", p.name.c_str(),
+                    format_ns(now - last_rise_[sig]).c_str(), format_ns(p.min_high).c_str());
+      out.push_back(SimViolation{pid, now, buf});
+    }
+    if (prev == LV::Zero && v == LV::One && p.min_low > 0 && last_fall_[sig] >= 0 &&
+        now - last_fall_[sig] < p.min_low) {
+      std::snprintf(buf, sizeof buf, "%s: low pulse of %s < %s", p.name.c_str(),
+                    format_ns(now - last_fall_[sig]).c_str(), format_ns(p.min_low).c_str());
+      out.push_back(SimViolation{pid, now, buf});
+    }
+    return;
+  }
+
+  // Set-up/hold monitors: pin 0 is the data, pin 1 the clock.
+  LV ck = input_value(p.inputs[1]);
+  LV prev_ck = prev_pin_[pid][1];
+  prev_pin_[pid][1] = ck;
+  LV data = input_value(p.inputs[0]);
+  LV prev_data = prev_pin_[pid][0];
+  prev_pin_[pid][0] = data;
+
+  SignalId dsig = p.inputs[0].sig;
+  // With min != max delays an edge passes through U, so "rising" means
+  // reaching 1 from 0 or from a rising-uncertainty value; anything arriving
+  // out of X/E is initialization or spike settling, not a clean edge.
+  bool rising = ck == LV::One && (prev_ck == LV::Zero || prev_ck == LV::U);
+
+  if (rising && p.setup > 0 && last_change_[dsig] >= 0 && now - last_change_[dsig] < p.setup) {
+    std::snprintf(buf, sizeof buf, "%s: setup %s available < %s required", p.name.c_str(),
+                  format_ns(now - last_change_[dsig]).c_str(), format_ns(p.setup).c_str());
+    out.push_back(SimViolation{pid, now, buf});
+  }
+  if (rising && !lv_is_definite(data)) {
+    std::snprintf(buf, sizeof buf, "%s: data %c at clock edge", p.name.c_str(),
+                  lv_letter(data));
+    out.push_back(SimViolation{pid, now, buf});
+  }
+  if (data != prev_data && p.hold > 0) {
+    Time edge = p.kind == PrimKind::SetupRiseHoldFallChk ? last_fall_[p.inputs[1].sig]
+                                                         : last_rise_[p.inputs[1].sig];
+    if (p.inputs[1].invert) {
+      edge = p.kind == PrimKind::SetupRiseHoldFallChk ? last_rise_[p.inputs[1].sig]
+                                                      : last_fall_[p.inputs[1].sig];
+    }
+    if (edge >= 0 && now - edge < p.hold) {
+      std::snprintf(buf, sizeof buf, "%s: hold %s available < %s required", p.name.c_str(),
+                    format_ns(now - edge).c_str(), format_ns(p.hold).c_str());
+      out.push_back(SimViolation{pid, now, buf});
+    }
+  }
+  if (p.kind == PrimKind::SetupRiseHoldFallChk && ck == LV::One && data != prev_data) {
+    std::snprintf(buf, sizeof buf, "%s: input moved while clock true", p.name.c_str());
+    out.push_back(SimViolation{pid, now, buf});
+  }
+}
+
+std::vector<SimViolation> LogicSimulator::run(const std::vector<Stimulus>& stimuli,
+                                              Time until) {
+  for (const Stimulus& s : stimuli) schedule(s.signal, s.at, s.value);
+  violations_.clear();
+
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event e = queue_.top();
+    queue_.pop();
+    if (values_[e.signal] == e.value) continue;
+    LV prev = values_[e.signal];
+    values_[e.signal] = e.value;
+    last_change_[e.signal] = e.at;
+    // Initialization settling (X -> first definite value) is not an edge:
+    // rises/falls are recorded only once the signal has been definite.
+    bool armed = seen_definite_[e.signal] != 0;
+    if (armed && prev != LV::One && e.value == LV::One) last_rise_[e.signal] = e.at;
+    if (armed && prev != LV::Zero && e.value == LV::Zero) last_fall_[e.signal] = e.at;
+    if (lv_is_definite(e.value)) seen_definite_[e.signal] = 1;
+    ++stats_.events_processed;
+    stats_.simulated_time = e.at;
+    evaluate_fanout(e.signal, e.at);
+  }
+  return violations_;
+}
+
+std::vector<Stimulus> periodic_clock(SignalId sig, Time period, Time rise, Time fall,
+                                     int cycles) {
+  std::vector<Stimulus> out;
+  out.push_back(Stimulus{sig, 0, LV::Zero});
+  for (int c = 0; c < cycles; ++c) {
+    Time base = static_cast<Time>(c) * period;
+    out.push_back(Stimulus{sig, base + rise, LV::One});
+    out.push_back(Stimulus{sig, base + fall, LV::Zero});
+  }
+  return out;
+}
+
+}  // namespace tv::sim

@@ -1,0 +1,120 @@
+// Baseline 1: a minimum/maximum-based gate-level logic simulator in the
+// style of TEGAS/SAGE/LAMP (thesis sec. 1.4.1.1).
+//
+// This is the approach the Timing Verifier replaces. It simulates a circuit
+// over *many* clock cycles driven by explicit input vectors, using a
+// six-value logic:
+//
+//   0, 1   definite levels
+//   X      initialization value
+//   U      signal rising (within its min/max delay window)
+//   D      signal falling
+//   E      potential spike / hazard / race
+//
+// Timing ranges are modeled by scheduling a gate's output to an uncertainty
+// value (U/D/E) at input-change + min delay and to its settled value at
+// input-change + max delay. Detecting a timing error requires driving the
+// exact input pattern that exercises the offending path -- the thesis'
+// central criticism: "unless all possible cases which have distinct timing
+// paths for a design can be simulated, there is no guarantee that it does
+// not contain undetected timing errors."
+//
+// The simulator shares the Netlist structure with the Timing Verifier so
+// that the same circuit can be fed to both in benchmarks; checker
+// primitives are honored as runtime monitors (set-up/hold violations are
+// detected only when an input pattern actually exposes them).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/netlist.hpp"
+
+namespace tv::sim {
+
+enum class LV : std::uint8_t { Zero, One, X, U, D, E };
+
+char lv_letter(LV v);
+LV lv_not(LV a);
+LV lv_or(LV a, LV b);
+LV lv_and(LV a, LV b);
+LV lv_xor(LV a, LV b);
+bool lv_is_definite(LV v);
+
+/// A scheduled input transition: signal -> value at an absolute time.
+struct Stimulus {
+  SignalId signal = kNoSignal;
+  Time at = 0;
+  LV value = LV::X;
+};
+
+/// A set-up/hold/min-pulse violation observed during simulation.
+struct SimViolation {
+  PrimId checker = kNoPrim;
+  Time at = 0;
+  std::string message;
+};
+
+struct SimStats {
+  std::size_t events_processed = 0;   // scheduled value changes applied
+  std::size_t gate_evaluations = 0;
+  Time simulated_time = 0;
+};
+
+class LogicSimulator {
+ public:
+  /// The netlist must be finalized. Latches/registers are simulated
+  /// behaviorally; CHG primitives behave as X-generators when inputs move
+  /// (their boolean function is unknown to the model, as in the thesis).
+  explicit LogicSimulator(const Netlist& nl);
+
+  /// Resets all signals to X and clears the event queue.
+  void reset();
+
+  /// Schedules stimuli and runs until the queue drains or `until` is
+  /// reached. Returns observed violations.
+  std::vector<SimViolation> run(const std::vector<Stimulus>& stimuli, Time until);
+
+  LV value(SignalId id) const { return values_[id]; }
+  const SimStats& stats() const { return stats_; }
+
+ private:
+  struct Event {
+    Time at = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break
+    SignalId signal = kNoSignal;
+    LV value = LV::X;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void schedule(SignalId sig, Time at, LV v);
+  void evaluate_fanout(SignalId sig, Time now);
+  void evaluate_prim(PrimId pid, Time now);
+  LV input_value(const Pin& pin) const;
+  void check_checker(PrimId pid, Time now, std::vector<SimViolation>& out);
+
+  const Netlist& nl_;
+  std::vector<LV> values_;
+  std::vector<Time> last_change_;             // per signal: last definite change
+  std::vector<Time> last_rise_, last_fall_;   // per signal: last 0->1 / 1->0
+  std::vector<char> seen_definite_;           // per signal: has been 0/1 at least once
+  std::vector<LV> reg_state_;                 // per primitive: stored bit
+  std::vector<std::array<LV, 2>> prev_pin_;   // per primitive: last data/clock seen
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+  SimStats stats_;
+  std::vector<SimViolation> violations_;
+};
+
+/// Convenience: builds the periodic clock/data stimuli for `cycles` cycles
+/// of a clock signal high during [rise, fall) each period.
+std::vector<Stimulus> periodic_clock(SignalId sig, Time period, Time rise, Time fall,
+                                     int cycles);
+
+}  // namespace tv::sim

@@ -1,0 +1,161 @@
+#include "stat/stat_timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "pathsearch/path_search.hpp"
+
+namespace tv::stat {
+
+DelayDist dist_from_range(Time dmin, Time dmax) {
+  DelayDist d;
+  d.mean_ns = (to_ns(dmin) + to_ns(dmax)) / 2.0;
+  d.sigma_ns = (to_ns(dmax) - to_ns(dmin)) / 6.0;  // min/max at +-3 sigma
+  return d;
+}
+
+double StatPath::latest(double k_sigma) const {
+  return mean_ns + k_sigma * std::sqrt(var_ns2);
+}
+
+namespace {
+
+// The delay elements along one path: each hop contributes the consumed
+// signal's interconnection delay plus the primitive's propagation delay
+// (matching PathSearcher::dfs's accumulation).
+struct Element {
+  DelayDist dist;
+  double min_ns = 0, max_ns = 0;
+};
+
+std::vector<Element> path_elements(const Netlist& nl, const pathsearch::PathReport& pr,
+                                   const WireDelay& default_wire) {
+  std::vector<Element> out;
+  SignalId sig = pr.from;
+  for (PrimId pid : pr.prims) {
+    const Primitive& p = nl.prim(pid);
+    WireDelay w = nl.signal(sig).wire_delay.value_or(default_wire);
+    Element wire_el{dist_from_range(w.dmin, w.dmax), to_ns(w.dmin), to_ns(w.dmax)};
+    if (wire_el.max_ns > 0) out.push_back(wire_el);
+    out.push_back(Element{dist_from_range(p.dmin, p.dmax), to_ns(p.dmin), to_ns(p.dmax)});
+    sig = p.output;
+  }
+  return out;
+}
+
+StatPath make_stat_path(const Netlist& nl, const pathsearch::PathReport& pr,
+                        const StatOptions& opts) {
+  StatPath sp;
+  sp.from = pr.from;
+  sp.to = pr.to;
+  sp.prims = pr.prims;
+  double sum_sigma = 0, sum_var = 0;
+  for (const Element& e : path_elements(nl, pr, opts.default_wire)) {
+    sp.mean_ns += e.dist.mean_ns;
+    sum_var += e.dist.sigma_ns * e.dist.sigma_ns;
+    sum_sigma += e.dist.sigma_ns;
+    sp.worst_ns += e.max_ns;
+    sp.best_ns += e.min_ns;
+  }
+  // Var(sum) with pairwise correlation rho between all element pairs:
+  // (1 - rho) * sum(sigma_i^2) + rho * (sum(sigma_i))^2.
+  sp.var_ns2 = (1.0 - opts.rho) * sum_var + opts.rho * sum_sigma * sum_sigma;
+  return sp;
+}
+
+}  // namespace
+
+StatResult analyze_statistical(const Netlist& nl, const StatOptions& opts) {
+  pathsearch::PathSearchOptions ps_opts;
+  ps_opts.search_limit = opts.search_limit;
+  ps_opts.max_paths = 1u << 14;
+  pathsearch::PathSearcher searcher(nl, ps_opts);
+  pathsearch::PathSearchResult pr = searcher.analyze();
+
+  StatResult out;
+  out.paths.reserve(pr.paths.size());
+  for (const auto& p : pr.paths) out.paths.push_back(make_stat_path(nl, p, opts));
+  std::sort(out.paths.begin(), out.paths.end(), [&](const StatPath& a, const StatPath& b) {
+    return a.latest(opts.k_sigma) > b.latest(opts.k_sigma);
+  });
+  for (const StatPath& p : out.paths) {
+    out.predicted_critical_ns = std::max(out.predicted_critical_ns, p.latest(opts.k_sigma));
+    out.worst_case_critical_ns = std::max(out.worst_case_critical_ns, p.worst_ns);
+  }
+  return out;
+}
+
+double monte_carlo_critical_ns(const Netlist& nl, const StatOptions& opts, int trials,
+                               double quantile, std::uint64_t seed) {
+  pathsearch::PathSearchOptions ps_opts;
+  ps_opts.search_limit = opts.search_limit;
+  ps_opts.max_paths = 1u << 14;
+  pathsearch::PathSearcher searcher(nl, ps_opts);
+  pathsearch::PathSearchResult pr = searcher.analyze();
+
+  // Element list per path (elements are per-(path,hop); a shared primitive
+  // appearing on two paths gets the same sample within a trial).
+  struct Hop {
+    std::size_t element;  // index into the global element table
+  };
+  std::vector<Element> elements;
+  std::vector<std::vector<std::size_t>> path_hops;
+  // Key elements by (prim id) so shared gates share samples; wire elements
+  // keyed by signal id with an offset.
+  std::vector<std::ptrdiff_t> prim_to_element(nl.num_prims(), -1);
+  std::vector<std::ptrdiff_t> sig_to_element(nl.num_signals(), -1);
+  for (const auto& p : pr.paths) {
+    std::vector<std::size_t> hops;
+    SignalId sig = p.from;
+    for (PrimId pid : p.prims) {
+      const Primitive& prim = nl.prim(pid);
+      WireDelay w = nl.signal(sig).wire_delay.value_or(opts.default_wire);
+      if (w.dmax > 0) {
+        if (sig_to_element[sig] < 0) {
+          sig_to_element[sig] = static_cast<std::ptrdiff_t>(elements.size());
+          elements.push_back(
+              Element{dist_from_range(w.dmin, w.dmax), to_ns(w.dmin), to_ns(w.dmax)});
+        }
+        hops.push_back(static_cast<std::size_t>(sig_to_element[sig]));
+      }
+      if (prim_to_element[pid] < 0) {
+        prim_to_element[pid] = static_cast<std::ptrdiff_t>(elements.size());
+        elements.push_back(
+            Element{dist_from_range(prim.dmin, prim.dmax), to_ns(prim.dmin), to_ns(prim.dmax)});
+      }
+      hops.push_back(static_cast<std::size_t>(prim_to_element[pid]));
+      sig = prim.output;
+    }
+    path_hops.push_back(std::move(hops));
+  }
+
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  std::vector<double> samples(elements.size());
+  std::vector<double> criticals;
+  criticals.reserve(static_cast<std::size_t>(trials));
+  const double ind = std::sqrt(1.0 - opts.rho);
+  const double shared_w = std::sqrt(opts.rho);
+  for (int t = 0; t < trials; ++t) {
+    double shared = normal(rng);  // the "production run" component
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      const Element& e = elements[i];
+      double z = ind * normal(rng) + shared_w * shared;
+      double d = e.dist.mean_ns + e.dist.sigma_ns * z;
+      samples[i] = std::clamp(d, e.min_ns, e.max_ns);  // parts are tested/sorted
+    }
+    double crit = 0;
+    for (const auto& hops : path_hops) {
+      double sum = 0;
+      for (std::size_t h : hops) sum += samples[h];
+      crit = std::max(crit, sum);
+    }
+    criticals.push_back(crit);
+  }
+  std::sort(criticals.begin(), criticals.end());
+  std::size_t idx = static_cast<std::size_t>(quantile * (criticals.size() - 1));
+  return criticals[idx];
+}
+
+}  // namespace tv::stat

@@ -1,0 +1,91 @@
+// Probability-based timing analysis (thesis sec. 4.2.4, after DIGSIM
+// [Ma77a, Ma77b]).
+//
+// The Timing Verifier proper is minimum/maximum-based. The thesis discusses
+// the alternative: give every propagation delay a distribution (DIGSIM
+// assumes normal), combine distributions along paths, and check constraints
+// to a chosen confidence level. The promise is less pessimism ("a real
+// design usually could be made to run faster than [the min/max] system will
+// predict" -- the probability that *every* element on a path sits at its
+// extreme is tiny); the documented danger is correlation: components from
+// one production run may all be slow together, and then the independent
+// model is wrong ("taking into account any correlations is essential to
+// avoid incorrect predictions").
+//
+// This module implements both sides so the trade-off can be measured:
+//   * delay distributions derived from the min/max ranges (min/max = +-3
+//     sigma by default, or explicitly specified);
+//   * path analysis propagating (mean, variance) with a pairwise
+//     correlation coefficient rho between element delays: rho = 0 is the
+//     DIGSIM independence assumption, rho = 1 makes the k-sigma result
+//     collapse back to the worst-case sum;
+//   * a Monte Carlo validator that samples concrete delays and empirically
+//     checks the predicted quantiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/netlist.hpp"
+
+namespace tv::stat {
+
+/// A normal delay model N(mean, sigma^2), in nanoseconds.
+struct DelayDist {
+  double mean_ns = 0;
+  double sigma_ns = 0;
+};
+
+/// Derives the distribution from a min/max specification: mean at the
+/// center, the range spanning +-3 sigma (manufacturers test and sort to
+/// min/max; this is the conventional reconstruction).
+DelayDist dist_from_range(Time dmin, Time dmax);
+
+struct StatOptions {
+  /// Confidence multiplier: constraints are checked at mean + k * sigma.
+  double k_sigma = 3.0;
+  /// Pairwise correlation rho between the delays of distinct elements on a
+  /// path. 0 = independent (DIGSIM); 1 = perfectly correlated (same wafer/
+  /// production run), which reproduces the min/max worst case at 3 sigma.
+  double rho = 0.0;
+  /// Search depth limit, as in the path searcher.
+  std::size_t search_limit = 64;
+  /// Default interconnection delay for signals without an override
+  /// (sec. 2.5.3), included in every hop like the verifier does.
+  WireDelay default_wire{0, 0};
+};
+
+/// One register-to-register (or input-to-capture) path with its delay
+/// distribution and the min/max bounds for comparison.
+struct StatPath {
+  SignalId from = kNoSignal;
+  SignalId to = kNoSignal;
+  std::vector<PrimId> prims;
+  double mean_ns = 0;
+  double var_ns2 = 0;        // includes the pairwise correlation terms
+  double worst_ns = 0;       // min/max-based worst case (sum of maxima)
+  double best_ns = 0;        // sum of minima
+  /// Latest arrival at the chosen confidence: mean + k * sigma.
+  double latest(double k_sigma) const;
+};
+
+struct StatResult {
+  std::vector<StatPath> paths;  // sorted by latest() descending
+  /// The slowest path's latest arrival at k sigma and the corresponding
+  /// min/max worst case: the pessimism gap the thesis discusses.
+  double predicted_critical_ns = 0;
+  double worst_case_critical_ns = 0;
+};
+
+/// Runs statistical worst-path analysis on a finalized netlist, using the
+/// same launch/capture discovery as the path-search baseline.
+StatResult analyze_statistical(const Netlist& nl, const StatOptions& opts = {});
+
+/// Monte Carlo validation: samples concrete element delays (clamped
+/// normals, with correlation rho implemented as a shared production-run
+/// component) for `trials` trials and returns the empirical q-quantile of
+/// the critical-path delay. Used to check predicted_critical_ns.
+double monte_carlo_critical_ns(const Netlist& nl, const StatOptions& opts, int trials,
+                               double quantile, std::uint64_t seed = 1);
+
+}  // namespace tv::stat

@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <cstdio>
+
+namespace tv {
+
+void PhaseTimer::start(const std::string& phase) {
+  if (running_) stop();
+  phases_.emplace_back(phase, 0.0);
+  started_ = Clock::now();
+  running_ = true;
+}
+
+void PhaseTimer::stop() {
+  if (!running_) return;
+  auto elapsed = std::chrono::duration<double>(Clock::now() - started_).count();
+  phases_.back().second = elapsed;
+  running_ = false;
+}
+
+double PhaseTimer::total_seconds() const {
+  double t = 0;
+  for (const auto& [name, secs] : phases_) t += secs;
+  return t;
+}
+
+void StorageLedger::add(const std::string& category, std::size_t bytes) {
+  categories_[category] += bytes;
+}
+
+std::size_t StorageLedger::total() const {
+  std::size_t t = 0;
+  for (const auto& [name, bytes] : categories_) t += bytes;
+  return t;
+}
+
+std::string StorageLedger::to_table() const {
+  std::string out;
+  char line[160];
+  std::size_t tot = total();
+  for (const auto& [name, bytes] : categories_) {
+    double pct = tot ? 100.0 * static_cast<double>(bytes) / static_cast<double>(tot) : 0.0;
+    std::snprintf(line, sizeof line, "  %-28s %12zu bytes  %5.1f%%\n", name.c_str(), bytes, pct);
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "  %-28s %12zu bytes  100.0%%\n", "TOTAL", tot);
+  out += line;
+  return out;
+}
+
+}  // namespace tv

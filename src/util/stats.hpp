@@ -1,0 +1,46 @@
+// Execution/storage statistics plumbing used to regenerate the paper's
+// Tables 3-1 and 3-3: phase stopwatches and a byte-accounting ledger that
+// mirrors the thesis' storage-category breakdown.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tv {
+
+/// Wall-clock stopwatch for one named processing phase (Table 3-1 rows such
+/// as "Reading input files and building data structures").
+class PhaseTimer {
+ public:
+  void start(const std::string& phase);
+  void stop();
+  /// Phase name → elapsed seconds, in start order.
+  const std::vector<std::pair<std::string, double>>& phases() const { return phases_; }
+  double total_seconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::pair<std::string, double>> phases_;
+  Clock::time_point started_{};
+  bool running_ = false;
+};
+
+/// Byte-accounting ledger for Table 3-3 ("Storage required by Timing
+/// Verifier"). Categories mirror the thesis: circuit description, signal
+/// values, signal names, string space, call list array, miscellaneous.
+class StorageLedger {
+ public:
+  void add(const std::string& category, std::size_t bytes);
+  std::size_t total() const;
+  const std::map<std::string, std::size_t>& categories() const { return categories_; }
+  /// Renders the Table 3-3 style listing (bytes and percent per category).
+  std::string to_table() const;
+
+ private:
+  std::map<std::string, std::size_t> categories_;
+};
+
+}  // namespace tv

@@ -1,0 +1,25 @@
+// Small string helpers shared by the assertion parser and the HDL front end.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tv {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a delimiter character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Case-sensitive string → double, returning false on any trailing junk.
+bool parse_double(std::string_view s, double& out);
+
+/// Uppercases ASCII in place and returns the copy.
+std::string upper(std::string_view s);
+
+}  // namespace tv

@@ -1,0 +1,23 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tv {
+
+std::string format_ns(Time t) {
+  double ns = to_ns(t);
+  char buf[64];
+  // One decimal place mirrors the paper's listings (Fig 3-10 / 3-11 print
+  // "11.5", "49.0", ...). Fall back to three places when the value needs
+  // sub-0.1ns precision so no information is silently lost.
+  double r1 = std::round(ns * 10.0) / 10.0;
+  if (std::abs(r1 - ns) < 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.1f", ns);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", ns);
+  }
+  return buf;
+}
+
+}  // namespace tv

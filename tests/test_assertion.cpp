@@ -1,0 +1,209 @@
+// Tests for the assertion language of sec. 2.5 and its waveform
+// materialization, using the exact examples printed in the thesis.
+#include "core/assertion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tv {
+namespace {
+
+using V = Value;
+
+// The Fig 2-5 example: 50 ns cycle, clock units of 6.25 ns (8 per cycle).
+constexpr Time P = from_ns(50.0);
+const ClockUnits kUnits = ClockUnits::from_ns_per_unit(6.25);
+// Zero default skews keep the waveform shape checks exact; skewed variants
+// are exercised separately.
+const AssertionDefaults kNoSkew{0, 0, 0, 0};
+
+TEST(AssertionParse, NonPrecisionClockWithPolarity) {
+  // "XYZ .C 4-6 L": goes from high to low at 4 and low to high at 6.
+  ParsedSignal s = parse_signal_name("XYZ .C 4-6 L");
+  EXPECT_EQ(s.base_name, "XYZ");
+  EXPECT_EQ(s.assertion.kind, Assertion::Kind::Clock);
+  ASSERT_EQ(s.assertion.ranges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.assertion.ranges[0].begin, 4);
+  EXPECT_DOUBLE_EQ(s.assertion.ranges[0].end, 6);
+  EXPECT_TRUE(s.assertion.active_low);
+  EXPECT_FALSE(s.complemented);
+}
+
+TEST(AssertionParse, MultipleRangesAndSingleTimes) {
+  // "XYZ .C2-3,5-6" and the single-time form "XYZ .C2,5" (one clock unit
+  // assumed per single time) describe the same high intervals.
+  ParsedSignal a = parse_signal_name("XYZ .C2-3,5-6");
+  ParsedSignal b = parse_signal_name("XYZ .P2,5");
+  ASSERT_EQ(a.assertion.ranges.size(), 2u);
+  ASSERT_EQ(b.assertion.ranges.size(), 2u);
+  EXPECT_EQ(a.assertion.ranges[0], (Assertion::Range{2, 3, std::nullopt}));
+  EXPECT_EQ(a.assertion.ranges[1], (Assertion::Range{5, 6, std::nullopt}));
+  EXPECT_EQ(b.assertion.ranges[0], (Assertion::Range{2, 3, std::nullopt}));
+  EXPECT_EQ(b.assertion.kind, Assertion::Kind::PrecisionClock);
+  Waveform wa = assertion_waveform(a.assertion, P, kUnits, kNoSkew);
+  Waveform wb = assertion_waveform(b.assertion, P, kUnits, kNoSkew);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(AssertionParse, WidthInNanoseconds) {
+  // "XYZ .P2+10.0": high at unit 2 for 10.0 ns (does not scale with cycle).
+  ParsedSignal s = parse_signal_name("XYZ .P2+10.0");
+  ASSERT_EQ(s.assertion.ranges.size(), 1u);
+  EXPECT_TRUE(s.assertion.ranges[0].width_ns.has_value());
+  EXPECT_DOUBLE_EQ(*s.assertion.ranges[0].width_ns, 10.0);
+  Waveform w = assertion_waveform(s.assertion, P, kUnits, kNoSkew);
+  EXPECT_EQ(w.at(from_ns(12.5)), V::One);
+  EXPECT_EQ(w.at(from_ns(22.4)), V::One);
+  EXPECT_EQ(w.at(from_ns(22.5)), V::Zero);
+}
+
+TEST(AssertionParse, StableAssertionWithSpaceInName) {
+  // "W DATA .S0-6": names contain spaces; assertion is the trailing token.
+  ParsedSignal s = parse_signal_name("W DATA .S0-6");
+  EXPECT_EQ(s.base_name, "W DATA");
+  EXPECT_EQ(s.assertion.kind, Assertion::Kind::Stable);
+  Waveform w = assertion_waveform(s.assertion, P, kUnits, kNoSkew);
+  EXPECT_EQ(w.at(0), V::Stable);
+  EXPECT_EQ(w.at(from_ns(37.4)), V::Stable);   // just before unit 6
+  EXPECT_EQ(w.at(from_ns(37.5)), V::Change);   // units 6..8 changing
+  EXPECT_EQ(w.at(from_ns(49.9)), V::Change);
+}
+
+TEST(AssertionParse, StableAssertionWrapsModuloCycle) {
+  // Sec. 3.2: "READ ADR .S4-9" in an 8-unit cycle is stable 4..9 (i.e. 4..8
+  // plus 0..1) and changing 1..4.
+  ParsedSignal s = parse_signal_name("READ ADR .S4-9");
+  Waveform w = assertion_waveform(s.assertion, P, kUnits, kNoSkew);
+  EXPECT_EQ(w.at(from_ns(25.0)), V::Stable);   // unit 4
+  EXPECT_EQ(w.at(from_ns(49.9)), V::Stable);
+  EXPECT_EQ(w.at(from_ns(0.0)), V::Stable);    // wrapped portion to unit 1
+  EXPECT_EQ(w.at(from_ns(6.24)), V::Stable);
+  EXPECT_EQ(w.at(from_ns(6.25)), V::Change);
+  EXPECT_EQ(w.at(from_ns(24.9)), V::Change);
+}
+
+TEST(AssertionParse, ExplicitSkewSpecification) {
+  ParsedSignal s = parse_signal_name("CK .P2-3 (-0.5,1.5)");
+  ASSERT_TRUE(s.assertion.skew_ns.has_value());
+  EXPECT_DOUBLE_EQ(s.assertion.skew_ns->first, -0.5);
+  EXPECT_DOUBLE_EQ(s.assertion.skew_ns->second, 1.5);
+  Waveform w = assertion_waveform(s.assertion, P, kUnits, kNoSkew);
+  // Nominal rise at 12.5 shifted 0.5 early; total skew 2.0 ns.
+  EXPECT_EQ(w.at(from_ns(12.0)), V::One);
+  EXPECT_EQ(w.at(from_ns(11.9)), V::Zero);
+  EXPECT_EQ(w.skew(), from_ns(2.0));
+}
+
+TEST(AssertionParse, DefaultSkewsDifferByClockKind) {
+  // Mark IIA rules: precision clocks +-1 ns, non-precision +-5 ns.
+  AssertionDefaults d;  // the defaults are the Mark IIA numbers
+  Waveform p = assertion_waveform(parse_signal_name("A .P2-3").assertion, P, kUnits, d);
+  Waveform c = assertion_waveform(parse_signal_name("A .C2-3").assertion, P, kUnits, d);
+  EXPECT_EQ(p.skew(), from_ns(2.0));
+  EXPECT_EQ(c.skew(), from_ns(10.0));
+  // Earliest rise: 1 ns early for precision, 5 ns early for non-precision.
+  EXPECT_EQ(p.at(from_ns(11.5)), V::One);
+  EXPECT_EQ(p.at(from_ns(11.4)), V::Zero);
+  EXPECT_EQ(c.at(from_ns(7.5)), V::One);
+  EXPECT_EQ(c.at(from_ns(7.4)), V::Zero);
+}
+
+TEST(AssertionParse, ActiveLowClockInverts) {
+  // "XYZ .C 4-6 L" is *low* from 4 to 6 and high elsewhere.
+  ParsedSignal s = parse_signal_name("XYZ .C 4-6 L");
+  Waveform w = assertion_waveform(s.assertion, P, kUnits, kNoSkew);
+  EXPECT_EQ(w.at(from_ns(25.0)), V::Zero);   // unit 4
+  EXPECT_EQ(w.at(from_ns(37.4)), V::Zero);
+  EXPECT_EQ(w.at(from_ns(37.5)), V::One);
+  EXPECT_EQ(w.at(0), V::One);
+}
+
+TEST(AssertionParse, ComplementAndDirectives) {
+  ParsedSignal s = parse_signal_name("- WE");
+  EXPECT_TRUE(s.complemented);
+  EXPECT_EQ(s.base_name, "WE");
+
+  ParsedSignal d = parse_signal_name("CK .P0-4 &HZ");
+  EXPECT_EQ(d.directives, "HZ");
+  EXPECT_EQ(d.base_name, "CK");
+  EXPECT_EQ(d.assertion.kind, Assertion::Kind::PrecisionClock);
+
+  ParsedSignal e = parse_signal_name("ENB &A");
+  EXPECT_EQ(e.directives, "A");
+  EXPECT_EQ(e.base_name, "ENB");
+  EXPECT_EQ(e.assertion.kind, Assertion::Kind::None);
+}
+
+TEST(AssertionParse, PlainSignalHasNoAssertion) {
+  ParsedSignal s = parse_signal_name("ALU OUTPUT<0:35>");
+  EXPECT_EQ(s.base_name, "ALU OUTPUT<0:35>");
+  EXPECT_EQ(s.assertion.kind, Assertion::Kind::None);
+  Waveform w = assertion_waveform(s.assertion, P, kUnits, kNoSkew);
+  EXPECT_EQ(w.at(0), V::Unknown);
+  EXPECT_TRUE(w.is_constant());
+}
+
+TEST(AssertionParse, MalformedAssertionsThrow) {
+  EXPECT_THROW(parse_signal_name("X .S"), std::invalid_argument);
+  EXPECT_THROW(parse_signal_name("X .C2-"), std::invalid_argument);
+  EXPECT_THROW(parse_signal_name("X .C2-3(1.0,2.0)"), std::invalid_argument);  // minus > 0
+  EXPECT_THROW(parse_signal_name("X .C2-3(-1.0)"), std::invalid_argument);
+  EXPECT_THROW(parse_signal_name("X .C2-3 Q"), std::invalid_argument);
+  EXPECT_THROW(parse_signal_name("X &Q"), std::invalid_argument);
+}
+
+TEST(AssertionParse, AssertionIsPartOfSignalIdentity) {
+  // Sec. 2.5.1: the assertion is part of the signal name, so the same base
+  // name with different assertions parses to different full names.
+  ParsedSignal a = parse_signal_name("MEM CLK .P2-3");
+  ParsedSignal b = parse_signal_name("MEM CLK .P2-4");
+  EXPECT_EQ(a.base_name, b.base_name);
+  EXPECT_NE(a.full_name, b.full_name);
+}
+
+TEST(AssertionParse, ClockWaveformIsPeriodicConsistent) {
+  // Property: for any parsed clock, the waveform's segment widths sum to the
+  // period and the waveform contains only 0/1 values.
+  for (const char* name : {"A .C1-2", "B .P0-4", "C .C2-3,5-6", "D .P7-9 L", "E .P2+3.0"}) {
+    Waveform w = assertion_waveform(parse_signal_name(name).assertion, P, kUnits, kNoSkew);
+    Time sum = 0;
+    for (const auto& s : w.segments()) {
+      sum += s.width;
+      EXPECT_TRUE(s.value == V::Zero || s.value == V::One) << name;
+    }
+    EXPECT_EQ(sum, P) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tv
+
+namespace tv {
+namespace {
+
+TEST(AssertionPrint, CanonicalText) {
+  EXPECT_EQ(assertion_to_text(parse_signal_name("X .C 4-6 L").assertion), ".C4-6 L");
+  EXPECT_EQ(assertion_to_text(parse_signal_name("X .P2,5").assertion), ".P2-3,5-6");
+  EXPECT_EQ(assertion_to_text(parse_signal_name("X .P2+10.0").assertion), ".P2+10");
+  EXPECT_EQ(assertion_to_text(parse_signal_name("X .S4-8.5").assertion), ".S4-8.5");
+  EXPECT_EQ(assertion_to_text(parse_signal_name("X .P2-3 (-0.5,1.5)").assertion),
+            ".P2-3(-0.5,1.5)");
+  EXPECT_EQ(assertion_to_text(parse_signal_name("PLAIN").assertion), "");
+}
+
+TEST(AssertionPrint, RoundTripPreservesWaveform) {
+  const Time P = from_ns(50.0);
+  const ClockUnits units = ClockUnits::from_ns_per_unit(6.25);
+  const AssertionDefaults d{-1, 1, -5, 5};
+  for (const char* spec :
+       {"A .C 4-6 L", "A .P2,5", "A .P2+10.0", "A .S4-8.5", "A .P2-3 (-0.5,1.5)",
+        "A .C2-3,5-6", "A .S0-6", "A .P7-9 L"}) {
+    Assertion orig = parse_signal_name(spec).assertion;
+    std::string text = "A " + assertion_to_text(orig);
+    Assertion reparsed = parse_signal_name(text).assertion;
+    EXPECT_EQ(assertion_waveform(orig, P, units, d), assertion_waveform(reparsed, P, units, d))
+        << spec << " -> " << text;
+  }
+}
+
+}  // namespace
+}  // namespace tv

@@ -1,0 +1,161 @@
+// Case analysis (thesis sec. 2.7, Fig 2-6): two cascaded multiplexers whose
+// select lines are complementary. Without case analysis the verifier cannot
+// see that both muxes never select their slow "1" input at once and reports
+// a 40 ns input-to-output delay; analyzing the cases CONTROL=0 and CONTROL=1
+// separately gives 30 ns for both.
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+
+namespace tv {
+namespace {
+
+using V = Value;
+
+struct Fig26Circuit {
+  Netlist nl;
+  VerifierOptions opts;
+  SignalId input = kNoSignal;
+  SignalId control = kNoSignal;
+  SignalId output = kNoSignal;
+};
+
+// Each mux contributes 10 ns; each "1" data input has an extra 10 ns of
+// combinational delay in front of it. INPUT changes during [5, 10).
+Fig26Circuit build_fig26() {
+  Fig26Circuit c;
+  c.opts.period = from_ns(100.0);
+  c.opts.units = ClockUnits::from_ns_per_unit(1.0);
+  c.opts.default_wire = WireDelay{0, 0};
+  c.opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+
+  Netlist& nl = c.nl;
+  Ref in = nl.ref("INPUT .S10-105");  // changing 5..10, stable the rest
+  Ref control = nl.ref("CONTROL SIGNAL");
+  c.input = in.id;
+  c.control = control.id;
+
+  Ref slow1 = nl.ref("SLOW1");
+  nl.buf("EXTRA DELAY 1", from_ns(10), from_ns(10), in, slow1);
+  Ref m1 = nl.ref("M1");
+  nl.mux2("MUX 1", from_ns(10), from_ns(10), control, in, slow1, m1);
+
+  Ref slow2 = nl.ref("SLOW2");
+  nl.buf("EXTRA DELAY 2", from_ns(10), from_ns(10), m1, slow2);
+  Ref out = nl.ref("OUTPUT");
+  // The second mux's select is the *complement* of CONTROL: both slow
+  // paths can never be selected simultaneously.
+  Ref ncontrol = nl.ref("- CONTROL SIGNAL");
+  nl.mux2("MUX 2", from_ns(10), from_ns(10), ncontrol, m1, slow2, out);
+  c.output = out.id;
+  nl.finalize();
+  return c;
+}
+
+// When (after the input settles at 10 ns) does the output settle?
+Time settle_time(const Waveform& w) {
+  Time t = 0;
+  EXPECT_TRUE(w.settles(from_ns(10), from_ns(90), t));
+  return t;
+}
+
+TEST(CaseAnalysis, WithoutCasesDelayIs40ns) {
+  Fig26Circuit c = build_fig26();
+  Verifier v(c.nl, c.opts);
+  VerifyResult r = v.verify();
+  EXPECT_TRUE(r.converged);
+  // INPUT settles at 10; OUTPUT settles 40 ns later.
+  EXPECT_EQ(settle_time(c.nl.signal(c.output).wave), from_ns(50));
+}
+
+TEST(CaseAnalysis, EachCaseGives30ns) {
+  Fig26Circuit c = build_fig26();
+  Evaluator ev(c.nl, c.opts);
+  ev.initialize();
+  ev.propagate();
+
+  CaseSpec case1{"CONTROL SIGNAL = 1", {{c.control, V::One}}};
+  ev.apply_case(case1);
+  EXPECT_EQ(settle_time(ev.wave(c.output)), from_ns(40));
+
+  CaseSpec case0{"CONTROL SIGNAL = 0", {{c.control, V::Zero}}};
+  ev.apply_case(case0);
+  EXPECT_EQ(settle_time(ev.wave(c.output)), from_ns(40));
+}
+
+TEST(CaseAnalysis, CaseMappingOnlyAffectsStableValues) {
+  // Sec. 2.7.1: the mapping replaces values that "would normally be
+  // STABLE"; the changing intervals of an asserted signal keep changing.
+  Netlist nl;
+  VerifierOptions opts;
+  opts.period = from_ns(100);
+  opts.units = ClockUnits::from_ns_per_unit(1.0);
+  opts.default_wire = {0, 0};
+  Ref sig = nl.ref("CTL .S10-90");
+  Ref out = nl.ref("OUT");
+  nl.buf("B", 0, 0, sig, out);
+  nl.finalize();
+  Evaluator ev(nl, opts);
+  ev.initialize();
+  ev.propagate();
+  ev.apply_case(CaseSpec{"CTL=1", {{sig.id, V::One}}});
+  EXPECT_EQ(ev.wave(sig.id).at(from_ns(50)), V::One);     // was STABLE
+  EXPECT_EQ(ev.wave(sig.id).at(from_ns(95)), V::Change);  // still changing
+  EXPECT_EQ(ev.wave(out.id).at(from_ns(50)), V::One);     // propagated
+}
+
+TEST(CaseAnalysis, IncrementalReevaluationIsCheap) {
+  // Sec. 2.7/3.3.2: going case-to-case reevaluates only the affected cone.
+  Fig26Circuit c = build_fig26();
+  Evaluator ev(c.nl, c.opts);
+  ev.initialize();
+  ev.propagate();
+  std::size_t evals_base = ev.evals_performed();
+
+  // A case on a signal nothing depends on: no primitive reevaluation moves
+  // the result.
+  Ref unrelated = c.nl.ref("UNRELATED");
+  (void)unrelated;
+  std::size_t events = ev.apply_case(CaseSpec{"noop", {{unrelated.id, V::One}}});
+  EXPECT_EQ(events, 0u);
+
+  // A case on CONTROL touches the two muxes (and their fanout) only.
+  ev.apply_case(CaseSpec{"CONTROL=1", {{c.control, V::One}}});
+  std::size_t evals_case = ev.evals_performed() - evals_base;
+  EXPECT_LE(evals_case, 8u);  // far less than re-evaluating from scratch
+}
+
+TEST(CaseAnalysis, ClearCaseRestoresBase) {
+  Fig26Circuit c = build_fig26();
+  Evaluator ev(c.nl, c.opts);
+  ev.initialize();
+  ev.propagate();
+  Waveform base_out = ev.wave(c.output);
+  ev.apply_case(CaseSpec{"CONTROL=1", {{c.control, V::One}}});
+  EXPECT_FALSE(ev.wave(c.output) == base_out);
+  ev.clear_case();
+  EXPECT_EQ(ev.wave(c.output), base_out);
+}
+
+TEST(CaseAnalysis, RejectsNonBooleanCaseValues) {
+  Fig26Circuit c = build_fig26();
+  Evaluator ev(c.nl, c.opts);
+  ev.initialize();
+  ev.propagate();
+  EXPECT_THROW(ev.apply_case(CaseSpec{"bad", {{c.control, V::Change}}}),
+               std::invalid_argument);
+}
+
+TEST(CaseAnalysis, VerifierRunsAllSpecifiedCases) {
+  Fig26Circuit c = build_fig26();
+  Verifier v(c.nl, c.opts);
+  std::vector<CaseSpec> cases = {{"CONTROL SIGNAL = 0", {{c.control, V::Zero}}},
+                                 {"CONTROL SIGNAL = 1", {{c.control, V::One}}}};
+  VerifyResult r = v.verify(cases);
+  ASSERT_EQ(r.cases.size(), 2u);
+  EXPECT_EQ(r.cases[0].name, "CONTROL SIGNAL = 0");
+  EXPECT_GT(r.cases[0].events, 0u);
+}
+
+}  // namespace
+}  // namespace tv

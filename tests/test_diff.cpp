@@ -1,0 +1,187 @@
+// Tests for verification diffing (the sec. 3.3.1 day-by-day workflow) and
+// the multi-clock-rate least-common-multiple period rule of sec. 2.2.
+#include "core/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/verifier.hpp"
+#include "gen/s1_design.hpp"
+#include "hdl/parser.hpp"
+
+namespace tv {
+namespace {
+
+VerifierOptions opts50() {
+  VerifierOptions o;
+  o.period = from_ns(50.0);
+  o.units = ClockUnits::from_ns_per_unit(1.0);
+  o.default_wire = WireDelay{0, 0};
+  o.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  return o;
+}
+
+// "Day 1": a slow gate breaks setup. "Day 2": the gate was sped up but a
+// new hold problem appeared.
+void build_day(Netlist& nl, bool day2) {
+  Ref ck = nl.ref("CK .P30-40");
+  Ref d = nl.ref("D .S0-45");  // changing only 45..50
+  Ref mid = nl.ref("MID");
+  if (!day2) {
+    nl.buf("SLOW GATE", from_ns(20), from_ns(29), d, mid);  // changing 15..29: setup miss
+  } else {
+    nl.buf("SLOW GATE", from_ns(2), from_ns(3), d, mid);
+  }
+  nl.setup_hold_chk("CAPTURE CHK", from_ns(2), 0, mid, ck);
+  if (day2) {
+    // A newly added path that violates hold on a second checker.
+    Ref late = nl.ref("LATE .S32-81");  // changing 31..32: inside the hold window
+    nl.setup_hold_chk("NEW CHK", 0, from_ns(2), late, ck);
+  }
+  nl.finalize();
+}
+
+TEST(Diff, TracksIntroducedFixedPersisting) {
+  Netlist day1, day2;
+  build_day(day1, false);
+  build_day(day2, true);
+  Verifier v1(day1, opts50()), v2(day2, opts50());
+  VerifyResult r1 = v1.verify();
+  VerifyResult r2 = v2.verify();
+  ASSERT_FALSE(r1.violations.empty());
+  ASSERT_FALSE(r2.violations.empty());
+
+  VerifyDiff d = diff_results(day1, r1.violations, day2, r2.violations);
+  ASSERT_EQ(d.fixed.size(), 1u);     // the slow-gate setup miss
+  ASSERT_EQ(d.introduced.size(), 1u);  // the new hold miss
+  EXPECT_EQ(d.introduced[0].type, Violation::Type::Hold);
+  EXPECT_TRUE(d.persisting.empty());
+
+  std::string report = diff_report(d);
+  EXPECT_NE(report.find("1 new, 1 fixed, 0 persisting"), std::string::npos) << report;
+  EXPECT_NE(report.find("NEW SINCE BASELINE"), std::string::npos);
+  EXPECT_NE(report.find("FIXED"), std::string::npos);
+}
+
+TEST(Diff, IdenticalRunsShowOnlyPersisting) {
+  Netlist a, b;
+  build_day(a, false);
+  build_day(b, false);
+  Verifier va(a, opts50()), vb(b, opts50());
+  VerifyResult ra = va.verify(), rb = vb.verify();
+  VerifyDiff d = diff_results(a, ra.violations, b, rb.violations);
+  EXPECT_TRUE(d.introduced.empty());
+  EXPECT_TRUE(d.fixed.empty());
+  EXPECT_EQ(d.persisting.size(), ra.violations.size());
+}
+
+// Sec. 2.2: "If different parts of the circuit being verified run at
+// different clock rates, then the period specified is the least common
+// multiple" -- a 30 ns instruction unit plus a 15 ns execution unit are
+// verified over one 30 ns cycle in which the execution clock pulses twice.
+TEST(MultiClock, LcmPeriodWithTwoDomains) {
+  Netlist nl;
+  VerifierOptions o;
+  o.period = from_ns(std::lcm(30, 15));  // 30 ns
+  o.units = ClockUnits::from_ns_per_unit(1.0);
+  o.default_wire = WireDelay{0, 0};
+  o.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  EXPECT_EQ(o.period, from_ns(30.0));
+
+  // Instruction-unit clock: one pulse per 30 ns cycle.
+  Ref iclk = nl.ref("I CLK .P2-6");
+  // Execution-unit clock: 15 ns period = two pulses per verified cycle.
+  Ref eclk = nl.ref("E CLK .P2-4,17-19");
+
+  // An execution-unit register captures twice per verified cycle; its data
+  // is regenerated after each execution clock and must meet setup at both
+  // edges.
+  Ref edata = nl.ref("E DATA", 8);
+  Ref eq = nl.ref("E Q", 8);
+  nl.reg("E REG", from_ns(1), from_ns(2), edata, eclk, eq, 8);
+  nl.chg("E LOGIC", from_ns(3), from_ns(6), {eq}, edata, 8);
+  nl.setup_hold_chk("E CHK", from_ns(1.5), from_ns(0.5), edata, eclk, 8);
+
+  // The instruction unit consumes the execution result once per cycle.
+  Ref iq = nl.ref("I Q", 8);
+  nl.reg("I REG", from_ns(1), from_ns(2), eq, iclk, iq, 8);
+  nl.finalize();
+
+  Verifier v(nl, o);
+  VerifyResult r = v.verify();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.violations.empty()) << violations_report(r.violations);
+
+  // The execution register's output indeed changes after *both* pulses.
+  Waveform q = nl.signal(eq.id).wave;
+  auto changing_at = [&](double t) { return q.at(from_ns(t)) == Value::Change; };
+  EXPECT_TRUE(changing_at(3.5));   // after the first edge (2 + delay 1..2)
+  EXPECT_TRUE(changing_at(18.5));  // after the second edge (17 + delay)
+  EXPECT_FALSE(changing_at(12.0));
+}
+
+TEST(MultiClock, EdgeCountMatchesAssertion) {
+  Netlist nl;
+  Ref eclk = nl.ref("E CLK .P2-4,17-19");
+  nl.buf("B", 0, 0, eclk, nl.ref("OUT"));
+  nl.finalize();
+  VerifierOptions o;
+  o.period = from_ns(30.0);
+  o.units = ClockUnits::from_ns_per_unit(1.0);
+  o.default_wire = WireDelay{0, 0};
+  o.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  Evaluator ev(nl, o);
+  ev.initialize();
+  ev.propagate();
+  auto rises = edge_windows(ev.wave(eclk.id).with_skew_incorporated(), true);
+  EXPECT_EQ(rises.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tv
+
+namespace tv {
+namespace {
+
+// Day-by-day loop on the synthetic S-1 (sec. 3.3.1): day 1 is clean; on
+// day 2 a designer slows one stage's result gate; the diff isolates the
+// regression; on day 3 the fix lands and the diff confirms it.
+TEST(Diff, S1DayByDayRegressionLoop) {
+  gen::S1Params p;
+  p.stages = 4;
+  p.clock_tree_bufs = 0;
+
+  auto verify_day = [&](bool broken, std::unique_ptr<hdl::ElaboratedDesign>& out) {
+    std::string src = gen::generate_s1_shdl(p);
+    if (broken) {
+      auto pos = src.find("or [delay=1.0:3.0");
+      ASSERT_NE(pos, std::string::npos);
+      src.replace(pos, std::string("or [delay=1.0:3.0").size(), "or [delay=1.0:9.5");
+    }
+    out = std::make_unique<hdl::ElaboratedDesign>(hdl::elaborate(hdl::parse(src)));
+  };
+
+  std::unique_ptr<hdl::ElaboratedDesign> day1, day2, day3;
+  verify_day(false, day1);
+  verify_day(true, day2);
+  verify_day(false, day3);
+  Verifier v1(day1->netlist, day1->options), v2(day2->netlist, day2->options),
+      v3(day3->netlist, day3->options);
+  VerifyResult r1 = v1.verify(), r2 = v2.verify(), r3 = v3.verify();
+
+  EXPECT_TRUE(r1.violations.empty()) << violations_report(r1.violations);
+  EXPECT_FALSE(r2.violations.empty());
+
+  VerifyDiff d12 = diff_results(day1->netlist, r1.violations, day2->netlist, r2.violations);
+  EXPECT_EQ(d12.introduced.size(), r2.violations.size());
+  EXPECT_TRUE(d12.fixed.empty());
+
+  VerifyDiff d23 = diff_results(day2->netlist, r2.violations, day3->netlist, r3.violations);
+  EXPECT_EQ(d23.fixed.size(), r2.violations.size());
+  EXPECT_TRUE(d23.introduced.empty());
+  EXPECT_TRUE(r3.violations.empty());
+}
+
+}  // namespace
+}  // namespace tv

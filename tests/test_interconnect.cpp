@@ -1,0 +1,137 @@
+// Tests for the interconnect-delay substrate (thesis secs. 1.3.2, 2.5.3).
+#include "physical/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/verifier.hpp"
+
+namespace tv::physical {
+namespace {
+
+TEST(Interconnect, UnloadedShortLine) {
+  NetGeometry g;
+  g.min_length_in = 1.0;
+  g.max_length_in = 2.0;
+  g.loads = 0;  // no load capacitance
+  WireAnalysis a = analyze_net(g);
+  EXPECT_NEAR(a.min_ns, 0.148, 1e-9);
+  EXPECT_NEAR(a.max_ns, 0.296, 1e-9);
+  EXPECT_FALSE(a.reflection_risk);
+  EXPECT_EQ(a.delay.dmin, from_ns(0.148));
+}
+
+TEST(Interconnect, LoadingSlowsTheLine) {
+  NetGeometry light, heavy;
+  light.min_length_in = heavy.min_length_in = 4.0;
+  light.max_length_in = heavy.max_length_in = 4.0;
+  light.loads = 1;
+  heavy.loads = 8;
+  WireAnalysis la = analyze_net(light);
+  WireAnalysis ha = analyze_net(heavy);
+  EXPECT_GT(ha.max_ns, la.max_ns);
+  // Slowdown is sqrt(1 + Cd/C0): 8 loads x 3 pF on 4 in x 2.95 pF/in.
+  double c0 = 4.0 * 2.95;
+  double expected = 0.148 * 4.0 * std::sqrt(1.0 + 24.0 / c0);
+  EXPECT_NEAR(ha.max_ns, expected, 1e-9);
+}
+
+TEST(Interconnect, MonotoneInLengthProperty) {
+  double prev = 0;
+  for (double len = 1.0; len <= 16.0; len *= 2) {
+    NetGeometry g;
+    g.min_length_in = g.max_length_in = len;
+    WireAnalysis a = analyze_net(g);
+    EXPECT_GT(a.max_ns, prev);
+    prev = a.max_ns;
+    EXPECT_LE(a.min_ns, a.max_ns);
+  }
+}
+
+TEST(Interconnect, UnterminatedLongLineFlagsReflections) {
+  // Sec. 1.3.2: round trip exceeding ~the edge time on an unterminated run.
+  NetGeometry g;
+  g.min_length_in = 6.0;
+  g.max_length_in = 10.0;
+  g.terminated = false;
+  WireAnalysis a = analyze_net(g);
+  EXPECT_TRUE(a.reflection_risk);
+  // The settling round trip charges into the max delay.
+  NetGeometry t = g;
+  t.terminated = true;
+  EXPECT_GT(a.max_ns, analyze_net(t).max_ns * 2.5);
+
+  NetGeometry short_stub = g;
+  short_stub.max_length_in = 1.0;
+  short_stub.min_length_in = 0.5;
+  EXPECT_FALSE(analyze_net(short_stub).reflection_risk);
+}
+
+TEST(Interconnect, ApplySetsDelaysAndFlagsClockNets) {
+  Netlist nl;
+  Ref d = nl.ref("D .S0-6");
+  Ref ck_net = nl.ref("CK NET");
+  nl.buf("CK DRV", 0, 0, nl.ref("CK .P2-3"), ck_net);
+  Ref q = nl.ref("Q");
+  nl.reg("R", from_ns(1), from_ns(2), d, ck_net, q);
+  nl.finalize();
+
+  std::map<SignalId, NetGeometry> geo;
+  NetGeometry long_unterminated;
+  long_unterminated.min_length_in = 5.0;
+  long_unterminated.max_length_in = 12.0;
+  long_unterminated.terminated = false;
+  geo[ck_net.id] = long_unterminated;
+  NetGeometry short_data;
+  short_data.min_length_in = 0.5;
+  short_data.max_length_in = 1.5;
+  geo[d.id] = short_data;
+
+  auto flagged = apply_interconnect(nl, geo);
+  // The clock net is flagged (edge-sensitive register clock pin); the data
+  // net is not.
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], ck_net.id);
+  ASSERT_TRUE(nl.signal(d.id).wire_delay.has_value());
+  EXPECT_GT(nl.signal(ck_net.id).wire_delay->dmax, nl.signal(d.id).wire_delay->dmax);
+}
+
+TEST(Interconnect, CalculatedDelaysChangeVerificationOutcome) {
+  // The design meets timing under the optimistic default rule but fails
+  // once the routed lengths are known -- the thesis' reason to feed
+  // calculated interconnection delays back into verification.
+  auto build = [](bool with_geometry) {
+    auto nl = std::make_unique<Netlist>();
+    Ref d = nl->ref("D .S1-6.8");  // changing 8..10 ns
+    Ref ck = nl->ref("CK .P2.1-2.8");  // rises at 21 ns
+    Ref mid = nl->ref("MID");
+    nl->buf("B", from_ns(2), from_ns(4), d, mid);
+    nl->setup_hold_chk("CHK", from_ns(2), 0, mid, ck);
+    nl->finalize();
+    if (with_geometry) {
+      std::map<SignalId, NetGeometry> geo;
+      NetGeometry g;
+      g.min_length_in = 8.0;
+      g.max_length_in = 20.0;  // a long backplane run
+      g.loads = 6;
+      geo[mid.id] = g;
+      apply_interconnect(*nl, geo);
+    }
+    return nl;
+  };
+  VerifierOptions opts;
+  opts.period = from_ns(60.0);
+  opts.units = ClockUnits::from_ns_per_unit(10.0);
+  opts.default_wire = WireDelay{0, from_ns(2.0)};
+  opts.assertion_defaults = {0, 0, 0, 0};
+
+  auto clean = build(false);
+  auto routed = build(true);
+  Verifier v1(*clean, opts), v2(*routed, opts);
+  EXPECT_TRUE(v1.verify().violations.empty());
+  EXPECT_FALSE(v2.verify().violations.empty());
+}
+
+}  // namespace
+}  // namespace tv::physical

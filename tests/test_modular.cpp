@@ -1,0 +1,181 @@
+// Modular verification (thesis sec. 2.5.2): a two-section design -- a
+// producer generating a registered output and a consumer using it -- is
+// verified section by section with stable assertions on the interface.
+#include <gtest/gtest.h>
+
+#include "core/modular.hpp"
+
+namespace tv {
+namespace {
+
+using V = Value;
+
+VerifierOptions options() {
+  VerifierOptions o;
+  o.period = from_ns(50.0);
+  o.units = ClockUnits::from_ns_per_unit(1.0);
+  o.default_wire = WireDelay{0, from_ns(1.0)};
+  o.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  return o;
+}
+
+// Producer: a register clocked at 10 ns drives "BUS DATA .S18-58" (stable
+// 18..8-next-cycle, i.e. changing 8..18). Register delay 1-3 ns plus 1 ns
+// wire, clocked 10-12(skew): output changing 11..16 -> the .S18-58
+// assertion holds with margin.
+void build_producer(Netlist& nl, const char* bus_name) {
+  Ref d = nl.ref("LOCAL IN .S0-8");
+  Ref ck = nl.ref("P CLK .P10-20");
+  Ref bus = nl.ref(bus_name, 8);
+  nl.reg("P REG", from_ns(1.0), from_ns(3.0), d, ck, bus, 8);
+}
+
+// Consumer: treats the bus as an input with the same assertion and checks
+// set-up into its own register clocked at the end of the cycle.
+void build_consumer(Netlist& nl, const char* bus_name) {
+  Ref bus = nl.ref(bus_name, 8);
+  Ref ck = nl.ref("C CLK .P40-45");
+  Ref q = nl.ref("C OUT", 8);
+  nl.reg("C REG", from_ns(1.0), from_ns(3.0), bus, ck, q, 8);
+  nl.setup_hold_chk("C SETUP", from_ns(2.0), from_ns(1.0), bus, ck, 8);
+}
+
+TEST(Modular, CleanSectionsWithConsistentInterfaceCompose) {
+  Netlist producer, consumer;
+  build_producer(producer, "BUS DATA .S18-58");
+  build_consumer(consumer, "BUS DATA .S18-58");
+  std::vector<Section> sections = {{"PRODUCER", &producer, {}}, {"CONSUMER", &consumer, {}}};
+  ModularResult r = verify_modular(sections, options());
+  ASSERT_EQ(r.sections.size(), 2u);
+  EXPECT_TRUE(r.sections[0].result.violations.empty())
+      << violations_report(r.sections[0].result.violations);
+  EXPECT_TRUE(r.sections[1].result.violations.empty())
+      << violations_report(r.sections[1].result.violations);
+  EXPECT_TRUE(r.interface_issues.empty());
+  EXPECT_TRUE(r.design_free_of_timing_errors());
+}
+
+TEST(Modular, ProducerViolatingItsOwnAssertionIsCaught) {
+  // The producer claims stability from 12 ns but its register output can
+  // still be changing until 13 ns: the stable-assertion check fires inside
+  // the producing section (sec. 2.5.2: "the designer's initial timing
+  // assertion is checked against the timing of the actual signal").
+  Netlist producer;
+  build_producer(producer, "BUS DATA .S12-58");
+  std::vector<Section> sections = {{"PRODUCER", &producer, {}}};
+  ModularResult r = verify_modular(sections, options());
+  ASSERT_EQ(r.sections[0].result.violations.size(), 1u)
+      << violations_report(r.sections[0].result.violations);
+  EXPECT_EQ(r.sections[0].result.violations[0].type,
+            Violation::Type::StableAssertionViolated);
+  EXPECT_FALSE(r.design_free_of_timing_errors());
+}
+
+TEST(Modular, MismatchedInterfaceAssertionsAreCaught) {
+  Netlist producer, consumer;
+  build_producer(producer, "BUS DATA .S18-58");
+  build_consumer(consumer, "BUS DATA .S16-58");  // consumer assumes more
+  std::vector<Section> sections = {{"PRODUCER", &producer, {}}, {"CONSUMER", &consumer, {}}};
+  ModularResult r = verify_modular(sections, options());
+  ASSERT_EQ(r.interface_issues.size(), 1u);
+  EXPECT_EQ(r.interface_issues[0].kind, InterfaceIssue::Kind::AssertionMismatch);
+  EXPECT_EQ(r.interface_issues[0].base_name, "BUS DATA");
+  EXPECT_FALSE(r.design_free_of_timing_errors());
+}
+
+TEST(Modular, UnassertedInterfaceSignalIsCaught) {
+  Netlist producer, consumer;
+  build_producer(producer, "BUS DATA");
+  build_consumer(consumer, "BUS DATA");
+  std::vector<Section> sections = {{"PRODUCER", &producer, {}}, {"CONSUMER", &consumer, {}}};
+  ModularResult r = verify_modular(sections, options());
+  bool found = false;
+  for (const auto& i : r.interface_issues) {
+    if (i.kind == InterfaceIssue::Kind::MissingAssertion) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Modular, LocalSignalsDoNotCrossSections) {
+  // Both sections have a private "SCRATCH /M" net (the SCALD local-scope
+  // marker): not an interface signal, so sharing the base name across
+  // sections must not be flagged.
+  Netlist a, b;
+  build_producer(a, "BUS X .S18-58");
+  Ref sa = a.ref("SCRATCH /M");
+  a.buf("ABUF", 0, 0, a.ref("BUS X .S18-58"), sa);
+  build_consumer(b, "BUS X .S18-58");
+  Ref sb = b.ref("SCRATCH /M");
+  b.buf("BBUF", 0, 0, b.ref("BUS X .S18-58"), sb);
+  std::vector<Section> sections = {{"A", &a, {}}, {"B", &b, {}}};
+  ModularResult r = verify_modular(sections, options());
+  for (const auto& i : r.interface_issues) {
+    EXPECT_NE(i.base_name, "SCRATCH") << i.detail;
+  }
+}
+
+TEST(Modular, MultipleDriversAcrossSectionsAreCaught) {
+  Netlist a, b;
+  build_producer(a, "BUS Y .S18-58");
+  build_producer(b, "BUS Y .S18-58");
+  std::vector<Section> sections = {{"A", &a, {}}, {"B", &b, {}}};
+  ModularResult r = verify_modular(sections, options());
+  bool found = false;
+  for (const auto& i : r.interface_issues) {
+    if (i.kind == InterfaceIssue::Kind::MultipleDrivers && i.base_name == "BUS Y") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Modular, SectionErrorsBlockTheComposedProof) {
+  // A consumer whose clock leaves too little set-up time: its section error
+  // must falsify the whole-design claim even with clean interfaces.
+  Netlist producer, consumer;
+  build_producer(producer, "BUS DATA .S18-58");
+  // Clock at 19 ns: the bus settles at 18 + 1 wire = 19, setup 2 -> miss.
+  Ref bus = consumer.ref("BUS DATA .S18-58", 8);
+  Ref ck = consumer.ref("C CLK .P19-24");
+  consumer.setup_hold_chk("C SETUP", from_ns(2.0), from_ns(1.0), bus, ck, 8);
+  std::vector<Section> sections = {{"PRODUCER", &producer, {}}, {"CONSUMER", &consumer, {}}};
+  ModularResult r = verify_modular(sections, options());
+  EXPECT_TRUE(r.interface_issues.empty());
+  EXPECT_FALSE(r.sections[1].result.violations.empty());
+  EXPECT_FALSE(r.design_free_of_timing_errors());
+}
+
+}  // namespace
+}  // namespace tv
+
+namespace tv {
+namespace {
+
+TEST(Modular, DerivedClockFamiliesAreNotMismatches) {
+  // Fig 2-5 uses "CK .P0-4" and "CK .P2-3 L" -- one base name, two
+  // assertion-defined clocks. Sharing such a family across sections is
+  // legitimate and must not be flagged.
+  Netlist a, b;
+  a.buf("A1", 0, 0, a.ref("CK .P0-4"), a.ref("A OUT /M"));
+  a.buf("A2", 0, 0, a.ref("CK .P2-3"), a.ref("A OUT2 /M"));
+  b.buf("B1", 0, 0, b.ref("CK .P2-3"), b.ref("B OUT /M"));
+  a.finalize();
+  b.finalize();
+  std::vector<Section> sections = {{"A", &a, {}}, {"B", &b, {}}};
+  auto issues = check_interfaces(sections);
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(Modular, DrivenVariantWithDifferingConsumerIsAMismatch) {
+  Netlist a, b;
+  a.buf("DRV", 0, 0, a.ref("IN .S0-4"), a.ref("BUS Z .S3-9"));  // producer
+  b.buf("USE", 0, 0, b.ref("BUS Z .S2-9"), b.ref("B OUT /M"));  // consumer assumes more
+  a.finalize();
+  b.finalize();
+  std::vector<Section> sections = {{"A", &a, {}}, {"B", &b, {}}};
+  auto issues = check_interfaces(sections);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, InterfaceIssue::Kind::AssertionMismatch);
+  EXPECT_NE(issues[0].detail.find("(driven)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tv

@@ -1,0 +1,145 @@
+// Tests for the circuit data model: reference identity, builder
+// validation, finalize() structural checks, and the Table 3-2 style
+// statistics the netlist carries.
+#include "core/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tv {
+namespace {
+
+TEST(Netlist, RefIdentityIsFullName) {
+  Netlist nl;
+  Ref a1 = nl.ref("MEM CLK .P2-3");
+  Ref a2 = nl.ref("MEM CLK .P2-3");
+  Ref b = nl.ref("MEM CLK .P2-4");  // different assertion -> different signal
+  EXPECT_EQ(a1.id, a2.id);
+  EXPECT_NE(a1.id, b.id);
+  EXPECT_EQ(nl.find("MEM CLK .P2-3"), a1.id);
+  EXPECT_EQ(nl.find("NOPE"), kNoSignal);
+}
+
+TEST(Netlist, ComplementDoesNotCreateNewSignal) {
+  Netlist nl;
+  Ref pos = nl.ref("WE");
+  Ref neg = nl.ref("- WE");
+  EXPECT_EQ(pos.id, neg.id);
+  EXPECT_FALSE(pos.invert);
+  EXPECT_TRUE(neg.invert);
+}
+
+TEST(Netlist, WidthGrowsToWidestReference) {
+  Netlist nl;
+  Ref a = nl.ref("BUS", 8);
+  nl.ref("BUS", 16);
+  nl.ref("BUS", 4);
+  EXPECT_EQ(nl.signal(a.id).width, 16);
+}
+
+TEST(Netlist, FinalizeRejectsMultipleDrivers) {
+  Netlist nl;
+  Ref out = nl.ref("X");
+  nl.buf("B1", 0, 0, nl.ref("A"), out);
+  nl.buf("B2", 0, 0, nl.ref("B"), out);
+  EXPECT_THROW(nl.finalize(), std::logic_error);
+}
+
+TEST(Netlist, FinalizeRejectsDrivenClockAssertion) {
+  // A clock assertion *defines* the waveform; driving the same signal
+  // would make verification circular.
+  Netlist nl;
+  Ref ck = nl.ref("CK .P2-3");
+  nl.buf("B", 0, 0, nl.ref("A"), ck);
+  EXPECT_THROW(nl.finalize(), std::logic_error);
+}
+
+TEST(Netlist, DrivenStableAssertionIsAllowed) {
+  // Stable assertions on generated signals are checked, not seeds.
+  Netlist nl;
+  nl.buf("B", 0, 0, nl.ref("A .S0-4"), nl.ref("OUT .S1-6"));
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(Netlist, FinalizeRejectsWrongPinCounts) {
+  {
+    Netlist nl;
+    Primitive p;
+    p.kind = PrimKind::Mux2;
+    p.name = "M";
+    p.inputs = {Pin{nl.ref("A").id, false, ""}};  // needs 3
+    p.output = nl.ref("Q").id;
+    nl.add_prim(std::move(p));
+    EXPECT_THROW(nl.finalize(), std::logic_error);
+  }
+  {
+    Netlist nl;
+    Primitive p;
+    p.kind = PrimKind::Reg;
+    p.name = "R";
+    p.inputs = {Pin{nl.ref("D").id, false, ""}, Pin{nl.ref("CK").id, false, ""}};
+    // no output
+    nl.add_prim(std::move(p));
+    EXPECT_THROW(nl.finalize(), std::logic_error);
+  }
+}
+
+TEST(Netlist, CheckersMustNotDrive) {
+  Netlist nl;
+  Primitive p;
+  p.kind = PrimKind::SetupHoldChk;
+  p.name = "C";
+  p.inputs = {Pin{nl.ref("D").id, false, ""}, Pin{nl.ref("CK").id, false, ""}};
+  p.output = nl.ref("Q").id;
+  nl.add_prim(std::move(p));
+  EXPECT_THROW(nl.finalize(), std::logic_error);
+}
+
+TEST(Netlist, FanoutCallListsAreComputed) {
+  Netlist nl;
+  Ref a = nl.ref("A");
+  PrimId b1 = nl.buf("B1", 0, 0, a, nl.ref("X"));
+  PrimId b2 = nl.buf("B2", 0, 0, a, nl.ref("Y"));
+  nl.or_gate("G", 0, 0, {nl.ref("X"), nl.ref("Y")}, nl.ref("Z"));
+  nl.finalize();
+  const auto& fo = nl.signal(a.id).fanout;
+  ASSERT_EQ(fo.size(), 2u);
+  EXPECT_EQ(fo[0], b1);
+  EXPECT_EQ(fo[1], b2);
+  EXPECT_EQ(nl.signal(nl.find("X")).driver, b1);
+}
+
+TEST(Netlist, InvalidDelayRangesThrowOnConstruction) {
+  Netlist nl;
+  EXPECT_THROW(nl.buf("B", from_ns(3), from_ns(2), nl.ref("A"), nl.ref("X")),
+               std::invalid_argument);
+  EXPECT_THROW(nl.set_wire_delay(nl.ref("A").id, from_ns(2), from_ns(1)),
+               std::invalid_argument);
+}
+
+TEST(Netlist, OutputComplementRejected) {
+  Netlist nl;
+  EXPECT_THROW(nl.buf("B", 0, 0, nl.ref("A"), nl.ref("- X")), std::invalid_argument);
+}
+
+TEST(Netlist, RefinalizeAfterEditing) {
+  Netlist nl;
+  Ref a = nl.ref("A");
+  nl.buf("B1", 0, 0, a, nl.ref("X"));
+  nl.finalize();
+  EXPECT_TRUE(nl.finalized());
+  nl.buf("B2", 0, 0, nl.ref("X"), nl.ref("Y"));
+  EXPECT_FALSE(nl.finalized());  // adding invalidates
+  nl.finalize();
+  EXPECT_EQ(nl.signal(nl.find("X")).fanout.size(), 1u);
+}
+
+TEST(Netlist, PrimKindNames) {
+  EXPECT_EQ(prim_kind_name(PrimKind::RegSR), "REG RS");
+  EXPECT_EQ(prim_kind_name(PrimKind::Mux8), "8 MUX");
+  EXPECT_EQ(prim_kind_name(PrimKind::SetupHoldChk), "SETUP HOLD CHK");
+  EXPECT_TRUE(prim_is_checker(PrimKind::MinPulseWidthChk));
+  EXPECT_FALSE(prim_is_checker(PrimKind::Latch));
+}
+
+}  // namespace
+}  // namespace tv

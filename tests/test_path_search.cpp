@@ -1,0 +1,130 @@
+// Tests for the worst-case path-search baseline (thesis sec. 1.4.2,
+// GRASP/RAS style) and its documented limitation: value-blind analysis
+// reports paths the circuit can never exercise.
+#include "pathsearch/path_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+
+namespace tv::pathsearch {
+namespace {
+
+TEST(PathSearch, SimpleRegisterToRegisterChain) {
+  Netlist nl;
+  Ref ck = nl.ref("CK .P0-2");
+  Ref q1 = nl.ref("Q1"), mid = nl.ref("MID"), d2 = nl.ref("D2"), q2 = nl.ref("Q2");
+  nl.reg("R1", from_ns(1), from_ns(2), nl.ref("D1 .S0-8"), ck, q1);
+  nl.buf("G1", from_ns(3), from_ns(5), q1, mid);
+  nl.buf("G2", from_ns(2), from_ns(4), mid, d2);
+  nl.reg("R2", from_ns(1), from_ns(2), d2, ck, q2);
+  nl.finalize();
+
+  PathSearcher ps(nl);
+  PathSearchResult r = ps.analyze();
+  ASSERT_FALSE(r.paths.empty());
+  // Worst path: Q1 -> D2 through G1+G2: [5, 9] ns of element delay.
+  const PathReport& worst = r.paths[0];
+  EXPECT_EQ(worst.from, q1.id);
+  EXPECT_EQ(worst.to, d2.id);
+  EXPECT_EQ(worst.min_delay, from_ns(5));
+  EXPECT_EQ(worst.max_delay, from_ns(9));
+  EXPECT_EQ(worst.prims.size(), 2u);
+}
+
+TEST(PathSearch, WireDelaysAreIncluded) {
+  Netlist nl;
+  Ref ck = nl.ref("CK .P0-2");
+  Ref q1 = nl.ref("Q1"), d2 = nl.ref("D2"), q2 = nl.ref("Q2");
+  nl.reg("R1", 0, 0, nl.ref("D1 .S0-8"), ck, q1);
+  nl.buf("G", from_ns(1), from_ns(1), q1, d2);
+  nl.reg("R2", 0, 0, d2, ck, q2);
+  nl.set_wire_delay(q1.id, from_ns(0.5), from_ns(2.0));
+  nl.finalize();
+  PathSearcher ps(nl);
+  PathSearchResult r = ps.analyze();
+  ASSERT_FALSE(r.paths.empty());
+  EXPECT_EQ(r.paths[0].min_delay, from_ns(1.5));
+  EXPECT_EQ(r.paths[0].max_delay, from_ns(3.0));
+}
+
+// The Fig 2-6 circuit: complementary mux selects. The path searcher cannot
+// know the selects are complementary, so it reports the impossible
+// slow-slow path of 40 ns; the Timing Verifier with case analysis proves
+// 30 ns (test_case_analysis.cpp). This is sec. 4.1's "numerous irrelevant
+// error messages" claim, reproduced.
+TEST(PathSearch, ReportsImpossiblePathOnCaseAnalysisCircuit) {
+  Netlist nl;
+  Ref control = nl.ref("CONTROL .S0-90");
+  Ref in = nl.ref("INPUT .S10-105");
+  Ref slow1 = nl.ref("SLOW1"), m1 = nl.ref("M1"), slow2 = nl.ref("SLOW2");
+  Ref out = nl.ref("OUT");
+  nl.buf("E1", from_ns(10), from_ns(10), in, slow1);
+  nl.mux2("MUX1", from_ns(10), from_ns(10), control, in, slow1, m1);
+  nl.buf("E2", from_ns(10), from_ns(10), m1, slow2);
+  Ref ncontrol = nl.ref("- CONTROL .S0-90");
+  nl.mux2("MUX2", from_ns(10), from_ns(10), ncontrol, m1, slow2, out);
+  Ref ck = nl.ref("CK .P0-2");
+  nl.reg("R", 0, 0, out, ck, nl.ref("Q"));
+  nl.finalize();
+
+  PathSearcher ps(nl);
+  PathSearchResult r = ps.analyze();
+  ASSERT_FALSE(r.paths.empty());
+  // The reported worst path is 40 ns: through both extra-delay buffers --
+  // a path the complementary selects make impossible.
+  EXPECT_EQ(r.paths[0].max_delay, from_ns(40));
+  // With a 35 ns budget the searcher emits an error the Timing Verifier's
+  // case analysis would not.
+  EXPECT_FALSE(r.slower_than(from_ns(35)).empty());
+}
+
+TEST(PathSearch, SearchLimitStopsUnbrokenLoops) {
+  // GRASP "proceeds until it reaches some user-specified search limit"
+  // when a loop is not broken by a terminating point.
+  Netlist nl;
+  Ref a = nl.ref("A"), b = nl.ref("B");
+  Ref start = nl.ref("START .S0-8");
+  nl.or_gate("LOOP OR", from_ns(1), from_ns(1), {start, b}, a);
+  nl.buf("F1", from_ns(1), from_ns(1), a, b);
+  nl.finalize();
+  PathSearchOptions opts;
+  opts.search_limit = 8;
+  PathSearcher ps(nl, opts);
+  PathSearchResult r = ps.analyze();
+  EXPECT_TRUE(r.search_limit_hit);
+}
+
+TEST(PathSearch, GraspModeUsesUserEndpoints) {
+  Netlist nl;
+  Ref a = nl.ref("A"), b = nl.ref("B"), c = nl.ref("C");
+  nl.buf("G1", from_ns(2), from_ns(3), a, b);
+  nl.buf("G2", from_ns(4), from_ns(6), b, c);
+  nl.finalize();
+  PathSearcher ps(nl);
+  PathSearchResult r = ps.analyze_between({a.id}, {c.id});
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].min_delay, from_ns(6));
+  EXPECT_EQ(r.paths[0].max_delay, from_ns(9));
+  // Endpoint b: shorter path.
+  PathSearchResult r2 = ps.analyze_between({a.id}, {b.id});
+  ASSERT_EQ(r2.paths.size(), 1u);
+  EXPECT_EQ(r2.paths[0].max_delay, from_ns(3));
+}
+
+TEST(PathSearch, FastPathsForHoldAnalysis) {
+  Netlist nl;
+  Ref ck = nl.ref("CK .P0-2");
+  Ref q1 = nl.ref("Q1"), d2 = nl.ref("D2");
+  nl.reg("R1", 0, 0, nl.ref("D1 .S0-8"), ck, q1);
+  nl.buf("FAST", from_ns(0.2), from_ns(0.5), q1, d2);
+  nl.reg("R2", 0, 0, d2, ck, nl.ref("Q2"));
+  nl.finalize();
+  PathSearcher ps(nl);
+  PathSearchResult r = ps.analyze();
+  EXPECT_FALSE(r.faster_than(from_ns(1.0)).empty());
+  EXPECT_TRUE(r.faster_than(from_ns(0.1)).empty());
+}
+
+}  // namespace
+}  // namespace tv::pathsearch

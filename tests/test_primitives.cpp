@@ -1,0 +1,340 @@
+// Tests for primitive evaluation semantics (thesis secs. 2.4.2-2.4.5, 2.8).
+#include "core/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tv {
+namespace {
+
+using V = Value;
+constexpr Time P = from_ns(50.0);
+
+Waveform clock_pulse(Time rise, Time fall) {
+  Waveform w(P, V::Zero);
+  w.set(rise, fall, V::One);
+  return w;
+}
+
+PreparedInput in(Waveform w) {
+  PreparedInput i;
+  i.wave = std::move(w);
+  return i;
+}
+
+Primitive make(PrimKind k, Time dmin, Time dmax) {
+  Primitive p;
+  p.kind = k;
+  p.name = "uut";
+  p.dmin = dmin;
+  p.dmax = dmax;
+  return p;
+}
+
+TEST(EdgeWindows, InstantaneousEdges) {
+  Waveform w = clock_pulse(from_ns(20), from_ns(30));
+  auto rises = edge_windows(w, true);
+  auto falls = edge_windows(w, false);
+  ASSERT_EQ(rises.size(), 1u);
+  EXPECT_EQ(rises[0], (EdgeWindow{from_ns(20), from_ns(20)}));
+  ASSERT_EQ(falls.size(), 1u);
+  EXPECT_EQ(falls[0], (EdgeWindow{from_ns(30), from_ns(30)}));
+}
+
+TEST(EdgeWindows, SkewWidenedEdges) {
+  // A +-1 ns skewed clock: after incorporation the rise is an R window.
+  Waveform w = clock_pulse(from_ns(20), from_ns(30));
+  w.set_skew(from_ns(2));
+  Waveform f = w.with_skew_incorporated();
+  auto rises = edge_windows(f, true);
+  ASSERT_EQ(rises.size(), 1u);
+  EXPECT_EQ(rises[0], (EdgeWindow{from_ns(20), from_ns(22)}));
+  auto falls = edge_windows(f, false);
+  ASSERT_EQ(falls.size(), 1u);
+  EXPECT_EQ(falls[0], (EdgeWindow{from_ns(30), from_ns(32)}));
+}
+
+TEST(EdgeWindows, ChangeRegionQualifiesBothPolarities) {
+  Waveform w(P, V::Zero);
+  w.set(from_ns(10), from_ns(15), V::Change);
+  auto rises = edge_windows(w, true);
+  auto falls = edge_windows(w, false);
+  ASSERT_EQ(rises.size(), 1u);
+  EXPECT_EQ(rises[0], (EdgeWindow{from_ns(10), from_ns(15)}));
+  EXPECT_EQ(falls.size(), 1u);
+}
+
+TEST(EdgeWindows, FallOnlyRunIsNotARise) {
+  Waveform w(P, V::One);
+  w.set(from_ns(10), from_ns(12), V::Fall);
+  w.set(from_ns(12), from_ns(40), V::Zero);
+  w.set(from_ns(40), from_ns(42), V::Rise);
+  w.set(from_ns(42), P, V::One);
+  auto rises = edge_windows(w, true);
+  ASSERT_EQ(rises.size(), 1u);
+  EXPECT_EQ(rises[0], (EdgeWindow{from_ns(40), from_ns(42)}));
+  auto falls = edge_windows(w, false);
+  ASSERT_EQ(falls.size(), 1u);
+  EXPECT_EQ(falls[0], (EdgeWindow{from_ns(10), from_ns(12)}));
+}
+
+TEST(SampleOver, DefiniteAndIndefinite) {
+  Waveform d(P, V::Zero);
+  EXPECT_EQ(sample_over(d, {from_ns(10), from_ns(10)}), V::Zero);
+  d.set(from_ns(5), from_ns(15), V::One);
+  EXPECT_EQ(sample_over(d, {from_ns(6), from_ns(14) - 1}), V::One);
+  EXPECT_EQ(sample_over(d, {from_ns(4), from_ns(6)}), V::Stable);  // 0 and 1 seen
+  Waveform u(P, V::Unknown);
+  EXPECT_EQ(sample_over(u, {0, 0}), V::Unknown);
+}
+
+TEST(Gates, OrWithSingleChangingInputKeepsSkew) {
+  // Sec. 2.8: one changing input OR a constant -> skew stays in the field.
+  Waveform a(P, V::Zero);
+  a.set(from_ns(10), from_ns(20), V::One);
+  a.set_skew(from_ns(2));
+  Waveform b(P, V::Zero);
+  Primitive p = make(PrimKind::Or, from_ns(1), from_ns(3));
+  auto r = evaluate_primitive(p, {in(a), in(b)}, P);
+  // Output shifted by min delay 1; skew = 2 (input) + 2 (gate).
+  EXPECT_EQ(r.wave.at(from_ns(11)), V::One);
+  EXPECT_EQ(r.wave.at(from_ns(20.9)), V::One);
+  EXPECT_EQ(r.wave.at(from_ns(21)), V::Zero);
+  EXPECT_EQ(r.wave.skew(), from_ns(4));
+}
+
+TEST(Gates, CombiningTwoChangingInputsFoldsSkew) {
+  // Fig 2-8/2-9: ORing two changing signals folds the skews into R/F values.
+  Waveform a(P, V::Zero);
+  a.set(from_ns(10), from_ns(20), V::One);
+  a.set_skew(from_ns(5));
+  Waveform b(P, V::Zero);
+  b.set(from_ns(30), from_ns(40), V::One);
+  Primitive p = make(PrimKind::Or, 0, 0);
+  auto r = evaluate_primitive(p, {in(a), in(b)}, P);
+  EXPECT_EQ(r.wave.skew(), 0);
+  EXPECT_EQ(r.wave.at(from_ns(10)), V::Rise);   // a's skewed rise
+  EXPECT_EQ(r.wave.at(from_ns(14.9)), V::Rise);
+  EXPECT_EQ(r.wave.at(from_ns(15)), V::One);
+  EXPECT_EQ(r.wave.at(from_ns(20)), V::Fall);
+  EXPECT_EQ(r.wave.at(from_ns(30)), V::One);    // b's clean rise
+  EXPECT_EQ(r.wave.at(from_ns(40)), V::Zero);
+}
+
+TEST(Gates, NotInvertsAndDelays) {
+  Waveform a = clock_pulse(from_ns(10), from_ns(20));
+  Primitive p = make(PrimKind::Not, from_ns(2), from_ns(2));
+  auto r = evaluate_primitive(p, {in(a)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(11)), V::One);   // before delayed rise
+  EXPECT_EQ(r.wave.at(from_ns(12)), V::Zero);
+  EXPECT_EQ(r.wave.at(from_ns(22)), V::One);
+}
+
+TEST(Gates, ChgGateCollapsesValues) {
+  // An adder is modeled as CHG: only when inputs change matters.
+  Waveform a(P, V::Stable);
+  a.set(from_ns(5), from_ns(12), V::Change);
+  Waveform b = clock_pulse(from_ns(30), from_ns(35));  // 0/1 values count as not changing
+  Primitive p = make(PrimKind::Chg, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(a), in(b)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(8)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(20)), V::Stable);
+  // The 0->1 flip of b *is* a change even though 0/1 are "steady" values:
+  // the output changes somewhere in [30+dmin, 30+dmax].
+  EXPECT_EQ(r.wave.at(from_ns(31.5)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(33)), V::Stable);
+  EXPECT_EQ(r.wave.at(from_ns(36.5)), V::Change);  // and the 1->0 flip
+}
+
+TEST(Gates, XorFlipVisibility) {
+  // XOR of a 0/1 pulse with a STABLE operand: the table gives S on both
+  // sides of each flip, but the output must show the change windows.
+  Waveform a = clock_pulse(from_ns(10), from_ns(20));
+  Waveform b(P, V::Stable);
+  Primitive p = make(PrimKind::Xor, from_ns(1), from_ns(3));
+  auto r = evaluate_primitive(p, {in(a), in(b)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(12)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(17)), V::Stable);
+  EXPECT_EQ(r.wave.at(from_ns(22)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(30)), V::Stable);
+}
+
+TEST(Register, BasicClocking) {
+  // Fig 2-1: output CHANGE after the rising edge for [dmin, dmax], STABLE
+  // elsewhere when the data input is symbolic.
+  Waveform data(P, V::Stable);
+  data.set(from_ns(5), from_ns(15), V::Change);
+  Waveform ck = clock_pulse(from_ns(20), from_ns(30));
+  Primitive p = make(PrimKind::Reg, from_ns(1), from_ns(3.8));
+  auto r = evaluate_primitive(p, {in(data), in(ck)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(20.9)), V::Stable);
+  EXPECT_EQ(r.wave.at(from_ns(21)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(23.7)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(23.8)), V::Stable);
+  EXPECT_EQ(r.wave.at(0), V::Stable);
+}
+
+TEST(Register, CapturesDefiniteData) {
+  Waveform data(P, V::One);
+  Waveform ck = clock_pulse(from_ns(20), from_ns(30));
+  Primitive p = make(PrimKind::Reg, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(ck)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(25)), V::One);
+  EXPECT_EQ(r.wave.at(from_ns(0)), V::One);  // holds around the cycle
+  EXPECT_EQ(r.wave.at(from_ns(21.5)), V::Change);
+}
+
+TEST(Register, ClockSkewWidensChangeWindow) {
+  Waveform data(P, V::Stable);
+  Waveform ck = clock_pulse(from_ns(20), from_ns(30));
+  ck.set_skew(from_ns(2));
+  Primitive p = make(PrimKind::Reg, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(ck)}, P);
+  // Edge window [20,22] + delay [1,2] -> CHANGE over [21,24).
+  EXPECT_EQ(r.wave.at(from_ns(20.9)), V::Stable);
+  EXPECT_EQ(r.wave.at(from_ns(21)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(23.9)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(24)), V::Stable);
+}
+
+TEST(Register, UnclockedIsStable) {
+  Waveform data(P, V::Change);
+  Waveform ck(P, V::Zero);
+  Primitive p = make(PrimKind::Reg, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(ck)}, P);
+  EXPECT_TRUE(r.wave.is_constant());
+  EXPECT_EQ(r.wave.at(0), V::Stable);
+}
+
+TEST(Register, UnknownClockGivesUnknown) {
+  Waveform data(P, V::Stable);
+  Waveform ck(P, V::Unknown);
+  Primitive p = make(PrimKind::Reg, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(ck)}, P);
+  EXPECT_EQ(r.wave.at(0), V::Unknown);
+}
+
+TEST(RegisterSR, SetForcesOne) {
+  Waveform data(P, V::Stable);
+  Waveform ck = clock_pulse(from_ns(20), from_ns(30));
+  Waveform set(P, V::One);
+  Waveform rst(P, V::Zero);
+  Primitive p = make(PrimKind::RegSR, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(ck), in(set), in(rst)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(10)), V::One);
+  EXPECT_EQ(r.wave.at(from_ns(25)), V::One);  // overrides the clocked CHANGE
+}
+
+TEST(RegisterSR, BothAssertedIsUndefined) {
+  Waveform data(P, V::Stable);
+  Waveform ck = clock_pulse(from_ns(20), from_ns(30));
+  Waveform one(P, V::One);
+  Primitive p = make(PrimKind::RegSR, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(ck), in(one), in(one)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(10)), V::Unknown);
+}
+
+TEST(RegisterSR, InactiveSetResetIsTransparentToBase) {
+  Waveform data(P, V::Stable);
+  Waveform ck = clock_pulse(from_ns(20), from_ns(30));
+  Waveform zero(P, V::Zero);
+  Primitive psr = make(PrimKind::RegSR, from_ns(1), from_ns(2));
+  Primitive preg = make(PrimKind::Reg, from_ns(1), from_ns(2));
+  auto rsr = evaluate_primitive(psr, {in(data), in(ck), in(zero), in(zero)}, P);
+  auto rreg = evaluate_primitive(preg, {in(data), in(ck)}, P);
+  EXPECT_EQ(rsr.wave, rreg.wave);
+}
+
+TEST(Latch, TransparentFollowsDataOpaqueHolds) {
+  // Fig 2-2: output follows DATA while ENABLE high, holds when low.
+  Waveform data(P, V::Stable);
+  data.set(from_ns(10), from_ns(15), V::Change);   // changes while enabled
+  Waveform en = clock_pulse(from_ns(5), from_ns(25));
+  Primitive p = make(PrimKind::Latch, 0, 0);
+  auto r = evaluate_primitive(p, {in(data), in(en)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(12)), V::Change);   // transparent
+  EXPECT_EQ(r.wave.at(from_ns(20)), V::Stable);
+  EXPECT_EQ(r.wave.at(from_ns(30)), V::Stable);   // held
+  EXPECT_EQ(r.wave.at(from_ns(2)), V::Stable);    // held across the wrap
+}
+
+TEST(Latch, CapturesDefiniteValueAtFall) {
+  Waveform data(P, V::One);
+  Waveform en = clock_pulse(from_ns(5), from_ns(25));
+  Primitive p = make(PrimKind::Latch, 0, 0);
+  auto r = evaluate_primitive(p, {in(data), in(en)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(10)), V::One);   // transparent
+  EXPECT_EQ(r.wave.at(from_ns(40)), V::One);   // captured 1 held
+}
+
+TEST(Mux, StableSelectIsNotAChange) {
+  // Fig 2-6's key property: with a STABLE select, two steady inputs give a
+  // steady output (path-search tools cannot express this).
+  Waveform sel(P, V::Stable);
+  Waveform d0(P, V::Zero);
+  Waveform d1(P, V::One);
+  Primitive p = make(PrimKind::Mux2, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(sel), in(d0), in(d1)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(10)), V::Stable);
+}
+
+TEST(Mux, DefiniteSelectPassesThrough) {
+  Waveform sel(P, V::One);
+  Waveform d0(P, V::Zero);
+  Waveform d1(P, V::Stable);
+  d1.set(from_ns(10), from_ns(20), V::Change);
+  Primitive p = make(PrimKind::Mux2, 0, 0);
+  auto r = evaluate_primitive(p, {in(sel), in(d0), in(d1)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(15)), V::Change);
+  EXPECT_EQ(r.wave.at(from_ns(30)), V::Stable);
+}
+
+TEST(Mux, Mux4SelectsByTwoBits) {
+  Waveform s0(P, V::Zero), s1(P, V::One);
+  Waveform d0(P, V::Zero), d1(P, V::Zero), d2(P, V::One), d3(P, V::Zero);
+  Primitive p = make(PrimKind::Mux4, 0, 0);
+  // select = s1 s0 = 10b = 2 -> d2.
+  auto r = evaluate_primitive(p, {in(s0), in(s1), in(d0), in(d1), in(d2), in(d3)}, P);
+  EXPECT_EQ(r.wave.at(0), V::One);
+}
+
+TEST(Directives, HAssumesEnablingAndZeroesDelay) {
+  // Sec. 2.6 / Fig 2-5: "&H" on a clock ANDed with a control signal: the
+  // control is assumed enabling, so the output is the clock value, and the
+  // clock timing refers to the gate *output* (delays zeroed).
+  Waveform ck = clock_pulse(from_ns(12.5), from_ns(18.75));
+  Waveform ctrl(P, V::Stable);  // value-unknown control
+  PreparedInput ck_in = in(ck);
+  ck_in.has_directive_string = true;
+  ck_in.directive = 'H';
+  Primitive p = make(PrimKind::And, from_ns(1), from_ns(2.9));
+  auto r = evaluate_primitive(p, {ck_in, in(ctrl)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(13)), V::One);   // no delay applied
+  EXPECT_EQ(r.wave.at(from_ns(12)), V::Zero);
+  EXPECT_EQ(r.wave.at(from_ns(20)), V::Zero);  // control did not leak S in
+}
+
+TEST(Directives, TailPropagatesToOutput) {
+  Waveform ck = clock_pulse(from_ns(10), from_ns(20));
+  PreparedInput ck_in = in(ck);
+  ck_in.has_directive_string = true;
+  ck_in.directive = 'H';
+  ck_in.tail = "ZW";
+  Primitive p = make(PrimKind::And, 0, 0);
+  auto r = evaluate_primitive(p, {ck_in, in(Waveform(P, V::One))}, P);
+  EXPECT_EQ(r.eval_str, "ZW");
+}
+
+TEST(Directives, WithoutDirectiveStableControlBlursClock) {
+  // The contrast case: without "&A", an AND of clock with a STABLE control
+  // yields a worst-case value, not a clean pulse.
+  Waveform ck = clock_pulse(from_ns(10), from_ns(20));
+  Waveform ctrl(P, V::Stable);
+  Primitive p = make(PrimKind::And, 0, 0);
+  auto r = evaluate_primitive(p, {in(ck), in(ctrl)}, P);
+  // 1 AND S = S: the pulse may or may not appear.
+  EXPECT_EQ(r.wave.at(from_ns(15)), V::Stable);
+  EXPECT_EQ(r.wave.at(from_ns(5)), V::Zero);  // 0 AND S = 0
+}
+
+}  // namespace
+}  // namespace tv

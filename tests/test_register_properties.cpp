@@ -1,0 +1,142 @@
+// Property sweep for the register model (Fig 2-1): the symbolic output
+// must *cover* every concrete realization of the clock-edge time (within
+// the skewed edge window) and the propagation delay (within [dmin, dmax]).
+// Covering means: where the symbolic waveform claims a definite 0/1, every
+// realization shows that value; S claims "some constant level"; C/R/F
+// claim "may be changing".
+#include <gtest/gtest.h>
+
+#include "core/primitives.hpp"
+
+namespace tv {
+namespace {
+
+using V = Value;
+constexpr Time P = from_ns(50.0);
+
+bool covers(Value sym, Value concrete) {
+  if (sym == concrete) return true;
+  switch (sym) {
+    case V::Unknown:
+    case V::Change: return true;
+    case V::Rise:
+    case V::Fall:
+    case V::Stable: return concrete == V::Zero || concrete == V::One;
+    default: return false;
+  }
+}
+
+struct Scenario {
+  double data_toggle_ns;   // data goes 0 -> 1 at this time
+  double clock_rise_ns;    // nominal rise
+  double clock_fall_ns;
+  double clock_skew_ns;    // +- uncertainty folded as [rise, rise+skew]
+  double dmin_ns, dmax_ns;
+};
+
+class RegisterSoundness : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RegisterSoundness, SymbolicCoversAllRealizations) {
+  const Scenario sc = GetParam();
+
+  // Symbolic inputs.
+  Waveform data(P, V::Zero);
+  data.set(from_ns(sc.data_toggle_ns), P, V::One);
+  Waveform clock(P, V::Zero);
+  clock.set(from_ns(sc.clock_rise_ns), from_ns(sc.clock_fall_ns), V::One);
+  clock.set_skew(from_ns(sc.clock_skew_ns));
+
+  Primitive reg;
+  reg.kind = PrimKind::Reg;
+  reg.name = "uut";
+  reg.dmin = from_ns(sc.dmin_ns);
+  reg.dmax = from_ns(sc.dmax_ns);
+  PreparedInput din, cin;
+  din.wave = data;
+  cin.wave = clock;
+  Waveform sym = evaluate_primitive(reg, {din, cin}, P).wave.with_skew_incorporated();
+
+  // Concrete realizations: the edge lands anywhere in the skew window, the
+  // delay anywhere in [dmin, dmax]. In periodic steady state the register
+  // output is the constant captured value (same capture every cycle).
+  for (double e = sc.clock_rise_ns; e <= sc.clock_rise_ns + sc.clock_skew_ns; e += 0.5) {
+    for (double d : {sc.dmin_ns, (sc.dmin_ns + sc.dmax_ns) / 2, sc.dmax_ns}) {
+      (void)d;  // the output is constant in steady state; d shifts nothing
+      Value captured = e >= sc.data_toggle_ns ? V::One : V::Zero;
+      for (Time t = 0; t < P; t += from_ns(0.5)) {
+        ASSERT_TRUE(covers(sym.at(t), captured))
+            << "edge " << e << " delay " << d << " t=" << to_ns(t) << " sym "
+            << value_letter(sym.at(t)) << " concrete " << value_letter(captured);
+      }
+    }
+  }
+
+  // Additionally: the symbolic output must be non-committal (not a definite
+  // constant) whenever different realizations capture different values.
+  Value cap_early = sc.clock_rise_ns >= sc.data_toggle_ns ? V::One : V::Zero;
+  Value cap_late =
+      sc.clock_rise_ns + sc.clock_skew_ns >= sc.data_toggle_ns ? V::One : V::Zero;
+  if (cap_early != cap_late) {
+    bool any_definite = false;
+    for (const auto& seg : sym.segments()) {
+      if (is_definite(seg.value)) any_definite = true;
+    }
+    EXPECT_FALSE(any_definite) << sym.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RegisterSoundness,
+    ::testing::Values(
+        // data settles long before the edge: clean capture of 1
+        Scenario{5, 20, 30, 0, 1, 3},
+        Scenario{5, 20, 30, 2, 1, 3},
+        // data toggles after the edge: captures 0
+        Scenario{35, 20, 30, 0, 1, 3},
+        Scenario{35, 20, 30, 2, 2, 5},
+        // data toggles inside the skewed edge window: ambiguous capture
+        Scenario{21, 20, 30, 2, 1, 3},
+        Scenario{20, 20, 30, 4, 1, 1},
+        // zero-delay register, wide skew
+        Scenario{10, 20, 30, 6, 0, 0},
+        // edge near the cycle wrap
+        Scenario{5, 46, 49, 2, 1, 3},
+        Scenario{47, 46, 49, 2, 1, 3}));
+
+// The same covering argument for the latch (Fig 2-2): while the enable is
+// high the output follows the data; after the enable falls it holds the
+// captured value.
+TEST(LatchSoundness, TransparentAndHoldPhases) {
+  Waveform data(P, V::Zero);
+  data.set(from_ns(10), P, V::One);   // data rises at 10
+  Waveform en(P, V::Zero);
+  en.set(from_ns(5), from_ns(25), V::One);
+
+  Primitive latch;
+  latch.kind = PrimKind::Latch;
+  latch.name = "uut";
+  latch.dmin = 0;
+  latch.dmax = 0;
+  PreparedInput din, ein;
+  din.wave = data;
+  ein.wave = en;
+  Waveform sym = evaluate_primitive(latch, {din, ein}, P).wave.with_skew_incorporated();
+
+  // Concrete: transparent 5..25 (output = data), holds 1 from 25 on, and
+  // holds 1 from the previous cycle until the enable reopens at 5.
+  for (Time t = 0; t < P; t += from_ns(0.5)) {
+    Value concrete;
+    double tn = to_ns(t);
+    if (tn >= 5 && tn < 25) {
+      concrete = tn >= 10 ? V::One : V::Zero;
+    } else {
+      concrete = V::One;  // held
+    }
+    ASSERT_TRUE(covers(sym.at(t), concrete))
+        << "t=" << tn << " sym " << value_letter(sym.at(t)) << " concrete "
+        << value_letter(concrete);
+  }
+}
+
+}  // namespace
+}  // namespace tv

@@ -1,0 +1,93 @@
+// Tests for the report formatters: the Fig 3-10 timing summary, the
+// Fig 3-11 error listing, cross references and the ASCII waveform strips.
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "gen/regfile_example.hpp"
+
+namespace tv {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = gen::build_regfile_example(nl_);
+    Verifier v(nl_, ex_.options);
+    result_ = v.verify();
+  }
+  Netlist nl_;
+  gen::RegfileExample ex_;
+  VerifyResult result_;
+};
+
+TEST_F(ReportTest, TimingSummaryListsEverySignal) {
+  std::string s = timing_summary(nl_);
+  EXPECT_NE(s.find("TIMING VERIFIER SIGNAL VALUE SUMMARY"), std::string::npos);
+  for (SignalId id = 0; id < nl_.num_signals(); ++id) {
+    EXPECT_NE(s.find(nl_.signal(id).full_name), std::string::npos)
+        << nl_.signal(id).full_name;
+  }
+  // The Fig 3-10 headline entry appears with its value trace.
+  EXPECT_NE(s.find("ADR<0:3>"), std::string::npos);
+}
+
+TEST_F(ReportTest, ViolationsReportFormat) {
+  std::string s = violations_report(result_.violations);
+  EXPECT_NE(s.find("SETUP, HOLD AND MINIMUM PULSE WIDTH ERRORS"), std::string::npos);
+  EXPECT_NE(s.find("DATA INPUT"), std::string::npos);
+  EXPECT_NE(s.find("CLOCK INPUT"), std::string::npos);
+  EXPECT_EQ(violations_report({}), "NO TIMING ERRORS DETECTED\n");
+}
+
+TEST_F(ReportTest, WhereUsedListsDriversAndConsumers) {
+  std::string s = where_used_listing(nl_);
+  EXPECT_NE(s.find("defined by WE GATE"), std::string::npos);
+  EXPECT_NE(s.find("used by    RAM READ PATH"), std::string::npos);
+  EXPECT_NE(s.find("defined by assertion"), std::string::npos);  // the clocks
+}
+
+TEST_F(ReportTest, AsciiWaveformShapes) {
+  // The write-enable pulse: zero, rise window, high, fall window, zero.
+  Waveform we = nl_.signal(ex_.we).wave.with_skew_incorporated();
+  std::string art = ascii_waveform(we, 50);  // 1 column per ns
+  EXPECT_EQ(art.size(), 50u);
+  EXPECT_EQ(art[0], '_');
+  EXPECT_EQ(art[12], '/');   // rising 11.5..13.5
+  EXPECT_EQ(art[15], '#');   // solid high
+  EXPECT_EQ(art[18], '\\');  // falling 17.75..19.75
+  EXPECT_EQ(art[25], '_');
+}
+
+TEST_F(ReportTest, AsciiWaveformAllValues) {
+  Waveform w(from_ns(70), Value::Unknown);
+  w.set(from_ns(10), from_ns(20), Value::Zero);
+  w.set(from_ns(20), from_ns(30), Value::Rise);
+  w.set(from_ns(30), from_ns(40), Value::One);
+  w.set(from_ns(40), from_ns(50), Value::Fall);
+  w.set(from_ns(50), from_ns(60), Value::Stable);
+  w.set(from_ns(60), from_ns(70), Value::Change);
+  std::string art = ascii_waveform(w, 7);
+  EXPECT_EQ(art, "?_/#\\=x");
+}
+
+TEST_F(ReportTest, WaveSummaryHasOneStripPerSignal) {
+  std::string s = timing_summary_waves(nl_, 32);
+  std::size_t strips = 0;
+  for (std::size_t pos = 0; (pos = s.find('|', pos)) != std::string::npos; ++pos) ++strips;
+  EXPECT_EQ(strips, 2 * nl_.num_signals());
+}
+
+TEST_F(ReportTest, CrossReferenceOfUndefinedSignals) {
+  Netlist nl;
+  Ref floating = nl.ref("NOT YET DESIGNED");
+  nl.buf("B", 0, 0, floating, nl.ref("OUT"));
+  nl.finalize();
+  auto ids = nl.undefined_unasserted();
+  std::string s = cross_reference_listing(nl, ids);
+  EXPECT_NE(s.find("NOT YET DESIGNED"), std::string::npos);
+  EXPECT_NE(s.find("assumed always stable"), std::string::npos);
+  EXPECT_EQ(cross_reference_listing(nl, {}), "");
+}
+
+}  // namespace
+}  // namespace tv

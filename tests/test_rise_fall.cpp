@@ -1,0 +1,139 @@
+// Tests for the sec. 4.2.2 extension: different rising and falling delays
+// (nMOS-style technologies). Output changes toward 1 use the rise delays,
+// changes toward 0 the fall delays; polarity-unknown changes use the
+// combined worst-case window. Inverters compose correctly because the
+// delay is applied to the *output* waveform.
+#include <gtest/gtest.h>
+
+#include "core/primitives.hpp"
+#include "core/verifier.hpp"
+
+namespace tv {
+namespace {
+
+using V = Value;
+constexpr Time P = from_ns(50.0);
+
+Waveform pulse(Time rise, Time fall) {
+  Waveform w(P, V::Zero);
+  w.set(rise, fall, V::One);
+  return w;
+}
+
+TEST(RiseFall, WaveformEdgesGetPolarityDelays) {
+  // Rise delayed 2-3 ns, fall delayed 8-10 ns: the pulse *widens*.
+  Waveform w = pulse(from_ns(10), from_ns(20));
+  Waveform d = w.delayed_rise_fall(from_ns(2), from_ns(3), from_ns(8), from_ns(10));
+  EXPECT_EQ(d.at(from_ns(11)), V::Zero);
+  EXPECT_EQ(d.at(from_ns(12)), V::Rise);    // rising window [12, 13)
+  EXPECT_EQ(d.at(from_ns(13)), V::One);
+  EXPECT_EQ(d.at(from_ns(27)), V::One);     // still high: fall delayed to 28
+  EXPECT_EQ(d.at(from_ns(28)), V::Fall);    // falling window [28, 30)
+  EXPECT_EQ(d.at(from_ns(29)), V::Fall);
+  EXPECT_EQ(d.at(from_ns(30)), V::Zero);
+  EXPECT_EQ(d.skew(), 0);  // per-edge uncertainty lives in the value list
+}
+
+TEST(RiseFall, NarrowPulseCollapsesToChange) {
+  // A 3 ns pulse with fall faster than rise: the windows overlap and the
+  // pulse may vanish -- the overlap must read CHANGE.
+  Waveform w = pulse(from_ns(10), from_ns(13));
+  Waveform d = w.delayed_rise_fall(from_ns(6), from_ns(8), from_ns(1), from_ns(2));
+  // Rise window [16, 18); fall window [14, 15): the fall lands *before*
+  // the rise -- thoroughly ambiguous region.
+  std::uint8_t mask = d.value_mask(from_ns(14), from_ns(18));
+  EXPECT_NE(mask & (1u << static_cast<int>(V::Change)), 0) << d.to_string();
+}
+
+TEST(RiseFall, EqualDelaysMatchPlainDelay) {
+  // Degenerate property: rise == fall must agree with delayed() once skew
+  // is incorporated.
+  Waveform w = pulse(from_ns(10), from_ns(20));
+  Waveform a = w.delayed_rise_fall(from_ns(2), from_ns(4), from_ns(2), from_ns(4));
+  Waveform b = w.delayed(from_ns(2), from_ns(4)).with_skew_incorporated();
+  EXPECT_EQ(a, b);
+}
+
+TEST(RiseFall, InverterSwapsEdgeDelays) {
+  // The inverter's *output* falls when its input rises, so the input rise
+  // takes the fall delay -- automatic, because delays apply to the output.
+  Netlist nl;
+  Ref in = nl.ref("IN .P10-30");
+  Ref out = nl.ref("OUT");
+  PrimId inv = nl.not_gate("INV", from_ns(1), from_ns(1), in, out);
+  nl.set_rise_fall(inv, RiseFallDelay{from_ns(1), from_ns(1), from_ns(9), from_ns(9)});
+  nl.finalize();
+  VerifierOptions opts;
+  opts.period = P;
+  opts.units = ClockUnits::from_ns_per_unit(1.0);
+  opts.default_wire = {0, 0};
+  opts.assertion_defaults = {0, 0, 0, 0};
+  Evaluator ev(nl, opts);
+  ev.initialize();
+  ev.propagate();
+  const Waveform& o = ev.wave(out.id);
+  // Input rises at 10 -> output falls at 10+9=19; input falls at 30 ->
+  // output rises at 30+1=31.
+  EXPECT_EQ(o.at(from_ns(18)), V::One);
+  EXPECT_EQ(o.at(from_ns(19)), V::Zero);
+  EXPECT_EQ(o.at(from_ns(30)), V::Zero);
+  EXPECT_EQ(o.at(from_ns(31)), V::One);
+}
+
+TEST(RiseFall, PessimismReductionOnInvertingChain) {
+  // Sec. 4.2.2's motivation: through an *even* chain of inverters, each
+  // output edge alternates polarity, so the worst path alternates rise and
+  // fall delays: 2 * (rise + fall) -- not 4 * max(rise, fall), which the
+  // single-delay model must assume.
+  auto build = [](bool use_rf, SignalId& out_id) {
+    auto nl = std::make_unique<Netlist>();
+    Ref cur = nl->ref("IN .P10-35");
+    for (int i = 0; i < 4; ++i) {
+      Ref next = nl->ref("N" + std::to_string(i));
+      PrimId g = nl->not_gate("I" + std::to_string(i), from_ns(7), from_ns(7), cur, next);
+      if (use_rf) {
+        nl->set_rise_fall(g, RiseFallDelay{from_ns(2), from_ns(2), from_ns(7), from_ns(7)});
+      }
+      cur = next;
+    }
+    out_id = cur.id;
+    nl->finalize();
+    return nl;
+  };
+  VerifierOptions opts;
+  opts.period = P;
+  opts.units = ClockUnits::from_ns_per_unit(1.0);
+  opts.default_wire = {0, 0};
+  opts.assertion_defaults = {0, 0, 0, 0};
+
+  SignalId out_rf, out_plain;
+  auto nl_rf = build(true, out_rf);
+  auto nl_plain = build(false, out_plain);
+  Evaluator e1(*nl_rf, opts), e2(*nl_plain, opts);
+  e1.initialize();
+  e1.propagate();
+  e2.initialize();
+  e2.propagate();
+  // Rise arrives through 2 rise + 2 fall = 2*2 + 2*7 = 18 ns after input
+  // rise; the single-delay model charges 4*7 = 28 ns.
+  EXPECT_EQ(e1.wave(out_rf).at(from_ns(10 + 18)), V::One);
+  EXPECT_EQ(e1.wave(out_rf).at(from_ns(10 + 17)), V::Zero);
+  EXPECT_EQ(e2.wave(out_plain).at(from_ns(10 + 28)), V::One);
+  EXPECT_EQ(e2.wave(out_plain).at(from_ns(10 + 27)), V::Zero);
+}
+
+TEST(RiseFall, HdlRiseFallAttributes) {
+  // (HDL hook added alongside: rise=min:max, fall=min:max attributes.)
+  Netlist nl;
+  Ref in = nl.ref("A .P5-25");
+  Ref out = nl.ref("B");
+  PrimId g = nl.buf("B1", from_ns(3), from_ns(5), in, out);
+  EXPECT_FALSE(nl.prim(g).rise_fall.has_value());
+  nl.set_rise_fall(g, RiseFallDelay{from_ns(1), from_ns(2), from_ns(3), from_ns(4)});
+  EXPECT_TRUE(nl.prim(g).rise_fall.has_value());
+  EXPECT_THROW(nl.set_rise_fall(g, RiseFallDelay{from_ns(2), from_ns(1), 0, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tv

@@ -1,0 +1,134 @@
+// Tests for the synthetic S-1 Mark IIA-scale design generator (sec. 3.3).
+#include "gen/s1_design.hpp"
+
+#include "hdl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/storage_stats.hpp"
+#include "core/verifier.hpp"
+
+namespace tv::gen {
+namespace {
+
+TEST(S1Design, SmallInstanceIsCleanAndConverges) {
+  S1Params p;
+  p.stages = 3;
+  p.clock_tree_bufs = 2;
+  hdl::ElaboratedDesign d = build_s1_design(p);
+  Verifier v(d.netlist, d.options);
+  VerifyResult r = v.verify();
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.violations.empty()) << violations_report(r.violations);
+  EXPECT_TRUE(r.cross_reference.empty());
+}
+
+TEST(S1Design, ChipCountFormulaMatchesEmission) {
+  S1Params p;
+  p.stages = 4;
+  p.clock_tree_bufs = 7;
+  hdl::ElaboratedDesign d = build_s1_design(p);
+  // chips = macro instances + top-level primitive instances. Top-level
+  // primitives = all primitives minus those inside macro bodies.
+  std::size_t prims_in_macros = 0;
+  // REG(2) RAM(4) MUX(2) ALU(3) LATCH(2): count instances by macro type.
+  // 4 stages: 5 REG + 1 RAM + 8 MUX + 1 ALU + 1 LATCH each.
+  prims_in_macros = 4u * (5 * 2 + 1 * 4 + 8 * 2 + 1 * 3 + 1 * 2);
+  std::size_t top_prims = d.summary.primitives - prims_in_macros;
+  EXPECT_EQ(d.summary.macro_instances + top_prims, s1_chip_count(p));
+}
+
+TEST(S1Design, PrimitivesPerChipRatioMatchesPaperShape) {
+  // Table 3-2: 8282 primitives for 6357 chips = 1.3 primitives per chip.
+  S1Params p;
+  p.stages = 10;
+  p.clock_tree_bufs = 4;
+  hdl::ElaboratedDesign d = build_s1_design(p);
+  double ratio = static_cast<double>(d.summary.primitives) /
+                 static_cast<double>(s1_chip_count(p));
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 1.4);
+  // Mean primitive width ~6.5 bits (ours lands near 6.9).
+  double mean_width = static_cast<double>(d.summary.total_bits) /
+                      static_cast<double>(d.summary.primitives);
+  EXPECT_GT(mean_width, 5.0);
+  EXPECT_LT(mean_width, 8.5);
+}
+
+TEST(S1Design, EventsScaleLinearlyWithStages) {
+  // Sec. 4.1: cost per case is of the order of one simulated cycle --
+  // events grow linearly with design size, not exponentially.
+  auto events_for = [](int stages) {
+    S1Params p;
+    p.stages = stages;
+    p.clock_tree_bufs = 0;
+    hdl::ElaboratedDesign d = build_s1_design(p);
+    Verifier v(d.netlist, d.options);
+    return v.verify().base_events;
+  };
+  std::size_t e4 = events_for(4);
+  std::size_t e8 = events_for(8);
+  std::size_t e16 = events_for(16);
+  EXPECT_NEAR(static_cast<double>(e8) / e4, 2.0, 0.25);
+  EXPECT_NEAR(static_cast<double>(e16) / e8, 2.0, 0.25);
+}
+
+TEST(S1Design, ValueRecordsPerSignalMatchPaperShape) {
+  // Table 3-3: mean 2.97 VALUE records per signal (~56 bytes per list).
+  S1Params p;
+  p.stages = 6;
+  hdl::ElaboratedDesign d = build_s1_design(p);
+  Verifier v(d.netlist, d.options);
+  v.verify();
+  StorageBreakdown b = compute_storage(d.netlist);
+  EXPECT_GT(b.mean_value_records, 2.0);
+  EXPECT_LT(b.mean_value_records, 5.0);
+  EXPECT_GT(b.mean_prim_bytes, 150.0);
+  EXPECT_LT(b.mean_prim_bytes, 350.0);
+}
+
+TEST(S1Design, GatedClockHazardInjection) {
+  // Failure injection: late write-enable control (changing into the gated
+  // clock's asserted window) must be reported as a hazard by the "&H"
+  // check. We patch one stage's WEN assertion to be late.
+  S1Params p;
+  p.stages = 2;
+  p.clock_tree_bufs = 0;
+  std::string src = generate_s1_shdl(p);
+  // WEN .S1-8 is stable from 6.25 ns; make stage 0's stable only from
+  // 28 ns (clock asserted 24..32.25).
+  auto pos = src.find("S0 WEN .S1-8");
+  ASSERT_NE(pos, std::string::npos);
+  src.replace(pos, std::string("S0 WEN .S1-8").size(), "S0 WEN .S4.5-8.6");
+  hdl::ElaboratedDesign d = hdl::elaborate(hdl::parse(src));
+  Verifier v(d.netlist, d.options);
+  VerifyResult r = v.verify();
+  bool hazard = false;
+  for (const auto& viol : r.violations) {
+    if (viol.type == Violation::Type::Hazard) hazard = true;
+  }
+  EXPECT_TRUE(hazard) << violations_report(r.violations);
+}
+
+TEST(S1Design, SlowPathInjectionCaughtBySetupCheck) {
+  // Failure injection: slow down one stage's result OR gate so the bus
+  // register's set-up check fires.
+  S1Params p;
+  p.stages = 2;
+  p.clock_tree_bufs = 0;
+  std::string src = generate_s1_shdl(p);
+  auto pos = src.find("or [delay=1.0:3.0");
+  ASSERT_NE(pos, std::string::npos);
+  src.replace(pos, std::string("or [delay=1.0:3.0").size(), "or [delay=1.0:9.0");
+  hdl::ElaboratedDesign d = hdl::elaborate(hdl::parse(src));
+  Verifier v(d.netlist, d.options);
+  VerifyResult r = v.verify();
+  bool setup = false;
+  for (const auto& viol : r.violations) {
+    if (viol.type == Violation::Type::Setup) setup = true;
+  }
+  EXPECT_TRUE(setup) << violations_report(r.violations);
+}
+
+}  // namespace
+}  // namespace tv::gen

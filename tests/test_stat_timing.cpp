@@ -1,0 +1,119 @@
+// Tests for the probability-based analysis extension (thesis sec. 4.2.4):
+// distribution derivation, correlation handling (rho = 1 recovers the
+// min/max worst case), the independence pessimism gap, and Monte Carlo
+// validation of the predicted quantiles.
+#include "stat/stat_timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tv::stat {
+namespace {
+
+// A register-to-register chain of n identical gates with delay [lo, hi].
+struct Chain {
+  Netlist nl;
+  Chain(int n, double lo, double hi) {
+    Ref ck = nl.ref("CK .P0-2");
+    Ref q = nl.ref("Q0");
+    nl.reg("R0", 0, 0, nl.ref("D0 .S0-8"), ck, q);
+    Ref cur = q;
+    for (int i = 0; i < n; ++i) {
+      Ref next = nl.ref("N" + std::to_string(i));
+      nl.buf("G" + std::to_string(i), from_ns(lo), from_ns(hi), cur, next);
+      cur = next;
+    }
+    nl.reg("R1", 0, 0, cur, ck, nl.ref("Q1"));
+    nl.finalize();
+  }
+};
+
+TEST(StatTiming, DistFromRangeCentersAtMidpoint) {
+  DelayDist d = dist_from_range(from_ns(2.0), from_ns(8.0));
+  EXPECT_DOUBLE_EQ(d.mean_ns, 5.0);
+  EXPECT_DOUBLE_EQ(d.sigma_ns, 1.0);  // 6 ns range = +-3 sigma
+  DelayDist fixed = dist_from_range(from_ns(3.0), from_ns(3.0));
+  EXPECT_DOUBLE_EQ(fixed.sigma_ns, 0.0);
+}
+
+TEST(StatTiming, FullCorrelationRecoversWorstCase) {
+  // rho = 1: all parts from one production run -- the thesis' warning case.
+  // The 3-sigma prediction must equal the min/max worst case exactly.
+  Chain c(9, 2.0, 8.0);
+  StatOptions opts;
+  opts.rho = 1.0;
+  opts.k_sigma = 3.0;
+  StatResult r = analyze_statistical(c.nl, opts);
+  ASSERT_FALSE(r.paths.empty());
+  EXPECT_NEAR(r.predicted_critical_ns, r.worst_case_critical_ns, 1e-9);
+  EXPECT_NEAR(r.worst_case_critical_ns, 9 * 8.0, 1e-9);
+}
+
+TEST(StatTiming, IndependenceIsLessPessimisticAndGrowsLikeSqrtN) {
+  // rho = 0: the 3-sigma margin grows with sqrt(n) while the worst-case
+  // margin grows with n -- the "could run faster" claim quantified.
+  StatOptions opts;  // independent, 3 sigma
+  Chain c9(9, 2.0, 8.0);
+  Chain c36(36, 2.0, 8.0);
+  StatResult r9 = analyze_statistical(c9.nl, opts);
+  StatResult r36 = analyze_statistical(c36.nl, opts);
+
+  double margin9 = r9.predicted_critical_ns - 9 * 5.0;     // above the mean
+  double margin36 = r36.predicted_critical_ns - 36 * 5.0;
+  EXPECT_NEAR(margin9, 3.0 * std::sqrt(9.0) * 1.0, 1e-9);   // 3 * sqrt(n) * sigma
+  EXPECT_NEAR(margin36, 3.0 * std::sqrt(36.0) * 1.0, 1e-9);
+  EXPECT_LT(r9.predicted_critical_ns, r9.worst_case_critical_ns);
+  EXPECT_LT(r36.predicted_critical_ns, r36.worst_case_critical_ns);
+  // Relative pessimism shrinks with depth.
+  double gap9 = r9.worst_case_critical_ns - r9.predicted_critical_ns;
+  double gap36 = r36.worst_case_critical_ns - r36.predicted_critical_ns;
+  EXPECT_GT(gap36, gap9);
+}
+
+TEST(StatTiming, MonteCarloValidatesPrediction) {
+  Chain c(16, 2.0, 8.0);
+  StatOptions opts;
+  opts.rho = 0.0;
+  StatResult r = analyze_statistical(c.nl, opts);
+  // The 99.87th percentile (3 sigma) of sampled critical delays should sit
+  // near (and, due to clamping at min/max, at or below) the prediction.
+  double mc = monte_carlo_critical_ns(c.nl, opts, 4000, 0.9987, /*seed=*/7);
+  EXPECT_LE(mc, r.predicted_critical_ns + 0.5);
+  EXPECT_GT(mc, r.paths[0].mean_ns);           // well above the mean
+  EXPECT_LT(mc, r.worst_case_critical_ns);     // below the worst case
+}
+
+TEST(StatTiming, MonteCarloCorrelationRaisesTail) {
+  // With correlation the tail moves toward the worst case -- the reason
+  // the thesis says ignoring correlation yields incorrect predictions.
+  Chain c(16, 2.0, 8.0);
+  StatOptions ind;
+  ind.rho = 0.0;
+  StatOptions cor;
+  cor.rho = 0.9;
+  double tail_ind = monte_carlo_critical_ns(c.nl, ind, 4000, 0.9987, 11);
+  double tail_cor = monte_carlo_critical_ns(c.nl, cor, 4000, 0.9987, 11);
+  EXPECT_GT(tail_cor, tail_ind + 2.0);
+}
+
+TEST(StatTiming, ZeroVarianceChainIsExact) {
+  Chain c(5, 4.0, 4.0);  // fixed delays
+  StatResult r = analyze_statistical(c.nl, StatOptions{});
+  ASSERT_FALSE(r.paths.empty());
+  EXPECT_NEAR(r.predicted_critical_ns, 20.0, 1e-9);
+  EXPECT_NEAR(r.worst_case_critical_ns, 20.0, 1e-9);
+}
+
+TEST(StatTiming, DefaultWireDelaysAreIncluded) {
+  Chain c(4, 1.0, 3.0);
+  StatOptions with_wire;
+  with_wire.default_wire = WireDelay{from_ns(0.5), from_ns(1.5)};
+  StatOptions without;
+  StatResult a = analyze_statistical(c.nl, with_wire);
+  StatResult b = analyze_statistical(c.nl, without);
+  EXPECT_GT(a.worst_case_critical_ns, b.worst_case_critical_ns + 4 * 1.0);
+}
+
+}  // namespace
+}  // namespace tv::stat

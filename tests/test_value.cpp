@@ -1,0 +1,203 @@
+// Unit + property tests for the seven-value algebra (thesis sec. 2.4.1/2.4.2).
+#include "core/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tv {
+namespace {
+
+const std::vector<Value> kAll = {Value::Zero, Value::One,  Value::Stable, Value::Change,
+                                 Value::Rise, Value::Fall, Value::Unknown};
+
+using V = Value;
+
+TEST(ValueLetters, RoundTrip) {
+  for (Value v : kAll) {
+    Value parsed;
+    ASSERT_TRUE(parse_value_letter(value_letter(v), parsed));
+    EXPECT_EQ(parsed, v);
+  }
+  Value dummy;
+  EXPECT_FALSE(parse_value_letter('x', dummy));
+  EXPECT_FALSE(parse_value_letter('2', dummy));
+}
+
+TEST(ValueOr, DominantAndIdentity) {
+  for (Value v : kAll) {
+    EXPECT_EQ(value_or(V::One, v), V::One) << value_name(v);
+    EXPECT_EQ(value_or(v, V::One), V::One) << value_name(v);
+    EXPECT_EQ(value_or(V::Zero, v), v) << value_name(v);
+    EXPECT_EQ(value_or(v, V::Zero), v) << value_name(v);
+  }
+}
+
+TEST(ValueOr, WorstCaseStableVsEdges) {
+  // The thesis' worked example: STABLE OR RISE = RISE ("the rising edge is
+  // the worst-case value").
+  EXPECT_EQ(value_or(V::Stable, V::Rise), V::Rise);
+  EXPECT_EQ(value_or(V::Stable, V::Fall), V::Fall);
+  EXPECT_EQ(value_or(V::Stable, V::Change), V::Change);
+  EXPECT_EQ(value_or(V::Stable, V::Stable), V::Stable);
+}
+
+TEST(ValueOr, MixedEdgesCollapseToChange) {
+  EXPECT_EQ(value_or(V::Rise, V::Fall), V::Change);
+  EXPECT_EQ(value_or(V::Rise, V::Change), V::Change);
+  EXPECT_EQ(value_or(V::Fall, V::Change), V::Change);
+  EXPECT_EQ(value_or(V::Rise, V::Rise), V::Rise);
+  EXPECT_EQ(value_or(V::Fall, V::Fall), V::Fall);
+}
+
+TEST(ValueOr, UnknownPropagatesUnlessForced) {
+  EXPECT_EQ(value_or(V::Unknown, V::One), V::One);
+  EXPECT_EQ(value_or(V::Unknown, V::Zero), V::Unknown);
+  EXPECT_EQ(value_or(V::Unknown, V::Stable), V::Unknown);
+  EXPECT_EQ(value_or(V::Unknown, V::Rise), V::Unknown);
+}
+
+TEST(ValueAnd, DominantAndIdentity) {
+  for (Value v : kAll) {
+    EXPECT_EQ(value_and(V::Zero, v), V::Zero) << value_name(v);
+    EXPECT_EQ(value_and(v, V::Zero), V::Zero) << value_name(v);
+    EXPECT_EQ(value_and(V::One, v), v) << value_name(v);
+    EXPECT_EQ(value_and(v, V::One), v) << value_name(v);
+  }
+}
+
+TEST(ValueAnd, DualOfOr) {
+  // De Morgan-style duality of the worst-case tables:
+  // NOT(a AND b) == NOT a OR NOT b over the full seven-value domain.
+  for (Value a : kAll) {
+    for (Value b : kAll) {
+      EXPECT_EQ(value_not(value_and(a, b)), value_or(value_not(a), value_not(b)))
+          << value_name(a) << " & " << value_name(b);
+    }
+  }
+}
+
+TEST(ValueNot, Involution) {
+  for (Value v : kAll) EXPECT_EQ(value_not(value_not(v)), v);
+  EXPECT_EQ(value_not(V::Rise), V::Fall);
+  EXPECT_EQ(value_not(V::Fall), V::Rise);
+  EXPECT_EQ(value_not(V::Stable), V::Stable);
+  EXPECT_EQ(value_not(V::Change), V::Change);
+}
+
+TEST(ValueXor, BooleanCorners) {
+  EXPECT_EQ(value_xor(V::Zero, V::Rise), V::Rise);
+  EXPECT_EQ(value_xor(V::One, V::Rise), V::Fall);
+  EXPECT_EQ(value_xor(V::One, V::One), V::Zero);
+  EXPECT_EQ(value_xor(V::Zero, V::One), V::One);
+}
+
+TEST(ValueXor, UnknownPolarityCollapses) {
+  // XOR with a stable-but-unknown operand turns a known edge into CHANGE:
+  // the output edge polarity cannot be known.
+  EXPECT_EQ(value_xor(V::Stable, V::Rise), V::Change);
+  EXPECT_EQ(value_xor(V::Stable, V::Fall), V::Change);
+  EXPECT_EQ(value_xor(V::Stable, V::Stable), V::Stable);
+  EXPECT_EQ(value_xor(V::Unknown, V::Zero), V::Unknown);
+}
+
+TEST(ValueChg, Definition) {
+  // Sec. 2.4.2: UNKNOWN if any input undefined; else CHANGE if any input
+  // changing; otherwise STABLE. 0/1 count as not changing.
+  EXPECT_EQ(value_chg(V::Zero, V::One), V::Stable);
+  EXPECT_EQ(value_chg(V::Stable, V::Stable), V::Stable);
+  EXPECT_EQ(value_chg(V::Stable, V::Rise), V::Change);
+  EXPECT_EQ(value_chg(V::Change, V::Zero), V::Change);
+  EXPECT_EQ(value_chg(V::Unknown, V::Change), V::Unknown);
+  EXPECT_EQ(value_chg(V::Rise), V::Change);
+  EXPECT_EQ(value_chg(V::One), V::Stable);
+  EXPECT_EQ(value_chg(V::Unknown), V::Unknown);
+}
+
+TEST(ValueAlgebra, CommutativityProperty) {
+  for (Value a : kAll) {
+    for (Value b : kAll) {
+      EXPECT_EQ(value_or(a, b), value_or(b, a));
+      EXPECT_EQ(value_and(a, b), value_and(b, a));
+      EXPECT_EQ(value_xor(a, b), value_xor(b, a));
+      EXPECT_EQ(value_chg(a, b), value_chg(b, a));
+      EXPECT_EQ(value_union(a, b), value_union(b, a));
+    }
+  }
+}
+
+TEST(ValueAlgebra, Idempotence) {
+  for (Value a : kAll) {
+    EXPECT_EQ(value_or(a, a), a);
+    EXPECT_EQ(value_and(a, a), a);
+    EXPECT_EQ(value_union(a, a), a);
+  }
+}
+
+TEST(ValueAlgebra, AssociativityOfOrAndProperty) {
+  for (Value a : kAll) {
+    for (Value b : kAll) {
+      for (Value c : kAll) {
+        EXPECT_EQ(value_or(value_or(a, b), c), value_or(a, value_or(b, c)));
+        EXPECT_EQ(value_and(value_and(a, b), c), value_and(a, value_and(b, c)));
+      }
+    }
+  }
+}
+
+TEST(ValueUnion, DirectionalEdges) {
+  EXPECT_EQ(value_union(V::Zero, V::Rise), V::Rise);
+  EXPECT_EQ(value_union(V::Rise, V::One), V::Rise);
+  EXPECT_EQ(value_union(V::One, V::Fall), V::Fall);
+  EXPECT_EQ(value_union(V::Fall, V::Zero), V::Fall);
+  EXPECT_EQ(value_union(V::Zero, V::One), V::Change);
+  EXPECT_EQ(value_union(V::Rise, V::Fall), V::Change);
+  EXPECT_EQ(value_union(V::Stable, V::Change), V::Change);
+  EXPECT_EQ(value_union(V::Zero, V::Stable), V::Stable);
+  EXPECT_EQ(value_union(V::Unknown, V::Zero), V::Unknown);
+}
+
+TEST(ValueMux, SelectBehaviour) {
+  // Definite select passes the selected input through.
+  EXPECT_EQ(value_mux(V::Zero, V::Rise, V::Fall), V::Rise);
+  EXPECT_EQ(value_mux(V::One, V::Rise, V::Fall), V::Fall);
+  // Stable select: output is one input or the other, never switching; two
+  // different constants are therefore STABLE, not CHANGE.
+  EXPECT_EQ(value_mux(V::Stable, V::Zero, V::One), V::Stable);
+  EXPECT_EQ(value_mux(V::Stable, V::Stable, V::Rise), V::Rise);
+  EXPECT_EQ(value_mux(V::Stable, V::Zero, V::Zero), V::Zero);
+  // Changing select can glitch between the inputs unless they agree.
+  EXPECT_EQ(value_mux(V::Change, V::Zero, V::One), V::Change);
+  EXPECT_EQ(value_mux(V::Rise, V::One, V::One), V::One);
+  EXPECT_EQ(value_mux(V::Unknown, V::Zero, V::Zero), V::Unknown);
+}
+
+TEST(ValueMux, WorstCaseSoundnessProperty) {
+  // Soundness: for every boolean refinement of the symbolic inputs, the
+  // concrete mux output must be describable by the symbolic output. We check
+  // the steady cases: if the symbolic output claims a definite 0/1, every
+  // concretization must produce that value.
+  auto concretizations = [](Value v) -> std::vector<int> {
+    switch (v) {
+      case V::Zero: return {0};
+      case V::One: return {1};
+      default: return {0, 1};  // stable-unknown or mid-change snapshots
+    }
+  };
+  for (Value sel : {V::Zero, V::One}) {
+    for (Value a : kAll) {
+      for (Value b : kAll) {
+        Value out = value_mux(sel, a, b);
+        if (out == V::Zero || out == V::One) {
+          Value chosen = (sel == V::Zero) ? a : b;
+          for (int bit : concretizations(chosen)) {
+            EXPECT_EQ(bit, out == V::One ? 1 : 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tv

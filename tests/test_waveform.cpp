@@ -1,0 +1,250 @@
+// Unit + property tests for the periodic waveform representation
+// (thesis sec. 2.8, Figs 2-7/2-8/2-9).
+#include "core/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tv {
+namespace {
+
+using V = Value;
+constexpr Time P = from_ns(50.0);  // the thesis example's 50 ns cycle
+
+TEST(Waveform, ConstantInvariants) {
+  Waveform w(P, V::Stable);
+  EXPECT_EQ(w.period(), P);
+  EXPECT_EQ(w.segments().size(), 1u);
+  EXPECT_EQ(w.at(0), V::Stable);
+  EXPECT_EQ(w.at(P - 1), V::Stable);
+  EXPECT_EQ(w.at(P + 5), V::Stable);  // modulo the period
+  EXPECT_FALSE(w.has_activity());
+}
+
+TEST(Waveform, SetSimpleInterval) {
+  Waveform w(P, V::Zero);
+  w.set(from_ns(20), from_ns(30), V::One);
+  EXPECT_EQ(w.at(from_ns(19)), V::Zero);
+  EXPECT_EQ(w.at(from_ns(20)), V::One);
+  EXPECT_EQ(w.at(from_ns(29)), V::One);
+  EXPECT_EQ(w.at(from_ns(30)), V::Zero);
+  EXPECT_EQ(w.segments().size(), 3u);
+}
+
+TEST(Waveform, SetWrappingInterval) {
+  // Assertions are taken modulo the cycle time (sec. 3.2): "stable 4-9" in an
+  // 8-unit cycle means stable except units 1..4.
+  Waveform w(P, V::Change);
+  w.set(from_ns(40), from_ns(60), V::Stable);  // wraps: [40,50) U [0,10)
+  EXPECT_EQ(w.at(from_ns(45)), V::Stable);
+  EXPECT_EQ(w.at(from_ns(5)), V::Stable);
+  EXPECT_EQ(w.at(from_ns(15)), V::Change);
+  EXPECT_EQ(w.at(from_ns(39)), V::Change);
+}
+
+TEST(Waveform, SetFullPeriodAndEmpty) {
+  Waveform w(P, V::Zero);
+  w.set(0, P, V::Stable);
+  EXPECT_TRUE(w.is_constant());
+  EXPECT_EQ(w.at(17), V::Stable);
+  w.set(from_ns(10), from_ns(10), V::One);  // empty interval: no-op
+  EXPECT_TRUE(w.is_constant());
+}
+
+TEST(Waveform, WidthsAlwaysSumToPeriodProperty) {
+  // The thesis requires the VALUE WIDTH fields to sum exactly to the cycle
+  // time "for consistency-checking purposes".
+  Waveform w(P, V::Zero);
+  const Time times[] = {0, from_ns(3), from_ns(47.5), from_ns(49), from_ns(12.25)};
+  const V vals[] = {V::One, V::Change, V::Stable, V::Rise, V::Zero};
+  int k = 0;
+  for (Time b : times) {
+    for (Time e : times) {
+      w.set(b, e + from_ns(1), vals[k++ % 5]);
+      Time sum = 0;
+      for (const auto& s : w.segments()) sum += s.width;
+      ASSERT_EQ(sum, P);
+    }
+  }
+}
+
+TEST(Waveform, DelayRotatesCircularly) {
+  Waveform w(P, V::Zero);
+  w.set(from_ns(45), from_ns(48), V::One);
+  Waveform d = w.delayed(from_ns(10), from_ns(10));
+  EXPECT_EQ(d.at(from_ns(55 - 50)), V::One);  // 45+10 wraps to 5
+  EXPECT_EQ(d.at(from_ns(7)), V::One);
+  EXPECT_EQ(d.at(from_ns(8)), V::Zero);
+  EXPECT_EQ(d.skew(), 0);
+}
+
+TEST(Waveform, DelayAccumulatesSkewSeparately) {
+  // Fig 2-8: the gate delays by [5,10]; the value list shifts by the min
+  // delay and the skew field carries max-min, preserving pulse width.
+  Waveform w(P, V::Zero);
+  w.set(from_ns(10), from_ns(20), V::One);
+  Waveform d = w.delayed(from_ns(5), from_ns(10));
+  EXPECT_EQ(d.at(from_ns(15)), V::One);
+  EXPECT_EQ(d.at(from_ns(24)), V::One);
+  EXPECT_EQ(d.at(from_ns(25)), V::Zero);
+  EXPECT_EQ(d.skew(), from_ns(5));
+  // Pulse width in the value list is unchanged: still 10 ns of solid 1.
+  Time high = 0;
+  for (const auto& s : d.segments())
+    if (s.value == V::One) high += s.width;
+  EXPECT_EQ(high, from_ns(10));
+}
+
+TEST(Waveform, SkewIncorporationUsesRiseFall) {
+  // Fig 2-9: folding a 5 ns skew into a 0/1 pulse turns each edge into a
+  // 5 ns RISE/FALL window.
+  Waveform w(P, V::Zero);
+  w.set(from_ns(15), from_ns(25), V::One);
+  w.set_skew(from_ns(5));
+  Waveform f = w.with_skew_incorporated();
+  EXPECT_EQ(f.skew(), 0);
+  EXPECT_EQ(f.at(from_ns(14)), V::Zero);
+  EXPECT_EQ(f.at(from_ns(15)), V::Rise);
+  EXPECT_EQ(f.at(from_ns(19)), V::Rise);
+  EXPECT_EQ(f.at(from_ns(20)), V::One);
+  EXPECT_EQ(f.at(from_ns(24)), V::One);
+  EXPECT_EQ(f.at(from_ns(25)), V::Fall);
+  EXPECT_EQ(f.at(from_ns(29)), V::Fall);
+  EXPECT_EQ(f.at(from_ns(30)), V::Zero);
+}
+
+TEST(Waveform, SkewIncorporationOverlapCollapsesToChange) {
+  // A pulse narrower than the skew: rise and fall windows overlap, and the
+  // overlap must read CHANGE (either edge may be in flight).
+  Waveform w(P, V::Zero);
+  w.set(from_ns(15), from_ns(18), V::One);
+  w.set_skew(from_ns(5));
+  Waveform f = w.with_skew_incorporated();
+  EXPECT_EQ(f.at(from_ns(15)), V::Rise);
+  EXPECT_EQ(f.at(from_ns(18) + 1), V::Change);  // both windows cover
+  EXPECT_EQ(f.at(from_ns(19)), V::Change);
+  EXPECT_EQ(f.at(from_ns(21)), V::Fall);  // rise window over, fall remains
+  EXPECT_EQ(f.at(from_ns(23)), V::Zero);
+}
+
+TEST(Waveform, SkewIncorporationStableChange) {
+  // S -> C boundaries widen with CHANGE, not RISE/FALL.
+  Waveform w(P, V::Stable);
+  w.set(from_ns(10), from_ns(20), V::Change);
+  w.set_skew(from_ns(4));
+  Waveform f = w.with_skew_incorporated();
+  EXPECT_EQ(f.at(from_ns(9)), V::Stable);
+  EXPECT_EQ(f.at(from_ns(10)), V::Change);
+  EXPECT_EQ(f.at(from_ns(21)), V::Change);  // trailing edge widened
+  EXPECT_EQ(f.at(from_ns(23)), V::Change);
+  EXPECT_EQ(f.at(from_ns(24)), V::Stable);
+}
+
+TEST(Waveform, SkewIncorporationIsIdempotentProperty) {
+  Waveform w(P, V::Zero);
+  w.set(from_ns(12), from_ns(30), V::One);
+  w.set_skew(from_ns(3));
+  Waveform once = w.with_skew_incorporated();
+  Waveform twice = once.with_skew_incorporated();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Waveform, BinaryCombinationAlignsSegments) {
+  Waveform a(P, V::Zero);
+  a.set(from_ns(10), from_ns(30), V::One);
+  Waveform b(P, V::Zero);
+  b.set(from_ns(20), from_ns(40), V::One);
+  Waveform o = Waveform::binary(a, b, value_or);
+  EXPECT_EQ(o.at(from_ns(5)), V::Zero);
+  EXPECT_EQ(o.at(from_ns(15)), V::One);
+  EXPECT_EQ(o.at(from_ns(25)), V::One);
+  EXPECT_EQ(o.at(from_ns(35)), V::One);
+  EXPECT_EQ(o.at(from_ns(45)), V::Zero);
+  Waveform an = Waveform::binary(a, b, value_and);
+  EXPECT_EQ(an.at(from_ns(15)), V::Zero);
+  EXPECT_EQ(an.at(from_ns(25)), V::One);
+  EXPECT_EQ(an.at(from_ns(35)), V::Zero);
+}
+
+TEST(Waveform, ValueMaskCircular) {
+  Waveform w(P, V::Stable);
+  w.set(from_ns(45), from_ns(55), V::Change);  // wraps
+  auto m = w.value_mask(from_ns(46), from_ns(52));
+  EXPECT_EQ(m, 1u << static_cast<int>(V::Change));
+  m = w.value_mask(from_ns(40), from_ns(48));
+  EXPECT_EQ(m, (1u << static_cast<int>(V::Change)) | (1u << static_cast<int>(V::Stable)));
+  EXPECT_TRUE(w.steady_over(from_ns(10), from_ns(40)));
+  EXPECT_FALSE(w.steady_over(from_ns(10), from_ns(46)));
+}
+
+TEST(Waveform, SettlesReportsStableTime) {
+  // Fig 3-11 reporting: "data did not go stable until 47.5 nsec".
+  Waveform w(P, V::Stable);
+  w.set(from_ns(40), from_ns(47.5), V::Change);
+  Time t = 0;
+  ASSERT_TRUE(w.settles(from_ns(30), from_ns(49), t));
+  EXPECT_EQ(t, from_ns(47.5));
+  // Already stable across the whole window: settles at the window start.
+  ASSERT_TRUE(w.settles(from_ns(10), from_ns(30), t));
+  EXPECT_EQ(t, from_ns(10));
+  // Never stable in window.
+  Waveform c(P, V::Change);
+  EXPECT_FALSE(c.settles(from_ns(0), from_ns(10), t));
+}
+
+TEST(Waveform, SettlesAcrossWrap) {
+  Waveform w(P, V::Stable);
+  w.set(from_ns(44), from_ns(46), V::Change);
+  Time t = 0;
+  // Window wraps the cycle boundary: [48, 54) == [48,50)+[0,4).
+  ASSERT_TRUE(w.settles(from_ns(48), from_ns(54), t));
+  EXPECT_EQ(t, from_ns(48));
+  // Window [45, 52): stable only from 46 on.
+  ASSERT_TRUE(w.settles(from_ns(45), from_ns(52), t));
+  EXPECT_EQ(t, from_ns(46));
+}
+
+TEST(Waveform, BoundariesIncludeWrap) {
+  Waveform w(P, V::One);
+  w.set(from_ns(40), from_ns(60), V::Zero);  // 0 across the wrap
+  auto bs = w.boundaries();
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0].time, from_ns(10));
+  EXPECT_EQ(bs[0].from, V::Zero);
+  EXPECT_EQ(bs[0].to, V::One);
+  EXPECT_EQ(bs[1].time, from_ns(40));
+  EXPECT_EQ(bs[1].from, V::One);
+  EXPECT_EQ(bs[1].to, V::Zero);
+}
+
+TEST(Waveform, PaperStorageAccounting) {
+  // Table 3-3 record model: 20-byte base + 12 bytes per value record. The
+  // thesis reports a mean of 2.97 value records and ~56 bytes per signal.
+  Waveform w(P, V::Stable);
+  w.set(from_ns(10), from_ns(20), V::Change);
+  EXPECT_EQ(w.value_record_count(), 3u);
+  EXPECT_EQ(w.paper_storage_bytes(), 20u + 3u * 12u);
+}
+
+TEST(Waveform, ToStringMatchesListingStyle) {
+  Waveform w(P, V::Stable);
+  w.set(from_ns(0.5), from_ns(5.5), V::Change);
+  EXPECT_EQ(w.to_string(), "0.0:S 0.5:C 5.5:S");
+}
+
+TEST(Waveform, DelayZeroIsIdentityProperty) {
+  Waveform w(P, V::Zero);
+  w.set(from_ns(13), from_ns(29), V::One);
+  w.set(from_ns(31), from_ns(33), V::Change);
+  EXPECT_EQ(w.delayed(0, 0), w);
+}
+
+TEST(Waveform, DelayComposesProperty) {
+  Waveform w(P, V::Zero);
+  w.set(from_ns(13), from_ns(29), V::One);
+  Waveform a = w.delayed(from_ns(3), from_ns(7)).delayed(from_ns(2), from_ns(4));
+  Waveform b = w.delayed(from_ns(5), from_ns(11));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace tv

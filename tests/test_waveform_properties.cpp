@@ -1,0 +1,211 @@
+// Property tests of the waveform algebra against brute-force sampled
+// references. Waveforms are generated from deterministic seeds (an LCG) and
+// every property is checked by dense sampling across the period, so these
+// tests exercise interval arithmetic, wrap handling and skew incorporation
+// far beyond the hand-written cases.
+#include <gtest/gtest.h>
+
+#include "core/waveform.hpp"
+
+namespace tv {
+namespace {
+
+using V = Value;
+
+constexpr Time P = from_ns(50.0);
+constexpr Time kStep = from_ns(0.25);  // sampling grid
+
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  Time time(Time lo, Time hi) { return lo + static_cast<Time>(next() % static_cast<std::uint64_t>(hi - lo)); }
+  Value value() {
+    static const V vals[] = {V::Zero, V::One, V::Stable, V::Change, V::Rise, V::Fall, V::Unknown};
+    return vals[next() % 7];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+Waveform random_wave(Lcg& rng, int segments) {
+  Waveform w(P, rng.value());
+  for (int i = 0; i < segments; ++i) {
+    Time b = rng.time(0, P);
+    Time width = rng.time(1, P / 2);
+    w.set(b, b + width, rng.value());
+  }
+  return w;
+}
+
+class WaveformProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaveformProperty, WidthsSumToPeriod) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()));
+  Waveform w = random_wave(rng, 8);
+  Time sum = 0;
+  for (const auto& s : w.segments()) {
+    EXPECT_GT(s.width, 0);
+    sum += s.width;
+  }
+  EXPECT_EQ(sum, P);
+}
+
+TEST_P(WaveformProperty, NormalizationMergesAdjacentEqualValues) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()));
+  Waveform w = random_wave(rng, 8);
+  const auto& segs = w.segments();
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    EXPECT_NE(segs[i].value, segs[i + 1].value) << "unmerged adjacent segments";
+  }
+}
+
+TEST_P(WaveformProperty, BinaryOpIsPointwise) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()));
+  Waveform a = random_wave(rng, 6);
+  Waveform b = random_wave(rng, 6);
+  for (auto op : {value_or, value_and, value_xor, value_chg}) {
+    Waveform c = Waveform::binary(a, b, op);
+    for (Time t = 0; t < P; t += kStep) {
+      ASSERT_EQ(c.at(t), op(a.at(t), b.at(t))) << "t=" << to_ns(t);
+    }
+  }
+}
+
+TEST_P(WaveformProperty, TernaryOpIsPointwise) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  Waveform a = random_wave(rng, 5);
+  Waveform b = random_wave(rng, 5);
+  Waveform c = random_wave(rng, 5);
+  Waveform m = Waveform::ternary(a, b, c, value_mux);
+  for (Time t = 0; t < P; t += kStep) {
+    ASSERT_EQ(m.at(t), value_mux(a.at(t), b.at(t), c.at(t))) << "t=" << to_ns(t);
+  }
+}
+
+TEST_P(WaveformProperty, DelayIsCircularShift) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  Waveform w = random_wave(rng, 6);
+  Time dmin = rng.time(0, P);
+  Time extra = rng.time(0, from_ns(5));
+  Waveform d = w.delayed(dmin, dmin + extra);
+  for (Time t = 0; t < P; t += kStep) {
+    ASSERT_EQ(d.at(t), w.at(t - dmin)) << "t=" << to_ns(t);
+  }
+  EXPECT_EQ(d.skew(), w.skew() + extra);
+}
+
+// Covering relation: does symbolic value v soundly describe observed w?
+bool covers(Value v, Value w) {
+  if (v == w) return true;
+  switch (v) {
+    case V::Unknown: return true;  // unknown covers anything
+    case V::Change: return w != V::Unknown;
+    case V::Rise: return w == V::Zero || w == V::One || w == V::Rise;
+    case V::Fall: return w == V::Zero || w == V::One || w == V::Fall;
+    case V::Stable: return w == V::Zero || w == V::One;
+    default: return false;
+  }
+}
+
+TEST_P(WaveformProperty, SkewIncorporationIsSound) {
+  // For every instant t and every delay d in [0, skew], the folded value at
+  // t must cover the base value at t - d: the folded waveform soundly
+  // describes every physical realization of the variable delay.
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  Waveform w = random_wave(rng, 5);
+  Time skew = rng.time(1, from_ns(8));
+  w.set_skew(skew);
+  Waveform f = w.with_skew_incorporated();
+  EXPECT_EQ(f.skew(), 0);
+  for (Time t = 0; t < P; t += kStep) {
+    for (Time d = 0; d <= skew; d += kStep) {
+      ASSERT_TRUE(covers(f.at(t), w.at(t - d)))
+          << "t=" << to_ns(t) << " d=" << to_ns(d) << " folded=" << value_letter(f.at(t))
+          << " base=" << value_letter(w.at(t - d));
+    }
+  }
+}
+
+TEST_P(WaveformProperty, ValueMaskMatchesSampling) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  Waveform w = random_wave(rng, 6);
+  Time b = rng.time(0, P);
+  Time width = rng.time(1, P);
+  std::uint8_t mask = w.value_mask(b, b + width);
+  std::uint8_t sampled = 0;
+  for (Time t = b; t < b + width; t += 1) {  // every picosecond would be slow;
+    sampled |= static_cast<std::uint8_t>(1u << static_cast<int>(w.at(t)));
+    t += kStep - 1;
+  }
+  // Every sampled value must be in the mask (the mask may contain values
+  // from sub-sample slivers).
+  EXPECT_EQ(sampled & ~mask, 0);
+}
+
+TEST_P(WaveformProperty, SetThenReadBack) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 5000);
+  Waveform w = random_wave(rng, 4);
+  Time b = rng.time(0, P);
+  Time width = rng.time(1, P - 1);
+  Value v = rng.value();
+  Waveform before = w;
+  w.set(b, b + width, v);
+  for (Time t = 0; t < P; t += kStep) {
+    Time rel = floor_mod(t - b, P);
+    if (rel < width) {
+      ASSERT_EQ(w.at(t), v) << "inside interval, t=" << to_ns(t);
+    } else {
+      ASSERT_EQ(w.at(t), before.at(t)) << "outside interval, t=" << to_ns(t);
+    }
+  }
+}
+
+TEST_P(WaveformProperty, ReplacedOnlyTouchesTarget) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 6000);
+  Waveform w = random_wave(rng, 6);
+  Waveform r = w.replaced(V::Stable, V::One);
+  for (Time t = 0; t < P; t += kStep) {
+    if (w.at(t) == V::Stable) {
+      ASSERT_EQ(r.at(t), V::One);
+    } else {
+      ASSERT_EQ(r.at(t), w.at(t));
+    }
+  }
+}
+
+TEST_P(WaveformProperty, BoundariesMatchValueChanges) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+  Waveform w = random_wave(rng, 6);
+  auto bs = w.boundaries();
+  for (const auto& b : bs) {
+    ASSERT_EQ(w.at(b.time), b.to);
+    ASSERT_EQ(w.at(b.time - 1), b.from);
+  }
+  // Count of value changes when sweeping equals the boundary count.
+  std::size_t changes = 0;
+  for (Time t = 0; t < P; t += 1) {
+    if (w.at(t) != w.at(t - 1)) ++changes;
+    Value cur = w.at(t);
+    // jump to next segment boundary for speed
+    Time acc = 0;
+    for (const auto& s : w.segments()) {
+      acc += s.width;
+      if (t < acc) {
+        t = acc - 1;
+        break;
+      }
+    }
+    (void)cur;
+  }
+  EXPECT_EQ(changes, bs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaveformProperty, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace tv

@@ -1,0 +1,14 @@
+#include <cstdio>
+#include "core/verifier.hpp"
+#include "gen/regfile_example.hpp"
+using namespace tv;
+int main() {
+  Netlist nl;
+  auto ex = gen::build_regfile_example(nl);
+  Verifier v(nl, ex.options);
+  VerifyResult r = v.verify();
+  std::printf("events=%zu converged=%d\n", r.base_events, (int)r.converged);
+  std::printf("%s\n", timing_summary(nl).c_str());
+  std::printf("%s\n", violations_report(r.violations).c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include <chrono>
+#include <cstdio>
+#include "core/verifier.hpp"
+#include "gen/s1_design.hpp"
+#include "hdl/parser.hpp"
+using namespace tv;
+using Clock = std::chrono::steady_clock;
+static double secs(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+int main(int argc, char** argv) {
+  gen::S1Params p;
+  if (argc > 1) p.stages = std::atoi(argv[1]);
+  std::string src = gen::generate_s1_shdl(p);
+  auto t1 = Clock::now();
+  hdl::File f = hdl::parse(src);
+  auto t2 = Clock::now();
+  hdl::ExpandSummary sum = hdl::expand_summary(f);
+  auto t3 = Clock::now();
+  hdl::ElaboratedDesign d = hdl::elaborate(f);
+  auto t4 = Clock::now();
+  Verifier v(d.netlist, d.options);
+  VerifyResult r = v.verify();
+  auto t5 = Clock::now();
+  std::printf("chips(expected)=%zu macro_inst=%zu prims=%zu signals=%zu bits=%zu\n",
+              gen::s1_chip_count(p), sum.macro_instances, sum.primitives,
+              d.netlist.num_signals(), sum.total_bits);
+  std::printf("src=%zu KB parse=%.2fs pass1=%.2fs pass2=%.2fs verify=%.2fs\n",
+              src.size() >> 10, secs(t1, t2), secs(t2, t3), secs(t3, t4), secs(t4, t5));
+  std::printf("events=%zu evals=%zu converged=%d violations=%zu xref=%zu\n", r.base_events,
+              r.base_evals, (int)r.converged, r.violations.size(), r.cross_reference.size());
+  size_t show = 0;
+  for (const auto& viol : r.violations) {
+    if (show++ >= 4) break;
+    std::printf("%s\n", viol.message.c_str());
+  }
+  return 0;
+}

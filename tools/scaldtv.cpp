@@ -1,0 +1,183 @@
+// scaldtv -- command-line driver for the SCALD Timing Verifier reproduction.
+//
+// Usage:
+//   scaldtv [options] <design.shdl>
+//     --summary        print the Fig 3-10 signal value listing
+//     --xref           print the undefined-signal cross reference
+//     --stats          print expansion/verification statistics
+//     --storage        print the Table 3-3 storage ledger
+//     --slack          print the worst-slack table and cycle-time estimate
+//     --waves          print ASCII waveform strips per signal
+//     --where-used     print the full signal cross reference
+//     --explain        print the critical chain behind each violation
+//     --vcd FILE       dump one symbolic cycle of every signal as VCD
+//     --json FILE      write violations/slacks/statistics as JSON
+//     --no-cases       skip case analysis even if the design declares cases
+//
+// Exit status: 0 if no timing violations, 1 if violations were found,
+// 2 on usage/parse errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/explain.hpp"
+#include "core/export.hpp"
+#include "core/storage_stats.hpp"
+#include "core/verifier.hpp"
+#include "hdl/elaborate.hpp"
+#include "hdl/stdlib.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
+               "[--stdlib] [--slack] [--waves] [--where-used] [--explain] [--vcd FILE] "
+               "[--json FILE] "
+               "<design.shdl>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_summary = false, want_xref = false, want_stats = false, want_storage = false;
+  bool run_cases = true;
+  bool with_stdlib = false;  // prepend the standard chip-macro library
+  bool want_slack = false;
+  bool want_waves = false, want_where_used = false;
+  bool want_explain = false;
+  const char* vcd_path = nullptr;
+  const char* json_path = nullptr;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--summary") == 0) {
+      want_summary = true;
+    } else if (std::strcmp(argv[i], "--xref") == 0) {
+      want_xref = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(argv[i], "--storage") == 0) {
+      want_storage = true;
+    } else if (std::strcmp(argv[i], "--no-cases") == 0) {
+      run_cases = false;
+    } else if (std::strcmp(argv[i], "--stdlib") == 0) {
+      with_stdlib = true;
+    } else if (std::strcmp(argv[i], "--slack") == 0) {
+      want_slack = true;
+    } else if (std::strcmp(argv[i], "--waves") == 0) {
+      want_waves = true;
+    } else if (std::strcmp(argv[i], "--where-used") == 0) {
+      want_where_used = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      want_explain = true;
+    } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
+      vcd_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path) {
+      return usage();
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "scaldtv: cannot open %s\n", path);
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    tv::PhaseTimer timer;
+    timer.start("parse + macro expansion");
+    std::string text = buf.str();
+    tv::hdl::ElaboratedDesign design =
+        with_stdlib ? tv::hdl::elaborate_sources({tv::hdl::std_chip_library(), text})
+                    : tv::hdl::elaborate_source(text);
+    timer.stop();
+
+    tv::Verifier verifier(design.netlist, design.options);
+    timer.start("verification");
+    tv::VerifyResult result =
+        verifier.verify(run_cases ? design.cases : std::vector<tv::CaseSpec>{});
+    timer.stop();
+
+    std::printf("design %s: %zu primitives, %zu signals, %zu events, %zu case(s)\n",
+                design.name.c_str(), design.netlist.num_prims(), design.netlist.num_signals(),
+                result.base_events, result.cases.size());
+
+    if (want_summary) std::printf("\n%s", tv::timing_summary(design.netlist).c_str());
+    if (want_waves) {
+      std::printf("\n%s", tv::timing_summary_waves(design.netlist).c_str());
+    }
+    if (want_where_used) {
+      std::printf("\n%s", tv::where_used_listing(design.netlist).c_str());
+    }
+    if (want_xref) {
+      std::printf("\n%s",
+                  tv::cross_reference_listing(design.netlist, result.cross_reference).c_str());
+    }
+
+    std::printf("\n%s", tv::violations_report(result.violations).c_str());
+    if (want_explain) {
+      for (const auto& v : result.violations) {
+        auto chain = tv::explain_chain(verifier.evaluator(), v);
+        std::printf("%s\n", tv::explain_report(design.netlist, chain).c_str());
+      }
+    }
+    for (const auto& c : result.cases) {
+      if (c.violations.empty()) continue;
+      std::printf("\ncase \"%s\" (%zu events):\n%s", c.name.c_str(), c.events,
+                  tv::violations_report(c.violations).c_str());
+    }
+    if (!result.converged) {
+      std::printf("WARNING: evaluation did not converge (combinational loop?)\n");
+    }
+
+    if (want_stats) {
+      std::printf("\nphases:\n");
+      for (const auto& [name, secs] : timer.phases()) {
+        std::printf("  %-28s %8.3f s\n", name.c_str(), secs);
+      }
+      std::printf("  macro instances %zu, primitives %zu, mean width %.2f bits\n",
+                  design.summary.macro_instances, design.summary.primitives,
+                  design.summary.primitives
+                      ? static_cast<double>(design.summary.total_bits) /
+                            design.summary.primitives
+                      : 0.0);
+    }
+    if (want_slack) {
+      std::printf("\n%s", tv::slack_report(design.netlist,
+                                           tv::compute_slacks(verifier.evaluator()),
+                                           design.options.period)
+                              .c_str());
+    }
+    if (want_storage) {
+      std::printf("\nstorage (thesis record model):\n%s",
+                  tv::compute_storage(design.netlist).to_ledger().to_table().c_str());
+    }
+    if (vcd_path) {
+      std::ofstream vf(vcd_path);
+      vf << tv::export_vcd(design.netlist, design.options.period, design.name);
+      std::printf("wrote %s\n", vcd_path);
+    }
+    if (json_path) {
+      std::ofstream jf(json_path);
+      jf << tv::export_json(design.netlist, result, design.options.period,
+                            tv::compute_slacks(verifier.evaluator()), design.name);
+      std::printf("wrote %s\n", json_path);
+    }
+    return result.total_violations() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scaldtv: %s\n", e.what());
+    return 2;
+  }
+}
