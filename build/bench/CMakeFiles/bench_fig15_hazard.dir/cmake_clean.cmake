@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_hazard.dir/bench_fig15_hazard.cpp.o"
+  "CMakeFiles/bench_fig15_hazard.dir/bench_fig15_hazard.cpp.o.d"
+  "bench_fig15_hazard"
+  "bench_fig15_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

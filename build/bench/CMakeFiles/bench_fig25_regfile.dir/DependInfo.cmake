@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig25_regfile.cpp" "bench/CMakeFiles/bench_fig25_regfile.dir/bench_fig25_regfile.cpp.o" "gcc" "bench/CMakeFiles/bench_fig25_regfile.dir/bench_fig25_regfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/tv_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathsearch/CMakeFiles/tv_pathsearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/tv_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/tv_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/tv_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_regfile.dir/bench_fig25_regfile.cpp.o"
+  "CMakeFiles/bench_fig25_regfile.dir/bench_fig25_regfile.cpp.o.d"
+  "bench_fig25_regfile"
+  "bench_fig25_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

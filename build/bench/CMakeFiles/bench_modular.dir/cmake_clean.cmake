@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modular.dir/bench_modular.cpp.o"
+  "CMakeFiles/bench_modular.dir/bench_modular.cpp.o.d"
+  "bench_modular"
+  "bench_modular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

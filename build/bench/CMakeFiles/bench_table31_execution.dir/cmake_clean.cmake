@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table31_execution.dir/bench_table31_execution.cpp.o"
+  "CMakeFiles/bench_table31_execution.dir/bench_table31_execution.cpp.o.d"
+  "bench_table31_execution"
+  "bench_table31_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table31_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_analysis_alu.dir/case_analysis_alu.cpp.o"
+  "CMakeFiles/case_analysis_alu.dir/case_analysis_alu.cpp.o.d"
+  "case_analysis_alu"
+  "case_analysis_alu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_analysis_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

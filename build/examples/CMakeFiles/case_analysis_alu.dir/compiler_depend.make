@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for case_analysis_alu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for case_analysis_alu.
+# This may be replaced when dependencies are built.

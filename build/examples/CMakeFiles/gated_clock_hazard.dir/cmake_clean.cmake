@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gated_clock_hazard.dir/gated_clock_hazard.cpp.o"
+  "CMakeFiles/gated_clock_hazard.dir/gated_clock_hazard.cpp.o.d"
+  "gated_clock_hazard"
+  "gated_clock_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gated_clock_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gated_clock_hazard.
+# This may be replaced when dependencies are built.

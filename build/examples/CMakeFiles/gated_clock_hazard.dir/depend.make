@@ -1,0 +1,2 @@
+# Empty dependencies file for gated_clock_hazard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_verification.dir/modular_verification.cpp.o"
+  "CMakeFiles/modular_verification.dir/modular_verification.cpp.o.d"
+  "modular_verification"
+  "modular_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regfile_pipeline.dir/regfile_pipeline.cpp.o"
+  "CMakeFiles/regfile_pipeline.dir/regfile_pipeline.cpp.o.d"
+  "regfile_pipeline"
+  "regfile_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regfile_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_timed_module.dir/self_timed_module.cpp.o"
+  "CMakeFiles/self_timed_module.dir/self_timed_module.cpp.o.d"
+  "self_timed_module"
+  "self_timed_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_timed_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

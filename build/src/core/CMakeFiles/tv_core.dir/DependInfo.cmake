@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assertion.cpp" "src/core/CMakeFiles/tv_core.dir/assertion.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/assertion.cpp.o.d"
+  "/root/repo/src/core/checker.cpp" "src/core/CMakeFiles/tv_core.dir/checker.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/checker.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/core/CMakeFiles/tv_core.dir/diff.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/diff.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/tv_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/tv_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/tv_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/modular.cpp" "src/core/CMakeFiles/tv_core.dir/modular.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/modular.cpp.o.d"
+  "/root/repo/src/core/netlist.cpp" "src/core/CMakeFiles/tv_core.dir/netlist.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/netlist.cpp.o.d"
+  "/root/repo/src/core/primitives.cpp" "src/core/CMakeFiles/tv_core.dir/primitives.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/primitives.cpp.o.d"
+  "/root/repo/src/core/storage_stats.cpp" "src/core/CMakeFiles/tv_core.dir/storage_stats.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/storage_stats.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/tv_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/value.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/core/CMakeFiles/tv_core.dir/verifier.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/verifier.cpp.o.d"
+  "/root/repo/src/core/waveform.cpp" "src/core/CMakeFiles/tv_core.dir/waveform.cpp.o" "gcc" "src/core/CMakeFiles/tv_core.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_core.dir/assertion.cpp.o"
+  "CMakeFiles/tv_core.dir/assertion.cpp.o.d"
+  "CMakeFiles/tv_core.dir/checker.cpp.o"
+  "CMakeFiles/tv_core.dir/checker.cpp.o.d"
+  "CMakeFiles/tv_core.dir/diff.cpp.o"
+  "CMakeFiles/tv_core.dir/diff.cpp.o.d"
+  "CMakeFiles/tv_core.dir/evaluator.cpp.o"
+  "CMakeFiles/tv_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/tv_core.dir/explain.cpp.o"
+  "CMakeFiles/tv_core.dir/explain.cpp.o.d"
+  "CMakeFiles/tv_core.dir/export.cpp.o"
+  "CMakeFiles/tv_core.dir/export.cpp.o.d"
+  "CMakeFiles/tv_core.dir/modular.cpp.o"
+  "CMakeFiles/tv_core.dir/modular.cpp.o.d"
+  "CMakeFiles/tv_core.dir/netlist.cpp.o"
+  "CMakeFiles/tv_core.dir/netlist.cpp.o.d"
+  "CMakeFiles/tv_core.dir/primitives.cpp.o"
+  "CMakeFiles/tv_core.dir/primitives.cpp.o.d"
+  "CMakeFiles/tv_core.dir/storage_stats.cpp.o"
+  "CMakeFiles/tv_core.dir/storage_stats.cpp.o.d"
+  "CMakeFiles/tv_core.dir/value.cpp.o"
+  "CMakeFiles/tv_core.dir/value.cpp.o.d"
+  "CMakeFiles/tv_core.dir/verifier.cpp.o"
+  "CMakeFiles/tv_core.dir/verifier.cpp.o.d"
+  "CMakeFiles/tv_core.dir/waveform.cpp.o"
+  "CMakeFiles/tv_core.dir/waveform.cpp.o.d"
+  "libtv_core.a"
+  "libtv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_regfile.dir/__/__/tools/explore_regfile.cpp.o"
+  "CMakeFiles/explore_regfile.dir/__/__/tools/explore_regfile.cpp.o.d"
+  "explore_regfile"
+  "explore_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_s1.dir/__/__/tools/explore_s1.cpp.o"
+  "CMakeFiles/explore_s1.dir/__/__/tools/explore_s1.cpp.o.d"
+  "explore_s1"
+  "explore_s1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_s1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

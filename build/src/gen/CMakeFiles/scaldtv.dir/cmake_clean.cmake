@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaldtv.dir/__/__/tools/scaldtv.cpp.o"
+  "CMakeFiles/scaldtv.dir/__/__/tools/scaldtv.cpp.o.d"
+  "scaldtv"
+  "scaldtv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaldtv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

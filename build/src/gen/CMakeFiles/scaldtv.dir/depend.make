@@ -1,0 +1,2 @@
+# Empty dependencies file for scaldtv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_gen.dir/regfile_example.cpp.o"
+  "CMakeFiles/tv_gen.dir/regfile_example.cpp.o.d"
+  "CMakeFiles/tv_gen.dir/s1_design.cpp.o"
+  "CMakeFiles/tv_gen.dir/s1_design.cpp.o.d"
+  "libtv_gen.a"
+  "libtv_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_hdl.dir/elaborate.cpp.o"
+  "CMakeFiles/tv_hdl.dir/elaborate.cpp.o.d"
+  "CMakeFiles/tv_hdl.dir/lexer.cpp.o"
+  "CMakeFiles/tv_hdl.dir/lexer.cpp.o.d"
+  "CMakeFiles/tv_hdl.dir/parser.cpp.o"
+  "CMakeFiles/tv_hdl.dir/parser.cpp.o.d"
+  "CMakeFiles/tv_hdl.dir/stdlib.cpp.o"
+  "CMakeFiles/tv_hdl.dir/stdlib.cpp.o.d"
+  "libtv_hdl.a"
+  "libtv_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_pathsearch.dir/path_search.cpp.o"
+  "CMakeFiles/tv_pathsearch.dir/path_search.cpp.o.d"
+  "libtv_pathsearch.a"
+  "libtv_pathsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_pathsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_physical.dir/interconnect.cpp.o"
+  "CMakeFiles/tv_physical.dir/interconnect.cpp.o.d"
+  "libtv_physical.a"
+  "libtv_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/tv_sim.dir/logic_sim.cpp.o.d"
+  "libtv_sim.a"
+  "libtv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

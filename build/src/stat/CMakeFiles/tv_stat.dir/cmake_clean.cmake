@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_stat.dir/stat_timing.cpp.o"
+  "CMakeFiles/tv_stat.dir/stat_timing.cpp.o.d"
+  "libtv_stat.a"
+  "libtv_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_util.dir/stats.cpp.o"
+  "CMakeFiles/tv_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tv_util.dir/strings.cpp.o"
+  "CMakeFiles/tv_util.dir/strings.cpp.o.d"
+  "CMakeFiles/tv_util.dir/time.cpp.o"
+  "CMakeFiles/tv_util.dir/time.cpp.o.d"
+  "libtv_util.a"
+  "libtv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assertion.cpp" "tests/CMakeFiles/tv_tests.dir/test_assertion.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_assertion.cpp.o.d"
+  "/root/repo/tests/test_case_analysis.cpp" "tests/CMakeFiles/tv_tests.dir/test_case_analysis.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_case_analysis.cpp.o.d"
+  "/root/repo/tests/test_checker.cpp" "tests/CMakeFiles/tv_tests.dir/test_checker.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_checker.cpp.o.d"
+  "/root/repo/tests/test_correlation.cpp" "tests/CMakeFiles/tv_tests.dir/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_correlation.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/tv_tests.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_diff.cpp" "tests/CMakeFiles/tv_tests.dir/test_diff.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_diff.cpp.o.d"
+  "/root/repo/tests/test_evaluator.cpp" "tests/CMakeFiles/tv_tests.dir/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_evaluator.cpp.o.d"
+  "/root/repo/tests/test_explain.cpp" "tests/CMakeFiles/tv_tests.dir/test_explain.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_explain.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "tests/CMakeFiles/tv_tests.dir/test_export.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_export.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/tv_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_hazard.cpp" "tests/CMakeFiles/tv_tests.dir/test_hazard.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_hazard.cpp.o.d"
+  "/root/repo/tests/test_hdl.cpp" "tests/CMakeFiles/tv_tests.dir/test_hdl.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_hdl.cpp.o.d"
+  "/root/repo/tests/test_interconnect.cpp" "tests/CMakeFiles/tv_tests.dir/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_interconnect.cpp.o.d"
+  "/root/repo/tests/test_logic_sim.cpp" "tests/CMakeFiles/tv_tests.dir/test_logic_sim.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_logic_sim.cpp.o.d"
+  "/root/repo/tests/test_modular.cpp" "tests/CMakeFiles/tv_tests.dir/test_modular.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_modular.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/tv_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_path_search.cpp" "tests/CMakeFiles/tv_tests.dir/test_path_search.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_path_search.cpp.o.d"
+  "/root/repo/tests/test_primitives.cpp" "tests/CMakeFiles/tv_tests.dir/test_primitives.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_primitives.cpp.o.d"
+  "/root/repo/tests/test_regfile_example.cpp" "tests/CMakeFiles/tv_tests.dir/test_regfile_example.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_regfile_example.cpp.o.d"
+  "/root/repo/tests/test_register_properties.cpp" "tests/CMakeFiles/tv_tests.dir/test_register_properties.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_register_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/tv_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rise_fall.cpp" "tests/CMakeFiles/tv_tests.dir/test_rise_fall.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_rise_fall.cpp.o.d"
+  "/root/repo/tests/test_s1_design.cpp" "tests/CMakeFiles/tv_tests.dir/test_s1_design.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_s1_design.cpp.o.d"
+  "/root/repo/tests/test_sim_integration.cpp" "tests/CMakeFiles/tv_tests.dir/test_sim_integration.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_sim_integration.cpp.o.d"
+  "/root/repo/tests/test_stat_timing.cpp" "tests/CMakeFiles/tv_tests.dir/test_stat_timing.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_stat_timing.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/tv_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_value.cpp" "tests/CMakeFiles/tv_tests.dir/test_value.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_value.cpp.o.d"
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/tv_tests.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_waveform.cpp.o.d"
+  "/root/repo/tests/test_waveform_properties.cpp" "tests/CMakeFiles/tv_tests.dir/test_waveform_properties.cpp.o" "gcc" "tests/CMakeFiles/tv_tests.dir/test_waveform_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tv_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/tv_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathsearch/CMakeFiles/tv_pathsearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/tv_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/tv_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
