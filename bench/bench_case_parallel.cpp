@@ -1,0 +1,174 @@
+// Parallel case-analysis throughput (thesis sec. 2.7 at scale).
+//
+// Workload: a design with many independent control cones -- each a deep
+// combinational chain from an asserted control signal into a setup checker
+// -- and a case file sweeping every control both ways. Each case disturbs
+// one cone, so the engine's cone-scoped snapshots evaluate and re-check
+// only ~1/K of the design per case, and the worker pool spreads the cases
+// across threads.
+//
+// Measures, and emits as a single JSON document on stdout:
+//   * cases/sec for jobs = 1, 2, 4, 8 and the speedup vs jobs = 1;
+//   * the legacy engine (sequential shared-netlist apply_case + full-design
+//     recheck per case, what Verifier::verify did before cone snapshots)
+//     as the "how much the engine itself gained" baseline;
+//   * whether the violation reports were bit-identical across all job
+//     counts (they must be).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace {
+
+using namespace tv;
+
+constexpr int kCones = 16;        // independent control cones
+constexpr int kChainDepth = 500;  // primitives per cone
+constexpr int kRepeats = 5;       // timing runs; best-of is reported
+
+struct Workload {
+  Netlist nl;
+  VerifierOptions opts;
+  std::vector<CaseSpec> cases;
+};
+
+Workload build_workload() {
+  Workload w;
+  w.opts.period = from_ns(100.0);
+  w.opts.units = ClockUnits::from_ns_per_unit(1.0);
+
+  for (int k = 0; k < kCones; ++k) {
+    std::string tag = std::to_string(k);
+    // Control is stable mid-cycle, changing across the wrap: pinning it to
+    // 0/1 genuinely moves every waveform in its chain.
+    Ref ctl = w.nl.ref("CTL" + tag + " .S5-90");
+    Ref data = w.nl.ref("DATA" + tag + " .S10-95");
+    Ref prev = ctl;
+    for (int d = 0; d < kChainDepth; ++d) {
+      Ref out = w.nl.ref("N" + tag + "_" + std::to_string(d));
+      if (d % 3 == 2) {
+        w.nl.and_gate("G" + tag + "_" + std::to_string(d), from_ns(0.5), from_ns(1.0),
+                      {prev, data}, out);
+      } else {
+        w.nl.buf("G" + tag + "_" + std::to_string(d), from_ns(0.5), from_ns(1.0), prev, out);
+      }
+      prev = out;
+    }
+    Ref ck = w.nl.ref("CK" + tag + " .P70-71");
+    w.nl.setup_hold_chk("CHK" + tag, from_ns(10), from_ns(2), prev, ck);
+
+    for (Value v : {Value::Zero, Value::One}) {
+      CaseSpec c;
+      c.name = "CTL" + tag + "=" + (v == Value::Zero ? "0" : "1");
+      c.pins = {{ctl.id, v}};
+      w.cases.push_back(std::move(c));
+    }
+  }
+  w.nl.finalize();
+  return w;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// One fingerprint string per verify result: per-case events + every
+/// violation message, so job-count comparisons are byte-level.
+std::string fingerprint(const VerifyResult& r) {
+  std::string fp;
+  for (const auto& c : r.cases) {
+    fp += c.name + ":" + std::to_string(c.events) + "\n";
+    for (const auto& v : c.violations) fp += v.message;
+  }
+  return fp;
+}
+
+// The pre-snapshot engine: every case mutates the shared netlist and the
+// entire design is re-checked afterwards.
+double run_legacy(Workload& w, std::string& fp_out) {
+  double best = 1e100;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    Evaluator ev(w.nl, w.opts);
+    ev.initialize();
+    ev.propagate();
+    run_checks(ev);
+    auto t0 = std::chrono::steady_clock::now();
+    std::string fp;
+    for (const CaseSpec& c : w.cases) {
+      std::size_t events = ev.apply_case(c);
+      std::vector<Violation> violations = run_checks(ev);
+      sort_violations(violations);
+      fp += c.name + ":" + std::to_string(events) + "\n";
+      for (const auto& v : violations) fp += v.message;
+    }
+    best = std::min(best, seconds_since(t0));
+    ev.clear_case();
+    fp_out = std::move(fp);
+  }
+  return best;
+}
+
+double run_snapshot(Workload& w, unsigned jobs, std::string& fp_out) {
+  VerifierOptions opts = w.opts;
+  opts.jobs = jobs;
+  Verifier v(w.nl, opts);
+  // Base evaluation is shared work; isolate the case-analysis phase by
+  // subtracting the best-of case-free verify time from the best-of full
+  // verify time (subtracting minima is far more stable than subtracting
+  // per-iteration pairs).
+  double best_base = 1e100, best_full = 1e100;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    v.verify();
+    best_base = std::min(best_base, seconds_since(t0));
+  }
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    auto t1 = std::chrono::steady_clock::now();
+    VerifyResult r = v.verify(w.cases);
+    best_full = std::min(best_full, seconds_since(t1));
+    fp_out = fingerprint(r);
+  }
+  return std::max(best_full - best_base, 1e-9);
+}
+
+}  // namespace
+
+int main() {
+  Workload w = build_workload();
+
+  std::string legacy_fp;
+  double legacy_secs = run_legacy(w, legacy_fp);
+
+  const unsigned job_counts[] = {1, 2, 4, 8};
+  double secs[4] = {0, 0, 0, 0};
+  std::string fps[4];
+  for (int i = 0; i < 4; ++i) secs[i] = run_snapshot(w, job_counts[i], fps[i]);
+
+  bool identical = true;
+  for (int i = 1; i < 4; ++i) identical = identical && fps[i] == fps[0];
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"case_parallel\",\n");
+  std::printf("  \"primitives\": %zu,\n", w.nl.num_prims());
+  std::printf("  \"signals\": %zu,\n", w.nl.num_signals());
+  std::printf("  \"cases\": %zu,\n", w.cases.size());
+  std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"legacy_full_recheck\": {\"seconds\": %.6f, \"cases_per_sec\": %.1f},\n",
+              legacy_secs, w.cases.size() / legacy_secs);
+  std::printf("  \"results\": [\n");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("    {\"jobs\": %u, \"seconds\": %.6f, \"cases_per_sec\": %.1f, "
+                "\"speedup_vs_jobs1\": %.2f, \"speedup_vs_legacy\": %.2f}%s\n",
+                job_counts[i], secs[i], w.cases.size() / secs[i], secs[0] / secs[i],
+                legacy_secs / secs[i], i + 1 < 4 ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"identical_reports_across_jobs\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+  return identical ? 0 : 1;
+}

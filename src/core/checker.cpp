@@ -1,6 +1,7 @@
 #include "core/checker.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace tv {
 
@@ -40,7 +41,7 @@ Time steady_run_until(const Waveform& w, Time until, Time cap) {
 }
 
 struct CheckContext {
-  const Evaluator& ev;
+  const EvalView& ev;
   const Netlist& nl;
   std::vector<Violation>& out;
 
@@ -282,30 +283,44 @@ void check_hazard_directives(CheckContext& ctx, PrimId pid) {
 // Stable assertions on generated signals are *checked* against the computed
 // waveform (sec. 2.5.2): "the designer's initial timing assertion is checked
 // against the timing of the actual signal".
-void check_stable_assertions(CheckContext& ctx) {
-  for (SignalId id = 0; id < ctx.nl.num_signals(); ++id) {
-    const Signal& s = ctx.nl.signal(id);
-    if (s.assertion.kind != Assertion::Kind::Stable || s.driver == kNoPrim) continue;
-    Waveform required = assertion_waveform(s.assertion, ctx.ev.options().period,
-                                           ctx.ev.options().units);
-    Waveform actual = s.wave.with_skew_incorporated();
-    Time acc = 0;
-    for (const auto& seg : required.segments()) {
-      if (seg.value == Value::Stable && !actual.steady_over(acc, acc + seg.width)) {
-        Violation v;
-        v.type = Violation::Type::StableAssertionViolated;
-        v.prim = s.driver;
-        v.signal = id;
-        v.message = violation_type_name(v.type) + " ERROR: signal " + s.full_name +
-                    " asserted stable " + format_ns(acc) + "-" +
-                    format_ns(floor_mod(acc + seg.width, actual.period())) +
-                    " but computed value is\n  " + actual.to_string() + "\n";
-        ctx.out.push_back(std::move(v));
-        break;
-      }
-      acc += seg.width;
+void check_stable_assertion(CheckContext& ctx, SignalId id) {
+  const Signal& s = ctx.nl.signal(id);
+  if (s.assertion.kind != Assertion::Kind::Stable || s.driver == kNoPrim) return;
+  Waveform required = assertion_waveform(s.assertion, ctx.ev.options().period,
+                                         ctx.ev.options().units);
+  Waveform actual = ctx.ev.wave(id).with_skew_incorporated();
+  Time acc = 0;
+  for (const auto& seg : required.segments()) {
+    if (seg.value == Value::Stable && !actual.steady_over(acc, acc + seg.width)) {
+      Violation v;
+      v.type = Violation::Type::StableAssertionViolated;
+      v.prim = s.driver;
+      v.signal = id;
+      v.message = violation_type_name(v.type) + " ERROR: signal " + s.full_name +
+                  " asserted stable " + format_ns(acc) + "-" +
+                  format_ns(floor_mod(acc + seg.width, actual.period())) +
+                  " but computed value is\n  " + actual.to_string() + "\n";
+      ctx.out.push_back(std::move(v));
+      break;
     }
+    acc += seg.width;
   }
+}
+
+void check_prim(CheckContext& ctx, PrimId pid) {
+  switch (ctx.nl.prim(pid).kind) {
+    case PrimKind::SetupHoldChk: check_setup_hold(ctx, pid); break;
+    case PrimKind::SetupRiseHoldFallChk: check_setup_rise_hold_fall(ctx, pid); break;
+    case PrimKind::MinPulseWidthChk: check_min_pulse_width(ctx, pid); break;
+    default: check_hazard_directives(ctx, pid); break;
+  }
+}
+
+void add_unconverged(std::vector<Violation>& out) {
+  Violation v;
+  v.type = Violation::Type::Unconverged;
+  v.message = "EVALUATION NOT CONVERGED: unclocked feedback path suspected\n";
+  out.push_back(std::move(v));
 }
 
 }  // namespace
@@ -403,28 +418,79 @@ std::string slack_report(const Netlist& nl, std::vector<SlackEntry> slacks, Time
   return out;
 }
 
-std::vector<Violation> run_checks(const Evaluator& ev) {
+std::vector<Violation> run_checks(const EvalView& view) {
   std::vector<Violation> out;
-  const Netlist& nl = ev.netlist();
-  CheckContext ctx{ev, nl, out};
+  const Netlist& nl = view.netlist();
+  CheckContext ctx{view, nl, out};
 
-  if (!ev.converged()) {
-    Violation v;
-    v.type = Violation::Type::Unconverged;
-    v.message = "EVALUATION NOT CONVERGED: unclocked feedback path suspected\n";
-    out.push_back(std::move(v));
-  }
+  if (!view.converged()) add_unconverged(out);
+  for (PrimId pid = 0; pid < nl.num_prims(); ++pid) check_prim(ctx, pid);
+  for (SignalId id = 0; id < nl.num_signals(); ++id) check_stable_assertion(ctx, id);
+  return out;
+}
 
-  for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
-    switch (nl.prim(pid).kind) {
-      case PrimKind::SetupHoldChk: check_setup_hold(ctx, pid); break;
-      case PrimKind::SetupRiseHoldFallChk: check_setup_rise_hold_fall(ctx, pid); break;
-      case PrimKind::MinPulseWidthChk: check_min_pulse_width(ctx, pid); break;
-      default: check_hazard_directives(ctx, pid); break;
+std::vector<Violation> run_checks(const Evaluator& ev) {
+  return run_checks(EvalView(ev.netlist(), ev.options(), ev.converged()));
+}
+
+std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
+                                         const std::vector<Violation>& base) {
+  std::vector<Violation> out;
+  const Netlist& nl = view.netlist();
+  CheckContext ctx{view, nl, out};
+
+  if (!view.converged()) add_unconverged(out);
+
+  // Walk in the same order as run_checks, interleaving recomputed checks
+  // (inside the cone, where the case may have moved waveforms) with copies
+  // of the baseline findings (outside, where every input is bit-identical
+  // to the baseline fixpoint). Baseline violations are grouped by origin:
+  // the prim-phase ones by reporting primitive, the assertion-phase ones by
+  // signal; a stable sort preserves their original relative order.
+  std::vector<const Violation*> by_prim, by_signal;
+  for (const Violation& v : base) {
+    if (v.type == Violation::Type::Unconverged) continue;  // re-derived above
+    if (v.type == Violation::Type::StableAssertionViolated) {
+      by_signal.push_back(&v);
+    } else {
+      by_prim.push_back(&v);
     }
   }
-  check_stable_assertions(ctx);
+  std::stable_sort(by_prim.begin(), by_prim.end(),
+                   [](const Violation* a, const Violation* b) { return a->prim < b->prim; });
+  std::stable_sort(by_signal.begin(), by_signal.end(), [](const Violation* a,
+                                                          const Violation* b) {
+    return a->signal < b->signal;
+  });
+
+  std::size_t bp = 0;
+  for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
+    if (cone.contains_prim(pid)) {
+      check_prim(ctx, pid);
+      while (bp < by_prim.size() && by_prim[bp]->prim == pid) ++bp;  // superseded
+    } else {
+      for (; bp < by_prim.size() && by_prim[bp]->prim == pid; ++bp) out.push_back(*by_prim[bp]);
+    }
+  }
+  std::size_t bs = 0;
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    if (cone.contains_signal(id)) {
+      check_stable_assertion(ctx, id);
+      while (bs < by_signal.size() && by_signal[bs]->signal == id) ++bs;
+    } else {
+      for (; bs < by_signal.size() && by_signal[bs]->signal == id; ++bs) {
+        out.push_back(*by_signal[bs]);
+      }
+    }
+  }
   return out;
+}
+
+void sort_violations(std::vector<Violation>& violations) {
+  std::sort(violations.begin(), violations.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.missed_by, a.signal, a.type, a.prim, a.message) <
+           std::tie(b.missed_by, b.signal, b.type, b.prim, b.message);
+  });
 }
 
 }  // namespace tv

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "core/snapshot.hpp"
 
 namespace tv {
 
@@ -35,11 +36,26 @@ struct Violation {
 
 std::string violation_type_name(Violation::Type t);
 
-/// Runs all constraint checks against the current evaluation state.
-/// Includes checker primitives, hazard directives, and stable-assertion
-/// verification of generated signals. The evaluator must have been
-/// propagated to a fixpoint first.
+/// Runs all constraint checks against an evaluation state (baseline, or a
+/// case snapshot through its view). Includes checker primitives, hazard
+/// directives, and stable-assertion verification of generated signals. The
+/// state must be a propagated fixpoint.
+std::vector<Violation> run_checks(const EvalView& view);
+/// Convenience overload over the evaluator's (baseline) state.
 std::vector<Violation> run_checks(const Evaluator& ev);
+
+/// Case-scoped checking: re-examines only the primitives and signals inside
+/// `cone` (whose input waveforms a case can disturb) and reuses `base` --
+/// the baseline run_checks output -- for everything outside, where the
+/// waveforms are untouched by construction. Produces the exact violation
+/// list a full run_checks(view) would, at cone-proportional cost.
+std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
+                                         const std::vector<Violation>& base);
+
+/// Deterministic report order: sorts by (missed-by time, signal, violation
+/// kind, primitive, message) so a case's report is byte-stable regardless
+/// of the order its checks were evaluated in.
+void sort_violations(std::vector<Violation>& violations);
 
 /// Margin on one checker: how much earlier the data settles than required
 /// (set-up) and how much longer it stays steady than required (hold).

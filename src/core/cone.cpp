@@ -1,0 +1,82 @@
+#include "core/cone.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tv {
+
+ConeIndex::ConeIndex(const Netlist& nl) : nl_(nl) {
+  if (!nl.finalized()) {
+    throw std::logic_error("ConeIndex requires a finalized netlist");
+  }
+}
+
+std::shared_ptr<const Cone> ConeIndex::cone_of(std::vector<SignalId> pins) const {
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(pins);
+    if (it != cache_.end()) return it->second;
+  }
+  std::shared_ptr<const Cone> cone = compute(pins);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Two threads may have raced to compute the same cone; keep the first.
+  return cache_.emplace(std::move(pins), std::move(cone)).first->second;
+}
+
+std::shared_ptr<const Cone> ConeIndex::compute(const std::vector<SignalId>& pins) const {
+  auto cone = std::make_shared<Cone>();
+  cone->signal_slot.assign(nl_.num_signals(), -1);
+  cone->prim_slot.assign(nl_.num_prims(), -1);
+
+  std::vector<SignalId> stack;
+  auto mark_signal = [&](SignalId id) {
+    if (cone->signal_slot[id] >= 0) return;
+    cone->signal_slot[id] = 0;  // slot assigned after the sweep
+    stack.push_back(id);
+  };
+  auto mark_prim = [&](PrimId id) {
+    if (cone->prim_slot[id] >= 0) return;
+    cone->prim_slot[id] = 0;
+    // A checker consumes cone signals but drives nothing; a functional
+    // primitive propagates the disturbance to its output signal.
+    const Primitive& p = nl_.prim(id);
+    if (!prim_is_checker(p.kind) && p.output != kNoSignal) mark_signal(p.output);
+  };
+
+  for (SignalId id : pins) {
+    if (id >= nl_.num_signals()) throw std::out_of_range("case pins unknown signal");
+    mark_signal(id);
+    // The driver re-evaluates so the case mapping is applied to its output;
+    // its inputs are untouched, so marking it does not widen the cone.
+    if (nl_.signal(id).driver != kNoPrim) mark_prim(nl_.signal(id).driver);
+  }
+  while (!stack.empty()) {
+    SignalId id = stack.back();
+    stack.pop_back();
+    for (PrimId pid : nl_.signal(id).fanout) mark_prim(pid);
+  }
+
+  // Assign dense slots in id order so cone-local arrays iterate ascending.
+  for (SignalId id = 0; id < nl_.num_signals(); ++id) {
+    if (cone->signal_slot[id] >= 0) {
+      cone->signal_slot[id] = static_cast<std::int32_t>(cone->signals.size());
+      cone->signals.push_back(id);
+    }
+  }
+  for (PrimId id = 0; id < nl_.num_prims(); ++id) {
+    if (cone->prim_slot[id] >= 0) {
+      cone->prim_slot[id] = static_cast<std::int32_t>(cone->prims.size());
+      cone->prims.push_back(id);
+    }
+  }
+  return cone;
+}
+
+std::size_t ConeIndex::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace tv

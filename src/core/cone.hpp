@@ -1,0 +1,63 @@
+// Fanout-cone extraction for case analysis (thesis secs. 2.7, 3.3.2).
+//
+// A case specification pins a handful of control signals; the only parts of
+// the circuit its evaluation can disturb are the pinned signals themselves,
+// their drivers (which recompute under the case mapping), and everything
+// downstream through the fanout call lists. The ConeIndex precomputes that
+// transitive *affected cone* -- the signal set, the primitive set (checkers
+// included, since their checks must be re-run), and O(1) slot maps that let
+// a snapshot store per-cone evaluation state in dense cone-local arrays.
+//
+// Cones are memoized by pin set: the common case file pins the same control
+// signals over and over with different values (CONTROL=0 / CONTROL=1), so
+// one BFS serves every case on that pin set.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/netlist.hpp"
+
+namespace tv {
+
+/// The transitive affected cone of one pin set.
+struct Cone {
+  /// Affected signals, ascending. Includes the pinned signals.
+  std::vector<SignalId> signals;
+  /// Affected primitives, ascending: the pinned signals' drivers, every
+  /// fanout primitive of every affected signal. Checkers appear here (their
+  /// constraints must be re-examined) but are never enqueued for evaluation.
+  std::vector<PrimId> prims;
+
+  /// Dense cone-local slot of each signal/primitive, or -1 outside the cone.
+  /// Sized to the full netlist so membership tests are a single load.
+  std::vector<std::int32_t> signal_slot;
+  std::vector<std::int32_t> prim_slot;
+
+  bool contains_signal(SignalId id) const { return signal_slot[id] >= 0; }
+  bool contains_prim(PrimId id) const { return prim_slot[id] >= 0; }
+};
+
+class ConeIndex {
+ public:
+  /// The netlist must be finalized (fanout call lists computed) and must
+  /// outlive the index; structural edits invalidate it.
+  explicit ConeIndex(const Netlist& nl);
+
+  /// The affected cone of `pins` (order and duplicates irrelevant).
+  /// Memoized: repeated pin sets share one Cone. Thread-safe.
+  std::shared_ptr<const Cone> cone_of(std::vector<SignalId> pins) const;
+
+  std::size_t cache_size() const;
+
+ private:
+  std::shared_ptr<const Cone> compute(const std::vector<SignalId>& pins) const;
+
+  const Netlist& nl_;
+  mutable std::mutex mu_;
+  mutable std::map<std::vector<SignalId>, std::shared_ptr<const Cone>> cache_;
+};
+
+}  // namespace tv

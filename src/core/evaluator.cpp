@@ -4,41 +4,64 @@
 
 namespace tv {
 
-Evaluator::Evaluator(Netlist& nl, VerifierOptions opts) : nl_(nl), opts_(opts) {
-  if (!nl.finalized()) nl.finalize();
-  in_worklist_.assign(nl.num_prims(), 0);
-  eval_count_.assign(nl.num_prims(), 0);
-}
-
-void Evaluator::seed_signal(SignalId id) {
-  Signal& s = nl_.signal(id);
+Waveform seed_waveform(const Signal& s, const VerifierOptions& opts) {
   if (s.assertion.kind != Assertion::Kind::None) {
-    s.wave = assertion_waveform(s.assertion, opts_.period, opts_.units,
-                                opts_.assertion_defaults);
     if (s.assertion.kind == Assertion::Kind::Stable && s.driver != kNoPrim) {
       // A stable assertion on a *generated* signal is a check, not a seed
       // (sec. 2.5.2): evaluation will overwrite this and the checker will
       // compare. Seed UNKNOWN so the driver's value wins deterministically.
-      s.wave = Waveform(opts_.period, Value::Unknown);
+      return Waveform(opts.period, Value::Unknown);
     }
-  } else if (s.driver == kNoPrim) {
+    return assertion_waveform(s.assertion, opts.period, opts.units,
+                              opts.assertion_defaults);
+  }
+  if (s.driver == kNoPrim) {
     // "Undefined signals with no assertions are taken to be always stable,
     // to prevent them from giving rise to numerous spurious timing errors"
     // (sec. 2.5); they appear on the cross-reference listing instead.
-    s.wave = Waveform(opts_.period, Value::Stable);
-  } else {
-    s.wave = Waveform(opts_.period, Value::Unknown);
+    return Waveform(opts.period, Value::Stable);
   }
-  s.wave = apply_case_map(id, std::move(s.wave));
+  return Waveform(opts.period, Value::Unknown);
+}
+
+PreparedInput prepare_input(const Pin& pin, const Signal& s, const Waveform& wave,
+                            const std::string& eval_str, const VerifierOptions& opts) {
+  PreparedInput in;
+  // The pin's own "&" string takes precedence; otherwise the directive
+  // string propagated along the signal (EVAL STR PTR) applies.
+  const std::string& dirs = !pin.directives.empty() ? pin.directives : eval_str;
+  if (!dirs.empty()) {
+    in.has_directive_string = true;
+    in.directive = dirs[0];
+    in.tail = dirs.substr(1);
+  }
+  in.wave = pin.invert ? wave.map(value_not) : wave;
+  bool zero_wire = in.directive == 'W' || in.directive == 'Z' || in.directive == 'H';
+  if (!zero_wire) {
+    WireDelay wd = s.wire_delay.value_or(opts.default_wire);
+    if (wd.dmin != 0 || wd.dmax != 0) in.wave = in.wave.delayed(wd.dmin, wd.dmax);
+  }
+  return in;
+}
+
+Evaluator::Evaluator(Netlist& nl, VerifierOptions opts) : nl_(nl), opts_(opts) {
+  if (!nl.finalized()) nl.finalize();
+  in_worklist_.assign(nl.num_prims(), 0);
+  eval_count_.assign(nl.num_prims(), 0);
+  case_map_.assign(nl.num_signals(), -1);
+}
+
+void Evaluator::seed_signal(SignalId id) {
+  Signal& s = nl_.signal(id);
+  s.wave = apply_case_map(id, seed_waveform(s, opts_));
   s.eval_str.clear();
 }
 
 Waveform Evaluator::apply_case_map(SignalId id, Waveform w) const {
-  auto it = case_map_.find(id);
-  if (it == case_map_.end()) return w;
+  if (case_map_[id] < 0) return w;
   // Sec. 2.7.1: the signal's STABLE values are mapped to the case value
   // "whenever the circuit would normally set it to the value STABLE".
-  return w.replaced(Value::Stable, it->second);
+  return w.replaced(Value::Stable, static_cast<Value>(case_map_[id]));
 }
 
 void Evaluator::initialize() {
@@ -48,6 +71,8 @@ void Evaluator::initialize() {
   worklist_.clear();
   in_worklist_.assign(nl_.num_prims(), 0);
   eval_count_.assign(nl_.num_prims(), 0);
+  case_map_.assign(nl_.num_signals(), -1);
+  case_pins_.clear();
   for (SignalId id = 0; id < nl_.num_signals(); ++id) seed_signal(id);
   for (PrimId pid = 0; pid < nl_.num_prims(); ++pid) {
     if (!prim_is_checker(nl_.prim(pid).kind)) enqueue(pid);
@@ -68,22 +93,7 @@ void Evaluator::enqueue_fanout(SignalId id) {
 
 PreparedInput Evaluator::prepare(const Pin& pin) const {
   const Signal& s = nl_.signal(pin.sig);
-  PreparedInput in;
-  // The pin's own "&" string takes precedence; otherwise the directive
-  // string propagated along the signal (EVAL STR PTR) applies.
-  const std::string& dirs = !pin.directives.empty() ? pin.directives : s.eval_str;
-  if (!dirs.empty()) {
-    in.has_directive_string = true;
-    in.directive = dirs[0];
-    in.tail = dirs.substr(1);
-  }
-  in.wave = pin.invert ? s.wave.map(value_not) : s.wave;
-  bool zero_wire = in.directive == 'W' || in.directive == 'Z' || in.directive == 'H';
-  if (!zero_wire) {
-    WireDelay wd = s.wire_delay.value_or(opts_.default_wire);
-    if (wd.dmin != 0 || wd.dmax != 0) in.wave = in.wave.delayed(wd.dmin, wd.dmax);
-  }
-  return in;
+  return prepare_input(pin, s, s.wave, s.eval_str, opts_);
 }
 
 void Evaluator::assign(SignalId id, Waveform w, std::string eval_str, bool& changed) {
@@ -132,12 +142,14 @@ std::size_t Evaluator::apply_case(const CaseSpec& c) {
   // Only the affected parts of the circuit are reevaluated (sec. 2.7):
   // reseed the named signals, requeue their drivers and fanout, propagate.
   eval_count_.assign(nl_.num_prims(), 0);
-  case_map_.clear();
+  for (SignalId sig : case_pins_) case_map_[sig] = -1;
+  case_pins_.clear();
   for (const auto& [sig, val] : c.pins) {
     if (val != Value::Zero && val != Value::One) {
       throw std::invalid_argument("case values must be 0 or 1");
     }
-    case_map_.emplace(sig, val);
+    if (case_map_[sig] < 0) case_pins_.push_back(sig);
+    case_map_[sig] = static_cast<std::int8_t>(val);
   }
   for (const auto& [sig, val] : c.pins) {
     const Signal& s = nl_.signal(sig);
@@ -157,9 +169,9 @@ std::size_t Evaluator::apply_case(const CaseSpec& c) {
 
 std::size_t Evaluator::clear_case() {
   eval_count_.assign(nl_.num_prims(), 0);
-  std::vector<SignalId> mapped;
-  for (const auto& [sig, val] : case_map_) mapped.push_back(sig);
-  case_map_.clear();
+  std::vector<SignalId> mapped = std::move(case_pins_);
+  case_pins_.clear();
+  for (SignalId sig : mapped) case_map_[sig] = -1;
   for (SignalId sig : mapped) {
     const Signal& s = nl_.signal(sig);
     Waveform before = s.wave;

@@ -12,7 +12,6 @@
 
 #include <cstddef>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "core/netlist.hpp"
@@ -30,6 +29,11 @@ struct VerifierOptions {
   /// Oscillation guard: a primitive evaluated more than this many times in
   /// one fixpoint is reported as non-convergent (combinational loops).
   std::size_t max_evals_per_prim = 64;
+  /// Worker threads for case analysis (Verifier::verify): each case runs on
+  /// a cone-scoped copy-on-write snapshot of the baseline fixpoint, so cases
+  /// are independent and results are identical for every job count.
+  /// 0 = one thread per hardware core.
+  unsigned jobs = 1;
 };
 
 /// One case for case analysis (sec. 2.7.1): each named signal has its
@@ -38,6 +42,20 @@ struct CaseSpec {
   std::string name;
   std::vector<std::pair<SignalId, Value>> pins;
 };
+
+/// The waveform a signal is seeded with before any evaluation (sec. 2.9
+/// step 1), case mapping *not* applied: the materialized assertion, an
+/// always-STABLE constant for undefined unasserted signals, UNKNOWN
+/// otherwise. Shared by the Evaluator and the case-snapshot engine.
+Waveform seed_waveform(const Signal& s, const VerifierOptions& opts);
+
+/// Prepares one input connection from an explicit driving waveform and
+/// evaluation string (which may come from the shared netlist or from a
+/// case snapshot overlay): complement applied, interconnection delay
+/// applied (zeroed under a W/Z/H directive), directive letter resolved from
+/// the pin's own "&" string or from the signal's propagated string.
+PreparedInput prepare_input(const Pin& pin, const Signal& s, const Waveform& wave,
+                            const std::string& eval_str, const VerifierOptions& opts);
 
 class Evaluator {
  public:
@@ -86,7 +104,11 @@ class Evaluator {
   std::deque<PrimId> worklist_;
   std::vector<char> in_worklist_;
   std::vector<std::size_t> eval_count_;
-  std::unordered_map<SignalId, Value> case_map_;
+  /// Active case mapping, flat-indexed by SignalId: -1 = unmapped, else the
+  /// Value the signal's STABLE regions map to. (A hash map here made
+  /// clear_case iterate in hash order and cost a lookup per assign.)
+  std::vector<std::int8_t> case_map_;
+  std::vector<SignalId> case_pins_;  // mapped signals, for O(pins) clearing
   std::size_t events_ = 0;
   std::size_t evals_ = 0;
   bool converged_ = true;

@@ -1,0 +1,138 @@
+#include "core/snapshot.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace tv {
+
+EvalSnapshot::EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone)
+    : nl_(nl), cone_(std::move(cone)) {
+  waves_.resize(cone_->signals.size());
+  eval_strs_.resize(cone_->signals.size());
+  written_.assign(cone_->signals.size(), 0);
+}
+
+void EvalSnapshot::set(SignalId id, Waveform w, std::string eval_str) {
+  std::int32_t slot = cone_->signal_slot[id];
+  if (slot < 0) throw std::logic_error("EvalSnapshot::set outside the cone");
+  waves_[slot] = std::move(w);
+  eval_strs_[slot] = std::move(eval_str);
+  written_[slot] = 1;
+}
+
+namespace {
+
+// The snapshot-local analogue of Evaluator::run_worklist: same seeding and
+// event-driven propagation, state held in dense cone-slot arrays.
+class CaseRunner {
+ public:
+  CaseRunner(EvalSnapshot& snap, const VerifierOptions& opts)
+      : snap_(snap),
+        nl_(snap.netlist()),
+        cone_(snap.cone()),
+        opts_(opts),
+        in_worklist_(cone_.prims.size(), 0),
+        eval_count_(cone_.prims.size(), 0),
+        case_map_(cone_.signals.size(), -1) {}
+
+  CaseRunStats run(const CaseSpec& c) {
+    for (const auto& [sig, val] : c.pins) {
+      if (val != Value::Zero && val != Value::One) {
+        throw std::invalid_argument("case values must be 0 or 1");
+      }
+      std::int32_t slot = cone_.signal_slot[sig];
+      if (slot < 0) throw std::logic_error("case pins a signal outside the snapshot cone");
+      case_map_[slot] = static_cast<std::int8_t>(val);
+    }
+    for (const auto& [sig, val] : c.pins) {
+      (void)val;
+      const Signal& s = nl_.signal(sig);
+      const Waveform& before = snap_.wave(sig);
+      if (s.driver != kNoPrim) {
+        enqueue(s.driver);  // driver recomputes; assign() applies the mapping
+      } else {
+        Waveform seeded = apply_case_map(sig, seed_waveform(s, opts_));
+        if (!(seeded == before)) {
+          snap_.set(sig, std::move(seeded), std::string());
+          ++stats_.events;
+          enqueue_fanout(sig);
+        }
+        continue;
+      }
+      if (!(snap_.wave(sig) == before)) {
+        ++stats_.events;
+        enqueue_fanout(sig);
+      }
+    }
+    run_worklist();
+    return stats_;
+  }
+
+ private:
+  Waveform apply_case_map(SignalId id, Waveform w) const {
+    std::int32_t slot = cone_.signal_slot[id];
+    if (slot < 0 || case_map_[slot] < 0) return w;
+    return w.replaced(Value::Stable, static_cast<Value>(case_map_[slot]));
+  }
+
+  void enqueue(PrimId pid) {
+    std::int32_t slot = cone_.prim_slot[pid];
+    if (slot < 0 || in_worklist_[slot]) return;
+    in_worklist_[slot] = 1;
+    worklist_.push_back(pid);
+  }
+
+  void enqueue_fanout(SignalId id) {
+    for (PrimId pid : nl_.signal(id).fanout) {
+      if (!prim_is_checker(nl_.prim(pid).kind)) enqueue(pid);
+    }
+  }
+
+  void run_worklist() {
+    while (!worklist_.empty()) {
+      PrimId pid = worklist_.front();
+      worklist_.pop_front();
+      in_worklist_[cone_.prim_slot[pid]] = 0;
+      const Primitive& p = nl_.prim(pid);
+
+      if (++eval_count_[cone_.prim_slot[pid]] > opts_.max_evals_per_prim) {
+        stats_.converged = false;
+        continue;
+      }
+      ++stats_.evals;
+
+      std::vector<PreparedInput> ins;
+      ins.reserve(p.inputs.size());
+      for (const Pin& pin : p.inputs) {
+        ins.push_back(prepare_input(pin, nl_.signal(pin.sig), snap_.wave(pin.sig),
+                                    snap_.eval_str(pin.sig), opts_));
+      }
+      PrimEvalResult r = evaluate_primitive(p, ins, opts_.period);
+      Waveform w = apply_case_map(p.output, std::move(r.wave));
+      if (!(w == snap_.wave(p.output)) || r.eval_str != snap_.eval_str(p.output)) {
+        snap_.set(p.output, std::move(w), std::move(r.eval_str));
+        ++stats_.events;
+        enqueue_fanout(p.output);
+      }
+    }
+  }
+
+  EvalSnapshot& snap_;
+  const Netlist& nl_;
+  const Cone& cone_;
+  const VerifierOptions& opts_;
+  std::deque<PrimId> worklist_;
+  std::vector<char> in_worklist_;           // per-snapshot, cone-slot indexed
+  std::vector<std::size_t> eval_count_;     // per-snapshot oscillation guard
+  std::vector<std::int8_t> case_map_;       // cone-slot indexed, -1 unmapped
+  CaseRunStats stats_;
+};
+
+}  // namespace
+
+CaseRunStats run_case_on_snapshot(EvalSnapshot& snap, const CaseSpec& c,
+                                  const VerifierOptions& opts) {
+  return CaseRunner(snap, opts).run(c);
+}
+
+}  // namespace tv

@@ -1,0 +1,106 @@
+// Cone-scoped copy-on-write case evaluation (thesis secs. 2.7, 2.9).
+//
+// Verifier::verify used to run every case against the one shared netlist,
+// mutating Signal::wave in place and undoing the damage afterwards. The
+// thesis' own observation -- a case only disturbs the fanout cone of its
+// pinned signals -- makes cases independent: an EvalSnapshot overlays just
+// the cone's waveforms over the baseline fixpoint, reads fall through to the
+// shared (immutable) baseline, and writes copy-on-write into dense
+// cone-local arrays. Nothing shared is ever touched, so cases evaluate
+// concurrently and "clear case" is simply dropping the snapshot.
+//
+// The EvalView is the read side: checkers and reports address waveforms by
+// SignalId through the view, which resolves to the overlay inside the cone
+// and to the baseline everywhere else.
+#pragma once
+
+#include <memory>
+
+#include "core/cone.hpp"
+#include "core/evaluator.hpp"
+
+namespace tv {
+
+/// Per-case overlay over the baseline fixpoint, scoped to one cone.
+/// The netlist holds the baseline waves and must not be mutated while any
+/// snapshot on it is alive (reads are lock-free const access).
+class EvalSnapshot {
+ public:
+  EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone);
+
+  const Netlist& netlist() const { return nl_; }
+  const Cone& cone() const { return *cone_; }
+
+  /// Overlay value inside the cone once written, baseline otherwise.
+  const Waveform& wave(SignalId id) const {
+    std::int32_t slot = cone_->signal_slot[id];
+    if (slot >= 0 && written_[slot]) return waves_[slot];
+    return nl_.signal(id).wave;
+  }
+  const std::string& eval_str(SignalId id) const {
+    std::int32_t slot = cone_->signal_slot[id];
+    if (slot >= 0 && written_[slot]) return eval_strs_[slot];
+    return nl_.signal(id).eval_str;
+  }
+
+  /// Writes a cone signal's overlay slot (copy-on-write: the first write
+  /// materializes the slot; the baseline is never modified). The signal
+  /// must be inside the cone.
+  void set(SignalId id, Waveform w, std::string eval_str);
+
+ private:
+  const Netlist& nl_;
+  std::shared_ptr<const Cone> cone_;
+  std::vector<Waveform> waves_;          // cone-local, slot-indexed
+  std::vector<std::string> eval_strs_;   // cone-local, slot-indexed
+  std::vector<char> written_;            // copy-on-write marks
+};
+
+/// Read-only view of an evaluation state for checking and reporting: the
+/// baseline fixpoint, optionally overlaid by one case snapshot.
+class EvalView {
+ public:
+  /// Baseline view (no case active).
+  EvalView(const Netlist& nl, const VerifierOptions& opts, bool converged)
+      : nl_(nl), opts_(opts), converged_(converged) {}
+  /// Case view: reads resolve through the snapshot overlay.
+  EvalView(const EvalSnapshot& snap, const VerifierOptions& opts, bool converged)
+      : nl_(snap.netlist()), opts_(opts), converged_(converged), snap_(&snap) {}
+
+  const Netlist& netlist() const { return nl_; }
+  const VerifierOptions& options() const { return opts_; }
+  bool converged() const { return converged_; }
+
+  const Waveform& wave(SignalId id) const {
+    return snap_ ? snap_->wave(id) : nl_.signal(id).wave;
+  }
+  const std::string& eval_str(SignalId id) const {
+    return snap_ ? snap_->eval_str(id) : nl_.signal(id).eval_str;
+  }
+  PreparedInput prepare(const Pin& pin) const {
+    return prepare_input(pin, nl_.signal(pin.sig), wave(pin.sig), eval_str(pin.sig), opts_);
+  }
+
+ private:
+  const Netlist& nl_;
+  const VerifierOptions& opts_;
+  bool converged_ = true;
+  const EvalSnapshot* snap_ = nullptr;
+};
+
+/// Cost and convergence of one snapshot case run.
+struct CaseRunStats {
+  std::size_t events = 0;  // incremental cost of this case (sec. 2.7)
+  std::size_t evals = 0;
+  bool converged = true;
+};
+
+/// Evaluates one case inside the snapshot: reseeds the pinned signals with
+/// their STABLE values mapped, then runs the event-driven worklist to the
+/// fixpoint entirely within the cone. Worklist membership and oscillation
+/// counts are snapshot-local (dense cone slots), so concurrent case runs
+/// share nothing but the immutable baseline. Pin values must be 0/1.
+CaseRunStats run_case_on_snapshot(EvalSnapshot& snap, const CaseSpec& c,
+                                  const VerifierOptions& opts);
+
+}  // namespace tv

@@ -1,5 +1,13 @@
 #include "core/verifier.hpp"
 
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "core/cone.hpp"
+#include "core/snapshot.hpp"
+
 namespace tv {
 
 std::size_t VerifyResult::total_violations() const {
@@ -7,6 +15,19 @@ std::size_t VerifyResult::total_violations() const {
   for (const auto& c : cases) n += c.violations.size();
   return n;
 }
+
+namespace {
+
+unsigned effective_jobs(unsigned requested, std::size_t num_cases) {
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    requested = hw ? hw : 1;
+  }
+  if (requested > num_cases) requested = static_cast<unsigned>(num_cases);
+  return requested ? requested : 1;
+}
+
+}  // namespace
 
 VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   VerifyResult r;
@@ -16,15 +37,71 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   r.converged = ev_.converged();
   r.violations = run_checks(ev_);
   r.cross_reference = ev_.netlist().undefined_unasserted();
+  if (cases.empty()) return r;
 
+  // Validate every case up front (so no worker throws mid-flight) and
+  // resolve each pin set to its affected cone. Cones are memoized: a case
+  // file sweeping one control bus costs a single BFS.
+  const Netlist& nl = ev_.netlist();
+  const VerifierOptions& opts = ev_.options();
+  ConeIndex cone_index(nl);
+  std::vector<std::shared_ptr<const Cone>> cones;
+  cones.reserve(cases.size());
   for (const CaseSpec& c : cases) {
-    VerifyResult::CaseResult cr;
-    cr.name = c.name;
-    cr.events = ev_.apply_case(c);
-    cr.violations = run_checks(ev_);
-    r.cases.push_back(std::move(cr));
+    std::vector<SignalId> pins;
+    pins.reserve(c.pins.size());
+    for (const auto& [sig, val] : c.pins) {
+      if (val != Value::Zero && val != Value::One) {
+        throw std::invalid_argument("case values must be 0 or 1");
+      }
+      pins.push_back(sig);
+    }
+    cones.push_back(cone_index.cone_of(std::move(pins)));
   }
-  if (!cases.empty()) ev_.clear_case();
+
+  // Each case evaluates on its own copy-on-write snapshot of the baseline
+  // fixpoint: workers share only the immutable netlist, and results land in
+  // their input slot, so the merge is deterministic by construction.
+  r.cases.resize(cases.size());
+  auto run_one = [&](std::size_t i) {
+    EvalSnapshot snap(nl, cones[i]);
+    CaseRunStats stats = run_case_on_snapshot(snap, cases[i], opts);
+    VerifyResult::CaseResult cr;
+    cr.name = cases[i].name;
+    cr.events = stats.events;
+    cr.converged = r.converged && stats.converged;
+    EvalView view(snap, opts, cr.converged);
+    cr.violations = run_checks_scoped(view, *cones[i], r.violations);
+    sort_violations(cr.violations);
+    r.cases[i] = std::move(cr);
+  };
+
+  unsigned jobs = effective_jobs(opts.jobs, cases.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < cases.size(); ++i) run_one(i);
+    return r;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(jobs);
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < cases.size(); i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+        // Drain the queue so sibling workers stop picking up new cases.
+        next.store(cases.size());
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
   return r;
 }
 

@@ -33,6 +33,9 @@ struct VerifyResult {
   struct CaseResult {
     std::string name;
     std::size_t events = 0;  // incremental cost of this case (sec. 2.7)
+    bool converged = true;   // base convergence AND this case's propagation
+    /// Violations under this case, sorted by (missed-by, signal, kind) so
+    /// the report is byte-stable for every job count.
     std::vector<Violation> violations;
   };
   std::vector<CaseResult> cases;
@@ -49,8 +52,12 @@ class Verifier {
  public:
   Verifier(Netlist& nl, VerifierOptions opts) : ev_(nl, opts) {}
 
-  /// Full verification: base evaluation, constraint checks, then each case
-  /// incrementally (sec. 2.9).
+  /// Full verification: base evaluation and constraint checks on the shared
+  /// netlist, then every case on its own cone-scoped copy-on-write snapshot
+  /// of the baseline fixpoint (sec. 2.7). Cases never mutate shared state,
+  /// so with options().jobs > 1 they evaluate concurrently; results are
+  /// merged in input order and are identical for every job count. The
+  /// netlist is left holding the baseline fixpoint.
   VerifyResult verify(const std::vector<CaseSpec>& cases = {});
 
   Evaluator& evaluator() { return ev_; }

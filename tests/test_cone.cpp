@@ -1,0 +1,114 @@
+// ConeIndex: transitive affected cones over the fanout call lists.
+#include <gtest/gtest.h>
+
+#include "core/cone.hpp"
+
+namespace tv {
+namespace {
+
+// A small two-island netlist:
+//
+//   A --[G1 buf]--> B --[G2 or]--> D --(SETUP HOLD CHK vs CK)
+//                   C ----^
+//   X --[G3 buf]--> Y
+struct ConeFixture {
+  Netlist nl;
+  Ref a, b, c, d, ck, x, y;
+  PrimId g1, g2, g3, chk;
+
+  ConeFixture() {
+    a = nl.ref("A");
+    b = nl.ref("B");
+    c = nl.ref("C");
+    d = nl.ref("D");
+    ck = nl.ref("CK .P0-4");
+    x = nl.ref("X");
+    y = nl.ref("Y");
+    g1 = nl.buf("G1", from_ns(1), from_ns(2), a, b);
+    g2 = nl.or_gate("G2", from_ns(1), from_ns(2), {b, c}, d);
+    g3 = nl.buf("G3", from_ns(1), from_ns(2), x, y);
+    chk = nl.setup_hold_chk("CHK", from_ns(1), from_ns(1), d, ck);
+    nl.finalize();
+  }
+};
+
+std::vector<SignalId> sigs(const Cone& c) { return c.signals; }
+std::vector<PrimId> prims(const Cone& c) { return c.prims; }
+
+TEST(ConeIndex, TransitiveFanoutIncludingCheckers) {
+  ConeFixture f;
+  ConeIndex idx(f.nl);
+  auto cone = idx.cone_of({f.a.id});
+  EXPECT_EQ(sigs(*cone), (std::vector<SignalId>{f.a.id, f.b.id, f.d.id}));
+  EXPECT_EQ(prims(*cone), (std::vector<PrimId>{f.g1, f.g2, f.chk}));
+}
+
+TEST(ConeIndex, SideInputConeIsNarrower) {
+  ConeFixture f;
+  ConeIndex idx(f.nl);
+  auto cone = idx.cone_of({f.c.id});
+  EXPECT_EQ(sigs(*cone), (std::vector<SignalId>{f.c.id, f.d.id}));
+  EXPECT_EQ(prims(*cone), (std::vector<PrimId>{f.g2, f.chk}));
+}
+
+TEST(ConeIndex, PinnedDrivenSignalIncludesItsDriverButNotItsInputs) {
+  ConeFixture f;
+  ConeIndex idx(f.nl);
+  // Pinning B: G1 must re-evaluate (the case mapping applies to its
+  // output), but B's upstream signal A is untouched.
+  auto cone = idx.cone_of({f.b.id});
+  EXPECT_EQ(sigs(*cone), (std::vector<SignalId>{f.b.id, f.d.id}));
+  EXPECT_EQ(prims(*cone), (std::vector<PrimId>{f.g1, f.g2, f.chk}));
+  EXPECT_FALSE(cone->contains_signal(f.a.id));
+}
+
+TEST(ConeIndex, IslandsDoNotLeakIntoEachOther) {
+  ConeFixture f;
+  ConeIndex idx(f.nl);
+  auto main_cone = idx.cone_of({f.a.id});
+  EXPECT_FALSE(main_cone->contains_signal(f.x.id));
+  EXPECT_FALSE(main_cone->contains_signal(f.y.id));
+  EXPECT_FALSE(main_cone->contains_prim(f.g3));
+
+  auto island = idx.cone_of({f.x.id});
+  EXPECT_EQ(sigs(*island), (std::vector<SignalId>{f.x.id, f.y.id}));
+  EXPECT_EQ(prims(*island), (std::vector<PrimId>{f.g3}));
+}
+
+TEST(ConeIndex, SlotMapsAreDenseAndConsistent) {
+  ConeFixture f;
+  ConeIndex idx(f.nl);
+  auto cone = idx.cone_of({f.a.id, f.c.id});
+  ASSERT_EQ(cone->signal_slot.size(), f.nl.num_signals());
+  ASSERT_EQ(cone->prim_slot.size(), f.nl.num_prims());
+  for (std::size_t i = 0; i < cone->signals.size(); ++i) {
+    EXPECT_EQ(cone->signal_slot[cone->signals[i]], static_cast<std::int32_t>(i));
+  }
+  for (std::size_t i = 0; i < cone->prims.size(); ++i) {
+    EXPECT_EQ(cone->prim_slot[cone->prims[i]], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(ConeIndex, MemoizesByNormalizedPinSet) {
+  ConeFixture f;
+  ConeIndex idx(f.nl);
+  auto c1 = idx.cone_of({f.a.id, f.c.id});
+  auto c2 = idx.cone_of({f.c.id, f.a.id, f.a.id});  // order/duplicates ignored
+  EXPECT_EQ(c1.get(), c2.get());
+  EXPECT_EQ(idx.cache_size(), 1u);
+  auto c3 = idx.cone_of({f.a.id});
+  EXPECT_NE(c1.get(), c3.get());
+  EXPECT_EQ(idx.cache_size(), 2u);
+}
+
+TEST(ConeIndex, RejectsUnknownSignalsAndUnfinalizedNetlists) {
+  ConeFixture f;
+  ConeIndex idx(f.nl);
+  EXPECT_THROW(idx.cone_of({static_cast<SignalId>(999)}), std::out_of_range);
+  Netlist raw;
+  raw.ref("LONE");
+  EXPECT_THROW(ConeIndex bad(raw), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tv

@@ -13,10 +13,13 @@
 //     --vcd FILE       dump one symbolic cycle of every signal as VCD
 //     --json FILE      write violations/slacks/statistics as JSON
 //     --no-cases       skip case analysis even if the design declares cases
+//     --jobs N         evaluate cases on N worker threads (0 = one per core;
+//                      results are identical for every N)
 //
 // Exit status: 0 if no timing violations, 1 if violations were found,
 // 2 on usage/parse errors.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -35,7 +38,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
                "[--stdlib] [--slack] [--waves] [--where-used] [--explain] [--vcd FILE] "
-               "[--json FILE] "
+               "[--json FILE] [--jobs N] "
                "<design.shdl>\n");
   return 2;
 }
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
   const char* vcd_path = nullptr;
   const char* json_path = nullptr;
   const char* path = nullptr;
+  long jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--summary") == 0) {
       want_summary = true;
@@ -77,6 +81,10 @@ int main(int argc, char** argv) {
       vcd_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      jobs = std::strtol(argv[++i], &end, 10);
+      if (!end || *end != '\0' || jobs < 0) return usage();
     } else if (argv[i][0] == '-') {
       return usage();
     } else if (path) {
@@ -104,6 +112,7 @@ int main(int argc, char** argv) {
                     : tv::hdl::elaborate_source(text);
     timer.stop();
 
+    design.options.jobs = static_cast<unsigned>(jobs);
     tv::Verifier verifier(design.netlist, design.options);
     timer.start("verification");
     tv::VerifyResult result =
