@@ -1,0 +1,496 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/verifier.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace tv::check {
+
+bool covers(Value model, Value reality) {
+  if (model == reality) return true;
+  switch (model) {
+    case Value::Unknown:
+      return true;
+    case Value::Change:
+      return reality != Value::Unknown;
+    case Value::Rise:
+    case Value::Fall:
+      // At one instant a rising (falling) signal is either still the old
+      // level or already the new one; claiming an edge where reality is
+      // steady is pessimistic (a possible edge that never fires), so R/F
+      // also cover STABLE. They do not cover the opposite edge or CHANGE.
+      return reality == Value::Zero || reality == Value::One || reality == Value::Stable;
+    case Value::Stable:
+      return reality == Value::Zero || reality == Value::One;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Mirror of the engine's (internal) Fig 2-9 edge classification, used to
+// pick the delay range reality draws from for each boundary.
+Value edge_kind(Value a, Value b) {
+  if (a == Value::Unknown || b == Value::Unknown) return Value::Unknown;
+  auto up = [](Value x) { return x == Value::Zero || x == Value::Rise; };
+  auto up_to = [](Value x) { return x == Value::Rise || x == Value::One; };
+  auto down = [](Value x) { return x == Value::One || x == Value::Fall; };
+  auto down_to = [](Value x) { return x == Value::Fall || x == Value::Zero; };
+  if (up(a) && up_to(b) && a != b) return Value::Rise;
+  if (down(a) && down_to(b) && a != b) return Value::Fall;
+  return Value::Change;
+}
+
+bool is_global_escape(const Violation& v) {
+  // A hazard (unstable control under an &A/&H assumption), a violated
+  // stable assertion, or non-convergence already tells the designer this
+  // clock/data region is outside the verified envelope; any concrete
+  // violation in the same circuit counts as covered by it.
+  return v.type == Violation::Type::Hazard ||
+         v.type == Violation::Type::StableAssertionViolated ||
+         v.type == Violation::Type::Unconverged;
+}
+
+}  // namespace
+
+std::optional<Failure> check_conservatism(const CircuitSpec& spec, ConservatismStats* stats) {
+  ConservatismStats local;
+  ConservatismStats& st = stats ? *stats : local;
+  st = ConservatismStats{};
+
+  BuiltCircuit c;
+  try {
+    c = build(spec);
+  } catch (const std::exception& e) {
+    return Failure{"build-error", e.what()};
+  }
+
+  Verifier verifier(c.nl, c.opts);
+  VerifyResult r = verifier.verify(c.cases);
+  if (!r.converged) return Failure{"unconverged", "base evaluation did not converge"};
+
+  std::set<PrimId> base_prims;
+  std::set<std::pair<PrimId, int>> base_pairs;
+  bool base_escape = false;
+  for (const Violation& bv : r.violations) {
+    base_prims.insert(bv.prim);
+    base_pairs.insert({bv.prim, static_cast<int>(bv.type)});
+    base_escape = base_escape || is_global_escape(bv);
+  }
+  std::vector<std::set<PrimId>> case_prims(r.cases.size());
+  std::vector<char> case_escape(r.cases.size(), 0);
+  for (std::size_t i = 0; i < r.cases.size(); ++i) {
+    if (!r.cases[i].converged) return Failure{"unconverged", "case did not converge"};
+    for (const Violation& cv : r.cases[i].violations) {
+      case_prims[i].insert(cv.prim);
+      if (is_global_escape(cv)) case_escape[i] = 1;
+      // Case analysis restricts the set of realities, so a case may never
+      // report a constraint failure the unrestricted base run missed.
+      if (!base_pairs.count({cv.prim, static_cast<int>(cv.type)})) {
+        std::ostringstream os;
+        os << "case '" << r.cases[i].name << "' reports " << violation_type_name(cv.type)
+           << " on prim " << cv.prim << " absent from the base run";
+        return Failure{"case-refinement", os.str()};
+      }
+    }
+  }
+  st.tv_found = !r.violations.empty();
+  for (const auto& cr : r.cases) st.tv_found = st.tv_found || !cr.violations.empty();
+
+  // --- concrete realizations ------------------------------------------------
+  sim::LogicSimulator sim(c.nl);
+  Rng rng(spec.seed * 0x2545F4914F6CDD1DULL + 0x9E3779B97F4A7C15ULL);
+  const Time period = from_ns(spec.period_ns);
+  const int kCycles = 4;
+  const Time counted_from = 2 * period;  // ignore the initialization transient
+
+  const int nc = static_cast<int>(c.controls.size());
+  std::vector<std::uint32_t> patterns;
+  if (nc <= 5) {
+    for (std::uint32_t p = 0; p < (1u << nc); ++p) patterns.push_back(p);
+  } else {
+    const std::uint32_t mask = (1u << nc) - 1;
+    patterns.push_back(0);
+    patterns.push_back(mask);
+    for (int i = 0; i < 30; ++i) patterns.push_back(static_cast<std::uint32_t>(rng.next()) & mask);
+    std::sort(patterns.begin(), patterns.end());
+    patterns.erase(std::unique(patterns.begin(), patterns.end()), patterns.end());
+  }
+
+  std::vector<Time> skew_offsets = {0};
+  if (spec.clock.skew_minus_ns != 0) skew_offsets.push_back(from_ns(spec.clock.skew_minus_ns));
+  if (spec.clock.skew_plus_ns != 0) skew_offsets.push_back(from_ns(spec.clock.skew_plus_ns));
+  const int toggles[2] = {spec.data_toggle_ns, spec.data_toggle_ns - spec.data_change_ns};
+
+  auto pick = [&](Time lo, Time hi, int mode) {
+    if (mode == 0 || hi <= lo) return lo;
+    if (mode == 1) return hi;
+    return lo + static_cast<Time>(rng.next() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+
+  for (std::uint32_t pat : patterns) {
+    for (int mode = 0; mode < 3; ++mode) {
+      for (Time so : skew_offsets) {
+        for (int tog : toggles) {
+          // Pin one delay realization per primitive, polarity-aware: reality
+          // takes a single delay inside each modeled range.
+          for (PrimId pid = 0; pid < c.nl.num_prims(); ++pid) {
+            const Primitive& p = c.nl.prim(pid);
+            if (prim_is_checker(p.kind)) continue;
+            RiseFallDelay b =
+                p.rise_fall ? *p.rise_fall : RiseFallDelay{p.dmin, p.dmax, p.dmin, p.dmax};
+            Time rise = pick(b.rise_min, b.rise_max, mode);
+            Time fall = pick(b.fall_min, b.fall_max, mode);
+            sim.override_delay(pid, RiseFallDelay{rise, rise, fall, fall});
+          }
+          sim.reset();
+
+          std::vector<sim::Stimulus> sts;
+          for (int j = 0; j < nc; ++j) {
+            sts.push_back({c.controls[static_cast<std::size_t>(j)], 0,
+                           ((pat >> j) & 1) ? sim::LV::One : sim::LV::Zero});
+          }
+          sts.push_back({c.data_in, 0, sim::LV::Zero});
+          for (int cy = 0; cy < kCycles; ++cy) {
+            sts.push_back({c.data_in, cy * period + from_ns(tog),
+                           (cy % 2 == 0) ? sim::LV::One : sim::LV::Zero});
+          }
+          Time ck_rise = from_ns(spec.clock.edge_units) + so;
+          auto add = [&](std::vector<sim::Stimulus> v) {
+            sts.insert(sts.end(), v.begin(), v.end());
+          };
+          add(sim::periodic_clock(c.clock_in, period, ck_rise,
+                                  ck_rise + from_ns(spec.clock.high_units), kCycles));
+          if (c.gate_enable != kNoSignal) {
+            add(sim::periodic_clock(c.gate_enable, period, from_ns(spec.clock.enable_rise_units),
+                                    from_ns(spec.clock.enable_fall_units), kCycles));
+          }
+          if (c.clock2_in != kNoSignal) {
+            Time r2 = from_ns(spec.stage2_edge_units);
+            add(sim::periodic_clock(c.clock2_in, period, r2, r2 + from_ns(spec.clock.high_units),
+                                    kCycles));
+          }
+
+          std::vector<sim::SimViolation> sv = sim.run(sts, kCycles * period);
+          ++st.sim_runs;
+          bool violating = false;
+          for (const sim::SimViolation& v : sv) {
+            if (v.at < counted_from) continue;
+            // An uninitialized X reaching a checker is a start-up pathology
+            // (a register that is never clocked), not a timing violation;
+            // the thesis' STABLE-for-undefined convention deliberately does
+            // not model initialization (sec. 2.9).
+            if (v.message.find("data X at clock edge") != std::string::npos) continue;
+            violating = true;
+            auto witness = [&](const char* kind) {
+              std::ostringstream os;
+              os << kind << ": sim exposed \"" << v.message << "\" at " << format_ns(v.at)
+                 << " ns (pattern 0x" << std::hex << pat << std::dec << ", delay mode " << mode
+                 << ", clock offset " << format_ns(so) << ", data toggle " << tog
+                 << " ns) with no symbolic violation on checker prim " << v.checker;
+              return Failure{kind, os.str()};
+            };
+            if (!base_escape && !base_prims.count(v.checker)) return witness("conservatism");
+            if (c.case_control >= 0) {
+              std::size_t ci = ((pat >> c.case_control) & 1) ? 1 : 0;
+              if (!case_escape[ci] && !case_prims[ci].count(v.checker)) {
+                return witness("case-conservatism");
+              }
+            }
+          }
+          if (violating) ++st.sim_violating_runs;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --- waveform-algebra oracle ------------------------------------------------
+
+Waveform materialize(const WaveSpec& spec) {
+  Value fill;
+  if (!parse_value_letter(spec.fill, fill)) throw std::invalid_argument("bad fill letter");
+  const Time period = from_ns(spec.period_ns);
+  Waveform w(period, fill);
+  for (const WaveOp& op : spec.ops) {
+    Value v;
+    if (!parse_value_letter(op.value, v)) throw std::invalid_argument("bad op letter");
+    Time begin = floor_mod(from_ns(op.at_ns), period);
+    Time width = std::min(from_ns(op.width_ns), period);
+    if (width <= 0) continue;
+    w.set(begin, begin + width, v);
+  }
+  w.set_skew(from_ns(spec.skew_ns));
+  return w;
+}
+
+WaveCase random_wave_case(std::uint64_t seed) {
+  Rng rng(seed ^ 0x57A7E57A7E57A7E5ULL);
+  WaveCase wc;
+  wc.seed = seed;
+  wc.base.period_ns = rng.range(30, 80);
+  int f = rng.range(0, 5);
+  wc.base.fill = f <= 2 ? 'S' : f == 3 ? '0' : f == 4 ? '1' : 'C';
+  int nops = rng.range(1, 5);
+  static const char kLetters[] = "00000111111SSSSCCCRFU";
+  for (int i = 0; i < nops; ++i) {
+    WaveOp op;
+    op.at_ns = rng.range(0, wc.base.period_ns - 1);
+    op.width_ns = rng.range(1, 12);
+    op.value = kLetters[rng.range(0, static_cast<int>(sizeof kLetters) - 2)];
+    wc.base.ops.push_back(op);
+  }
+  if (rng.chance(40)) wc.base.skew_ns = rng.range(1, 6);
+  wc.rise_min_ns = rng.range(0, 5);
+  wc.rise_max_ns = wc.rise_min_ns + rng.range(0, 6);
+  wc.fall_min_ns = rng.range(0, 5) + (rng.chance(35) ? rng.range(5, 20) : 0);
+  wc.fall_max_ns = wc.fall_min_ns + rng.range(0, 6);
+  wc.d1_min_ns = rng.range(0, 8);
+  wc.d1_max_ns = wc.d1_min_ns + rng.range(0, 8);
+  wc.d2_min_ns = rng.range(0, 8);
+  wc.d2_max_ns = wc.d2_min_ns + rng.range(0, 8);
+  return wc;
+}
+
+namespace {
+
+std::optional<Failure> canonical(const Waveform& w, const char* what) {
+  auto fail = [&](const std::string& why) {
+    return Failure{"canonical-form", std::string(what) + ": " + why + " in " + w.to_string()};
+  };
+  if (w.segments().empty()) return fail("no segments");
+  Time sum = 0;
+  for (const Waveform::Segment& s : w.segments()) {
+    if (s.width <= 0) return fail("non-positive segment width");
+    sum += s.width;
+  }
+  if (sum != w.period()) return fail("widths do not sum to the period");
+  for (std::size_t i = 1; i < w.segments().size(); ++i) {
+    if (w.segments()[i].value == w.segments()[i - 1].value) return fail("unmerged neighbors");
+  }
+  return std::nullopt;
+}
+
+/// Sample points: every segment start of every waveform (and every extra
+/// point) plus/minus 1 ps, plus midpoints between consecutive samples.
+std::vector<Time> sample_times(const std::vector<const Waveform*>& ws,
+                               const std::vector<Time>& extra, Time period) {
+  std::vector<Time> ts;
+  auto add = [&](Time t) { ts.push_back(floor_mod(t, period)); };
+  for (const Waveform* w : ws) {
+    Time acc = 0;
+    for (const Waveform::Segment& s : w->segments()) {
+      add(acc - 1);
+      add(acc);
+      add(acc + 1);
+      acc += s.width;
+    }
+  }
+  for (Time t : extra) {
+    add(t - 1);
+    add(t);
+    add(t + 1);
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  std::size_t n = ts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Time a = ts[i], b = i + 1 < n ? ts[i + 1] : ts[0] + period;
+    if (b - a > 1) add(a + (b - a) / 2);
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  return ts;
+}
+
+}  // namespace
+
+std::optional<Failure> check_wave_algebra(const WaveCase& wc) {
+  Waveform w = materialize(wc.base);
+  const Time period = w.period();
+  if (auto f = canonical(w, "materialized")) return f;
+
+  if (!(w.delayed(0, 0) == w)) {
+    return Failure{"delayed-identity", "delayed(0,0) != identity for " + w.to_string()};
+  }
+  const Time a = from_ns(wc.d1_min_ns), b = from_ns(wc.d1_max_ns);
+  const Time cc = from_ns(wc.d2_min_ns), d = from_ns(wc.d2_max_ns);
+  Waveform once = w.delayed(a, b);
+  if (auto f = canonical(once, "delayed")) return f;
+  if (!(once.delayed(cc, d) == w.delayed(a + cc, b + d))) {
+    std::ostringstream os;
+    os << "delayed(" << a << "," << b << ").delayed(" << cc << "," << d
+       << ") != delayed(sum) for " << w.to_string();
+    return Failure{"delayed-composition", os.str()};
+  }
+
+  Waveform folded = w.with_skew_incorporated();
+  if (auto f = canonical(folded, "with_skew_incorporated")) return f;
+  if (folded.skew() != 0) {
+    return Failure{"skew-idempotent", "fold left skew nonzero: " + folded.to_string()};
+  }
+  if (!(folded.with_skew_incorporated() == folded)) {
+    return Failure{"skew-idempotent", "fold is not idempotent: " + folded.to_string()};
+  }
+
+  WaveSpec zero_skew = wc.base;
+  zero_skew.skew_ns = 0;
+  Waveform plain = materialize(zero_skew);
+  const Time sk = std::min(from_ns(wc.base.skew_ns), period);
+  for (Time delta : {Time{0}, sk / 2, sk}) {
+    Waveform shifted = plain.delayed(delta, delta);
+    for (Time t : sample_times({&folded, &shifted}, {}, period)) {
+      if (!covers(folded.at(t), shifted.at(t))) {
+        std::ostringstream os;
+        os << "folded " << folded.to_string() << " does not cover shift " << format_ns(delta)
+           << " of " << plain.to_string() << " at t=" << format_ns(t);
+        return Failure{"skew-coverage", os.str()};
+      }
+    }
+  }
+
+  // Pointwise consistency of the n-ary combiners against at().
+  WaveCase partner_case = random_wave_case(wc.seed * 0x5DEECE66DULL + 11);
+  WaveSpec partner_spec = partner_case.base;
+  partner_spec.period_ns = wc.base.period_ns;
+  partner_spec.skew_ns = 0;
+  Waveform partner = materialize(partner_spec);
+  struct NamedOp {
+    const char* name;
+    Value (*fn)(Value, Value);
+  };
+  const NamedOp ops[] = {{"or", value_or},
+                         {"and", value_and},
+                         {"xor", value_xor},
+                         {"chg", static_cast<Value (*)(Value, Value)>(value_chg)}};
+  for (const NamedOp& op : ops) {
+    Waveform r = Waveform::binary(folded, partner, op.fn);
+    if (auto f = canonical(r, op.name)) return f;
+    for (Time t : sample_times({&folded, &partner, &r}, {}, period)) {
+      if (r.at(t) != op.fn(folded.at(t), partner.at(t))) {
+        std::ostringstream os;
+        os << op.name << "(" << folded.to_string() << ", " << partner.to_string()
+           << ") inconsistent with at() at t=" << format_ns(t);
+        return Failure{"pointwise", os.str()};
+      }
+    }
+  }
+  Waveform inv = folded.map(value_not);
+  for (Time t : sample_times({&folded, &inv}, {}, period)) {
+    if (inv.at(t) != value_not(folded.at(t))) {
+      return Failure{"pointwise", "map(not) inconsistent with at() for " + folded.to_string()};
+    }
+  }
+
+  // Concrete replay of delayed_rise_fall: reality shifts the whole list by
+  // one skew amount, then delays each edge independently inside its
+  // polarity's range; the symbolic result must cover every such reality.
+  const Time rmin = from_ns(wc.rise_min_ns), rmax = from_ns(wc.rise_max_ns);
+  const Time fmin = from_ns(wc.fall_min_ns), fmax = from_ns(wc.fall_max_ns);
+  Waveform model = w.delayed_rise_fall(rmin, rmax, fmin, fmax);
+  if (auto f = canonical(model, "delayed_rise_fall")) return f;
+  if (model.skew() != 0) {
+    return Failure{"rise-fall-coverage", "result carries skew: " + model.to_string()};
+  }
+
+  std::vector<Time> deltas = {0};
+  if (sk > 0) deltas.push_back(sk);
+  for (Time delta : deltas) {
+    Waveform shifted = plain.delayed(delta, delta);
+    std::vector<Waveform::Boundary> bounds = shifted.boundaries();
+    struct Ev {
+      Time at = 0;
+      Value to = Value::Unknown;
+    };
+    const std::size_t nb = bounds.size();
+    std::vector<std::pair<Time, Time>> ranges(nb);  // per-boundary [lo, hi]
+    for (std::size_t i = 0; i < nb; ++i) {
+      switch (edge_kind(bounds[i].from, bounds[i].to)) {
+        case Value::Rise: ranges[i] = {rmin, rmax}; break;
+        case Value::Fall: ranges[i] = {fmin, fmax}; break;
+        default: ranges[i] = {std::min(rmin, fmin), std::max(rmax, fmax)}; break;
+      }
+    }
+    long realizations = 1;
+    for (std::size_t i = 0; i < nb && realizations <= 81; ++i) realizations *= 3;
+    bool enumerate = realizations <= 81;
+    Rng rr(wc.seed + static_cast<std::uint64_t>(delta) + 977);
+    int count = enumerate ? static_cast<int>(realizations) : 64;
+
+    for (int ri = 0; ri < count; ++ri) {
+      std::vector<Ev> evs(nb);
+      long code = ri;
+      for (std::size_t i = 0; i < nb; ++i) {
+        auto [lo, hi] = ranges[i];
+        Time dl;
+        if (enumerate) {
+          int choice = static_cast<int>(code % 3);
+          code /= 3;
+          dl = choice == 0 ? lo : choice == 1 ? hi : lo + (hi - lo) / 2;
+        } else {
+          dl = lo + (hi > lo ? static_cast<Time>(rr.next() %
+                                                 static_cast<std::uint64_t>(hi - lo + 1))
+                             : 0);
+        }
+        evs[i] = {floor_mod(bounds[i].time + dl, period), bounds[i].to};
+      }
+      auto replay_at = [&](Time t) {
+        if (evs.empty()) return shifted.at(t);
+        // Latest event at or before t, circularly; later boundary wins ties.
+        Time best_rel = period + 1;
+        Value v = Value::Unknown;
+        for (const Ev& e : evs) {
+          Time rel = floor_mod(t - e.at, period);
+          if (rel <= best_rel) {
+            best_rel = rel;
+            v = e.to;
+          }
+        }
+        return v;
+      };
+      std::vector<Time> extra;
+      for (const Ev& e : evs) extra.push_back(e.at);
+      for (Time t : sample_times({&model}, extra, period)) {
+        Value real = replay_at(t);
+        if (!covers(model.at(t), real)) {
+          std::ostringstream os;
+          os << "delayed_rise_fall(" << format_ns(rmin) << "," << format_ns(rmax) << ","
+             << format_ns(fmin) << "," << format_ns(fmax) << ") of " << w.to_string()
+             << " = " << model.to_string() << " misses reality (shift " << format_ns(delta)
+             << ", realization " << ri << "): model " << value_letter(model.at(t))
+             << " vs actual " << value_letter(real) << " at t=" << format_ns(t);
+          return Failure{"rise-fall-coverage", os.str()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string to_cpp(const WaveCase& wc) {
+  std::ostringstream os;
+  os << "    tv::check::WaveCase w;\n";
+  os << "    w.seed = " << wc.seed << "ULL;\n";
+  os << "    w.base.period_ns = " << wc.base.period_ns << "; w.base.fill = '" << wc.base.fill
+     << "'; w.base.skew_ns = " << wc.base.skew_ns << ";\n";
+  for (const WaveOp& op : wc.base.ops) {
+    os << "    w.base.ops.push_back({" << op.at_ns << ", " << op.width_ns << ", '" << op.value
+       << "'});\n";
+  }
+  os << "    w.rise_min_ns = " << wc.rise_min_ns << "; w.rise_max_ns = " << wc.rise_max_ns
+     << ";\n";
+  os << "    w.fall_min_ns = " << wc.fall_min_ns << "; w.fall_max_ns = " << wc.fall_max_ns
+     << ";\n";
+  os << "    w.d1_min_ns = " << wc.d1_min_ns << "; w.d1_max_ns = " << wc.d1_max_ns << ";\n";
+  os << "    w.d2_min_ns = " << wc.d2_min_ns << "; w.d2_max_ns = " << wc.d2_max_ns << ";\n";
+  return os.str();
+}
+
+}  // namespace tv::check

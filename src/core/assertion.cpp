@@ -115,8 +115,11 @@ ParsedSignal parse_signal_name(std::string_view text) {
     out.full_name = std::string(rest);
   }
 
-  // Trailing "&..." evaluation directive string (sec. 2.6).
-  if (size_t amp = rest.rfind('&'); amp != std::string_view::npos) {
+  // Trailing "&..." evaluation directive string (sec. 2.6). The directive is
+  // a separate token ("CLOCK &HZ"), so the '&' must begin one -- an embedded
+  // '&' is part of the name proper (drawing systems allow "A&B").
+  if (size_t amp = rest.rfind('&');
+      amp != std::string_view::npos && (amp == 0 || rest[amp - 1] == ' ')) {
     std::string_view dir = trim(rest.substr(amp + 1));
     for (char c : dir) {
       char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));

@@ -142,6 +142,10 @@ std::size_t Evaluator::apply_case(const CaseSpec& c) {
   // Only the affected parts of the circuit are reevaluated (sec. 2.7):
   // reseed the named signals, requeue their drivers and fanout, propagate.
   eval_count_.assign(nl_.num_prims(), 0);
+  // A case may name a signal created after this Evaluator sized its flat
+  // per-signal/per-primitive maps (Netlist::ref makes signals on demand).
+  if (case_map_.size() < nl_.num_signals()) case_map_.resize(nl_.num_signals(), -1);
+  if (in_worklist_.size() < nl_.num_prims()) in_worklist_.resize(nl_.num_prims(), 0);
   for (SignalId sig : case_pins_) case_map_[sig] = -1;
   case_pins_.clear();
   for (const auto& [sig, val] : c.pins) {

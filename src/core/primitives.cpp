@@ -30,7 +30,9 @@ Waveform fold(const std::vector<const Waveform*>& ws, Value (*op)(Value, Value),
   if (ws.size() == 1) return *ws[0];
   bool multiple_active = count_active(ws) >= 2;
   Waveform acc = multiple_active ? ws[0]->with_skew_incorporated() : *ws[0];
-  Time carried_skew = multiple_active ? 0 : acc.skew();
+  // Carried skew comes from the (at most one) *active* input; a steady input
+  // with a residual skew field must not leak it onto the combination.
+  Time carried_skew = (!multiple_active && acc.has_activity()) ? acc.skew() : 0;
   for (std::size_t i = 1; i < ws.size(); ++i) {
     Waveform next = multiple_active ? ws[i]->with_skew_incorporated() : *ws[i];
     if (!multiple_active && next.has_activity()) carried_skew = next.skew();
@@ -122,7 +124,18 @@ Value latch_fun(Value e, Value d, Value h) {
 // next capture (periodic, so the last capture wraps to the cycle start).
 Waveform held_waveform(const Waveform& enable, const Waveform& data, Time period) {
   std::vector<EdgeWindow> falls = edge_windows(enable, /*rising=*/false);
-  if (falls.empty()) return Waveform(period, Value::Stable);
+  if (falls.empty()) {
+    // No extractable falling window. A truly steady enable never captures,
+    // so STABLE stands -- but an enable that is changing (or unknown) for the
+    // whole cycle has no boundaries at all and still may capture at any
+    // time: the held value is then conservatively CHANGE.
+    for (const auto& seg : enable.segments()) {
+      if (is_changing(seg.value) || seg.value == Value::Unknown) {
+        return Waveform(period, Value::Change);
+      }
+    }
+    return Waveform(period, Value::Stable);
+  }
   Waveform held(period, Value::Stable);
   for (std::size_t j = 0; j < falls.size(); ++j) {
     Value captured = sample_over(data, falls[j]);
@@ -143,24 +156,47 @@ Waveform eval_register(const Primitive& p, const Waveform& data_in, const Wavefo
     return Waveform(period, Value::Unknown);
   }
   std::vector<EdgeWindow> edges = edge_windows(clock, /*rising=*/true);
-  if (edges.empty()) return Waveform(period, Value::Stable);
+  if (edges.empty()) {
+    // Same reasoning as held_waveform: a whole-cycle CHANGE (or UNKNOWN)
+    // clock has no boundaries, hence no edge windows, yet can clock the
+    // register at any time -- the output must be CHANGE, not STABLE.
+    for (const auto& seg : clock.segments()) {
+      if (is_changing(seg.value) || seg.value == Value::Unknown) {
+        return Waveform(period, Value::Change);
+      }
+    }
+    return Waveform(period, Value::Stable);
+  }
 
   // Output: CHANGE from (edge start + min delay) to (edge end + max delay),
   // then the captured value until the next edge's change window (Fig 2-1).
   Waveform out(period, Value::Stable);
+  std::vector<Value> captured(edges.size());
   for (std::size_t k = 0; k < edges.size(); ++k) {
-    Value captured = sample_over(data, edges[k]);
-    if (captured == Value::Unknown) captured = Value::Stable;  // sec. 2.4.3 wording
+    captured[k] = sample_over(data, edges[k]);
+    if (captured[k] == Value::Unknown) captured[k] = Value::Stable;  // sec. 2.4.3 wording
     Time settle = floor_mod(edges[k].end + p.dmax, period);
     Time next_change = floor_mod(edges[(k + 1) % edges.size()].start + p.dmin, period);
     Time width = floor_mod(next_change - settle, period);
     if (width == 0 && edges.size() == 1) width = period;
-    out.set(settle, settle + width, captured);
+    out.set(settle, settle + width, captured[k]);
   }
-  for (const EdgeWindow& e : edges) {
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const EdgeWindow& e = edges[k];
     Time cb = floor_mod(e.start + p.dmin, period);
     // The edge window may wrap the cycle boundary (end < start numerically).
     Time cw = floor_mod(e.end - e.start, period) + (p.dmax - p.dmin);
+    if (cw == 0) {
+      // Precise edge with a fixed delay: the output still re-captures at one
+      // exact instant, and the new value may differ from the held one unless
+      // both are the same definite constant. Give the change window the
+      // minimum representable width so it stays visible downstream (a
+      // zero-width set() paints nothing and the output would wrongly read
+      // as stable through the capture).
+      Value prev = captured[(k + edges.size() - 1) % edges.size()];
+      if (is_definite(captured[k]) && captured[k] == prev) continue;
+      cw = 1;
+    }
     if (cw >= period) return Waveform(period, Value::Change);
     out.set(cb, cb + cw, Value::Change);
   }
@@ -173,6 +209,28 @@ Waveform eval_latch(const Primitive& p, const Waveform& data_in, const Waveform&
   Waveform data = data_in.with_skew_incorporated();
   Waveform held = held_waveform(enable, data, period);
   Waveform out = Waveform::ternary(enable, data, held, latch_fun);
+  // An instantaneous enable rise (a direct 0->1 boundary with no RISE
+  // window) hands the output over from the held value to the data value at
+  // one exact instant. When the data cannot be shown to have sat still since
+  // the previous capture, the two values may differ, and the handover must
+  // stay visible -- latch_fun sees only equal-looking STABLE values on both
+  // sides of the boundary and would merge them into an unbroken segment.
+  std::vector<EdgeWindow> falls = edge_windows(enable, /*rising=*/false);
+  for (const auto& b : enable.boundaries()) {
+    if (b.from != Value::Zero || b.to != Value::One) continue;
+    bool still = false;
+    for (const EdgeWindow& f : falls) {
+      // Data steady from the previous capture window's start through the
+      // rise means the captured (held) value equals the present data value.
+      Time span = floor_mod(b.time - f.start, period);
+      if (data.steady_over(f.start, f.start + span)) {
+        still = true;
+        break;
+      }
+    }
+    if (still) continue;
+    out.set(b.time, b.time + 1, Value::Change);
+  }
   return out.delayed(p.dmin, p.dmax);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 
 namespace tv {
@@ -356,41 +357,152 @@ Waveform Waveform::delayed_rise_fall(Time rise_min, Time rise_max, Time fall_min
     Value edge;    // value during the uncertainty window
     Value after;   // settled value
   };
-  std::vector<Win> wins;
-  for (const Boundary& b : base.boundaries()) {
-    Value e = edge_value(b.from, b.to);
-    Win w;
-    w.at = b.time;
-    w.edge = e;
-    w.after = b.to;
-    switch (e) {
-      case Value::Rise: w.dmin = rise_min; w.dmax = rise_max; break;
-      case Value::Fall: w.dmin = fall_min; w.dmax = fall_max; break;
-      default: w.dmin = umin; w.dmax = umax; break;  // unknown polarity
+  auto make_wins = [&](const std::vector<Boundary>& bs) {
+    std::vector<Win> v;
+    for (const Boundary& b : bs) {
+      Value e = edge_value(b.from, b.to);
+      Win w;
+      w.at = b.time;
+      w.edge = e;
+      w.after = b.to;
+      switch (e) {
+        case Value::Rise: w.dmin = rise_min; w.dmax = rise_max; break;
+        case Value::Fall: w.dmin = fall_min; w.dmax = fall_max; break;
+        default: w.dmin = umin; w.dmax = umax; break;  // unknown polarity
+      }
+      v.push_back(w);
     }
-    wins.push_back(w);
-  }
+    return v;
+  };
+  std::vector<Win> wins = make_wins(base.boundaries());
 
-  std::vector<std::pair<Time, Value>> pts;
-  for (const Win& w : wins) {
-    pts.emplace_back(floor_mod(w.at + w.dmin, period_), w.edge);
-    pts.emplace_back(floor_mod(w.at + w.dmax, period_), w.after);
-  }
-  Waveform out = from_points(period_, std::move(pts), 0);
-
-  // Consecutive boundaries whose shifted uncertainty windows overlap (a
-  // pulse narrower than the rise/fall difference may vanish entirely):
-  // collapse the overlap to CHANGE (UNKNOWN dominates).
+  // Tile the output from the windows in boundary order: the uncertainty
+  // value over [lo, hi), then the settled value from hi to the next
+  // window's start. A settled value deliberately never extends into a later
+  // window's span -- time-sorted emission would let an early window's
+  // settle override the uncertainty of a later one it overlaps (the gap is
+  // then negative, and the cluster sweep below demotes the whole span).
+  Waveform out(period_, Value::Stable);
   for (std::size_t k = 0; k < wins.size(); ++k) {
-    const Win& cur = wins[k];
-    const Win& nxt = wins[(k + 1) % wins.size()];
-    Time cur_end = cur.at + cur.dmax;
-    Time nxt_start = nxt.at + nxt.dmin + (k + 1 == wins.size() ? period_ : 0);
-    if (cur_end > nxt_start) {
-      Value v = (cur.edge == Value::Unknown || nxt.edge == Value::Unknown) ? Value::Unknown
-                                                                           : Value::Change;
-      out.set(floor_mod(nxt_start, period_), floor_mod(nxt_start, period_) + (cur_end - nxt_start),
-              v);
+    const Win& w = wins[k];
+    Time lo = w.at + w.dmin, hi = w.at + w.dmax;
+    if (hi - lo >= period_) return Waveform(period_, w.edge);
+    if (hi > lo) out.set(floor_mod(lo, period_), floor_mod(lo, period_) + (hi - lo), w.edge);
+    const Win& nx = wins[(k + 1) % wins.size()];
+    Time next_lo = nx.at + nx.dmin + (k + 1 == wins.size() ? period_ : 0);
+    if (next_lo > hi) {
+      out.set(floor_mod(hi, period_), floor_mod(hi, period_) + std::min(next_lo - hi, period_),
+              w.after);
+    }
+  }
+
+  // Boundaries whose shifted uncertainty windows [at+dmin, at+dmax] overlap
+  // -- adjacent or not: asymmetric rise/fall delays reorder shifted windows
+  // arbitrarily -- admit a delay realization in which a later-scheduled
+  // event fires first and the earlier one lands after it, leaving a stale
+  // value on the output. The stale value persists until the next event
+  // *beyond* the overlapping cluster fires and settles (possibly across the
+  // cycle wrap), so the span from the cluster's first possible event through
+  // the following window's settle is demoted to CHANGE, or UNKNOWN when any
+  // involved value is UNKNOWN.
+  //
+  // The sweep must run on the *unfolded* boundaries: skew shifts every
+  // boundary by the same amount, so window overlap is shift-invariant, while
+  // the folded form moves each region's exit to its latest position and can
+  // hide an overlap that exists in every concrete shift. The stale span
+  // found for shift 0 then exists shifted for every realization, so the
+  // paint is widened by the skew.
+  Waveform plain = *this;
+  plain.skew_ = 0;
+  const Time sk = std::max<Time>(0, std::min(skew_, period_));
+  std::vector<Win> pwins = make_wins(plain.boundaries());
+
+  struct Paint {
+    Time start, end;
+    Value v;
+  };
+  std::vector<Paint> paints;
+  // Finds clusters of windows whose *event order* can differ from their
+  // boundary order and records demotion paints. Walking windows in boundary
+  // order, window k+1's event can fire at or before some event of the
+  // running cluster whenever its lo does not clear the cluster's latest
+  // possible event (cend) -- this covers plain overlap, touching windows
+  // (simultaneous events resolve in an unspecified order), and windows
+  // shifted wholly past their successors by asymmetric delays. Inside such
+  // a cluster a stale value can end up on the output. With extend_follow,
+  // the paint runs through the *following* window's settle, widened by
+  // `widen` (the stale value persists until the first event certainly
+  // beyond the cluster fires); otherwise it covers the cluster itself (a
+  // settled value may not be claimed inside a colliding window's span).
+  // Returns the constant the whole waveform degenerates to when a paint
+  // wraps the full period, nullopt otherwise.
+  auto sweep = [&](const std::vector<Win>& ws, Time widen,
+                   bool extend_follow) -> std::optional<Value> {
+    struct SWin {
+      Time lo, hi;
+      Value edge, after;
+      bool orig;  // base copy (vs. the +period duplicate)
+    };
+    std::vector<SWin> sw;
+    sw.reserve(ws.size() * 2);
+    for (const Win& w : ws) {
+      sw.push_back(SWin{w.at + w.dmin, w.at + w.dmax, w.edge, w.after, true});
+    }
+    // Unroll one extra period so clusters that wrap the cycle boundary are
+    // seen contiguously; only clusters containing a base-copy window are
+    // emitted (every wrap-spanning cluster has one, and its +period twin
+    // has none).
+    const std::size_t nw = sw.size();
+    for (std::size_t k = 0; k < nw; ++k) {
+      sw.push_back(SWin{sw[k].lo + period_, sw[k].hi + period_, sw[k].edge, sw[k].after, false});
+    }
+
+    std::size_t i = 0;
+    while (i < sw.size()) {
+      std::size_t j = i;
+      Time clo = sw[i].lo, cend = sw[i].hi;
+      bool has_u = sw[i].edge == Value::Unknown || sw[i].after == Value::Unknown;
+      bool any_orig = sw[i].orig;
+      while (j + 1 < sw.size() && sw[j + 1].lo <= cend) {
+        ++j;
+        clo = std::min(clo, sw[j].lo);
+        cend = std::max(cend, sw[j].hi);
+        has_u = has_u || sw[j].edge == Value::Unknown || sw[j].after == Value::Unknown;
+        any_orig = any_orig || sw[j].orig;
+      }
+      if (j > i && any_orig) {
+        Time end = cend;
+        bool u = has_u;
+        if (extend_follow) {
+          if (j + 1 == sw.size()) {
+            // The cluster swallowed every window including the wrapped
+            // copies: no event ever certainly settles.
+            return has_u ? Value::Unknown : Value::Change;
+          }
+          const SWin& follow = sw[j + 1];
+          u = u || follow.edge == Value::Unknown || follow.after == Value::Unknown;
+          end = follow.hi + widen;
+        }
+        if (end - clo >= period_) {
+          return u ? Value::Unknown : Value::Change;
+        }
+        paints.push_back(Paint{clo, end, u ? Value::Unknown : Value::Change});
+      }
+      i = j + 1;
+    }
+    return std::nullopt;
+  };
+  if (auto v = sweep(pwins, sk, /*extend_follow=*/true)) return Waveform(period_, *v);
+  if (auto v = sweep(wins, 0, /*extend_follow=*/false)) return Waveform(period_, *v);
+  // UNKNOWN paints go last so they survive overlapping CHANGE paints.
+  for (const Paint& p : paints) {
+    if (p.v == Value::Change) {
+      out.set(floor_mod(p.start, period_), floor_mod(p.start, period_) + (p.end - p.start), p.v);
+    }
+  }
+  for (const Paint& p : paints) {
+    if (p.v == Value::Unknown) {
+      out.set(floor_mod(p.start, period_), floor_mod(p.start, period_) + (p.end - p.start), p.v);
     }
   }
   return out;

@@ -1,5 +1,6 @@
 #include "sim/logic_sim.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tv::sim {
@@ -60,11 +61,27 @@ LV lv_xor(LV a, LV b) {
 
 LogicSimulator::LogicSimulator(const Netlist& nl) : nl_(nl) {
   if (!nl.finalized()) throw std::logic_error("netlist must be finalized");
+  delays_.resize(nl.num_prims());
+  for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
+    const Primitive& p = nl.prim(pid);
+    delays_[pid] = p.rise_fall ? *p.rise_fall
+                               : RiseFallDelay{p.dmin, p.dmax, p.dmin, p.dmax};
+  }
   reset();
+}
+
+void LogicSimulator::override_delay(PrimId pid, Time dmin, Time dmax) {
+  override_delay(pid, RiseFallDelay{dmin, dmax, dmin, dmax});
+}
+
+void LogicSimulator::override_delay(PrimId pid, const RiseFallDelay& rf) {
+  delays_[pid] = rf;
 }
 
 void LogicSimulator::reset() {
   values_.assign(nl_.num_signals(), LV::X);
+  projected_.assign(nl_.num_signals(), LV::X);
+  pending_.assign(nl_.num_signals(), {});
   last_change_.assign(nl_.num_signals(), -1);
   last_rise_.assign(nl_.num_signals(), -1);
   last_fall_.assign(nl_.num_signals(), -1);
@@ -77,6 +94,17 @@ void LogicSimulator::reset() {
 }
 
 void LogicSimulator::schedule(SignalId sig, Time at, LV v) {
+  // Inertial preemption: a newly computed transition supersedes anything
+  // previously scheduled for the same signal at the same or a later time.
+  // Superseded events stay in the queue and are dropped lazily when popped.
+  auto& pend = pending_[sig];
+  pend.erase(std::remove_if(pend.begin(), pend.end(),
+                            [&](const std::pair<Time, std::uint64_t>& p) {
+                              return p.first >= at;
+                            }),
+             pend.end());
+  pend.push_back({at, seq_});
+  projected_[sig] = v;  // all remaining pending events precede this one
   queue_.push(Event{at, seq_++, sig, v});
 }
 
@@ -169,6 +197,10 @@ void LogicSimulator::evaluate_prim(PrimId pid, Time now) {
       LV ck = input_value(p.inputs[1]);
       LV prev_ck = prev_pin_[pid][1];
       prev_pin_[pid][1] = ck;
+      if (prev_ck == LV::Zero && ck == LV::One) {
+        reg_state_[pid] = input_value(p.inputs[0]);  // capture on rising edge
+      }
+      // Asynchronous SET/RESET dominate a clocked capture while active.
       if (p.kind == PrimKind::RegSR) {
         LV s = input_value(p.inputs[2]), r = input_value(p.inputs[3]);
         if (s == LV::One && r == LV::One) {
@@ -179,15 +211,15 @@ void LogicSimulator::evaluate_prim(PrimId pid, Time now) {
           reg_state_[pid] = LV::Zero;
         }
       }
-      if (prev_ck == LV::Zero && ck == LV::One) {
-        reg_state_[pid] = input_value(p.inputs[0]);  // capture on rising edge
-      }
       target = reg_state_[pid];
       break;
     }
     case PrimKind::Latch:
     case PrimKind::LatchSR: {
       LV en = input_value(p.inputs[1]);
+      if (en == LV::One) reg_state_[pid] = input_value(p.inputs[0]);
+      target = en == LV::One ? input_value(p.inputs[0]) : reg_state_[pid];
+      // Asynchronous SET/RESET dominate the transparent path while active.
       if (p.kind == PrimKind::LatchSR) {
         LV s = input_value(p.inputs[2]), r = input_value(p.inputs[3]);
         if (s == LV::One && r == LV::One) {
@@ -197,22 +229,40 @@ void LogicSimulator::evaluate_prim(PrimId pid, Time now) {
         } else if (r == LV::One) {
           reg_state_[pid] = LV::Zero;
         }
+        if (s == LV::One || r == LV::One) target = reg_state_[pid];
       }
-      if (en == LV::One) reg_state_[pid] = input_value(p.inputs[0]);
-      target = en == LV::One ? input_value(p.inputs[0]) : reg_state_[pid];
       break;
     }
     default:
       return;
   }
 
-  LV current = values_[p.output];
+  // Compare against the value the output is already headed to, not its
+  // momentary value: an opposite transition may still be in flight, and
+  // comparing against values_ would drop the new one (e.g. a gated clock's
+  // fall computed while its rise event is pending would never fire, leaving
+  // the gate output stuck high).
+  LV current = projected_[p.output];
   if (target == current) return;
-  if (p.dmax > p.dmin) {
-    schedule(p.output, now + p.dmin, settle_edge(current, target));
-    schedule(p.output, now + p.dmax, target);
+  // Delay range by output polarity: changes toward 1 use the rise range,
+  // toward 0 the fall range, anything else the combined worst case.
+  const RiseFallDelay& d = delays_[pid];
+  Time lo, hi;
+  if (target == LV::One || target == LV::U) {
+    lo = d.rise_min;
+    hi = d.rise_max;
+  } else if (target == LV::Zero || target == LV::D) {
+    lo = d.fall_min;
+    hi = d.fall_max;
   } else {
-    schedule(p.output, now + p.dmax, target);
+    lo = std::min(d.rise_min, d.fall_min);
+    hi = std::max(d.rise_max, d.fall_max);
+  }
+  if (hi > lo) {
+    schedule(p.output, now + lo, settle_edge(current, target));
+    schedule(p.output, now + hi, target);
+  } else {
+    schedule(p.output, now + hi, target);
   }
 }
 
@@ -291,6 +341,10 @@ std::vector<SimViolation> LogicSimulator::run(const std::vector<Stimulus>& stimu
   while (!queue_.empty() && queue_.top().at <= until) {
     Event e = queue_.top();
     queue_.pop();
+    auto& pend = pending_[e.signal];
+    auto it = std::find(pend.begin(), pend.end(), std::make_pair(e.at, e.seq));
+    if (it == pend.end()) continue;  // inertially preempted
+    pend.erase(it);
     if (values_[e.signal] == e.value) continue;
     LV prev = values_[e.signal];
     values_[e.signal] = e.value;

@@ -72,8 +72,18 @@ class LogicSimulator {
   /// (their boolean function is unknown to the model, as in the thesis).
   explicit LogicSimulator(const Netlist& nl);
 
-  /// Resets all signals to X and clears the event queue.
+  /// Resets all signals to X and clears the event queue. Delay overrides
+  /// (see override_delay) survive a reset so one configured simulator can be
+  /// reused across input patterns.
   void reset();
+
+  /// Pins a primitive's propagation delay to concrete values for subsequent
+  /// runs. The differential harness uses this to sample one *realization*
+  /// of the modeled [dmin, dmax] interval: reality takes a single delay in
+  /// the range, and every such reality must be covered by the symbolic
+  /// verifier. Per-polarity form for rise/fall-modeled primitives.
+  void override_delay(PrimId pid, Time dmin, Time dmax);
+  void override_delay(PrimId pid, const RiseFallDelay& rf);
 
   /// Schedules stimuli and runs until the queue drains or `until` is
   /// reached. Returns observed violations.
@@ -100,7 +110,22 @@ class LogicSimulator {
   void check_checker(PrimId pid, Time now, std::vector<SimViolation>& out);
 
   const Netlist& nl_;
+  /// Effective propagation delays per primitive: seeded from the netlist
+  /// (the rise/fall ranges when modeled, [dmin, dmax] for both polarities
+  /// otherwise), possibly pinned by override_delay.
+  std::vector<RiseFallDelay> delays_;
   std::vector<LV> values_;
+  /// Per signal: the value the signal is headed to once its pending events
+  /// fire (equal to values_ when nothing is pending). Gate evaluation must
+  /// compare its target against this, not the momentary value -- otherwise a
+  /// transition computed while an opposite transition is still in flight is
+  /// dropped and the output sticks.
+  std::vector<LV> projected_;
+  /// Per signal: (time, seq) of live scheduled events. Scheduling a
+  /// transition preempts (inertially cancels) anything previously scheduled
+  /// at the same or a later time; the queue uses lazy deletion against this
+  /// list.
+  std::vector<std::vector<std::pair<Time, std::uint64_t>>> pending_;
   std::vector<Time> last_change_;             // per signal: last definite change
   std::vector<Time> last_rise_, last_fall_;   // per signal: last 0->1 / 1->0
   std::vector<char> seen_definite_;           // per signal: has been 0/1 at least once

@@ -133,6 +133,20 @@ TEST(AssertionParse, ComplementAndDirectives) {
   EXPECT_EQ(e.assertion.kind, Assertion::Kind::None);
 }
 
+TEST(AssertionParse, EmbeddedAmpersandIsPartOfTheName) {
+  // The "&..." directive string is its own token (sec. 2.6); an '&' embedded
+  // in a name coming off a drawing ("A&B") is just a name character.
+  ParsedSignal s = parse_signal_name("A&B");
+  EXPECT_EQ(s.base_name, "A&B");
+  EXPECT_TRUE(s.directives.empty());
+  EXPECT_EQ(s.assertion.kind, Assertion::Kind::None);
+
+  ParsedSignal t = parse_signal_name("A&B .P0-4 &HZ");
+  EXPECT_EQ(t.base_name, "A&B");
+  EXPECT_EQ(t.directives, "HZ");
+  EXPECT_EQ(t.assertion.kind, Assertion::Kind::PrecisionClock);
+}
+
 TEST(AssertionParse, PlainSignalHasNoAssertion) {
   ParsedSignal s = parse_signal_name("ALU OUTPUT<0:35>");
   EXPECT_EQ(s.base_name, "ALU OUTPUT<0:35>");

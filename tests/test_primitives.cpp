@@ -120,6 +120,47 @@ TEST(Gates, CombiningTwoChangingInputsFoldsSkew) {
   EXPECT_EQ(r.wave.at(from_ns(40)), V::Zero);
 }
 
+TEST(Gates, SteadyInputResidualSkewDoesNotLeak) {
+  // Sec. 2.8: the carried skew belongs to the (at most one) *changing*
+  // input. A fully steady input that still carries a residual skew field --
+  // e.g. the output of a gate whose inputs settled -- must not donate it to
+  // the combination.
+  Waveform a(P, V::One);
+  a.set_skew(from_ns(5));
+  Waveform b(P, V::Zero);
+  Primitive p = make(PrimKind::Or, 0, 0);
+  auto r = evaluate_primitive(p, {in(a), in(b)}, P);
+  EXPECT_EQ(r.wave.skew(), 0);
+}
+
+TEST(Gates, LaterActiveInputDonatesTheCarriedSkew) {
+  // Three-input fold where only the last input changes: its skew is the
+  // carried one, regardless of a residual field on the steady first input.
+  Waveform a(P, V::Zero);
+  a.set_skew(from_ns(7));
+  Waveform b(P, V::Zero);
+  Waveform c(P, V::Zero);
+  c.set(from_ns(10), from_ns(20), V::One);
+  c.set_skew(from_ns(3));
+  Primitive p = make(PrimKind::Or, 0, 0);
+  auto r = evaluate_primitive(p, {in(a), in(b), in(c)}, P);
+  EXPECT_EQ(r.wave.skew(), from_ns(3));
+}
+
+TEST(Mux, SteadySelectResidualSkewDoesNotLeak) {
+  // The mux follows the same sec. 2.8 seeding rule as the gate fold: only
+  // the active leg's skew is carried.
+  Waveform sel(P, V::Zero);
+  sel.set_skew(from_ns(4));
+  Waveform d0(P, V::Zero);
+  d0.set(from_ns(10), from_ns(20), V::One);
+  d0.set_skew(from_ns(2));
+  Waveform d1(P, V::One);
+  Primitive p = make(PrimKind::Mux2, 0, 0);
+  auto r = evaluate_primitive(p, {in(sel), in(d0), in(d1)}, P);
+  EXPECT_EQ(r.wave.skew(), from_ns(2));
+}
+
 TEST(Gates, NotInvertsAndDelays) {
   Waveform a = clock_pulse(from_ns(10), from_ns(20));
   Primitive p = make(PrimKind::Not, from_ns(2), from_ns(2));
@@ -213,6 +254,20 @@ TEST(Register, UnknownClockGivesUnknown) {
   EXPECT_EQ(r.wave.at(0), V::Unknown);
 }
 
+TEST(Register, AlwaysChangingClockNeverSettles) {
+  // A clock that can change anywhere in the cycle (e.g. an unconstrained
+  // gated clock resolved to CHANGE) has no discrete edge windows. That must
+  // degrade the output to CHANGE -- reporting always-STABLE would hide every
+  // downstream set-up check behind a phantom quiet register.
+  Waveform data(P, V::Zero);
+  data.set(from_ns(10), from_ns(20), V::One);
+  Waveform ck(P, V::Change);
+  Primitive p = make(PrimKind::Reg, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(ck)}, P);
+  EXPECT_TRUE(r.wave.is_constant());
+  EXPECT_EQ(r.wave.at(0), V::Change);
+}
+
 TEST(RegisterSR, SetForcesOne) {
   Waveform data(P, V::Stable);
   Waveform ck = clock_pulse(from_ns(20), from_ns(30));
@@ -264,6 +319,18 @@ TEST(Latch, CapturesDefiniteValueAtFall) {
   auto r = evaluate_primitive(p, {in(data), in(en)}, P);
   EXPECT_EQ(r.wave.at(from_ns(10)), V::One);   // transparent
   EXPECT_EQ(r.wave.at(from_ns(40)), V::One);   // captured 1 held
+}
+
+TEST(Latch, AlwaysChangingEnableNeverSettles) {
+  // Same hazard as Register.AlwaysChangingClockNeverSettles on the held
+  // side: an enable with no discrete falling edge gives the hold no anchor,
+  // so the output may change at any time.
+  Waveform data(P, V::Zero);
+  data.set(from_ns(10), from_ns(20), V::One);
+  Waveform en(P, V::Change);
+  Primitive p = make(PrimKind::Latch, from_ns(1), from_ns(2));
+  auto r = evaluate_primitive(p, {in(data), in(en)}, P);
+  EXPECT_EQ(r.wave.at(from_ns(30)), V::Change);
 }
 
 TEST(Mux, StableSelectIsNotAChange) {

@@ -1,0 +1,147 @@
+// tvfuzz: differential self-checking fuzzer for the Timing Verifier.
+//
+// Runs two oracles over seeded random inputs:
+//   * conservatism: every violation the value-level logic simulator exposes
+//     under sampled realities must be covered by a symbolic violation
+//     (src/check/oracles.hpp);
+//   * wave-algebra: structural and refinement invariants of the sec. 2.8
+//     waveform algebra, including a concrete-replay check of
+//     delayed_rise_fall.
+//
+// On failure the counterexample is shrunk and printed as a paste-into-gtest
+// repro; the exit code is nonzero.
+//
+// Usage:
+//   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--no-shrink] [-v]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/oracles.hpp"
+#include "check/shrinker.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t start = 1;
+  int circuit_seeds = 500;
+  int wave_seeds = 500;
+  bool shrink = true;
+  bool verbose = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--wave N] [--start S] [--smoke] [--no-shrink] [-v]\n"
+               "  --seeds N     differential circuit cases to run (default 500)\n"
+               "  --wave N      waveform-algebra cases to run (default 500)\n"
+               "  --start S     first seed (default 1)\n"
+               "  --smoke       quick CI gate: 120 circuit + 250 wave cases\n"
+               "  --no-shrink   print raw failing specs without minimizing\n"
+               "  -v            per-case progress output\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      out = std::atoi(argv[++i]);
+    };
+    if (a == "--seeds") {
+      next_int(opt.circuit_seeds);
+    } else if (a == "--wave") {
+      next_int(opt.wave_seeds);
+    } else if (a == "--start") {
+      int s = 0;
+      next_int(s);
+      opt.start = static_cast<std::uint64_t>(s);
+    } else if (a == "--smoke") {
+      opt.circuit_seeds = 120;
+      opt.wave_seeds = 250;
+    } else if (a == "--no-shrink") {
+      opt.shrink = false;
+    } else if (a == "-v" || a == "--verbose") {
+      opt.verbose = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  long long sim_runs = 0, sim_violating = 0;
+  int tv_found = 0;
+
+  for (int i = 0; i < opt.circuit_seeds; ++i) {
+    std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+    tv::check::CircuitSpec spec = tv::check::random_spec(seed);
+    tv::check::ConservatismStats stats;
+    auto fail = tv::check::check_conservatism(spec, &stats);
+    sim_runs += stats.sim_runs;
+    sim_violating += stats.sim_violating_runs;
+    if (stats.tv_found) ++tv_found;
+    if (opt.verbose) {
+      std::printf("circuit seed %llu: %d sim runs, %d violating, tv %s\n",
+                  static_cast<unsigned long long>(seed), stats.sim_runs,
+                  stats.sim_violating_runs, stats.tv_found ? "flags" : "clean");
+    }
+    if (!fail) continue;
+    ++failures;
+    std::printf("FAIL circuit seed %llu [%s]\n  %s\n",
+                static_cast<unsigned long long>(seed), fail->kind.c_str(),
+                fail->detail.c_str());
+    if (opt.shrink) {
+      std::string kind = fail->kind;
+      tv::check::CircuitSpec small = tv::check::shrink_circuit(
+          spec, [&](const tv::check::CircuitSpec& s) {
+            auto f = tv::check::check_conservatism(s);
+            return f && f->kind == kind;
+          });
+      std::printf("shrunk repro:\n%s\n", tv::check::gtest_repro(small, kind).c_str());
+    } else {
+      std::printf("repro:\n%s\n", tv::check::gtest_repro(spec, fail->kind).c_str());
+    }
+  }
+
+  for (int i = 0; i < opt.wave_seeds; ++i) {
+    std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+    tv::check::WaveCase wc = tv::check::random_wave_case(seed);
+    auto fail = tv::check::check_wave_algebra(wc);
+    if (opt.verbose) {
+      std::printf("wave seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                  fail ? "FAIL" : "ok");
+    }
+    if (!fail) continue;
+    ++failures;
+    std::printf("FAIL wave seed %llu [%s]\n  %s\n", static_cast<unsigned long long>(seed),
+                fail->kind.c_str(), fail->detail.c_str());
+    if (opt.shrink) {
+      std::string kind = fail->kind;
+      tv::check::WaveCase small =
+          tv::check::shrink_wave(wc, [&](const tv::check::WaveCase& w) {
+            auto f = tv::check::check_wave_algebra(w);
+            return f && f->kind == kind;
+          });
+      std::printf("shrunk repro:\n%s\n", tv::check::gtest_repro(small, kind).c_str());
+    } else {
+      std::printf("repro:\n%s\n", tv::check::gtest_repro(wc, fail->kind).c_str());
+    }
+  }
+
+  std::printf(
+      "tvfuzz: %d circuit cases (%lld sim runs, %lld violating, verifier flagged %d), "
+      "%d wave cases, %d failure%s\n",
+      opt.circuit_seeds, sim_runs, sim_violating, tv_found, opt.wave_seeds, failures,
+      failures == 1 ? "" : "s");
+  return failures ? 1 : 0;
+}
