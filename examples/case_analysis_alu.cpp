@@ -5,49 +5,20 @@
 // with the designer's case file ("BYPASS = 0;" / "BYPASS = 1;") every real
 // configuration meets timing. This is the design style the thesis says
 // *needs* case analysis ("for some design styles, e.g. those in which
-// variable length cycles are used, case analysis is essential").
+// variable length cycles are used, case analysis is essential"). The
+// circuit and its case file are built by example_designs.cpp.
 //
 //   $ ./case_analysis_alu
 #include <cstdio>
 
 #include "core/verifier.hpp"
+#include "example_designs.hpp"
 
 int main() {
   using namespace tv;
 
-  Netlist nl;
-  VerifierOptions opts;
-  opts.period = from_ns(60.0);
-  opts.units = ClockUnits::from_ns_per_unit(10.0);
-  opts.default_wire = WireDelay{0, 0};
-  opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
-
-  Ref operands = nl.ref("OPERANDS .S1-5", 16);  // stable 10..50 ns
-
-  // Slow ALU path (25-32 ns) vs fast bypass (2-4 ns), two stages of it.
-  Ref bypass = nl.ref("BYPASS");
-  Ref alu1 = nl.ref("ALU1 OUT", 16);
-  nl.chg("ALU1", from_ns(25.0), from_ns(32.0), {operands}, alu1, 16);
-  Ref fast1 = nl.ref("BYP1 OUT", 16);
-  nl.buf("BYP1", from_ns(2.0), from_ns(4.0), operands, fast1, 16);
-  Ref stage1 = nl.ref("STAGE1", 16);
-  nl.mux2("SEL1", from_ns(1.0), from_ns(2.0), bypass, alu1, fast1, stage1, 16);
-
-  Ref alu2 = nl.ref("ALU2 OUT", 16);
-  nl.chg("ALU2", from_ns(25.0), from_ns(32.0), {stage1}, alu2, 16);
-  Ref fast2 = nl.ref("BYP2 OUT", 16);
-  nl.buf("BYP2", from_ns(2.0), from_ns(4.0), stage1, fast2, 16);
-  Ref result = nl.ref("RESULT", 16);
-  // Complementary select: when stage 1 used the ALU, stage 2 must bypass
-  // (select high -> fast path, i.e. whenever BYPASS is low).
-  nl.mux2("SEL2", from_ns(1.0), from_ns(2.0), nl.ref("- BYPASS"), alu2, fast2, result, 16);
-
-  Ref ck = nl.ref("CAPTURE CLK .P5.7-6");
-  nl.reg("RESULT REG", from_ns(1.0), from_ns(2.0), result, ck, nl.ref("RESULT Q", 16), 16);
-  nl.setup_hold_chk("RESULT CHK", from_ns(2.0), from_ns(1.0), result, ck, 16);
-  nl.finalize();
-
-  Verifier verifier(nl, opts);
+  examples::ExampleDesign d = examples::case_analysis_alu();
+  Verifier verifier(*d.netlist, d.options);
 
   // Symbolic run: BYPASS is merely STABLE, so the worst case stacks both
   // 32 ns ALU delays -- an impossible 74 ns path in a 60 ns cycle.
@@ -56,11 +27,7 @@ int main() {
   std::printf("%s\n", violations_report(symbolic.violations).c_str());
 
   // Case analysis: the designer declares the two operating modes.
-  std::vector<CaseSpec> cases = {
-      {"BYPASS = 0", {{bypass.id, Value::Zero}}},
-      {"BYPASS = 1", {{bypass.id, Value::One}}},
-  };
-  VerifyResult with_cases = verifier.verify(cases);
+  VerifyResult with_cases = verifier.verify(d.cases);
   std::printf("--- with case analysis ----------------------------------------\n");
   std::size_t case_errors = 0;
   for (const auto& c : with_cases.cases) {

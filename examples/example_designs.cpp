@@ -1,0 +1,334 @@
+#include "example_designs.hpp"
+
+#include "hdl/elaborate.hpp"
+
+namespace tv::examples {
+
+ExampleDesign quickstart() {
+  ExampleDesign d;
+  d.name = "quickstart";
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& nl = *d.netlist;
+
+  // A 40 ns cycle with 4 clock units of 10 ns each. Clock assertions are
+  // written inside signal names, as in SCALD: ".P0-1" is a clock high
+  // during the first clock unit, with the default precision skew of +-1 ns.
+  Ref launch_clk = nl.ref("LAUNCH CLK .P0-1");
+  Ref capture_clk = nl.ref("CAPTURE CLK .P2-3");
+
+  // The launching register: its data input is an interface signal with a
+  // stable assertion -- stable from unit 0 to unit 3, changing afterwards.
+  Ref d0 = nl.ref("DIN .S0-3");
+  Ref q0 = nl.ref("STAGE DATA");
+  nl.reg("LAUNCH REG", from_ns(1.0), from_ns(3.0), d0, launch_clk, q0, /*width=*/8);
+
+  // Two levels of combinational logic; the XOR is slow.
+  Ref mid = nl.ref("MID");
+  nl.and_gate("G1", from_ns(1.0), from_ns(2.5), {q0, nl.ref("EN .S0-4")}, mid, 8);
+  Ref d1 = nl.ref("CAPTURE D");
+  nl.xor_gate("G2 (slow)", from_ns(4.0), from_ns(9.0), {mid, q0}, d1, 8);
+
+  // The capturing register and its set-up/hold constraint (2.0 / 1.0 ns).
+  Ref q1 = nl.ref("DOUT");
+  nl.reg("CAPTURE REG", from_ns(1.0), from_ns(3.0), d1, capture_clk, q1, 8);
+  nl.setup_hold_chk("CAPTURE CHK", from_ns(2.0), from_ns(1.0), d1, capture_clk, 8);
+  nl.finalize();
+
+  d.options.period = from_ns(40.0);
+  d.options.units = ClockUnits::from_ns_per_unit(10.0);
+  d.options.default_wire = WireDelay{0, from_ns(1.0)};
+  return d;
+}
+
+namespace {
+
+const char* kRegfileSource = R"(
+macro RAM_16W_10145A(SIZE) {
+  param in "I<0:SIZE-1>", "A<0:3>", "WE";
+  param out "DO<0:SIZE-1>";
+  setup_hold [setup=4.5, hold=-1.0, width=SIZE] ("I<0:SIZE-1>", "- WE");
+  setup_rise_hold_fall [setup=3.5, hold=1.0, width=4] ("A<0:3>", "WE");
+  min_pulse_width [min_high=4.0] ("WE");
+  chg [delay=3.0:6.0, width=SIZE] ("A<0:3>", "WE") -> "DO<0:SIZE-1>";
+}
+
+macro REG_10176(SIZE) {
+  param in "I<0:SIZE-1>", "CK";
+  param out "Q<0:SIZE-1>";
+  reg [delay=1.5:4.5, width=SIZE] ("I<0:SIZE-1>", "CK") -> "Q<0:SIZE-1>";
+  setup_hold [setup=2.5, hold=1.5, width=SIZE] ("I<0:SIZE-1>", "CK");
+}
+
+design REGFILE_EXAMPLE {
+  period 50.0;
+  clock_unit 6.25;
+  default_wire 0.0:2.0;
+  precision_skew -1.0:1.0;
+
+  buf ("CK .P0-4 &Z") -> "ADR SEL RAW";
+  buf [delay=0.3:1.2] ("ADR SEL RAW") -> "ADR SEL";
+  wire_delay "ADR SEL RAW" 0:0;
+  wire_delay "ADR SEL" 0:0;
+  wire_delay "WRITE ADR .S0-6" 0:0;
+  wire_delay "READ ADR .S4-9" 0:0;
+  mux2 [delay=1.2:3.3, width=4] ("ADR SEL", "READ ADR .S4-9", "WRITE ADR .S0-6")
+      -> "ADR<0:3>";
+  wire_delay "ADR<0:3>" 0.0:6.0;
+
+  and [delay=1.0:2.9] ("CK .P2-3 &H", "WRITE .S0-6") -> "WE";
+  wire_delay "WE" 0:0;
+
+  use RAM_16W_10145A [SIZE=32] ("W DATA .S0-6", "ADR<0:3>", "WE", "RAM OUT<0:31>");
+
+  or [delay=1.0:3.0, width=32] ("RAM OUT<0:31>", "READ EN .S0-8") -> "REG DATA<0:31>";
+  wire_delay "REG DATA<0:31>" 0:0;
+  use REG_10176 [SIZE=32] ("REG DATA<0:31>", "REG CLK .P8-9", "REG OUT<0:31>");
+}
+)";
+
+}  // namespace
+
+ExampleDesign regfile_pipeline() {
+  hdl::ElaboratedDesign design = hdl::elaborate_source(kRegfileSource);
+  ExampleDesign d;
+  d.name = "regfile_pipeline";
+  d.netlist = std::make_shared<Netlist>(std::move(design.netlist));
+  d.options = design.options;
+  d.cases = std::move(design.cases);
+  return d;
+}
+
+ExampleDesign gated_clock(const std::string& enable_assertion, const std::string& name) {
+  ExampleDesign d;
+  d.name = name;
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& nl = *d.netlist;
+  d.options.period = from_ns(50.0);
+  d.options.units = ClockUnits::from_ns_per_unit(1.0);
+  d.options.default_wire = WireDelay{0, 0};
+  d.options.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+
+  // REG CLOCK = CLOCK AND ENABLE; "&A" asserts that ENABLE is stable while
+  // CLOCK is high and lets the clean clock shape propagate.
+  Ref clock = nl.ref("CLOCK .P20-30 &A");
+  Ref enable = nl.ref(enable_assertion);
+  Ref reg_clock = nl.ref("REG CLOCK");
+  nl.and_gate("CLOCK GATE", from_ns(1.0), from_ns(2.0), {clock, enable}, reg_clock);
+
+  nl.reg("REG", from_ns(1.0), from_ns(3.0), nl.ref("DATA .S0-45", 16), reg_clock,
+         nl.ref("Q", 16), 16);
+  nl.setup_hold_chk("REG CHK", from_ns(2.0), from_ns(1.0), nl.ref("DATA .S0-45", 16),
+                    reg_clock, 16);
+  nl.min_pulse_width_chk("REG CK WIDTH", from_ns(4.0), from_ns(4.0), reg_clock);
+  nl.finalize();
+  return d;
+}
+
+ExampleDesign gated_clock_day1() {
+  return gated_clock("ENABLE .S25-70", "gated_clock_day1");
+}
+ExampleDesign gated_clock_day2() {
+  return gated_clock("ENABLE .S15-65", "gated_clock_day2");
+}
+
+ExampleDesign case_analysis_alu() {
+  ExampleDesign d;
+  d.name = "case_analysis_alu";
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& nl = *d.netlist;
+  d.options.period = from_ns(60.0);
+  d.options.units = ClockUnits::from_ns_per_unit(10.0);
+  d.options.default_wire = WireDelay{0, 0};
+  d.options.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+
+  Ref operands = nl.ref("OPERANDS .S1-5", 16);  // stable 10..50 ns
+
+  // Slow ALU path (25-32 ns) vs fast bypass (2-4 ns), two stages of it.
+  Ref bypass = nl.ref("BYPASS");
+  Ref alu1 = nl.ref("ALU1 OUT", 16);
+  nl.chg("ALU1", from_ns(25.0), from_ns(32.0), {operands}, alu1, 16);
+  Ref fast1 = nl.ref("BYP1 OUT", 16);
+  nl.buf("BYP1", from_ns(2.0), from_ns(4.0), operands, fast1, 16);
+  Ref stage1 = nl.ref("STAGE1", 16);
+  nl.mux2("SEL1", from_ns(1.0), from_ns(2.0), bypass, alu1, fast1, stage1, 16);
+
+  Ref alu2 = nl.ref("ALU2 OUT", 16);
+  nl.chg("ALU2", from_ns(25.0), from_ns(32.0), {stage1}, alu2, 16);
+  Ref fast2 = nl.ref("BYP2 OUT", 16);
+  nl.buf("BYP2", from_ns(2.0), from_ns(4.0), stage1, fast2, 16);
+  Ref result = nl.ref("RESULT", 16);
+  // Complementary select: when stage 1 used the ALU, stage 2 must bypass
+  // (select high -> fast path, i.e. whenever BYPASS is low).
+  nl.mux2("SEL2", from_ns(1.0), from_ns(2.0), nl.ref("- BYPASS"), alu2, fast2, result, 16);
+
+  Ref ck = nl.ref("CAPTURE CLK .P5.7-6");
+  nl.reg("RESULT REG", from_ns(1.0), from_ns(2.0), result, ck, nl.ref("RESULT Q", 16), 16);
+  nl.setup_hold_chk("RESULT CHK", from_ns(2.0), from_ns(1.0), result, ck, 16);
+  nl.finalize();
+
+  d.cases = {
+      {"BYPASS = 0", {{bypass.id, Value::Zero}}},
+      {"BYPASS = 1", {{bypass.id, Value::One}}},
+  };
+  return d;
+}
+
+namespace {
+
+VerifierOptions self_timed_options() {
+  VerifierOptions opts;
+  opts.period = from_ns(100.0);
+  opts.units = ClockUnits::from_ns_per_unit(1.0);
+  opts.default_wire = WireDelay{0, from_ns(1.0)};
+  opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  return opts;
+}
+
+}  // namespace
+
+ExampleDesign self_timed_module() {
+  ExampleDesign d;
+  d.name = "self_timed_module";
+  d.options = self_timed_options();
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& module = *d.netlist;
+  Ref req = module.ref("REQ .P10-60");  // the request strobe launches inputs
+  Ref a = module.ref("IN A", 16);
+  Ref b = module.ref("IN B", 16);
+  module.reg("IN REG A", from_ns(1.0), from_ns(2.5), module.ref("RAW A .S0-9", 16), req, a, 16);
+  module.reg("IN REG B", from_ns(1.0), from_ns(2.5), module.ref("RAW B .S0-9", 16), req, b, 16);
+  Ref sum = module.ref("SUM", 16);
+  module.chg("ADDER", from_ns(6.0), from_ns(14.0), {a, b}, sum, 16);
+  Ref result = module.ref("RESULT", 17);
+  module.chg("NORMALIZE", from_ns(3.0), from_ns(8.0), {sum}, result, 17);
+  module.finalize();
+  return d;
+}
+
+double self_timed_module_delay_ns() {
+  ExampleDesign d = self_timed_module();
+  Verifier v(*d.netlist, d.options);
+  v.verify();
+  const Waveform out =
+      d.netlist->signal(d.netlist->ref("RESULT", 17).id).wave.with_skew_incorporated();
+  Time settle = 0;
+  out.settles(from_ns(10), from_ns(90), settle);
+  return to_ns(settle) - 10.0;
+}
+
+ExampleDesign self_timed_timed() {
+  double done_delay_ns = self_timed_module_delay_ns() + 2.0;  // engineering margin
+  ExampleDesign d;
+  d.name = "self_timed_timed";
+  d.options = self_timed_options();
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& timed = *d.netlist;
+  Ref req2 = timed.ref("REQ .P10-60");
+  Ref a2 = timed.ref("IN A", 16);
+  Ref b2 = timed.ref("IN B", 16);
+  timed.reg("IN REG A", from_ns(1.0), from_ns(2.5), timed.ref("RAW A .S0-9", 16), req2, a2, 16);
+  timed.reg("IN REG B", from_ns(1.0), from_ns(2.5), timed.ref("RAW B .S0-9", 16), req2, b2, 16);
+  Ref sum2 = timed.ref("SUM", 16);
+  timed.chg("ADDER", from_ns(6.0), from_ns(14.0), {a2, b2}, sum2, 16);
+  Ref result2 = timed.ref("RESULT", 17);
+  timed.chg("NORMALIZE", from_ns(3.0), from_ns(8.0), {sum2}, result2, 17);
+  Ref done = timed.ref("DONE");
+  timed.buf("DONE DELAY", from_ns(done_delay_ns), from_ns(done_delay_ns), req2, done);
+  timed.set_wire_delay(done.id, 0, 0);
+  timed.setup_hold_chk("HANDSHAKE CHK", from_ns(1.0), from_ns(20.0), result2, done, 17);
+  timed.finalize();
+  return d;
+}
+
+ExampleDesign self_timed_undersized() {
+  ExampleDesign d;
+  d.name = "self_timed_undersized";
+  d.options = self_timed_options();
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& bad = *d.netlist;
+  Ref req3 = bad.ref("REQ .P10-60");
+  Ref a3 = bad.ref("IN A", 16);
+  bad.reg("IN REG A", from_ns(1.0), from_ns(2.5), bad.ref("RAW A .S0-9", 16), req3, a3, 16);
+  Ref sum3 = bad.ref("SUM", 16);
+  bad.chg("ADDER", from_ns(6.0), from_ns(14.0), {a3}, sum3, 16);
+  Ref done3 = bad.ref("DONE");
+  bad.buf("DONE DELAY", from_ns(5.0), from_ns(5.0), req3, done3);  // too fast!
+  bad.set_wire_delay(done3.id, 0, 0);
+  bad.setup_hold_chk("HANDSHAKE CHK", from_ns(1.0), from_ns(20.0), sum3, done3, 16);
+  bad.finalize();
+  return d;
+}
+
+VerifierOptions modular_options() {
+  VerifierOptions opts;
+  opts.period = from_ns(50.0);
+  opts.units = ClockUnits::from_ns_per_unit(6.25);
+  opts.default_wire = WireDelay{0, from_ns(1.0)};
+  opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  return opts;
+}
+
+ExampleDesign modular_execute() {
+  ExampleDesign d;
+  d.name = "modular_execute";
+  d.options = modular_options();
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& execute = *d.netlist;
+  Ref ck = execute.ref("EX CLK .P2-3");
+  Ref operands = execute.ref("EX OPS<0:15> .S0-6", 16);
+  Ref latched = execute.ref("EX LATCHED /M", 16);
+  execute.reg("EX REG", from_ns(1.0), from_ns(3.0), operands, ck, latched, 16);
+  Ref alu = execute.ref("EX ALU OUT /M", 16);
+  execute.chg("EX ALU", from_ns(2.0), from_ns(5.0), {latched}, alu, 16);
+  execute.buf("EX DRV", from_ns(0.5), from_ns(1.5), alu,
+              execute.ref("EX RESULT<0:15> .S4-9", 16), 16);
+  execute.finalize();
+  return d;
+}
+
+ExampleDesign modular_writeback() {
+  ExampleDesign d;
+  d.name = "modular_writeback";
+  d.options = modular_options();
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& writeback = *d.netlist;
+  Ref bus = writeback.ref("EX RESULT<0:15> .S4-9", 16);
+  Ref ck = writeback.ref("WB CLK .P7-8");
+  writeback.reg("WB REG", from_ns(1.0), from_ns(3.0), bus, ck,
+                writeback.ref("WB OUT<0:15>", 16), 16);
+  writeback.setup_hold_chk("WB CHK", from_ns(2.0), from_ns(1.0), bus, ck, 16);
+  writeback.finalize();
+  return d;
+}
+
+ExampleDesign modular_writeback_mismatched() {
+  ExampleDesign d;
+  d.name = "modular_writeback_mismatched";
+  d.options = modular_options();
+  d.netlist = std::make_shared<Netlist>();
+  Netlist& writeback2 = *d.netlist;
+  Ref bus = writeback2.ref("EX RESULT<0:15> .S3-9", 16);  // assumes more!
+  Ref ck = writeback2.ref("WB CLK .P7-8");
+  writeback2.reg("WB REG", from_ns(1.0), from_ns(3.0), bus, ck,
+                 writeback2.ref("WB OUT<0:15>", 16), 16);
+  writeback2.finalize();
+  return d;
+}
+
+std::vector<ExampleDesign> all_example_designs() {
+  std::vector<ExampleDesign> all;
+  all.push_back(quickstart());
+  all.push_back(regfile_pipeline());
+  all.push_back(gated_clock_day1());
+  all.push_back(gated_clock_day2());
+  all.push_back(case_analysis_alu());
+  all.push_back(self_timed_module());
+  all.push_back(self_timed_timed());
+  all.push_back(self_timed_undersized());
+  all.push_back(modular_execute());
+  all.push_back(modular_writeback());
+  all.push_back(modular_writeback_mismatched());
+  return all;
+}
+
+}  // namespace tv::examples

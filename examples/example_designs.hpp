@@ -1,0 +1,59 @@
+// Shared builders for every example design, so the runnable demos and the
+// golden-report regression suite (tests/test_golden_reports.cpp) verify the
+// exact same circuits. Each builder returns a self-contained unit: the
+// finalized netlist, the verifier options, and any case specifications.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/verifier.hpp"
+
+namespace tv::examples {
+
+struct ExampleDesign {
+  std::string name;
+  std::shared_ptr<Netlist> netlist;
+  VerifierOptions options;
+  std::vector<CaseSpec> cases;
+};
+
+/// Quickstart demo: two registers with a deliberately slow XOR path between
+/// them (one expected set-up error).
+ExampleDesign quickstart();
+
+/// The thesis' worked example (Fig 2-5): the 16x32 register file pipeline,
+/// elaborated from SHDL (the two Fig 3-11 set-up errors).
+ExampleDesign regfile_pipeline();
+
+/// Gated-clock hazard (Fig 1-5) with a parameterized enable assertion.
+ExampleDesign gated_clock(const std::string& enable_assertion, const std::string& name);
+ExampleDesign gated_clock_day1();  // enable too late: hazard reported
+ExampleDesign gated_clock_day2();  // enable path shortened: clean
+
+/// Variable-path ALU bypass (sec. 2.7) with its two-entry case file.
+ExampleDesign case_analysis_alu();
+
+/// Self-timed module (sec. 4.2.1), step 1: the module to be measured.
+ExampleDesign self_timed_module();
+/// The module's measured settle delay after the request edge, in ns
+/// (deterministic: obtained by running the verifier on the module).
+double self_timed_module_delay_ns();
+/// Step 3: the module plus a DONE delay line sized from the measurement
+/// (plus 2 ns margin); the handshake check passes.
+ExampleDesign self_timed_timed();
+/// Cross-check: an undersized (5 ns) delay line; the handshake check fails.
+ExampleDesign self_timed_undersized();
+
+/// Section-by-section verification (sec. 2.5.2): the two sections and the
+/// mismatched-consumer variant, each verifiable standalone.
+VerifierOptions modular_options();
+ExampleDesign modular_execute();
+ExampleDesign modular_writeback();
+ExampleDesign modular_writeback_mismatched();
+
+/// Every unit above, flattened in a fixed order for the golden suite.
+std::vector<ExampleDesign> all_example_designs();
+
+}  // namespace tv::examples

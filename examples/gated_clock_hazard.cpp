@@ -2,55 +2,35 @@
 // enable that arrives too late. Shows the "&A" evaluation directive
 // catching the hazard, then the corrected design passing -- the day-by-day
 // design loop the thesis advocates ("advance the design for about a day,
-// then ... check all of the timing constraints").
+// then ... check all of the timing constraints"). The circuits are built by
+// example_designs.cpp, shared with the golden-report suite.
 //
 //   $ ./gated_clock_hazard
 #include <cstdio>
 
 #include "core/verifier.hpp"
+#include "example_designs.hpp"
 
 namespace {
 
-std::size_t check(const char* enable_assertion, bool print) {
+std::size_t check(tv::examples::ExampleDesign d, const char* enable_assertion) {
   using namespace tv;
-  Netlist nl;
-  VerifierOptions opts;
-  opts.period = from_ns(50.0);
-  opts.units = ClockUnits::from_ns_per_unit(1.0);
-  opts.default_wire = WireDelay{0, 0};
-  opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
-
-  // REG CLOCK = CLOCK AND ENABLE; "&A" asserts that ENABLE is stable while
-  // CLOCK is high and lets the clean clock shape propagate.
-  Ref clock = nl.ref("CLOCK .P20-30 &A");
-  Ref enable = nl.ref(enable_assertion);
-  Ref reg_clock = nl.ref("REG CLOCK");
-  nl.and_gate("CLOCK GATE", from_ns(1.0), from_ns(2.0), {clock, enable}, reg_clock);
-
-  nl.reg("REG", from_ns(1.0), from_ns(3.0), nl.ref("DATA .S0-45", 16), reg_clock,
-         nl.ref("Q", 16), 16);
-  nl.setup_hold_chk("REG CHK", from_ns(2.0), from_ns(1.0), nl.ref("DATA .S0-45", 16),
-                    reg_clock, 16);
-  nl.min_pulse_width_chk("REG CK WIDTH", from_ns(4.0), from_ns(4.0), reg_clock);
-  nl.finalize();
-
-  Verifier verifier(nl, opts);
+  Verifier verifier(*d.netlist, d.options);
   VerifyResult r = verifier.verify();
-  if (print) {
-    std::printf("ENABLE = \"%s\":\n", enable_assertion);
-    std::printf("%s\n", violations_report(r.violations).c_str());
-  }
+  std::printf("ENABLE = \"%s\":\n", enable_assertion);
+  std::printf("%s\n", violations_report(r.violations).c_str());
   return r.violations.size();
 }
 
 }  // namespace
 
 int main() {
+  using namespace tv;
   std::printf("--- day 1: enable generated too late -------------------------\n");
-  std::size_t buggy = check("ENABLE .S25-70", true);
+  std::size_t buggy = check(examples::gated_clock_day1(), "ENABLE .S25-70");
 
   std::printf("--- day 2: enable path shortened, stable from 15 ns ----------\n");
-  std::size_t fixed = check("ENABLE .S15-65", true);
+  std::size_t fixed = check(examples::gated_clock_day2(), "ENABLE .S15-65");
 
   std::printf("day 1 errors: %zu, day 2 errors: %zu\n", buggy, fixed);
   return (buggy > 0 && fixed == 0) ? 0 : 1;

@@ -3,49 +3,24 @@
 // verified on its own; SCALD-style interface checking then establishes the
 // whole-design guarantee: "If no section ... has a timing error and if all
 // of the interface signals ... have consistent assertions on them, then the
-// entire design must be free of timing errors."
+// entire design must be free of timing errors." The section netlists are
+// built by example_designs.cpp, shared with the golden-report suite.
 //
 //   $ ./modular_verification
 #include <cstdio>
 
 #include "core/modular.hpp"
+#include "example_designs.hpp"
 
 int main() {
   using namespace tv;
 
-  VerifierOptions opts;
-  opts.period = from_ns(50.0);
-  opts.units = ClockUnits::from_ns_per_unit(6.25);
-  opts.default_wire = WireDelay{0, from_ns(1.0)};
-  opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  VerifierOptions opts = examples::modular_options();
+  examples::ExampleDesign execute = examples::modular_execute();
+  examples::ExampleDesign writeback = examples::modular_writeback();
 
-  // Designer A: the execute unit. Produces "EX RESULT<0:15> .S4-9" --
-  // the assertion promises stability from unit 4 through unit 1 of the
-  // next cycle.
-  Netlist execute;
-  {
-    Ref ck = execute.ref("EX CLK .P2-3");
-    Ref operands = execute.ref("EX OPS<0:15> .S0-6", 16);
-    Ref latched = execute.ref("EX LATCHED /M", 16);
-    execute.reg("EX REG", from_ns(1.0), from_ns(3.0), operands, ck, latched, 16);
-    Ref alu = execute.ref("EX ALU OUT /M", 16);
-    execute.chg("EX ALU", from_ns(2.0), from_ns(5.0), {latched}, alu, 16);
-    execute.buf("EX DRV", from_ns(0.5), from_ns(1.5), alu,
-                execute.ref("EX RESULT<0:15> .S4-9", 16), 16);
-  }
-
-  // Designer B: the writeback unit. Consumes the bus under the *same*
-  // assertion and checks set-up into its own register.
-  Netlist writeback;
-  {
-    Ref bus = writeback.ref("EX RESULT<0:15> .S4-9", 16);
-    Ref ck = writeback.ref("WB CLK .P7-8");
-    writeback.reg("WB REG", from_ns(1.0), from_ns(3.0), bus, ck,
-                  writeback.ref("WB OUT<0:15>", 16), 16);
-    writeback.setup_hold_chk("WB CHK", from_ns(2.0), from_ns(1.0), bus, ck, 16);
-  }
-
-  std::vector<Section> sections = {{"EXECUTE", &execute, {}}, {"WRITEBACK", &writeback, {}}};
+  std::vector<Section> sections = {{"EXECUTE", execute.netlist.get(), {}},
+                                   {"WRITEBACK", writeback.netlist.get(), {}}};
   ModularResult r = verify_modular(sections, opts);
 
   for (const auto& sec : r.sections) {
@@ -67,14 +42,9 @@ int main() {
   // Now demonstrate what happens when designer B assumes a *different*
   // assertion: the interface check catches it even though both sections
   // are individually clean.
-  Netlist writeback2;
-  {
-    Ref bus = writeback2.ref("EX RESULT<0:15> .S3-9", 16);  // assumes more!
-    Ref ck = writeback2.ref("WB CLK .P7-8");
-    writeback2.reg("WB REG", from_ns(1.0), from_ns(3.0), bus, ck,
-                   writeback2.ref("WB OUT<0:15>", 16), 16);
-  }
-  std::vector<Section> bad = {{"EXECUTE", &execute, {}}, {"WRITEBACK-v2", &writeback2, {}}};
+  examples::ExampleDesign writeback2 = examples::modular_writeback_mismatched();
+  std::vector<Section> bad = {{"EXECUTE", execute.netlist.get(), {}},
+                              {"WRITEBACK-v2", writeback2.netlist.get(), {}}};
   ModularResult r2 = verify_modular(bad, opts);
   std::printf("\nwith a mismatched consumer assertion: %zu interface issue(s):\n",
               r2.interface_issues.size());

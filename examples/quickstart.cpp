@@ -3,51 +3,23 @@
 //
 //   $ ./quickstart
 //
-// The circuit: a register launches data at the start of the cycle, the data
-// passes two gates, and a second register captures it near the end. One
-// path is deliberately too slow, so the verifier reports a set-up error.
+// The circuit (built in example_designs.cpp): a register launches data at
+// the start of the cycle, the data passes two gates, and a second register
+// captures it near the end. One path is deliberately too slow, so the
+// verifier reports a set-up error.
 #include <cstdio>
 
 #include "core/verifier.hpp"
+#include "example_designs.hpp"
 
 int main() {
   using namespace tv;
 
-  Netlist nl;
-
-  // A 40 ns cycle with 4 clock units of 10 ns each. Clock assertions are
-  // written inside signal names, as in SCALD: ".P0-1" is a clock high
-  // during the first clock unit, with the default precision skew of +-1 ns.
-  Ref launch_clk = nl.ref("LAUNCH CLK .P0-1");
-  Ref capture_clk = nl.ref("CAPTURE CLK .P2-3");
-
-  // The launching register: its data input is an interface signal with a
-  // stable assertion -- stable from unit 0 to unit 3, changing afterwards.
-  Ref d0 = nl.ref("DIN .S0-3");
-  Ref q0 = nl.ref("STAGE DATA");
-  nl.reg("LAUNCH REG", from_ns(1.0), from_ns(3.0), d0, launch_clk, q0, /*width=*/8);
-
-  // Two levels of combinational logic; the XOR is slow.
-  Ref mid = nl.ref("MID");
-  nl.and_gate("G1", from_ns(1.0), from_ns(2.5), {q0, nl.ref("EN .S0-4")}, mid, 8);
-  Ref d1 = nl.ref("CAPTURE D");
-  nl.xor_gate("G2 (slow)", from_ns(4.0), from_ns(9.0), {mid, q0}, d1, 8);
-
-  // The capturing register and its set-up/hold constraint (2.0 / 1.0 ns).
-  Ref q1 = nl.ref("DOUT");
-  nl.reg("CAPTURE REG", from_ns(1.0), from_ns(3.0), d1, capture_clk, q1, 8);
-  nl.setup_hold_chk("CAPTURE CHK", from_ns(2.0), from_ns(1.0), d1, capture_clk, 8);
-  nl.finalize();
-
-  VerifierOptions opts;
-  opts.period = from_ns(40.0);
-  opts.units = ClockUnits::from_ns_per_unit(10.0);
-  opts.default_wire = WireDelay{0, from_ns(1.0)};
-
-  Verifier verifier(nl, opts);
+  examples::ExampleDesign d = examples::quickstart();
+  Verifier verifier(*d.netlist, d.options);
   VerifyResult result = verifier.verify();
 
-  std::printf("%s\n", timing_summary(nl).c_str());
+  std::printf("%s\n", timing_summary(*d.netlist).c_str());
   std::printf("%s", violations_report(result.violations).c_str());
   std::printf("\nevents processed: %zu, converged: %s\n", result.base_events,
               result.converged ? "yes" : "no");

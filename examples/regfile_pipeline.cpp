@@ -2,69 +2,24 @@
 // description language and verified end-to-end: a 16-word by 32-bit
 // register file, an address multiplexer driven by a clock, a gated write
 // enable with an "&H" hazard check, and an output register. Produces the
-// Fig 3-10 signal listing and the two Fig 3-11 set-up errors.
+// Fig 3-10 signal listing and the two Fig 3-11 set-up errors. The SHDL
+// source lives in example_designs.cpp, shared with the golden-report suite.
 //
 //   $ ./regfile_pipeline
 #include <cstdio>
 
 #include "core/verifier.hpp"
-#include "hdl/elaborate.hpp"
-
-static const char* kSource = R"(
-macro RAM_16W_10145A(SIZE) {
-  param in "I<0:SIZE-1>", "A<0:3>", "WE";
-  param out "DO<0:SIZE-1>";
-  setup_hold [setup=4.5, hold=-1.0, width=SIZE] ("I<0:SIZE-1>", "- WE");
-  setup_rise_hold_fall [setup=3.5, hold=1.0, width=4] ("A<0:3>", "WE");
-  min_pulse_width [min_high=4.0] ("WE");
-  chg [delay=3.0:6.0, width=SIZE] ("A<0:3>", "WE") -> "DO<0:SIZE-1>";
-}
-
-macro REG_10176(SIZE) {
-  param in "I<0:SIZE-1>", "CK";
-  param out "Q<0:SIZE-1>";
-  reg [delay=1.5:4.5, width=SIZE] ("I<0:SIZE-1>", "CK") -> "Q<0:SIZE-1>";
-  setup_hold [setup=2.5, hold=1.5, width=SIZE] ("I<0:SIZE-1>", "CK");
-}
-
-design REGFILE_EXAMPLE {
-  period 50.0;
-  clock_unit 6.25;
-  default_wire 0.0:2.0;
-  precision_skew -1.0:1.0;
-
-  buf ("CK .P0-4 &Z") -> "ADR SEL RAW";
-  buf [delay=0.3:1.2] ("ADR SEL RAW") -> "ADR SEL";
-  wire_delay "ADR SEL RAW" 0:0;
-  wire_delay "ADR SEL" 0:0;
-  wire_delay "WRITE ADR .S0-6" 0:0;
-  wire_delay "READ ADR .S4-9" 0:0;
-  mux2 [delay=1.2:3.3, width=4] ("ADR SEL", "READ ADR .S4-9", "WRITE ADR .S0-6")
-      -> "ADR<0:3>";
-  wire_delay "ADR<0:3>" 0.0:6.0;
-
-  and [delay=1.0:2.9] ("CK .P2-3 &H", "WRITE .S0-6") -> "WE";
-  wire_delay "WE" 0:0;
-
-  use RAM_16W_10145A [SIZE=32] ("W DATA .S0-6", "ADR<0:3>", "WE", "RAM OUT<0:31>");
-
-  or [delay=1.0:3.0, width=32] ("RAM OUT<0:31>", "READ EN .S0-8") -> "REG DATA<0:31>";
-  wire_delay "REG DATA<0:31>" 0:0;
-  use REG_10176 [SIZE=32] ("REG DATA<0:31>", "REG CLK .P8-9", "REG OUT<0:31>");
-}
-)";
+#include "example_designs.hpp"
 
 int main() {
   using namespace tv;
-  hdl::ElaboratedDesign design = hdl::elaborate_source(kSource);
-  std::printf("design %s: %zu primitives from %zu macro instances\n\n",
-              design.name.c_str(), design.summary.primitives,
-              design.summary.macro_instances);
+  examples::ExampleDesign d = examples::regfile_pipeline();
+  std::printf("design REGFILE_EXAMPLE: %zu primitives\n\n", d.netlist->num_prims());
 
-  Verifier verifier(design.netlist, design.options);
-  VerifyResult result = verifier.verify(design.cases);
+  Verifier verifier(*d.netlist, d.options);
+  VerifyResult result = verifier.verify(d.cases);
 
-  std::printf("%s\n", timing_summary(design.netlist).c_str());
+  std::printf("%s\n", timing_summary(*d.netlist).c_str());
   std::printf("%s", violations_report(result.violations).c_str());
   std::printf("\nExpected: the two Fig 3-11 errors (address set-up missed by the\n"
               "full 3.5 ns at 11.5 ns; register set-up of 2.5 ns missed by 1.0 ns\n"

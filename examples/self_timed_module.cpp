@@ -7,89 +7,40 @@
 // This example runs the verifier on a combinational module (an ALU-like
 // CHG network), reads off the settle time of its outputs, sizes the "done"
 // delay line accordingly, and then *re-verifies* that the done signal
-// always trails data validity.
+// always trails data validity. The circuits are built by
+// example_designs.cpp, shared with the golden-report suite.
 //
 //   $ ./self_timed_module
 #include <cstdio>
 
 #include "core/verifier.hpp"
+#include "example_designs.hpp"
 
 int main() {
   using namespace tv;
 
-  VerifierOptions opts;
-  opts.period = from_ns(100.0);
-  opts.units = ClockUnits::from_ns_per_unit(1.0);
-  opts.default_wire = WireDelay{0, from_ns(1.0)};
-  opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
-
   // --- step 1: measure the module with the Timing Verifier ---------------
-  Netlist module;
-  Ref req = module.ref("REQ .P10-60");  // the request strobe launches inputs
-  Ref a = module.ref("IN A", 16);
-  Ref b = module.ref("IN B", 16);
-  module.reg("IN REG A", from_ns(1.0), from_ns(2.5), module.ref("RAW A .S0-9", 16), req, a, 16);
-  module.reg("IN REG B", from_ns(1.0), from_ns(2.5), module.ref("RAW B .S0-9", 16), req, b, 16);
-  Ref sum = module.ref("SUM", 16);
-  module.chg("ADDER", from_ns(6.0), from_ns(14.0), {a, b}, sum, 16);
-  Ref result = module.ref("RESULT", 17);
-  module.chg("NORMALIZE", from_ns(3.0), from_ns(8.0), {sum}, result, 17);
-  module.finalize();
-
-  Verifier v(module, opts);
-  v.verify();
-  const Waveform& out = module.signal(result.id).wave.with_skew_incorporated();
-
-  // When does RESULT settle after the 10 ns request edge?
-  Time settle = 0;
-  bool ok = out.settles(from_ns(10), from_ns(90), settle);
-  double module_delay_ns = to_ns(settle) - 10.0;
+  double module_delay_ns = examples::self_timed_module_delay_ns();
   std::printf("module output settles %.1f ns after the request edge\n", module_delay_ns);
-  if (!ok) return 1;
+  if (module_delay_ns <= 0) return 1;
 
   // --- step 2: size the done-delay line with margin -----------------------
-  double done_delay_ns = module_delay_ns + 2.0;  // 2 ns engineering margin
-  std::printf("sizing the DONE delay line at %.1f ns\n\n", done_delay_ns);
+  std::printf("sizing the DONE delay line at %.1f ns\n\n", module_delay_ns + 2.0);
 
   // --- step 3: re-verify that DONE always trails data validity -----------
   // DONE is the request delayed by the sized line; the handshake contract
   // is that data is stable when DONE rises (1 ns set-up margin) and stays
   // stable while the consumer reads it (20 ns hold).
-  Netlist timed;
-  Ref req2 = timed.ref("REQ .P10-60");
-  Ref a2 = timed.ref("IN A", 16);
-  Ref b2 = timed.ref("IN B", 16);
-  timed.reg("IN REG A", from_ns(1.0), from_ns(2.5), timed.ref("RAW A .S0-9", 16), req2, a2, 16);
-  timed.reg("IN REG B", from_ns(1.0), from_ns(2.5), timed.ref("RAW B .S0-9", 16), req2, b2, 16);
-  Ref sum2 = timed.ref("SUM", 16);
-  timed.chg("ADDER", from_ns(6.0), from_ns(14.0), {a2, b2}, sum2, 16);
-  Ref result2 = timed.ref("RESULT", 17);
-  timed.chg("NORMALIZE", from_ns(3.0), from_ns(8.0), {sum2}, result2, 17);
-  Ref done = timed.ref("DONE");
-  timed.buf("DONE DELAY", from_ns(done_delay_ns), from_ns(done_delay_ns), req2, done);
-  timed.set_wire_delay(done.id, 0, 0);
-  timed.setup_hold_chk("HANDSHAKE CHK", from_ns(1.0), from_ns(20.0), result2, done, 17);
-  timed.finalize();
-
-  Verifier v2(timed, opts);
+  examples::ExampleDesign timed = examples::self_timed_timed();
+  Verifier v2(*timed.netlist, timed.options);
   VerifyResult r = v2.verify();
   std::printf("%s", violations_report(r.violations).c_str());
   std::printf("\nDONE trails data with margin: %s\n",
               r.violations.empty() ? "VERIFIED" : "VIOLATED");
 
   // Cross-check: an undersized delay line must fail.
-  Netlist bad;
-  Ref req3 = bad.ref("REQ .P10-60");
-  Ref a3 = bad.ref("IN A", 16);
-  bad.reg("IN REG A", from_ns(1.0), from_ns(2.5), bad.ref("RAW A .S0-9", 16), req3, a3, 16);
-  Ref sum3 = bad.ref("SUM", 16);
-  bad.chg("ADDER", from_ns(6.0), from_ns(14.0), {a3}, sum3, 16);
-  Ref done3 = bad.ref("DONE");
-  bad.buf("DONE DELAY", from_ns(5.0), from_ns(5.0), req3, done3);  // too fast!
-  bad.set_wire_delay(done3.id, 0, 0);
-  bad.setup_hold_chk("HANDSHAKE CHK", from_ns(1.0), from_ns(20.0), sum3, done3, 16);
-  bad.finalize();
-  Verifier v3(bad, opts);
+  examples::ExampleDesign bad = examples::self_timed_undersized();
+  Verifier v3(*bad.netlist, bad.options);
   VerifyResult r3 = v3.verify();
   std::printf("undersized delay line flagged: %s\n", r3.violations.empty() ? "NO" : "YES");
 

@@ -91,6 +91,15 @@ struct WaveCase {
 WaveCase random_wave_case(std::uint64_t seed);
 std::optional<Failure> check_wave_algebra(const WaveCase& wc);
 
+// --- interning/memoization differential ------------------------------------
+
+/// Runs the spec's circuit twice -- waveform interning + evaluation
+/// memo-cache on, then off -- and fails (kind "memo-diff") on any divergence
+/// in waveforms, evaluation strings, event counts, convergence, violation
+/// reports, or per-case results. The two modes must be bit-identical; this
+/// is tvfuzz's --memo-diff oracle.
+std::optional<Failure> check_memo_equivalence(const CircuitSpec& spec);
+
 /// Renders the case as C++ statements building a `tv::check::WaveCase w;`.
 std::string to_cpp(const WaveCase& wc);
 

@@ -49,11 +49,26 @@ Evaluator::Evaluator(Netlist& nl, VerifierOptions opts) : nl_(nl), opts_(opts) {
   in_worklist_.assign(nl.num_prims(), 0);
   eval_count_.assign(nl.num_prims(), 0);
   case_map_.assign(nl.num_signals(), -1);
+  if (opts_.interning) intern_ = std::make_shared<InternContext>();
+  wave_refs_.assign(nl.num_signals(), kNoWaveform);
 }
 
 void Evaluator::seed_signal(SignalId id) {
   Signal& s = nl_.signal(id);
-  s.wave = apply_case_map(id, seed_waveform(s, opts_));
+  Waveform w = apply_case_map(id, seed_waveform(s, opts_));
+  // Seeds are canonicalized in both modes so evaluation -- and every report
+  // downstream -- is byte-identical with interning on or off.
+  w.canonicalize();
+  if (intern_) {
+    if (wave_refs_.size() < nl_.num_signals()) {
+      wave_refs_.resize(nl_.num_signals(), kNoWaveform);
+    }
+    WaveformRef ref = intern_->table.intern(w);
+    wave_refs_[id] = ref;
+    s.wave = intern_->table.get(ref);
+  } else {
+    s.wave = std::move(w);
+  }
   s.eval_str.clear();
 }
 
@@ -73,6 +88,7 @@ void Evaluator::initialize() {
   eval_count_.assign(nl_.num_prims(), 0);
   case_map_.assign(nl_.num_signals(), -1);
   case_pins_.clear();
+  wave_refs_.assign(nl_.num_signals(), kNoWaveform);
   for (SignalId id = 0; id < nl_.num_signals(); ++id) seed_signal(id);
   for (PrimId pid = 0; pid < nl_.num_prims(); ++pid) {
     if (!prim_is_checker(nl_.prim(pid).kind)) enqueue(pid);
@@ -96,13 +112,37 @@ PreparedInput Evaluator::prepare(const Pin& pin) const {
   return prepare_input(pin, s, s.wave, s.eval_str, opts_);
 }
 
+bool Evaluator::build_memo_key(const Primitive& p, MemoKey& key) const {
+  return tv::build_memo_key(
+      p, nl_, opts_, [this](SignalId id) { return wave_ref(id); },
+      [this](SignalId id) -> const std::string& { return nl_.signal(id).eval_str; },
+      key);
+}
+
 void Evaluator::assign(SignalId id, Waveform w, std::string eval_str, bool& changed) {
   Signal& s = nl_.signal(id);
   w = apply_case_map(id, std::move(w));
-  changed = !(w == s.wave) || eval_str != s.eval_str;
-  if (changed) {
-    s.wave = std::move(w);
-    s.eval_str = std::move(eval_str);
+  // Canonical form in both modes: the convergence test below is then the
+  // same predicate whether expressed as a ref compare or a deep compare
+  // (Waveform::equivalent), and reports match byte-for-byte across modes.
+  w.canonicalize();
+  if (intern_) {
+    if (wave_refs_.size() < nl_.num_signals()) {
+      wave_refs_.resize(nl_.num_signals(), kNoWaveform);
+    }
+    WaveformRef ref = intern_->table.intern(std::move(w));
+    changed = ref != wave_refs_[id] || eval_str != s.eval_str;
+    if (changed) {
+      wave_refs_[id] = ref;
+      s.wave = intern_->table.get(ref);
+      s.eval_str = std::move(eval_str);
+    }
+  } else {
+    changed = !(w == s.wave) || eval_str != s.eval_str;
+    if (changed) {
+      s.wave = std::move(w);
+      s.eval_str = std::move(eval_str);
+    }
   }
 }
 
@@ -122,11 +162,29 @@ std::size_t Evaluator::run_worklist() {
     }
     ++evals_;
 
+    bool changed = false;
+    MemoKey key;
+    bool keyed = intern_ && build_memo_key(p, key);
+    if (keyed) {
+      if (std::optional<MemoResult> hit = intern_->memo.lookup(key)) {
+        // The memo stores the raw evaluation result (pre case-mapping);
+        // assign() re-applies the active case map, which is case-local.
+        assign(p.output, intern_->table.get(hit->wave), hit->eval_str, changed);
+        if (changed) {
+          ++events_;
+          enqueue_fanout(p.output);
+        }
+        continue;
+      }
+    }
     std::vector<PreparedInput> ins;
     ins.reserve(p.inputs.size());
     for (const Pin& pin : p.inputs) ins.push_back(prepare(pin));
     PrimEvalResult r = evaluate_primitive(p, ins, opts_.period);
-    bool changed = false;
+    if (keyed) {
+      WaveformRef out = intern_->table.intern(r.wave);
+      intern_->memo.store(key, MemoResult{out, r.eval_str});
+    }
     assign(p.output, std::move(r.wave), std::move(r.eval_str), changed);
     if (changed) {
       ++events_;

@@ -12,10 +12,12 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/netlist.hpp"
 #include "core/primitives.hpp"
+#include "core/wave_table.hpp"
 
 namespace tv {
 
@@ -34,6 +36,11 @@ struct VerifierOptions {
   /// are independent and results are identical for every job count.
   /// 0 = one thread per hardware core.
   unsigned jobs = 1;
+  /// Hash-consed waveform interning + evaluation memo-cache (wave_table.hpp).
+  /// Reports are byte-identical either way (both modes evaluate canonical
+  /// waveforms); off turns every intern/memo lookup into the legacy deep
+  /// compare, which the golden suite and tvfuzz --memo-diff exploit.
+  bool interning = true;
 };
 
 /// One case for case analysis (sec. 2.7.1): each named signal has its
@@ -57,6 +64,46 @@ Waveform seed_waveform(const Signal& s, const VerifierOptions& opts);
 PreparedInput prepare_input(const Pin& pin, const Signal& s, const Waveform& wave,
                             const std::string& eval_str, const VerifierOptions& opts);
 
+/// Builds the memo-cache key for one primitive evaluation. `ref_of(sig)`
+/// yields the interned ref of the signal's current waveform (kNoWaveform if
+/// it has none -- the call then returns false and the caller must evaluate
+/// uncached); `str_of(sig)` yields its current evaluation string. The key
+/// captures everything evaluate_primitive and prepare_input consume beyond
+/// the fixed per-run options: kind, delay parameters, and per-pin (waveform
+/// ref, inversion, wire delay, resolved directive string). Shared by the
+/// Evaluator and the case-snapshot runner so both populate one cache.
+template <class RefOf, class StrOf>
+bool build_memo_key(const Primitive& p, const Netlist& nl,
+                    const VerifierOptions& opts, RefOf&& ref_of, StrOf&& str_of,
+                    MemoKey& key) {
+  key.kind = static_cast<std::uint8_t>(p.kind);
+  key.dmin = p.dmin;
+  key.dmax = p.dmax;
+  key.has_rise_fall = p.rise_fall.has_value();
+  if (p.rise_fall) {
+    key.rise_fall = {p.rise_fall->rise_min, p.rise_fall->rise_max,
+                     p.rise_fall->fall_min, p.rise_fall->fall_max};
+  } else {
+    key.rise_fall = {};
+  }
+  key.pins.clear();
+  key.pins.reserve(p.inputs.size());
+  for (const Pin& pin : p.inputs) {
+    WaveformRef r = ref_of(pin.sig);
+    if (r == kNoWaveform) return false;
+    const Signal& s = nl.signal(pin.sig);
+    WireDelay wd = s.wire_delay.value_or(opts.default_wire);
+    MemoPin mp;
+    mp.wave = r;
+    mp.invert = pin.invert;
+    mp.wire_min = wd.dmin;
+    mp.wire_max = wd.dmax;
+    mp.dirs = !pin.directives.empty() ? pin.directives : str_of(pin.sig);
+    key.pins.push_back(std::move(mp));
+  }
+  return true;
+}
+
 class Evaluator {
  public:
   Evaluator(Netlist& nl, VerifierOptions opts);
@@ -78,6 +125,16 @@ class Evaluator {
   std::size_t clear_case();
 
   const Waveform& wave(SignalId id) const { return nl_.signal(id).wave; }
+  /// Interned ref of the signal's current waveform; kNoWaveform when
+  /// interning is off or the signal was created after the last initialize().
+  WaveformRef wave_ref(SignalId id) const {
+    return id < wave_refs_.size() ? wave_refs_[id] : kNoWaveform;
+  }
+  /// The shared interning state (arena + memo); null when interning is off.
+  /// Case snapshots borrow it, so it must outlive them -- the Evaluator
+  /// keeps it alive for its own lifetime.
+  const std::shared_ptr<InternContext>& intern_context() const { return intern_; }
+  const std::vector<WaveformRef>& wave_refs() const { return wave_refs_; }
   bool converged() const { return converged_; }
   std::size_t events_processed() const { return events_; }
   std::size_t evals_performed() const { return evals_; }
@@ -98,9 +155,12 @@ class Evaluator {
   void enqueue_fanout(SignalId id);
   std::size_t run_worklist();
   void assign(SignalId id, Waveform w, std::string eval_str, bool& changed);
+  bool build_memo_key(const Primitive& p, MemoKey& key) const;
 
   Netlist& nl_;
   VerifierOptions opts_;
+  std::shared_ptr<InternContext> intern_;  // null when interning is off
+  std::vector<WaveformRef> wave_refs_;     // per-signal interned wave
   std::deque<PrimId> worklist_;
   std::vector<char> in_worklist_;
   std::vector<std::size_t> eval_count_;

@@ -6,17 +6,37 @@
 namespace tv {
 
 EvalSnapshot::EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone)
-    : nl_(nl), cone_(std::move(cone)) {
+    : EvalSnapshot(nl, std::move(cone), nullptr, nullptr) {}
+
+EvalSnapshot::EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone,
+                           InternContext* ctx,
+                           const std::vector<WaveformRef>* base_refs)
+    : nl_(nl), cone_(std::move(cone)), intern_(ctx), base_refs_(base_refs) {
   waves_.resize(cone_->signals.size());
   eval_strs_.resize(cone_->signals.size());
+  refs_.assign(cone_->signals.size(), kNoWaveform);
   written_.assign(cone_->signals.size(), 0);
 }
 
 void EvalSnapshot::set(SignalId id, Waveform w, std::string eval_str) {
+  if (intern_) {
+    set_ref(id, intern_->table.intern(std::move(w)), std::move(eval_str));
+    return;
+  }
   std::int32_t slot = cone_->signal_slot[id];
   if (slot < 0) throw std::logic_error("EvalSnapshot::set outside the cone");
+  w.canonicalize();
   waves_[slot] = std::move(w);
   eval_strs_[slot] = std::move(eval_str);
+  written_[slot] = 1;
+}
+
+void EvalSnapshot::set_ref(SignalId id, WaveformRef ref, std::string eval_str) {
+  std::int32_t slot = cone_->signal_slot[id];
+  if (slot < 0) throw std::logic_error("EvalSnapshot::set outside the cone");
+  waves_[slot] = intern_->table.get(ref);
+  eval_strs_[slot] = std::move(eval_str);
+  refs_[slot] = ref;
   written_[slot] = 1;
 }
 
@@ -52,7 +72,8 @@ class CaseRunner {
         enqueue(s.driver);  // driver recomputes; assign() applies the mapping
       } else {
         Waveform seeded = apply_case_map(sig, seed_waveform(s, opts_));
-        if (!(seeded == before)) {
+        seeded.canonicalize();
+        if (!seeded.equivalent(before)) {
           snap_.set(sig, std::move(seeded), std::string());
           ++stats_.events;
           enqueue_fanout(sig);
@@ -69,6 +90,26 @@ class CaseRunner {
   }
 
  private:
+  /// Applies the case map, canonicalizes, and writes the output if it
+  /// changed -- the change test is a ref compare when interning is on and
+  /// the equivalent() deep compare otherwise (the same predicate).
+  void commit(SignalId out, Waveform w, std::string eval_str) {
+    w = apply_case_map(out, std::move(w));
+    w.canonicalize();
+    if (InternContext* ctx = snap_.intern_context()) {
+      WaveformRef ref = ctx->table.intern(std::move(w));
+      if (ref != snap_.wave_ref(out) || eval_str != snap_.eval_str(out)) {
+        snap_.set_ref(out, ref, std::move(eval_str));
+        ++stats_.events;
+        enqueue_fanout(out);
+      }
+    } else if (!w.equivalent(snap_.wave(out)) || eval_str != snap_.eval_str(out)) {
+      snap_.set(out, std::move(w), std::move(eval_str));
+      ++stats_.events;
+      enqueue_fanout(out);
+    }
+  }
+
   Waveform apply_case_map(SignalId id, Waveform w) const {
     std::int32_t slot = cone_.signal_slot[id];
     if (slot < 0 || case_map_[slot] < 0) return w;
@@ -101,6 +142,22 @@ class CaseRunner {
       }
       ++stats_.evals;
 
+      InternContext* ctx = snap_.intern_context();
+      MemoKey key;
+      bool keyed =
+          ctx && build_memo_key(
+                     p, nl_, opts_,
+                     [this](SignalId id) { return snap_.wave_ref(id); },
+                     [this](SignalId id) -> const std::string& {
+                       return snap_.eval_str(id);
+                     },
+                     key);
+      if (keyed) {
+        if (std::optional<MemoResult> hit = ctx->memo.lookup(key)) {
+          commit(p.output, ctx->table.get(hit->wave), hit->eval_str);
+          continue;
+        }
+      }
       std::vector<PreparedInput> ins;
       ins.reserve(p.inputs.size());
       for (const Pin& pin : p.inputs) {
@@ -108,12 +165,11 @@ class CaseRunner {
                                     snap_.eval_str(pin.sig), opts_));
       }
       PrimEvalResult r = evaluate_primitive(p, ins, opts_.period);
-      Waveform w = apply_case_map(p.output, std::move(r.wave));
-      if (!(w == snap_.wave(p.output)) || r.eval_str != snap_.eval_str(p.output)) {
-        snap_.set(p.output, std::move(w), std::move(r.eval_str));
-        ++stats_.events;
-        enqueue_fanout(p.output);
+      if (keyed) {
+        WaveformRef out = ctx->table.intern(r.wave);
+        ctx->memo.store(key, MemoResult{out, r.eval_str});
       }
+      commit(p.output, std::move(r.wave), std::move(r.eval_str));
     }
   }
 

@@ -27,9 +27,18 @@ namespace tv {
 class EvalSnapshot {
  public:
   EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone);
+  /// Interning-aware snapshot: `ctx` is the evaluator's shared arena + memo
+  /// (shard-locked, so concurrent case workers may intern through it) and
+  /// `base_refs` the baseline's per-signal refs. Interned storage is never
+  /// mutated -- the snapshot only writes its own cone-local slots -- so
+  /// copy-on-write semantics are preserved. Both pointers must outlive the
+  /// snapshot; pass nullptr to run without interning.
+  EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone,
+               InternContext* ctx, const std::vector<WaveformRef>* base_refs);
 
   const Netlist& netlist() const { return nl_; }
   const Cone& cone() const { return *cone_; }
+  InternContext* intern_context() const { return intern_; }
 
   /// Overlay value inside the cone once written, baseline otherwise.
   const Waveform& wave(SignalId id) const {
@@ -43,16 +52,31 @@ class EvalSnapshot {
     return nl_.signal(id).eval_str;
   }
 
+  /// Interned ref of the signal's current waveform: the overlay's ref once
+  /// written, else the baseline ref. kNoWaveform when interning is off.
+  WaveformRef wave_ref(SignalId id) const {
+    std::int32_t slot = cone_->signal_slot[id];
+    if (slot >= 0 && written_[slot]) return refs_[slot];
+    if (base_refs_ && id < base_refs_->size()) return (*base_refs_)[id];
+    return kNoWaveform;
+  }
+
   /// Writes a cone signal's overlay slot (copy-on-write: the first write
   /// materializes the slot; the baseline is never modified). The signal
   /// must be inside the cone.
   void set(SignalId id, Waveform w, std::string eval_str);
+  /// Interning write path: stores the ref and materializes the table's
+  /// canonical copy into the overlay slot.
+  void set_ref(SignalId id, WaveformRef ref, std::string eval_str);
 
  private:
   const Netlist& nl_;
   std::shared_ptr<const Cone> cone_;
+  InternContext* intern_ = nullptr;               // shared, shard-locked
+  const std::vector<WaveformRef>* base_refs_ = nullptr;
   std::vector<Waveform> waves_;          // cone-local, slot-indexed
   std::vector<std::string> eval_strs_;   // cone-local, slot-indexed
+  std::vector<WaveformRef> refs_;        // cone-local interned refs
   std::vector<char> written_;            // copy-on-write marks
 };
 

@@ -1,5 +1,7 @@
 #include "core/storage_stats.hpp"
 
+#include <sstream>
+
 namespace tv {
 
 StorageLedger StorageBreakdown::to_ledger() const {
@@ -23,6 +25,7 @@ StorageBreakdown compute_storage(const Netlist& nl) {
   // + a back pointer structure at the signal: ~40 bytes). This reproduces
   // the thesis' ~260 bytes per primitive at its ~4 pins/primitive shape.
   std::size_t total_vrecs = 0;
+  WaveformTable uniq;  // throwaway interning pass for the sharing figures
   for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
     const Primitive& p = nl.prim(pid);
     b.circuit_description += 26 * 4 + 40 * p.inputs.size();
@@ -35,6 +38,7 @@ StorageBreakdown compute_storage(const Netlist& nl) {
     // pointer, value pointer, width field) + 12 B per VALUE record.
     b.signal_values += s.wave.paper_storage_bytes();
     total_vrecs += s.wave.value_record_count();
+    uniq.intern(s.wave);
     // Signal names: the name record points at the value definition for each
     // bit of the vector and records defining/using primitives.
     b.signal_names += 24 + 4 * static_cast<std::size_t>(s.width) + 8 * s.fanout.size();
@@ -55,7 +59,26 @@ StorageBreakdown compute_storage(const Netlist& nl) {
   if (nl.num_prims() > 0) {
     b.mean_prim_bytes = static_cast<double>(b.circuit_description) / nl.num_prims();
   }
+
+  b.unique_waveforms = uniq.size();
+  b.unique_value_bytes = uniq.unique_paper_bytes();
+  b.interned_value_bytes = b.unique_value_bytes + 4 * nl.num_signals();
+  if (b.unique_waveforms > 0) {
+    b.signals_per_unique_waveform =
+        static_cast<double>(nl.num_signals()) / b.unique_waveforms;
+  }
   return b;
+}
+
+std::string intern_stats_report(const InternStats& st) {
+  std::ostringstream os;
+  os << "UNIQUE WAVEFORMS    " << st.unique_waveforms << " (" << st.intern_lookups
+     << " intern lookups, " << st.arena_paper_bytes << " arena bytes)\n";
+  os << "EVAL MEMO           " << st.memo_hits << " hits / " << st.memo_misses
+     << " misses (" << st.memo_entries << " entries, hit rate ";
+  os.precision(1);
+  os << std::fixed << 100.0 * st.memo_hit_rate() << "%)\n";
+  return os.str();
 }
 
 }  // namespace tv

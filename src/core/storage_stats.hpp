@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "core/netlist.hpp"
+#include "core/wave_table.hpp"
 #include "util/stats.hpp"
 
 namespace tv {
@@ -36,10 +37,26 @@ struct StorageBreakdown {
   double mean_value_bytes = 0;
   /// Mean circuit-description bytes per primitive (the thesis reports ~260).
   double mean_prim_bytes = 0;
+
+  /// True unique-waveform accounting (wave_table.hpp): how many distinct
+  /// canonical waveforms the signal population actually holds, and what the
+  /// Table 3-3 VALUE storage collapses to when every signal stores a 4-byte
+  /// ref into the shared arena instead of an owned list. The thesis' sharing
+  /// claim (sec. 2.8) is unique_waveforms << num_signals.
+  std::size_t unique_waveforms = 0;
+  std::size_t unique_value_bytes = 0;    // arena VALUE records, deduplicated
+  std::size_t interned_value_bytes = 0;  // unique_value_bytes + 4 B ref/signal
+  double signals_per_unique_waveform = 0;
 };
 
 /// Computes the Table 3-3 ledger for a netlist in its current evaluation
-/// state (signal value lists reflect the last propagation).
+/// state (signal value lists reflect the last propagation). Unique-waveform
+/// figures are computed with a throwaway interning pass, so they are
+/// reported whether or not the run itself interned.
 StorageBreakdown compute_storage(const Netlist& nl);
+
+/// Renders the interning/memo counters (unique waveforms, intern lookups,
+/// memo hit/miss + hit rate) as report lines matching the ledger style.
+std::string intern_stats_report(const InternStats& st);
 
 }  // namespace tv

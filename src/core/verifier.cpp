@@ -64,7 +64,9 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   // their input slot, so the merge is deterministic by construction.
   r.cases.resize(cases.size());
   auto run_one = [&](std::size_t i) {
-    EvalSnapshot snap(nl, cones[i]);
+    // Workers share the evaluator's shard-locked arena + memo; the baseline
+    // refs let the snapshot start from ref compares without re-interning.
+    EvalSnapshot snap(nl, cones[i], ev_.intern_context().get(), &ev_.wave_refs());
     CaseRunStats stats = run_case_on_snapshot(snap, cases[i], opts);
     VerifyResult::CaseResult cr;
     cr.name = cases[i].name;

@@ -1,0 +1,142 @@
+#include "core/wave_table.hpp"
+
+#include <stdexcept>
+
+namespace tv {
+
+WaveformTable::WaveformTable() = default;
+
+WaveformTable::~WaveformTable() {
+  for (Shard& sh : shards_) {
+    for (auto& chunk : sh.chunks) {
+      delete[] chunk.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+WaveformRef WaveformTable::intern(Waveform w) {
+  w.canonicalize();
+  std::uint64_t h = w.canonical_hash();
+  Shard& sh = shards_[h & kShardMask];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ++sh.lookups;
+  std::vector<std::uint32_t>& bucket = sh.buckets[h];
+  for (std::uint32_t slot : bucket) {
+    const Waveform* chunk = sh.chunks[slot >> kChunkBits].load(std::memory_order_relaxed);
+    if (chunk[slot & (kChunkSize - 1)] == w) {
+      return (slot << kShardBits) | static_cast<WaveformRef>(h & kShardMask);
+    }
+  }
+  std::uint32_t slot = sh.count;
+  if ((slot >> kChunkBits) >= kMaxChunks) {
+    throw std::length_error("WaveformTable shard full");
+  }
+  Waveform* chunk = sh.chunks[slot >> kChunkBits].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Waveform[kChunkSize];
+    // Release pairs with the acquire in get(): a reader that learned of a
+    // slot in this chunk (via a ref handed out after this point) sees the
+    // chunk's construction.
+    sh.chunks[slot >> kChunkBits].store(chunk, std::memory_order_release);
+  }
+  sh.paper_bytes += w.paper_storage_bytes();
+  chunk[slot & (kChunkSize - 1)] = std::move(w);
+  bucket.push_back(slot);
+  ++sh.count;
+  return (slot << kShardBits) | static_cast<WaveformRef>(h & kShardMask);
+}
+
+std::size_t WaveformTable::size() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    n += sh.count;
+  }
+  return n;
+}
+
+std::size_t WaveformTable::lookups() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    n += sh.lookups;
+  }
+  return n;
+}
+
+std::size_t WaveformTable::unique_paper_bytes() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    n += sh.paper_bytes;
+  }
+  return n;
+}
+
+std::size_t EvalMemo::KeyHash::operator()(const MemoKey& k) const {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kPrime;
+    h ^= h >> 29;
+  };
+  mix(k.kind);
+  mix(static_cast<std::uint64_t>(k.dmin));
+  mix(static_cast<std::uint64_t>(k.dmax));
+  mix(k.has_rise_fall);
+  for (Time t : k.rise_fall) mix(static_cast<std::uint64_t>(t));
+  for (const MemoPin& p : k.pins) {
+    mix(p.wave);
+    mix(p.invert);
+    mix(static_cast<std::uint64_t>(p.wire_min));
+    mix(static_cast<std::uint64_t>(p.wire_max));
+    for (char c : p.dirs) mix(static_cast<unsigned char>(c));
+    mix(0x9e3779b97f4a7c15ull);  // pin separator
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t EvalMemo::shard_of(const MemoKey& key) {
+  return KeyHash{}(key) % kShardCount;
+}
+
+std::optional<MemoResult> EvalMemo::lookup(const MemoKey& key) const {
+  const Shard& sh = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(key);
+  if (it == sh.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void EvalMemo::store(const MemoKey& key, MemoResult result) {
+  Shard& sh = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.map.emplace(key, std::move(result));
+}
+
+std::size_t EvalMemo::entries() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    n += sh.map.size();
+  }
+  return n;
+}
+
+InternStats collect_intern_stats(const InternContext& ctx) {
+  InternStats st;
+  st.unique_waveforms = ctx.table.size();
+  st.intern_lookups = ctx.table.lookups();
+  st.arena_paper_bytes = ctx.table.unique_paper_bytes();
+  st.memo_hits = ctx.memo.hits();
+  st.memo_misses = ctx.memo.misses();
+  st.memo_entries = ctx.memo.entries();
+  return st;
+}
+
+}  // namespace tv

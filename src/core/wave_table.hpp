@@ -1,0 +1,198 @@
+// Hash-consed waveform interning and evaluation memoization.
+//
+// The thesis' central storage observation (sec. 2.8, Table 3-3) is that the
+// seven-value periodic waveforms of a large machine are massively shared:
+// the mean value list is under three records because most signals collapse
+// to one of a handful of canonical shapes (always-stable, the clock phases,
+// a few delayed copies of each). A WaveformTable makes that sharing
+// explicit: every waveform is canonicalized (normalized segments, skew
+// zeroed when the waveform has no activity -- see Waveform::canonicalize)
+// and placed in an arena exactly once; the 32-bit WaveformRef it gets back
+// is content-addressed, so
+//
+//     intern(a) == intern(b)  <=>  a.equivalent(b)
+//
+// and the fixed-point convergence test degenerates from a deep segment
+// compare to an integer compare. The arena also gives storage_stats the
+// true unique-waveform count to hold against Table 3-3.
+//
+// On top of the table sits the EvalMemo: evaluate_primitive is a pure
+// function of (primitive kind, delay parameters, prepared inputs), and a
+// prepared input is itself a pure function of (driving waveform, inversion,
+// wire delay, directive string). Keying a cache on those -- with waveforms
+// as refs -- lets structurally repeated logic (the S-1's dozens of
+// identical pipeline stages) evaluate once and hit thereafter.
+//
+// Thread-safety contract (shared with the PR-1 case worker pool): both
+// structures are *shard-locked*. A ref encodes (slot << 4 | shard); intern
+// and memo lookups take one shard mutex, while WaveformTable::get is
+// lock-free -- chunk pointers are published with store-release under the
+// shard mutex and read with load-acquire, and a chunk is never reallocated,
+// so any ref obtained from intern() (which synchronizes via the mutex, or
+// reaches another thread via worker join) dereferences safely. We chose
+// shard-locking over thread-local tables + merge because case workers
+// interleave intern and get constantly and the merge step would reintroduce
+// a serial phase; contention stays low because 16 shards are selected by
+// the waveform hash.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/netlist.hpp"
+#include "core/waveform.hpp"
+
+namespace tv {
+
+/// Content-addressed handle to an interned canonical waveform.
+using WaveformRef = std::uint32_t;
+inline constexpr WaveformRef kNoWaveform = 0xFFFFFFFFu;
+
+/// Append-only, shard-locked arena of unique canonical waveforms.
+class WaveformTable {
+ public:
+  WaveformTable();
+  WaveformTable(const WaveformTable&) = delete;
+  WaveformTable& operator=(const WaveformTable&) = delete;
+  ~WaveformTable();
+
+  /// Canonicalizes `w` and returns the ref of its unique copy, inserting it
+  /// on first sight. Equivalent waveforms always get the same ref.
+  WaveformRef intern(Waveform w);
+
+  /// The interned waveform. Lock-free; the reference stays valid for the
+  /// table's lifetime (chunks are never moved or freed before destruction).
+  const Waveform& get(WaveformRef ref) const {
+    const Shard& sh = shards_[ref & kShardMask];
+    std::uint32_t slot = ref >> kShardBits;
+    const Waveform* chunk =
+        sh.chunks[slot >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[slot & (kChunkSize - 1)];
+  }
+
+  /// Unique canonical waveforms interned so far.
+  std::size_t size() const;
+  /// Total intern() calls (lookups); size()/lookups() is the sharing ratio.
+  std::size_t lookups() const;
+  /// Thesis-model bytes (Table 3-3 VALUE BASE + VALUE records) of the
+  /// unique waveforms only -- what signal-value storage shrinks to when
+  /// every signal holds a ref instead of an owned list.
+  std::size_t unique_paper_bytes() const;
+
+ private:
+  static constexpr unsigned kShardBits = 4;
+  static constexpr unsigned kShardCount = 1u << kShardBits;
+  static constexpr unsigned kShardMask = kShardCount - 1;
+  static constexpr unsigned kChunkBits = 9;  // 512 waveforms per chunk
+  static constexpr unsigned kChunkSize = 1u << kChunkBits;
+  static constexpr unsigned kMaxChunks = 1u << 12;  // 2M waveforms per shard
+
+  struct Shard {
+    mutable std::mutex mu;
+    // hash -> slots with that hash (exact compare resolves collisions).
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+    std::array<std::atomic<Waveform*>, kMaxChunks> chunks{};
+    std::uint32_t count = 0;           // slots in use (guarded by mu)
+    std::size_t lookups = 0;           // intern() calls (guarded by mu)
+    std::size_t paper_bytes = 0;       // sum over unique waveforms
+  };
+
+  Shard shards_[kShardCount];
+};
+
+/// One prepared-input key component: everything prepare_input consumes
+/// besides the options (fixed per run) -- the driving waveform (as a ref),
+/// the pin inversion, the wire delay that would be applied, and the
+/// resolved directive string (pin override or propagated eval string).
+struct MemoPin {
+  WaveformRef wave = kNoWaveform;
+  bool invert = false;
+  Time wire_min = 0;
+  Time wire_max = 0;
+  std::string dirs;
+  bool operator==(const MemoPin&) const = default;
+};
+
+/// Cache key for one evaluate_primitive call. The clock period is fixed per
+/// evaluator, so it is deliberately not part of the key.
+struct MemoKey {
+  std::uint8_t kind = 0;  // PrimKind
+  Time dmin = 0;
+  Time dmax = 0;
+  bool has_rise_fall = false;
+  std::array<Time, 4> rise_fall{};  // rise min/max, fall min/max
+  std::vector<MemoPin> pins;
+  bool operator==(const MemoKey&) const = default;
+};
+
+/// Cached result: the interned output waveform (pre case-mapping -- the
+/// mapping is case-local and applied by the caller) and the propagated
+/// evaluation string.
+struct MemoResult {
+  WaveformRef wave = kNoWaveform;
+  std::string eval_str;
+};
+
+/// Shard-locked memo-cache over evaluate_primitive. Content-addressed and
+/// insert-only, so it is safe to share across the case worker pool and
+/// across successive propagations of the same evaluator.
+class EvalMemo {
+ public:
+  std::optional<MemoResult> lookup(const MemoKey& key) const;
+  void store(const MemoKey& key, MemoResult result);
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t entries() const;
+
+ private:
+  static constexpr unsigned kShardCount = 16;
+
+  struct KeyHash {
+    std::size_t operator()(const MemoKey& k) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<MemoKey, MemoResult, KeyHash> map;
+  };
+
+  static std::size_t shard_of(const MemoKey& key);
+
+  Shard shards_[kShardCount];
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+};
+
+/// The shared interning state of one verification run: the waveform arena
+/// plus the evaluation memo. The Evaluator owns one and hands it to every
+/// case snapshot; it outlives all of them.
+struct InternContext {
+  WaveformTable table;
+  EvalMemo memo;
+};
+
+/// Snapshot of the interning counters for storage_stats / benchmarks.
+struct InternStats {
+  std::size_t unique_waveforms = 0;
+  std::size_t intern_lookups = 0;
+  std::size_t arena_paper_bytes = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  std::size_t memo_entries = 0;
+
+  double memo_hit_rate() const {
+    std::size_t n = memo_hits + memo_misses;
+    return n ? static_cast<double>(memo_hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+InternStats collect_intern_stats(const InternContext& ctx);
+
+}  // namespace tv

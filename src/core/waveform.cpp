@@ -181,8 +181,28 @@ bool Waveform::steady_over(Time begin, Time end) const {
 }
 
 bool Waveform::has_activity() const {
+  if (segs_.empty()) return false;  // default-constructed (period 0)
   if (segs_.size() > 1) return true;
   return is_changing(segs_[0].value);
+}
+
+std::uint64_t Waveform::canonical_hash() const {
+  constexpr std::uint64_t kBasis = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = kBasis;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<std::uint64_t>(period_));
+  mix(static_cast<std::uint64_t>(has_activity() ? skew_ : 0));
+  for (const Segment& s : segs_) {
+    mix(static_cast<std::uint64_t>(s.value));
+    mix(static_cast<std::uint64_t>(s.width));
+  }
+  return h;
 }
 
 bool Waveform::settles(Time from, Time until, Time& settle_time) const {

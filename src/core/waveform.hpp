@@ -128,6 +128,36 @@ class Waveform {
     return period_ == o.period_ && skew_ == o.skew_ && segs_ == o.segs_;
   }
 
+  /// True when this waveform is in canonical form: segments normalized (no
+  /// zero-width or mergeable neighbors -- an invariant every constructor
+  /// already maintains) and no residual skew on a waveform with no activity
+  /// (skew delays value *changes*; a signal that never changes is the same
+  /// signal under any skew, so canonical form zeroes it).
+  bool is_canonical() const { return has_activity() || skew_ == 0; }
+  /// Rewrites *this into canonical form (idempotent).
+  void canonicalize() {
+    if (!has_activity()) skew_ = 0;
+  }
+  /// Canonical copy.
+  Waveform canonical() const {
+    Waveform w = *this;
+    w.canonicalize();
+    return w;
+  }
+
+  /// The one semantic equality every change-detection site (fixed-point
+  /// convergence, case snapshots, diffing) must agree on: structural
+  /// equality of the canonical forms. Unlike operator==, a skew-only
+  /// difference between two activity-free waveforms does not count as a
+  /// change. equivalent(a, b) <=> intern(a) == intern(b).
+  bool equivalent(const Waveform& o) const {
+    return period_ == o.period_ && segs_ == o.segs_ &&
+           (skew_ == o.skew_ || !has_activity());
+  }
+
+  /// FNV-1a over the canonical form; equivalent waveforms hash alike.
+  std::uint64_t canonical_hash() const;
+
   /// Storage accounting per the thesis' record layout (Table 3-3): a VALUE
   /// BASE record of 20 bytes plus 12 bytes per VALUE record (unpacked
   /// 4-byte PASCAL fields: value, width, link).

@@ -1,0 +1,117 @@
+// Golden-report regression suite: runs the full verifier over every example
+// design and the checked-in SHDL designs, renders a canonical report, and
+// byte-compares it against the files in tests/golden/. Each design is
+// verified twice -- interning/memoization on and off -- and the two reports
+// must also be byte-identical to each other: this is the safety net proving
+// the hash-consing layer changes no verdicts, waveforms, or event counts.
+//
+// To regenerate after an intentional report change:
+//   TV_UPDATE_GOLDEN=1 ./tv_tests --gtest_filter='GoldenReports.*'
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "example_designs.hpp"
+#include "hdl/elaborate.hpp"
+#include "hdl/stdlib.hpp"
+
+namespace {
+
+using namespace tv;
+
+std::string render_report(Netlist& nl, VerifierOptions opts,
+                          const std::vector<CaseSpec>& cases, bool interning) {
+  opts.interning = interning;
+  Verifier v(nl, opts);
+  VerifyResult r = v.verify(cases);
+  std::ostringstream os;
+  os << "signals " << nl.num_signals() << "  primitives " << nl.num_prims() << "\n";
+  os << "base events " << r.base_events << "  converged "
+     << (r.converged ? "yes" : "no") << "\n\n";
+  os << timing_summary(nl) << "\n";
+  os << violations_report(r.violations);
+  for (const auto& c : r.cases) {
+    os << "\n=== case \"" << c.name << "\" (" << c.events << " events, converged "
+       << (c.converged ? "yes" : "no") << ") ===\n";
+    os << violations_report(c.violations);
+  }
+  os << "\n" << cross_reference_listing(nl, r.cross_reference);
+  return os.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(TV_GOLDEN_DIR) + "/" + name + ".golden.txt";
+}
+
+void compare_to_golden(const std::string& name, const std::string& report) {
+  const std::string path = golden_path(name);
+  if (std::getenv("TV_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << report;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " -- run with TV_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), report) << "report for " << name
+                                   << " diverged from " << path;
+}
+
+// Builds the unit fresh for each mode (verification mutates the netlist's
+// baseline waveforms), renders both reports, and checks mode-identity plus
+// the golden file.
+void check_example(std::size_t index) {
+  examples::ExampleDesign on = examples::all_example_designs()[index];
+  std::string with_interning = render_report(*on.netlist, on.options, on.cases, true);
+  examples::ExampleDesign off = examples::all_example_designs()[index];
+  std::string without = render_report(*off.netlist, off.options, off.cases, false);
+  EXPECT_EQ(with_interning, without)
+      << on.name << ": interned and uninterned runs must render identically";
+  compare_to_golden(on.name, with_interning);
+}
+
+TEST(GoldenReports, ExampleDesigns) {
+  std::size_t n = examples::all_example_designs().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    SCOPED_TRACE(examples::all_example_designs()[i].name);
+    check_example(i);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+void check_shdl(const std::string& name, bool with_stdlib) {
+  const std::string text =
+      read_file(std::string(TV_REPO_ROOT) + "/designs/" + name + ".shdl");
+  ASSERT_FALSE(text.empty());
+  auto elaborate = [&]() {
+    return with_stdlib
+               ? hdl::elaborate_sources({hdl::std_chip_library(), text})
+               : hdl::elaborate_source(text);
+  };
+  hdl::ElaboratedDesign on = elaborate();
+  std::string with_interning = render_report(on.netlist, on.options, on.cases, true);
+  hdl::ElaboratedDesign off = elaborate();
+  std::string without = render_report(off.netlist, off.options, off.cases, false);
+  EXPECT_EQ(with_interning, without)
+      << name << ": interned and uninterned runs must render identically";
+  compare_to_golden(name, with_interning);
+}
+
+TEST(GoldenReports, RegfileExampleShdl) { check_shdl("regfile_example", false); }
+
+TEST(GoldenReports, StdlibPipelineShdl) { check_shdl("stdlib_pipeline", true); }
+
+}  // namespace

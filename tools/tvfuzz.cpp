@@ -11,8 +11,14 @@
 // On failure the counterexample is shrunk and printed as a paste-into-gtest
 // repro; the exit code is nonzero.
 //
+// A third mode, --memo-diff, runs each random circuit twice -- waveform
+// interning + evaluation memo-cache on, then off -- and fails on any
+// divergence in waveforms, reports, or event counts (the optimization must
+// be bit-exact).
+//
 // Usage:
-//   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--no-shrink] [-v]
+//   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
+//          [--no-shrink] [-v]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,17 +34,21 @@ struct Options {
   std::uint64_t start = 1;
   int circuit_seeds = 500;
   int wave_seeds = 500;
+  bool memo_diff = false;
   bool shrink = true;
   bool verbose = false;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seeds N] [--wave N] [--start S] [--smoke] [--no-shrink] [-v]\n"
+               "usage: %s [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff] "
+               "[--no-shrink] [-v]\n"
                "  --seeds N     differential circuit cases to run (default 500)\n"
                "  --wave N      waveform-algebra cases to run (default 500)\n"
                "  --start S     first seed (default 1)\n"
                "  --smoke       quick CI gate: 120 circuit + 250 wave cases\n"
+               "  --memo-diff   run each circuit spec twice (interning/memo on vs\n"
+               "                off) and fail on any report or waveform divergence\n"
                "  --no-shrink   print raw failing specs without minimizing\n"
                "  -v            per-case progress output\n",
                argv0);
@@ -68,6 +78,8 @@ int main(int argc, char** argv) {
     } else if (a == "--smoke") {
       opt.circuit_seeds = 120;
       opt.wave_seeds = 250;
+    } else if (a == "--memo-diff") {
+      opt.memo_diff = true;
     } else if (a == "--no-shrink") {
       opt.shrink = false;
     } else if (a == "-v" || a == "--verbose") {
@@ -81,6 +93,39 @@ int main(int argc, char** argv) {
   int failures = 0;
   long long sim_runs = 0, sim_violating = 0;
   int tv_found = 0;
+
+  if (opt.memo_diff) {
+    // Differential interning mode: every random circuit is verified with the
+    // memo/interning layer on and off; the two runs must be bit-identical.
+    for (int i = 0; i < opt.circuit_seeds; ++i) {
+      std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+      tv::check::CircuitSpec spec = tv::check::random_spec(seed);
+      auto fail = tv::check::check_memo_equivalence(spec);
+      if (opt.verbose) {
+        std::printf("memo-diff seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                    fail ? "FAIL" : "ok");
+      }
+      if (!fail) continue;
+      ++failures;
+      std::printf("FAIL memo-diff seed %llu [%s]\n  %s\n",
+                  static_cast<unsigned long long>(seed), fail->kind.c_str(),
+                  fail->detail.c_str());
+      if (opt.shrink) {
+        std::string kind = fail->kind;
+        tv::check::CircuitSpec small = tv::check::shrink_circuit(
+            spec, [&](const tv::check::CircuitSpec& s) {
+              auto f = tv::check::check_memo_equivalence(s);
+              return f && f->kind == kind;
+            });
+        std::printf("shrunk repro:\n%s\n", tv::check::gtest_repro(small, kind).c_str());
+      } else {
+        std::printf("repro:\n%s\n", tv::check::gtest_repro(spec, fail->kind).c_str());
+      }
+    }
+    std::printf("tvfuzz --memo-diff: %d circuit cases, %d failure%s\n", opt.circuit_seeds,
+                failures, failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+  }
 
   for (int i = 0; i < opt.circuit_seeds; ++i) {
     std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
