@@ -1,0 +1,32 @@
+// Front-end robustness fuzzing (tvfuzz --parser-fuzz).
+//
+// Takes valid SHDL sources (the standard chip library plus small embedded
+// designs), applies seeded byte- and token-level mutations, and feeds the
+// result to the diagnostic front end. The contract under test:
+//
+//   * the front end never crashes and never lets an exception escape --
+//     malformed input is a diagnostic, not a throw;
+//   * when the front end rejects an input (returns nullopt) it has reported
+//     at least one error diagnostic explaining why;
+//   * when it accepts an input, the resulting design is finalized and
+//     usable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tv::check {
+
+struct ParserFuzzFailure {
+  std::uint64_t seed = 0;
+  std::string kind;    // "uncaught-exception" | "silent-rejection" | ...
+  std::string detail;  // what() text or invariant description
+  std::string input;   // the mutated source that triggered it
+};
+
+/// Runs one seeded mutation + front-end round trip. Returns the failure if
+/// any contract above was broken, std::nullopt otherwise.
+std::optional<ParserFuzzFailure> check_parser_robustness(std::uint64_t seed);
+
+}  // namespace tv::check

@@ -430,7 +430,29 @@ std::vector<Violation> run_checks(const EvalView& view) {
 }
 
 std::vector<Violation> run_checks(const Evaluator& ev) {
-  return run_checks(EvalView(ev.netlist(), ev.options(), ev.converged()));
+  std::vector<Violation> out = run_checks(EvalView(ev.netlist(), ev.options(), ev.converged()));
+  if (!ev.converged()) {
+    // The evaluator knows which primitives tripped the oscillation guard;
+    // replace the generic "feedback path suspected" with the actual cycles.
+    std::vector<std::vector<std::string>> cycles = ev.feedback_cycles();
+    if (!cycles.empty() && !out.empty() && out.front().type == Violation::Type::Unconverged) {
+      std::vector<Violation> localized;
+      localized.reserve(cycles.size());
+      for (const auto& cyc : cycles) {
+        Violation v;
+        v.type = Violation::Type::Unconverged;
+        std::string msg = "EVALUATION NOT CONVERGED: unclocked feedback cycle: ";
+        for (const std::string& name : cyc) msg += "\"" + name + "\" -> ";
+        msg += "\"" + cyc.front() + "\"\n";
+        v.message = std::move(msg);
+        localized.push_back(std::move(v));
+      }
+      out.erase(out.begin());
+      out.insert(out.begin(), std::make_move_iterator(localized.begin()),
+                 std::make_move_iterator(localized.end()));
+    }
+  }
+  return out;
 }
 
 std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,

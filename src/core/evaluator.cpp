@@ -1,6 +1,9 @@
 #include "core/evaluator.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "core/scc.hpp"
 
 namespace tv {
 
@@ -53,22 +56,60 @@ Evaluator::Evaluator(Netlist& nl, VerifierOptions opts) : nl_(nl), opts_(opts) {
   wave_refs_.assign(nl.num_signals(), kNoWaveform);
 }
 
+void Evaluator::record_degradation(const char* code, std::string message) {
+  degraded_ = true;
+  degradations_.push_back(Degradation{code, std::move(message)});
+}
+
+void Evaluator::cap_segments(SignalId id, Waveform& w) {
+  if (opts_.max_segments_per_signal == 0) return;
+  if (w.segments().size() <= opts_.max_segments_per_signal) return;
+  if (seg_degraded_.size() < nl_.num_signals()) seg_degraded_.resize(nl_.num_signals(), 0);
+  if (!seg_degraded_[id]) {
+    seg_degraded_[id] = 1;
+    record_degradation(diag::kWarnSegmentCap,
+                       "signal \"" + nl_.signal(id).full_name + "\" exceeded " +
+                           std::to_string(opts_.max_segments_per_signal) +
+                           " waveform segments; degraded to UNKNOWN");
+  }
+  w = Waveform(opts_.period, Value::Unknown);
+  w.canonicalize();
+}
+
+void Evaluator::store_wave(SignalId id, Waveform w) {
+  Signal& s = nl_.signal(id);
+  if (intern_) {
+    if (wave_refs_.size() < nl_.num_signals()) {
+      wave_refs_.resize(nl_.num_signals(), kNoWaveform);
+    }
+    WaveformRef ref = intern_->table.intern(w);
+    if (ref == kNoWaveform) {
+      // Table full: keep the uninterned copy. build_memo_key sees the
+      // kNoWaveform ref and turns the memo off for consumers of this signal.
+      if (!table_full_reported_) {
+        table_full_reported_ = true;
+        record_degradation(diag::kWarnTableFull,
+                           "waveform table full; interning disabled for signal \"" +
+                               s.full_name + "\" and later waveforms");
+      }
+      wave_refs_[id] = kNoWaveform;
+      s.wave = std::move(w);
+      return;
+    }
+    wave_refs_[id] = ref;
+    s.wave = intern_->table.get(ref);
+  } else {
+    s.wave = std::move(w);
+  }
+}
+
 void Evaluator::seed_signal(SignalId id) {
   Signal& s = nl_.signal(id);
   Waveform w = apply_case_map(id, seed_waveform(s, opts_));
   // Seeds are canonicalized in both modes so evaluation -- and every report
   // downstream -- is byte-identical with interning on or off.
   w.canonicalize();
-  if (intern_) {
-    if (wave_refs_.size() < nl_.num_signals()) {
-      wave_refs_.resize(nl_.num_signals(), kNoWaveform);
-    }
-    WaveformRef ref = intern_->table.intern(w);
-    wave_refs_[id] = ref;
-    s.wave = intern_->table.get(ref);
-  } else {
-    s.wave = std::move(w);
-  }
+  store_wave(id, std::move(w));
   s.eval_str.clear();
 }
 
@@ -83,6 +124,10 @@ void Evaluator::initialize() {
   events_ = 0;
   evals_ = 0;
   converged_ = true;
+  degraded_ = false;
+  table_full_reported_ = false;
+  seg_degraded_.assign(nl_.num_signals(), 0);
+  degradations_.clear();
   worklist_.clear();
   in_worklist_.assign(nl_.num_prims(), 0);
   eval_count_.assign(nl_.num_prims(), 0);
@@ -126,11 +171,28 @@ void Evaluator::assign(SignalId id, Waveform w, std::string eval_str, bool& chan
   // same predicate whether expressed as a ref compare or a deep compare
   // (Waveform::equivalent), and reports match byte-for-byte across modes.
   w.canonicalize();
+  cap_segments(id, w);
   if (intern_) {
     if (wave_refs_.size() < nl_.num_signals()) {
       wave_refs_.resize(nl_.num_signals(), kNoWaveform);
     }
-    WaveformRef ref = intern_->table.intern(std::move(w));
+    WaveformRef ref = intern_->table.intern(w);
+    if (ref == kNoWaveform) {
+      // Table full: fall back to the deep compare for this assignment.
+      if (!table_full_reported_) {
+        table_full_reported_ = true;
+        record_degradation(diag::kWarnTableFull,
+                           "waveform table full; interning disabled for signal \"" +
+                               s.full_name + "\" and later waveforms");
+      }
+      changed = !(w == s.wave) || eval_str != s.eval_str;
+      if (changed) {
+        wave_refs_[id] = kNoWaveform;
+        s.wave = std::move(w);
+        s.eval_str = std::move(eval_str);
+      }
+      return;
+    }
     changed = ref != wave_refs_[id] || eval_str != s.eval_str;
     if (changed) {
       wave_refs_[id] = ref;
@@ -148,7 +210,23 @@ void Evaluator::assign(SignalId id, Waveform w, std::string eval_str, bool& chan
 
 std::size_t Evaluator::run_worklist() {
   std::size_t events_before = events_;
+  using Clock = std::chrono::steady_clock;
+  const bool timed = opts_.time_limit_seconds > 0;
+  Clock::time_point deadline{};
+  if (timed) {
+    deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(opts_.time_limit_seconds));
+  }
   while (!worklist_.empty()) {
+    // The deadline check covers the first pop too: a limit that already
+    // passed degrades everything still queued rather than evaluating once.
+    // One steady_clock read per pop is noise next to a primitive evaluation,
+    // and any coarser stride would let small designs run out the worklist
+    // between checks and never trip the limit.
+    if (timed && Clock::now() >= deadline) {
+      degrade_remaining();
+      break;
+    }
     PrimId pid = worklist_.front();
     worklist_.pop_front();
     in_worklist_[pid] = 0;
@@ -183,7 +261,7 @@ std::size_t Evaluator::run_worklist() {
     PrimEvalResult r = evaluate_primitive(p, ins, opts_.period);
     if (keyed) {
       WaveformRef out = intern_->table.intern(r.wave);
-      intern_->memo.store(key, MemoResult{out, r.eval_str});
+      if (out != kNoWaveform) intern_->memo.store(key, MemoResult{out, r.eval_str});
     }
     assign(p.output, std::move(r.wave), std::move(r.eval_str), changed);
     if (changed) {
@@ -192,6 +270,89 @@ std::size_t Evaluator::run_worklist() {
     }
   }
   return events_ - events_before;
+}
+
+void Evaluator::degrade_remaining() {
+  // Fanout closure of everything still queued: those cones were not fully
+  // evaluated, so their signals become UNKNOWN -- the most pessimistic
+  // value, preserving conservatism (sec. 2.3: UNKNOWN can only add
+  // violations downstream, never mask one).
+  Waveform unknown(opts_.period, Value::Unknown);
+  unknown.canonicalize();
+  std::vector<char> visited(nl_.num_prims(), 0);
+  std::deque<PrimId> queue;
+  for (PrimId pid : worklist_) {
+    if (!visited[pid]) {
+      visited[pid] = 1;
+      queue.push_back(pid);
+    }
+  }
+  worklist_.clear();
+  in_worklist_.assign(nl_.num_prims(), 0);
+  std::size_t degraded_signals = 0;
+  while (!queue.empty()) {
+    PrimId pid = queue.front();
+    queue.pop_front();
+    const Primitive& p = nl_.prim(pid);
+    if (prim_is_checker(p.kind) || p.output == kNoSignal) continue;
+    Signal& s = nl_.signal(p.output);
+    if (!(s.wave == unknown)) {
+      store_wave(p.output, unknown);
+      ++degraded_signals;
+    }
+    for (PrimId consumer : s.fanout) {
+      if (consumer < visited.size() && !visited[consumer]) {
+        visited[consumer] = 1;
+        queue.push_back(consumer);
+      }
+    }
+  }
+  record_degradation(diag::kWarnTimeLimit,
+                     "time limit of " + std::to_string(opts_.time_limit_seconds) +
+                         "s exceeded; " + std::to_string(degraded_signals) +
+                         " signal(s) degraded to UNKNOWN");
+}
+
+std::vector<std::vector<std::string>> Evaluator::feedback_cycles() const {
+  // The oscillation guard (run_worklist) drives eval_count_ up to the cap
+  // exactly for the primitives that kept oscillating: SCC over that induced
+  // subgraph localizes the unclocked feedback paths. The criterion is >=
+  // rather than >: once the first loop member trips the guard it stops
+  // producing events, so its ring-mates stall at exactly the cap -- they are
+  // part of the cycle all the same. Singleton components without a self-loop
+  // are dropped below, so a lone prim that legitimately evaluated cap times
+  // never produces a false cycle.
+  std::vector<char> hot(nl_.num_prims(), 0);
+  bool any = false;
+  for (PrimId pid = 0; pid < nl_.num_prims(); ++pid) {
+    if (pid < eval_count_.size() && eval_count_[pid] >= opts_.max_evals_per_prim) {
+      hot[pid] = 1;
+      any = true;
+    }
+  }
+  if (!any) return {};
+  std::vector<std::vector<std::uint32_t>> adj(nl_.num_prims());
+  for (PrimId pid = 0; pid < nl_.num_prims(); ++pid) {
+    if (!hot[pid]) continue;
+    const Primitive& p = nl_.prim(pid);
+    if (p.output == kNoSignal) continue;
+    for (PrimId consumer : nl_.signal(p.output).fanout) {
+      if (consumer < hot.size() && hot[consumer]) adj[pid].push_back(consumer);
+    }
+  }
+  std::vector<std::vector<std::string>> cycles;
+  for (const auto& comp : strongly_connected_components(adj)) {
+    if (!hot[comp[0]]) continue;
+    std::vector<std::uint32_t> cycle = cycle_through_component(adj, comp);
+    if (cycle.empty()) continue;
+    std::vector<std::string> names;
+    names.reserve(cycle.size());
+    for (std::uint32_t pid : cycle) {
+      names.push_back(nl_.signal(nl_.prim(pid).output).full_name);
+    }
+    cycles.push_back(std::move(names));
+  }
+  return cycles;
 }
 
 std::size_t Evaluator::propagate() { return run_worklist(); }

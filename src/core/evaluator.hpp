@@ -41,6 +41,21 @@ struct VerifierOptions {
   /// waveforms); off turns every intern/memo lookup into the legacy deep
   /// compare, which the golden suite and tvfuzz --memo-diff exploit.
   bool interning = true;
+  /// Resource guard: a computed waveform with more than this many segments
+  /// degrades its signal to all-UNKNOWN (conservative: UNKNOWN is the most
+  /// pessimistic value) instead of growing without bound. 0 = unlimited.
+  std::size_t max_segments_per_signal = 1 << 16;
+  /// Resource guard: wall-clock budget for one fixpoint run in seconds.
+  /// When exceeded, every signal still reachable from the dirty worklist is
+  /// degraded to UNKNOWN and the run completes. 0 = unlimited.
+  double time_limit_seconds = 0;
+};
+
+/// One resource-guard degradation event: which guard fired and what it did.
+/// `code` is the TV-W2xx diagnostic code (diag/diagnostic.hpp).
+struct Degradation {
+  const char* code = "";
+  std::string message;
 };
 
 /// One case for case analysis (sec. 2.7.1): each named signal has its
@@ -136,6 +151,16 @@ class Evaluator {
   const std::shared_ptr<InternContext>& intern_context() const { return intern_; }
   const std::vector<WaveformRef>& wave_refs() const { return wave_refs_; }
   bool converged() const { return converged_; }
+  /// True when any resource guard (segment cap, time limit, full waveform
+  /// table) degraded part of the result to UNKNOWN. Degraded results stay
+  /// conservative -- UNKNOWN can only add violations, never hide one.
+  bool degraded() const { return degraded_; }
+  const std::vector<Degradation>& degradations() const { return degradations_; }
+  /// After a non-convergent run: the actual unclocked feedback cycles, as
+  /// ordered lists of driven signal names (A -> B -> ... -> A, the closing
+  /// edge implied). Computed by SCC over the primitives whose oscillation
+  /// guard tripped. Empty when converged.
+  std::vector<std::vector<std::string>> feedback_cycles() const;
   std::size_t events_processed() const { return events_; }
   std::size_t evals_performed() const { return evals_; }
   const VerifierOptions& options() const { return opts_; }
@@ -156,6 +181,16 @@ class Evaluator {
   std::size_t run_worklist();
   void assign(SignalId id, Waveform w, std::string eval_str, bool& changed);
   bool build_memo_key(const Primitive& p, MemoKey& key) const;
+  /// Applies the segment cap to a computed waveform; on trip replaces it
+  /// with all-UNKNOWN and records the degradation (once per signal).
+  void cap_segments(SignalId id, Waveform& w);
+  /// Stores `w` into the signal, interning when enabled and falling back to
+  /// an uninterned deep copy (ref = kNoWaveform) when the table is full.
+  void store_wave(SignalId id, Waveform w);
+  /// Time-limit trip: degrades every signal reachable from the remaining
+  /// worklist to UNKNOWN and drains the worklist.
+  void degrade_remaining();
+  void record_degradation(const char* code, std::string message);
 
   Netlist& nl_;
   VerifierOptions opts_;
@@ -172,6 +207,10 @@ class Evaluator {
   std::size_t events_ = 0;
   std::size_t evals_ = 0;
   bool converged_ = true;
+  bool degraded_ = false;
+  bool table_full_reported_ = false;
+  std::vector<char> seg_degraded_;  // per-signal: segment cap already fired
+  std::vector<Degradation> degradations_;
 };
 
 }  // namespace tv

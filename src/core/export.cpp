@@ -138,8 +138,22 @@ std::string export_json(const Netlist& nl, const VerifyResult& result, Time peri
   field("design", design_name, true);
   field("period_ns", format_ns(period), false);
   field("converged", result.converged ? "true" : "false", false);
+  field("partial", result.partial ? "true" : "false", false);
   field("events", std::to_string(result.base_events), false);
   field("total_violations", std::to_string(result.total_violations()), false);
+
+  out += "  \"degradations\": [\n";
+  for (std::size_t i = 0; i < result.degradations.size(); ++i) {
+    const Degradation& d = result.degradations[i];
+    out += "    {\"code\": \"";
+    json_escape_into(out, d.code);
+    out += "\", \"message\": \"";
+    json_escape_into(out, d.message);
+    out += "\"}";
+    if (i + 1 < result.degradations.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ],\n";
 
   auto violation_json = [&](const Violation& v) {
     std::string j = "    {\"type\": \"" + violation_type_name(v.type) + "\", ";

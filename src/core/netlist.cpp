@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/scc.hpp"
+
 namespace tv {
 
 std::string_view prim_kind_name(PrimKind k) {
@@ -305,6 +307,104 @@ void Netlist::finalize() {
     }
   }
   finalized_ = true;
+}
+
+bool Netlist::finalize(diag::DiagnosticEngine& diags,
+                       const std::vector<diag::SourceLoc>* prim_locs) {
+  auto loc_of = [&](PrimId pid) -> diag::SourceLoc {
+    if (prim_locs && pid < prim_locs->size()) return (*prim_locs)[pid];
+    return diag::SourceLoc{};
+  };
+  bool ok = true;
+  auto error = [&](PrimId pid, const char* code, const std::string& msg) {
+    diags.report(diag::Severity::Error, code, loc_of(pid), msg);
+    ok = false;
+  };
+
+  for (Signal& s : signals_) {
+    s.fanout.clear();
+    s.driver = kNoPrim;
+  }
+  for (PrimId pid = 0; pid < prims_.size(); ++pid) {
+    Primitive& p = prims_[pid];
+    if (p.inputs.size() < min_inputs(p.kind) || p.inputs.size() > max_inputs(p.kind)) {
+      error(pid, diag::kErrPinCountFinal,
+            "primitive \"" + p.name + "\" (" + std::string(prim_kind_name(p.kind)) +
+                "): wrong input count " + std::to_string(p.inputs.size()));
+    }
+    bool needs_output = !prim_is_checker(p.kind);
+    if (needs_output && p.output == kNoSignal) {
+      error(pid, diag::kErrNoOutput, "primitive \"" + p.name + "\" has no output");
+    }
+    if (!needs_output && p.output != kNoSignal) {
+      error(pid, diag::kErrCheckerDrives, "checker \"" + p.name + "\" must not drive a signal");
+    }
+    for (const Pin& pin : p.inputs) {
+      if (pin.sig == kNoSignal || pin.sig >= signals_.size()) {
+        error(pid, diag::kErrUnconnectedInput,
+              "primitive \"" + p.name + "\" has an unconnected input");
+        continue;
+      }
+      std::vector<PrimId>& fo = signals_[pin.sig].fanout;
+      if (fo.empty() || fo.back() != pid) fo.push_back(pid);
+    }
+    if (p.output != kNoSignal && p.output < signals_.size()) {
+      Signal& out = signals_[p.output];
+      if (out.driver != kNoPrim) {
+        error(pid, diag::kErrMultipleDrivers,
+              "signal \"" + out.full_name + "\" has multiple drivers");
+      } else {
+        if (out.assertion.is_clock()) {
+          error(pid, diag::kErrClockDriven,
+                "signal \"" + out.full_name + "\" carries a clock assertion but is driven by \"" +
+                    p.name + "\"");
+        }
+        out.driver = pid;
+      }
+    }
+  }
+  if (!ok) return false;
+
+  // Static loop check: a cycle of zero-delay combinational primitives (no
+  // clocked element, no checker, no nonzero propagation or wire delay on the
+  // way around) can never settle -- the evaluator's oscillation guard would
+  // trip at run time. Warn now, naming the signal cycle.
+  auto zero_delay_comb = [&](const Primitive& p) {
+    if (prim_is_checker(p.kind)) return false;
+    switch (p.kind) {
+      case PrimKind::Reg:
+      case PrimKind::RegSR:
+      case PrimKind::Latch:
+      case PrimKind::LatchSR: return false;
+      default: break;
+    }
+    Time dmax = p.dmax;
+    if (p.rise_fall) dmax = std::max(p.rise_fall->rise_max, p.rise_fall->fall_max);
+    return dmax == 0;
+  };
+  std::vector<std::vector<std::uint32_t>> adj(prims_.size());
+  for (PrimId pid = 0; pid < prims_.size(); ++pid) {
+    const Primitive& p = prims_[pid];
+    if (!zero_delay_comb(p) || p.output == kNoSignal) continue;
+    const Signal& out = signals_[p.output];
+    if (out.wire_delay && out.wire_delay->dmax > 0) continue;
+    for (PrimId consumer : out.fanout) {
+      if (zero_delay_comb(prims_[consumer])) adj[pid].push_back(consumer);
+    }
+  }
+  for (const auto& comp : strongly_connected_components(adj)) {
+    std::vector<std::uint32_t> cycle = cycle_through_component(adj, comp);
+    if (cycle.empty()) continue;
+    std::string msg = "zero-delay combinational loop: ";
+    for (std::uint32_t pid : cycle) {
+      msg += "\"" + signals_[prims_[pid].output].full_name + "\" -> ";
+    }
+    msg += "\"" + signals_[prims_[cycle[0]].output].full_name + "\"";
+    diags.report(diag::Severity::Warning, diag::kWarnZeroDelayLoop, loc_of(cycle[0]), msg);
+  }
+
+  finalized_ = true;
+  return true;
 }
 
 std::vector<SignalId> Netlist::undefined_unasserted() const {

@@ -23,6 +23,7 @@
 
 #include "core/assertion.hpp"
 #include "core/waveform.hpp"
+#include "diag/diagnostic.hpp"
 
 namespace tv {
 
@@ -182,6 +183,16 @@ class Netlist {
   /// driver per driven signal, checker primitives drive nothing, pin counts
   /// match the primitive kind. Throws std::logic_error on violations.
   void finalize();
+  /// Diagnostic form: reports *every* structural violation through `diags`
+  /// (codes SHDL-E040..E045) instead of throwing on the first, attributing
+  /// each to its primitive's instantiation site when `prim_locs` (indexed by
+  /// PrimId) provides one. Returns true -- and marks the netlist finalized --
+  /// only when no error was reported. On a clean structure it additionally
+  /// scans for zero-delay combinational loops (cycles not cut by a clocked
+  /// element, a checker, or any nonzero delay) and reports each as an
+  /// SHDL-W050 warning naming the signal cycle.
+  bool finalize(diag::DiagnosticEngine& diags,
+                const std::vector<diag::SourceLoc>* prim_locs = nullptr);
   bool finalized() const { return finalized_; }
 
   /// Signals that are read by some primitive but neither driven nor

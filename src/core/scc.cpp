@@ -1,0 +1,103 @@
+#include "core/scc.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tv {
+
+std::vector<std::vector<std::uint32_t>> strongly_connected_components(
+    const std::vector<std::vector<std::uint32_t>>& adj) {
+  const std::uint32_t n = static_cast<std::uint32_t>(adj.size());
+  std::vector<std::int32_t> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  std::vector<std::vector<std::uint32_t>> comps;
+
+  struct Frame {
+    std::uint32_t v;
+    std::size_t next;
+  };
+  std::vector<Frame> call;
+  std::int32_t counter = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    call.push_back(Frame{root, 0});
+    while (!call.empty()) {
+      std::uint32_t v = call.back().v;
+      if (call.back().next < adj[v].size()) {
+        std::uint32_t w = adj[v][call.back().next++];
+        if (index[w] == -1) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      call.pop_back();
+      if (!call.empty()) low[call.back().v] = std::min(low[call.back().v], low[v]);
+      if (low[v] == index[v]) {
+        std::vector<std::uint32_t> comp;
+        for (;;) {
+          std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        comps.push_back(std::move(comp));
+      }
+    }
+  }
+  return comps;
+}
+
+std::vector<std::uint32_t> cycle_through_component(
+    const std::vector<std::vector<std::uint32_t>>& adj,
+    const std::vector<std::uint32_t>& component) {
+  if (component.empty()) return {};
+  const std::uint32_t start = component[0];
+  if (component.size() == 1) {
+    for (std::uint32_t w : adj[start]) {
+      if (w == start) return {start};
+    }
+    return {};
+  }
+  std::unordered_set<std::uint32_t> in(component.begin(), component.end());
+
+  // DFS restricted to the component. Any edge back to `start` closes a
+  // cycle along the current stack path; strong connectivity guarantees one
+  // exists (some component vertex has an edge into `start`, and the DFS
+  // scans every component vertex's edges while that vertex is on the path).
+  struct Frame {
+    std::uint32_t v;
+    std::size_t next;
+  };
+  std::vector<Frame> st{Frame{start, 0}};
+  std::vector<std::uint32_t> path{start};
+  std::unordered_set<std::uint32_t> visited{start};
+  while (!st.empty()) {
+    std::uint32_t v = st.back().v;
+    if (st.back().next < adj[v].size()) {
+      std::uint32_t w = adj[v][st.back().next++];
+      if (!in.count(w)) continue;
+      if (w == start) return path;
+      if (visited.insert(w).second) {
+        st.push_back(Frame{w, 0});
+        path.push_back(w);
+      }
+      continue;
+    }
+    st.pop_back();
+    path.pop_back();
+  }
+  return {};
+}
+
+}  // namespace tv

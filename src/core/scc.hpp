@@ -1,0 +1,27 @@
+// Strongly connected components (iterative Tarjan) over small adjacency
+// lists. Shared by the static zero-delay-loop check (Netlist::finalize) and
+// the dynamic oscillation localizer (Evaluator::feedback_cycles): both need
+// to turn "something is looping" into the actual cycle of named nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tv {
+
+/// Tarjan's algorithm, iterative (no recursion: component graphs can be as
+/// deep as the netlist). `adj[v]` lists the successors of vertex v; vertices
+/// are 0..adj.size()-1. Returns the components in reverse topological order;
+/// every vertex appears in exactly one component.
+std::vector<std::vector<std::uint32_t>> strongly_connected_components(
+    const std::vector<std::vector<std::uint32_t>>& adj);
+
+/// An actual cycle inside one SCC, as an ordered vertex sequence
+/// v0 -> v1 -> ... -> vk -> v0 (the closing edge is implied, v0 is not
+/// repeated). Returns an empty vector when the component is a single vertex
+/// without a self-loop (i.e. not cyclic).
+std::vector<std::uint32_t> cycle_through_component(
+    const std::vector<std::vector<std::uint32_t>>& adj,
+    const std::vector<std::uint32_t>& component);
+
+}  // namespace tv

@@ -1,5 +1,7 @@
 #include "core/snapshot.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <deque>
 #include <stdexcept>
 
@@ -19,15 +21,21 @@ EvalSnapshot::EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone,
 }
 
 void EvalSnapshot::set(SignalId id, Waveform w, std::string eval_str) {
+  w.canonicalize();
   if (intern_) {
-    set_ref(id, intern_->table.intern(std::move(w)), std::move(eval_str));
-    return;
+    WaveformRef ref = intern_->table.intern(w);
+    if (ref != kNoWaveform) {
+      set_ref(id, ref, std::move(eval_str));
+      return;
+    }
+    // Table full: keep the uninterned copy in the overlay slot; wave_ref()
+    // then reports kNoWaveform and the memo path turns itself off.
   }
   std::int32_t slot = cone_->signal_slot[id];
   if (slot < 0) throw std::logic_error("EvalSnapshot::set outside the cone");
-  w.canonicalize();
   waves_[slot] = std::move(w);
   eval_strs_[slot] = std::move(eval_str);
+  refs_[slot] = kNoWaveform;
   written_[slot] = 1;
 }
 
@@ -53,7 +61,8 @@ class CaseRunner {
         opts_(opts),
         in_worklist_(cone_.prims.size(), 0),
         eval_count_(cone_.prims.size(), 0),
-        case_map_(cone_.signals.size(), -1) {}
+        case_map_(cone_.signals.size(), -1),
+        seg_degraded_(cone_.signals.size(), 0) {}
 
   CaseRunStats run(const CaseSpec& c) {
     for (const auto& [sig, val] : c.pins) {
@@ -90,14 +99,43 @@ class CaseRunner {
   }
 
  private:
+  void record_degradation(const char* code, std::string message) {
+    stats_.degraded = true;
+    stats_.degradations.push_back(Degradation{code, std::move(message)});
+  }
+
+  /// Segment cap (VerifierOptions::max_segments_per_signal), snapshot-local.
+  void cap_segments(SignalId id, Waveform& w) {
+    if (opts_.max_segments_per_signal == 0) return;
+    if (w.segments().size() <= opts_.max_segments_per_signal) return;
+    std::int32_t slot = cone_.signal_slot[id];
+    if (slot >= 0 && !seg_degraded_[slot]) {
+      seg_degraded_[slot] = 1;
+      record_degradation(diag::kWarnSegmentCap,
+                         "signal \"" + nl_.signal(id).full_name + "\" exceeded " +
+                             std::to_string(opts_.max_segments_per_signal) +
+                             " waveform segments; degraded to UNKNOWN");
+    }
+    w = Waveform(opts_.period, Value::Unknown);
+    w.canonicalize();
+  }
+
   /// Applies the case map, canonicalizes, and writes the output if it
   /// changed -- the change test is a ref compare when interning is on and
   /// the equivalent() deep compare otherwise (the same predicate).
   void commit(SignalId out, Waveform w, std::string eval_str) {
     w = apply_case_map(out, std::move(w));
     w.canonicalize();
-    if (InternContext* ctx = snap_.intern_context()) {
-      WaveformRef ref = ctx->table.intern(std::move(w));
+    cap_segments(out, w);
+    InternContext* ctx = snap_.intern_context();
+    WaveformRef ref = ctx ? ctx->table.intern(w) : kNoWaveform;
+    if (ctx && ref == kNoWaveform && !table_full_reported_) {
+      table_full_reported_ = true;
+      record_degradation(diag::kWarnTableFull,
+                         "waveform table full; interning disabled for signal \"" +
+                             nl_.signal(out).full_name + "\" and later waveforms");
+    }
+    if (ctx && ref != kNoWaveform) {
       if (ref != snap_.wave_ref(out) || eval_str != snap_.eval_str(out)) {
         snap_.set_ref(out, ref, std::move(eval_str));
         ++stats_.events;
@@ -129,8 +167,59 @@ class CaseRunner {
     }
   }
 
+  /// Time-limit trip: everything still reachable from the queued cone work
+  /// degrades to UNKNOWN (conservative), then the run completes.
+  void degrade_remaining() {
+    Waveform unknown(opts_.period, Value::Unknown);
+    unknown.canonicalize();
+    std::vector<char> visited(cone_.prims.size(), 0);
+    std::deque<PrimId> queue;
+    for (PrimId pid : worklist_) {
+      std::int32_t slot = cone_.prim_slot[pid];
+      if (slot >= 0 && !visited[slot]) {
+        visited[slot] = 1;
+        queue.push_back(pid);
+      }
+    }
+    worklist_.clear();
+    std::fill(in_worklist_.begin(), in_worklist_.end(), 0);
+    std::size_t degraded_signals = 0;
+    while (!queue.empty()) {
+      PrimId pid = queue.front();
+      queue.pop_front();
+      const Primitive& p = nl_.prim(pid);
+      if (prim_is_checker(p.kind) || p.output == kNoSignal) continue;
+      if (!snap_.wave(p.output).equivalent(unknown)) {
+        snap_.set(p.output, unknown, std::string(snap_.eval_str(p.output)));
+        ++degraded_signals;
+      }
+      for (PrimId consumer : nl_.signal(p.output).fanout) {
+        std::int32_t slot = cone_.prim_slot[consumer];
+        if (slot >= 0 && !visited[slot]) {
+          visited[slot] = 1;
+          queue.push_back(consumer);
+        }
+      }
+    }
+    record_degradation(diag::kWarnTimeLimit,
+                       "time limit of " + std::to_string(opts_.time_limit_seconds) +
+                           "s exceeded; " + std::to_string(degraded_signals) +
+                           " signal(s) degraded to UNKNOWN");
+  }
+
   void run_worklist() {
+    using Clock = std::chrono::steady_clock;
+    const bool timed = opts_.time_limit_seconds > 0;
+    Clock::time_point deadline{};
+    if (timed) {
+      deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(opts_.time_limit_seconds));
+    }
     while (!worklist_.empty()) {
+      if (timed && Clock::now() >= deadline) {
+        degrade_remaining();
+        break;
+      }
       PrimId pid = worklist_.front();
       worklist_.pop_front();
       in_worklist_[cone_.prim_slot[pid]] = 0;
@@ -167,7 +256,7 @@ class CaseRunner {
       PrimEvalResult r = evaluate_primitive(p, ins, opts_.period);
       if (keyed) {
         WaveformRef out = ctx->table.intern(r.wave);
-        ctx->memo.store(key, MemoResult{out, r.eval_str});
+        if (out != kNoWaveform) ctx->memo.store(key, MemoResult{out, r.eval_str});
       }
       commit(p.output, std::move(r.wave), std::move(r.eval_str));
     }
@@ -181,6 +270,8 @@ class CaseRunner {
   std::vector<char> in_worklist_;           // per-snapshot, cone-slot indexed
   std::vector<std::size_t> eval_count_;     // per-snapshot oscillation guard
   std::vector<std::int8_t> case_map_;       // cone-slot indexed, -1 unmapped
+  std::vector<char> seg_degraded_;          // cone-slot: segment cap fired
+  bool table_full_reported_ = false;
   CaseRunStats stats_;
 };
 

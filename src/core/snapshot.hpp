@@ -117,6 +117,10 @@ struct CaseRunStats {
   std::size_t events = 0;  // incremental cost of this case (sec. 2.7)
   std::size_t evals = 0;
   bool converged = true;
+  /// Resource guards (segment cap, time limit, full table) degraded part of
+  /// this case's cone to UNKNOWN; see VerifierOptions. Conservative.
+  bool degraded = false;
+  std::vector<Degradation> degradations;
 };
 
 /// Evaluates one case inside the snapshot: reseeds the pinned signals with

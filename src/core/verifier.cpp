@@ -35,6 +35,8 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   r.base_events = ev_.propagate();
   r.base_evals = ev_.evals_performed();
   r.converged = ev_.converged();
+  r.partial = ev_.degraded();
+  r.degradations = ev_.degradations();
   r.violations = run_checks(ev_);
   r.cross_reference = ev_.netlist().undefined_unasserted();
   if (cases.empty()) return r;
@@ -63,6 +65,9 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   // fixpoint: workers share only the immutable netlist, and results land in
   // their input slot, so the merge is deterministic by construction.
   r.cases.resize(cases.size());
+  // Per-case degradation records land in their input slot and merge into the
+  // result after the pool joins, so the aggregate order is deterministic.
+  std::vector<std::vector<Degradation>> case_degradations(cases.size());
   auto run_one = [&](std::size_t i) {
     // Workers share the evaluator's shard-locked arena + memo; the baseline
     // refs let the snapshot start from ref compares without re-interning.
@@ -72,15 +77,26 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
     cr.name = cases[i].name;
     cr.events = stats.events;
     cr.converged = r.converged && stats.converged;
+    cr.degraded = stats.degraded;
+    case_degradations[i] = std::move(stats.degradations);
     EvalView view(snap, opts, cr.converged);
     cr.violations = run_checks_scoped(view, *cones[i], r.violations);
     sort_violations(cr.violations);
     r.cases[i] = std::move(cr);
   };
+  auto merge_degradations = [&] {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      if (r.cases[i].degraded) r.partial = true;
+      for (Degradation& d : case_degradations[i]) {
+        r.degradations.push_back(std::move(d));
+      }
+    }
+  };
 
   unsigned jobs = effective_jobs(opts.jobs, cases.size());
   if (jobs <= 1) {
     for (std::size_t i = 0; i < cases.size(); ++i) run_one(i);
+    merge_degradations();
     return r;
   }
   std::atomic<std::size_t> next{0};
@@ -104,6 +120,7 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  merge_degradations();
   return r;
 }
 

@@ -29,11 +29,20 @@ struct VerifyResult {
   std::size_t base_events = 0;
   std::size_t base_evals = 0;
   bool converged = true;
+  /// True when any resource guard (segment cap, wall-clock limit, full
+  /// waveform table) degraded part of the result to UNKNOWN -- in the base
+  /// run or any case. Degraded results are conservative: UNKNOWN can only
+  /// add violations, never hide one. JSON export carries this as "partial".
+  bool partial = false;
+  /// One entry per degradation event (TV-W2xx code + message), base run
+  /// first, then cases in input order.
+  std::vector<Degradation> degradations;
 
   struct CaseResult {
     std::string name;
     std::size_t events = 0;  // incremental cost of this case (sec. 2.7)
     bool converged = true;   // base convergence AND this case's propagation
+    bool degraded = false;   // a resource guard fired inside this case's cone
     /// Violations under this case, sorted by (missed-by, signal, kind) so
     /// the report is byte-stable for every job count.
     std::vector<Violation> violations;

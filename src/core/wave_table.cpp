@@ -29,7 +29,9 @@ WaveformRef WaveformTable::intern(Waveform w) {
   }
   std::uint32_t slot = sh.count;
   if ((slot >> kChunkBits) >= kMaxChunks) {
-    throw std::length_error("WaveformTable shard full");
+    // Shard exhausted: signal the caller instead of throwing so evaluation
+    // can degrade the affected cone conservatively rather than crash.
+    return kNoWaveform;
   }
   Waveform* chunk = sh.chunks[slot >> kChunkBits].load(std::memory_order_relaxed);
   if (chunk == nullptr) {

@@ -64,7 +64,9 @@ class WaveformTable {
   ~WaveformTable();
 
   /// Canonicalizes `w` and returns the ref of its unique copy, inserting it
-  /// on first sight. Equivalent waveforms always get the same ref.
+  /// on first sight. Equivalent waveforms always get the same ref. Returns
+  /// kNoWaveform when the shard is full (resource exhaustion; callers must
+  /// degrade, not crash).
   WaveformRef intern(Waveform w);
 
   /// The interned waveform. Lock-free; the reference stays valid for the

@@ -1,0 +1,49 @@
+#include "diag/diagnostic.hpp"
+
+namespace tv::diag {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal error";
+  }
+  return "?";
+}
+
+Diagnostic& DiagnosticEngine::report(Severity sev, std::string code, SourceLoc loc,
+                                     std::string message) {
+  if (sev == Severity::Warning && opts_.werror) sev = Severity::Error;
+  if (loc.file.empty()) loc.file = current_file_;
+  bool is_error = sev == Severity::Error || sev == Severity::Fatal;
+  if (is_error && limit_reached_) {
+    scratch_ = Diagnostic{sev, std::move(code), std::move(loc), std::move(message), {}};
+    return scratch_;
+  }
+  if (is_error) {
+    ++error_count_;
+  } else if (sev == Severity::Warning) {
+    ++warning_count_;
+  }
+  diags_.push_back(Diagnostic{sev, std::move(code), std::move(loc), std::move(message), {}});
+  Diagnostic& stored = diags_.back();
+  if (is_error && opts_.max_errors > 0 && error_count_ >= opts_.max_errors &&
+      !limit_reached_) {
+    limit_reached_ = true;
+    diags_.push_back(Diagnostic{Severity::Note, kErrTooManyErrors, SourceLoc{current_file_, 0, 0},
+                                "too many errors, stopping now (use --max-errors to raise the limit)",
+                                {}});
+    // `stored` may have been invalidated by the push_back above.
+    return diags_[diags_.size() - 2];
+  }
+  return stored;
+}
+
+Diagnostic& DiagnosticEngine::report(Severity sev, std::string code, int line, int column,
+                                     std::string message) {
+  return report(sev, std::move(code), SourceLoc{std::string(), line, column},
+                std::move(message));
+}
+
+}  // namespace tv::diag

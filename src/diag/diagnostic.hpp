@@ -1,0 +1,146 @@
+// Structured diagnostics for the Timing Verifier front-end and engine.
+//
+// The thesis stresses that the verifier's value is its *report* (secs. 2.4,
+// 3.5): it must pinpoint where a constraint fails, not merely detect it.
+// This subsystem is the reporting substrate: every front-end and engine
+// condition becomes a Diagnostic record -- severity, stable error code
+// (SHDL-E012 style), source span, message, attached notes (e.g. the macro
+// expansion backtrace) -- collected by a DiagnosticEngine instead of being
+// thrown as a bare exception that kills the run at the first problem.
+//
+// Error-code families (catalog in docs/diagnostics.md):
+//   SHDL-E00x  lexical errors
+//   SHDL-E01x  syntax errors (parser)
+//   SHDL-E02x  elaboration errors (macro expansion, signals, primitives)
+//   SHDL-E03x  design-level semantic errors (no design block, bad period)
+//   SHDL-E04x  netlist structural errors (finalize)
+//   SHDL-W05x  front-end warnings (static zero-delay loop, ...)
+//   TV-E1xx    engine errors (unconverged evaluation)
+//   TV-W2xx    engine resource-degradation warnings
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tv::diag {
+
+enum class Severity { Note, Warning, Error, Fatal };
+
+std::string_view severity_name(Severity s);
+
+/// A point in an SHDL source. Lines and columns are 1-based; 0 means
+/// "unknown" and renderers omit the component.
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+  int column = 0;
+};
+
+/// An attached note: secondary location + explanation (macro expansion
+/// backtraces, "previous definition here", ...).
+struct Note {
+  SourceLoc loc;
+  std::string message;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;     // stable machine-readable code, e.g. "SHDL-E012"
+  SourceLoc loc;
+  std::string message;
+  std::vector<Note> notes;
+};
+
+/// Collects diagnostics for one front-end / verification run.
+///
+/// Severity policy: `werror` promotes warnings to errors as they are
+/// reported; `max_errors` caps the number of *errors* collected -- when the
+/// cap is hit a final SHDL-E009 note-of-abandonment is appended and
+/// error_limit_reached() turns true so recovering parsers stop early.
+class DiagnosticEngine {
+ public:
+  struct Options {
+    std::size_t max_errors = 20;  // 0 = unlimited
+    bool werror = false;
+  };
+
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(Options opts) : opts_(opts) {}
+
+  /// Default file stamped onto reported locations whose `file` is empty.
+  void set_current_file(std::string file) { current_file_ = std::move(file); }
+  const std::string& current_file() const { return current_file_; }
+
+  /// Reports one diagnostic; returns a reference to the stored record so
+  /// callers may attach notes. After the error cap is hit, further errors
+  /// are swallowed (the returned reference points at a scratch record).
+  Diagnostic& report(Severity sev, std::string code, SourceLoc loc, std::string message);
+  /// Convenience: location in the current file.
+  Diagnostic& report(Severity sev, std::string code, int line, int column,
+                     std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  std::size_t error_count() const { return error_count_; }
+  std::size_t warning_count() const { return warning_count_; }
+  /// True once max_errors has been reached; recovering parsers abandon the
+  /// run at this point.
+  bool error_limit_reached() const { return limit_reached_; }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  std::string current_file_;
+  std::vector<Diagnostic> diags_;
+  Diagnostic scratch_;  // sink for reports past the error cap
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+  bool limit_reached_ = false;
+};
+
+// --- error-code constants ---------------------------------------------------
+// Lexical
+inline constexpr const char* kErrUnterminatedString = "SHDL-E001";
+inline constexpr const char* kErrUnexpectedChar = "SHDL-E002";
+inline constexpr const char* kErrMalformedNumber = "SHDL-E003";
+inline constexpr const char* kErrTooManyErrors = "SHDL-E009";
+// Syntax
+inline constexpr const char* kErrExpectedToken = "SHDL-E010";
+inline constexpr const char* kErrDuplicateMacro = "SHDL-E011";
+inline constexpr const char* kErrMultipleDesigns = "SHDL-E012";
+inline constexpr const char* kErrBadCaseValue = "SHDL-E013";
+inline constexpr const char* kErrBadStatement = "SHDL-E014";
+// Elaboration
+inline constexpr const char* kErrElab = "SHDL-E020";
+inline constexpr const char* kErrUnknownParam = "SHDL-E021";
+inline constexpr const char* kErrBadRange = "SHDL-E022";
+inline constexpr const char* kErrNotAParameter = "SHDL-E023";
+inline constexpr const char* kErrUnknownMacro = "SHDL-E024";
+inline constexpr const char* kErrMacroParams = "SHDL-E025";
+inline constexpr const char* kErrMacroRecursion = "SHDL-E026";
+inline constexpr const char* kErrPinCount = "SHDL-E027";
+inline constexpr const char* kErrUnknownPrimitive = "SHDL-E028";
+inline constexpr const char* kErrRiseFallPair = "SHDL-E029";
+// Design-level
+inline constexpr const char* kErrNoDesign = "SHDL-E030";
+inline constexpr const char* kErrBadPeriod = "SHDL-E031";
+inline constexpr const char* kErrBadDelay = "SHDL-E032";
+inline constexpr const char* kErrInternal = "SHDL-E099";
+// Netlist structure (finalize)
+inline constexpr const char* kErrPinCountFinal = "SHDL-E040";
+inline constexpr const char* kErrNoOutput = "SHDL-E041";
+inline constexpr const char* kErrCheckerDrives = "SHDL-E042";
+inline constexpr const char* kErrUnconnectedInput = "SHDL-E043";
+inline constexpr const char* kErrMultipleDrivers = "SHDL-E044";
+inline constexpr const char* kErrClockDriven = "SHDL-E045";
+// Front-end warnings
+inline constexpr const char* kWarnZeroDelayLoop = "SHDL-W050";
+// Engine
+inline constexpr const char* kErrUnconverged = "TV-E101";
+inline constexpr const char* kWarnSegmentCap = "TV-W201";
+inline constexpr const char* kWarnTimeLimit = "TV-W202";
+inline constexpr const char* kWarnTableFull = "TV-W203";
+
+}  // namespace tv::diag

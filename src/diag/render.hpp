@@ -1,0 +1,37 @@
+// Renderers for collected diagnostics: the human text form written to
+// stderr and the machine JSON form behind `scaldtv --diag-json`.
+#pragma once
+
+#include <string>
+
+#include "diag/diagnostic.hpp"
+
+namespace tv::diag {
+
+/// Renders one diagnostic in the conventional compiler form:
+///
+///   file:line:col: error: message [SHDL-E012]
+///     note: in expansion of macro "ALU_10181" instantiated at file:line
+///
+/// Unknown line/column components are omitted.
+std::string render_text(const Diagnostic& d);
+
+/// All diagnostics, one per line (notes indented under their parent), plus
+/// a trailing "N error(s), M warning(s) generated." summary when anything
+/// was reported.
+std::string render_text(const DiagnosticEngine& engine);
+
+/// JSON document: {"diagnostics": [...], "errors": N, "warnings": M}.
+/// Schema documented in docs/diagnostics.md.
+std::string render_json(const DiagnosticEngine& engine);
+
+/// The scaldtv exit-code contract (documented in README.md):
+///   2  usage or input errors (any error diagnostics)
+///   3  resource-degraded run (completed, but partial results)
+///   1  timing violations found
+///   0  clean
+/// Priority is top-down: input errors dominate degradation dominates
+/// violations.
+int exit_code(bool input_errors, bool degraded, bool violations);
+
+}  // namespace tv::diag

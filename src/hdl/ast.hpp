@@ -49,6 +49,7 @@ struct Attr {
   ExprPtr lo;            // single value or range low
   ExprPtr hi;            // range high (null for single values)
   int line = 0;
+  int column = 0;
 };
 
 struct Instance {
@@ -58,6 +59,7 @@ struct Instance {
   std::vector<std::string> pins;    // signal strings, inputs in order
   std::string output;               // "-> STRING" (empty for checkers/macros)
   int line = 0;
+  int column = 0;
 };
 
 struct ParamDecl {
@@ -69,17 +71,21 @@ struct WireDelayDecl {
   std::string signal;
   ExprPtr dmin, dmax;
   int line = 0;
+  int column = 0;
 };
 
 /// "synonym \"A\" = \"B\";" -- two names for one signal (Pass 1).
 struct SynonymDecl {
   std::string a, b;
   int line = 0;
+  int column = 0;
 };
 
 struct CaseDecl {
   std::string name;
   std::vector<std::pair<std::string, int>> pins;  // signal -> 0/1
+  int line = 0;
+  int column = 0;
 };
 
 struct Body {
@@ -94,6 +100,11 @@ struct Body {
   double wire_min_ns = -1, wire_max_ns = -1;
   double precision_skew[2] = {1, -1};  // invalid marker (min > max)
   double clock_skew[2] = {1, -1};
+  // Source spans for design-level diagnostics: the body's opening line and
+  // the 'period' statement (0 = absent).
+  int line = 0;
+  int period_line = 0;
+  int period_column = 0;
 };
 
 struct MacroDef {
@@ -101,6 +112,8 @@ struct MacroDef {
   std::vector<std::string> formals;  // numeric parameters (SIZE, ...)
   Body body;
   int line = 0;
+  int column = 0;
+  std::string file;  // source attribution when merged across sources
 };
 
 struct File {
@@ -108,6 +121,8 @@ struct File {
   std::string design_name;
   Body design;
   bool has_design = false;
+  int design_line = 0;  // 'design' keyword line (0 when has_design is false)
+  int end_line = 1;     // line of end-of-input, for whole-file diagnostics
 };
 
 }  // namespace tv::hdl

@@ -7,14 +7,72 @@
 
 #include "hdl/parser.hpp"
 #include "util/strings.hpp"
+#include "util/time.hpp"
 
 namespace tv::hdl {
 
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& why) {
+/// Unwinds elaboration after an error has been reported through the
+/// DiagnosticEngine (diagnostic mode only).
+struct ElabBail {};
+
+/// One frame of the macro-expansion backtrace: where the macro was
+/// instantiated, and which source file the expansion's line numbers now
+/// refer to (macros merged from other sources keep their own numbering).
+struct MacroFrame {
+  std::string macro;
+  std::string site_file;  // file of the instantiation site
+  int line = 0;
+  int column = 0;
+};
+
+/// Diagnostic-mode state, threaded through the expansion walk without
+/// touching every helper signature. Null `diags` = legacy throwing mode.
+struct DiagState {
+  diag::DiagnosticEngine* diags = nullptr;
+  std::string current_file;  // file whose line numbers apply right now
+  std::vector<MacroFrame> stack;
+};
+thread_local DiagState t_diag;
+
+struct DiagScope {
+  explicit DiagScope(diag::DiagnosticEngine& diags) {
+    t_diag.diags = &diags;
+    t_diag.current_file = diags.current_file();
+    t_diag.stack.clear();
+  }
+  ~DiagScope() { t_diag = DiagState{}; }
+};
+
+[[noreturn]] void fail(int line, int column, const char* code, const std::string& why) {
+  if (t_diag.diags) {
+    diag::Diagnostic& d = t_diag.diags->report(
+        diag::Severity::Error, code, diag::SourceLoc{t_diag.current_file, line, column},
+        why);
+    for (auto it = t_diag.stack.rbegin(); it != t_diag.stack.rend(); ++it) {
+      d.notes.push_back(
+          diag::Note{diag::SourceLoc{it->site_file, it->line, it->column},
+                     "in expansion of macro \"" + it->macro + "\" instantiated here"});
+    }
+    throw ElabBail{};
+  }
   throw std::invalid_argument("SHDL elaboration error at line " + std::to_string(line) + ": " +
                               why);
+}
+
+/// Evaluates an attribute/wire-delay expression; an unknown macro parameter
+/// becomes a located SHDL-E021 in diagnostic mode.
+double eval_expr(const Expr& e, const std::map<std::string, double>& env, int line,
+                 int column) {
+  try {
+    return e.eval(env, line);
+  } catch (const std::invalid_argument& ex) {
+    if (!t_diag.diags) throw;
+    std::string msg = ex.what();
+    if (std::size_t p = msg.find(": "); p != std::string::npos) msg = msg.substr(p + 2);
+    fail(line, column, diag::kErrUnknownParam, msg);
+  }
 }
 
 // --- tiny arithmetic evaluator for "<0:SIZE-1>" range texts ----------------
@@ -27,7 +85,9 @@ class RangeExpr {
   double eval() {
     double v = sum();
     skip_ws();
-    if (pos_ != s_.size()) fail(line_, "bad range expression \"" + std::string(s_) + "\"");
+    if (pos_ != s_.size()) {
+      fail(line_, 0, diag::kErrBadRange, "bad range expression \"" + std::string(s_) + "\"");
+    }
     return v;
   }
 
@@ -62,7 +122,9 @@ class RangeExpr {
     if (c == '(') {
       ++pos_;
       double v = sum();
-      if (peek() != ')') fail(line_, "missing ')' in range expression");
+      if (peek() != ')') {
+        fail(line_, 0, diag::kErrBadRange, "missing ')' in range expression");
+      }
       ++pos_;
       return v;
     }
@@ -76,7 +138,12 @@ class RangeExpr {
              (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.')) {
         ++pos_;
       }
-      return std::stod(std::string(s_.substr(start, pos_ - start)));
+      std::string text(s_.substr(start, pos_ - start));
+      try {
+        return std::stod(text);
+      } catch (const std::exception&) {
+        fail(line_, 0, diag::kErrBadRange, "bad number \"" + text + "\" in range expression");
+      }
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       std::size_t start = pos_;
@@ -86,10 +153,12 @@ class RangeExpr {
       }
       std::string name(s_.substr(start, pos_ - start));
       auto it = env_.find(name);
-      if (it == env_.end()) fail(line_, "unknown parameter \"" + name + "\" in range");
+      if (it == env_.end()) {
+        fail(line_, 0, diag::kErrUnknownParam, "unknown parameter \"" + name + "\" in range");
+      }
       return it->second;
     }
-    fail(line_, "bad range expression \"" + std::string(s_) + "\"");
+    fail(line_, 0, diag::kErrBadRange, "bad range expression \"" + std::string(s_) + "\"");
   }
 
   std::string_view s_;
@@ -145,7 +214,9 @@ SigText decompose(std::string_view s, int line) {
   // Vector range.
   if (std::size_t lt = rest.find('<'); lt != std::string_view::npos) {
     std::size_t gt = rest.rfind('>');
-    if (gt == std::string_view::npos || gt < lt) fail(line, "unterminated vector range");
+    if (gt == std::string_view::npos || gt < lt) {
+      fail(line, 0, diag::kErrBadRange, "unterminated vector range");
+    }
     t.range = std::string(rest.substr(lt + 1, gt - lt - 1));
     t.head = std::string(trim(rest.substr(0, lt)));
   } else {
@@ -209,7 +280,8 @@ Resolved resolve_signal(const std::string& raw, const Scope& scope, int line) {
     return r;
   }
   if (t.scope == "/P") {
-    fail(line, "\"" + raw + "\" is marked /P but is not a declared parameter");
+    fail(line, 0, diag::kErrNotAParameter,
+         "\"" + raw + "\" is marked /P but is not a declared parameter");
   }
 
   // Global (unmarked) or instance-local ("/M") signal.
@@ -227,6 +299,13 @@ Resolved resolve_signal(const std::string& raw, const Scope& scope, int line) {
 
 // --- expansion walk ---------------------------------------------------------
 
+struct SynonymPair {
+  Resolved a, b;
+  int line = 0;
+  int column = 0;
+  std::string file;  // source attribution at resolution time
+};
+
 struct ExpandCtx {
   const File& file;
   Netlist* nl = nullptr;  // null during pass 1
@@ -234,9 +313,10 @@ struct ExpandCtx {
   std::set<std::string> signal_names;
   std::vector<std::pair<std::string, std::vector<std::pair<std::string, int>>>> raw_cases;
   std::vector<std::pair<Resolved, std::pair<Time, Time>>> wire_delays;
-  std::vector<std::pair<Resolved, Resolved>> synonyms;
+  std::vector<SynonymPair> synonyms;
   std::size_t inst_counter = 0;
   int depth = 0;
+  std::vector<diag::SourceLoc>* prim_locs = nullptr;  // PrimId -> site
 };
 
 double attr_value(const Instance& inst, const char* name, const Scope& scope, double dflt,
@@ -244,8 +324,8 @@ double attr_value(const Instance& inst, const char* name, const Scope& scope, do
   for (const Attr& a : inst.attrs) {
     if (a.name == name) {
       if (found) *found = true;
-      double lo = a.lo->eval(scope.env, a.line);
-      if (hi) *hi = a.hi ? a.hi->eval(scope.env, a.line) : lo;
+      double lo = eval_expr(*a.lo, scope.env, a.line, a.column);
+      if (hi) *hi = a.hi ? eval_expr(*a.hi, scope.env, a.line, a.column) : lo;
       return lo;
     }
   }
@@ -267,17 +347,28 @@ void build_primitive(ExpandCtx& ctx, const Instance& inst, const Scope& scope,
   const std::string& k = inst.kind;
   double dmax_ns = 0;
   double dmin_ns = attr_value(inst, "delay", scope, 0, nullptr, &dmax_ns);
+  if (t_diag.diags && (dmin_ns < 0 || dmax_ns < dmin_ns)) {
+    // Legacy mode leaves this to the Netlist builders (same condition, but a
+    // location-free exception); here we can name the instantiation site.
+    fail(inst.line, inst.column, diag::kErrBadDelay,
+         "\"" + k + "\": invalid delay range " + format_ns(from_ns(dmin_ns)) + ":" +
+             format_ns(from_ns(dmax_ns)) + " (need 0 <= min <= max)");
+  }
   Time dmin = from_ns(dmin_ns), dmax = from_ns(dmax_ns);
   int width = static_cast<int>(attr_value(inst, "width", scope, 1));
 
   auto need = [&](std::size_t n) {
     if (pins.size() != n) {
-      fail(inst.line, "\"" + k + "\" needs " + std::to_string(n) + " inputs, got " +
-                          std::to_string(pins.size()));
+      fail(inst.line, inst.column, diag::kErrPinCount,
+           "\"" + k + "\" needs " + std::to_string(n) + " inputs, got " +
+               std::to_string(pins.size()));
     }
   };
   auto need_out = [&]() -> Ref {
-    if (!out) fail(inst.line, "\"" + k + "\" needs an output ('-> \"SIG\"')");
+    if (!out) {
+      fail(inst.line, inst.column, diag::kErrPinCount,
+           "\"" + k + "\" needs an output ('-> \"SIG\"')");
+    }
     return make_ref(ctx, *out);
   };
   auto refs = [&](std::size_t from, std::size_t to) {
@@ -295,7 +386,10 @@ void build_primitive(ExpandCtx& ctx, const Instance& inst, const Scope& scope,
     need(1);
     made = nl.not_gate(name, dmin, dmax, make_ref(ctx, pins[0]), need_out(), width);
   } else if (k == "or" || k == "and" || k == "xor" || k == "chg") {
-    if (pins.empty()) fail(inst.line, "\"" + k + "\" needs at least one input");
+    if (pins.empty()) {
+      fail(inst.line, inst.column, diag::kErrPinCount,
+           "\"" + k + "\" needs at least one input");
+    }
     PrimKind kind = k == "or"    ? PrimKind::Or
                     : k == "and" ? PrimKind::And
                     : k == "xor" ? PrimKind::Xor
@@ -344,7 +438,8 @@ void build_primitive(ExpandCtx& ctx, const Instance& inst, const Scope& scope,
                            from_ns(attr_value(inst, "min_low", scope, 0)),
                            make_ref(ctx, pins[0]));
   } else {
-    fail(inst.line, "unknown primitive \"" + k + "\" (and no such macro)");
+    fail(inst.line, inst.column, diag::kErrUnknownPrimitive,
+         "unknown primitive \"" + k + "\" (and no such macro)");
   }
 
   // Optional polarity-dependent delays (sec. 4.2.2 extension):
@@ -354,7 +449,8 @@ void build_primitive(ExpandCtx& ctx, const Instance& inst, const Scope& scope,
   double rise_lo = attr_value(inst, "rise", scope, 0, &has_rise, &rise_hi);
   double fall_lo = attr_value(inst, "fall", scope, 0, &has_fall, &fall_hi);
   if (has_rise != has_fall) {
-    fail(inst.line, "\"" + k + "\": rise and fall delays must be given together");
+    fail(inst.line, inst.column, diag::kErrRiseFallPair,
+         "\"" + k + "\": rise and fall delays must be given together");
   }
   if (has_rise && made != kNoPrim) {
     nl.set_rise_fall(made, RiseFallDelay{from_ns(rise_lo), from_ns(rise_hi), from_ns(fall_lo),
@@ -375,47 +471,88 @@ void expand_instance(ExpandCtx& ctx, const Instance& inst, const Scope& scope) {
 
   if (inst.is_macro || ctx.file.macros.count(inst.kind)) {
     auto it = ctx.file.macros.find(inst.kind);
-    if (it == ctx.file.macros.end()) fail(inst.line, "unknown macro \"" + inst.kind + "\"");
+    if (it == ctx.file.macros.end()) {
+      fail(inst.line, inst.column, diag::kErrUnknownMacro,
+           "unknown macro \"" + inst.kind + "\"");
+    }
     const MacroDef& def = it->second;
-    if (ctx.depth > 64) fail(inst.line, "macro recursion too deep (cycle?)");
+    if (ctx.depth > 64) {
+      fail(inst.line, inst.column, diag::kErrMacroRecursion,
+           "macro recursion too deep (cycle?)");
+    }
+
+    // While evaluating inside the macro's own source, diagnostics get a
+    // backtrace frame ("in expansion of macro ... instantiated here") and
+    // line numbers are attributed to the definition's file.
+    struct FrameGuard {
+      bool active = false;
+      std::string saved_file;
+      FrameGuard(const MacroDef& d, const Instance& i) {
+        if (!t_diag.diags) return;
+        active = true;
+        t_diag.stack.push_back(MacroFrame{d.name, t_diag.current_file, i.line, i.column});
+        saved_file = t_diag.current_file;
+        if (!d.file.empty()) t_diag.current_file = d.file;
+      }
+      ~FrameGuard() {
+        if (!active) return;
+        t_diag.stack.pop_back();
+        t_diag.current_file = std::move(saved_file);
+      }
+    };
+    struct DepthGuard {
+      int& d;
+      explicit DepthGuard(int& depth) : d(depth) { ++d; }
+      ~DepthGuard() { --d; }
+    };
 
     Scope inner;
     inner.path =
         (scope.path.empty() ? "" : scope.path + "/") + inst.kind + "#" +
         std::to_string(ctx.inst_counter++);
-    // Numeric parameters from attributes.
+    // Numeric parameters from attributes (evaluated at the *call* site,
+    // before entering the macro's source scope).
     for (const std::string& formal : def.formals) {
       bool found = false;
       double v = attr_value(inst, formal.c_str(), scope, 0, &found);
-      if (!found) fail(inst.line, "macro \"" + def.name + "\": parameter " + formal + " not given");
+      if (!found) {
+        fail(inst.line, inst.column, diag::kErrMacroParams,
+             "macro \"" + def.name + "\": parameter " + formal + " not given");
+      }
       inner.env[formal] = v;
     }
     // Signal parameters: declaration order (ins and outs as declared) maps
-    // positionally to the instance pins.
+    // positionally to the instance pins. Widths evaluate in the macro's
+    // source scope (they reference the definition's lines).
     std::vector<std::pair<std::string, int>> formals;  // base name, decl width
-    for (const ParamDecl& d : def.body.params) {
-      for (const std::string& n : d.names) {
-        SigText t = decompose(n, def.line);
-        int w = 1;
-        if (!t.range.empty()) {
-          auto colon = t.range.find(':');
-          if (colon == std::string::npos) {
-            w = 1;
-          } else {
-            double lo =
-                RangeExpr(std::string_view(t.range).substr(0, colon), inner.env, def.line).eval();
-            double hi = RangeExpr(std::string_view(t.range).substr(colon + 1), inner.env,
-                                  def.line)
-                            .eval();
-            w = static_cast<int>(std::llround(std::abs(hi - lo))) + 1;
+    {
+      FrameGuard frame(def, inst);
+      for (const ParamDecl& d : def.body.params) {
+        for (const std::string& n : d.names) {
+          SigText t = decompose(n, def.line);
+          int w = 1;
+          if (!t.range.empty()) {
+            auto colon = t.range.find(':');
+            if (colon == std::string::npos) {
+              w = 1;
+            } else {
+              double lo = RangeExpr(std::string_view(t.range).substr(0, colon), inner.env,
+                                    def.line)
+                              .eval();
+              double hi = RangeExpr(std::string_view(t.range).substr(colon + 1), inner.env,
+                                    def.line)
+                              .eval();
+              w = static_cast<int>(std::llround(std::abs(hi - lo))) + 1;
+            }
           }
+          formals.emplace_back(t.head, w);
         }
-        formals.emplace_back(t.head, w);
       }
     }
     if (formals.size() != pins.size()) {
-      fail(inst.line, "macro \"" + def.name + "\" declares " + std::to_string(formals.size()) +
-                          " parameters but " + std::to_string(pins.size()) + " were connected");
+      fail(inst.line, inst.column, diag::kErrMacroParams,
+           "macro \"" + def.name + "\" declares " + std::to_string(formals.size()) +
+               " parameters but " + std::to_string(pins.size()) + " were connected");
     }
     for (std::size_t i = 0; i < formals.size(); ++i) {
       Resolved actual = pins[i];
@@ -423,9 +560,11 @@ void expand_instance(ExpandCtx& ctx, const Instance& inst, const Scope& scope) {
       inner.signal_map.emplace(formals[i].first, std::move(actual));
     }
     ++ctx.sum.macro_instances;
-    ++ctx.depth;
-    expand_body(ctx, def.body, inner);
-    --ctx.depth;
+    {
+      DepthGuard depth(ctx.depth);
+      FrameGuard frame(def, inst);
+      expand_body(ctx, def.body, inner);
+    }
     return;
   }
 
@@ -444,54 +583,99 @@ void expand_instance(ExpandCtx& ctx, const Instance& inst, const Scope& scope) {
   if (ctx.nl) {
     std::string name = (scope.path.empty() ? "" : scope.path + "/") + inst.kind + "#" +
                        std::to_string(ctx.inst_counter++);
-    build_primitive(ctx, inst, scope, pins, has_out ? &out : nullptr, name);
+    std::size_t before = ctx.nl->num_prims();
+    try {
+      build_primitive(ctx, inst, scope, pins, has_out ? &out : nullptr, name);
+    } catch (const ElabBail&) {
+      throw;
+    } catch (const std::exception& e) {
+      // Netlist builders throw on semantic violations (conflicting
+      // assertions, bad delay ranges); give them the instance's location.
+      if (!t_diag.diags) throw;
+      fail(inst.line, inst.column, diag::kErrElab, e.what());
+    }
+    if (ctx.prim_locs) {
+      if (ctx.prim_locs->size() < ctx.nl->num_prims()) {
+        ctx.prim_locs->resize(ctx.nl->num_prims());
+      }
+      diag::SourceLoc loc{t_diag.current_file, inst.line, inst.column};
+      for (std::size_t p = before; p < ctx.nl->num_prims(); ++p) (*ctx.prim_locs)[p] = loc;
+    }
   }
 }
 
 void expand_body(ExpandCtx& ctx, const Body& body, const Scope& scope) {
-  for (const Instance& inst : body.instances) expand_instance(ctx, inst, scope);
+  for (const Instance& inst : body.instances) {
+    // At the design's top level in diagnostic mode, a bad instance is
+    // reported and the walk continues with the next statement, so one run
+    // surfaces every elaboration error (capped by --max-errors).
+    if (t_diag.diags && ctx.depth == 0) {
+      try {
+        expand_instance(ctx, inst, scope);
+      } catch (const ElabBail&) {
+        if (t_diag.diags->error_limit_reached()) throw;
+      }
+    } else {
+      expand_instance(ctx, inst, scope);
+    }
+  }
   for (const WireDelayDecl& d : body.wire_delays) {
     Resolved r = resolve_signal(d.signal, scope, d.line);
     note_signal(ctx, r);
-    Time lo = from_ns(d.dmin->eval(scope.env, d.line));
-    Time hi = from_ns(d.dmax->eval(scope.env, d.line));
+    Time lo = from_ns(eval_expr(*d.dmin, scope.env, d.line, d.column));
+    Time hi = from_ns(eval_expr(*d.dmax, scope.env, d.line, d.column));
     ctx.wire_delays.emplace_back(std::move(r), std::make_pair(lo, hi));
   }
   for (const SynonymDecl& d : body.synonyms) {
-    ctx.synonyms.emplace_back(resolve_signal(d.a, scope, d.line),
-                              resolve_signal(d.b, scope, d.line));
+    ctx.synonyms.push_back(SynonymPair{resolve_signal(d.a, scope, d.line),
+                                       resolve_signal(d.b, scope, d.line), d.line, d.column,
+                                       t_diag.current_file});
   }
   for (const CaseDecl& c : body.cases) {
     std::vector<std::pair<std::string, int>> pins;
     for (const auto& [sig, val] : c.pins) {
-      pins.emplace_back(resolve_signal(sig, scope, 0).text, val);
+      pins.emplace_back(resolve_signal(sig, scope, c.line).text, val);
     }
     ctx.raw_cases.emplace_back(c.name, std::move(pins));
   }
 }
 
-ExpandCtx run_expansion(const File& file, Netlist* nl) {
-  if (!file.has_design) throw std::invalid_argument("SHDL file has no design block");
-  ExpandCtx ctx{file, nl, {}, {}, {}, {}, {}, 0, 0};
+ExpandCtx run_expansion(const File& file, Netlist* nl,
+                        std::vector<diag::SourceLoc>* prim_locs = nullptr) {
+  if (!file.has_design) {
+    if (t_diag.diags) {
+      fail(file.end_line, 0, diag::kErrNoDesign, "SHDL file has no design block");
+    }
+    throw std::invalid_argument("SHDL file has no design block");
+  }
+  ExpandCtx ctx{file, nl, {}, {}, {}, {}, {}, 0, 0, prim_locs};
   Scope top;
   expand_body(ctx, file.design, top);
   ctx.sum.unique_signals = ctx.signal_names.size();
   return ctx;
 }
 
-}  // namespace
-
-ExpandSummary expand_summary(const File& file) { return run_expansion(file, nullptr).sum; }
-
-ElaboratedDesign elaborate(const File& file) {
+ElaboratedDesign elaborate_impl(const File& file) {
   ElaboratedDesign out;
   out.name = file.design_name;
 
-  ExpandCtx ctx = run_expansion(file, &out.netlist);
+  ExpandCtx ctx = run_expansion(file, &out.netlist,
+                                t_diag.diags ? &out.prim_locs : nullptr);
   out.summary = ctx.sum;
 
+  // Don't pile structural errors on top of expansion errors: the netlist is
+  // incomplete once any instance failed to build.
+  if (t_diag.diags && t_diag.diags->has_errors()) throw ElabBail{};
+
   const Body& d = file.design;
-  if (d.period_ns <= 0) throw std::invalid_argument("design must specify a positive period");
+  if (d.period_ns <= 0) {
+    if (t_diag.diags) {
+      int line = d.period_line > 0 ? d.period_line : (d.line > 0 ? d.line : file.design_line);
+      int column = d.period_line > 0 ? d.period_column : 0;
+      fail(line, column, diag::kErrBadPeriod, "design must specify a positive period");
+    }
+    throw std::invalid_argument("design must specify a positive period");
+  }
   out.options.period = from_ns(d.period_ns);
   out.options.units = ClockUnits::from_ns_per_unit(d.clock_unit_ns > 0 ? d.clock_unit_ns : 1.0);
   if (d.wire_min_ns >= 0) {
@@ -506,10 +690,16 @@ ElaboratedDesign elaborate(const File& file) {
     out.options.assertion_defaults.clock_skew_plus_ns = d.clock_skew[1];
   }
 
-  for (const auto& [a, b] : ctx.synonyms) {
-    Ref ra = out.netlist.ref(a.text, a.width);
-    Ref rb = out.netlist.ref(b.text, b.width);
-    out.netlist.merge_signals(ra.id, rb.id);
+  for (const SynonymPair& syn : ctx.synonyms) {
+    try {
+      Ref ra = out.netlist.ref(syn.a.text, syn.a.width);
+      Ref rb = out.netlist.ref(syn.b.text, syn.b.width);
+      out.netlist.merge_signals(ra.id, rb.id);
+    } catch (const std::exception& e) {
+      if (!t_diag.diags) throw;
+      t_diag.current_file = syn.file;
+      fail(syn.line, syn.column, diag::kErrElab, e.what());
+    }
   }
   for (const auto& [resolved, range] : ctx.wire_delays) {
     Ref r = out.netlist.ref(resolved.text, resolved.width);
@@ -524,12 +714,44 @@ ElaboratedDesign elaborate(const File& file) {
     }
     out.cases.push_back(std::move(spec));
   }
-  out.netlist.finalize();
+  if (t_diag.diags) {
+    if (!out.netlist.finalize(*t_diag.diags, &out.prim_locs)) throw ElabBail{};
+  } else {
+    out.netlist.finalize();
+  }
   return out;
 }
 
+}  // namespace
+
+ExpandSummary expand_summary(const File& file) { return run_expansion(file, nullptr).sum; }
+
+ElaboratedDesign elaborate(const File& file) { return elaborate_impl(file); }
+
 ElaboratedDesign elaborate_source(std::string_view src) {
   return elaborate(parse(src));
+}
+
+std::optional<ElaboratedDesign> elaborate(const File& file, diag::DiagnosticEngine& diags) {
+  DiagScope scope(diags);
+  try {
+    ElaboratedDesign out = elaborate_impl(file);
+    if (diags.has_errors()) return std::nullopt;
+    return out;
+  } catch (const ElabBail&) {
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    diags.report(diag::Severity::Error, diag::kErrInternal, diag::SourceLoc{},
+                 std::string("internal elaboration error: ") + e.what());
+    return std::nullopt;
+  }
+}
+
+std::optional<ElaboratedDesign> elaborate_source(std::string_view src,
+                                                 diag::DiagnosticEngine& diags) {
+  File f = parse(src, diags);
+  if (diags.has_errors()) return std::nullopt;
+  return elaborate(f, diags);
 }
 
 }  // namespace tv::hdl

@@ -13,10 +13,12 @@
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/evaluator.hpp"
 #include "core/netlist.hpp"
+#include "diag/diagnostic.hpp"
 #include "hdl/ast.hpp"
 
 namespace tv::hdl {
@@ -37,6 +39,9 @@ struct ElaboratedDesign {
   VerifierOptions options;
   std::vector<CaseSpec> cases;
   ExpandSummary summary;
+  /// Source location of each primitive's instantiation site (PrimId-indexed;
+  /// populated only by the diagnostic entry points).
+  std::vector<diag::SourceLoc> prim_locs;
 };
 
 /// Pass 1 only: expands the hierarchy without building the netlist.
@@ -49,5 +54,18 @@ ElaboratedDesign elaborate(const File& file);
 
 /// Convenience: parse + elaborate.
 ElaboratedDesign elaborate_source(std::string_view src);
+
+/// Diagnostic form: semantic errors are reported through `diags` with
+/// source spans mapped back through macro expansion (each diagnostic
+/// carries "in expansion of macro ... instantiated here" notes) and stable
+/// error codes, instead of a thrown exception. Returns std::nullopt when
+/// any error was reported. Never throws on malformed input; internal
+/// failures surface as an SHDL-E099 diagnostic.
+std::optional<ElaboratedDesign> elaborate(const File& file, diag::DiagnosticEngine& diags);
+
+/// Parse (with statement-boundary recovery, reporting every syntax error)
+/// + elaborate, all through `diags`.
+std::optional<ElaboratedDesign> elaborate_source(std::string_view src,
+                                                 diag::DiagnosticEngine& diags);
 
 }  // namespace tv::hdl

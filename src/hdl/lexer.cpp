@@ -5,12 +5,6 @@
 
 namespace tv::hdl {
 
-namespace {
-[[noreturn]] void fail(int line, const std::string& why) {
-  throw std::invalid_argument("SHDL lex error at line " + std::to_string(line) + ": " + why);
-}
-}  // namespace
-
 std::string_view tok_name(Tok t) {
   switch (t) {
     case Tok::Ident: return "identifier";
@@ -36,12 +30,26 @@ std::string_view tok_name(Tok t) {
   return "?";
 }
 
-std::vector<Token> lex(std::string_view src) {
+namespace {
+
+// One implementation for both entry points: with a DiagnosticEngine errors
+// are reported and recovered from; without one the first error throws the
+// legacy std::invalid_argument.
+std::vector<Token> lex_impl(std::string_view src, diag::DiagnosticEngine* diags) {
   std::vector<Token> out;
   int line = 1;
   std::size_t i = 0;
+  std::size_t line_start = 0;
+  auto column_of = [&](std::size_t pos) { return static_cast<int>(pos - line_start) + 1; };
+  auto error = [&](std::size_t pos, const char* code, const std::string& why) {
+    if (diags) {
+      diags->report(diag::Severity::Error, code, line, column_of(pos), why);
+      return;
+    }
+    throw std::invalid_argument("SHDL lex error at line " + std::to_string(line) + ": " + why);
+  };
   auto push = [&](Tok k, std::string text = {}) {
-    out.push_back(Token{k, std::move(text), 0, line});
+    out.push_back(Token{k, std::move(text), 0, line, column_of(i)});
   };
 
   while (i < src.size()) {
@@ -49,6 +57,7 @@ std::vector<Token> lex(std::string_view src) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -65,10 +74,19 @@ std::vector<Token> lex(std::string_view src) {
       continue;
     }
     if (c == '"') {
+      std::size_t open = i;
       std::size_t start = ++i;
       while (i < src.size() && src[i] != '"' && src[i] != '\n') ++i;
-      if (i >= src.size() || src[i] != '"') fail(line, "unterminated string");
-      push(Tok::String, std::string(src.substr(start, i - start)));
+      if (i >= src.size() || src[i] != '"') {
+        error(open, diag::kErrUnterminatedString, "unterminated string");
+        // Recovery: use the rest of the line as the string contents.
+        out.push_back(
+            Token{Tok::String, std::string(src.substr(start, i - start)), 0, line,
+                  column_of(open)});
+        continue;
+      }
+      out.push_back(Token{Tok::String, std::string(src.substr(start, i - start)), 0, line,
+                          column_of(open)});
       ++i;
       continue;
     }
@@ -82,8 +100,21 @@ std::vector<Token> lex(std::string_view src) {
       Token t;
       t.kind = Tok::Number;
       t.text = std::string(src.substr(start, i - start));
-      t.number = std::stod(t.text);
       t.line = line;
+      t.column = column_of(start);
+      // std::stod rejects multi-dot spellings ("1.2.3" parses the prefix but
+      // we require the whole token) and throws on out-of-range magnitudes.
+      try {
+        std::size_t used = 0;
+        t.number = std::stod(t.text, &used);
+        if (used != t.text.size()) {
+          error(start, diag::kErrMalformedNumber, "malformed number \"" + t.text + "\"");
+          t.number = 0;
+        }
+      } catch (const std::exception&) {
+        error(start, diag::kErrMalformedNumber, "malformed number \"" + t.text + "\"");
+        t.number = 0;
+      }
       out.push_back(std::move(t));
       continue;
     }
@@ -93,7 +124,8 @@ std::vector<Token> lex(std::string_view src) {
                                 src[i] == '_')) {
         ++i;
       }
-      push(Tok::Ident, std::string(src.substr(start, i - start)));
+      out.push_back(Token{Tok::Ident, std::string(src.substr(start, i - start)), 0, line,
+                          column_of(start)});
       continue;
     }
     switch (c) {
@@ -111,12 +143,23 @@ std::vector<Token> lex(std::string_view src) {
       case '-': push(Tok::Minus); break;
       case '*': push(Tok::Star); break;
       case '/': push(Tok::Slash); break;
-      default: fail(line, std::string("unexpected character '") + c + "'");
+      default:
+        error(i, diag::kErrUnexpectedChar,
+              std::string("unexpected character '") + c + "'");
+        // Recovery: drop the character.
     }
     ++i;
   }
   push(Tok::End);
   return out;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) { return lex_impl(src, nullptr); }
+
+std::vector<Token> lex(std::string_view src, diag::DiagnosticEngine& diags) {
+  return lex_impl(src, &diags);
 }
 
 }  // namespace tv::hdl

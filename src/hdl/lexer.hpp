@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "diag/diagnostic.hpp"
+
 namespace tv::hdl {
 
 enum class Tok : std::uint8_t {
@@ -28,11 +30,19 @@ struct Token {
   std::string text;   // identifier/string contents, number spelling
   double number = 0;  // valid when kind == Number
   int line = 0;
+  int column = 0;     // 1-based column of the token's first character
 };
 
 /// Tokenizes the whole input. Throws std::invalid_argument (with a line
 /// number) on unterminated strings or unexpected characters.
 std::vector<Token> lex(std::string_view src);
+
+/// Recovering form: lexical errors are reported through `diags` (with
+/// line:column spans) and skipped -- an unterminated string yields the rest
+/// of the line, a stray character is dropped, a malformed number becomes 0
+/// -- so the parser always receives a complete token stream and can report
+/// every error in one run.
+std::vector<Token> lex(std::string_view src, diag::DiagnosticEngine& diags);
 
 std::string_view tok_name(Tok t);
 

@@ -28,31 +28,68 @@ double Expr::eval(const std::map<std::string, double>& env, int line) const {
 
 namespace {
 
+/// Thrown on a syntax error in recovery mode: unwinds to the nearest
+/// statement-boundary handler, which resynchronizes and continues.
+struct ParseBail {};
+/// Thrown when the error cap is reached: unwinds the whole parse.
+struct ParseAbort {};
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  Parser(std::vector<Token> toks, diag::DiagnosticEngine* diags)
+      : toks_(std::move(toks)), diags_(diags) {}
 
   File parse_file() {
     File f;
-    while (peek().kind != Tok::End) {
-      const Token& t = expect(Tok::Ident, "'macro' or 'design'");
-      if (t.text == "macro") {
-        MacroDef m = parse_macro();
-        if (f.macros.count(m.name)) fail(m.line, "duplicate macro \"" + m.name + "\"");
-        f.macros.emplace(m.name, std::move(m));
-      } else if (t.text == "design") {
-        if (f.has_design) fail(t.line, "multiple design blocks");
-        f.design_name = expect(Tok::Ident, "design name").text;
-        f.design = parse_body();
-        f.has_design = true;
-      } else {
-        fail(t.line, "expected 'macro' or 'design', got \"" + t.text + "\"");
+    if (!toks_.empty()) f.end_line = toks_.back().line;
+    try {
+      while (peek().kind != Tok::End) {
+        if (diags_) {
+          try {
+            parse_top_level(f);
+          } catch (const ParseBail&) {
+            if (diags_->error_limit_reached()) throw ParseAbort{};
+            sync_top_level();
+          }
+        } else {
+          parse_top_level(f);
+        }
       }
+    } catch (const ParseAbort&) {
+      // Error cap reached: return what parsed so far.
     }
     return f;
   }
 
  private:
+  void parse_top_level(File& f) {
+    const Token& t = expect(Tok::Ident, "'macro' or 'design'");
+    if (t.text == "macro") {
+      MacroDef m = parse_macro();
+      if (f.macros.count(m.name)) {
+        // Recovery (via the bail/sync path) keeps the first definition.
+        fail(m.line, m.column, diag::kErrDuplicateMacro,
+             "duplicate macro \"" + m.name + "\"",
+             Note{f.macros[m.name].line, "previous definition is here"});
+      }
+      f.macros.emplace(m.name, std::move(m));
+    } else if (t.text == "design") {
+      if (f.has_design) {
+        // Recovery (via the bail/sync path) skips the extra design body.
+        fail(t.line, t.column, diag::kErrMultipleDesigns, "multiple design blocks",
+             Note{f.design_line, "previous design block is here"});
+      }
+      int design_line = t.line;
+      f.design_name = expect(Tok::Ident, "design name").text;
+      f.design = parse_body();
+      f.has_design = true;
+      f.design_line = design_line;
+    } else {
+      fail(t.line, t.column, diag::kErrExpectedToken,
+           "expected 'macro' or 'design', got \"" + t.text + "\"");
+    }
+  }
+
   const Token& peek(int ahead = 0) const {
     std::size_t i = pos_ + static_cast<std::size_t>(ahead);
     return i < toks_.size() ? toks_[i] : toks_.back();
@@ -67,20 +104,87 @@ class Parser {
   }
   const Token& expect(Tok k, const char* what) {
     if (peek().kind != k) {
-      fail(peek().line, std::string("expected ") + what + ", got " +
-                            std::string(tok_name(peek().kind)) +
-                            (peek().text.empty() ? "" : " \"" + peek().text + "\""));
+      fail(peek().line, peek().column, diag::kErrExpectedToken,
+           std::string("expected ") + what + ", got " +
+               std::string(tok_name(peek().kind)) +
+               (peek().text.empty() ? "" : " \"" + peek().text + "\""));
     }
     return take();
   }
-  [[noreturn]] static void fail(int line, const std::string& why) {
+
+  struct Note {
+    int line;
+    const char* message;
+  };
+
+  /// Reports or throws, depending on mode. In recovery mode this reports
+  /// the diagnostic and throws ParseBail so the statement handler can
+  /// resynchronize; note that non-fatal duplicate-definition errors call it
+  /// and then continue via their own recovery path only when it returns --
+  /// so in recovery mode it never returns.
+  [[noreturn]] void fail(int line, int column, const char* code, const std::string& why,
+                         Note note = Note{0, ""}) {
+    if (diags_) {
+      diag::Diagnostic& d = diags_->report(diag::Severity::Error, code, line, column, why);
+      if (note.line > 0) {
+        d.notes.push_back(diag::Note{
+            diag::SourceLoc{diags_->current_file(), note.line, 0}, note.message});
+      }
+      throw ParseBail{};
+    }
     throw std::invalid_argument("SHDL parse error at line " + std::to_string(line) + ": " +
                                 why);
+  }
+
+  // --- recovery synchronization --------------------------------------------
+
+  /// Skips to the next plausible top-level definition: an Ident "macro" /
+  /// "design" outside any brace nesting, or end of input.
+  void sync_top_level() {
+    int depth = 0;
+    while (peek().kind != Tok::End) {
+      const Token& t = peek();
+      if (t.kind == Tok::LBrace) {
+        ++depth;
+      } else if (t.kind == Tok::RBrace) {
+        if (depth > 0) --depth;
+        // A top-level '}' most likely closes the block we bailed out of.
+        if (depth == 0) {
+          take();
+          return;
+        }
+      } else if (depth == 0 && t.kind == Tok::Ident &&
+                 (t.text == "macro" || t.text == "design")) {
+        return;
+      }
+      take();
+    }
+  }
+
+  /// Skips to the end of the current statement: past the next ';' at this
+  /// nesting level, or up to (not past) the '}' that closes the enclosing
+  /// body. Nested braces (case bodies) are skipped whole.
+  void sync_statement() {
+    int depth = 0;
+    while (peek().kind != Tok::End) {
+      const Token& t = peek();
+      if (t.kind == Tok::LBrace) {
+        ++depth;
+      } else if (t.kind == Tok::RBrace) {
+        if (depth == 0) return;  // let parse_body consume the closer
+        --depth;
+      } else if (t.kind == Tok::Semi && depth == 0) {
+        take();
+        return;
+      }
+      take();
+    }
   }
 
   MacroDef parse_macro() {
     MacroDef m;
     m.line = peek().line;
+    m.column = peek().column;
     m.name = expect(Tok::Ident, "macro name").text;
     expect(Tok::LParen, "'('");
     if (peek().kind == Tok::Ident) {
@@ -140,7 +244,7 @@ class Parser {
       expect(Tok::RParen, "')'");
       return inner;
     }
-    fail(peek().line, "expected an expression");
+    fail(peek().line, peek().column, diag::kErrExpectedToken, "expected an expression");
   }
 
   double signed_number(const char* what) {
@@ -156,6 +260,7 @@ class Parser {
     do {
       Attr a;
       a.line = peek().line;
+      a.column = peek().column;
       a.name = expect(Tok::Ident, "attribute name").text;
       expect(Tok::Equal, "'='");
       a.lo = parse_expr();
@@ -179,100 +284,135 @@ class Parser {
 
   Body parse_body() {
     Body b;
+    b.line = peek().line;
     expect(Tok::LBrace, "'{'");
     while (!accept(Tok::RBrace)) {
-      const Token& t = expect(Tok::Ident, "statement");
-      if (t.text == "period") {
-        b.period_ns = expect(Tok::Number, "period in ns").number;
-        expect(Tok::Semi, "';'");
-      } else if (t.text == "clock_unit") {
-        b.clock_unit_ns = expect(Tok::Number, "clock unit in ns").number;
-        expect(Tok::Semi, "';'");
-      } else if (t.text == "default_wire") {
-        b.wire_min_ns = expect(Tok::Number, "min wire delay").number;
-        expect(Tok::Colon, "':'");
-        b.wire_max_ns = expect(Tok::Number, "max wire delay").number;
-        expect(Tok::Semi, "';'");
-      } else if (t.text == "precision_skew" || t.text == "clock_skew") {
-        double* dst = t.text == "precision_skew" ? b.precision_skew : b.clock_skew;
-        dst[0] = signed_number("skew minus");
-        expect(Tok::Colon, "':'");
-        dst[1] = signed_number("skew plus");
-        expect(Tok::Semi, "';'");
-      } else if (t.text == "param") {
-        ParamDecl d;
-        const Token& dir = expect(Tok::Ident, "'in' or 'out'");
-        if (dir.text == "out") {
-          d.is_output = true;
-        } else if (dir.text != "in") {
-          fail(dir.line, "expected 'in' or 'out'");
+      if (diags_) {
+        if (peek().kind == Tok::End) {
+          // Unterminated body: report once and stop (End never syncs away).
+          fail(peek().line, peek().column, diag::kErrExpectedToken,
+               "expected a statement or '}', got end of input");
         }
-        d.names.push_back(expect(Tok::String, "parameter signal").text);
-        while (accept(Tok::Comma)) {
-          d.names.push_back(expect(Tok::String, "parameter signal").text);
+        try {
+          parse_statement(b);
+        } catch (const ParseBail&) {
+          if (diags_->error_limit_reached()) throw ParseAbort{};
+          sync_statement();
         }
-        expect(Tok::Semi, "';'");
-        b.params.push_back(std::move(d));
-      } else if (t.text == "synonym") {
-        SynonymDecl d;
-        d.line = t.line;
-        d.a = expect(Tok::String, "signal string").text;
-        expect(Tok::Equal, "'='");
-        d.b = expect(Tok::String, "signal string").text;
-        expect(Tok::Semi, "';'");
-        b.synonyms.push_back(std::move(d));
-      } else if (t.text == "wire_delay") {
-        WireDelayDecl d;
-        d.line = t.line;
-        d.signal = expect(Tok::String, "signal string").text;
-        d.dmin = parse_expr();
-        expect(Tok::Colon, "':'");
-        d.dmax = parse_expr();
-        expect(Tok::Semi, "';'");
-        b.wire_delays.push_back(std::move(d));
-      } else if (t.text == "case") {
-        CaseDecl c;
-        c.name = expect(Tok::String, "case name").text;
-        expect(Tok::LBrace, "'{'");
-        while (!accept(Tok::RBrace)) {
-          std::string sig = expect(Tok::String, "signal string").text;
-          expect(Tok::Equal, "'='");
-          double v = expect(Tok::Number, "0 or 1").number;
-          if (v != 0 && v != 1) fail(t.line, "case values must be 0 or 1");
-          expect(Tok::Semi, "';'");
-          c.pins.emplace_back(std::move(sig), static_cast<int>(v));
-        }
-        b.cases.push_back(std::move(c));
-      } else if (t.text == "use") {
-        Instance inst;
-        inst.is_macro = true;
-        inst.line = t.line;
-        inst.kind = expect(Tok::Ident, "macro name").text;
-        inst.attrs = parse_attrs();
-        inst.pins = parse_pins();
-        expect(Tok::Semi, "';'");
-        b.instances.push_back(std::move(inst));
       } else {
-        // Primitive instance.
-        Instance inst;
-        inst.line = t.line;
-        inst.kind = t.text;
-        inst.attrs = parse_attrs();
-        inst.pins = parse_pins();
-        if (accept(Tok::Arrow)) inst.output = expect(Tok::String, "output signal").text;
-        expect(Tok::Semi, "';'");
-        b.instances.push_back(std::move(inst));
+        parse_statement(b);
       }
     }
     return b;
   }
 
+  void parse_statement(Body& b) {
+    const Token& t = expect(Tok::Ident, "statement");
+    if (t.text == "period") {
+      b.period_line = t.line;
+      b.period_column = t.column;
+      b.period_ns = expect(Tok::Number, "period in ns").number;
+      expect(Tok::Semi, "';'");
+    } else if (t.text == "clock_unit") {
+      b.clock_unit_ns = expect(Tok::Number, "clock unit in ns").number;
+      expect(Tok::Semi, "';'");
+    } else if (t.text == "default_wire") {
+      b.wire_min_ns = expect(Tok::Number, "min wire delay").number;
+      expect(Tok::Colon, "':'");
+      b.wire_max_ns = expect(Tok::Number, "max wire delay").number;
+      expect(Tok::Semi, "';'");
+    } else if (t.text == "precision_skew" || t.text == "clock_skew") {
+      double* dst = t.text == "precision_skew" ? b.precision_skew : b.clock_skew;
+      dst[0] = signed_number("skew minus");
+      expect(Tok::Colon, "':'");
+      dst[1] = signed_number("skew plus");
+      expect(Tok::Semi, "';'");
+    } else if (t.text == "param") {
+      ParamDecl d;
+      const Token& dir = expect(Tok::Ident, "'in' or 'out'");
+      if (dir.text == "out") {
+        d.is_output = true;
+      } else if (dir.text != "in") {
+        fail(dir.line, dir.column, diag::kErrExpectedToken, "expected 'in' or 'out'");
+      }
+      d.names.push_back(expect(Tok::String, "parameter signal").text);
+      while (accept(Tok::Comma)) {
+        d.names.push_back(expect(Tok::String, "parameter signal").text);
+      }
+      expect(Tok::Semi, "';'");
+      b.params.push_back(std::move(d));
+    } else if (t.text == "synonym") {
+      SynonymDecl d;
+      d.line = t.line;
+      d.column = t.column;
+      d.a = expect(Tok::String, "signal string").text;
+      expect(Tok::Equal, "'='");
+      d.b = expect(Tok::String, "signal string").text;
+      expect(Tok::Semi, "';'");
+      b.synonyms.push_back(std::move(d));
+    } else if (t.text == "wire_delay") {
+      WireDelayDecl d;
+      d.line = t.line;
+      d.column = t.column;
+      d.signal = expect(Tok::String, "signal string").text;
+      d.dmin = parse_expr();
+      expect(Tok::Colon, "':'");
+      d.dmax = parse_expr();
+      expect(Tok::Semi, "';'");
+      b.wire_delays.push_back(std::move(d));
+    } else if (t.text == "case") {
+      CaseDecl c;
+      c.line = t.line;
+      c.column = t.column;
+      c.name = expect(Tok::String, "case name").text;
+      expect(Tok::LBrace, "'{'");
+      while (!accept(Tok::RBrace)) {
+        std::string sig = expect(Tok::String, "signal string").text;
+        expect(Tok::Equal, "'='");
+        const Token& vt = peek();
+        double v = expect(Tok::Number, "0 or 1").number;
+        if (v != 0 && v != 1) {
+          fail(vt.line, vt.column, diag::kErrBadCaseValue, "case values must be 0 or 1");
+        }
+        expect(Tok::Semi, "';'");
+        c.pins.emplace_back(std::move(sig), static_cast<int>(v));
+      }
+      b.cases.push_back(std::move(c));
+    } else if (t.text == "use") {
+      Instance inst;
+      inst.is_macro = true;
+      inst.line = t.line;
+      inst.column = t.column;
+      inst.kind = expect(Tok::Ident, "macro name").text;
+      inst.attrs = parse_attrs();
+      inst.pins = parse_pins();
+      expect(Tok::Semi, "';'");
+      b.instances.push_back(std::move(inst));
+    } else {
+      // Primitive instance.
+      Instance inst;
+      inst.line = t.line;
+      inst.column = t.column;
+      inst.kind = t.text;
+      inst.attrs = parse_attrs();
+      inst.pins = parse_pins();
+      if (accept(Tok::Arrow)) inst.output = expect(Tok::String, "output signal").text;
+      expect(Tok::Semi, "';'");
+      b.instances.push_back(std::move(inst));
+    }
+  }
+
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  diag::DiagnosticEngine* diags_ = nullptr;
 };
 
 }  // namespace
 
-File parse(std::string_view src) { return Parser(lex(src)).parse_file(); }
+File parse(std::string_view src) { return Parser(lex(src), nullptr).parse_file(); }
+
+File parse(std::string_view src, diag::DiagnosticEngine& diags) {
+  return Parser(lex(src, diags), &diags).parse_file();
+}
 
 }  // namespace tv::hdl

@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "diag/diagnostic.hpp"
 #include "hdl/ast.hpp"
 
 namespace tv::hdl {
@@ -10,5 +11,13 @@ namespace tv::hdl {
 /// Parses a complete SHDL source file. Throws std::invalid_argument with
 /// line information on syntax errors.
 File parse(std::string_view src);
+
+/// Recovering form: syntax errors are reported through `diags` (with
+/// line:column spans) and the parser resynchronizes at the next statement
+/// boundary (';' or the enclosing '}'), so every error in the file is
+/// reported in one run -- up to the engine's max_errors cap. The returned
+/// File contains everything that parsed cleanly; callers must check
+/// diags.has_errors() before elaborating.
+File parse(std::string_view src, diag::DiagnosticEngine& diags);
 
 }  // namespace tv::hdl

@@ -121,4 +121,56 @@ ElaboratedDesign elaborate_sources(const std::vector<std::string_view>& sources)
   return elaborate(merged);
 }
 
+std::optional<ElaboratedDesign> elaborate_sources(const std::vector<NamedSource>& sources,
+                                                  diag::DiagnosticEngine& diags) {
+  File merged;
+  std::string design_file;
+  for (const NamedSource& src : sources) {
+    diags.set_current_file(std::string(src.name));
+    File f = parse(src.text, diags);
+    for (auto& [name, def] : f.macros) {
+      if (def.file.empty()) def.file = std::string(src.name);
+      auto it = merged.macros.find(name);
+      if (it != merged.macros.end()) {
+        diag::Diagnostic& d = diags.report(
+            diag::Severity::Error, diag::kErrDuplicateMacro,
+            diag::SourceLoc{std::string(src.name), def.line, def.column},
+            "duplicate macro \"" + name + "\" across sources");
+        d.notes.push_back(diag::Note{
+            diag::SourceLoc{it->second.file, it->second.line, it->second.column},
+            "previous definition is here"});
+        continue;
+      }
+      merged.macros.emplace(name, std::move(def));
+    }
+    if (f.has_design) {
+      if (merged.has_design) {
+        diag::Diagnostic& d = diags.report(
+            diag::Severity::Error, diag::kErrMultipleDesigns,
+            diag::SourceLoc{std::string(src.name), f.design_line, 0},
+            "multiple design blocks across sources");
+        d.notes.push_back(diag::Note{diag::SourceLoc{design_file, merged.design_line, 0},
+                                     "previous design block is here"});
+      } else {
+        merged.has_design = true;
+        merged.design_name = std::move(f.design_name);
+        merged.design = std::move(f.design);
+        merged.design_line = f.design_line;
+        merged.end_line = f.end_line;
+        design_file = std::string(src.name);
+      }
+    }
+  }
+  // Design-level diagnostics (bad period, missing design block, structural
+  // errors) belong to the design's source; fall back to the last source
+  // when no design block was found anywhere.
+  if (merged.has_design) {
+    diags.set_current_file(design_file);
+  } else if (!sources.empty()) {
+    diags.set_current_file(std::string(sources.back().name));
+  }
+  if (diags.has_errors()) return std::nullopt;
+  return elaborate(merged, diags);
+}
+
 }  // namespace tv::hdl

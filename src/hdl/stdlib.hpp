@@ -32,4 +32,18 @@ std::string_view std_chip_library();
 /// the design block. Then elaborates as usual.
 ElaboratedDesign elaborate_sources(const std::vector<std::string_view>& sources);
 
+/// One input to the diagnostic merge: `name` is what diagnostics cite as
+/// the source file (use "<stdlib>" for the built-in library).
+struct NamedSource {
+  std::string_view name;
+  std::string_view text;
+};
+
+/// Diagnostic form: every lex/parse/elaboration error across all sources is
+/// reported through `diags`, attributed to the owning source's name (macro
+/// expansion backtraces cross source boundaries). Returns std::nullopt when
+/// any error was reported; never throws on malformed input.
+std::optional<ElaboratedDesign> elaborate_sources(const std::vector<NamedSource>& sources,
+                                                  diag::DiagnosticEngine& diags);
+
 }  // namespace tv::hdl

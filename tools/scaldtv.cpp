@@ -12,12 +12,21 @@
 //     --explain        print the critical chain behind each violation
 //     --vcd FILE       dump one symbolic cycle of every signal as VCD
 //     --json FILE      write violations/slacks/statistics as JSON
+//     --diag-json FILE write collected diagnostics as JSON
+//     --max-errors N   stop after N front-end errors (0 = unlimited)
+//     --werror         treat warnings as errors
+//     --time-limit S   wall-clock budget in seconds; on expiry the affected
+//                      cones degrade to UNKNOWN (conservative) and the run
+//                      completes as partial
 //     --no-cases       skip case analysis even if the design declares cases
 //     --jobs N         evaluate cases on N worker threads (0 = one per core;
 //                      results are identical for every N)
 //
-// Exit status: 0 if no timing violations, 1 if violations were found,
-// 2 on usage/parse errors.
+// Exit status (documented in README.md):
+//   0  no timing violations
+//   1  timing violations found
+//   2  usage or input errors (any error diagnostics)
+//   3  run completed but was resource-degraded (partial results)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +37,7 @@
 #include "core/export.hpp"
 #include "core/storage_stats.hpp"
 #include "core/verifier.hpp"
+#include "diag/render.hpp"
 #include "hdl/elaborate.hpp"
 #include "hdl/stdlib.hpp"
 #include "util/stats.hpp"
@@ -38,9 +48,22 @@ int usage() {
   std::fprintf(stderr,
                "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
                "[--stdlib] [--slack] [--waves] [--where-used] [--explain] [--vcd FILE] "
-               "[--json FILE] [--jobs N] "
+               "[--json FILE] [--diag-json FILE] [--max-errors N] [--werror] "
+               "[--time-limit SECONDS] [--jobs N] "
                "<design.shdl>\n");
   return 2;
+}
+
+/// Flushes the collected diagnostics: human text to stderr, machine JSON to
+/// --diag-json when requested.
+void flush_diagnostics(const tv::diag::DiagnosticEngine& diags, const char* diag_json_path) {
+  if (!diags.diagnostics().empty()) {
+    std::fputs(tv::diag::render_text(diags).c_str(), stderr);
+  }
+  if (diag_json_path) {
+    std::ofstream df(diag_json_path);
+    df << tv::diag::render_json(diags);
+  }
 }
 
 }  // namespace
@@ -54,8 +77,12 @@ int main(int argc, char** argv) {
   bool want_explain = false;
   const char* vcd_path = nullptr;
   const char* json_path = nullptr;
+  const char* diag_json_path = nullptr;
   const char* path = nullptr;
   long jobs = 1;
+  long max_errors = 20;
+  bool werror = false;
+  double time_limit = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--summary") == 0) {
       want_summary = true;
@@ -75,12 +102,24 @@ int main(int argc, char** argv) {
       want_waves = true;
     } else if (std::strcmp(argv[i], "--where-used") == 0) {
       want_where_used = true;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       want_explain = true;
     } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--diag-json") == 0 && i + 1 < argc) {
+      diag_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-errors") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      max_errors = std::strtol(argv[++i], &end, 10);
+      if (!end || *end != '\0' || max_errors < 0) return usage();
+    } else if (std::strcmp(argv[i], "--time-limit") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      time_limit = std::strtod(argv[++i], &end);
+      if (!end || *end != '\0' || time_limit < 0) return usage();
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       char* end = nullptr;
       jobs = std::strtol(argv[++i], &end, 10);
@@ -103,16 +142,32 @@ int main(int argc, char** argv) {
   std::stringstream buf;
   buf << in.rdbuf();
 
+  tv::diag::DiagnosticEngine::Options diag_opts;
+  diag_opts.max_errors = static_cast<std::size_t>(max_errors);
+  diag_opts.werror = werror;
+  tv::diag::DiagnosticEngine diags(diag_opts);
+
   try {
     tv::PhaseTimer timer;
     timer.start("parse + macro expansion");
     std::string text = buf.str();
-    tv::hdl::ElaboratedDesign design =
-        with_stdlib ? tv::hdl::elaborate_sources({tv::hdl::std_chip_library(), text})
-                    : tv::hdl::elaborate_source(text);
+    std::optional<tv::hdl::ElaboratedDesign> maybe_design;
+    if (with_stdlib) {
+      maybe_design = tv::hdl::elaborate_sources(
+          {{"<stdlib>", tv::hdl::std_chip_library()}, {path, text}}, diags);
+    } else {
+      diags.set_current_file(path);
+      maybe_design = tv::hdl::elaborate_source(text, diags);
+    }
     timer.stop();
+    if (!maybe_design) {
+      flush_diagnostics(diags, diag_json_path);
+      return 2;
+    }
+    tv::hdl::ElaboratedDesign& design = *maybe_design;
 
     design.options.jobs = static_cast<unsigned>(jobs);
+    design.options.time_limit_seconds = time_limit;
     tv::Verifier verifier(design.netlist, design.options);
     timer.start("verification");
     tv::VerifyResult result =
@@ -184,7 +239,18 @@ int main(int argc, char** argv) {
                             tv::compute_slacks(verifier.evaluator()), design.name);
       std::printf("wrote %s\n", json_path);
     }
-    return result.total_violations() == 0 ? 0 : 1;
+
+    // Engine resource degradations join the diagnostic stream as warnings
+    // (errors under --werror). Results stay conservative: degraded cones
+    // hold UNKNOWN, which can only add violations, never hide one.
+    diags.set_current_file("");
+    for (const tv::Degradation& d : result.degradations) {
+      diags.report(tv::diag::Severity::Warning, d.code, tv::diag::SourceLoc{},
+                   d.message);
+    }
+    flush_diagnostics(diags, diag_json_path);
+    return tv::diag::exit_code(diags.has_errors(), result.partial,
+                               result.total_violations() != 0);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scaldtv: %s\n", e.what());
     return 2;

@@ -16,9 +16,14 @@
 // divergence in waveforms, reports, or event counts (the optimization must
 // be bit-exact).
 //
+// A fourth mode, --parser-fuzz, mutates valid SHDL sources (byte- and
+// token-level, seeded) and feeds them to the diagnostic front end: it must
+// never crash, never let an exception escape, and always report at least
+// one error diagnostic when it rejects an input.
+//
 // Usage:
 //   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
-//          [--no-shrink] [-v]
+//          [--parser-fuzz] [--no-shrink] [-v]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +31,7 @@
 #include <string>
 
 #include "check/oracles.hpp"
+#include "check/parser_fuzz.hpp"
 #include "check/shrinker.hpp"
 
 namespace {
@@ -35,6 +41,7 @@ struct Options {
   int circuit_seeds = 500;
   int wave_seeds = 500;
   bool memo_diff = false;
+  bool parser_fuzz = false;
   bool shrink = true;
   bool verbose = false;
 };
@@ -42,13 +49,15 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff] "
-               "[--no-shrink] [-v]\n"
+               "[--parser-fuzz] [--no-shrink] [-v]\n"
                "  --seeds N     differential circuit cases to run (default 500)\n"
                "  --wave N      waveform-algebra cases to run (default 500)\n"
                "  --start S     first seed (default 1)\n"
                "  --smoke       quick CI gate: 120 circuit + 250 wave cases\n"
                "  --memo-diff   run each circuit spec twice (interning/memo on vs\n"
                "                off) and fail on any report or waveform divergence\n"
+               "  --parser-fuzz mutate valid SHDL sources and assert the front end\n"
+               "                never crashes and always diagnoses rejected input\n"
                "  --no-shrink   print raw failing specs without minimizing\n"
                "  -v            per-case progress output\n",
                argv0);
@@ -80,6 +89,8 @@ int main(int argc, char** argv) {
       opt.wave_seeds = 250;
     } else if (a == "--memo-diff") {
       opt.memo_diff = true;
+    } else if (a == "--parser-fuzz") {
+      opt.parser_fuzz = true;
     } else if (a == "--no-shrink") {
       opt.shrink = false;
     } else if (a == "-v" || a == "--verbose") {
@@ -93,6 +104,27 @@ int main(int argc, char** argv) {
   int failures = 0;
   long long sim_runs = 0, sim_violating = 0;
   int tv_found = 0;
+
+  if (opt.parser_fuzz) {
+    // Front-end robustness mode: mutated SHDL must never crash the parser
+    // stack and every rejection must carry at least one error diagnostic.
+    for (int i = 0; i < opt.circuit_seeds; ++i) {
+      std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+      auto fail = tv::check::check_parser_robustness(seed);
+      if (opt.verbose) {
+        std::printf("parser seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                    fail ? "FAIL" : "ok");
+      }
+      if (!fail) continue;
+      ++failures;
+      std::printf("FAIL parser seed %llu [%s]\n  %s\ninput:\n%s\n<<<end of input>>>\n",
+                  static_cast<unsigned long long>(seed), fail->kind.c_str(),
+                  fail->detail.c_str(), fail->input.c_str());
+    }
+    std::printf("tvfuzz --parser-fuzz: %d cases, %d failure%s\n", opt.circuit_seeds,
+                failures, failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+  }
 
   if (opt.memo_diff) {
     // Differential interning mode: every random circuit is verified with the
