@@ -151,4 +151,10 @@ std::optional<ParserFuzzFailure> check_parser_robustness(std::uint64_t seed) {
   return std::nullopt;
 }
 
+std::size_t seed_design_count() { return std::size(kSeedDesigns); }
+
+std::string seed_design(std::size_t index) {
+  return std::string(kSeedDesigns[index % std::size(kSeedDesigns)]);
+}
+
 }  // namespace tv::check

@@ -29,4 +29,9 @@ struct ParserFuzzFailure {
 /// any contract above was broken, std::nullopt otherwise.
 std::optional<ParserFuzzFailure> check_parser_robustness(std::uint64_t seed);
 
+/// The valid-SHDL seed corpus the mutator starts from. Exposed so other
+/// harnesses (tvfuzz --serve-chaos) can generate known-good designs.
+std::size_t seed_design_count();
+std::string seed_design(std::size_t index);
+
 }  // namespace tv::check

@@ -1,0 +1,228 @@
+#include "check/serve_chaos.hpp"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "check/parser_fuzz.hpp"
+
+namespace tv::check {
+
+namespace {
+
+struct PlannedJob {
+  std::string id;
+  std::string design_file;
+  std::string fault;       // empty = clean
+  int fault_attempts = 0;  // 0 = every attempt
+  bool transient = false;  // fault fires on attempt 1 only: must recover
+  bool permanent = false;  // fault fires on every attempt: must crash
+};
+
+struct ManifestRecord {
+  std::string id;
+  std::string state;
+  int attempts = 0;
+};
+
+/// Pulls the job records back out of a manifest the harness itself wrote.
+/// The format is the fixed-order JSON from serve/manifest.cpp, so a string
+/// scan is exact (no general JSON parser needed in the check library).
+std::vector<ManifestRecord> scan_manifest(const std::string& text) {
+  std::vector<ManifestRecord> out;
+  std::size_t at = 0;
+  while ((at = text.find("{\"id\": \"", at)) != std::string::npos) {
+    ManifestRecord r;
+    std::size_t start = at + 8;
+    std::size_t end = text.find('"', start);
+    if (end == std::string::npos) break;
+    r.id = text.substr(start, end - start);
+    std::size_t st = text.find("\"state\": \"", end);
+    if (st != std::string::npos) {
+      st += 10;
+      r.state = text.substr(st, text.find('"', st) - st);
+    }
+    std::size_t att = text.find("\"attempts\": ", end);
+    if (att != std::string::npos) {
+      r.attempts = std::atoi(text.c_str() + att + 12);
+    }
+    out.push_back(std::move(r));
+    at = end;
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "--serve-chaos needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-chaos-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  // Plan the batch: ~40% of jobs faulted. Transient faults (read failure,
+  // mid-eval abort, mid-eval hang, failed intern) fire on attempt 1 only,
+  // so the job must recover with attempts >= 2; one job aborts on every
+  // attempt and must exhaust its retries into state "crashed".
+  std::mt19937_64 rng(opts.seed * 0x9E3779B97F4A7C15ull + 17);
+  // Every spec fires at hit 1: the generated designs are small (one to a
+  // few primitives), so higher hit counts may never be reached and an
+  // unfired fault would make the attempts>=2 assertion vacuously fail.
+  const char* transient_faults[] = {
+      "io.read@1:fail",
+      "evaluator.eval@1:abort",
+      "evaluator.eval@1:hang",
+      "wave_table.intern@1:fail",
+  };
+  std::vector<PlannedJob> plan;
+  std::vector<std::string> cleanup;
+  int hangs = 0;
+  for (int i = 0; i < opts.jobs; ++i) {
+    PlannedJob j;
+    char id[32];
+    std::snprintf(id, sizeof id, "job-%03d", i);
+    j.id = id;
+    j.design_file = dir + "/design_" + std::to_string(i) + ".shdl";
+    std::ofstream out(j.design_file);
+    out << seed_design(static_cast<std::size_t>(rng() % seed_design_count()));
+    out.close();
+    cleanup.push_back(j.design_file);
+    if (i == 0) {
+      // The guaranteed permanent crasher: aborts on every attempt.
+      j.fault = "evaluator.eval@1:abort";
+      j.permanent = true;
+    } else if (rng() % 100 < 40) {
+      std::size_t pick = rng() % std::size(transient_faults);
+      // Hung workers cost a full watchdog period per attempt; cap them so
+      // the smoke run stays fast.
+      if (pick == 2 && ++hangs > 2) pick = 1;
+      j.fault = transient_faults[pick];
+      j.fault_attempts = 1;
+      j.transient = true;
+    }
+    plan.push_back(std::move(j));
+  }
+
+  std::string jobs_path = dir + "/batch.jobs";
+  {
+    std::ofstream out(jobs_path);
+    for (const PlannedJob& j : plan) {
+      out << "{\"id\": \"" << j.id << "\", \"design\": \"" << j.design_file << "\"";
+      if (!j.fault.empty()) {
+        out << ", \"fault\": \"" << j.fault << "\", \"fault_attempts\": "
+            << j.fault_attempts;
+      }
+      out << "}\n";
+    }
+  }
+  cleanup.push_back(jobs_path);
+
+  // Two identical runs: the second exists purely to check byte-stability of
+  // the manifest (same batch + same seed must replay identically).
+  std::string manifests[2];
+  for (int run = 0; run < 2; ++run) {
+    std::string manifest_path = dir + "/run" + std::to_string(run) + ".manifest.json";
+    std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                      "' --workers 4 --max-attempts 3 --backoff-ms 10 "
+                      "--backoff-max-ms 50 --job-timeout 1 --seed " +
+                      std::to_string(opts.seed % 1000000) + " --manifest '" +
+                      manifest_path + "' '" + jobs_path + "'";
+    if (!opts.verbose) cmd += " 2>/dev/null";
+    int status = std::system(cmd.c_str());
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    // Exactly one job (job-000) crashes permanently, so the daemon must
+    // report the crashed-after-retries code.
+    if (code != 4) {
+      return fail("bad-exit-code", "expected daemon exit 4 (crashed job), got " +
+                                       std::to_string(code) + "; work dir kept at " + dir);
+    }
+    manifests[run] = read_file(manifest_path);
+    cleanup.push_back(manifest_path);
+  }
+  if (manifests[0] != manifests[1]) {
+    return fail("manifest-unstable",
+                "two identical runs produced different manifests; work dir kept at " + dir);
+  }
+
+  std::vector<ManifestRecord> records = scan_manifest(manifests[0]);
+  if (records.size() != plan.size()) {
+    return fail("job-lost", "planned " + std::to_string(plan.size()) + " jobs, manifest has " +
+                                std::to_string(records.size()) + "; work dir kept at " + dir);
+  }
+  for (const PlannedJob& j : plan) {
+    const ManifestRecord* rec = nullptr;
+    int copies = 0;
+    for (const ManifestRecord& r : records) {
+      if (r.id == j.id) {
+        rec = &r;
+        ++copies;
+      }
+    }
+    if (copies != 1) {
+      return fail(copies ? "job-duplicated" : "job-lost",
+                  "job " + j.id + " appears " + std::to_string(copies) +
+                      " time(s) in the manifest; work dir kept at " + dir);
+    }
+    if (rec->state == "requeued" || rec->state == "unknown") {
+      return fail("job-not-terminal", "job " + j.id + " ended in non-terminal state \"" +
+                                          rec->state + "\"; work dir kept at " + dir);
+    }
+    if (j.permanent && rec->state != "crashed") {
+      return fail("crash-not-detected",
+                  "permanently-aborting job " + j.id + " ended \"" + rec->state +
+                      "\" instead of \"crashed\"; work dir kept at " + dir);
+    }
+    if (j.permanent && rec->attempts != 3) {
+      return fail("retry-invisible", "crashed job " + j.id + " shows " +
+                                         std::to_string(rec->attempts) +
+                                         " attempts, expected 3; work dir kept at " + dir);
+    }
+    if (j.transient) {
+      if (rec->state == "crashed") {
+        return fail("retry-failed", "attempt-1-only fault on job " + j.id +
+                                        " still crashed the job; work dir kept at " + dir);
+      }
+      if (rec->attempts < 2) {
+        return fail("retry-invisible",
+                    "job " + j.id + " recovered but the manifest shows only " +
+                        std::to_string(rec->attempts) +
+                        " attempt(s); work dir kept at " + dir);
+      }
+    }
+    if (!j.permanent && !j.transient &&
+        rec->state != "done" && rec->state != "violations") {
+      return fail("clean-job-failed", "unfaulted job " + j.id + " ended \"" + rec->state +
+                                          "\"; work dir kept at " + dir);
+    }
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
+}  // namespace tv::check

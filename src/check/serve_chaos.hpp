@@ -1,0 +1,44 @@
+// Chaos smoke mode for the scaldtvd serving layer (tvfuzz --serve-chaos).
+//
+// Generates a seeded batch of known-good SHDL designs, attaches random
+// deterministic fault specs (injected read failures, mid-evaluation aborts,
+// hangs, one permanently-crashing job) to a fraction of the jobs, pushes
+// the batch through a real scaldtvd + scaldtv worker pool, and asserts the
+// supervisor's contract:
+//
+//   * every job reaches a terminal state -- none lost, duplicated, or left
+//     requeued when no shutdown was requested;
+//   * jobs whose fault fires only on attempt 1 recover, with the retry
+//     observable in the manifest's attempt count;
+//   * the permanently-aborting job exhausts its attempts and lands in
+//     state "crashed" (exit code 4);
+//   * the daemon's exit code matches the manifest's worst state;
+//   * the whole run is deterministic: a second identical run produces a
+//     byte-identical manifest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tv::check {
+
+struct ServeChaosOptions {
+  std::uint64_t seed = 1;
+  int jobs = 12;               // generated jobs per batch
+  std::string scaldtvd_path;   // daemon binary (required)
+  std::string scaldtv_path;    // worker binary (required)
+  bool verbose = false;
+};
+
+struct ServeChaosFailure {
+  std::string kind;    // "job-lost" | "job-not-terminal" | "retry-invisible" | ...
+  std::string detail;
+};
+
+/// Runs one seeded chaos batch end to end. Returns the failure if the
+/// supervisor contract was broken, std::nullopt otherwise. Work files live
+/// in a fresh directory under TMPDIR, removed on success.
+std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts);
+
+}  // namespace tv::check

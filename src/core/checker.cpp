@@ -323,6 +323,53 @@ void add_unconverged(std::vector<Violation>& out) {
   out.push_back(std::move(v));
 }
 
+// Watches the run-wide deadline across one checking pass: checks are
+// skipped (and counted) once the deadline expires, and the skip count
+// becomes one TV-W204 degradation record. Unlike evaluation's UNKNOWN
+// degradation, a skipped check can hide a violation -- which is exactly why
+// the record exists and the result is marked partial.
+class CheckDeadline {
+ public:
+  explicit CheckDeadline(const VerifierOptions& opts)
+      : deadline_(opts.deadline), limit_(opts.time_limit_seconds) {
+    if (!deadline_.armed() && limit_ > 0) {
+      deadline_ = Deadline::after_seconds(limit_);
+    }
+  }
+
+  /// True when this check must be skipped (deadline expired). The first
+  /// expired poll latches, so later polls cost nothing.
+  bool skip() {
+    if (expired_) {
+      ++skipped_;
+      return true;
+    }
+    if (deadline_.armed() && deadline_.expired()) {
+      expired_ = true;
+      ++skipped_;
+      return true;
+    }
+    return false;
+  }
+
+  void flush(std::vector<Degradation>* degradations) const {
+    if (skipped_ == 0 || !degradations) return;
+    degradations->push_back(Degradation{
+        diag::kWarnCheckDeadline,
+        "time limit of " + std::to_string(limit_) +
+            "s exceeded during constraint checking; " + std::to_string(skipped_) +
+            " check(s) skipped (result partial)"});
+  }
+
+  std::size_t skipped() const { return skipped_; }
+
+ private:
+  Deadline deadline_;
+  double limit_ = 0;
+  bool expired_ = false;
+  std::size_t skipped_ = 0;
+};
+
 }  // namespace
 
 std::string violation_type_name(Violation::Type t) {
@@ -418,19 +465,30 @@ std::string slack_report(const Netlist& nl, std::vector<SlackEntry> slacks, Time
   return out;
 }
 
-std::vector<Violation> run_checks(const EvalView& view) {
+std::vector<Violation> run_checks(const EvalView& view,
+                                  std::vector<Degradation>* degradations) {
   std::vector<Violation> out;
   const Netlist& nl = view.netlist();
   CheckContext ctx{view, nl, out};
+  CheckDeadline deadline(view.options());
 
   if (!view.converged()) add_unconverged(out);
-  for (PrimId pid = 0; pid < nl.num_prims(); ++pid) check_prim(ctx, pid);
-  for (SignalId id = 0; id < nl.num_signals(); ++id) check_stable_assertion(ctx, id);
+  for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
+    if (deadline.skip()) continue;
+    check_prim(ctx, pid);
+  }
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    if (deadline.skip()) continue;
+    check_stable_assertion(ctx, id);
+  }
+  deadline.flush(degradations);
   return out;
 }
 
-std::vector<Violation> run_checks(const Evaluator& ev) {
-  std::vector<Violation> out = run_checks(EvalView(ev.netlist(), ev.options(), ev.converged()));
+std::vector<Violation> run_checks(const Evaluator& ev,
+                                  std::vector<Degradation>* degradations) {
+  std::vector<Violation> out = run_checks(
+      EvalView(ev.netlist(), ev.options(), ev.converged()), degradations);
   if (!ev.converged()) {
     // The evaluator knows which primitives tripped the oscillation guard;
     // replace the generic "feedback path suspected" with the actual cycles.
@@ -456,10 +514,12 @@ std::vector<Violation> run_checks(const Evaluator& ev) {
 }
 
 std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
-                                         const std::vector<Violation>& base) {
+                                         const std::vector<Violation>& base,
+                                         std::vector<Degradation>* degradations) {
   std::vector<Violation> out;
   const Netlist& nl = view.netlist();
   CheckContext ctx{view, nl, out};
+  CheckDeadline deadline(view.options());
 
   if (!view.converged()) add_unconverged(out);
 
@@ -488,7 +548,10 @@ std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
   std::size_t bp = 0;
   for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
     if (cone.contains_prim(pid)) {
-      check_prim(ctx, pid);
+      // Once the deadline expires the in-cone re-check is skipped; the
+      // baseline findings for this prim are *not* substituted (the case may
+      // have moved its inputs), so the skip is surfaced via TV-W204.
+      if (!deadline.skip()) check_prim(ctx, pid);
       while (bp < by_prim.size() && by_prim[bp]->prim == pid) ++bp;  // superseded
     } else {
       for (; bp < by_prim.size() && by_prim[bp]->prim == pid; ++bp) out.push_back(*by_prim[bp]);
@@ -497,7 +560,7 @@ std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
   std::size_t bs = 0;
   for (SignalId id = 0; id < nl.num_signals(); ++id) {
     if (cone.contains_signal(id)) {
-      check_stable_assertion(ctx, id);
+      if (!deadline.skip()) check_stable_assertion(ctx, id);
       while (bs < by_signal.size() && by_signal[bs]->signal == id) ++bs;
     } else {
       for (; bs < by_signal.size() && by_signal[bs]->signal == id; ++bs) {
@@ -505,6 +568,7 @@ std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
       }
     }
   }
+  deadline.flush(degradations);
   return out;
 }
 

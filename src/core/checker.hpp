@@ -40,17 +40,29 @@ std::string violation_type_name(Violation::Type t);
 /// case snapshot through its view). Includes checker primitives, hazard
 /// directives, and stable-assertion verification of generated signals. The
 /// state must be a propagated fixpoint.
-std::vector<Violation> run_checks(const EvalView& view);
+///
+/// The checker polls the run's shared wall-clock deadline
+/// (VerifierOptions::deadline, armed by Verifier::verify from
+/// --time-limit): once expired, remaining checks are skipped and a TV-W204
+/// degradation is appended to `degradations` (when non-null) so a
+/// pathological checker pass cannot run unbounded. Skipped checks make the
+/// result *partial* -- callers must surface VerifyResult::partial / exit 3.
+std::vector<Violation> run_checks(const EvalView& view,
+                                  std::vector<Degradation>* degradations = nullptr);
 /// Convenience overload over the evaluator's (baseline) state.
-std::vector<Violation> run_checks(const Evaluator& ev);
+std::vector<Violation> run_checks(const Evaluator& ev,
+                                  std::vector<Degradation>* degradations = nullptr);
 
 /// Case-scoped checking: re-examines only the primitives and signals inside
 /// `cone` (whose input waveforms a case can disturb) and reuses `base` --
 /// the baseline run_checks output -- for everything outside, where the
 /// waveforms are untouched by construction. Produces the exact violation
-/// list a full run_checks(view) would, at cone-proportional cost.
+/// list a full run_checks(view) would, at cone-proportional cost. Polls the
+/// shared deadline like run_checks (in-cone re-checks are skipped once it
+/// expires; a TV-W204 degradation is recorded).
 std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
-                                         const std::vector<Violation>& base);
+                                         const std::vector<Violation>& base,
+                                         std::vector<Degradation>* degradations = nullptr);
 
 /// Deterministic report order: sorts by (missed-by time, signal, violation
 /// kind, primitive, message) so a case's report is byte-stable regardless

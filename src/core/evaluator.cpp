@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/scc.hpp"
+#include "util/fault.hpp"
 
 namespace tv {
 
@@ -52,7 +53,9 @@ Evaluator::Evaluator(Netlist& nl, VerifierOptions opts) : nl_(nl), opts_(opts) {
   in_worklist_.assign(nl.num_prims(), 0);
   eval_count_.assign(nl.num_prims(), 0);
   case_map_.assign(nl.num_signals(), -1);
-  if (opts_.interning) intern_ = std::make_shared<InternContext>();
+  if (opts_.interning) {
+    intern_ = std::make_shared<InternContext>(opts_.max_waveforms_per_shard);
+  }
   wave_refs_.assign(nl.num_signals(), kNoWaveform);
 }
 
@@ -210,23 +213,24 @@ void Evaluator::assign(SignalId id, Waveform w, std::string eval_str, bool& chan
 
 std::size_t Evaluator::run_worklist() {
   std::size_t events_before = events_;
-  using Clock = std::chrono::steady_clock;
-  const bool timed = opts_.time_limit_seconds > 0;
-  Clock::time_point deadline{};
-  if (timed) {
-    deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                  std::chrono::duration<double>(opts_.time_limit_seconds));
+  // One deadline for the whole verify() run when the Verifier armed it;
+  // a bare propagate() outside verify() arms its own from the budget.
+  Deadline deadline = opts_.deadline;
+  if (!deadline.armed() && opts_.time_limit_seconds > 0) {
+    deadline = Deadline::after_seconds(opts_.time_limit_seconds);
   }
+  const bool timed = deadline.armed();
   while (!worklist_.empty()) {
     // The deadline check covers the first pop too: a limit that already
     // passed degrades everything still queued rather than evaluating once.
     // One steady_clock read per pop is noise next to a primitive evaluation,
     // and any coarser stride would let small designs run out the worklist
     // between checks and never trip the limit.
-    if (timed && Clock::now() >= deadline) {
+    if (timed && deadline.expired()) {
       degrade_remaining();
       break;
     }
+    fault::check("evaluator.eval");
     PrimId pid = worklist_.front();
     worklist_.pop_front();
     in_worklist_[pid] = 0;

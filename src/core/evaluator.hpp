@@ -49,6 +49,18 @@ struct VerifierOptions {
   /// When exceeded, every signal still reachable from the dirty worklist is
   /// degraded to UNKNOWN and the run completes. 0 = unlimited.
   double time_limit_seconds = 0;
+  /// The armed deadline shared by every phase of one Verifier::verify run:
+  /// the base fixpoint, the constraint checker, and every case snapshot all
+  /// poll this same point in time, so N cases cannot stretch the
+  /// time_limit_seconds budget N-fold. verify() arms it from
+  /// time_limit_seconds when unarmed; a phase run outside verify() (direct
+  /// Evaluator::propagate) falls back to arming its own.
+  Deadline deadline{};
+  /// Resource guard: cap on unique waveforms per intern-table shard
+  /// (16 shards). 0 = the table's built-in maximum (~2M per shard). Small
+  /// values force the TV-W203 table-full degradation path; production runs
+  /// leave this at 0.
+  std::uint32_t max_waveforms_per_shard = 0;
 };
 
 /// One resource-guard degradation event: which guard fired and what it did.
@@ -164,6 +176,9 @@ class Evaluator {
   std::size_t events_processed() const { return events_; }
   std::size_t evals_performed() const { return evals_; }
   const VerifierOptions& options() const { return opts_; }
+  /// Arms the shared wall-clock deadline every phase of the run polls
+  /// (called by Verifier::verify before the base fixpoint starts).
+  void arm_deadline(const Deadline& d) { opts_.deadline = d; }
   Netlist& netlist() { return nl_; }
   const Netlist& netlist() const { return nl_; }
 

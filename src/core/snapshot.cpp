@@ -5,6 +5,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace tv {
 
 EvalSnapshot::EvalSnapshot(const Netlist& nl, std::shared_ptr<const Cone> cone)
@@ -65,6 +67,7 @@ class CaseRunner {
         seg_degraded_(cone_.signals.size(), 0) {}
 
   CaseRunStats run(const CaseSpec& c) {
+    fault::check("snapshot.case");
     for (const auto& [sig, val] : c.pins) {
       if (val != Value::Zero && val != Value::One) {
         throw std::invalid_argument("case values must be 0 or 1");
@@ -208,15 +211,15 @@ class CaseRunner {
   }
 
   void run_worklist() {
-    using Clock = std::chrono::steady_clock;
-    const bool timed = opts_.time_limit_seconds > 0;
-    Clock::time_point deadline{};
-    if (timed) {
-      deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                    std::chrono::duration<double>(opts_.time_limit_seconds));
+    // The verify()-wide deadline when armed (cases share one budget with
+    // the base run and the checker); a standalone snapshot run arms its own.
+    Deadline deadline = opts_.deadline;
+    if (!deadline.armed() && opts_.time_limit_seconds > 0) {
+      deadline = Deadline::after_seconds(opts_.time_limit_seconds);
     }
+    const bool timed = deadline.armed();
     while (!worklist_.empty()) {
-      if (timed && Clock::now() >= deadline) {
+      if (timed && deadline.expired()) {
         degrade_remaining();
         break;
       }

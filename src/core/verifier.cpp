@@ -31,13 +31,24 @@ unsigned effective_jobs(unsigned requested, std::size_t num_cases) {
 
 VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   VerifyResult r;
+  // Arm one wall-clock deadline for the entire run: the base fixpoint, the
+  // constraint checker, and every case snapshot poll this same point in
+  // time, so --time-limit bounds the whole verification, not each phase.
+  if (ev_.options().time_limit_seconds > 0 && !ev_.options().deadline.armed()) {
+    ev_.arm_deadline(Deadline::after_seconds(ev_.options().time_limit_seconds));
+  }
   ev_.initialize();
   r.base_events = ev_.propagate();
   r.base_evals = ev_.evals_performed();
   r.converged = ev_.converged();
   r.partial = ev_.degraded();
   r.degradations = ev_.degradations();
-  r.violations = run_checks(ev_);
+  std::vector<Degradation> check_degradations;
+  r.violations = run_checks(ev_, &check_degradations);
+  for (Degradation& d : check_degradations) {
+    r.partial = true;
+    r.degradations.push_back(std::move(d));
+  }
   r.cross_reference = ev_.netlist().undefined_unasserted();
   if (cases.empty()) return r;
 
@@ -80,7 +91,12 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
     cr.degraded = stats.degraded;
     case_degradations[i] = std::move(stats.degradations);
     EvalView view(snap, opts, cr.converged);
-    cr.violations = run_checks_scoped(view, *cones[i], r.violations);
+    std::vector<Degradation> check_degs;
+    cr.violations = run_checks_scoped(view, *cones[i], r.violations, &check_degs);
+    for (Degradation& d : check_degs) {
+      cr.degraded = true;
+      case_degradations[i].push_back(std::move(d));
+    }
     sort_violations(cr.violations);
     r.cases[i] = std::move(cr);
   };

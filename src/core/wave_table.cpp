@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace tv {
 
-WaveformTable::WaveformTable() = default;
+WaveformTable::WaveformTable(std::uint32_t max_per_shard)
+    : max_per_shard_(max_per_shard) {}
 
 WaveformTable::~WaveformTable() {
   for (Shard& sh : shards_) {
@@ -15,6 +18,9 @@ WaveformTable::~WaveformTable() {
 }
 
 WaveformRef WaveformTable::intern(Waveform w) {
+  // Simulated allocation failure (docs/serving.md): `fail` throws
+  // InjectedFault here, which drivers map to the transient exit code 5.
+  fault::check("wave_table.intern");
   w.canonicalize();
   std::uint64_t h = w.canonical_hash();
   Shard& sh = shards_[h & kShardMask];
@@ -28,7 +34,9 @@ WaveformRef WaveformTable::intern(Waveform w) {
     }
   }
   std::uint32_t slot = sh.count;
-  if ((slot >> kChunkBits) >= kMaxChunks) {
+  std::uint32_t cap = kMaxChunks * kChunkSize;
+  if (max_per_shard_ != 0 && max_per_shard_ < cap) cap = max_per_shard_;
+  if (slot >= cap) {
     // Shard exhausted: signal the caller instead of throwing so evaluation
     // can degrade the affected cone conservatively rather than crash.
     return kNoWaveform;

@@ -58,7 +58,11 @@ inline constexpr WaveformRef kNoWaveform = 0xFFFFFFFFu;
 /// Append-only, shard-locked arena of unique canonical waveforms.
 class WaveformTable {
  public:
-  WaveformTable();
+  /// `max_per_shard` caps unique waveforms per shard below the structural
+  /// maximum; 0 = unlimited (the built-in ~2M). Small caps force the
+  /// TV-W203 degradation path deterministically, which the concurrent
+  /// degradation tests exploit.
+  explicit WaveformTable(std::uint32_t max_per_shard = 0);
   WaveformTable(const WaveformTable&) = delete;
   WaveformTable& operator=(const WaveformTable&) = delete;
   ~WaveformTable();
@@ -107,6 +111,7 @@ class WaveformTable {
   };
 
   Shard shards_[kShardCount];
+  std::uint32_t max_per_shard_ = 0;  // 0 = structural maximum
 };
 
 /// One prepared-input key component: everything prepare_input consumes
@@ -178,6 +183,12 @@ class EvalMemo {
 struct InternContext {
   WaveformTable table;
   EvalMemo memo;
+
+  InternContext() = default;
+  /// Caps unique waveforms per table shard (VerifierOptions::
+  /// max_waveforms_per_shard); 0 = unlimited.
+  explicit InternContext(std::uint32_t max_waveforms_per_shard)
+      : table(max_waveforms_per_shard) {}
 };
 
 /// Snapshot of the interning counters for storage_stats / benchmarks.

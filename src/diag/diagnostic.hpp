@@ -142,5 +142,6 @@ inline constexpr const char* kErrUnconverged = "TV-E101";
 inline constexpr const char* kWarnSegmentCap = "TV-W201";
 inline constexpr const char* kWarnTimeLimit = "TV-W202";
 inline constexpr const char* kWarnTableFull = "TV-W203";
+inline constexpr const char* kWarnCheckDeadline = "TV-W204";
 
 }  // namespace tv::diag

@@ -1,0 +1,236 @@
+#include "serve/job.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <unordered_set>
+
+#include "util/fault.hpp"
+
+namespace tv::serve {
+
+namespace {
+
+// Minimal recursive-descent scanner for the flat JSON objects job lines
+// use: string, number, and boolean values only (no nesting, no arrays --
+// the job schema is deliberately flat). Returns false on any deviation.
+struct JsonScanner {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string error;
+
+  explicit JsonScanner(const std::string& text) : s(text) {}
+
+  bool fail(const std::string& why) {
+    error = why + " at offset " + std::to_string(i);
+    return false;
+  }
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (i >= s.size() || s[i] != c) return fail(std::string("expected '") + c + "'");
+    ++i;
+    return true;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return fail("expected string");
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return fail("bad escape");
+        char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: return fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;  // closing quote
+    return true;
+  }
+  // Value as text: "str", number, or true/false. `is_string` reports which.
+  bool parse_value(std::string& out, bool& is_string) {
+    skip_ws();
+    if (i >= s.size()) return fail("expected value");
+    if (s[i] == '"') {
+      is_string = true;
+      return parse_string(out);
+    }
+    is_string = false;
+    std::size_t start = i;
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '-' || s[i] == '+' || s[i] == '.')) {
+      ++i;
+    }
+    if (i == start) return fail("expected value");
+    out = s.substr(start, i - start);
+    return true;
+  }
+};
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end && *end == '\0';
+}
+
+bool parse_long(const std::string& text, long& out) {
+  char* end = nullptr;
+  out = std::strtol(text.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+std::string format_double(double v) {
+  // Shortest round-trip-ish form: trim trailing zeros so worker argv stays
+  // stable and readable (5.0 -> "5", 0.25 -> "0.25").
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<JobSpec> parse_job_line(const std::string& line, std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<JobSpec> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  JsonScanner sc(line);
+  if (!sc.expect('{')) return fail(sc.error);
+  JobSpec job;
+  bool first = true;
+  for (;;) {
+    sc.skip_ws();
+    if (sc.i < sc.s.size() && sc.s[sc.i] == '}') {
+      ++sc.i;
+      break;
+    }
+    if (!first && !sc.expect(',')) return fail(sc.error);
+    first = false;
+    std::string key, value;
+    bool is_string = false;
+    if (!sc.parse_string(key)) return fail(sc.error);
+    if (!sc.expect(':')) return fail(sc.error);
+    if (!sc.parse_value(value, is_string)) return fail(sc.error);
+
+    if (key == "id") {
+      job.id = value;
+    } else if (key == "design") {
+      job.design = value;
+    } else if (key == "stdlib") {
+      if (value != "true" && value != "false") return fail("\"stdlib\" must be a boolean");
+      job.stdlib = value == "true";
+    } else if (key == "time_limit") {
+      double v = 0;
+      if (is_string || !parse_double(value, v) || v < 0) {
+        return fail("\"time_limit\" must be a non-negative number");
+      }
+      job.time_limit = v;
+    } else if (key == "jobs") {
+      long v = 0;
+      if (is_string || !parse_long(value, v) || v < 0) {
+        return fail("\"jobs\" must be a non-negative integer");
+      }
+      job.jobs = static_cast<unsigned>(v);
+    } else if (key == "fault") {
+      std::string spec_error;
+      // Validate eagerly so a typo'd chaos spec fails the batch load, not
+      // silently runs every worker clean. Validation must not disturb the
+      // process-wide plan, so parse into a scratch config... the fault
+      // layer has no dry-run entry point; a structural check suffices here:
+      // entries are validated by the worker at startup, and scaldtvd logs
+      // worker stderr. Shape check: site@N:action per comma-entry.
+      std::size_t from = 0;
+      while (from <= value.size()) {
+        std::size_t comma = value.find(',', from);
+        if (comma == std::string::npos) comma = value.size();
+        std::string part = value.substr(from, comma - from);
+        if (!part.empty()) {
+          std::size_t at = part.find('@');
+          std::size_t colon = at == std::string::npos ? std::string::npos
+                                                      : part.find(':', at);
+          std::string action =
+              colon == std::string::npos ? "" : part.substr(colon + 1);
+          if (at == std::string::npos || at == 0 || colon == std::string::npos ||
+              (action != "fail" && action != "abort" && action != "hang")) {
+            return fail("\"fault\" entry \"" + part + "\" is not site@N:action");
+          }
+        }
+        from = comma + 1;
+      }
+      job.fault = value;
+    } else if (key == "fault_attempts") {
+      long v = 0;
+      if (is_string || !parse_long(value, v) || v < 0) {
+        return fail("\"fault_attempts\" must be a non-negative integer");
+      }
+      job.fault_attempts = static_cast<int>(v);
+    } else {
+      return fail("unknown key \"" + key + "\"");
+    }
+  }
+  sc.skip_ws();
+  if (sc.i != sc.s.size()) return fail("trailing characters after object");
+  if (job.id.empty()) return fail("missing \"id\"");
+  if (job.design.empty()) return fail("missing \"design\"");
+  return job;
+}
+
+std::optional<std::vector<JobSpec>> parse_job_file(const std::string& path,
+                                                   std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<std::vector<JobSpec>> {
+    if (error) *error = path + ": " + why;
+    return std::nullopt;
+  };
+  std::ifstream in(path);
+  if (!in) return fail("cannot open");
+  if (fault::should_fail("io.read")) return fail("injected read failure");
+  std::vector<JobSpec> jobs;
+  std::unordered_set<std::string> seen;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::string line_error;
+    std::optional<JobSpec> job = parse_job_line(line, &line_error);
+    if (!job) return fail("line " + std::to_string(lineno) + ": " + line_error);
+    if (!seen.insert(job->id).second) {
+      return fail("line " + std::to_string(lineno) + ": duplicate job id \"" +
+                  job->id + "\"");
+    }
+    jobs.push_back(std::move(*job));
+  }
+  return jobs;
+}
+
+std::vector<std::string> worker_args(const JobSpec& job) {
+  std::vector<std::string> args;
+  if (job.stdlib) args.push_back("--stdlib");
+  if (job.time_limit > 0) {
+    args.push_back("--time-limit");
+    args.push_back(format_double(job.time_limit));
+  }
+  if (job.jobs > 0) {
+    args.push_back("--jobs");
+    args.push_back(std::to_string(job.jobs));
+  }
+  args.push_back(job.design);
+  return args;
+}
+
+}  // namespace tv::serve

@@ -1,0 +1,268 @@
+#include "serve/supervisor.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include "util/fault.hpp"
+
+namespace tv::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Per-job bookkeeping while the batch runs.
+struct Slot {
+  enum class Phase { Pending, Delayed, Running, Terminal };
+  const JobSpec* job = nullptr;
+  Phase phase = Phase::Pending;
+  JobRecord record;
+  pid_t pid = -1;
+  Clock::time_point kill_at{};   // watchdog (Running, when armed)
+  bool watchdog = false;
+  bool killed_by_watchdog = false;
+  Clock::time_point retry_at{};  // backoff wake-up (Delayed)
+};
+
+/// Classification of one finished attempt.
+enum class Outcome { Terminal, Transient };
+
+pid_t spawn_worker(const JobSpec& job, const SupervisorOptions& opts, int attempt) {
+  std::vector<std::string> args = worker_args(job);
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(opts.scaldtv_path.c_str()));
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  // The injected spec for this attempt: the job's own fault wins (gated on
+  // fault_attempts so "attempt 1 dies, attempt 2 runs clean" is expressible),
+  // else the daemon-wide chaos spec. Cleared otherwise so workers never
+  // inherit the daemon's TV_FAULT by accident.
+  const std::string* spec = nullptr;
+  if (!job.fault.empty() &&
+      (job.fault_attempts == 0 || attempt <= job.fault_attempts)) {
+    spec = &job.fault;
+  } else if (!opts.fault_spec.empty()) {
+    spec = &opts.fault_spec;
+  }
+
+  pid_t pid = fork();
+  if (pid != 0) return pid;  // parent (or fork failure, -1)
+
+  // Child: only async-signal-safe calls plus exec. Workers write their
+  // reports to /dev/null -- the manifest is the daemon's output; worker
+  // stderr is passed through so crash reports and diagnostics stay visible.
+  int devnull = open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    dup2(devnull, STDOUT_FILENO);
+    if (devnull > STDERR_FILENO) close(devnull);
+  }
+  if (spec) {
+    setenv("TV_FAULT", spec->c_str(), 1);
+  } else {
+    unsetenv("TV_FAULT");
+  }
+  execvp(opts.scaldtv_path.c_str(), argv.data());
+  _exit(127);
+}
+
+}  // namespace
+
+std::uint64_t backoff_delay_ms(const SupervisorOptions& opts,
+                               const std::string& job_id, int attempt) {
+  std::uint64_t delay = opts.backoff_base_ms;
+  for (int i = 1; i < attempt && delay < opts.backoff_max_ms; ++i) delay *= 2;
+  if (delay > opts.backoff_max_ms) delay = opts.backoff_max_ms;
+  std::uint64_t h = fnv1a(job_id.data(), job_id.size(), 14695981039346656037ull);
+  h = fnv1a(&attempt, sizeof attempt, h);
+  h = fnv1a(&opts.jitter_seed, sizeof opts.jitter_seed, h);
+  std::uint64_t jitter = opts.backoff_base_ms ? h % opts.backoff_base_ms : 0;
+  return delay + jitter;
+}
+
+Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts) {
+  std::vector<Slot> slots(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    slots[i].job = &jobs[i];
+    slots[i].record.id = jobs[i].id;
+    slots[i].record.design = jobs[i].design;
+  }
+
+  std::unordered_map<pid_t, std::size_t> by_pid;
+  unsigned running = 0;
+  std::size_t open_jobs = jobs.size();
+  bool draining = false;
+
+  auto shutting_down = [&] { return opts.shutdown && *opts.shutdown != 0; };
+
+  auto note = [&](const Slot& s, const char* what) {
+    if (opts.verbose) {
+      std::fprintf(stderr, "scaldtvd: job %s attempt %d: %s\n",
+                   s.record.id.c_str(), s.record.attempts, what);
+    }
+  };
+
+  auto settle = [&](Slot& s, JobState state) {
+    s.phase = Slot::Phase::Terminal;
+    s.record.state = state;
+    --open_jobs;
+    if (opts.verbose) {
+      std::fprintf(stderr, "scaldtvd: job %s -> %s after %d attempt(s)\n",
+                   s.record.id.c_str(), job_state_name(state), s.record.attempts);
+    }
+  };
+
+  // A failed attempt either backs off for a retry or, with attempts
+  // exhausted, settles the job as Crashed.
+  auto handle_transient = [&](Slot& s) {
+    if (s.record.attempts >= opts.max_attempts) {
+      settle(s, JobState::Crashed);
+      return;
+    }
+    std::uint64_t delay = backoff_delay_ms(opts, s.record.id, s.record.attempts);
+    s.phase = Slot::Phase::Delayed;
+    s.retry_at = Clock::now() + std::chrono::milliseconds(delay);
+  };
+
+  auto launch = [&](Slot& s) {
+    ++s.record.attempts;
+    if (fault::should_fail("serve.spawn")) {
+      s.record.outcomes.push_back("spawn-failed");
+      note(s, "injected spawn failure");
+      handle_transient(s);
+      return;
+    }
+    pid_t pid = spawn_worker(*s.job, opts, s.record.attempts);
+    if (pid < 0) {
+      s.record.outcomes.push_back("spawn-failed");
+      note(s, "fork failed");
+      handle_transient(s);
+      return;
+    }
+    s.phase = Slot::Phase::Running;
+    s.pid = pid;
+    s.killed_by_watchdog = false;
+    double timeout = s.job->time_limit > 0
+                         ? s.job->time_limit + opts.watchdog_slack
+                         : opts.default_timeout;
+    s.watchdog = timeout > 0;
+    if (s.watchdog) {
+      s.kill_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(timeout));
+    }
+    by_pid[pid] = static_cast<std::size_t>(s.job - jobs.data());
+    ++running;
+    note(s, "launched");
+  };
+
+  auto reap = [&](Slot& s, int status) {
+    by_pid.erase(s.pid);
+    s.pid = -1;
+    --running;
+    if (WIFSIGNALED(status)) {
+      if (s.killed_by_watchdog) {
+        s.record.outcomes.push_back("timeout");
+        note(s, "watchdog timeout");
+      } else {
+        s.record.outcomes.push_back("signal:" + std::to_string(WTERMSIG(status)));
+        note(s, "died by signal");
+      }
+      handle_transient(s);
+      return;
+    }
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : 127;
+    s.record.outcomes.push_back("exit:" + std::to_string(code));
+    switch (code) {
+      case 0: settle(s, JobState::Done); return;
+      case 1: settle(s, JobState::Violations); return;
+      case 3: settle(s, JobState::Degraded); return;
+      case 5:
+        note(s, "transient failure");
+        handle_transient(s);
+        return;
+      // 2 (input error) and 127 (exec failure: bad scaldtv path) are
+      // permanent -- retrying cannot fix a bad design or a missing binary.
+      default: settle(s, JobState::InputError); return;
+    }
+  };
+
+  while (open_jobs > 0) {
+    if (shutting_down() && !draining) {
+      draining = true;
+      if (opts.verbose) {
+        std::fprintf(stderr, "scaldtvd: shutdown requested; draining %u running "
+                             "worker(s), requeueing the rest\n", running);
+      }
+    }
+    Clock::time_point now = Clock::now();
+
+    for (Slot& s : slots) {
+      switch (s.phase) {
+        case Slot::Phase::Running: {
+          int status = 0;
+          pid_t r = waitpid(s.pid, &status, WNOHANG);
+          if (r == s.pid) {
+            reap(s, status);
+          } else if (r < 0 && errno == ECHILD) {
+            // Should not happen (we only wait on our own pids), but do not
+            // spin on a lost child forever.
+            s.record.outcomes.push_back("signal:9");
+            by_pid.erase(s.pid);
+            s.pid = -1;
+            --running;
+            handle_transient(s);
+          } else if (s.watchdog && !s.killed_by_watchdog && now >= s.kill_at) {
+            s.killed_by_watchdog = true;
+            kill(s.pid, SIGKILL);
+          }
+          break;
+        }
+        case Slot::Phase::Delayed:
+          if (draining) {
+            settle(s, JobState::Requeued);
+          } else if (now >= s.retry_at && running < opts.workers) {
+            launch(s);
+          }
+          break;
+        case Slot::Phase::Pending:
+          if (draining) {
+            settle(s, JobState::Requeued);
+          } else if (running < opts.workers) {
+            launch(s);
+          }
+          break;
+        case Slot::Phase::Terminal:
+          break;
+      }
+      if (open_jobs == 0) break;
+    }
+
+    if (open_jobs > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  Manifest m;
+  m.jobs.reserve(slots.size());
+  for (Slot& s : slots) m.jobs.push_back(std::move(s.record));
+  return m;
+}
+
+}  // namespace tv::serve

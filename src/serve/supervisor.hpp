@@ -1,0 +1,64 @@
+// Crash-isolated job supervisor for scaldtvd.
+//
+// Each verification job runs in its own worker process (fork/exec of
+// scaldtv), so a crashing, hanging, or resource-exhausted design takes down
+// one worker, never the daemon or the rest of the batch. The supervisor:
+//
+//   * keeps at most `workers` jobs in flight, launching from a FIFO queue;
+//   * arms a per-job wall-clock watchdog (the job's --time-limit budget
+//     plus `watchdog_slack` to let the worker degrade gracefully first;
+//     jobs with no limit get `default_timeout`) and SIGKILLs overruns;
+//   * classifies worker exits: 0/1/2/3 are terminal (mapped to JobStates),
+//     exit 5 (transient environment failure) and any signal death are
+//     retried with exponential backoff + deterministic jitter, up to
+//     `max_attempts`; exhausted retries become JobState::Crashed (exit 4);
+//   * on SIGTERM/SIGINT (signalled via *shutdown) stops launching, lets
+//     running workers finish (watchdogs stay armed), and records pending
+//     and backing-off jobs as Requeued in the manifest.
+//
+// Determinism: backoff jitter is a pure function of (job id, attempt,
+// seed), and the manifest is sorted by id with no timestamps, so a batch
+// replayed with the same seed and fault plan produces a byte-identical
+// manifest regardless of worker scheduling.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/manifest.hpp"
+
+namespace tv::serve {
+
+struct SupervisorOptions {
+  std::string scaldtv_path = "scaldtv";  // worker binary (execvp semantics)
+  unsigned workers = 1;                  // max jobs in flight
+  int max_attempts = 3;                  // launches per job before Crashed
+  std::uint64_t backoff_base_ms = 100;   // first retry delay
+  std::uint64_t backoff_max_ms = 5000;   // delay cap
+  double watchdog_slack = 2.0;           // seconds past --time-limit
+  double default_timeout = 0;            // watchdog for no-limit jobs (0 = none)
+  std::uint64_t jitter_seed = 0;         // keys the deterministic jitter
+  // TV_FAULT spec forced into every worker's environment (daemon-level
+  // chaos, on top of per-job `fault` specs). Applied with the same
+  // fault_attempts gating rules -- here, every attempt.
+  std::string fault_spec;
+  // Set to nonzero (by a signal handler) to request graceful shutdown.
+  volatile std::sig_atomic_t* shutdown = nullptr;
+  bool verbose = false;  // per-attempt progress lines on stderr
+};
+
+/// Deterministic backoff delay before `attempt`+1 (attempt is the 1-based
+/// number of the launch that just failed): min(base * 2^(attempt-1), max)
+/// plus jitter in [0, base) derived from (job_id, attempt, seed).
+std::uint64_t backoff_delay_ms(const SupervisorOptions& opts,
+                               const std::string& job_id, int attempt);
+
+/// Runs every job to a terminal state (or Requeued under shutdown) and
+/// returns the manifest. Jobs are launched in input order; results are
+/// keyed by id, so output order does not depend on scheduling.
+Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts);
+
+}  // namespace tv::serve

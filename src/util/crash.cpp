@@ -1,0 +1,87 @@
+#include "util/crash.hpp"
+
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace tv::crash {
+
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+// Fixed buffers: a signal handler cannot allocate, so the context is copied
+// here up front. Plain (non-atomic) chars are fine -- the handler runs on
+// the faulting thread and a torn read at worst garbles the report text.
+char g_design[512] = "";
+char g_phase[64] = "";
+bool g_installed = false;
+
+void copy_into(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  for (; src[i] && i + 1 < cap; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+void write_str(const char* s) {
+  std::size_t n = std::strlen(s);
+  while (n > 0) {
+    ssize_t w = write(STDERR_FILENO, s, n);
+    if (w <= 0) return;
+    s += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+  }
+  return "fatal signal";
+}
+
+void handler(int sig) {
+  write_str("scaldtv: fatal ");
+  write_str(signal_name(sig));
+  if (g_phase[0]) {
+    write_str(" during ");
+    write_str(g_phase);
+  }
+  if (g_design[0]) {
+    write_str(" of ");
+    write_str(g_design);
+  }
+  write_str("\n");
+  // Restore the default disposition and re-raise so the process still dies
+  // by this signal (supervisors classify on the wait status, and core dumps
+  // keep working).
+  std::signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+}  // namespace
+
+void install_handler() {
+  if (g_installed) return;
+  g_installed = true;
+  for (int sig : kFatalSignals) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = handler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESETHAND: the handler restores SIG_DFL itself before re-raise.
+    sigaction(sig, &sa, nullptr);
+  }
+}
+
+void set_context(const char* design_path, const char* phase) {
+  if (design_path) copy_into(g_design, sizeof g_design, design_path);
+  if (phase) copy_into(g_phase, sizeof g_phase, phase);
+}
+
+}  // namespace tv::crash

@@ -1,0 +1,27 @@
+// Minimal fatal-signal handler for attributable crash reports.
+//
+// scaldtvd runs the verifier core as disposable worker processes; when one
+// dies on SIGSEGV/SIGABRT the supervisor sees only the signal number. This
+// handler makes the worker's own stderr carry the context -- which design
+// was being verified and which phase was active -- before re-raising the
+// signal with the default disposition, so the exit status the supervisor
+// observes is unchanged (still signal-killed) but the crash is attributable
+// from the worker's log.
+//
+// Everything in the handler is async-signal-safe: the context lives in
+// fixed static buffers written by set_crash_context() and the handler uses
+// only write(2).
+#pragma once
+
+namespace tv::crash {
+
+/// Installs the handler for SIGSEGV, SIGABRT, SIGBUS, SIGFPE, and SIGILL.
+/// Idempotent; call once near the top of main().
+void install_handler();
+
+/// Records what the process is doing. Either pointer may be null to leave
+/// that field unchanged; pass "" to clear. Strings are copied (truncated to
+/// an internal fixed size), so callers may pass temporaries.
+void set_context(const char* design_path, const char* phase);
+
+}  // namespace tv::crash

@@ -9,6 +9,7 @@
 // (sec. 2.8's consistency rule).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -51,6 +52,34 @@ struct TimeRange {
   Time end = 0;
   constexpr Time width() const { return end - begin; }
   constexpr bool operator==(const TimeRange&) const = default;
+};
+
+/// A wall-clock budget shared across verification phases. One Deadline is
+/// armed when the run starts (Verifier::verify) and every phase -- the base
+/// fixpoint, each case snapshot, and the constraint checker -- polls the
+/// *same* point in time, so a run with N cases cannot stretch a --time-limit
+/// of S seconds into (N+2)*S. Default-constructed deadlines are unarmed and
+/// never expire.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+  bool expired() const { return armed_ && Clock::now() >= at_; }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point at_{};
 };
 
 /// Scale for user clock units (sec. 2.3). E.g. the Fig 2-5 example uses

@@ -239,3 +239,77 @@ TEST(Slack, CycleTimeEstimateWhenAllPass) {
 
 }  // namespace
 }  // namespace tv
+
+// Regression for the --time-limit coverage bug: only the evaluation
+// fixed-point loop used to poll the deadline, so a run whose budget expired
+// during constraint checking silently kept checking (or, with cases, let
+// every case re-arm a fresh budget). The shared deadline must cover the
+// checker and surface skipped checks as TV-W204 with a partial result.
+#include "diag/diagnostic.hpp"
+
+namespace tv {
+namespace {
+
+TEST(CheckerDeadline, ExpiredBudgetSkipsChecksAndReportsW204) {
+  Rig r;
+  // A guaranteed setup violation (the SetupMissReportsAmount circuit).
+  r.nl.setup_hold_chk("CHK", from_ns(3), 0, r.nl.ref("D .S18.5-58"), r.nl.ref("CK .P20-30"));
+  r.nl.finalize();
+
+  // Control: with no deadline the violation is reported.
+  {
+    Verifier v(r.nl, r.opts);
+    VerifyResult res = v.verify({});
+    ASSERT_EQ(res.violations.size(), 1u);
+    EXPECT_FALSE(res.partial);
+  }
+
+  // An already-expired shared deadline: the checker must skip its checks,
+  // mark the run partial, and say so -- never silently drop violations.
+  VerifierOptions opts = r.opts;
+  opts.deadline = Deadline::after_seconds(0);
+  Verifier v(r.nl, opts);
+  VerifyResult res = v.verify({});
+  EXPECT_TRUE(res.partial);
+  EXPECT_TRUE(res.violations.empty());
+  bool saw_w204 = false;
+  for (const Degradation& d : res.degradations) {
+    if (std::string(d.code) == diag::kWarnCheckDeadline) {
+      saw_w204 = true;
+      EXPECT_NE(d.message.find("skipped"), std::string::npos) << d.message;
+    }
+  }
+  EXPECT_TRUE(saw_w204);
+}
+
+TEST(CheckerDeadline, CasesShareOneBudgetAndDegradeToo) {
+  Rig r;
+  Ref sel = r.nl.ref("SEL");
+  Ref out = r.nl.ref("OUT");
+  r.nl.mux2("MUX", from_ns(1), from_ns(2), sel, r.nl.ref("A .S0-40"),
+            r.nl.ref("B .S5-45"), out);
+  r.nl.setup_hold_chk("CHK", from_ns(30), 0, out, r.nl.ref("CK .P20-30"));
+  r.nl.finalize();
+  std::vector<CaseSpec> cases = {{"sel0", {{sel.id, Value::Zero}}},
+                                 {"sel1", {{sel.id, Value::One}}}};
+
+  VerifierOptions opts = r.opts;
+  opts.deadline = Deadline::after_seconds(0);
+  Verifier v(r.nl, opts);
+  VerifyResult res = v.verify(cases);
+  EXPECT_TRUE(res.partial);
+  ASSERT_EQ(res.cases.size(), 2u);
+  for (const auto& c : res.cases) {
+    EXPECT_TRUE(c.degraded) << c.name;
+    EXPECT_TRUE(c.violations.empty()) << c.name;
+  }
+  // The expired budget is reported per checking phase (base + each case).
+  std::size_t w204 = 0;
+  for (const Degradation& d : res.degradations) {
+    if (std::string(d.code) == diag::kWarnCheckDeadline) ++w204;
+  }
+  EXPECT_GE(w204, 3u);
+}
+
+}  // namespace
+}  // namespace tv

@@ -1,0 +1,338 @@
+// Tests for the scaldtvd serving layer (src/serve): the newline-JSON job
+// parser, the byte-stable run manifest, the deterministic retry backoff,
+// and -- driving the real scaldtv binary as a crash-isolated worker -- the
+// supervisor's terminal-state, retry, watchdog, and graceful-shutdown
+// contracts.
+#include "serve/job.hpp"
+#include "serve/manifest.hpp"
+#include "serve/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "util/fault.hpp"
+
+namespace tv::serve {
+namespace {
+
+// ---------------------------------------------------------------- job lines
+
+TEST(JobParse, FullLine) {
+  std::string error;
+  auto job = parse_job_line(
+      R"({"id": "j1", "design": "a.shdl", "stdlib": true, "time_limit": 2.5, )"
+      R"("jobs": 4, "fault": "io.read@1:fail", "fault_attempts": 1})",
+      &error);
+  ASSERT_TRUE(job) << error;
+  EXPECT_EQ(job->id, "j1");
+  EXPECT_EQ(job->design, "a.shdl");
+  EXPECT_TRUE(job->stdlib);
+  EXPECT_DOUBLE_EQ(job->time_limit, 2.5);
+  EXPECT_EQ(job->jobs, 4u);
+  EXPECT_EQ(job->fault, "io.read@1:fail");
+  EXPECT_EQ(job->fault_attempts, 1);
+}
+
+TEST(JobParse, DefaultsAndMinimalLine) {
+  auto job = parse_job_line(R"({"id": "j", "design": "d.shdl"})", nullptr);
+  ASSERT_TRUE(job);
+  EXPECT_FALSE(job->stdlib);
+  EXPECT_EQ(job->time_limit, 0);
+  EXPECT_EQ(job->jobs, 0u);
+  EXPECT_TRUE(job->fault.empty());
+  EXPECT_EQ(job->fault_attempts, 0);
+}
+
+TEST(JobParse, RejectsBadLines) {
+  const char* bad[] = {
+      "",                                            // not an object
+      R"({"design": "d.shdl"})",                     // missing id
+      R"({"id": "j"})",                              // missing design
+      R"({"id": "j", "design": "d", "x": 1})",       // unknown key
+      R"({"id": "j", "design": "d"} trailing)",      // trailing junk
+      R"({"id": "j", "design": "d", "jobs": -1})",   // negative count
+      R"({"id": "j", "design": "d", "stdlib": 7})",  // non-bool stdlib
+      R"({"id": "j", "design": "d", "fault": "nonsense"})",  // bad fault shape
+      R"({"id": "j", "design": "d", "fault": "io.read@1:explode"})",
+  };
+  for (const char* line : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_job_line(line, &error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(JobParse, FileSkipsCommentsAndRejectsDuplicates) {
+  std::string path = ::testing::TempDir() + "serve_jobs_test.jobs";
+  {
+    std::ofstream out(path);
+    out << "# comment\n\n"
+        << R"({"id": "a", "design": "d1.shdl"})" << "\n"
+        << R"({"id": "b", "design": "d2.shdl"})" << "\n";
+  }
+  std::string error;
+  auto jobs = parse_job_file(path, &error);
+  ASSERT_TRUE(jobs) << error;
+  EXPECT_EQ(jobs->size(), 2u);
+
+  {
+    std::ofstream out(path);
+    out << R"({"id": "a", "design": "d1.shdl"})" << "\n"
+        << R"({"id": "a", "design": "d2.shdl"})" << "\n";
+  }
+  EXPECT_FALSE(parse_job_file(path, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JobParse, WorkerArgsReflectTheSpec) {
+  JobSpec j;
+  j.id = "x";
+  j.design = "d.shdl";
+  EXPECT_EQ(worker_args(j), (std::vector<std::string>{"d.shdl"}));
+  j.stdlib = true;
+  j.time_limit = 0.25;
+  j.jobs = 2;
+  EXPECT_EQ(worker_args(j), (std::vector<std::string>{"--stdlib", "--time-limit",
+                                                      "0.25", "--jobs", "2", "d.shdl"}));
+}
+
+// ----------------------------------------------------------------- manifest
+
+TEST(Manifest, JsonIsSortedFixedOrderAndStable) {
+  Manifest m;
+  m.jobs.push_back({"zeta", "z.shdl", JobState::Done, 1, {"exit:0"}});
+  m.jobs.push_back({"alpha", "a.shdl", JobState::Crashed, 3,
+                    {"signal:6", "signal:6", "signal:6"}});
+  std::string json = m.to_json();
+  // Sorted by id regardless of insertion order.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  // Byte-stable: serializing twice is identical.
+  EXPECT_EQ(json, m.to_json());
+  // No timestamps or durations anywhere in the format.
+  EXPECT_EQ(json.find("time"), std::string::npos);
+  EXPECT_NE(json.find("\"outcomes\": [\"signal:6\", \"signal:6\", \"signal:6\"]"),
+            std::string::npos);
+}
+
+TEST(Manifest, ExitCodePrecedenceWorstWins) {
+  Manifest m;
+  m.jobs.push_back({"a", "a", JobState::Done, 1, {}});
+  EXPECT_EQ(m.exit_code(), 0);
+  m.jobs.push_back({"b", "b", JobState::Violations, 1, {}});
+  EXPECT_EQ(m.exit_code(), 1);
+  m.jobs.push_back({"c", "c", JobState::Degraded, 1, {}});
+  EXPECT_EQ(m.exit_code(), 3);
+  m.jobs.push_back({"d", "d", JobState::Crashed, 3, {}});
+  EXPECT_EQ(m.exit_code(), 4);
+  m.jobs.push_back({"e", "e", JobState::InputError, 1, {}});
+  EXPECT_EQ(m.exit_code(), 2);
+  // Requeued jobs never affect the exit code: shutdown is not failure.
+  Manifest r;
+  r.jobs.push_back({"a", "a", JobState::Requeued, 0, {}});
+  EXPECT_EQ(r.exit_code(), 0);
+}
+
+// ------------------------------------------------------------------ backoff
+
+TEST(Backoff, DeterministicAndExponentialWithCap) {
+  SupervisorOptions opts;
+  opts.backoff_base_ms = 100;
+  opts.backoff_max_ms = 500;
+  opts.jitter_seed = 7;
+  // Same (job, attempt, seed) -> same delay, every time.
+  EXPECT_EQ(backoff_delay_ms(opts, "job-1", 1), backoff_delay_ms(opts, "job-1", 1));
+  // Different jobs and attempts jitter differently (with these inputs).
+  EXPECT_NE(backoff_delay_ms(opts, "job-1", 1), backoff_delay_ms(opts, "job-2", 1));
+  // Exponential base under the cap, jitter bounded by base.
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    std::uint64_t d = backoff_delay_ms(opts, "job-1", attempt);
+    std::uint64_t base = std::min<std::uint64_t>(100ull << (attempt - 1), 500);
+    EXPECT_GE(d, base) << attempt;
+    EXPECT_LT(d, base + 100) << attempt;
+  }
+  SupervisorOptions other = opts;
+  other.jitter_seed = 8;
+  EXPECT_NE(backoff_delay_ms(opts, "job-1", 1), backoff_delay_ms(other, "job-1", 1));
+}
+
+// ------------------------------------------------- supervisor (real worker)
+
+#ifdef TV_SCALDTV_PATH
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+
+  SupervisorOptions fast_opts() {
+    SupervisorOptions opts;
+    opts.scaldtv_path = TV_SCALDTV_PATH;
+    opts.workers = 2;
+    opts.max_attempts = 3;
+    opts.backoff_base_ms = 10;
+    opts.backoff_max_ms = 50;
+    opts.default_timeout = 5;
+    return opts;
+  }
+
+  JobSpec job(const std::string& id, const std::string& design) {
+    JobSpec j;
+    j.id = id;
+    j.design = std::string(TV_REPO_ROOT) + design;
+    return j;
+  }
+
+  const JobRecord* find(const Manifest& m, const std::string& id) {
+    for (const JobRecord& r : m.jobs) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(SupervisorTest, TerminalStatesMapWorkerExitCodes) {
+  JobSpec clean = job("clean", "/designs/stdlib_pipeline.shdl");
+  clean.stdlib = true;
+  JobSpec viol = job("viol", "/designs/regfile_example.shdl");
+  JobSpec bad = job("bad", "/designs/no_such_design.shdl");
+  JobSpec degraded = job("degraded", "/designs/stdlib_pipeline.shdl");
+  degraded.stdlib = true;
+  degraded.time_limit = 1e-9;  // instantly-expired budget -> partial, exit 3
+
+  Manifest m = run_jobs({clean, viol, bad, degraded}, fast_opts());
+  ASSERT_EQ(m.jobs.size(), 4u);
+  EXPECT_EQ(find(m, "clean")->state, JobState::Done);
+  EXPECT_EQ(find(m, "viol")->state, JobState::Violations);
+  EXPECT_EQ(find(m, "bad")->state, JobState::InputError);
+  EXPECT_EQ(find(m, "bad")->attempts, 1);  // permanent: no retry
+  EXPECT_EQ(find(m, "degraded")->state, JobState::Degraded);
+  EXPECT_EQ(m.exit_code(), 2);
+}
+
+TEST_F(SupervisorTest, TransientFaultRetriesThenSucceeds) {
+  JobSpec j = job("flaky", "/designs/regfile_example.shdl");
+  j.fault = "io.read@1:fail";
+  j.fault_attempts = 1;  // attempt 1 fails, attempt 2 runs clean
+  Manifest m = run_jobs({j}, fast_opts());
+  const JobRecord* r = find(m, "flaky");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Violations);
+  EXPECT_EQ(r->attempts, 2);
+  ASSERT_EQ(r->outcomes.size(), 2u);
+  EXPECT_EQ(r->outcomes[0], "exit:5");
+  EXPECT_EQ(r->outcomes[1], "exit:1");
+}
+
+TEST_F(SupervisorTest, CrashEveryAttemptExhaustsRetries) {
+  JobSpec j = job("crasher", "/designs/regfile_example.shdl");
+  j.fault = "evaluator.eval@1:abort";  // every attempt dies by SIGABRT
+  Manifest m = run_jobs({j}, fast_opts());
+  const JobRecord* r = find(m, "crasher");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Crashed);
+  EXPECT_EQ(job_state_exit_code(r->state), 4);
+  EXPECT_EQ(r->attempts, 3);
+  ASSERT_EQ(r->outcomes.size(), 3u);
+  for (const std::string& o : r->outcomes) EXPECT_EQ(o, "signal:" + std::to_string(SIGABRT));
+  EXPECT_EQ(m.exit_code(), 4);
+}
+
+TEST_F(SupervisorTest, WatchdogKillsHungWorkerAndRetries) {
+  JobSpec j = job("hung", "/designs/regfile_example.shdl");
+  j.fault = "evaluator.eval@1:hang";
+  j.fault_attempts = 1;
+  SupervisorOptions opts = fast_opts();
+  opts.default_timeout = 0.5;  // hang is detected within half a second
+  Manifest m = run_jobs({j}, opts);
+  const JobRecord* r = find(m, "hung");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Violations);
+  EXPECT_EQ(r->attempts, 2);
+  ASSERT_EQ(r->outcomes.size(), 2u);
+  EXPECT_EQ(r->outcomes[0], "timeout");
+  EXPECT_EQ(r->outcomes[1], "exit:1");
+}
+
+TEST_F(SupervisorTest, InjectedSpawnFailureRetries) {
+  // serve.spawn is a daemon-side site: the launch itself fails once, then
+  // the retry goes through.
+  ASSERT_TRUE(fault::configure("serve.spawn@1:fail"));
+  JobSpec j = job("spawny", "/designs/regfile_example.shdl");
+  Manifest m = run_jobs({j}, fast_opts());
+  const JobRecord* r = find(m, "spawny");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Violations);
+  EXPECT_EQ(r->attempts, 2);
+  ASSERT_EQ(r->outcomes.size(), 2u);
+  EXPECT_EQ(r->outcomes[0], "spawn-failed");
+}
+
+TEST_F(SupervisorTest, ShutdownRequeuesPendingJobs) {
+  volatile std::sig_atomic_t shutdown = 1;  // requested before the run starts
+  SupervisorOptions opts = fast_opts();
+  opts.shutdown = &shutdown;
+  Manifest m = run_jobs({job("p1", "/designs/regfile_example.shdl"),
+                         job("p2", "/designs/regfile_example.shdl")},
+                        opts);
+  ASSERT_EQ(m.jobs.size(), 2u);
+  for (const JobRecord& r : m.jobs) {
+    EXPECT_EQ(r.state, JobState::Requeued);
+    EXPECT_EQ(r.attempts, 0);
+  }
+  EXPECT_EQ(m.exit_code(), 0);
+}
+
+TEST_F(SupervisorTest, ShutdownDrainsRunningWorkersWithWatchdogArmed) {
+  // One hung worker is running when shutdown arrives: the supervisor must
+  // not exit until the watchdog reaps it, and the job lands Requeued (not
+  // lost) with its timeout attempt on record.
+  volatile std::sig_atomic_t shutdown = 0;
+  SupervisorOptions opts = fast_opts();
+  opts.workers = 1;
+  opts.default_timeout = 0.5;
+  opts.shutdown = &shutdown;
+  JobSpec hung = job("hung", "/designs/regfile_example.shdl");
+  hung.fault = "evaluator.eval@1:hang";  // every attempt hangs
+  JobSpec pending = job("pending", "/designs/regfile_example.shdl");
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    shutdown = 1;
+  });
+  Manifest m = run_jobs({hung, pending}, opts);
+  trigger.join();
+  const JobRecord* h = find(m, "hung");
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->state, JobState::Requeued);
+  EXPECT_EQ(h->attempts, 1);
+  ASSERT_EQ(h->outcomes.size(), 1u);
+  EXPECT_EQ(h->outcomes[0], "timeout");
+  const JobRecord* p = find(m, "pending");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->state, JobState::Requeued);
+  EXPECT_EQ(p->attempts, 0);
+}
+
+TEST_F(SupervisorTest, ManifestIsByteStableAcrossIdenticalRuns) {
+  JobSpec flaky = job("flaky", "/designs/regfile_example.shdl");
+  flaky.fault = "io.read@1:fail";
+  flaky.fault_attempts = 1;
+  JobSpec clean = job("clean", "/designs/stdlib_pipeline.shdl");
+  clean.stdlib = true;
+  JobSpec crasher = job("crasher", "/designs/regfile_example.shdl");
+  crasher.fault = "evaluator.eval@1:abort";
+  std::vector<JobSpec> batch{flaky, clean, crasher};
+  std::string first = run_jobs(batch, fast_opts()).to_json();
+  std::string second = run_jobs(batch, fast_opts()).to_json();
+  EXPECT_EQ(first, second);
+}
+
+#endif  // TV_SCALDTV_PATH
+
+}  // namespace
+}  // namespace tv::serve

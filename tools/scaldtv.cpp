@@ -21,16 +21,22 @@
 //     --no-cases       skip case analysis even if the design declares cases
 //     --jobs N         evaluate cases on N worker threads (0 = one per core;
 //                      results are identical for every N)
+//     --fault SPEC     deterministic fault injection (docs/serving.md);
+//                      also read from the TV_FAULT environment variable
 //
-// Exit status (documented in README.md):
+// Exit status (documented in README.md and docs/serving.md):
 //   0  no timing violations
 //   1  timing violations found
 //   2  usage or input errors (any error diagnostics)
 //   3  run completed but was resource-degraded (partial results)
+//   5  transient environment failure (I/O error, allocation failure --
+//      injected or real); supervisors retry these
+// (4 is reserved for scaldtvd: worker crashed after all retries.)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <sstream>
 
 #include "core/explain.hpp"
@@ -40,6 +46,8 @@
 #include "diag/render.hpp"
 #include "hdl/elaborate.hpp"
 #include "hdl/stdlib.hpp"
+#include "util/crash.hpp"
+#include "util/fault.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -49,7 +57,7 @@ int usage() {
                "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
                "[--stdlib] [--slack] [--waves] [--where-used] [--explain] [--vcd FILE] "
                "[--json FILE] [--diag-json FILE] [--max-errors N] [--werror] "
-               "[--time-limit SECONDS] [--jobs N] "
+               "[--time-limit SECONDS] [--jobs N] [--fault SPEC] "
                "<design.shdl>\n");
   return 2;
 }
@@ -69,6 +77,13 @@ void flush_diagnostics(const tv::diag::DiagnosticEngine& diags, const char* diag
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Crash attribution first: if anything below faults, stderr names the
+  // design and phase before the signal re-raises (scaldtvd workers die by
+  // signal under injected aborts; the report makes the crash attributable).
+  tv::crash::install_handler();
+  tv::crash::set_context("", "startup");
+  tv::fault::configure_from_env();
+
   bool want_summary = false, want_xref = false, want_stats = false, want_storage = false;
   bool run_cases = true;
   bool with_stdlib = false;  // prepend the standard chip-macro library
@@ -124,6 +139,12 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       jobs = std::strtol(argv[++i], &end, 10);
       if (!end || *end != '\0' || jobs < 0) return usage();
+    } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      std::string error;
+      if (!tv::fault::configure(argv[++i], &error)) {
+        std::fprintf(stderr, "scaldtv: %s\n", error.c_str());
+        return usage();
+      }
     } else if (argv[i][0] == '-') {
       return usage();
     } else if (path) {
@@ -133,11 +154,18 @@ int main(int argc, char** argv) {
     }
   }
   if (!path) return usage();
+  tv::crash::set_context(path, "read");
 
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "scaldtv: cannot open %s\n", path);
     return 2;
+  }
+  if (tv::fault::should_fail("io.read")) {
+    // Injected I/O error: a *transient* environment failure, unlike the
+    // cannot-open case above (a permanent input error, exit 2).
+    std::fprintf(stderr, "scaldtv: injected read failure on %s\n", path);
+    return 5;
   }
   std::stringstream buf;
   buf << in.rdbuf();
@@ -149,6 +177,7 @@ int main(int argc, char** argv) {
 
   try {
     tv::PhaseTimer timer;
+    tv::crash::set_context(path, "parse + macro expansion");
     timer.start("parse + macro expansion");
     std::string text = buf.str();
     std::optional<tv::hdl::ElaboratedDesign> maybe_design;
@@ -169,10 +198,12 @@ int main(int argc, char** argv) {
     design.options.jobs = static_cast<unsigned>(jobs);
     design.options.time_limit_seconds = time_limit;
     tv::Verifier verifier(design.netlist, design.options);
+    tv::crash::set_context(path, "verification");
     timer.start("verification");
     tv::VerifyResult result =
         verifier.verify(run_cases ? design.cases : std::vector<tv::CaseSpec>{});
     timer.stop();
+    tv::crash::set_context(path, "reporting");
 
     std::printf("design %s: %zu primitives, %zu signals, %zu events, %zu case(s)\n",
                 design.name.c_str(), design.netlist.num_prims(), design.netlist.num_signals(),
@@ -251,6 +282,12 @@ int main(int argc, char** argv) {
     flush_diagnostics(diags, diag_json_path);
     return tv::diag::exit_code(diags.has_errors(), result.partial,
                                result.total_violations() != 0);
+  } catch (const tv::fault::InjectedFault& e) {
+    std::fprintf(stderr, "scaldtv: transient failure: %s\n", e.what());
+    return 5;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "scaldtv: transient failure: out of memory\n");
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scaldtv: %s\n", e.what());
     return 2;

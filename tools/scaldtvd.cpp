@@ -1,0 +1,232 @@
+// scaldtvd -- batch/daemon front end for the SCALD Timing Verifier.
+//
+// Runs a queue of verification jobs, each in a crash-isolated scaldtv
+// worker process, and writes a byte-stable JSON run manifest. Jobs come
+// from newline-JSON job files (one object per line; see docs/serving.md)
+// given on the command line, and/or from a watched directory of *.jobs
+// files in --watch mode.
+//
+// Usage:
+//   scaldtvd [options] <jobs-file>...
+//     --watch DIR        poll DIR for *.jobs files; each file is one batch,
+//                        renamed to *.jobs.done (or *.jobs.failed) after its
+//                        manifest is written next to it as *.manifest.json
+//     --workers N        max jobs in flight (default 1)
+//     --max-attempts N   worker launches per job before it is declared
+//                        crashed (default 3)
+//     --backoff-ms N     first retry delay (default 100)
+//     --backoff-max-ms N retry delay cap (default 5000)
+//     --job-timeout S    watchdog for jobs without a time_limit, and the
+//                        slack added on top of a job's time_limit budget
+//                        before the watchdog SIGKILLs it (default 2.0 slack,
+//                        no default watchdog)
+//     --manifest FILE    write the run manifest here (default stdout)
+//     --scaldtv PATH     worker binary (default $TV_SCALDTV or "scaldtv")
+//     --fault SPEC       daemon-level fault plan: applied to scaldtvd's own
+//                        io.read/serve.spawn sites AND injected into every
+//                        worker that has no job-level fault of its own
+//     --seed N           keys the deterministic retry jitter (default 0)
+//     -v                 per-attempt progress on stderr
+//
+// Exit status: worst terminal job state across all batches --
+//   0 all clean, 1 violations, 2 input errors (bad job file or design),
+//   3 degraded, 4 at least one job crashed after all retries.
+// Requeued jobs (graceful shutdown) do not affect the exit status.
+//
+// SIGTERM/SIGINT trigger a graceful shutdown: running workers drain (their
+// watchdogs stay armed), pending and backing-off jobs are recorded as
+// "requeued" in the manifest, and the daemon exits.
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/manifest.hpp"
+#include "serve/supervisor.hpp"
+#include "util/fault.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scaldtvd [--watch DIR] [--workers N] [--max-attempts N] "
+               "[--backoff-ms N] [--backoff-max-ms N] [--job-timeout S] "
+               "[--manifest FILE] [--scaldtv PATH] [--fault SPEC] [--seed N] "
+               "[-v] <jobs-file>...\n");
+  return 2;
+}
+
+bool write_manifest(const tv::serve::Manifest& m, const char* path) {
+  if (!path) {
+    std::fputs(m.to_json().c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "scaldtvd: cannot write %s\n", path);
+    return false;
+  }
+  out << m.to_json();
+  return true;
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// One pass over the watch directory: returns the sorted list of ready
+/// *.jobs files (sorted so pickup order is deterministic).
+std::vector<std::string> scan_watch_dir(const std::string& dir) {
+  std::vector<std::string> found;
+  DIR* d = opendir(dir.c_str());
+  if (!d) return found;
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    if (has_suffix(name, ".jobs")) found.push_back(dir + "/" + name);
+  }
+  closedir(d);
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tv::fault::configure_from_env();
+
+  tv::serve::SupervisorOptions opts;
+  opts.shutdown = &g_shutdown;
+  if (const char* env = std::getenv("TV_SCALDTV")) opts.scaldtv_path = env;
+  const char* watch_dir = nullptr;
+  const char* manifest_path = nullptr;
+  bool slack_set = false;
+  std::vector<std::string> job_files;
+  for (int i = 1; i < argc; ++i) {
+    auto long_num = [&](const char* flag, long lo, long& out) {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+      char* end = nullptr;
+      out = std::strtol(argv[++i], &end, 10);
+      if (!end || *end != '\0' || out < lo) out = lo - 1;
+      return true;
+    };
+    long n = 0;
+    if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      watch_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scaldtv") == 0 && i + 1 < argc) {
+      opts.scaldtv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      std::string error;
+      opts.fault_spec = argv[++i];
+      if (!tv::fault::configure(opts.fault_spec, &error)) {
+        std::fprintf(stderr, "scaldtvd: %s\n", error.c_str());
+        return usage();
+      }
+    } else if (long_num("--workers", 1, n)) {
+      if (n < 1) return usage();
+      opts.workers = static_cast<unsigned>(n);
+    } else if (long_num("--max-attempts", 1, n)) {
+      if (n < 1) return usage();
+      opts.max_attempts = static_cast<int>(n);
+    } else if (long_num("--backoff-ms", 0, n)) {
+      if (n < 0) return usage();
+      opts.backoff_base_ms = static_cast<std::uint64_t>(n);
+    } else if (long_num("--backoff-max-ms", 0, n)) {
+      if (n < 0) return usage();
+      opts.backoff_max_ms = static_cast<std::uint64_t>(n);
+    } else if (long_num("--seed", 0, n)) {
+      if (n < 0) return usage();
+      opts.jitter_seed = static_cast<std::uint64_t>(n);
+    } else if (std::strcmp(argv[i], "--job-timeout") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      double v = std::strtod(argv[++i], &end);
+      if (!end || *end != '\0' || v <= 0) return usage();
+      opts.default_timeout = v;
+      opts.watchdog_slack = v;
+      slack_set = true;
+    } else if (std::strcmp(argv[i], "-v") == 0 || std::strcmp(argv[i], "--verbose") == 0) {
+      opts.verbose = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      job_files.push_back(argv[i]);
+    }
+  }
+  (void)slack_set;
+  if (job_files.empty() && !watch_dir) return usage();
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  // A dying worker closing its pipe end must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  int worst = 0;
+  auto fold = [&](int code) {
+    // Worst-wins precedence: 2 > 4 > 3 > 1 > 0.
+    static const int rank[] = {0, 2, 5, 3, 4, 1};
+    auto r = [](int c) { return (c >= 0 && c <= 5) ? rank[c] : 5; };
+    if (r(code) > r(worst)) worst = code;
+  };
+
+  // Command-line batches first: all named job files load up front so a bad
+  // file fails the run before any worker launches.
+  if (!job_files.empty()) {
+    std::vector<tv::serve::JobSpec> jobs;
+    for (const std::string& file : job_files) {
+      std::string error;
+      auto batch = tv::serve::parse_job_file(file, &error);
+      if (!batch) {
+        std::fprintf(stderr, "scaldtvd: %s\n", error.c_str());
+        return 2;
+      }
+      for (auto& j : *batch) jobs.push_back(std::move(j));
+    }
+    tv::serve::Manifest m = tv::serve::run_jobs(jobs, opts);
+    if (!write_manifest(m, manifest_path)) return 2;
+    fold(m.exit_code());
+  }
+
+  // Watch mode: poll for *.jobs batches until shutdown. Each batch gets its
+  // own manifest written next to it; the batch file is renamed so it is
+  // never picked up twice (rename is atomic on the same filesystem).
+  while (watch_dir && !g_shutdown) {
+    for (const std::string& file : scan_watch_dir(watch_dir)) {
+      if (g_shutdown) break;
+      std::string error;
+      auto batch = tv::serve::parse_job_file(file, &error);
+      std::string base = file.substr(0, file.size() - std::strlen(".jobs"));
+      if (!batch) {
+        std::fprintf(stderr, "scaldtvd: %s\n", error.c_str());
+        std::rename(file.c_str(), (file + ".failed").c_str());
+        fold(2);
+        continue;
+      }
+      tv::serve::Manifest m = tv::serve::run_jobs(*batch, opts);
+      std::ofstream out(base + ".manifest.json");
+      out << m.to_json();
+      std::rename(file.c_str(), (file + ".done").c_str());
+      fold(m.exit_code());
+      if (opts.verbose) {
+        std::fprintf(stderr, "scaldtvd: batch %s done (exit %d)\n", file.c_str(),
+                     m.exit_code());
+      }
+    }
+    if (!g_shutdown) usleep(200 * 1000);
+  }
+
+  return worst;
+}

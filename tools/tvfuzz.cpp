@@ -21,9 +21,16 @@
 // never crash, never let an exception escape, and always report at least
 // one error diagnostic when it rejects an input.
 //
+// A fifth mode, --serve-chaos, pushes seeded batches of generated designs
+// with random fault specs through a real scaldtvd worker pool and asserts
+// every job ends in a terminal state, retries are visible in attempt
+// counts, and the manifest is byte-stable across identical runs. Binaries
+// come from --scaldtvd/--scaldtv or TV_SCALDTVD/TV_SCALDTV.
+//
 // Usage:
 //   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
-//          [--parser-fuzz] [--no-shrink] [-v]
+//          [--parser-fuzz] [--serve-chaos] [--scaldtvd PATH] [--scaldtv PATH]
+//          [--no-shrink] [-v]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,7 @@
 
 #include "check/oracles.hpp"
 #include "check/parser_fuzz.hpp"
+#include "check/serve_chaos.hpp"
 #include "check/shrinker.hpp"
 
 namespace {
@@ -42,6 +50,10 @@ struct Options {
   int wave_seeds = 500;
   bool memo_diff = false;
   bool parser_fuzz = false;
+  bool serve_chaos = false;
+  bool seeds_set = false;
+  std::string scaldtvd_path;
+  std::string scaldtv_path;
   bool shrink = true;
   bool verbose = false;
 };
@@ -58,6 +70,10 @@ void usage(const char* argv0) {
                "                off) and fail on any report or waveform divergence\n"
                "  --parser-fuzz mutate valid SHDL sources and assert the front end\n"
                "                never crashes and always diagnoses rejected input\n"
+               "  --serve-chaos run seeded faulted batches through scaldtvd and assert\n"
+               "                every job ends terminal with retries observable\n"
+               "  --scaldtvd P  daemon binary for --serve-chaos (or TV_SCALDTVD)\n"
+               "  --scaldtv P   worker binary for --serve-chaos (or TV_SCALDTV)\n"
                "  --no-shrink   print raw failing specs without minimizing\n"
                "  -v            per-case progress output\n",
                argv0);
@@ -78,6 +94,7 @@ int main(int argc, char** argv) {
     };
     if (a == "--seeds") {
       next_int(opt.circuit_seeds);
+      opt.seeds_set = true;
     } else if (a == "--wave") {
       next_int(opt.wave_seeds);
     } else if (a == "--start") {
@@ -91,6 +108,12 @@ int main(int argc, char** argv) {
       opt.memo_diff = true;
     } else if (a == "--parser-fuzz") {
       opt.parser_fuzz = true;
+    } else if (a == "--serve-chaos") {
+      opt.serve_chaos = true;
+    } else if (a == "--scaldtvd" && i + 1 < argc) {
+      opt.scaldtvd_path = argv[++i];
+    } else if (a == "--scaldtv" && i + 1 < argc) {
+      opt.scaldtv_path = argv[++i];
     } else if (a == "--no-shrink") {
       opt.shrink = false;
     } else if (a == "-v" || a == "--verbose") {
@@ -104,6 +127,39 @@ int main(int argc, char** argv) {
   int failures = 0;
   long long sim_runs = 0, sim_violating = 0;
   int tv_found = 0;
+
+  if (opt.serve_chaos) {
+    // Serving-layer chaos mode: each "case" is one full batch of faulted
+    // jobs through a real scaldtvd + worker pool (run twice for the
+    // byte-stability check), so the default count is small.
+    int batches = opt.seeds_set ? opt.circuit_seeds : 2;
+    tv::check::ServeChaosOptions sc;
+    sc.scaldtvd_path = opt.scaldtvd_path;
+    sc.scaldtv_path = opt.scaldtv_path;
+    if (sc.scaldtvd_path.empty()) {
+      if (const char* env = std::getenv("TV_SCALDTVD")) sc.scaldtvd_path = env;
+    }
+    if (sc.scaldtv_path.empty()) {
+      if (const char* env = std::getenv("TV_SCALDTV")) sc.scaldtv_path = env;
+    }
+    sc.verbose = opt.verbose;
+    for (int i = 0; i < batches; ++i) {
+      sc.seed = opt.start + static_cast<std::uint64_t>(i);
+      auto fail = tv::check::check_serve_chaos(sc);
+      if (opt.verbose) {
+        std::printf("serve-chaos seed %llu: %s\n",
+                    static_cast<unsigned long long>(sc.seed), fail ? "FAIL" : "ok");
+      }
+      if (!fail) continue;
+      ++failures;
+      std::printf("FAIL serve-chaos seed %llu [%s]\n  %s\n",
+                  static_cast<unsigned long long>(sc.seed), fail->kind.c_str(),
+                  fail->detail.c_str());
+    }
+    std::printf("tvfuzz --serve-chaos: %d batch(es), %d failure%s\n", batches,
+                failures, failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+  }
 
   if (opt.parser_fuzz) {
     // Front-end robustness mode: mutated SHDL must never crash the parser
