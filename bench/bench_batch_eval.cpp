@@ -1,0 +1,183 @@
+// Batch case-evaluation throughput (ROADMAP item 3; docs/batch_eval.md).
+//
+// Workload: the synthetic S-1 Mark IIA-scale design (src/gen/s1_design),
+// with a case list synthesized the way sec. 2.7.1 prescribes -- every
+// sampled STABLE control signal pinned to 0 and to 1. The same case list is
+// run through both engines at equal thread counts:
+//
+//   * per-case -- PR 1's thread pool: one cone-scoped worklist pass per
+//     case (`VerifierOptions::batch_eval = false`);
+//   * batch    -- the SoA lane sweep: one topological walk evaluating a
+//     whole block of case instances in lockstep (`batch_eval = true`).
+//
+// Emits a single JSON document on stdout: instances/sec per (engine, jobs)
+// pair, the batch/per-case speedup at equal jobs, and whether the two
+// engines' reports were byte-identical (they must be).
+//
+//   $ ./bench_batch_eval            # full workload (EXPERIMENTS.md numbers)
+//   $ ./bench_batch_eval --quick    # small workload for the CI perf-smoke
+//
+// Exit status: 0 when reports are identical across engines and job counts,
+// 1 otherwise. The CI floor on the speedup itself is asserted by the
+// perf-smoke job from the JSON, not here.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "gen/s1_design.hpp"
+
+namespace {
+
+using namespace tv;
+using Clock = std::chrono::steady_clock;
+
+struct Workload {
+  std::shared_ptr<Netlist> nl;
+  VerifierOptions opts;
+  std::vector<CaseSpec> cases;
+};
+
+/// S-1-style design plus a control-pinning case list: for each stage, the
+/// first `ctls_per_stage` decode controls are pinned both ways.
+Workload build_workload(int stages, int ctls_per_stage) {
+  gen::S1Params p;
+  p.stages = stages;
+  p.clock_tree_bufs = 8;
+  hdl::ElaboratedDesign d = gen::build_s1_design(p);
+  Workload w;
+  w.nl = std::make_shared<Netlist>(std::move(d.netlist));
+  w.opts = d.options;
+  for (int s = 0; s < stages; ++s) {
+    for (int j = 0; j < ctls_per_stage; ++j) {
+      std::string name = "S" + std::to_string(s) + " CTL" + std::to_string(j) + " .S4-8.5";
+      SignalId id = w.nl->find(name);
+      if (id == kNoSignal) continue;
+      for (Value v : {Value::Zero, Value::One}) {
+        CaseSpec c;
+        c.name = "S" + std::to_string(s) + ".CTL" + std::to_string(j) + "=" +
+                 (v == Value::Zero ? "0" : "1");
+        c.pins = {{id, v}};
+        w.cases.push_back(std::move(c));
+      }
+    }
+  }
+  return w;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Byte-level fingerprint of a verify result: per-case disturbed-signal
+/// counts, convergence/degradation flags, and every violation message.
+std::string fingerprint(const VerifyResult& r) {
+  std::string fp;
+  for (const auto& c : r.cases) {
+    fp += c.name + ":" + std::to_string(c.events) + (c.converged ? "+c" : "-c") +
+          (c.degraded ? "+d" : "-d") + "\n";
+    for (const auto& v : c.violations) fp += v.message;
+  }
+  return fp;
+}
+
+/// Best-of-`repeats` base-evaluation time on a fresh Verifier: the shared
+/// work both engines pay before any case runs.
+double measure_base(const Workload& w, int repeats) {
+  double best = 1e100;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Verifier v(*w.nl, w.opts);
+    auto t0 = Clock::now();
+    v.verify();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+/// Best-of-`repeats` case-analysis time for one engine configuration. Each
+/// repetition uses a fresh Verifier (cold intern table and memo), so the
+/// numbers measure the engines, not a warmed cache, and the base time is
+/// subtracted to isolate the case phase.
+double measure_cases(const Workload& w, bool batch, unsigned jobs, int repeats,
+                     double base_secs, std::string& fp_out) {
+  VerifierOptions opts = w.opts;
+  opts.batch_eval = batch;
+  opts.jobs = jobs;
+  double best = 1e100;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Verifier v(*w.nl, opts);
+    auto t0 = Clock::now();
+    VerifyResult r = v.verify(w.cases);
+    best = std::min(best, seconds_since(t0));
+    fp_out = fingerprint(r);
+  }
+  return std::max(best - base_secs, 1e-9);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const int stages = quick ? 8 : 16;
+  const int ctls_per_stage = 4;
+  const int repeats = quick ? 3 : 5;
+  Workload w = build_workload(stages, ctls_per_stage);
+
+  unsigned hw = std::thread::hardware_concurrency();
+  unsigned jobs_n = std::clamp(hw, 2u, 8u);
+  const unsigned job_counts[2] = {1, jobs_n};
+
+  double base_secs = measure_base(w, repeats);
+
+  struct Row {
+    unsigned jobs;
+    double per_case_secs, batch_secs;
+    std::string per_case_fp, batch_fp;
+  };
+  Row rows[2];
+  for (int i = 0; i < 2; ++i) {
+    rows[i].jobs = job_counts[i];
+    rows[i].per_case_secs =
+        measure_cases(w, false, job_counts[i], repeats, base_secs, rows[i].per_case_fp);
+    rows[i].batch_secs =
+        measure_cases(w, true, job_counts[i], repeats, base_secs, rows[i].batch_fp);
+  }
+
+  bool identical = true;
+  for (const Row& r : rows) {
+    identical = identical && r.per_case_fp == rows[0].per_case_fp && r.batch_fp == rows[0].per_case_fp;
+  }
+
+  const double n = static_cast<double>(w.cases.size());
+  std::printf("{\n");
+  std::printf("  \"bench\": \"batch_eval\",\n");
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"primitives\": %zu,\n", w.nl->num_prims());
+  std::printf("  \"signals\": %zu,\n", w.nl->num_signals());
+  std::printf("  \"cases\": %zu,\n", w.cases.size());
+  std::printf("  \"hardware_concurrency\": %u,\n", hw);
+  std::printf("  \"base_eval_seconds\": %.6f,\n", base_secs);
+  std::printf("  \"results\": [\n");
+  for (int i = 0; i < 2; ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"jobs\": %u, "
+                "\"per_case_seconds\": %.6f, \"per_case_instances_per_sec\": %.1f, "
+                "\"batch_seconds\": %.6f, \"batch_instances_per_sec\": %.1f, "
+                "\"batch_speedup\": %.2f}%s\n",
+                r.jobs, r.per_case_secs, n / r.per_case_secs, r.batch_secs,
+                n / r.batch_secs, r.per_case_secs / r.batch_secs, i == 0 ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"identical_reports\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+  return identical ? 0 : 1;
+}

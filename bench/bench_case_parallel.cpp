@@ -7,8 +7,10 @@
 // only ~1/K of the design per case, and the worker pool spreads the cases
 // across threads.
 //
-// Measures, and emits as a single JSON document on stdout:
-//   * cases/sec for jobs = 1, 2, 4, 8 and the speedup vs jobs = 1;
+// Measures, and emits as a single JSON document on stdout (same envelope as
+// bench_interning --json and bench_batch_eval: a top-level "bench" tag and
+// instances/sec figures, so the three benches are directly comparable):
+//   * instances/sec for jobs = 1, 2, 4, 8 and the speedup vs jobs = 1;
 //   * the legacy engine (sequential shared-netlist apply_case + full-design
 //     recheck per case, what Verifier::verify did before cone snapshots)
 //     as the "how much the engine itself gained" baseline;
@@ -116,6 +118,9 @@ double run_legacy(Workload& w, std::string& fp_out) {
 double run_snapshot(Workload& w, unsigned jobs, std::string& fp_out) {
   VerifierOptions opts = w.opts;
   opts.jobs = jobs;
+  // This bench pins down the PR 1 per-case thread-pool engine; the lockstep
+  // lane engine has its own bench (bench_batch_eval) that compares the two.
+  opts.batch_eval = false;
   Verifier v(w.nl, opts);
   // Base evaluation is shared work; isolate the case-analysis phase by
   // subtracting the best-of case-free verify time from the best-of full
@@ -158,11 +163,11 @@ int main() {
   std::printf("  \"signals\": %zu,\n", w.nl.num_signals());
   std::printf("  \"cases\": %zu,\n", w.cases.size());
   std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
-  std::printf("  \"legacy_full_recheck\": {\"seconds\": %.6f, \"cases_per_sec\": %.1f},\n",
+  std::printf("  \"legacy_full_recheck\": {\"seconds\": %.6f, \"instances_per_sec\": %.1f},\n",
               legacy_secs, w.cases.size() / legacy_secs);
   std::printf("  \"results\": [\n");
   for (int i = 0; i < 4; ++i) {
-    std::printf("    {\"jobs\": %u, \"seconds\": %.6f, \"cases_per_sec\": %.1f, "
+    std::printf("    {\"jobs\": %u, \"seconds\": %.6f, \"instances_per_sec\": %.1f, "
                 "\"speedup_vs_jobs1\": %.2f, \"speedup_vs_legacy\": %.2f}%s\n",
                 job_counts[i], secs[i], w.cases.size() / secs[i], secs[0] / secs[i],
                 legacy_secs / secs[i], i + 1 < 4 ? "," : "");

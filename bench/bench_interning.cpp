@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::printf("{\n");
+    std::printf("  \"bench\": \"interning\",\n");
     std::printf("  \"regfile\": {\"memo_hits\": %zu, \"memo_misses\": %zu, "
                 "\"hit_rate\": %.4f, \"unique_waveforms\": %zu, "
                 "\"cold_ms\": %.3f, \"reverify_ms\": %.3f, "

@@ -1,0 +1,92 @@
+// The batch-evaluation differential oracle: the structure-of-arrays
+// lockstep sweep (core/batch_eval.hpp) is a pure optimization over the
+// per-case snapshot worklist, so a run with it enabled must be
+// bit-identical to a run without -- same waveforms, same disturbed-signal
+// counts, same convergence verdicts, same violation reports, for the
+// baseline and every case. Any divergence is a soundness bug in the lane
+// machinery (dirty masks, topological schedule, memo-key patching, or the
+// arena-to-snapshot materialization).
+#include <sstream>
+
+#include "check/oracles.hpp"
+#include "core/verifier.hpp"
+
+namespace tv::check {
+
+namespace {
+
+struct RunResult {
+  std::size_t base_events = 0;
+  bool converged = true;
+  bool partial = false;
+  std::string base_report;
+  std::string summary;  // timing_summary: every waveform + skew + eval string
+  std::vector<std::string> case_lines;
+};
+
+RunResult run_mode(const CircuitSpec& spec, bool batch_eval) {
+  BuiltCircuit bc = build(spec);
+  bc.opts.batch_eval = batch_eval;
+  Verifier v(bc.nl, bc.opts);
+  VerifyResult r = v.verify(bc.cases);
+  RunResult out;
+  out.base_events = r.base_events;
+  out.converged = r.converged;
+  out.partial = r.partial;
+  out.base_report = violations_report(r.violations);
+  out.summary = timing_summary(bc.nl);
+  for (const auto& c : r.cases) {
+    std::ostringstream os;
+    os << c.name << " events=" << c.events << " converged=" << c.converged
+       << " degraded=" << c.degraded << "\n"
+       << violations_report(c.violations);
+    out.case_lines.push_back(os.str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Failure> check_batch_equivalence(const CircuitSpec& spec) {
+  RunResult on = run_mode(spec, true);
+  RunResult off = run_mode(spec, false);
+
+  auto fail = [&](const std::string& what, const std::string& a, const std::string& b) {
+    std::ostringstream os;
+    os << "seed " << spec.seed << ": " << what
+       << " diverges between batch on/off\n--- batch on ---\n"
+       << a << "\n--- batch off ---\n" << b;
+    return Failure{"batch-diff", os.str()};
+  };
+
+  if (on.base_events != off.base_events) {
+    return fail("base event count", std::to_string(on.base_events),
+                std::to_string(off.base_events));
+  }
+  if (on.converged != off.converged) {
+    return fail("convergence", on.converged ? "yes" : "no",
+                off.converged ? "yes" : "no");
+  }
+  if (on.partial != off.partial) {
+    return fail("partial flag", on.partial ? "yes" : "no",
+                off.partial ? "yes" : "no");
+  }
+  if (on.summary != off.summary) {
+    return fail("timing summary (waveforms)", on.summary, off.summary);
+  }
+  if (on.base_report != off.base_report) {
+    return fail("base violation report", on.base_report, off.base_report);
+  }
+  if (on.case_lines.size() != off.case_lines.size()) {
+    return fail("case count", std::to_string(on.case_lines.size()),
+                std::to_string(off.case_lines.size()));
+  }
+  for (std::size_t i = 0; i < on.case_lines.size(); ++i) {
+    if (on.case_lines[i] != off.case_lines[i]) {
+      return fail("case result", on.case_lines[i], off.case_lines[i]);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tv::check

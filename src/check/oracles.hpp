@@ -100,6 +100,13 @@ std::optional<Failure> check_wave_algebra(const WaveCase& wc);
 /// is tvfuzz's --memo-diff oracle.
 std::optional<Failure> check_memo_equivalence(const CircuitSpec& spec);
 
+/// Runs the spec's circuit twice -- batch case evaluation on, then off --
+/// and fails (kind "batch-diff") on any divergence in waveforms,
+/// disturbed-signal counts, convergence, degradation flags, violation
+/// reports, or per-case results. The lockstep sweep must be bit-identical
+/// to the per-case reference path; this is tvfuzz's --batch-diff oracle.
+std::optional<Failure> check_batch_equivalence(const CircuitSpec& spec);
+
 /// Renders the case as C++ statements building a `tv::check::WaveCase w;`.
 std::string to_cpp(const WaveCase& wc);
 

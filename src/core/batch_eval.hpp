@@ -1,0 +1,96 @@
+// Batch case evaluation: one topological sweep for all case instances.
+//
+// The per-case engine (core/snapshot.hpp) re-runs the event-driven worklist
+// once per case -- N cases cost N full cone propagations, each rebuilding
+// worklists, memo keys, and deep waveform copies. The thesis' own cost
+// model (sec. 2.7) says the *values* barely differ between cases: a case
+// pins a handful of control signals and most of the design stays at the
+// base fixpoint. This engine exploits that by evaluating many cases --
+// "lanes" -- in lockstep over a single precomputed topological order:
+//
+//   * state is a structure-of-arrays arena (core/batch_arena.hpp) of
+//     interned 32-bit waveform refs laid out [signal][lane];
+//   * the schedule is the SCC condensation of the primitive graph (the
+//     same Tarjan machinery as the oscillation localizer), walked once in
+//     topological order; cyclic components iterate to an intra-component
+//     fixpoint with the per-case oscillation guard as the iteration cap;
+//   * at each primitive, a branch-minimal pass over the input rows marks
+//     the lanes whose inputs diverged from the base fixpoint; all other
+//     lanes are *skipped entirely* -- they provably hold the base value --
+//     which generalizes PR 1's cone scoping to per-primitive-per-lane
+//     granularity;
+//   * dirty lanes share one memo-key skeleton per primitive (per-lane ref
+//     patching instead of per-eval key construction) and feed the same
+//     shard-locked EvalMemo as the per-case path, and identical adjacent
+//     lanes reuse the previous lane's result outright.
+//
+// The invariant, enforced by the golden suite and tvfuzz --batch-diff: for
+// non-degraded runs the batch path's reports are byte-identical to the
+// per-case path's. Degradation-prone runs (armed wall-clock budgets,
+// degraded or non-convergent base fixpoints, a full intern table) are not
+// batched -- Verifier::verify silently defers those to the per-case path,
+// and run_case_block aborts a block (completed = false) if the table fills
+// mid-sweep so the caller can re-run it per-case. See docs/batch_eval.md.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/batch_arena.hpp"
+#include "core/cone.hpp"
+#include "core/evaluator.hpp"
+#include "core/snapshot.hpp"
+
+namespace tv {
+
+/// The precomputed evaluation schedule: strongly connected components of
+/// the primitive graph (checkers excluded -- they drive nothing) in
+/// topological order. Acyclic components are single primitives evaluated
+/// exactly once per sweep; cyclic ones (register feedback) iterate to an
+/// intra-component fixpoint. Built once per verify run and shared by every
+/// case block and worker thread.
+struct BatchSchedule {
+  struct Component {
+    std::vector<PrimId> prims;  // ascending netlist order within the component
+    bool cyclic = false;        // more than one primitive, or a self-loop
+  };
+  std::vector<Component> components;  // topological order
+};
+
+BatchSchedule build_batch_schedule(const Netlist& nl);
+
+/// Per-lane cost and convergence accounting for one block sweep.
+struct BatchLaneStats {
+  std::size_t evals = 0;       // primitive evaluations performed for this lane
+  std::size_t lane_skips = 0;  // primitive visits skipped by the base-ref test
+  bool converged = true;
+  bool degraded = false;
+  std::vector<Degradation> degradations;
+};
+
+/// Result of one block sweep. completed == false means the waveform table
+/// filled mid-sweep (or a baseline ref was missing): the arena state is
+/// unusable and the caller must re-run the block's cases on the per-case
+/// path, which re-derives the identical degradation records.
+struct BatchBlockResult {
+  bool completed = false;
+  std::vector<BatchLaneStats> lanes;
+};
+
+/// Evaluates cases[first .. first+count) as lockstep lanes of one sweep.
+/// `cones[first + l]` is lane l's affected cone and `snaps[l]` its (fresh)
+/// snapshot; on success each snapshot holds exactly the lane's divergences
+/// from the base fixpoint, ready for run_checks_scoped -- the same shape
+/// the per-case runner leaves behind, so checking and reporting are shared
+/// verbatim. `base_refs` is the baseline fixpoint's per-signal ref array
+/// and `ctx` the run's shared intern context (both from the Evaluator).
+BatchBlockResult run_case_block(const Netlist& nl, const VerifierOptions& opts,
+                                const BatchSchedule& sched, InternContext& ctx,
+                                const std::vector<WaveformRef>& base_refs,
+                                const std::vector<CaseSpec>& cases,
+                                std::size_t first, std::size_t count,
+                                const std::vector<std::shared_ptr<const Cone>>& cones,
+                                std::vector<EvalSnapshot>& snaps);
+
+}  // namespace tv

@@ -572,6 +572,158 @@ std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
   return out;
 }
 
+std::vector<std::vector<Violation>> run_checks_batch(
+    const VerifierOptions& opts, const std::vector<const EvalSnapshot*>& snaps,
+    const std::vector<const Cone*>& cones, const std::vector<char>& lane_converged,
+    const std::vector<WaveformRef>& base_refs, const std::vector<Violation>& base) {
+  const std::size_t L = snaps.size();
+  std::vector<std::vector<Violation>> out(L);
+  if (L == 0) return out;
+  const Netlist& nl = snaps[0]->netlist();
+
+  std::vector<EvalView> views;
+  views.reserve(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    views.emplace_back(*snaps[l], opts, static_cast<bool>(lane_converged[l]));
+    if (!lane_converged[l]) add_unconverged(out[l]);
+  }
+
+  // The lane-skip test: lane l's cell for `sig` (waveform ref + eval
+  // string) still equals the baseline fixpoint. Identity of the string
+  // reference short-circuits the common unwritten-slot case.
+  auto cell_clean = [&](std::size_t l, SignalId sig) {
+    WaveformRef br = sig < base_refs.size() ? base_refs[sig] : kNoWaveform;
+    if (snaps[l]->wave_ref(sig) != br) return false;
+    const std::string& cur = snaps[l]->eval_str(sig);
+    const std::string& bs = nl.signal(sig).eval_str;
+    return &cur == &bs || cur == bs;
+  };
+
+  // One pass over the block's cone cells: which signals diverged anywhere,
+  // and which can carry a directive string in some lane (hazard checks read
+  // directives off the *propagated* eval string, so a gate with no static
+  // "&" pins can still become check-capable through a diverged input).
+  std::vector<char> sig_diverged(nl.num_signals(), 0);
+  std::vector<char> sig_str(nl.num_signals(), 0);
+  for (SignalId id = 0; id < nl.num_signals(); ++id) {
+    if (!nl.signal(id).eval_str.empty()) sig_str[id] = 1;
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    for (SignalId sig : cones[l]->signals) {
+      if (sig_diverged[sig] && sig_str[sig]) continue;
+      if (cell_clean(l, sig)) continue;
+      sig_diverged[sig] = 1;
+      if (!snaps[l]->eval_str(sig).empty()) sig_str[sig] = 1;
+    }
+  }
+
+  // Baseline findings grouped exactly as run_checks_scoped groups them.
+  std::vector<const Violation*> by_prim, by_signal;
+  for (const Violation& v : base) {
+    if (v.type == Violation::Type::Unconverged) continue;  // re-derived above
+    if (v.type == Violation::Type::StableAssertionViolated) {
+      by_signal.push_back(&v);
+    } else {
+      by_prim.push_back(&v);
+    }
+  }
+  std::stable_sort(by_prim.begin(), by_prim.end(),
+                   [](const Violation* a, const Violation* b) { return a->prim < b->prim; });
+  std::stable_sort(by_signal.begin(), by_signal.end(), [](const Violation* a,
+                                                          const Violation* b) {
+    return a->signal < b->signal;
+  });
+
+  // The primitives that can contribute findings to *some* lane. Everything
+  // else yields nothing for every lane -- check_prim on a gate without a
+  // directive-carrying input is a no-op -- so the walk visits a small,
+  // shared set instead of every primitive once per lane.
+  std::vector<PrimId> relevant;
+  {
+    std::vector<char> mark(nl.num_prims(), 0);
+    for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
+      const Primitive& p = nl.prim(pid);
+      bool capable = prim_is_checker(p.kind);
+      for (std::size_t i = 0; !capable && i < p.inputs.size(); ++i) {
+        capable = !p.inputs[i].directives.empty() || sig_str[p.inputs[i].sig];
+      }
+      mark[pid] = static_cast<char>(capable);
+    }
+    for (const Violation* v : by_prim) {
+      if (v->prim != kNoPrim) mark[v->prim] = 1;
+    }
+    for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
+      if (mark[pid]) relevant.push_back(pid);
+    }
+  }
+
+  std::size_t bp = 0;
+  for (PrimId pid : relevant) {
+    // Baseline findings for this primitive (ascending walk, so the group
+    // starts wherever the cursor stopped).
+    while (bp < by_prim.size() && by_prim[bp]->prim < pid) ++bp;
+    std::size_t gb = bp, ge = bp;
+    while (ge < by_prim.size() && by_prim[ge]->prim == pid) ++ge;
+    bp = ge;
+    const Primitive& p = nl.prim(pid);
+    for (std::size_t l = 0; l < L; ++l) {
+      bool recompute = false;
+      if (cones[l]->contains_prim(pid)) {
+        for (const Pin& pin : p.inputs) {
+          if (!cell_clean(l, pin.sig)) {
+            recompute = true;
+            break;
+          }
+        }
+      }
+      if (recompute) {
+        CheckContext ctx{views[l], nl, out[l]};
+        check_prim(ctx, pid);
+      } else {
+        // Outside the cone, or inside with every input cell at base: the
+        // recheck provably reproduces the baseline findings.
+        for (std::size_t g = gb; g < ge; ++g) out[l].push_back(*by_prim[g]);
+      }
+    }
+  }
+
+  // Assertion phase: only signals carrying baseline assertion findings or a
+  // checkable assertion that some lane actually moved.
+  std::vector<SignalId> relevant_sigs;
+  {
+    std::vector<char> mark(nl.num_signals(), 0);
+    for (SignalId id = 0; id < nl.num_signals(); ++id) {
+      const Signal& s = nl.signal(id);
+      if (sig_diverged[id] && s.assertion.kind == Assertion::Kind::Stable &&
+          s.driver != kNoPrim) {
+        mark[id] = 1;
+      }
+    }
+    for (const Violation* v : by_signal) {
+      if (v->signal != kNoSignal) mark[v->signal] = 1;
+    }
+    for (SignalId id = 0; id < nl.num_signals(); ++id) {
+      if (mark[id]) relevant_sigs.push_back(id);
+    }
+  }
+  std::size_t bs = 0;
+  for (SignalId id : relevant_sigs) {
+    while (bs < by_signal.size() && by_signal[bs]->signal < id) ++bs;
+    std::size_t gb = bs, ge = bs;
+    while (ge < by_signal.size() && by_signal[ge]->signal == id) ++ge;
+    bs = ge;
+    for (std::size_t l = 0; l < L; ++l) {
+      if (cones[l]->contains_signal(id) && !cell_clean(l, id)) {
+        CheckContext ctx{views[l], nl, out[l]};
+        check_stable_assertion(ctx, id);
+      } else {
+        for (std::size_t g = gb; g < ge; ++g) out[l].push_back(*by_signal[g]);
+      }
+    }
+  }
+  return out;
+}
+
 void sort_violations(std::vector<Violation>& violations) {
   std::sort(violations.begin(), violations.end(), [](const Violation& a, const Violation& b) {
     return std::tie(a.missed_by, a.signal, a.type, a.prim, a.message) <

@@ -64,6 +64,28 @@ std::vector<Violation> run_checks_scoped(const EvalView& view, const Cone& cone,
                                          const std::vector<Violation>& base,
                                          std::vector<Degradation>* degradations = nullptr);
 
+/// Lane-batched checking for a block of case snapshots (the batch engine's
+/// companion to run_checks_scoped; docs/batch_eval.md). One walk over the
+/// primitives and signals that can contribute findings -- checker
+/// primitives, hazard-capable gates, stable-asserted signals, and anything
+/// carrying baseline violations -- produces every lane's violation list at
+/// once. Per (lane, primitive), the lane-skip rule applies to checking
+/// exactly as it does to evaluation: a lane whose input cells (waveform
+/// ref, eval string) all still equal the baseline fixpoint provably
+/// reproduces the baseline findings, so they are copied instead of
+/// recomputed; only genuinely diverged checker-lanes re-run. Every lane's
+/// list is byte-identical to what run_checks_scoped(view_l, cone_l, base)
+/// would return.
+///
+/// Preconditions (guaranteed by the batch engine's eligibility gate): all
+/// snapshots share one netlist and interned baseline (`base_refs`), and no
+/// wall-clock deadline is armed (deadline skips are order-dependent, which
+/// lane-batching cannot mirror).
+std::vector<std::vector<Violation>> run_checks_batch(
+    const VerifierOptions& opts, const std::vector<const EvalSnapshot*>& snaps,
+    const std::vector<const Cone*>& cones, const std::vector<char>& lane_converged,
+    const std::vector<WaveformRef>& base_refs, const std::vector<Violation>& base);
+
 /// Deterministic report order: sorts by (missed-by time, signal, violation
 /// kind, primitive, message) so a case's report is byte-stable regardless
 /// of the order its checks were evaluated in.

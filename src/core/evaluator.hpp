@@ -41,6 +41,19 @@ struct VerifierOptions {
   /// waveforms); off turns every intern/memo lookup into the legacy deep
   /// compare, which the golden suite and tvfuzz --memo-diff exploit.
   bool interning = true;
+  /// Structure-of-arrays batch case evaluation (core/batch_eval.hpp): case
+  /// instances advance in lockstep lanes through one topological sweep of
+  /// the design instead of one event-driven pass per case. Reports are
+  /// byte-identical to the per-case path (the golden suite and tvfuzz
+  /// --batch-diff exploit the toggle); the engine silently defers to the
+  /// per-case path when interning is off, a wall-clock budget is armed, or
+  /// the base fixpoint is degraded or non-convergent.
+  bool batch_eval = true;
+  /// Lane-block size for batch case evaluation: cases are grouped into
+  /// blocks of this many lanes and `jobs` workers split blocks. Results are
+  /// identical for every value; 64 is the bench-chosen default (see
+  /// bench_batch_eval and docs/batch_eval.md). Clamped to [1, 4096].
+  unsigned batch_lanes = 64;
   /// Resource guard: a computed waveform with more than this many segments
   /// degrades its signal to all-UNKNOWN (conservative: UNKNOWN is the most
   /// pessimistic value) instead of growing without bound. 0 = unlimited.

@@ -41,6 +41,27 @@ void EvalSnapshot::set(SignalId id, Waveform w, std::string eval_str) {
   written_[slot] = 1;
 }
 
+std::size_t EvalSnapshot::disturbed_signals() const {
+  std::size_t n = 0;
+  for (std::size_t slot = 0; slot < cone_->signals.size(); ++slot) {
+    if (!written_[slot]) continue;  // unwritten slots hold the baseline
+    SignalId id = cone_->signals[slot];
+    const Signal& s = nl_.signal(id);
+    if (eval_strs_[slot] != s.eval_str) {
+      ++n;
+      continue;
+    }
+    WaveformRef base =
+        base_refs_ && id < base_refs_->size() ? (*base_refs_)[id] : kNoWaveform;
+    if (refs_[slot] != kNoWaveform && base != kNoWaveform) {
+      if (refs_[slot] != base) ++n;  // interned: divergence is a ref compare
+    } else if (!waves_[slot].equivalent(s.wave)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 void EvalSnapshot::set_ref(SignalId id, WaveformRef ref, std::string eval_str) {
   std::int32_t slot = cone_->signal_slot[id];
   if (slot < 0) throw std::logic_error("EvalSnapshot::set outside the cone");

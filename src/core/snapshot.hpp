@@ -69,6 +69,13 @@ class EvalSnapshot {
   /// canonical copy into the overlay slot.
   void set_ref(SignalId id, WaveformRef ref, std::string eval_str);
 
+  /// Number of cone signals whose final (waveform, evaluation string)
+  /// differ from the baseline fixpoint -- the signals this case disturbs.
+  /// A pure function of the final state, so the per-case worklist and the
+  /// batch sweep (core/batch_eval.hpp) report identical counts; this is
+  /// what VerifyResult::CaseResult::events carries.
+  std::size_t disturbed_signals() const;
+
  private:
   const Netlist& nl_;
   std::shared_ptr<const Cone> cone_;

@@ -1,10 +1,12 @@
 #include "core/verifier.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
+#include "core/batch_eval.hpp"
 #include "core/cone.hpp"
 #include "core/snapshot.hpp"
 
@@ -18,12 +20,12 @@ std::size_t VerifyResult::total_violations() const {
 
 namespace {
 
-unsigned effective_jobs(unsigned requested, std::size_t num_cases) {
+unsigned effective_jobs(unsigned requested, std::size_t num_units) {
   if (requested == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     requested = hw ? hw : 1;
   }
-  if (requested > num_cases) requested = static_cast<unsigned>(num_cases);
+  if (requested > num_units) requested = static_cast<unsigned>(num_units);
   return requested ? requested : 1;
 }
 
@@ -79,17 +81,19 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   // Per-case degradation records land in their input slot and merge into the
   // result after the pool joins, so the aggregate order is deterministic.
   std::vector<std::vector<Degradation>> case_degradations(cases.size());
-  auto run_one = [&](std::size_t i) {
-    // Workers share the evaluator's shard-locked arena + memo; the baseline
-    // refs let the snapshot start from ref compares without re-interning.
-    EvalSnapshot snap(nl, cones[i], ev_.intern_context().get(), &ev_.wave_refs());
-    CaseRunStats stats = run_case_on_snapshot(snap, cases[i], opts);
+
+  // Checking and reporting are shared by both engines: a finished snapshot
+  // (from the per-case worklist or materialized from a batch sweep) holds
+  // exactly the case's divergences from the baseline, and everything below
+  // is a pure function of that final state.
+  auto finish_case = [&](std::size_t i, EvalSnapshot& snap, bool converged,
+                         bool degraded, std::vector<Degradation> degs) {
     VerifyResult::CaseResult cr;
     cr.name = cases[i].name;
-    cr.events = stats.events;
-    cr.converged = r.converged && stats.converged;
-    cr.degraded = stats.degraded;
-    case_degradations[i] = std::move(stats.degradations);
+    cr.events = snap.disturbed_signals();
+    cr.converged = r.converged && converged;
+    cr.degraded = degraded;
+    case_degradations[i] = std::move(degs);
     EvalView view(snap, opts, cr.converged);
     std::vector<Degradation> check_degs;
     cr.violations = run_checks_scoped(view, *cones[i], r.violations, &check_degs);
@@ -100,6 +104,13 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
     sort_violations(cr.violations);
     r.cases[i] = std::move(cr);
   };
+  auto run_one = [&](std::size_t i) {
+    // Workers share the evaluator's shard-locked arena + memo; the baseline
+    // refs let the snapshot start from ref compares without re-interning.
+    EvalSnapshot snap(nl, cones[i], ev_.intern_context().get(), &ev_.wave_refs());
+    CaseRunStats stats = run_case_on_snapshot(snap, cases[i], opts);
+    finish_case(i, snap, stats.converged, stats.degraded, std::move(stats.degradations));
+  };
   auto merge_degradations = [&] {
     for (std::size_t i = 0; i < cases.size(); ++i) {
       if (r.cases[i].degraded) r.partial = true;
@@ -108,6 +119,93 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
       }
     }
   };
+
+  // Batch engine eligibility (docs/batch_eval.md): the lockstep sweep
+  // needs an interned, converged, non-degraded baseline and no wall-clock
+  // budget (deadline-degradation points are inherently order-dependent, so
+  // those runs keep the reference path's exact behavior).
+  InternContext* ctx = ev_.intern_context().get();
+  const bool use_batch = opts.batch_eval && ctx != nullptr && !r.partial &&
+                         r.converged && !opts.deadline.armed() &&
+                         opts.time_limit_seconds <= 0 &&
+                         opts.max_evals_per_prim > 0;
+  if (use_batch) {
+    const std::size_t lanes =
+        std::clamp<std::size_t>(opts.batch_lanes ? opts.batch_lanes : 64, 1, 4096);
+    const std::size_t num_blocks = (cases.size() + lanes - 1) / lanes;
+    BatchSchedule sched = build_batch_schedule(nl);
+    auto run_block = [&](std::size_t b) {
+      const std::size_t first = b * lanes;
+      const std::size_t count = std::min(lanes, cases.size() - first);
+      std::vector<EvalSnapshot> snaps;
+      snaps.reserve(count);
+      for (std::size_t l = 0; l < count; ++l) {
+        snaps.emplace_back(nl, cones[first + l], ctx, &ev_.wave_refs());
+      }
+      BatchBlockResult br = run_case_block(nl, opts, sched, *ctx, ev_.wave_refs(),
+                                           cases, first, count, cones, snaps);
+      if (!br.completed) {
+        // The sweep aborted (waveform table filled mid-block): this block's
+        // cases re-run on the per-case path, which re-derives the identical
+        // degradation records.
+        for (std::size_t l = 0; l < count; ++l) run_one(first + l);
+        return;
+      }
+      // Lane-batched constraint checking: one walk over the check-capable
+      // primitives covers the whole block, copying baseline findings for
+      // clean lanes. Byte-identical to per-lane run_checks_scoped.
+      std::vector<const EvalSnapshot*> snap_ptrs(count);
+      std::vector<const Cone*> cone_ptrs(count);
+      std::vector<char> conv(count);
+      for (std::size_t l = 0; l < count; ++l) {
+        snap_ptrs[l] = &snaps[l];
+        cone_ptrs[l] = cones[first + l].get();
+        conv[l] = static_cast<char>(r.converged && br.lanes[l].converged);
+      }
+      std::vector<std::vector<Violation>> lane_violations = run_checks_batch(
+          opts, snap_ptrs, cone_ptrs, conv, ev_.wave_refs(), r.violations);
+      for (std::size_t l = 0; l < count; ++l) {
+        BatchLaneStats& ls = br.lanes[l];
+        VerifyResult::CaseResult cr;
+        cr.name = cases[first + l].name;
+        cr.events = snaps[l].disturbed_signals();
+        cr.converged = static_cast<bool>(conv[l]);
+        cr.degraded = ls.degraded;
+        case_degradations[first + l] = std::move(ls.degradations);
+        cr.violations = std::move(lane_violations[l]);
+        sort_violations(cr.violations);
+        r.cases[first + l] = std::move(cr);
+      }
+    };
+    unsigned jobs = effective_jobs(opts.jobs, num_blocks);
+    if (jobs <= 1) {
+      for (std::size_t b = 0; b < num_blocks; ++b) run_block(b);
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::exception_ptr> errors(jobs);
+      std::vector<std::thread> pool;
+      pool.reserve(jobs);
+      for (unsigned t = 0; t < jobs; ++t) {
+        pool.emplace_back([&, t] {
+          try {
+            for (std::size_t b = next.fetch_add(1); b < num_blocks;
+                 b = next.fetch_add(1)) {
+              run_block(b);
+            }
+          } catch (...) {
+            errors[t] = std::current_exception();
+            next.store(num_blocks);
+          }
+        });
+      }
+      for (std::thread& th : pool) th.join();
+      for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+    merge_degradations();
+    return r;
+  }
 
   unsigned jobs = effective_jobs(opts.jobs, cases.size());
   if (jobs <= 1) {

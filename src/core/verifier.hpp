@@ -40,7 +40,11 @@ struct VerifyResult {
 
   struct CaseResult {
     std::string name;
-    std::size_t events = 0;  // incremental cost of this case (sec. 2.7)
+    /// Signals this case disturbs: how many final (waveform, evaluation
+    /// string) pairs differ from the baseline fixpoint (sec. 2.7's
+    /// incremental footprint). A pure function of the final state, so the
+    /// per-case and batch engines report identical counts.
+    std::size_t events = 0;
     bool converged = true;   // base convergence AND this case's propagation
     bool degraded = false;   // a resource guard fired inside this case's cone
     /// Violations under this case, sorted by (missed-by, signal, kind) so

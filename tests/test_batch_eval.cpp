@@ -1,0 +1,279 @@
+// Batch case evaluation (core/batch_eval.hpp): lane-skip correctness and
+// engine equivalence. The lockstep sweep's central claim is twofold: (1) a
+// lane whose inputs all still hold the base fixpoint at a primitive is
+// skipped and provably keeps the base ref -- per-primitive-per-lane cone
+// scoping; (2) the reports it produces are byte-identical to the per-case
+// reference path, including SET/RESET and gated-clock structures where
+// case pins reach sequential primitives, and for every lane-block size and
+// worker count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/batch_eval.hpp"
+#include "core/cone.hpp"
+#include "core/snapshot.hpp"
+#include "core/verifier.hpp"
+
+namespace tv {
+namespace {
+
+using V = Value;
+
+VerifierOptions test_options() {
+  VerifierOptions opts;
+  opts.period = from_ns(100.0);
+  opts.units = ClockUnits::from_ns_per_unit(1.0);
+  opts.default_wire = WireDelay{0, 0};
+  opts.assertion_defaults = AssertionDefaults{0, 0, 0, 0};
+  return opts;
+}
+
+/// Canonical rendering of a full verification for byte-compares.
+std::string render(Netlist& nl, VerifierOptions opts, const std::vector<CaseSpec>& cases) {
+  Verifier v(nl, opts);
+  VerifyResult r = v.verify(cases);
+  std::ostringstream os;
+  os << "base " << r.base_events << " conv " << r.converged << " partial "
+     << r.partial << "\n";
+  os << timing_summary(nl);
+  os << violations_report(r.violations);
+  for (const auto& c : r.cases) {
+    os << "case " << c.name << " events=" << c.events << " conv=" << c.converged
+       << " degr=" << c.degraded << "\n"
+       << violations_report(c.violations);
+  }
+  for (const auto& d : r.degradations) os << d.code << " " << d.message << "\n";
+  return os.str();
+}
+
+// Two independent AND chains, each ending in a setup/hold check. A case on
+// one chain's control must skip every primitive of the other chain.
+struct TwoConeRig {
+  Netlist nl;
+  VerifierOptions opts = test_options();
+  SignalId ctl_a = kNoSignal, out_a = kNoSignal;
+  SignalId ctl_b = kNoSignal, out_b = kNoSignal;
+};
+
+TwoConeRig build_two_cones() {
+  TwoConeRig r;
+  for (char side : {'A', 'B'}) {
+    std::string s(1, side);
+    Ref ctl = r.nl.ref("CTL" + s);
+    Ref in = r.nl.ref("IN" + s + " .S5-95");
+    Ref mid = r.nl.ref("MID" + s);
+    Ref out = r.nl.ref("OUT" + s);
+    r.nl.and_gate("G1" + s, from_ns(1), from_ns(2), {ctl, in}, mid);
+    r.nl.and_gate("G2" + s, from_ns(1), from_ns(2), {mid, in}, out);
+    r.nl.setup_hold_chk("CHK" + s, from_ns(30), from_ns(2), out,
+                        r.nl.ref("CK" + s + " .P40-50"));
+    if (side == 'A') {
+      r.ctl_a = ctl.id;
+      r.out_a = out.id;
+    } else {
+      r.ctl_b = ctl.id;
+      r.out_b = out.id;
+    }
+  }
+  r.nl.finalize();
+  return r;
+}
+
+// Runs one block directly through the batch engine and hands back the
+// per-lane stats plus the materialized snapshots.
+struct BlockRun {
+  Evaluator ev;
+  ConeIndex cone_index;
+  std::vector<std::shared_ptr<const Cone>> cones;
+  std::vector<EvalSnapshot> snaps;
+  BatchBlockResult result;
+
+  BlockRun(Netlist& nl, const VerifierOptions& opts, const std::vector<CaseSpec>& cases)
+      : ev(nl, opts), cone_index(nl) {
+    ev.initialize();
+    ev.propagate();
+    EXPECT_TRUE(ev.converged());
+    for (const CaseSpec& c : cases) {
+      std::vector<SignalId> pins;
+      for (const auto& [sig, val] : c.pins) {
+        (void)val;
+        pins.push_back(sig);
+      }
+      cones.push_back(cone_index.cone_of(std::move(pins)));
+    }
+    snaps.reserve(cases.size());
+    for (std::size_t l = 0; l < cases.size(); ++l) {
+      snaps.emplace_back(nl, cones[l], ev.intern_context().get(), &ev.wave_refs());
+    }
+    BatchSchedule sched = build_batch_schedule(nl);
+    result = run_case_block(nl, ev.options(), sched, *ev.intern_context(),
+                            ev.wave_refs(), cases, 0, cases.size(), cones, snaps);
+  }
+};
+
+TEST(BatchEval, LanesOutsideTheirConeAreSkippedAndKeepBaseRefs) {
+  TwoConeRig r = build_two_cones();
+  std::vector<CaseSpec> cases = {{"A=1", {{r.ctl_a, V::One}}},
+                                 {"B=1", {{r.ctl_b, V::One}}},
+                                 {"A=0", {{r.ctl_a, V::Zero}}}};
+  BlockRun run(r.nl, r.opts, cases);
+  ASSERT_TRUE(run.result.completed);
+  ASSERT_EQ(run.result.lanes.size(), 3u);
+
+  // The union sweep visits both chains; each lane must be skipped at every
+  // primitive of the chain it doesn't pin (2 gates per chain).
+  EXPECT_GE(run.result.lanes[0].lane_skips, 2u);  // lane A=1 skips chain B
+  EXPECT_GE(run.result.lanes[1].lane_skips, 2u);  // lane B=1 skips chain A
+  EXPECT_GT(run.result.lanes[0].evals, 0u);
+  EXPECT_GT(run.result.lanes[1].evals, 0u);
+
+  // Skipped lanes reuse the base refs outright: lane B=1 never wrote chain
+  // A's signals, so its snapshot resolves them to the baseline's interned
+  // refs (and vice versa).
+  EXPECT_EQ(run.snaps[1].wave_ref(r.out_a), run.ev.wave_ref(r.out_a));
+  EXPECT_EQ(run.snaps[0].wave_ref(r.out_b), run.ev.wave_ref(r.out_b));
+  // Pinning CTLA=0 forces the AND chain low, so lane A=0's output genuinely
+  // differs from the baseline fixpoint -- while its chain-B view does not.
+  EXPECT_NE(run.snaps[2].wave_ref(r.out_a), run.ev.wave_ref(r.out_a));
+  EXPECT_EQ(run.snaps[2].wave_ref(r.out_b), run.ev.wave_ref(r.out_b));
+}
+
+TEST(BatchEval, SubsetOfLanesDirtyAtASharedPrimitive) {
+  // Three lanes over one shared chain: two pin its control (both values),
+  // one pins an unrelated fanout-free signal. At every chain primitive the
+  // unrelated lane's inputs equal base, so it is skipped there while its
+  // siblings evaluate.
+  TwoConeRig r = build_two_cones();
+  Ref unrelated = r.nl.ref("UNRELATED");
+  std::vector<CaseSpec> cases = {{"A=0", {{r.ctl_a, V::Zero}}},
+                                 {"A=1", {{r.ctl_a, V::One}}},
+                                 {"U=1", {{unrelated.id, V::One}}}};
+  BlockRun run(r.nl, r.opts, cases);
+  ASSERT_TRUE(run.result.completed);
+  // UNRELATED drives nothing: the lane evaluates no primitive at all and
+  // is skipped wherever its siblings made the sweep visit chain A.
+  EXPECT_EQ(run.result.lanes[2].evals, 0u);
+  EXPECT_GE(run.result.lanes[2].lane_skips, 2u);
+  // Only the pinned signal itself is disturbed; every derived signal in the
+  // lane's view is still the baseline ref.
+  EXPECT_EQ(run.snaps[2].disturbed_signals(), 1u);
+  EXPECT_EQ(run.snaps[2].wave_ref(r.out_a), run.ev.wave_ref(r.out_a));
+  // Pinning the control low disturbs the chain beyond the pin itself.
+  EXPECT_GT(run.snaps[0].disturbed_signals(), 1u);
+}
+
+// SET/RESET register rig: cases pin the asynchronous SET and RESET controls
+// of a RegSR whose output feeds a setup/hold check.
+struct RegSrRig {
+  Netlist nl;
+  VerifierOptions opts = test_options();
+  SignalId set = kNoSignal, reset = kNoSignal;
+  std::vector<CaseSpec> cases;
+};
+
+RegSrRig build_reg_sr() {
+  RegSrRig r;
+  Ref d = r.nl.ref("D .S10-60");
+  Ref ck = r.nl.ref("CK .P40-50");
+  Ref set = r.nl.ref("SET");
+  Ref reset = r.nl.ref("RESET");
+  Ref q = r.nl.ref("Q");
+  r.nl.reg_sr("REG", from_ns(2), from_ns(5), d, ck, set, reset, q);
+  Ref q2 = r.nl.ref("Q2");
+  r.nl.buf("BUF", from_ns(1), from_ns(2), q, q2);
+  r.nl.setup_hold_chk("CHK", from_ns(20), from_ns(3), q2, ck);
+  r.nl.finalize();
+  r.set = set.id;
+  r.reset = reset.id;
+  for (V sv : {V::Zero, V::One}) {
+    for (V rv : {V::Zero, V::One}) {
+      r.cases.push_back({std::string("SET=") + (sv == V::One ? "1" : "0") +
+                             ",RESET=" + (rv == V::One ? "1" : "0"),
+                         {{r.set, sv}, {r.reset, rv}}});
+    }
+  }
+  return r;
+}
+
+TEST(BatchEval, RegSrSetResetLanesMatchReferencePath) {
+  RegSrRig a = build_reg_sr();
+  VerifierOptions batch = a.opts;
+  batch.batch_eval = true;
+  std::string with_batch = render(a.nl, batch, a.cases);
+
+  RegSrRig b = build_reg_sr();
+  VerifierOptions per_case = b.opts;
+  per_case.batch_eval = false;
+  std::string without = render(b.nl, per_case, b.cases);
+  EXPECT_EQ(with_batch, without);
+}
+
+TEST(BatchEval, GatedClockLanesMatchReferencePath) {
+  // A register clocked through an AND gate: pinning the enable changes the
+  // clock waveform itself, so the case reaches a sequential primitive and
+  // its setup/hold checker through a recomputed clock.
+  auto build = [](VerifierOptions& opts, std::vector<CaseSpec>& cases) {
+    Netlist nl;
+    Ref ck = nl.ref("CK .P40-50");
+    Ref en = nl.ref("EN");
+    Ref gck = nl.ref("GCK");
+    nl.and_gate("GATE", from_ns(1), from_ns(2), {ck, en}, gck);
+    Ref d = nl.ref("D .S10-60");
+    Ref q = nl.ref("Q");
+    nl.reg("REG", from_ns(2), from_ns(5), d, gck, q);
+    nl.setup_hold_chk("CHK", from_ns(20), from_ns(3), d, gck);
+    nl.finalize();
+    cases = {{"EN=0", {{en.id, V::Zero}}}, {"EN=1", {{en.id, V::One}}}};
+    (void)opts;
+    return nl;
+  };
+  VerifierOptions opts = test_options();
+  std::vector<CaseSpec> cases;
+  Netlist nl_on = build(opts, cases);
+  VerifierOptions batch = opts;
+  batch.batch_eval = true;
+  std::string with_batch = render(nl_on, batch, cases);
+  Netlist nl_off = build(opts, cases);
+  VerifierOptions per_case = opts;
+  per_case.batch_eval = false;
+  std::string without = render(nl_off, per_case, cases);
+  EXPECT_EQ(with_batch, without);
+}
+
+TEST(BatchEval, ReportsInvariantUnderLaneBlockSizeAndJobs) {
+  // The --batch-lanes knob and the worker count are pure partitioning
+  // choices: every (lanes, jobs) combination must render identically.
+  RegSrRig ref_rig = build_reg_sr();
+  std::string reference = render(ref_rig.nl, ref_rig.opts, ref_rig.cases);
+  for (unsigned lanes : {1u, 3u, 64u}) {
+    for (unsigned jobs : {1u, 4u}) {
+      RegSrRig r = build_reg_sr();
+      VerifierOptions opts = r.opts;
+      opts.batch_lanes = lanes;
+      opts.jobs = jobs;
+      EXPECT_EQ(render(r.nl, opts, r.cases), reference)
+          << "lanes=" << lanes << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(BatchEval, ScheduleCoversEveryNonCheckerPrimitiveOnce) {
+  TwoConeRig r = build_two_cones();
+  BatchSchedule sched = build_batch_schedule(r.nl);
+  std::vector<int> seen(r.nl.num_prims(), 0);
+  for (const auto& comp : sched.components) {
+    for (PrimId pid : comp.prims) {
+      EXPECT_FALSE(prim_is_checker(r.nl.prim(pid).kind));
+      ++seen[pid];
+    }
+  }
+  for (PrimId pid = 0; pid < r.nl.num_prims(); ++pid) {
+    EXPECT_EQ(seen[pid], prim_is_checker(r.nl.prim(pid).kind) ? 0 : 1) << pid;
+  }
+}
+
+}  // namespace
+}  // namespace tv

@@ -1,9 +1,11 @@
 // Golden-report regression suite: runs the full verifier over every example
 // design and the checked-in SHDL designs, renders a canonical report, and
 // byte-compares it against the files in tests/golden/. Each design is
-// verified twice -- interning/memoization on and off -- and the two reports
-// must also be byte-identical to each other: this is the safety net proving
-// the hash-consing layer changes no verdicts, waveforms, or event counts.
+// verified three ways -- interning + batch case evaluation (the default),
+// interning with the batch engine disabled, and interning off entirely --
+// and all three reports must be byte-identical to each other: this is the
+// safety net proving the hash-consing layer and the lockstep batch sweep
+// change no verdicts, waveforms, or event counts.
 //
 // To regenerate after an intentional report change:
 //   TV_UPDATE_GOLDEN=1 ./tv_tests --gtest_filter='GoldenReports.*'
@@ -23,8 +25,10 @@ namespace {
 using namespace tv;
 
 std::string render_report(Netlist& nl, VerifierOptions opts,
-                          const std::vector<CaseSpec>& cases, bool interning) {
+                          const std::vector<CaseSpec>& cases, bool interning,
+                          bool batch_eval = true) {
   opts.interning = interning;
+  opts.batch_eval = batch_eval;
   Verifier v(nl, opts);
   VerifyResult r = v.verify(cases);
   std::ostringstream os;
@@ -73,6 +77,11 @@ void check_example(std::size_t index) {
   std::string without = render_report(*off.netlist, off.options, off.cases, false);
   EXPECT_EQ(with_interning, without)
       << on.name << ": interned and uninterned runs must render identically";
+  examples::ExampleDesign per_case = examples::all_example_designs()[index];
+  std::string without_batch =
+      render_report(*per_case.netlist, per_case.options, per_case.cases, true, false);
+  EXPECT_EQ(with_interning, without_batch)
+      << on.name << ": batch and per-case engines must render identically";
   compare_to_golden(on.name, with_interning);
 }
 
@@ -107,6 +116,11 @@ void check_shdl(const std::string& name, bool with_stdlib) {
   std::string without = render_report(off.netlist, off.options, off.cases, false);
   EXPECT_EQ(with_interning, without)
       << name << ": interned and uninterned runs must render identically";
+  hdl::ElaboratedDesign per_case = elaborate();
+  std::string without_batch =
+      render_report(per_case.netlist, per_case.options, per_case.cases, true, false);
+  EXPECT_EQ(with_interning, without_batch)
+      << name << ": batch and per-case engines must render identically";
   compare_to_golden(name, with_interning);
 }
 

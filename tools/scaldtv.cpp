@@ -21,6 +21,11 @@
 //     --no-cases       skip case analysis even if the design declares cases
 //     --jobs N         evaluate cases on N worker threads (0 = one per core;
 //                      results are identical for every N)
+//     --batch-lanes N  lanes per block in the batch case evaluator
+//                      (default 64, clamped to [1, 4096]; reports are
+//                      identical for every N)
+//     --no-batch       evaluate cases one at a time instead of in lockstep
+//                      lane blocks (slower; reports are identical)
 //     --fault SPEC     deterministic fault injection (docs/serving.md);
 //                      also read from the TV_FAULT environment variable
 //
@@ -57,8 +62,8 @@ int usage() {
                "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
                "[--stdlib] [--slack] [--waves] [--where-used] [--explain] [--vcd FILE] "
                "[--json FILE] [--diag-json FILE] [--max-errors N] [--werror] "
-               "[--time-limit SECONDS] [--jobs N] [--fault SPEC] "
-               "<design.shdl>\n");
+               "[--time-limit SECONDS] [--jobs N] [--batch-lanes N] [--no-batch] "
+               "[--fault SPEC] <design.shdl>\n");
   return 2;
 }
 
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
   const char* diag_json_path = nullptr;
   const char* path = nullptr;
   long jobs = 1;
+  long batch_lanes = 64;
+  bool batch_eval = true;
   long max_errors = 20;
   bool werror = false;
   double time_limit = 0;
@@ -139,6 +146,12 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       jobs = std::strtol(argv[++i], &end, 10);
       if (!end || *end != '\0' || jobs < 0) return usage();
+    } else if (std::strcmp(argv[i], "--batch-lanes") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      batch_lanes = std::strtol(argv[++i], &end, 10);
+      if (!end || *end != '\0' || batch_lanes < 1 || batch_lanes > 4096) return usage();
+    } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+      batch_eval = false;
     } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
       std::string error;
       if (!tv::fault::configure(argv[++i], &error)) {
@@ -196,6 +209,8 @@ int main(int argc, char** argv) {
     tv::hdl::ElaboratedDesign& design = *maybe_design;
 
     design.options.jobs = static_cast<unsigned>(jobs);
+    design.options.batch_lanes = static_cast<unsigned>(batch_lanes);
+    design.options.batch_eval = batch_eval;
     design.options.time_limit_seconds = time_limit;
     tv::Verifier verifier(design.netlist, design.options);
     tv::crash::set_context(path, "verification");

@@ -21,6 +21,11 @@
 // never crash, never let an exception escape, and always report at least
 // one error diagnostic when it rejects an input.
 //
+// A sixth mode, --batch-diff, runs each random circuit's case analysis
+// through both the per-case snapshot path and the structure-of-arrays
+// batch path (VerifierOptions::batch_eval) and fails on any divergence in
+// reports, waveforms, or counts (the lockstep sweep must be bit-exact).
+//
 // A fifth mode, --serve-chaos, pushes seeded batches of generated designs
 // with random fault specs through a real scaldtvd worker pool and asserts
 // every job ends in a terminal state, retries are visible in attempt
@@ -29,8 +34,8 @@
 //
 // Usage:
 //   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
-//          [--parser-fuzz] [--serve-chaos] [--scaldtvd PATH] [--scaldtv PATH]
-//          [--no-shrink] [-v]
+//          [--batch-diff] [--parser-fuzz] [--serve-chaos] [--scaldtvd PATH]
+//          [--scaldtv PATH] [--no-shrink] [-v]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +54,7 @@ struct Options {
   int circuit_seeds = 500;
   int wave_seeds = 500;
   bool memo_diff = false;
+  bool batch_diff = false;
   bool parser_fuzz = false;
   bool serve_chaos = false;
   bool seeds_set = false;
@@ -61,13 +67,15 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff] "
-               "[--parser-fuzz] [--no-shrink] [-v]\n"
+               "[--batch-diff] [--parser-fuzz] [--no-shrink] [-v]\n"
                "  --seeds N     differential circuit cases to run (default 500)\n"
                "  --wave N      waveform-algebra cases to run (default 500)\n"
                "  --start S     first seed (default 1)\n"
                "  --smoke       quick CI gate: 120 circuit + 250 wave cases\n"
                "  --memo-diff   run each circuit spec twice (interning/memo on vs\n"
                "                off) and fail on any report or waveform divergence\n"
+               "  --batch-diff  run each circuit's case analysis through the per-case\n"
+               "                and batch engines and fail on any divergence\n"
                "  --parser-fuzz mutate valid SHDL sources and assert the front end\n"
                "                never crashes and always diagnoses rejected input\n"
                "  --serve-chaos run seeded faulted batches through scaldtvd and assert\n"
@@ -106,6 +114,8 @@ int main(int argc, char** argv) {
       opt.wave_seeds = 250;
     } else if (a == "--memo-diff") {
       opt.memo_diff = true;
+    } else if (a == "--batch-diff") {
+      opt.batch_diff = true;
     } else if (a == "--parser-fuzz") {
       opt.parser_fuzz = true;
     } else if (a == "--serve-chaos") {
@@ -178,6 +188,40 @@ int main(int argc, char** argv) {
                   fail->detail.c_str(), fail->input.c_str());
     }
     std::printf("tvfuzz --parser-fuzz: %d cases, %d failure%s\n", opt.circuit_seeds,
+                failures, failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+  }
+
+  if (opt.batch_diff) {
+    // Differential batch mode: every random circuit's case analysis runs on
+    // the lockstep batch engine and the per-case reference path; the two
+    // runs must be bit-identical.
+    for (int i = 0; i < opt.circuit_seeds; ++i) {
+      std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+      tv::check::CircuitSpec spec = tv::check::random_spec(seed);
+      auto fail = tv::check::check_batch_equivalence(spec);
+      if (opt.verbose) {
+        std::printf("batch-diff seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                    fail ? "FAIL" : "ok");
+      }
+      if (!fail) continue;
+      ++failures;
+      std::printf("FAIL batch-diff seed %llu [%s]\n  %s\n",
+                  static_cast<unsigned long long>(seed), fail->kind.c_str(),
+                  fail->detail.c_str());
+      if (opt.shrink) {
+        std::string kind = fail->kind;
+        tv::check::CircuitSpec small = tv::check::shrink_circuit(
+            spec, [&](const tv::check::CircuitSpec& s) {
+              auto f = tv::check::check_batch_equivalence(s);
+              return f && f->kind == kind;
+            });
+        std::printf("shrunk repro:\n%s\n", tv::check::gtest_repro(small, kind).c_str());
+      } else {
+        std::printf("repro:\n%s\n", tv::check::gtest_repro(spec, fail->kind).c_str());
+      }
+    }
+    std::printf("tvfuzz --batch-diff: %d circuit cases, %d failure%s\n", opt.circuit_seeds,
                 failures, failures == 1 ? "" : "s");
     return failures ? 1 : 0;
   }
