@@ -1,0 +1,124 @@
+// The compiled-artifact differential oracle: a design round-tripped through
+// the scaldtvc binary artifact (core/compiled.hpp) must verify
+// bit-identically to the in-memory original -- same waveforms, same event
+// counts, same convergence verdicts, same violation reports, for the
+// baseline and every case. Any divergence is a serialization bug (a field
+// dropped or re-ordered, a waveform re-canonicalized differently, a signal
+// index shifted by the synonym-orphan layout). The oracle also demands that
+// serialization is deterministic: compiling the same design twice must
+// yield byte-identical artifacts, the property the CI determinism check
+// and artifact content hashes rest on.
+#include <sstream>
+
+#include "check/oracles.hpp"
+#include "core/compiled.hpp"
+#include "core/verifier.hpp"
+#include "diag/diagnostic.hpp"
+
+namespace tv::check {
+
+namespace {
+
+struct RunResult {
+  std::size_t base_events = 0;
+  bool converged = true;
+  bool partial = false;
+  std::string base_report;
+  std::string summary;  // timing_summary: every waveform + skew + eval string
+  std::vector<std::string> case_lines;
+};
+
+RunResult run_circuit(Netlist& nl, const VerifierOptions& opts,
+                      const std::vector<CaseSpec>& cases) {
+  Verifier v(nl, opts);
+  VerifyResult r = v.verify(cases);
+  RunResult out;
+  out.base_events = r.base_events;
+  out.converged = r.converged;
+  out.partial = r.partial;
+  out.base_report = violations_report(r.violations);
+  out.summary = timing_summary(nl);
+  for (const auto& c : r.cases) {
+    std::ostringstream os;
+    os << c.name << " events=" << c.events << " converged=" << c.converged
+       << " degraded=" << c.degraded << "\n"
+       << violations_report(c.violations);
+    out.case_lines.push_back(os.str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Failure> check_compile_equivalence(const CircuitSpec& spec) {
+  auto fail = [&](const std::string& what, const std::string& a,
+                  const std::string& b) {
+    std::ostringstream os;
+    os << "seed " << spec.seed << ": " << what
+       << " diverges between source and compiled artifact\n--- source ---\n"
+       << a << "\n--- compiled ---\n" << b;
+    return Failure{"compile-diff", os.str()};
+  };
+
+  // Source-path reference run (on a fresh build; verification mutates
+  // signal waveforms, so the compile below uses its own build too).
+  BuiltCircuit ref = build(spec);
+  RunResult src = run_circuit(ref.nl, ref.opts, ref.cases);
+
+  // Compile a pristine build of the same spec, serialize, and reload.
+  BuiltCircuit bc = build(spec);
+  CompiledSummary summary;
+  summary.primitives = bc.nl.num_prims();
+  summary.unique_signals = bc.nl.num_signals();
+  CompiledDesign design =
+      compile_design("FUZZ", bc.nl, bc.opts, bc.cases, summary);
+  std::string bytes = serialize_compiled(design);
+  if (std::string again = serialize_compiled(design); again != bytes) {
+    return Failure{"compile-diff",
+                   "seed " + std::to_string(spec.seed) +
+                       ": serializing the same design twice produced "
+                       "different bytes (non-deterministic artifact)"};
+  }
+
+  diag::DiagnosticEngine diags;
+  std::optional<CompiledDesign> loaded = load_compiled(bytes, "<memory>", diags);
+  if (!loaded) {
+    std::ostringstream os;
+    os << "seed " << spec.seed
+       << ": round-trip load of a freshly serialized artifact failed";
+    for (const auto& d : diags.diagnostics()) os << "\n  " << d.message;
+    return Failure{"compile-diff", os.str()};
+  }
+  RunResult cmp = run_circuit(loaded->netlist, loaded->options, loaded->cases);
+
+  if (src.base_events != cmp.base_events) {
+    return fail("base event count", std::to_string(src.base_events),
+                std::to_string(cmp.base_events));
+  }
+  if (src.converged != cmp.converged) {
+    return fail("convergence", src.converged ? "yes" : "no",
+                cmp.converged ? "yes" : "no");
+  }
+  if (src.partial != cmp.partial) {
+    return fail("partial flag", src.partial ? "yes" : "no",
+                cmp.partial ? "yes" : "no");
+  }
+  if (src.summary != cmp.summary) {
+    return fail("timing summary (waveforms)", src.summary, cmp.summary);
+  }
+  if (src.base_report != cmp.base_report) {
+    return fail("base violation report", src.base_report, cmp.base_report);
+  }
+  if (src.case_lines.size() != cmp.case_lines.size()) {
+    return fail("case count", std::to_string(src.case_lines.size()),
+                std::to_string(cmp.case_lines.size()));
+  }
+  for (std::size_t i = 0; i < src.case_lines.size(); ++i) {
+    if (src.case_lines[i] != cmp.case_lines[i]) {
+      return fail("case result", src.case_lines[i], cmp.case_lines[i]);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tv::check

@@ -107,6 +107,14 @@ std::optional<Failure> check_memo_equivalence(const CircuitSpec& spec);
 /// to the per-case reference path; this is tvfuzz's --batch-diff oracle.
 std::optional<Failure> check_batch_equivalence(const CircuitSpec& spec);
 
+/// Round-trips the spec's circuit through the compiled-design artifact
+/// (core/compiled.hpp): serialize, reload, verify, and fail (kind
+/// "compile-diff") on any divergence from the in-memory original in
+/// waveforms, event counts, convergence, violation reports, or per-case
+/// results -- plus a determinism check that serializing twice yields
+/// byte-identical artifacts. This is tvfuzz's --compile-diff oracle.
+std::optional<Failure> check_compile_equivalence(const CircuitSpec& spec);
+
 /// Renders the case as C++ statements building a `tv::check::WaveCase w;`.
 std::string to_cpp(const WaveCase& wc);
 

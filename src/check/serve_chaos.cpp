@@ -66,6 +66,40 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+/// Launches the daemon, delivers SIGTERM after `sigterm_after_ms`, and
+/// returns its exit code (-1 on signal death or a wedged shutdown).
+int run_daemon_with_sigterm(const std::vector<std::string>& args,
+                            int sigterm_after_ms, bool verbose) {
+  pid_t pid = fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    if (!verbose) {
+      if (FILE* devnull = std::fopen("/dev/null", "w")) {
+        dup2(fileno(devnull), STDERR_FILENO);
+      }
+    }
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  usleep(static_cast<useconds_t>(sigterm_after_ms) * 1000);
+  kill(pid, SIGTERM);
+  // The drain should finish within a watchdog period; give it 30s before
+  // declaring the shutdown wedged.
+  for (int waited_ms = 0; waited_ms < 30000; waited_ms += 20) {
+    int status = 0;
+    pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    usleep(20 * 1000);
+  }
+  kill(pid, SIGKILL);
+  waitpid(pid, nullptr, 0);
+  return -1;
+}
+
 }  // namespace
 
 std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts) {
@@ -151,6 +185,7 @@ std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts
                       "--backoff-max-ms 50 --job-timeout 1 --seed " +
                       std::to_string(opts.seed % 1000000) + " --manifest '" +
                       manifest_path + "' '" + jobs_path + "'";
+    if (opts.warm) cmd += " --warm";
     if (!opts.verbose) cmd += " 2>/dev/null";
     int status = std::system(cmd.c_str());
     int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
@@ -217,6 +252,102 @@ std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts
         rec->state != "done" && rec->state != "violations") {
       return fail("clean-job-failed", "unfaulted job " + j.id + " ended \"" + rec->state +
                                           "\"; work dir kept at " + dir);
+    }
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
+std::optional<ServeChaosFailure> check_drain_requeue(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "drain-requeue needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-drain-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  std::string design_file = dir + "/design.shdl";
+  {
+    std::ofstream out(design_file);
+    out << seed_design(0);
+  }
+  std::vector<std::string> cleanup{design_file};
+
+  // Two shutdown timings, each against a job that can never succeed:
+  //   hang:    SIGTERM lands while the only attempt hangs under the
+  //            watchdog. max-attempts is 1, so a supervisor that still
+  //            treats the timeout as a normal transient failure would tip
+  //            the job into "crashed" -- but the attempt was interrupted by
+  //            the drain, so it must settle "requeued" with the one
+  //            attempt on record.
+  //   backoff: SIGTERM lands while the job sits in a long retry backoff
+  //            after its first attempt aborted; it must settle "requeued"
+  //            with exactly that one attempt, not burn a second launch.
+  struct Scenario {
+    const char* name;
+    const char* fault;
+    const char* max_attempts;
+    const char* backoff_ms;
+    const char* job_timeout;
+    int sigterm_after_ms;
+  };
+  const Scenario scenarios[] = {
+      {"hang", "evaluator.eval@1:hang", "1", "10", "1", 300},
+      {"backoff", "evaluator.eval@1:abort", "3", "4000", "5", 700},
+  };
+
+  for (const Scenario& sc : scenarios) {
+    std::string jobs_path = dir + "/" + sc.name + ".jobs";
+    {
+      std::ofstream out(jobs_path);
+      out << "{\"id\": \"drain-" << sc.name << "\", \"design\": \"" << design_file
+          << "\", \"fault\": \"" << sc.fault << "\"}\n";
+    }
+    cleanup.push_back(jobs_path);
+    std::string manifest_path = dir + "/" + sc.name + ".manifest.json";
+    cleanup.push_back(manifest_path);
+
+    std::vector<std::string> args = {
+        opts.scaldtvd_path, "--scaldtv", opts.scaldtv_path,
+        "--workers", "1", "--max-attempts", sc.max_attempts,
+        "--backoff-ms", sc.backoff_ms, "--backoff-max-ms", sc.backoff_ms,
+        "--job-timeout", sc.job_timeout, "--seed", "1",
+        "--manifest", manifest_path, jobs_path};
+    if (opts.warm) args.push_back("--warm");
+    int code = run_daemon_with_sigterm(args, sc.sigterm_after_ms, opts.verbose);
+    // Requeued jobs must not affect the exit status: 4 here means the
+    // drain burned the interrupted attempt and declared the job crashed.
+    if (code != 0) {
+      return fail("drain-exit-code",
+                  std::string("drain-") + sc.name + ": expected daemon exit 0, got " +
+                      std::to_string(code) + "; work dir kept at " + dir);
+    }
+    std::vector<ManifestRecord> records = scan_manifest(read_file(manifest_path));
+    if (records.size() != 1) {
+      return fail("job-lost", std::string("drain-") + sc.name + ": manifest has " +
+                                  std::to_string(records.size()) +
+                                  " records, expected 1; work dir kept at " + dir);
+    }
+    if (records[0].state != "requeued") {
+      return fail("drain-not-requeued",
+                  std::string("drain-") + sc.name + ": job ended \"" + records[0].state +
+                      "\" instead of \"requeued\"; work dir kept at " + dir);
+    }
+    if (records[0].attempts != 1) {
+      return fail("drain-attempt-burned",
+                  std::string("drain-") + sc.name + ": requeued job shows " +
+                      std::to_string(records[0].attempts) +
+                      " attempt(s), expected exactly 1; work dir kept at " + dir);
     }
   }
 

@@ -28,6 +28,7 @@ struct ServeChaosOptions {
   int jobs = 12;               // generated jobs per batch
   std::string scaldtvd_path;   // daemon binary (required)
   std::string scaldtv_path;    // worker binary (required)
+  bool warm = false;           // pass --warm: resident worker pools
   bool verbose = false;
 };
 
@@ -40,5 +41,13 @@ struct ServeChaosFailure {
 /// supervisor contract was broken, std::nullopt otherwise. Work files live
 /// in a fresh directory under TMPDIR, removed on success.
 std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts);
+
+/// The graceful-shutdown scenarios: SIGTERM lands (a) while a worker hangs
+/// with retries already exhausted-to-be, and (b) while a job sits in retry
+/// backoff. Both jobs must be recorded "requeued" -- never "crashed" -- with
+/// the interrupted attempt counted but not held against the job, and the
+/// daemon must exit 0 (requeued jobs do not affect the exit status).
+/// Ignores opts.seed/opts.jobs; honors the binary paths and opts.warm.
+std::optional<ServeChaosFailure> check_drain_requeue(const ServeChaosOptions& opts);
 
 }  // namespace tv::check

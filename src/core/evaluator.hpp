@@ -192,6 +192,15 @@ class Evaluator {
   /// Arms the shared wall-clock deadline every phase of the run polls
   /// (called by Verifier::verify before the base fixpoint starts).
   void arm_deadline(const Deadline& d) { opts_.deadline = d; }
+  /// Per-job runtime knobs a warm worker adjusts between verify() calls on
+  /// one long-lived Verifier (design-level options are fixed at
+  /// construction). Setting a time limit also disarms any leftover
+  /// deadline so the next run gets a fresh budget.
+  void set_time_limit(double seconds) {
+    opts_.time_limit_seconds = seconds;
+    opts_.deadline = Deadline{};
+  }
+  void set_jobs(unsigned jobs) { opts_.jobs = jobs; }
   Netlist& netlist() { return nl_; }
   const Netlist& netlist() const { return nl_; }
 

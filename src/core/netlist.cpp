@@ -56,6 +56,18 @@ SignalId Netlist::add_signal(const ParsedSignal& parsed, int width) {
   return id;
 }
 
+SignalId Netlist::push_signal(Signal s) {
+  SignalId id = static_cast<SignalId>(signals_.size());
+  s.driver = kNoPrim;
+  s.fanout.clear();
+  s.wave = Waveform();
+  s.eval_str.clear();
+  by_name_.emplace(s.full_name, id);  // no-op when the name is already taken
+  signals_.push_back(std::move(s));
+  finalized_ = false;
+  return id;
+}
+
 Ref Netlist::ref(std::string_view text, int width) {
   ParsedSignal p = parse_signal_name(text);
   Ref r;

@@ -124,6 +124,13 @@ class Netlist {
   Ref ref(std::string_view text, int width = 1);
   /// Get-or-create by pre-parsed pieces.
   SignalId add_signal(const ParsedSignal& parsed, int width = 1);
+  /// Appends a signal record verbatim, preserving its index -- the
+  /// compiled-artifact loader (core/compiled.cpp) uses this to rebuild a
+  /// signal table that may contain synonym-merge orphans whose full names
+  /// resolve to another id. The name is registered for find() only when not
+  /// already taken; evaluation state (wave, eval_str, driver, fanout) is
+  /// reset and recomputed by finalize()/initialize().
+  SignalId push_signal(Signal s);
   SignalId find(std::string_view full_name) const;
 
   Signal& signal(SignalId id) { return signals_[id]; }

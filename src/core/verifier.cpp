@@ -36,8 +36,21 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   // Arm one wall-clock deadline for the entire run: the base fixpoint, the
   // constraint checker, and every case snapshot poll this same point in
   // time, so --time-limit bounds the whole verification, not each phase.
+  // A deadline armed *here* is also disarmed on every exit path: a warm
+  // worker reuses one Verifier across jobs, and without the reset the next
+  // verify() would inherit this run's already-expired deadline and degrade
+  // the entire result at t=0. An externally armed deadline is the caller's
+  // to manage and is left untouched.
+  struct DeadlineGuard {
+    Evaluator& ev;
+    bool armed_here = false;
+    ~DeadlineGuard() {
+      if (armed_here) ev.arm_deadline(Deadline{});
+    }
+  } deadline_guard{ev_};
   if (ev_.options().time_limit_seconds > 0 && !ev_.options().deadline.armed()) {
     ev_.arm_deadline(Deadline::after_seconds(ev_.options().time_limit_seconds));
+    deadline_guard.armed_here = true;
   }
   ev_.initialize();
   r.base_events = ev_.propagate();

@@ -42,6 +42,15 @@ void Waveform::normalize() {
   segs_ = std::move(out);
 }
 
+Waveform Waveform::from_segments(Time period, Time skew, std::vector<Segment> segs) {
+  Waveform w;
+  w.period_ = period;
+  w.skew_ = skew;
+  w.segs_ = std::move(segs);
+  w.normalize();
+  return w;
+}
+
 Waveform Waveform::from_points(Time period, std::vector<std::pair<Time, Value>> pts, Time skew) {
   Waveform w(period);
   if (pts.empty()) return w;

@@ -49,6 +49,11 @@ class Waveform {
   /// start as UNKNOWN (sec. 2.9 step 1).
   explicit Waveform(Time period, Value fill = Value::Unknown);
   static Waveform constant(Time period, Value v) { return Waveform(period, v); }
+  /// Rebuilds a waveform from an explicit segment list (the compiled-design
+  /// loader's deserialization path). Widths must be non-negative and sum to
+  /// `period`; the list is normalized, so feeding back segments() of an
+  /// existing waveform reconstructs it exactly.
+  static Waveform from_segments(Time period, Time skew, std::vector<Segment> segs);
 
   Time period() const { return period_; }
   Time skew() const { return skew_; }

@@ -143,5 +143,15 @@ inline constexpr const char* kWarnSegmentCap = "TV-W201";
 inline constexpr const char* kWarnTimeLimit = "TV-W202";
 inline constexpr const char* kWarnTableFull = "TV-W203";
 inline constexpr const char* kWarnCheckDeadline = "TV-W204";
+// Compiled-design artifacts (core/compiled.hpp). All are input errors: a
+// rejected artifact exits with status 2, never 5 -- a bad file will not get
+// better on retry.
+inline constexpr const char* kErrArtifactIo = "TV-E300";         // cannot open/read
+inline constexpr const char* kErrArtifactMagic = "TV-E301";      // not a compiled design
+inline constexpr const char* kErrArtifactVersion = "TV-E302";    // format-version skew
+inline constexpr const char* kErrArtifactTruncated = "TV-E303";  // short read / bad section size
+inline constexpr const char* kErrArtifactHash = "TV-E304";       // content-hash mismatch
+inline constexpr const char* kErrArtifactMalformed = "TV-E305";  // bad record / ref out of range
+inline constexpr const char* kErrArtifactEndian = "TV-E306";     // byte-order mismatch
 
 }  // namespace tv::diag

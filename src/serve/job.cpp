@@ -133,6 +133,9 @@ std::optional<JobSpec> parse_job_line(const std::string& line, std::string* erro
     } else if (key == "stdlib") {
       if (value != "true" && value != "false") return fail("\"stdlib\" must be a boolean");
       job.stdlib = value == "true";
+    } else if (key == "compiled") {
+      if (value != "true" && value != "false") return fail("\"compiled\" must be a boolean");
+      job.compiled = value == "true";
     } else if (key == "time_limit") {
       double v = 0;
       if (is_string || !parse_double(value, v) || v < 0) {
@@ -220,6 +223,7 @@ std::optional<std::vector<JobSpec>> parse_job_file(const std::string& path,
 
 std::vector<std::string> worker_args(const JobSpec& job) {
   std::vector<std::string> args;
+  if (job.compiled) args.push_back("--compiled");
   if (job.stdlib) args.push_back("--stdlib");
   if (job.time_limit > 0) {
     args.push_back("--time-limit");

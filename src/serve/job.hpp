@@ -12,8 +12,12 @@
 //
 // Recognized keys (all but id/design optional):
 //   id             unique job name; duplicate ids in one batch are rejected
-//   design         path to the .shdl source (relative to the daemon's cwd)
-//   stdlib         bool: prepend the standard chip-macro library
+//   design         path to the .shdl source (relative to the daemon's cwd),
+//                  or to a compiled .tvc artifact when "compiled" is true
+//   compiled       bool: `design` is a scaldtvc artifact; the worker loads
+//                  it with --compiled, skipping the HDL front end
+//   stdlib         bool: prepend the standard chip-macro library (sources
+//                  only; a compiled artifact already baked its library in)
 //   time_limit     seconds: forwarded as scaldtv --time-limit; also sets
 //                  the supervisor's watchdog for this job
 //   jobs           case-analysis worker threads inside the worker process
@@ -34,6 +38,7 @@ namespace tv::serve {
 struct JobSpec {
   std::string id;
   std::string design;
+  bool compiled = false;   // design is a scaldtvc artifact, not .shdl source
   bool stdlib = false;
   double time_limit = 0;   // 0 = no limit
   unsigned jobs = 0;       // 0 = worker default (1)

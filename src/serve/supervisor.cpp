@@ -4,13 +4,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
-#include <unordered_map>
 
+#include "serve/warm_pool.hpp"
 #include "util/fault.hpp"
 
 namespace tv::serve {
@@ -41,9 +42,6 @@ struct Slot {
   Clock::time_point retry_at{};  // backoff wake-up (Delayed)
 };
 
-/// Classification of one finished attempt.
-enum class Outcome { Terminal, Transient };
-
 pid_t spawn_worker(const JobSpec& job, const SupervisorOptions& opts, int attempt) {
   std::vector<std::string> args = worker_args(job);
   std::vector<char*> argv;
@@ -51,17 +49,7 @@ pid_t spawn_worker(const JobSpec& job, const SupervisorOptions& opts, int attemp
   for (std::string& a : args) argv.push_back(a.data());
   argv.push_back(nullptr);
 
-  // The injected spec for this attempt: the job's own fault wins (gated on
-  // fault_attempts so "attempt 1 dies, attempt 2 runs clean" is expressible),
-  // else the daemon-wide chaos spec. Cleared otherwise so workers never
-  // inherit the daemon's TV_FAULT by accident.
-  const std::string* spec = nullptr;
-  if (!job.fault.empty() &&
-      (job.fault_attempts == 0 || attempt <= job.fault_attempts)) {
-    spec = &job.fault;
-  } else if (!opts.fault_spec.empty()) {
-    spec = &opts.fault_spec;
-  }
+  const std::string* spec = effective_fault_spec(job, opts, attempt);
 
   pid_t pid = fork();
   if (pid != 0) return pid;  // parent (or fork failure, -1)
@@ -83,21 +71,89 @@ pid_t spawn_worker(const JobSpec& job, const SupervisorOptions& opts, int attemp
   _exit(127);
 }
 
+class ForkExecBackend : public WorkerBackend {
+ public:
+  explicit ForkExecBackend(const SupervisorOptions& opts) : opts_(opts) {}
+
+  pid_t launch(const JobSpec& job, int attempt) override {
+    return spawn_worker(job, opts_, attempt);
+  }
+
+  WorkerPoll poll(pid_t pid) override {
+    WorkerPoll p;
+    int status = 0;
+    pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      if (WIFSIGNALED(status)) {
+        p.kind = WorkerPoll::Kind::Signaled;
+        p.value = WTERMSIG(status);
+      } else {
+        p.kind = WorkerPoll::Kind::Exited;
+        p.value = WIFEXITED(status) ? WEXITSTATUS(status) : 127;
+      }
+    } else if (r < 0 && errno == ECHILD) {
+      // Should not happen (we only wait on our own pids), but do not spin
+      // on a lost child forever: treat it like a SIGKILLed worker.
+      p.kind = WorkerPoll::Kind::Signaled;
+      p.value = SIGKILL;
+    }
+    return p;
+  }
+
+  void kill_worker(pid_t pid) override { kill(pid, SIGKILL); }
+
+ private:
+  const SupervisorOptions& opts_;
+};
+
 }  // namespace
+
+const std::string* effective_fault_spec(const JobSpec& job,
+                                        const SupervisorOptions& opts,
+                                        int attempt) {
+  // The injected spec for this attempt: the job's own fault wins (gated on
+  // fault_attempts so "attempt 1 dies, attempt 2 runs clean" is expressible),
+  // else the daemon-wide chaos spec. Null otherwise so workers never inherit
+  // the daemon's fault plan by accident.
+  if (!job.fault.empty() &&
+      (job.fault_attempts == 0 || attempt <= job.fault_attempts)) {
+    return &job.fault;
+  }
+  if (!opts.fault_spec.empty()) return &opts.fault_spec;
+  return nullptr;
+}
 
 std::uint64_t backoff_delay_ms(const SupervisorOptions& opts,
                                const std::string& job_id, int attempt) {
   std::uint64_t delay = opts.backoff_base_ms;
-  for (int i = 1; i < attempt && delay < opts.backoff_max_ms; ++i) delay *= 2;
+  for (int i = 1; i < attempt && delay < opts.backoff_max_ms; ++i) {
+    // Overflow-safe doubling: once delay passes max/2 the next double would
+    // exceed (or wrap past) the cap, so saturate at the cap directly.
+    if (delay > opts.backoff_max_ms / 2) {
+      delay = opts.backoff_max_ms;
+      break;
+    }
+    delay *= 2;
+  }
   if (delay > opts.backoff_max_ms) delay = opts.backoff_max_ms;
   std::uint64_t h = fnv1a(job_id.data(), job_id.size(), 14695981039346656037ull);
   h = fnv1a(&attempt, sizeof attempt, h);
   h = fnv1a(&opts.jitter_seed, sizeof opts.jitter_seed, h);
   std::uint64_t jitter = opts.backoff_base_ms ? h % opts.backoff_base_ms : 0;
+  // backoff_max_ms caps the *total* delay: jitter fills the gap below the
+  // cap but never pushes past it.
+  if (delay + jitter < delay || delay + jitter > opts.backoff_max_ms) {
+    return opts.backoff_max_ms;
+  }
   return delay + jitter;
 }
 
-Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts) {
+std::unique_ptr<WorkerBackend> make_fork_exec_backend(const SupervisorOptions& opts) {
+  return std::make_unique<ForkExecBackend>(opts);
+}
+
+Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts,
+                  WorkerBackend& backend) {
   std::vector<Slot> slots(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     slots[i].job = &jobs[i];
@@ -105,7 +161,6 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     slots[i].record.design = jobs[i].design;
   }
 
-  std::unordered_map<pid_t, std::size_t> by_pid;
   unsigned running = 0;
   std::size_t open_jobs = jobs.size();
   bool draining = false;
@@ -130,8 +185,15 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
   };
 
   // A failed attempt either backs off for a retry or, with attempts
-  // exhausted, settles the job as Crashed.
+  // exhausted, settles the job as Crashed. Under drain there is no retry to
+  // back off for: the job goes back to the queue as Requeued -- an attempt
+  // the shutdown interrupted is the drain's fault, not the job's, so it
+  // must not tip the job into Crashed.
   auto handle_transient = [&](Slot& s) {
+    if (draining) {
+      settle(s, JobState::Requeued);
+      return;
+    }
     if (s.record.attempts >= opts.max_attempts) {
       settle(s, JobState::Crashed);
       return;
@@ -149,7 +211,7 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
       handle_transient(s);
       return;
     }
-    pid_t pid = spawn_worker(*s.job, opts, s.record.attempts);
+    pid_t pid = backend.launch(*s.job, s.record.attempts);
     if (pid < 0) {
       s.record.outcomes.push_back("spawn-failed");
       note(s, "fork failed");
@@ -167,27 +229,25 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
       s.kill_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(timeout));
     }
-    by_pid[pid] = static_cast<std::size_t>(s.job - jobs.data());
     ++running;
     note(s, "launched");
   };
 
-  auto reap = [&](Slot& s, int status) {
-    by_pid.erase(s.pid);
+  auto reap = [&](Slot& s, const WorkerPoll& p) {
     s.pid = -1;
     --running;
-    if (WIFSIGNALED(status)) {
+    if (p.kind == WorkerPoll::Kind::Signaled) {
       if (s.killed_by_watchdog) {
         s.record.outcomes.push_back("timeout");
         note(s, "watchdog timeout");
       } else {
-        s.record.outcomes.push_back("signal:" + std::to_string(WTERMSIG(status)));
+        s.record.outcomes.push_back("signal:" + std::to_string(p.value));
         note(s, "died by signal");
       }
       handle_transient(s);
       return;
     }
-    int code = WIFEXITED(status) ? WEXITSTATUS(status) : 127;
+    int code = p.value;
     s.record.outcomes.push_back("exit:" + std::to_string(code));
     switch (code) {
       case 0: settle(s, JobState::Done); return;
@@ -203,6 +263,12 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     }
   };
 
+  // Adaptive poll cadence: a fixed sleep per iteration caps throughput at
+  // workers / sleep regardless of how fast jobs actually finish (with warm
+  // workers a job can complete in under a millisecond). After a productive
+  // iteration -- a reap or a launch -- poll again immediately; only when
+  // nothing moves does the sleep escalate back to the 10 ms idle cadence.
+  unsigned idle_ms = 0;
   while (open_jobs > 0) {
     if (shutting_down() && !draining) {
       draining = true;
@@ -212,25 +278,18 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
       }
     }
     Clock::time_point now = Clock::now();
+    std::size_t settled_before = open_jobs;
+    unsigned launched_before = running;
 
     for (Slot& s : slots) {
       switch (s.phase) {
         case Slot::Phase::Running: {
-          int status = 0;
-          pid_t r = waitpid(s.pid, &status, WNOHANG);
-          if (r == s.pid) {
-            reap(s, status);
-          } else if (r < 0 && errno == ECHILD) {
-            // Should not happen (we only wait on our own pids), but do not
-            // spin on a lost child forever.
-            s.record.outcomes.push_back("signal:9");
-            by_pid.erase(s.pid);
-            s.pid = -1;
-            --running;
-            handle_transient(s);
+          WorkerPoll p = backend.poll(s.pid);
+          if (p.kind != WorkerPoll::Kind::Running) {
+            reap(s, p);
           } else if (s.watchdog && !s.killed_by_watchdog && now >= s.kill_at) {
             s.killed_by_watchdog = true;
-            kill(s.pid, SIGKILL);
+            backend.kill_worker(s.pid);
           }
           break;
         }
@@ -254,8 +313,12 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
       if (open_jobs == 0) break;
     }
 
-    if (open_jobs > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    bool progressed = open_jobs < settled_before || running != launched_before;
+    if (progressed) {
+      idle_ms = 0;
+    } else if (open_jobs > 0) {
+      idle_ms = idle_ms == 0 ? 1 : std::min(idle_ms * 2, 10u);
+      std::this_thread::sleep_for(std::chrono::milliseconds(idle_ms));
     }
   }
 
@@ -263,6 +326,12 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
   m.jobs.reserve(slots.size());
   for (Slot& s : slots) m.jobs.push_back(std::move(s.record));
   return m;
+}
+
+Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts) {
+  std::unique_ptr<WorkerBackend> backend =
+      opts.warm ? make_warm_pool_backend(opts) : make_fork_exec_backend(opts);
+  return run_jobs(jobs, opts, *backend);
 }
 
 }  // namespace tv::serve

@@ -24,7 +24,9 @@
 
 #include <csignal>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <sys/types.h>
 #include <vector>
 
 #include "serve/job.hpp"
@@ -48,17 +50,64 @@ struct SupervisorOptions {
   // Set to nonzero (by a signal handler) to request graceful shutdown.
   volatile std::sig_atomic_t* shutdown = nullptr;
   bool verbose = false;  // per-attempt progress lines on stderr
+  // Keep one warm worker process per distinct design alive across jobs
+  // (serve/warm_pool.hpp) instead of fork/exec-ing scaldtv per attempt.
+  // Crash isolation is unchanged: a worker that exits with anything but a
+  // verdict (0/1/3) is discarded and the next attempt gets a fresh process.
+  bool warm = false;
 };
 
 /// Deterministic backoff delay before `attempt`+1 (attempt is the 1-based
 /// number of the launch that just failed): min(base * 2^(attempt-1), max)
-/// plus jitter in [0, base) derived from (job_id, attempt, seed).
+/// plus jitter in [0, base) derived from (job_id, attempt, seed), the total
+/// clamped to max -- backoff_max_ms is a hard ceiling on the delay, jitter
+/// included.
 std::uint64_t backoff_delay_ms(const SupervisorOptions& opts,
                                const std::string& job_id, int attempt);
 
+/// One poll of a running attempt.
+struct WorkerPoll {
+  enum class Kind {
+    Running,   // still going
+    Exited,    // finished with `value` as its exit code
+    Signaled,  // killed by signal `value` (or lost: treated as SIGKILL)
+  };
+  Kind kind = Kind::Running;
+  int value = 0;
+};
+
+/// How the supervisor obtains worker processes. The retry/watchdog/drain
+/// state machine in run_jobs is backend-agnostic: it launches an attempt,
+/// polls it, and may kill it; the backend decides whether that means a
+/// fresh fork/exec of scaldtv or a command dispatched to a warm resident
+/// worker. launch() returns the pid to poll/kill, or -1 for a spawn
+/// failure (treated as a transient worker loss).
+class WorkerBackend {
+ public:
+  virtual ~WorkerBackend() = default;
+  virtual pid_t launch(const JobSpec& job, int attempt) = 0;
+  virtual WorkerPoll poll(pid_t pid) = 0;
+  virtual void kill_worker(pid_t pid) = 0;
+};
+
+/// The classic backend: one fork/exec of `opts.scaldtv_path` per attempt.
+/// `opts` must outlive the backend.
+std::unique_ptr<WorkerBackend> make_fork_exec_backend(const SupervisorOptions& opts);
+
+/// The fault spec this attempt runs under: the job's own fault wins (gated
+/// on fault_attempts), else the daemon-wide spec, else null. Shared by both
+/// backends so fork/exec (TV_FAULT env) and warm workers (spec sent over
+/// the command pipe) gate injection identically.
+const std::string* effective_fault_spec(const JobSpec& job,
+                                        const SupervisorOptions& opts,
+                                        int attempt);
+
 /// Runs every job to a terminal state (or Requeued under shutdown) and
 /// returns the manifest. Jobs are launched in input order; results are
-/// keyed by id, so output order does not depend on scheduling.
+/// keyed by id, so output order does not depend on scheduling. The
+/// two-argument form picks the backend from opts.warm.
 Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts);
+Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts,
+                  WorkerBackend& backend);
 
 }  // namespace tv::serve

@@ -1,0 +1,397 @@
+#include "serve/warm_pool.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiled.hpp"
+#include "core/verifier.hpp"
+#include "diag/render.hpp"
+#include "hdl/elaborate.hpp"
+#include "hdl/stdlib.hpp"
+#include "util/crash.hpp"
+#include "util/fault.hpp"
+
+namespace tv::serve {
+
+namespace {
+
+/// Reads one newline-terminated line from `fd` into `line` (newline
+/// stripped), buffering extra bytes in `buf`. False on EOF or error.
+bool read_line(int fd, std::string& buf, std::string& line) {
+  for (;;) {
+    std::size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf, 0, nl);
+      buf.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[512];
+    ssize_t n = read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_all(int fd, const std::string& s) {
+  std::size_t off = 0;
+  while (off < s.size()) {
+    ssize_t n = write(fd, s.data() + off, s.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// One resident worker as the parent sees it.
+struct WarmWorker {
+  pid_t pid = -1;
+  int cmd_fd = -1;   // parent writes run commands
+  int resp_fd = -1;  // parent reads done lines (nonblocking)
+  std::string key;   // which pool it belongs to
+  std::string resp_buf;
+};
+
+class WarmPoolBackend : public WorkerBackend {
+ public:
+  explicit WarmPoolBackend(const SupervisorOptions& opts) : opts_(opts) {
+    // A worker can die between our liveness probe and the command write;
+    // the write must fail with EPIPE (a transient launch failure), not
+    // kill the daemon.
+    signal(SIGPIPE, SIG_IGN);
+  }
+
+  ~WarmPoolBackend() override {
+    for (auto& [pid, w] : running_) destroy(w);
+    for (auto& [key, pool] : idle_) {
+      for (WarmWorker& w : pool) destroy(w);
+    }
+  }
+
+  pid_t launch(const JobSpec& job, int attempt) override {
+    const std::string* spec = effective_fault_spec(job, opts_, attempt);
+    std::string key = pool_key(job, spec);
+    WarmWorker w;
+    auto it = idle_.find(key);
+    if (it != idle_.end()) {
+      std::vector<WarmWorker>& pool = it->second;
+      while (!pool.empty() && w.pid < 0) {
+        WarmWorker cand = std::move(pool.back());
+        pool.pop_back();
+        int status = 0;
+        if (waitpid(cand.pid, &status, WNOHANG) == 0) {
+          w = std::move(cand);  // still alive: reuse it warm
+        } else {
+          close_fds(cand);  // died while idle (already reaped): discard
+        }
+      }
+    }
+    if (w.pid < 0 && !spawn(job, key, w)) return -1;
+
+    std::string cmd = "run " + format_double(job.time_limit) + ' ' +
+                      std::to_string(job.jobs) + ' ' +
+                      (spec && !spec->empty() ? *spec : std::string("-")) + '\n';
+    w.resp_buf.clear();
+    if (!write_all(w.cmd_fd, cmd)) {
+      destroy(w);
+      return -1;
+    }
+    pid_t pid = w.pid;
+    running_.emplace(pid, std::move(w));
+    return pid;
+  }
+
+  WorkerPoll poll(pid_t pid) override {
+    WorkerPoll p;
+    auto it = running_.find(pid);
+    if (it == running_.end()) {
+      p.kind = WorkerPoll::Kind::Signaled;
+      p.value = SIGKILL;
+      return p;
+    }
+    WarmWorker& w = it->second;
+
+    // Drain whatever the worker has written so far.
+    for (;;) {
+      char chunk[256];
+      ssize_t n = read(w.resp_fd, chunk, sizeof chunk);
+      if (n > 0) {
+        w.resp_buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // no data yet (EAGAIN), EOF, or error: fall through
+    }
+
+    std::size_t nl = w.resp_buf.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = w.resp_buf.substr(0, nl);
+      int code = -1;
+      WarmWorker done = std::move(w);
+      running_.erase(it);
+      if (std::sscanf(line.c_str(), "done %d", &code) == 1 && code >= 0) {
+        p.kind = WorkerPoll::Kind::Exited;
+        p.value = code;
+        done.resp_buf.clear();
+        if (code == 0 || code == 1 || code == 3) {
+          // A verdict: the worker is healthy, keep it warm.
+          idle_[done.key].push_back(std::move(done));
+        } else {
+          // Transient failure or input error: the worker's state is
+          // suspect, so the next attempt gets a fresh process.
+          destroy(done);
+        }
+        return p;
+      }
+      // Protocol violation: drop the worker and report a lost attempt.
+      destroy(done);
+      p.kind = WorkerPoll::Kind::Signaled;
+      p.value = SIGKILL;
+      return p;
+    }
+
+    int status = 0;
+    pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == 0) return p;  // still running
+    // The worker died without answering (crash, watchdog SIGKILL, or a
+    // clean exit that skipped the protocol -- equally useless to us).
+    WarmWorker dead = std::move(w);
+    running_.erase(it);
+    close_fds(dead);
+    dead.pid = -1;
+    p.kind = WorkerPoll::Kind::Signaled;
+    p.value = (r == pid && WIFSIGNALED(status)) ? WTERMSIG(status) : SIGKILL;
+    return p;
+  }
+
+  void kill_worker(pid_t pid) override {
+    if (running_.find(pid) != running_.end()) kill(pid, SIGKILL);
+  }
+
+ private:
+  // Idle workers are interchangeable only between jobs that would drive an
+  // identical process: same design, same front-end mode, and -- for chaos
+  // testing -- the same effective fault spec. Keying on the fault spec keeps
+  // load-time fault sites (io.read) honest: a faulted job never inherits a
+  // worker whose front end already ran clean, so injected faults fire
+  // exactly as they do under fork/exec. Production jobs carry no fault spec
+  // and share freely.
+  static std::string pool_key(const JobSpec& job, const std::string* fault) {
+    std::string key = job.design;
+    key += job.compiled ? "|compiled" : "|source";
+    key += job.stdlib ? "+stdlib" : "";
+    if (fault != nullptr && !fault->empty()) key += "|fault=" + *fault;
+    return key;
+  }
+
+  bool spawn(const JobSpec& job, const std::string& key, WarmWorker& w) {
+    int cmd_pipe[2] = {-1, -1};
+    int resp_pipe[2] = {-1, -1};
+    if (pipe(cmd_pipe) != 0) return false;
+    if (pipe(resp_pipe) != 0) {
+      close(cmd_pipe[0]);
+      close(cmd_pipe[1]);
+      return false;
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(cmd_pipe[0]);
+      close(cmd_pipe[1]);
+      close(resp_pipe[0]);
+      close(resp_pipe[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: becomes a resident worker; never returns. Like fork/exec
+      // workers, stdout goes to /dev/null (the manifest is the daemon's
+      // output) and stderr passes through for crash reports.
+      close(cmd_pipe[1]);
+      close(resp_pipe[0]);
+      signal(SIGTERM, SIG_DFL);
+      signal(SIGINT, SIG_DFL);
+      signal(SIGPIPE, SIG_DFL);
+      int devnull = open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        dup2(devnull, STDOUT_FILENO);
+        if (devnull > STDERR_FILENO) close(devnull);
+      }
+      _exit(warm_worker_main(job.design, job.stdlib, job.compiled,
+                             cmd_pipe[0], resp_pipe[1]));
+    }
+    close(cmd_pipe[0]);
+    close(resp_pipe[1]);
+    int flags = fcntl(resp_pipe[0], F_GETFL, 0);
+    fcntl(resp_pipe[0], F_SETFL, flags | O_NONBLOCK);
+    w.pid = pid;
+    w.cmd_fd = cmd_pipe[1];
+    w.resp_fd = resp_pipe[0];
+    w.key = key;
+    return true;
+  }
+
+  static void close_fds(WarmWorker& w) {
+    if (w.cmd_fd >= 0) close(w.cmd_fd);
+    if (w.resp_fd >= 0) close(w.resp_fd);
+    w.cmd_fd = w.resp_fd = -1;
+  }
+
+  static void destroy(WarmWorker& w) {
+    close_fds(w);
+    if (w.pid >= 0) {
+      kill(w.pid, SIGKILL);
+      int status = 0;
+      waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+  }
+
+  const SupervisorOptions& opts_;
+  std::unordered_map<pid_t, WarmWorker> running_;
+  std::unordered_map<std::string, std::vector<WarmWorker>> idle_;
+};
+
+}  // namespace
+
+std::unique_ptr<WorkerBackend> make_warm_pool_backend(const SupervisorOptions& opts) {
+  return std::make_unique<WarmPoolBackend>(opts);
+}
+
+int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
+                     int cmd_fd, int resp_fd) {
+  crash::install_handler();
+  crash::set_context(design.c_str(), "warm worker idle");
+  fault::configure("");  // never inherit the daemon's own fault plan
+
+  std::optional<hdl::ElaboratedDesign> loaded;
+  std::optional<CompiledDesign> seeds;  // pre-interned waveform arena
+  std::unique_ptr<Verifier> verifier;
+
+  auto dump_diags = [](const diag::DiagnosticEngine& diags) {
+    if (!diags.diagnostics().empty()) {
+      std::fputs(diag::render_text(diags).c_str(), stderr);
+    }
+  };
+
+  // Loads the design on first use. Returns 0 or the exit code scaldtv
+  // would have produced for the same failure.
+  auto ensure_loaded = [&]() -> int {
+    if (loaded) return 0;
+    diag::DiagnosticEngine diags;
+    if (fault::should_fail("io.read")) {
+      std::fprintf(stderr, "scaldtvd-worker: injected read failure on %s\n",
+                   design.c_str());
+      return 5;
+    }
+    if (compiled) {
+      crash::set_context(design.c_str(), "load compiled design");
+      std::optional<CompiledDesign> c = load_compiled_file(design, diags);
+      if (!c) {
+        dump_diags(diags);
+        return 2;
+      }
+      seeds = std::move(c);
+      hdl::ElaboratedDesign d;
+      d.name = seeds->name;
+      d.netlist = std::move(seeds->netlist);
+      d.options = seeds->options;
+      d.cases = std::move(seeds->cases);
+      d.summary.macro_instances = seeds->summary.macro_instances;
+      d.summary.primitives = seeds->summary.primitives;
+      d.summary.unique_signals = seeds->summary.unique_signals;
+      d.summary.total_bits = seeds->summary.total_bits;
+      d.summary.prims_by_kind = seeds->summary.prims_by_kind;
+      loaded = std::move(d);
+    } else {
+      std::ifstream in(design);
+      if (!in) {
+        std::fprintf(stderr, "scaldtvd-worker: cannot open %s\n", design.c_str());
+        return 2;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      crash::set_context(design.c_str(), "parse + macro expansion");
+      if (stdlib) {
+        loaded = hdl::elaborate_sources(
+            {{"<stdlib>", hdl::std_chip_library()}, {design, buf.str()}}, diags);
+      } else {
+        diags.set_current_file(design);
+        loaded = hdl::elaborate_source(buf.str(), diags);
+      }
+      if (!loaded) {
+        dump_diags(diags);
+        return 2;
+      }
+    }
+    return 0;
+  };
+
+  auto run_once = [&](double time_limit, unsigned jobs) -> int {
+    try {
+      int rc = ensure_loaded();
+      if (rc != 0) return rc;
+      if (!verifier) {
+        verifier = std::make_unique<Verifier>(loaded->netlist, loaded->options);
+        if (seeds && verifier->evaluator().intern_context()) {
+          preintern_seeds(*seeds, verifier->evaluator().intern_context()->table);
+        }
+      }
+      verifier->evaluator().set_time_limit(time_limit);
+      verifier->evaluator().set_jobs(jobs == 0 ? 1 : jobs);
+      crash::set_context(design.c_str(), "verification (warm)");
+      VerifyResult result = verifier->verify(loaded->cases);
+      crash::set_context(design.c_str(), "warm worker idle");
+      return diag::exit_code(false, result.partial,
+                             result.total_violations() != 0);
+    } catch (const fault::InjectedFault& e) {
+      std::fprintf(stderr, "scaldtvd-worker: transient failure: %s\n", e.what());
+      return 5;
+    } catch (const std::bad_alloc&) {
+      std::fprintf(stderr, "scaldtvd-worker: transient failure: out of memory\n");
+      return 5;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "scaldtvd-worker: %s\n", e.what());
+      return 2;
+    }
+  };
+
+  std::string buf, line;
+  for (;;) {
+    if (!read_line(cmd_fd, buf, line)) return 0;  // parent closed: retire
+    std::istringstream is(line);
+    std::string verb, tl_text, jobs_text, fault_text;
+    is >> verb >> tl_text >> jobs_text >> fault_text;
+    if (verb != "run" || tl_text.empty() || jobs_text.empty() ||
+        fault_text.empty()) {
+      return 1;  // protocol error: retire loudly (parent treats as lost)
+    }
+    double time_limit = std::strtod(tl_text.c_str(), nullptr);
+    unsigned jobs = static_cast<unsigned>(std::strtoul(jobs_text.c_str(), nullptr, 10));
+    // Reconfigure fault injection per run so @N counters behave exactly as
+    // in a freshly exec'd worker.
+    fault::configure(fault_text == "-" ? "" : fault_text);
+    int code = run_once(time_limit, jobs);
+    if (!write_all(resp_fd, "done " + std::to_string(code) + '\n')) return 0;
+  }
+}
+
+}  // namespace tv::serve

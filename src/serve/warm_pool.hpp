@@ -1,0 +1,56 @@
+// Warm in-process worker pool for scaldtvd.
+//
+// The fork/exec backend pays the full cold-start price on every attempt:
+// process creation, dynamic loading, HDL parse + macro expansion (or
+// artifact load), and an empty waveform-intern table. The warm pool keeps
+// one resident worker process per distinct design alive across jobs: the
+// worker loads the design once, constructs one long-lived Verifier (whose
+// WaveformTable and EvalMemo stay populated), and then serves "run"
+// commands over a pipe, answering each with the exit code scaldtv would
+// have produced.
+//
+// Protocol (newline-delimited text, parent -> worker on the command pipe,
+// worker -> parent on the response pipe):
+//
+//   run <time_limit> <jobs> <fault-spec|->     one verification job
+//   done <code>                                its scaldtv-compatible exit code
+//
+// Crash isolation is preserved, not traded away:
+//   * every worker is still a separate process -- a crashing or hanging
+//     design kills its worker, never the daemon;
+//   * the supervisor's watchdog SIGKILLs the worker pid exactly as it
+//     would a fork/exec worker; the backend reports the signal death and
+//     the next attempt gets a fresh process;
+//   * a worker is returned to the idle pool only after answering with a
+//     verdict (exit 0/1/3). Any other response or death recycles it, so
+//     retry semantics ("attempt 1 dies, attempt 2 runs clean") hold with
+//     identical manifests.
+//
+// Fault injection rides the protocol instead of TV_FAULT: the parent
+// computes the same effective per-attempt spec as the fork/exec backend
+// (effective_fault_spec) and sends it with each run command; the worker
+// reconfigures its fault plan per run, so @N counters count within one
+// job exactly as they do in a freshly exec'd scaldtv.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/supervisor.hpp"
+
+namespace tv::serve {
+
+/// Builds the warm-pool backend. `opts` must outlive it. Destroying the
+/// backend SIGKILLs and reaps every resident worker. The constructor
+/// ignores SIGPIPE process-wide: writing a command to a worker that just
+/// died must surface as a failed launch, not kill the daemon.
+std::unique_ptr<WorkerBackend> make_warm_pool_backend(const SupervisorOptions& opts);
+
+/// Body of a resident worker (the child side of the protocol). Loads
+/// `design` lazily on the first run command, keeps the Verifier warm, and
+/// loops until the command pipe reaches EOF. Returns the worker's final
+/// exit status. Exposed for tests.
+int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
+                     int cmd_fd, int resp_fd);
+
+}  // namespace tv::serve

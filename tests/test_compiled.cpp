@@ -1,0 +1,290 @@
+// Compiled-design artifact (core/compiled.hpp) regression suite.
+//
+// Round-trip property: every example design, serialized through the
+// scaldtvc byte format and reloaded, must verify bit-identically to the
+// in-memory original -- same waveforms, same event counts, same violation
+// reports -- and re-serializing the loaded design must reproduce the exact
+// artifact bytes. Rejection matrix: a truncated, corrupted, version-skewed,
+// wrong-magic, or wrong-endian artifact is refused with exactly one
+// diagnostic carrying the right TV-E30x code, and `scaldtv --compiled` on
+// such a file exits 2 (input error, never retryable).
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiled.hpp"
+#include "core/verifier.hpp"
+#include "core/wave_table.hpp"
+#include "diag/diagnostic.hpp"
+#include "example_designs.hpp"
+
+namespace {
+
+using namespace tv;
+
+std::string render_report(Netlist& nl, const VerifierOptions& opts,
+                          const std::vector<CaseSpec>& cases) {
+  Verifier v(nl, opts);
+  VerifyResult r = v.verify(cases);
+  std::ostringstream os;
+  os << "signals " << nl.num_signals() << "  primitives " << nl.num_prims() << "\n";
+  os << "base events " << r.base_events << "  converged "
+     << (r.converged ? "yes" : "no") << "  partial " << (r.partial ? "yes" : "no")
+     << "\n\n";
+  os << timing_summary(nl) << "\n";
+  os << violations_report(r.violations);
+  for (const auto& c : r.cases) {
+    os << "\n=== case \"" << c.name << "\" (" << c.events << " events, converged "
+       << (c.converged ? "yes" : "no") << ") ===\n";
+    os << violations_report(c.violations);
+  }
+  return os.str();
+}
+
+// Compiles a pristine copy of example `index` into artifact bytes.
+std::string serialize_example(std::size_t index, CompiledDesign* out = nullptr) {
+  examples::ExampleDesign d = examples::all_example_designs()[index];
+  CompiledSummary summary;
+  summary.primitives = d.netlist->num_prims();
+  summary.unique_signals = d.netlist->num_signals();
+  CompiledDesign design =
+      compile_design(d.name, *d.netlist, d.options, d.cases, summary);
+  std::string bytes = serialize_compiled(design);
+  if (out != nullptr) *out = std::move(design);
+  return bytes;
+}
+
+TEST(CompiledRoundTrip, EveryExampleVerifiesIdentically) {
+  const std::size_t n = examples::all_example_designs().size();
+  ASSERT_GE(n, 5u);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Fresh build for the reference run: verification mutates the netlist's
+    // baseline waveforms, so the compile below uses its own copy.
+    examples::ExampleDesign ref = examples::all_example_designs()[i];
+    std::string source_report =
+        render_report(*ref.netlist, ref.options, ref.cases);
+
+    std::string bytes = serialize_example(i);
+    diag::DiagnosticEngine diags;
+    std::optional<CompiledDesign> loaded = load_compiled(bytes, ref.name, diags);
+    ASSERT_TRUE(loaded.has_value()) << ref.name;
+    EXPECT_FALSE(diags.has_errors()) << ref.name;
+
+    std::string compiled_report =
+        render_report(loaded->netlist, loaded->options, loaded->cases);
+    EXPECT_EQ(source_report, compiled_report)
+        << ref.name << ": compiled path must be byte-identical to source path";
+  }
+}
+
+TEST(CompiledRoundTrip, ReserializingALoadedDesignReproducesTheBytes) {
+  for (std::size_t i = 0; i < examples::all_example_designs().size(); ++i) {
+    std::string bytes = serialize_example(i);
+    diag::DiagnosticEngine diags;
+    std::optional<CompiledDesign> loaded = load_compiled(bytes, "rt", diags);
+    ASSERT_TRUE(loaded.has_value()) << i;
+    std::string again = serialize_compiled(*loaded);
+    EXPECT_EQ(bytes, again)
+        << "example " << i << ": serialize(load(bytes)) must equal bytes";
+  }
+}
+
+TEST(CompiledRoundTrip, SerializationIsDeterministic) {
+  CompiledDesign a, b;
+  std::string first = serialize_example(0, &a);
+  std::string second = serialize_example(0, &b);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(a.content_hash, b.content_hash);
+  EXPECT_NE(a.content_hash, 0u);
+}
+
+TEST(CompiledRoundTrip, PreinternedSeedsChangeNoVerdicts) {
+  CompiledDesign design;
+  std::string bytes = serialize_example(0, &design);
+  ASSERT_FALSE(design.seed_arena.empty());
+  ASSERT_EQ(design.seed_refs.size(), design.netlist.num_signals());
+
+  WaveformTable table;
+  std::size_t interned = preintern_seeds(design, table);
+  EXPECT_EQ(interned, design.seed_arena.size());
+  EXPECT_EQ(table.size(), design.seed_arena.size());
+  // Warming is idempotent: the arena holds unique canonical waveforms, so a
+  // second pass interns nothing new.
+  preintern_seeds(design, table);
+  EXPECT_EQ(table.size(), design.seed_arena.size());
+}
+
+// --- rejection matrix -------------------------------------------------------
+
+// Header layout (compiled.cpp): magic[8], endian u32, version u32, hash u64,
+// payload size u64, section count u32, reserved u32 -- 40 bytes.
+constexpr std::size_t kHdrEndianOff = 8;
+constexpr std::size_t kHdrVersionOff = 12;
+constexpr std::size_t kHdrHashOff = 16;
+constexpr std::size_t kHdrSize = 40;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void patch_u64(std::string& bytes, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+// The artifact must be rejected with exactly one diagnostic of `code`.
+void expect_reject(const std::string& bytes, const char* code, const char* what) {
+  diag::DiagnosticEngine diags;
+  std::optional<CompiledDesign> loaded = load_compiled(bytes, "corrupt", diags);
+  EXPECT_FALSE(loaded.has_value()) << what;
+  ASSERT_EQ(diags.error_count(), 1u) << what;
+  EXPECT_EQ(diags.diagnostics().at(0).code, code) << what;
+}
+
+TEST(CompiledReject, TruncatedHeader) {
+  std::string bytes = serialize_example(0);
+  expect_reject(bytes.substr(0, 10), diag::kErrArtifactTruncated, "header stub");
+  expect_reject("", diag::kErrArtifactTruncated, "empty file");
+}
+
+TEST(CompiledReject, BadMagic) {
+  std::string bytes = serialize_example(0);
+  bytes[0] = 'X';
+  expect_reject(bytes, diag::kErrArtifactMagic, "flipped magic byte");
+  expect_reject("DESIGN design; END DESIGN;\n" + std::string(kHdrSize, ' '),
+                diag::kErrArtifactMagic, "SHDL source fed as an artifact");
+}
+
+TEST(CompiledReject, OppositeByteOrder) {
+  std::string bytes = serialize_example(0);
+  // A big-endian writer would lay the 0x01020304 tag down reversed.
+  std::swap(bytes[kHdrEndianOff], bytes[kHdrEndianOff + 3]);
+  std::swap(bytes[kHdrEndianOff + 1], bytes[kHdrEndianOff + 2]);
+  expect_reject(bytes, diag::kErrArtifactEndian, "byte-swapped endian tag");
+}
+
+TEST(CompiledReject, GarbageEndianTag) {
+  std::string bytes = serialize_example(0);
+  bytes[kHdrEndianOff] = '\x7f';
+  expect_reject(bytes, diag::kErrArtifactMalformed, "garbage endian tag");
+}
+
+TEST(CompiledReject, VersionSkew) {
+  std::string bytes = serialize_example(0);
+  bytes[kHdrVersionOff] = static_cast<char>(kCompiledFormatVersion + 1);
+  diag::DiagnosticEngine diags;
+  EXPECT_FALSE(load_compiled(bytes, "skewed", diags).has_value());
+  ASSERT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().at(0).code, diag::kErrArtifactVersion);
+  // The message tells the user the fix: recompile.
+  EXPECT_NE(diags.diagnostics().at(0).message.find("recompile"), std::string::npos);
+}
+
+TEST(CompiledReject, TruncatedPayload) {
+  std::string bytes = serialize_example(0);
+  expect_reject(bytes.substr(0, bytes.size() - 1), diag::kErrArtifactTruncated,
+                "last byte dropped");
+  expect_reject(bytes.substr(0, kHdrSize + 3), diag::kErrArtifactTruncated,
+                "payload cut mid-section-table");
+}
+
+TEST(CompiledReject, TrailingGarbage) {
+  std::string bytes = serialize_example(0);
+  expect_reject(bytes + std::string(2, '\0'), diag::kErrArtifactTruncated,
+                "trailing bytes");
+}
+
+TEST(CompiledReject, CorruptedPayloadFailsTheContentHash) {
+  std::string bytes = serialize_example(0);
+  bytes[bytes.size() / 2] ^= 0x01;
+  expect_reject(bytes, diag::kErrArtifactHash, "payload bit flip");
+}
+
+TEST(CompiledReject, MalformedSectionTable) {
+  // Corrupt the first section id *and* re-stamp a matching content hash: the
+  // damage must still be caught, by structural validation, not only by the
+  // hash check.
+  std::string bytes = serialize_example(0);
+  bytes[kHdrSize] ^= 0x40;
+  patch_u64(bytes, kHdrHashOff, fnv1a(bytes.substr(kHdrSize)));
+  expect_reject(bytes, diag::kErrArtifactMalformed, "bad section id, fixed hash");
+}
+
+TEST(CompiledReject, MissingFileReportsIo) {
+  diag::DiagnosticEngine diags;
+  EXPECT_FALSE(
+      load_compiled_file("/nonexistent/design.tvc", diags).has_value());
+  ASSERT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().at(0).code, diag::kErrArtifactIo);
+}
+
+// --- scaldtv --compiled exit codes (subprocess) -----------------------------
+
+#ifdef TV_SCALDTV_PATH
+class TempArtifact {
+ public:
+  explicit TempArtifact(const std::string& bytes) {
+    char tmpl[] = "/tmp/tv_compiled_test_XXXXXX";
+    int fd = mkstemp(tmpl);
+    path_ = tmpl;
+    std::ofstream out(path_, std::ios::binary);
+    out << bytes;
+    out.close();
+    if (fd >= 0) close(fd);
+  }
+  ~TempArtifact() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+int run_scaldtv(const std::string& args) {
+  std::string cmd = std::string(TV_SCALDTV_PATH) + " " + args + " >/dev/null 2>&1";
+  return WEXITSTATUS(std::system(cmd.c_str()));
+}
+
+TEST(CompiledExitCodes, GoodArtifactReproducesTheSourceVerdict) {
+  // quickstart (example 0) carries one deliberate set-up violation: exit 1,
+  // from the compiled path exactly as from source.
+  TempArtifact good(serialize_example(0));
+  EXPECT_EQ(run_scaldtv("--compiled " + good.path()), 1);
+}
+
+TEST(CompiledExitCodes, CorruptedArtifactExitsTwo) {
+  std::string bytes = serialize_example(0);
+  bytes[bytes.size() / 2] ^= 0x01;
+  TempArtifact corrupt(bytes);
+  EXPECT_EQ(run_scaldtv("--compiled " + corrupt.path()), 2);
+}
+
+TEST(CompiledExitCodes, TruncatedArtifactExitsTwo) {
+  TempArtifact stub(serialize_example(0).substr(0, 16));
+  EXPECT_EQ(run_scaldtv("--compiled " + stub.path()), 2);
+}
+
+TEST(CompiledExitCodes, VersionSkewExitsTwo) {
+  std::string bytes = serialize_example(0);
+  bytes[kHdrVersionOff] = static_cast<char>(kCompiledFormatVersion + 1);
+  TempArtifact skewed(bytes);
+  EXPECT_EQ(run_scaldtv("--compiled " + skewed.path()), 2);
+}
+
+TEST(CompiledExitCodes, MissingArtifactExitsTwo) {
+  EXPECT_EQ(run_scaldtv("--compiled /nonexistent/design.tvc"), 2);
+}
+#endif  // TV_SCALDTV_PATH
+
+}  // namespace

@@ -107,6 +107,62 @@ TEST(ConcurrentDegradation, DegradationRecordsAreByteStableAcrossRuns) {
   EXPECT_EQ(first, sequential);
 }
 
+TEST(ConcurrentDegradation, BatchFallbackReportsEachDegradationExactlyOnce) {
+  // Regression: when the lockstep batch engine aborts mid-sweep (the tiny
+  // intern table fills and a baseline input can no longer be interned) and
+  // the cases re-run individually, the abandoned batch lanes must not leave
+  // behind their own degradation records -- the fallback run must be
+  // byte-identical to a run with the batch engine disabled, TV-W203 records
+  // included, each reported exactly once.
+  ChainRig on = build_chain(8);
+  std::vector<CaseSpec> cases = chain_cases(on);
+  on.opts.max_waveforms_per_shard = 1;
+  on.opts.batch_eval = true;
+  Verifier v_on(on.nl, on.opts);
+  VerifyResult r_on = v_on.verify(cases);
+
+  ChainRig off = build_chain(8);
+  off.opts.max_waveforms_per_shard = 1;
+  off.opts.batch_eval = false;
+  Verifier v_off(off.nl, off.opts);
+  VerifyResult r_off = v_off.verify(chain_cases(off));
+
+  std::vector<std::string> batch = degradation_lines(r_on);
+  std::vector<std::string> per_case = degradation_lines(r_off);
+  ASSERT_FALSE(per_case.empty());
+  EXPECT_EQ(batch, per_case);
+  EXPECT_EQ(r_on.partial, r_off.partial);
+  ASSERT_EQ(r_on.cases.size(), r_off.cases.size());
+  for (std::size_t i = 0; i < r_on.cases.size(); ++i) {
+    EXPECT_EQ(r_on.cases[i].degraded, r_off.cases[i].degraded) << i;
+    EXPECT_EQ(r_on.cases[i].violations.size(), r_off.cases[i].violations.size()) << i;
+  }
+}
+
+TEST(ConcurrentDegradation, ExpiredDeadlineDoesNotLeakIntoTheNextRun) {
+  // The warm-worker pattern: one long-lived Verifier, many verify() calls
+  // with per-job time limits. A run that exhausts its budget (TV-W202,
+  // partial) must not leave its expired deadline armed -- the next run with
+  // a fresh generous limit completes clean instead of instantly degrading.
+  ChainRig r = build_chain(8);
+  std::vector<CaseSpec> cases = chain_cases(r);
+  r.opts.time_limit_seconds = 1e-12;  // already expired at the first poll
+  Verifier v(r.nl, r.opts);
+  VerifyResult limited = v.verify(cases);
+  EXPECT_TRUE(limited.partial);
+
+  v.evaluator().set_time_limit(3600.0);
+  VerifyResult fresh = v.verify(cases);
+  EXPECT_FALSE(fresh.partial)
+      << "the expired deadline of the previous run leaked into this one";
+  EXPECT_EQ(fresh.cases.size(), cases.size());
+
+  // Re-running with another tiny budget degrades again: each verify() arms
+  // its own deadline from the configured limit, none inherits a stale one.
+  v.evaluator().set_time_limit(1e-12);
+  EXPECT_TRUE(v.verify(cases).partial);
+}
+
 TEST(ConcurrentDegradation, ViolationReportsMatchDespiteDegradation) {
   // The degraded runs must still produce deterministic violation reports
   // identical across job counts (the tier-1 invariant, under pressure).

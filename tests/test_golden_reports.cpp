@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/compiled.hpp"
 #include "core/verifier.hpp"
 #include "example_designs.hpp"
 #include "hdl/elaborate.hpp"
@@ -121,6 +122,17 @@ void check_shdl(const std::string& name, bool with_stdlib) {
       render_report(per_case.netlist, per_case.options, per_case.cases, true, false);
   EXPECT_EQ(with_interning, without_batch)
       << name << ": batch and per-case engines must render identically";
+  hdl::ElaboratedDesign src = elaborate();
+  CompiledDesign compiled =
+      compile_design(name, src.netlist, src.options, src.cases, {});
+  const std::string bytes = serialize_compiled(compiled);
+  diag::DiagnosticEngine diags;
+  std::optional<CompiledDesign> loaded = load_compiled(bytes, name + ".tvc", diags);
+  ASSERT_TRUE(loaded.has_value()) << name << ": artifact round-trip failed";
+  std::string via_artifact =
+      render_report(loaded->netlist, loaded->options, loaded->cases, true);
+  EXPECT_EQ(with_interning, via_artifact)
+      << name << ": the compiled-artifact path must render identically";
   compare_to_golden(name, with_interning);
 }
 

@@ -14,6 +14,8 @@
 #include <fstream>
 #include <thread>
 
+#include "core/compiled.hpp"
+#include "example_designs.hpp"
 #include "util/fault.hpp"
 
 namespace tv::serve {
@@ -102,6 +104,19 @@ TEST(JobParse, WorkerArgsReflectTheSpec) {
                                                       "0.25", "--jobs", "2", "d.shdl"}));
 }
 
+TEST(JobParse, CompiledDesignsFlowThroughToTheWorker) {
+  auto job = parse_job_line(
+      R"({"id": "c", "design": "d.tvc", "compiled": true})", nullptr);
+  ASSERT_TRUE(job);
+  EXPECT_TRUE(job->compiled);
+  EXPECT_EQ(worker_args(*job), (std::vector<std::string>{"--compiled", "d.tvc"}));
+
+  std::string error;
+  EXPECT_FALSE(
+      parse_job_line(R"({"id": "c", "design": "d", "compiled": 1})", &error));
+  EXPECT_NE(error.find("compiled"), std::string::npos);
+}
+
 // ----------------------------------------------------------------- manifest
 
 TEST(Manifest, JsonIsSortedFixedOrderAndStable) {
@@ -159,6 +174,47 @@ TEST(Backoff, DeterministicAndExponentialWithCap) {
   SupervisorOptions other = opts;
   other.jitter_seed = 8;
   EXPECT_NE(backoff_delay_ms(opts, "job-1", 1), backoff_delay_ms(other, "job-1", 1));
+}
+
+TEST(Backoff, TotalDelayNeverExceedsTheCap) {
+  // Regression: jitter used to be added *after* the cap was applied, so any
+  // attempt whose exponential base reached backoff_max_ms could sleep up to
+  // base-1 ms past the configured ceiling. The cap bounds the total.
+  SupervisorOptions opts;
+  opts.backoff_base_ms = 100;
+  opts.backoff_max_ms = 500;
+  for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{0xdeadbeef}}) {
+    opts.jitter_seed = seed;
+    for (int attempt = 1; attempt <= 64; ++attempt) {
+      for (const char* id : {"a", "job-1", "a-much-longer-job-identifier"}) {
+        EXPECT_LE(backoff_delay_ms(opts, id, attempt), opts.backoff_max_ms)
+            << id << " attempt " << attempt << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Backoff, SurvivesAdversarialBaseAndHugeAttempts) {
+  // Base above the cap: the cap still wins, jitter included.
+  SupervisorOptions opts;
+  opts.backoff_base_ms = 900;
+  opts.backoff_max_ms = 500;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(backoff_delay_ms(opts, "j", attempt), 500u) << attempt;
+  }
+
+  // Overflow hardening: doubling a near-2^63 base across a deep attempt
+  // count must saturate at the cap, never wrap around to a tiny delay.
+  opts.backoff_base_ms = (~std::uint64_t{0} / 2) + 3;
+  opts.backoff_max_ms = ~std::uint64_t{0};
+  std::uint64_t d = backoff_delay_ms(opts, "j", 64);
+  EXPECT_GE(d, opts.backoff_base_ms);
+  EXPECT_LE(d, opts.backoff_max_ms);
+
+  // Degenerate cap: a zero ceiling means no delay at all.
+  opts.backoff_base_ms = 100;
+  opts.backoff_max_ms = 0;
+  EXPECT_EQ(backoff_delay_ms(opts, "j", 5), 0u);
 }
 
 // ------------------------------------------------- supervisor (real worker)
@@ -330,6 +386,198 @@ TEST_F(SupervisorTest, ManifestIsByteStableAcrossIdenticalRuns) {
   std::string first = run_jobs(batch, fast_opts()).to_json();
   std::string second = run_jobs(batch, fast_opts()).to_json();
   EXPECT_EQ(first, second);
+}
+
+// ------------------------------------------- drain-vs-retry regressions
+
+TEST_F(SupervisorTest, DrainDuringFinalAttemptRequeuesInsteadOfCrashing) {
+  // Regression: a worker reaped by the drain watchdog on the job's *last*
+  // allowed attempt used to fall through to the retries-exhausted branch
+  // and settle "crashed" (exit 4). Draining wins: the job is requeued with
+  // the interrupted attempt on record but not held against it.
+  volatile std::sig_atomic_t shutdown = 0;
+  SupervisorOptions opts = fast_opts();
+  opts.workers = 1;
+  opts.max_attempts = 1;
+  opts.default_timeout = 0.5;
+  opts.shutdown = &shutdown;
+  JobSpec hung = job("hung", "/designs/regfile_example.shdl");
+  hung.fault = "evaluator.eval@1:hang";
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    shutdown = 1;
+  });
+  Manifest m = run_jobs({hung}, opts);
+  trigger.join();
+  const JobRecord* r = find(m, "hung");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Requeued);
+  EXPECT_EQ(r->attempts, 1);
+  ASSERT_EQ(r->outcomes.size(), 1u);
+  EXPECT_EQ(r->outcomes[0], "timeout");
+  EXPECT_EQ(m.exit_code(), 0);
+}
+
+TEST_F(SupervisorTest, DrainDuringRetryBackoffRequeuesWithoutBurningAnAttempt) {
+  // Shutdown lands while the job sits in its retry-backoff window: the
+  // pending retry is abandoned, the manifest records "requeued" (never
+  // "crashed"), and only the attempt that actually ran is counted.
+  volatile std::sig_atomic_t shutdown = 0;
+  SupervisorOptions opts = fast_opts();
+  opts.workers = 1;
+  opts.backoff_base_ms = 2000;
+  opts.backoff_max_ms = 2000;
+  opts.shutdown = &shutdown;
+  JobSpec j = job("flappy", "/designs/regfile_example.shdl");
+  j.fault = "evaluator.eval@1:abort";  // attempt 1 crashes -> backoff
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    shutdown = 1;
+  });
+  Manifest m = run_jobs({j}, opts);
+  trigger.join();
+  const JobRecord* r = find(m, "flappy");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Requeued);
+  EXPECT_EQ(r->attempts, 1);
+  ASSERT_EQ(r->outcomes.size(), 1u);
+  EXPECT_EQ(r->outcomes[0], "signal:" + std::to_string(SIGABRT));
+  EXPECT_EQ(m.exit_code(), 0);
+}
+
+// --------------------------------------------- warm in-process worker pool
+
+class WarmSupervisorTest : public SupervisorTest {
+ protected:
+  SupervisorOptions warm_opts() {
+    SupervisorOptions opts = fast_opts();
+    opts.warm = true;
+    return opts;
+  }
+};
+
+TEST_F(WarmSupervisorTest, ManifestMatchesForkExecByteForByte) {
+  // The warm pool is an execution strategy, not a semantic change: the same
+  // mixed batch (clean, violating, input-error, transient-then-clean) must
+  // produce a manifest byte-identical to the fork/exec backend's.
+  JobSpec clean = job("clean", "/designs/stdlib_pipeline.shdl");
+  clean.stdlib = true;
+  JobSpec viol = job("viol", "/designs/regfile_example.shdl");
+  JobSpec bad = job("bad", "/designs/no_such_design.shdl");
+  JobSpec flaky = job("flaky", "/designs/regfile_example.shdl");
+  flaky.fault = "io.read@1:fail";
+  flaky.fault_attempts = 1;
+  std::vector<JobSpec> batch{clean, viol, bad, flaky};
+  std::string warm = run_jobs(batch, warm_opts()).to_json();
+  std::string cold = run_jobs(batch, fast_opts()).to_json();
+  EXPECT_EQ(warm, cold);
+}
+
+TEST_F(WarmSupervisorTest, WorkerIsReusedAcrossJobsOfOneDesign) {
+  // Five jobs against the same design on one worker slot: each must report
+  // the identical verdict even though one resident process serves them all
+  // (stale per-run state -- armed deadlines, case results -- must not leak
+  // from job to job).
+  std::vector<JobSpec> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(job("j" + std::to_string(i), "/designs/regfile_example.shdl"));
+  }
+  SupervisorOptions opts = warm_opts();
+  opts.workers = 1;
+  Manifest m = run_jobs(batch, opts);
+  ASSERT_EQ(m.jobs.size(), 5u);
+  for (const JobRecord& r : m.jobs) {
+    EXPECT_EQ(r.state, JobState::Violations) << r.id;
+    EXPECT_EQ(r.attempts, 1) << r.id;
+  }
+}
+
+TEST_F(WarmSupervisorTest, CrashedWarmWorkerIsDiscardedAndRetried) {
+  // Crash isolation survives the warm pool: a SIGABRT kills only the
+  // resident worker, the supervisor discards it and retries on a fresh one.
+  JobSpec j = job("crasher", "/designs/regfile_example.shdl");
+  j.fault = "evaluator.eval@1:abort";
+  Manifest m = run_jobs({j}, warm_opts());
+  const JobRecord* r = find(m, "crasher");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Crashed);
+  EXPECT_EQ(r->attempts, 3);
+  ASSERT_EQ(r->outcomes.size(), 3u);
+  for (const std::string& o : r->outcomes) {
+    EXPECT_EQ(o, "signal:" + std::to_string(SIGABRT));
+  }
+  EXPECT_EQ(m.exit_code(), 4);
+}
+
+TEST_F(WarmSupervisorTest, WatchdogKillsHungWarmWorkerAndRetries) {
+  JobSpec j = job("hung", "/designs/regfile_example.shdl");
+  j.fault = "evaluator.eval@1:hang";
+  j.fault_attempts = 1;
+  SupervisorOptions opts = warm_opts();
+  opts.default_timeout = 0.5;
+  Manifest m = run_jobs({j}, opts);
+  const JobRecord* r = find(m, "hung");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Violations);
+  EXPECT_EQ(r->attempts, 2);
+  ASSERT_EQ(r->outcomes.size(), 2u);
+  EXPECT_EQ(r->outcomes[0], "timeout");
+  EXPECT_EQ(r->outcomes[1], "exit:1");
+}
+
+TEST_F(WarmSupervisorTest, DrainDuringFinalAttemptRequeues) {
+  // The drain-wins-over-retries-exhausted rule, on the warm backend.
+  volatile std::sig_atomic_t shutdown = 0;
+  SupervisorOptions opts = warm_opts();
+  opts.workers = 1;
+  opts.max_attempts = 1;
+  opts.default_timeout = 0.5;
+  opts.shutdown = &shutdown;
+  JobSpec hung = job("hung", "/designs/regfile_example.shdl");
+  hung.fault = "evaluator.eval@1:hang";
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    shutdown = 1;
+  });
+  Manifest m = run_jobs({hung}, opts);
+  trigger.join();
+  const JobRecord* r = find(m, "hung");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Requeued);
+  EXPECT_EQ(r->attempts, 1);
+  EXPECT_EQ(m.exit_code(), 0);
+}
+
+TEST_F(WarmSupervisorTest, ServesCompiledArtifacts) {
+  // A compiled-artifact job on the warm path: the resident worker loads the
+  // artifact once and reproduces the source-path verdict (quickstart's one
+  // deliberate set-up violation).
+  examples::ExampleDesign d = examples::quickstart();
+  CompiledDesign design = compile_design(d.name, *d.netlist, d.options,
+                                         d.cases, CompiledSummary{});
+  std::string path = ::testing::TempDir() + "serve_warm_quickstart.tvc";
+  std::string error;
+  ASSERT_TRUE(write_compiled_file(design, path, &error)) << error;
+
+  JobSpec c1;
+  c1.id = "c1";
+  c1.design = path;
+  c1.compiled = true;
+  JobSpec c2 = c1;
+  c2.id = "c2";
+  SupervisorOptions opts = warm_opts();
+  opts.workers = 1;  // the second job reuses the warm artifact worker
+  Manifest warm = run_jobs({c1, c2}, opts);
+  ASSERT_EQ(warm.jobs.size(), 2u);
+  for (const JobRecord& r : warm.jobs) {
+    EXPECT_EQ(r.state, JobState::Violations) << r.id;
+    EXPECT_EQ(r.attempts, 1) << r.id;
+  }
+  // And byte-identical to the fork/exec scaldtv --compiled path.
+  SupervisorOptions cold = fast_opts();
+  cold.workers = 1;
+  EXPECT_EQ(warm.to_json(), run_jobs({c1, c2}, cold).to_json());
+  std::remove(path.c_str());
 }
 
 #endif  // TV_SCALDTV_PATH

@@ -44,6 +44,7 @@
 #include <new>
 #include <sstream>
 
+#include "core/compiled.hpp"
 #include "core/explain.hpp"
 #include "core/export.hpp"
 #include "core/storage_stats.hpp"
@@ -60,10 +61,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
-               "[--stdlib] [--slack] [--waves] [--where-used] [--explain] [--vcd FILE] "
-               "[--json FILE] [--diag-json FILE] [--max-errors N] [--werror] "
+               "[--stdlib] [--compiled] [--slack] [--waves] [--where-used] [--explain] "
+               "[--vcd FILE] [--json FILE] [--diag-json FILE] [--max-errors N] [--werror] "
                "[--time-limit SECONDS] [--jobs N] [--batch-lanes N] [--no-batch] "
-               "[--fault SPEC] <design.shdl>\n");
+               "[--fault SPEC] <design.shdl | design.tvc>\n");
   return 2;
 }
 
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
   bool want_summary = false, want_xref = false, want_stats = false, want_storage = false;
   bool run_cases = true;
   bool with_stdlib = false;  // prepend the standard chip-macro library
+  bool compiled_input = false;  // the input is a scaldtvc artifact, not SHDL
   bool want_slack = false;
   bool want_waves = false, want_where_used = false;
   bool want_explain = false;
@@ -118,6 +120,8 @@ int main(int argc, char** argv) {
       run_cases = false;
     } else if (std::strcmp(argv[i], "--stdlib") == 0) {
       with_stdlib = true;
+    } else if (std::strcmp(argv[i], "--compiled") == 0) {
+      compiled_input = true;
     } else if (std::strcmp(argv[i], "--slack") == 0) {
       want_slack = true;
     } else if (std::strcmp(argv[i], "--waves") == 0) {
@@ -169,19 +173,24 @@ int main(int argc, char** argv) {
   if (!path) return usage();
   tv::crash::set_context(path, "read");
 
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "scaldtv: cannot open %s\n", path);
-    return 2;
-  }
-  if (tv::fault::should_fail("io.read")) {
-    // Injected I/O error: a *transient* environment failure, unlike the
-    // cannot-open case above (a permanent input error, exit 2).
+  std::stringstream buf;
+  if (!compiled_input) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "scaldtv: cannot open %s\n", path);
+      return 2;
+    }
+    if (tv::fault::should_fail("io.read")) {
+      // Injected I/O error: a *transient* environment failure, unlike the
+      // cannot-open case above (a permanent input error, exit 2).
+      std::fprintf(stderr, "scaldtv: injected read failure on %s\n", path);
+      return 5;
+    }
+    buf << in.rdbuf();
+  } else if (tv::fault::should_fail("io.read")) {
     std::fprintf(stderr, "scaldtv: injected read failure on %s\n", path);
     return 5;
   }
-  std::stringstream buf;
-  buf << in.rdbuf();
 
   tv::diag::DiagnosticEngine::Options diag_opts;
   diag_opts.max_errors = static_cast<std::size_t>(max_errors);
@@ -190,21 +199,47 @@ int main(int argc, char** argv) {
 
   try {
     tv::PhaseTimer timer;
-    tv::crash::set_context(path, "parse + macro expansion");
-    timer.start("parse + macro expansion");
-    std::string text = buf.str();
     std::optional<tv::hdl::ElaboratedDesign> maybe_design;
-    if (with_stdlib) {
-      maybe_design = tv::hdl::elaborate_sources(
-          {{"<stdlib>", tv::hdl::std_chip_library()}, {path, text}}, diags);
+    std::optional<tv::CompiledDesign> compiled;
+    if (compiled_input) {
+      // The compiled path skips the front end: the artifact already holds
+      // the finalized netlist, options, cases, and summary, so the report
+      // below is byte-identical to the source path by construction.
+      tv::crash::set_context(path, "load compiled design");
+      timer.start("load compiled design");
+      compiled = tv::load_compiled_file(path, diags);
+      timer.stop();
+      if (!compiled) {
+        flush_diagnostics(diags, diag_json_path);
+        return 2;
+      }
+      tv::hdl::ElaboratedDesign d;
+      d.name = compiled->name;
+      d.netlist = std::move(compiled->netlist);
+      d.options = compiled->options;
+      d.cases = std::move(compiled->cases);
+      d.summary.macro_instances = compiled->summary.macro_instances;
+      d.summary.primitives = compiled->summary.primitives;
+      d.summary.unique_signals = compiled->summary.unique_signals;
+      d.summary.total_bits = compiled->summary.total_bits;
+      d.summary.prims_by_kind = compiled->summary.prims_by_kind;
+      maybe_design = std::move(d);
     } else {
-      diags.set_current_file(path);
-      maybe_design = tv::hdl::elaborate_source(text, diags);
-    }
-    timer.stop();
-    if (!maybe_design) {
-      flush_diagnostics(diags, diag_json_path);
-      return 2;
+      tv::crash::set_context(path, "parse + macro expansion");
+      timer.start("parse + macro expansion");
+      std::string text = buf.str();
+      if (with_stdlib) {
+        maybe_design = tv::hdl::elaborate_sources(
+            {{"<stdlib>", tv::hdl::std_chip_library()}, {path, text}}, diags);
+      } else {
+        diags.set_current_file(path);
+        maybe_design = tv::hdl::elaborate_source(text, diags);
+      }
+      timer.stop();
+      if (!maybe_design) {
+        flush_diagnostics(diags, diag_json_path);
+        return 2;
+      }
     }
     tv::hdl::ElaboratedDesign& design = *maybe_design;
 
@@ -213,6 +248,10 @@ int main(int argc, char** argv) {
     design.options.batch_eval = batch_eval;
     design.options.time_limit_seconds = time_limit;
     tv::Verifier verifier(design.netlist, design.options);
+    if (compiled && verifier.evaluator().intern_context()) {
+      // Warm the intern table with the artifact's pre-interned seed arena.
+      tv::preintern_seeds(*compiled, verifier.evaluator().intern_context()->table);
+    }
     tv::crash::set_context(path, "verification");
     timer.start("verification");
     tv::VerifyResult result =

@@ -26,6 +26,11 @@
 //                        io.read/serve.spawn sites AND injected into every
 //                        worker that has no job-level fault of its own
 //     --seed N           keys the deterministic retry jitter (default 0)
+//     --warm             keep one resident worker per design alive across
+//                        jobs (serve/warm_pool.hpp): the design stays
+//                        loaded and the waveform-intern table stays warm,
+//                        while crash isolation, watchdogs, and retry
+//                        semantics are unchanged
 //     -v                 per-attempt progress on stderr
 //
 // Exit status: worst terminal job state across all batches --
@@ -64,7 +69,7 @@ int usage() {
                "usage: scaldtvd [--watch DIR] [--workers N] [--max-attempts N] "
                "[--backoff-ms N] [--backoff-max-ms N] [--job-timeout S] "
                "[--manifest FILE] [--scaldtv PATH] [--fault SPEC] [--seed N] "
-               "[-v] <jobs-file>...\n");
+               "[--warm] [-v] <jobs-file>...\n");
   return 2;
 }
 
@@ -158,6 +163,8 @@ int main(int argc, char** argv) {
       opts.default_timeout = v;
       opts.watchdog_slack = v;
       slack_set = true;
+    } else if (std::strcmp(argv[i], "--warm") == 0) {
+      opts.warm = true;
     } else if (std::strcmp(argv[i], "-v") == 0 || std::strcmp(argv[i], "--verbose") == 0) {
       opts.verbose = true;
     } else if (argv[i][0] == '-') {

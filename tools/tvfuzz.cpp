@@ -26,6 +26,11 @@
 // batch path (VerifierOptions::batch_eval) and fails on any divergence in
 // reports, waveforms, or counts (the lockstep sweep must be bit-exact).
 //
+// A seventh mode, --compile-diff, round-trips each random circuit through
+// the scaldtvc compiled-design artifact (serialize -> reload -> verify) and
+// fails on any divergence from the in-memory original, or on a
+// non-deterministic serialization (the artifact must be byte-stable).
+//
 // A fifth mode, --serve-chaos, pushes seeded batches of generated designs
 // with random fault specs through a real scaldtvd worker pool and asserts
 // every job ends in a terminal state, retries are visible in attempt
@@ -34,8 +39,8 @@
 //
 // Usage:
 //   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
-//          [--batch-diff] [--parser-fuzz] [--serve-chaos] [--scaldtvd PATH]
-//          [--scaldtv PATH] [--no-shrink] [-v]
+//          [--batch-diff] [--compile-diff] [--parser-fuzz] [--serve-chaos]
+//          [--scaldtvd PATH] [--scaldtv PATH] [--no-shrink] [-v]
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +60,7 @@ struct Options {
   int wave_seeds = 500;
   bool memo_diff = false;
   bool batch_diff = false;
+  bool compile_diff = false;
   bool parser_fuzz = false;
   bool serve_chaos = false;
   bool seeds_set = false;
@@ -67,7 +73,7 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff] "
-               "[--batch-diff] [--parser-fuzz] [--no-shrink] [-v]\n"
+               "[--batch-diff] [--compile-diff] [--parser-fuzz] [--no-shrink] [-v]\n"
                "  --seeds N     differential circuit cases to run (default 500)\n"
                "  --wave N      waveform-algebra cases to run (default 500)\n"
                "  --start S     first seed (default 1)\n"
@@ -76,6 +82,8 @@ void usage(const char* argv0) {
                "                off) and fail on any report or waveform divergence\n"
                "  --batch-diff  run each circuit's case analysis through the per-case\n"
                "                and batch engines and fail on any divergence\n"
+               "  --compile-diff round-trip each circuit through the compiled-design\n"
+               "                artifact and fail on any divergence or instability\n"
                "  --parser-fuzz mutate valid SHDL sources and assert the front end\n"
                "                never crashes and always diagnoses rejected input\n"
                "  --serve-chaos run seeded faulted batches through scaldtvd and assert\n"
@@ -116,6 +124,8 @@ int main(int argc, char** argv) {
       opt.memo_diff = true;
     } else if (a == "--batch-diff") {
       opt.batch_diff = true;
+    } else if (a == "--compile-diff") {
+      opt.compile_diff = true;
     } else if (a == "--parser-fuzz") {
       opt.parser_fuzz = true;
     } else if (a == "--serve-chaos") {
@@ -153,21 +163,41 @@ int main(int argc, char** argv) {
       if (const char* env = std::getenv("TV_SCALDTV")) sc.scaldtv_path = env;
     }
     sc.verbose = opt.verbose;
-    for (int i = 0; i < batches; ++i) {
-      sc.seed = opt.start + static_cast<std::uint64_t>(i);
-      auto fail = tv::check::check_serve_chaos(sc);
+    // Graceful-shutdown scenarios first (SIGTERM mid-hang and mid-backoff
+    // must requeue, not crash), once per backend.
+    for (bool warm : {false, true}) {
+      sc.warm = warm;
+      auto fail = tv::check::check_drain_requeue(sc);
       if (opt.verbose) {
-        std::printf("serve-chaos seed %llu: %s\n",
-                    static_cast<unsigned long long>(sc.seed), fail ? "FAIL" : "ok");
+        std::printf("serve-chaos drain-requeue (%s): %s\n",
+                    warm ? "warm" : "fork/exec", fail ? "FAIL" : "ok");
       }
       if (!fail) continue;
       ++failures;
-      std::printf("FAIL serve-chaos seed %llu [%s]\n  %s\n",
-                  static_cast<unsigned long long>(sc.seed), fail->kind.c_str(),
+      std::printf("FAIL serve-chaos drain-requeue (%s) [%s]\n  %s\n",
+                  warm ? "warm" : "fork/exec", fail->kind.c_str(),
                   fail->detail.c_str());
     }
-    std::printf("tvfuzz --serve-chaos: %d batch(es), %d failure%s\n", batches,
-                failures, failures == 1 ? "" : "s");
+    // Seeded chaos batches, alternating backends so both the fork/exec and
+    // the warm-pool supervisors face the same fault mix.
+    for (int i = 0; i < batches; ++i) {
+      sc.seed = opt.start + static_cast<std::uint64_t>(i);
+      sc.warm = (i % 2) == 1;
+      auto fail = tv::check::check_serve_chaos(sc);
+      if (opt.verbose) {
+        std::printf("serve-chaos seed %llu (%s): %s\n",
+                    static_cast<unsigned long long>(sc.seed),
+                    sc.warm ? "warm" : "fork/exec", fail ? "FAIL" : "ok");
+      }
+      if (!fail) continue;
+      ++failures;
+      std::printf("FAIL serve-chaos seed %llu (%s) [%s]\n  %s\n",
+                  static_cast<unsigned long long>(sc.seed),
+                  sc.warm ? "warm" : "fork/exec", fail->kind.c_str(),
+                  fail->detail.c_str());
+    }
+    std::printf("tvfuzz --serve-chaos: %d batch(es) + drain scenarios, %d failure%s\n",
+                batches, failures, failures == 1 ? "" : "s");
     return failures ? 1 : 0;
   }
 
@@ -189,6 +219,40 @@ int main(int argc, char** argv) {
     }
     std::printf("tvfuzz --parser-fuzz: %d cases, %d failure%s\n", opt.circuit_seeds,
                 failures, failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+  }
+
+  if (opt.compile_diff) {
+    // Differential artifact mode: every random circuit is serialized to the
+    // compiled-design format, reloaded, and verified; the round trip must
+    // be bit-identical to the in-memory original.
+    for (int i = 0; i < opt.circuit_seeds; ++i) {
+      std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+      tv::check::CircuitSpec spec = tv::check::random_spec(seed);
+      auto fail = tv::check::check_compile_equivalence(spec);
+      if (opt.verbose) {
+        std::printf("compile-diff seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                    fail ? "FAIL" : "ok");
+      }
+      if (!fail) continue;
+      ++failures;
+      std::printf("FAIL compile-diff seed %llu [%s]\n  %s\n",
+                  static_cast<unsigned long long>(seed), fail->kind.c_str(),
+                  fail->detail.c_str());
+      if (opt.shrink) {
+        std::string kind = fail->kind;
+        tv::check::CircuitSpec small = tv::check::shrink_circuit(
+            spec, [&](const tv::check::CircuitSpec& s) {
+              auto f = tv::check::check_compile_equivalence(s);
+              return f && f->kind == kind;
+            });
+        std::printf("shrunk repro:\n%s\n", tv::check::gtest_repro(small, kind).c_str());
+      } else {
+        std::printf("repro:\n%s\n", tv::check::gtest_repro(spec, fail->kind).c_str());
+      }
+    }
+    std::printf("tvfuzz --compile-diff: %d circuit cases, %d failure%s\n",
+                opt.circuit_seeds, failures, failures == 1 ? "" : "s");
     return failures ? 1 : 0;
   }
 
