@@ -1,0 +1,218 @@
+// Incremental re-verification speedup (ROADMAP item 2; docs/incremental.md).
+//
+// Workload: the synthetic S-1 Mark IIA-scale design (src/gen/s1_design)
+// with a control-pinning case list, and a mixed edit script touching well
+// under 1% of the primitives -- a handful of gate-delay tweaks inside one
+// pipeline stage, a wire-delay override, and one control-assertion rename.
+// That is the thesis' day-by-day loop: a designer changes a few delays and
+// connections, then re-verifies the whole machine.
+//
+// Two ways to get the post-edit report:
+//
+//   * cold       -- apply the delta to a fresh netlist, build a fresh
+//                   Verifier, verify() from scratch (base + every case);
+//   * reverify   -- Verifier::reverify(delta) against the resident
+//                   fixpoint: re-propagate only the dirty cone, re-check
+//                   only the affected assertions, splice untouched case
+//                   blocks from the prior report.
+//
+// Both must render byte-identical reports (excluding the cumulative
+// base_events/base_evals counters -- the speedup itself). Each reverify
+// sample applies the delta and then its recorded inverse, so the resident
+// baseline is restored between samples; both directions count as samples.
+//
+//   $ ./bench_incremental            # full S-1 scale (EXPERIMENTS.md)
+//   $ ./bench_incremental --quick    # small workload for the CI perf-smoke
+//
+// Emits one JSON document on stdout (saved as bench/BENCH_incremental.json).
+// Exit status: 0 when every reverify ran incrementally and rendered the
+// cold bytes, 1 otherwise. The CI floor on the speedup is asserted by the
+// perf-smoke job from the JSON, not here.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "core/verifier.hpp"
+#include "gen/s1_design.hpp"
+
+namespace {
+
+using namespace tv;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::size_t n = xs.size();
+  return n == 0 ? 0.0 : (n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]));
+}
+
+struct Workload {
+  hdl::ElaboratedDesign design;
+  std::vector<CaseSpec> cases;
+};
+
+Workload build_workload(int stages, int ctls_per_stage) {
+  gen::S1Params p;
+  p.stages = stages;
+  p.clock_tree_bufs = 8;
+  Workload w;
+  w.design = gen::build_s1_design(p);
+  const Netlist& nl = w.design.netlist;
+  for (int s = 0; s < stages; s += 4) {
+    for (int j = 0; j < ctls_per_stage; ++j) {
+      std::string name = "S" + std::to_string(s) + " CTL" + std::to_string(j) + " .S4-8.5";
+      SignalId id = nl.find(name);
+      if (id == kNoSignal) continue;
+      for (Value v : {Value::Zero, Value::One}) {
+        CaseSpec c;
+        c.name = "S" + std::to_string(s) + ".CTL" + std::to_string(j) + "=" +
+                 (v == Value::Zero ? "0" : "1");
+        c.pins = {{id, v}};
+        w.cases.push_back(std::move(c));
+      }
+    }
+  }
+  return w;
+}
+
+/// The designer's edit: `n_delay` gate-delay tweaks drawn from the middle
+/// of the primitive array (one stage's worth of logic), one wire-delay
+/// override on the first edited gate's output, and one control-assertion
+/// rename. Well under 1% of primitives on the full design.
+NetlistDelta build_delta(const Netlist& nl, std::size_t n_delay) {
+  NetlistDelta delta;
+  std::size_t start = nl.num_prims() / 2;
+  for (std::size_t pid = start; pid < nl.num_prims() && delta.prims.size() < n_delay;
+       ++pid) {
+    const Primitive& p = nl.prim(pid);
+    if (prim_is_checker(p.kind) || p.output == kNoSignal) continue;
+    NetlistDelta::PrimEdit e;
+    e.prim = static_cast<PrimId>(pid);
+    e.delay = std::make_pair(p.dmin, p.dmax + from_ns(0.1));
+    delta.prims.push_back(e);
+  }
+  if (!delta.prims.empty()) {
+    NetlistDelta::WireEdit we;
+    we.sig = nl.prim(delta.prims.front().prim).output;
+    we.wire = WireDelay{0, from_ns(0.5)};
+    delta.wires.push_back(we);
+  }
+  SignalId ctl = nl.find("S1 CTL0 .S4-8.5");
+  if (ctl != kNoSignal) {
+    Assertion a;
+    a.kind = Assertion::Kind::Stable;
+    a.ranges.push_back({4.0, 8.0, std::nullopt});
+    NetlistDelta::AssertionEdit ae;
+    ae.sig = ctl;
+    ae.assertion = a;
+    ae.base_name = "S1 CTL0";
+    ae.full_name = "S1 CTL0 " + assertion_to_text(a);
+    delta.assertions.push_back(ae);
+  }
+  return delta;
+}
+
+/// Everything observable except the cumulative evaluation-effort counters.
+std::string render(const Netlist& nl, const VerifyResult& r) {
+  std::ostringstream os;
+  os << (r.converged ? "C" : "c") << (r.partial ? "P" : "p") << "\n"
+     << timing_summary(nl) << violations_report(r.violations);
+  for (const auto& c : r.cases) {
+    os << c.name << ":" << c.events << (c.converged ? "+c" : "-c")
+       << (c.degraded ? "+d" : "-d") << "\n" << violations_report(c.violations);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const int stages = quick ? 12 : 93;
+  const int repeats = quick ? 3 : 5;
+  Workload w = build_workload(stages, 2);
+  Netlist& nl = w.design.netlist;
+  const VerifierOptions& opts = w.design.options;
+  NetlistDelta delta = build_delta(nl, quick ? 8 : 24);
+  const std::size_t edits =
+      delta.prims.size() + delta.pins.size() + delta.wires.size() +
+      delta.assertions.size() + delta.cases.size();
+
+  // Cold side: apply the delta to a pristine copy once, render the target
+  // report, and time from-scratch verifies of the edited design.
+  std::vector<double> cold_samples;
+  std::string cold_report;
+  {
+    Workload cw = build_workload(stages, 2);
+    apply_delta(cw.design.netlist, cw.cases, delta);
+    if (!cw.design.netlist.finalized()) cw.design.netlist.finalize();
+    for (int rep = 0; rep < repeats; ++rep) {
+      Verifier v(cw.design.netlist, cw.design.options);
+      auto t0 = Clock::now();
+      VerifyResult r = v.verify(cw.cases);
+      cold_samples.push_back(seconds_since(t0));
+      if (rep == 0) cold_report = render(cw.design.netlist, r);
+    }
+  }
+
+  // Incremental side: one resident Verifier; each sample applies the delta
+  // or its inverse against the previous fixpoint.
+  Verifier v(nl, opts);
+  v.verify(w.cases);
+  std::vector<double> incr_samples;
+  std::string incr_report;
+  bool all_incremental = true;
+  std::size_t dirty_prims = 0, touched = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    ReverifyStats st;
+    auto t0 = Clock::now();
+    VerifyResult r = v.reverify(delta, &st);
+    incr_samples.push_back(seconds_since(t0));
+    all_incremental = all_incremental && st.incremental;
+    dirty_prims = st.dirty_prims.size();
+    touched = st.touched_signals;
+    if (rep == 0) incr_report = render(nl, r);
+    ReverifyStats undo;
+    auto t1 = Clock::now();
+    v.reverify(st.inverse, &undo);
+    incr_samples.push_back(seconds_since(t1));
+    all_incremental = all_incremental && undo.incremental;
+  }
+
+  const bool identical = incr_report == cold_report;
+  const double cold_med = median(cold_samples);
+  const double incr_med = median(incr_samples);
+  const double speedup = incr_med > 0 ? cold_med / incr_med : 0.0;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"incremental\",\n");
+  std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+  std::printf("  \"primitives\": %zu,\n", nl.num_prims());
+  std::printf("  \"signals\": %zu,\n", nl.num_signals());
+  std::printf("  \"cases\": %zu,\n", w.cases.size());
+  std::printf("  \"delta_edits\": %zu,\n", edits);
+  std::printf("  \"delta_fraction_of_prims\": %.5f,\n",
+              static_cast<double>(edits) / static_cast<double>(nl.num_prims()));
+  std::printf("  \"dirty_prims\": %zu,\n", dirty_prims);
+  std::printf("  \"touched_signals\": %zu,\n", touched);
+  std::printf("  \"cold_median_seconds\": %.6f,\n", cold_med);
+  std::printf("  \"reverify_median_seconds\": %.6f,\n", incr_med);
+  std::printf("  \"speedup\": %.2f,\n", speedup);
+  std::printf("  \"all_incremental\": %s,\n", all_incremental ? "true" : "false");
+  std::printf("  \"identical_reports\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+  return (identical && all_incremental) ? 0 : 1;
+}

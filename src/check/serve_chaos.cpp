@@ -260,6 +260,206 @@ std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts
   return std::nullopt;
 }
 
+std::optional<ServeChaosFailure> check_reverify_chaos(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "reverify chaos needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-reverify-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  // One shared design: every job hits the same warm-pool key, so a faulted
+  // reverify attempt shares its resident worker with the clean jobs around
+  // it -- exactly the corruption surface this scenario probes.
+  std::string design_file = dir + "/design.shdl";
+  {
+    std::ofstream out(design_file);
+    out << seed_design(0);  // TINY: prims reg#0, setup_hold#1; signals D/CK/Q
+  }
+  std::vector<std::string> cleanup{design_file};
+
+  // Three edit scripts against TINY, one per delta family the worker path
+  // exercises (parameter, wire, checker-parameter).
+  const struct { const char* name; const char* json; } deltas[] = {
+      {"delay.json", "{\"prims\": [{\"prim\": \"reg#0\", \"dmin\": 1.5, \"dmax\": 5.0}]}\n"},
+      {"wire.json", "{\"wires\": [{\"signal\": \"Q\", \"dmin\": 0.0, \"dmax\": 1.0}]}\n"},
+      {"chk.json", "{\"prims\": [{\"prim\": \"setup_hold#1\", \"setup\": 3.0, \"hold\": 1.5}]}\n"},
+  };
+  std::vector<std::string> delta_paths;
+  for (const auto& d : deltas) {
+    std::string path = dir + "/" + d.name;
+    std::ofstream out(path);
+    out << d.json;
+    delta_paths.push_back(path);
+    cleanup.push_back(path);
+  }
+
+  // The batch: job 0 aborts inside apply_delta on every attempt (must
+  // crash); jobs 1-2 abort once at the two incremental fault sites (must
+  // recover, attempts >= 2); the rest alternate clean reverifies over the
+  // delta families with plain verifies of the same design.
+  struct RJob {
+    std::string id;
+    int delta = -1;            // index into delta_paths, -1 = plain verify
+    std::string fault;
+    int fault_attempts = 0;
+    bool transient = false;
+    bool permanent = false;
+  };
+  std::vector<RJob> plan;
+  for (int i = 0; i < 8; ++i) {
+    RJob j;
+    char id[32];
+    std::snprintf(id, sizeof id, "rev-%03d", i);
+    j.id = id;
+    if (i == 0) {
+      j.delta = 0;
+      j.fault = "incremental.apply@1:abort";
+      j.permanent = true;
+    } else if (i == 1) {
+      j.delta = 1;
+      j.fault = "incremental.apply@1:abort";
+      j.fault_attempts = 1;
+      j.transient = true;
+    } else if (i == 2) {
+      j.delta = 2;
+      j.fault = "incremental.cone@1:abort";
+      j.fault_attempts = 1;
+      j.transient = true;
+    } else {
+      j.delta = (i % 2) ? (i / 2) % 3 : -1;
+    }
+    plan.push_back(std::move(j));
+  }
+
+  std::string jobs_path = dir + "/reverify.jobs";
+  {
+    std::ofstream out(jobs_path);
+    for (const RJob& j : plan) {
+      out << "{\"id\": \"" << j.id << "\", \"design\": \"" << design_file << "\"";
+      if (j.delta >= 0) out << ", \"reverify\": \"" << delta_paths[j.delta] << "\"";
+      if (!j.fault.empty()) {
+        out << ", \"fault\": \"" << j.fault << "\", \"fault_attempts\": "
+            << j.fault_attempts;
+      }
+      out << "}\n";
+    }
+  }
+  cleanup.push_back(jobs_path);
+
+  // Both backends, two runs each: byte-stability within a backend, record
+  // agreement across them.
+  std::vector<ManifestRecord> records_by_backend[2];
+  for (int warm = 0; warm < 2; ++warm) {
+    std::string manifests[2];
+    for (int run = 0; run < 2; ++run) {
+      std::string manifest_path = dir + "/warm" + std::to_string(warm) + ".run" +
+                                  std::to_string(run) + ".manifest.json";
+      std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                        "' --workers 2 --max-attempts 3 --backoff-ms 10 "
+                        "--backoff-max-ms 50 --job-timeout 1 --seed " +
+                        std::to_string(opts.seed % 1000000) + " --manifest '" +
+                        manifest_path + "' '" + jobs_path + "'";
+      if (warm) cmd += " --warm";
+      if (!opts.verbose) cmd += " 2>/dev/null";
+      int status = std::system(cmd.c_str());
+      int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      if (code != 4) {
+        return fail("bad-exit-code",
+                    std::string(warm ? "warm" : "fork/exec") +
+                        ": expected daemon exit 4 (crashed reverify job), got " +
+                        std::to_string(code) + "; work dir kept at " + dir);
+      }
+      manifests[run] = read_file(manifest_path);
+      cleanup.push_back(manifest_path);
+    }
+    if (manifests[0] != manifests[1]) {
+      return fail("manifest-unstable",
+                  std::string(warm ? "warm" : "fork/exec") +
+                      ": two identical reverify runs produced different manifests; "
+                      "work dir kept at " + dir);
+    }
+    records_by_backend[warm] = scan_manifest(manifests[0]);
+  }
+
+  for (int warm = 0; warm < 2; ++warm) {
+    const char* backend = warm ? "warm" : "fork/exec";
+    const std::vector<ManifestRecord>& records = records_by_backend[warm];
+    if (records.size() != plan.size()) {
+      return fail("job-lost", std::string(backend) + ": planned " +
+                                  std::to_string(plan.size()) + " jobs, manifest has " +
+                                  std::to_string(records.size()) +
+                                  "; work dir kept at " + dir);
+    }
+    for (const RJob& j : plan) {
+      const ManifestRecord* rec = nullptr;
+      for (const ManifestRecord& r : records) {
+        if (r.id == j.id) rec = &r;
+      }
+      if (!rec) {
+        return fail("job-lost", std::string(backend) + ": job " + j.id +
+                                    " missing from the manifest; work dir kept at " + dir);
+      }
+      if (j.permanent && (rec->state != "crashed" || rec->attempts != 3)) {
+        return fail("crash-not-detected",
+                    std::string(backend) + ": permanently-aborting reverify job " + j.id +
+                        " ended \"" + rec->state + "\" after " +
+                        std::to_string(rec->attempts) +
+                        " attempt(s), expected crashed/3; work dir kept at " + dir);
+      }
+      if (j.transient) {
+        if (rec->state == "crashed") {
+          return fail("retry-failed", std::string(backend) + ": attempt-1-only fault on " +
+                                          j.id + " still crashed the job; work dir kept at " +
+                                          dir);
+        }
+        if (rec->attempts < 2) {
+          return fail("retry-invisible",
+                      std::string(backend) + ": job " + j.id +
+                          " recovered but shows only " + std::to_string(rec->attempts) +
+                          " attempt(s); work dir kept at " + dir);
+        }
+      }
+      if (!j.permanent && !j.transient &&
+          rec->state != "done" && rec->state != "violations") {
+        return fail("clean-job-failed", std::string(backend) + ": unfaulted job " + j.id +
+                                            " ended \"" + rec->state +
+                                            "\"; work dir kept at " + dir);
+      }
+    }
+  }
+
+  // Cross-backend agreement: the warm pool's resident fixpoint (restored by
+  // the inverse delta after each reverify, or dropped when restoration
+  // fails) must never change a verdict relative to stateless fork/exec.
+  for (const RJob& j : plan) {
+    const ManifestRecord *a = nullptr, *b = nullptr;
+    for (const ManifestRecord& r : records_by_backend[0]) {
+      if (r.id == j.id) a = &r;
+    }
+    for (const ManifestRecord& r : records_by_backend[1]) {
+      if (r.id == j.id) b = &r;
+    }
+    if (a && b && a->state != b->state) {
+      return fail("backend-divergence",
+                  "job " + j.id + " ended \"" + a->state + "\" under fork/exec but \"" +
+                      b->state + "\" under the warm pool; work dir kept at " + dir);
+    }
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
 std::optional<ServeChaosFailure> check_drain_requeue(const ServeChaosOptions& opts) {
   auto fail = [](std::string kind, std::string detail) {
     return ServeChaosFailure{std::move(kind), std::move(detail)};

@@ -42,6 +42,22 @@ struct ServeChaosFailure {
 /// in a fresh directory under TMPDIR, removed on success.
 std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts);
 
+/// The incremental-reverification chaos scenario (docs/incremental.md): a
+/// batch of `reverify` jobs (plus interleaved plain verifies of the same
+/// design) with deterministic faults injected at the delta-application and
+/// cone-invalidation sites (incremental.apply, incremental.cone):
+///
+///   * transient faults (attempt 1 only) recover with the retry visible in
+///     the manifest -- a crashed reverify attempt never poisons the job;
+///   * one permanently-aborting reverify job exhausts its retries into
+///     "crashed" (daemon exit 4);
+///   * each backend's manifest is byte-stable across two identical runs,
+///     and the (id, state, attempts) records agree *between* the fork/exec
+///     and warm backends: the warm pool's resident fixpoint (restored via
+///     the inverse delta, or dropped on failure) never changes a verdict.
+/// Ignores opts.warm (both backends run); honors seed/paths/verbose.
+std::optional<ServeChaosFailure> check_reverify_chaos(const ServeChaosOptions& opts);
+
 /// The graceful-shutdown scenarios: SIGTERM lands (a) while a worker hangs
 /// with retries already exhausted-to-be, and (b) while a job sits in retry
 /// backoff. Both jobs must be recorded "requeued" -- never "crashed" -- with

@@ -5,7 +5,7 @@
 
 namespace tv {
 
-ConeIndex::ConeIndex(const Netlist& nl) : nl_(nl) {
+ConeIndex::ConeIndex(const Netlist& nl) : nl_(nl), version_(nl.structure_version()) {
   if (!nl.finalized()) {
     throw std::logic_error("ConeIndex requires a finalized netlist");
   }

@@ -52,10 +52,19 @@ class ConeIndex {
 
   std::size_t cache_size() const;
 
+  /// False once the netlist's fanout graph changed after construction (it
+  /// was re-finalized, bumping structure_version(), or definalized by an
+  /// edit). A stale index must be discarded -- its memoized cones describe
+  /// the old graph and would silently skip retargeted connections.
+  bool is_current() const {
+    return nl_.finalized() && nl_.structure_version() == version_;
+  }
+
  private:
   std::shared_ptr<const Cone> compute(const std::vector<SignalId>& pins) const;
 
   const Netlist& nl_;
+  std::uint64_t version_ = 0;
   mutable std::mutex mu_;
   mutable std::map<std::vector<SignalId>, std::shared_ptr<const Cone>> cache_;
 };

@@ -254,6 +254,7 @@ std::size_t Evaluator::run_worklist() {
         assign(p.output, intern_->table.get(hit->wave), hit->eval_str, changed);
         if (changed) {
           ++events_;
+          note_touched(p.output);
           enqueue_fanout(p.output);
         }
         continue;
@@ -270,6 +271,7 @@ std::size_t Evaluator::run_worklist() {
     assign(p.output, std::move(r.wave), std::move(r.eval_str), changed);
     if (changed) {
       ++events_;
+      note_touched(p.output);
       enqueue_fanout(p.output);
     }
   }
@@ -302,6 +304,7 @@ void Evaluator::degrade_remaining() {
     Signal& s = nl_.signal(p.output);
     if (!(s.wave == unknown)) {
       store_wave(p.output, unknown);
+      note_touched(p.output);
       ++degraded_signals;
     }
     for (PrimId consumer : s.fanout) {
@@ -392,6 +395,52 @@ std::size_t Evaluator::apply_case(const CaseSpec& c) {
     }
   }
   return run_worklist();
+}
+
+void Evaluator::note_touched(SignalId id) {
+  if (!track_touched_) return;
+  if (touched_mark_.size() < nl_.num_signals()) touched_mark_.resize(nl_.num_signals(), 0);
+  if (!touched_mark_[id]) {
+    touched_mark_[id] = 1;
+    touched_.push_back(id);
+  }
+}
+
+std::size_t Evaluator::propagate_incremental(const std::vector<SignalId>& reseed,
+                                             const std::vector<PrimId>& reeval) {
+  // Mirrors apply_case: fresh oscillation budget, defensively resized flat
+  // maps, reseed-or-requeue the edited signals, run the shared worklist.
+  eval_count_.assign(nl_.num_prims(), 0);
+  if (case_map_.size() < nl_.num_signals()) case_map_.resize(nl_.num_signals(), -1);
+  if (in_worklist_.size() < nl_.num_prims()) in_worklist_.resize(nl_.num_prims(), 0);
+  if (seg_degraded_.size() < nl_.num_signals()) seg_degraded_.resize(nl_.num_signals(), 0);
+  if (intern_ && wave_refs_.size() < nl_.num_signals()) {
+    wave_refs_.resize(nl_.num_signals(), kNoWaveform);
+  }
+  track_touched_ = true;
+  touched_.clear();
+  touched_mark_.assign(nl_.num_signals(), 0);
+  for (SignalId sig : reseed) {
+    const Signal& s = nl_.signal(sig);
+    Waveform before = s.wave;
+    std::string str_before = s.eval_str;
+    if (s.driver != kNoPrim) {
+      enqueue(s.driver);  // the driver's recomputed output wins over the seed
+    } else {
+      seed_signal(sig);
+    }
+    if (!(nl_.signal(sig).wave == before) || nl_.signal(sig).eval_str != str_before) {
+      ++events_;
+      note_touched(sig);
+      enqueue_fanout(sig);
+    }
+  }
+  for (PrimId pid : reeval) {
+    if (!prim_is_checker(nl_.prim(pid).kind)) enqueue(pid);
+  }
+  std::size_t n = run_worklist();
+  track_touched_ = false;
+  return n;
 }
 
 std::size_t Evaluator::clear_case() {

@@ -164,6 +164,24 @@ class Evaluator {
   /// Removes any active case mapping and re-propagates.
   std::size_t clear_case();
 
+  /// Incremental re-propagation for netlist deltas (core/incremental.hpp),
+  /// run against the current fixpoint: reseeds the listed signals (their
+  /// seed function changed -- assertion edits), enqueues the listed
+  /// primitives (parameter edits, consumers of wire-delay edits), and runs
+  /// the event-driven worklist to the new fixpoint. Propagation stops
+  /// wherever recomputed outputs equal their previous values, so a small
+  /// edit touches only its true downstream support. Signals whose waveform
+  /// or evaluation string changed along the way are recorded for
+  /// touched_signals(). Returns events processed.
+  std::size_t propagate_incremental(const std::vector<SignalId>& reseed,
+                                    const std::vector<PrimId>& reeval);
+
+  /// Signals changed by the last propagate_incremental run (unordered, no
+  /// duplicates). Over-approximates "differs from the prior fixpoint": a
+  /// signal that changed and changed back stays listed, which is safe for
+  /// check-cone construction.
+  const std::vector<SignalId>& touched_signals() const { return touched_; }
+
   const Waveform& wave(SignalId id) const { return nl_.signal(id).wave; }
   /// Interned ref of the signal's current waveform; kNoWaveform when
   /// interning is off or the signal was created after the last initialize().
@@ -228,6 +246,8 @@ class Evaluator {
   /// worklist to UNKNOWN and drains the worklist.
   void degrade_remaining();
   void record_degradation(const char* code, std::string message);
+  /// Records a changed signal while propagate_incremental tracking is on.
+  void note_touched(SignalId id);
 
   Netlist& nl_;
   VerifierOptions opts_;
@@ -248,6 +268,9 @@ class Evaluator {
   bool table_full_reported_ = false;
   std::vector<char> seg_degraded_;  // per-signal: segment cap already fired
   std::vector<Degradation> degradations_;
+  bool track_touched_ = false;       // propagate_incremental tracking active
+  std::vector<char> touched_mark_;   // per-signal: already in touched_
+  std::vector<SignalId> touched_;
 };
 
 }  // namespace tv

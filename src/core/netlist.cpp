@@ -87,6 +87,39 @@ void Netlist::set_wire_delay(SignalId id, Time dmin, Time dmax) {
   signals_[id].wire_delay = WireDelay{dmin, dmax};
 }
 
+void Netlist::clear_wire_delay(SignalId id) { signals_[id].wire_delay.reset(); }
+
+void Netlist::retarget_input(PrimId pid, std::size_t input, SignalId sig, bool invert,
+                             std::string directives) {
+  if (pid >= prims_.size() || input >= prims_[pid].inputs.size() || sig >= signals_.size()) {
+    throw std::invalid_argument("retarget_input: id out of range");
+  }
+  Pin& pin = prims_[pid].inputs[input];
+  pin.sig = sig;
+  pin.invert = invert;
+  pin.directives = std::move(directives);
+  finalized_ = false;  // fanout call lists are stale now
+}
+
+void Netlist::set_assertion(SignalId id, const Assertion& assertion, std::string base_name,
+                            std::string full_name) {
+  if (id >= signals_.size()) throw std::invalid_argument("set_assertion: id out of range");
+  Signal& s = signals_[id];
+  auto taken = by_name_.find(full_name);
+  if (taken != by_name_.end() && taken->second != id) {
+    throw std::invalid_argument("set_assertion: \"" + full_name +
+                                "\" already names another signal");
+  }
+  // Drop the old name only when it still points at this signal (a synonym
+  // merge may have redirected it to the surviving entry).
+  auto old_it = by_name_.find(s.full_name);
+  if (old_it != by_name_.end() && old_it->second == id) by_name_.erase(old_it);
+  s.assertion = assertion;
+  s.base_name = std::move(base_name);
+  s.full_name = std::move(full_name);
+  by_name_.emplace(s.full_name, id);
+}
+
 void Netlist::set_rise_fall(PrimId id, RiseFallDelay rf) {
   if (rf.rise_min < 0 || rf.rise_max < rf.rise_min || rf.fall_min < 0 ||
       rf.fall_max < rf.fall_min) {
@@ -240,9 +273,7 @@ PrimId Netlist::min_pulse_width_chk(std::string name, Time min_high, Time min_lo
   return add_prim(std::move(p));
 }
 
-namespace {
-
-std::size_t min_inputs(PrimKind k) {
+std::size_t prim_min_inputs(PrimKind k) {
   switch (k) {
     case PrimKind::Buf:
     case PrimKind::Not:
@@ -264,17 +295,15 @@ std::size_t min_inputs(PrimKind k) {
   return 1;
 }
 
-std::size_t max_inputs(PrimKind k) {
+std::size_t prim_max_inputs(PrimKind k) {
   switch (k) {
     case PrimKind::Or:
     case PrimKind::And:
     case PrimKind::Xor:
     case PrimKind::Chg: return static_cast<std::size_t>(-1);
-    default: return min_inputs(k);
+    default: return prim_min_inputs(k);
   }
 }
-
-}  // namespace
 
 void Netlist::finalize() {
   for (Signal& s : signals_) {
@@ -283,7 +312,7 @@ void Netlist::finalize() {
   }
   for (PrimId pid = 0; pid < prims_.size(); ++pid) {
     Primitive& p = prims_[pid];
-    if (p.inputs.size() < min_inputs(p.kind) || p.inputs.size() > max_inputs(p.kind)) {
+    if (p.inputs.size() < prim_min_inputs(p.kind) || p.inputs.size() > prim_max_inputs(p.kind)) {
       throw std::logic_error("primitive \"" + p.name + "\" (" +
                              std::string(prim_kind_name(p.kind)) + "): wrong input count " +
                              std::to_string(p.inputs.size()));
@@ -319,6 +348,7 @@ void Netlist::finalize() {
     }
   }
   finalized_ = true;
+  ++structure_version_;
 }
 
 bool Netlist::finalize(diag::DiagnosticEngine& diags,
@@ -339,7 +369,7 @@ bool Netlist::finalize(diag::DiagnosticEngine& diags,
   }
   for (PrimId pid = 0; pid < prims_.size(); ++pid) {
     Primitive& p = prims_[pid];
-    if (p.inputs.size() < min_inputs(p.kind) || p.inputs.size() > max_inputs(p.kind)) {
+    if (p.inputs.size() < prim_min_inputs(p.kind) || p.inputs.size() > prim_max_inputs(p.kind)) {
       error(pid, diag::kErrPinCountFinal,
             "primitive \"" + p.name + "\" (" + std::string(prim_kind_name(p.kind)) +
                 "): wrong input count " + std::to_string(p.inputs.size()));
@@ -416,6 +446,7 @@ bool Netlist::finalize(diag::DiagnosticEngine& diags,
   }
 
   finalized_ = true;
+  ++structure_version_;
   return true;
 }
 

@@ -56,6 +56,12 @@ enum class PrimKind : std::uint8_t {
 std::string_view prim_kind_name(PrimKind k);
 bool prim_is_checker(PrimKind k);
 
+/// Structural pin-count contract of a primitive kind (what finalize()
+/// enforces). Exposed so netlist deltas (core/incremental.hpp) can validate
+/// a kind change *before* mutating anything.
+std::size_t prim_min_inputs(PrimKind k);
+std::size_t prim_max_inputs(PrimKind k);
+
 /// Interconnection delay range (sec. 2.5.3): minimum/maximum wire delay from
 /// the driving output to the inputs of a signal's consumers.
 struct WireDelay {
@@ -142,6 +148,21 @@ class Netlist {
 
   /// Overrides the interconnection delay for one signal (sec. 2.5.3).
   void set_wire_delay(SignalId id, Time dmin, Time dmax);
+  /// Removes a signal's override so the verifier default applies again.
+  void clear_wire_delay(SignalId id);
+
+  /// Reconnects one input pin of a primitive to a different signal
+  /// (a netlist-delta edit, core/incremental.hpp). Fanout call lists go
+  /// stale, so the netlist must be finalize()d again before evaluation.
+  void retarget_input(PrimId pid, std::size_t input, SignalId sig, bool invert,
+                      std::string directives);
+
+  /// Replaces a signal's assertion, renaming it (the assertion is part of
+  /// the SCALD name, sec. 2.5.1). Throws std::invalid_argument when
+  /// `full_name` already names a different signal. Fanout lists are
+  /// unaffected; seeding changes, so the evaluator must re-seed it.
+  void set_assertion(SignalId id, const Assertion& assertion, std::string base_name,
+                     std::string full_name);
 
   /// Gives a combinational primitive polarity-dependent delays (sec. 4.2.2).
   void set_rise_fall(PrimId id, RiseFallDelay rf);
@@ -201,6 +222,10 @@ class Netlist {
   bool finalize(diag::DiagnosticEngine& diags,
                 const std::vector<diag::SourceLoc>* prim_locs = nullptr);
   bool finalized() const { return finalized_; }
+  /// Monotone counter bumped every time finalize() succeeds: derived
+  /// structures (ConeIndex, SCC masks) capture it and compare to detect a
+  /// changed fanout graph. Starts at 0 (never finalized).
+  std::uint64_t structure_version() const { return structure_version_; }
 
   /// Signals that are read by some primitive but neither driven nor
   /// asserted: the thesis treats them as always stable and lists them on a
@@ -212,6 +237,7 @@ class Netlist {
   std::vector<Primitive> prims_;
   std::unordered_map<std::string, SignalId> by_name_;
   bool finalized_ = false;
+  std::uint64_t structure_version_ = 0;
 };
 
 }  // namespace tv

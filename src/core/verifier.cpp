@@ -8,6 +8,7 @@
 
 #include "core/batch_eval.hpp"
 #include "core/cone.hpp"
+#include "core/scc.hpp"
 #include "core/snapshot.hpp"
 
 namespace tv {
@@ -32,6 +33,59 @@ unsigned effective_jobs(unsigned requested, std::size_t num_units) {
 }  // namespace
 
 VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
+  // Any exception leaves no baseline: a half-evaluated netlist must not be
+  // spliced against by a later reverify().
+  has_baseline_ = false;
+  VerifyResult r = verify_impl(cases);
+  last_ = r;
+  last_cases_ = cases;
+  has_baseline_ = true;
+  return r;
+}
+
+const ConeIndex& Verifier::cone_index() {
+  if (!cone_index_ || !cone_index_->is_current()) {
+    cone_index_ = std::make_shared<ConeIndex>(ev_.netlist());
+  }
+  return *cone_index_;
+}
+
+const std::vector<char>& Verifier::scc_mask() {
+  const Netlist& nl = ev_.netlist();
+  if (!scc_valid_ || scc_version_ != nl.structure_version()) {
+    // Nontrivial SCCs of the non-checker fanout graph: inside an unclocked
+    // feedback loop the fixpoint can depend on the order values arrived
+    // (e.g. a combinational latch holding a transient), so incremental
+    // propagation from the *final* upstream values is not provably
+    // equivalent to a cold run -- reverify() falls back when its dirty cone
+    // touches one of these primitives.
+    std::vector<std::vector<std::uint32_t>> adj(nl.num_prims());
+    for (PrimId pid = 0; pid < nl.num_prims(); ++pid) {
+      const Primitive& p = nl.prim(pid);
+      if (prim_is_checker(p.kind) || p.output == kNoSignal) continue;
+      for (PrimId consumer : nl.signal(p.output).fanout) {
+        if (!prim_is_checker(nl.prim(consumer).kind)) adj[pid].push_back(consumer);
+      }
+    }
+    scc_mask_.assign(nl.num_prims(), 0);
+    for (const auto& comp : strongly_connected_components(adj)) {
+      bool self_loop = false;
+      if (comp.size() == 1) {
+        for (std::uint32_t succ : adj[comp[0]]) {
+          if (succ == comp[0]) self_loop = true;
+        }
+      }
+      if (comp.size() > 1 || self_loop) {
+        for (std::uint32_t pid : comp) scc_mask_[pid] = 1;
+      }
+    }
+    scc_version_ = nl.structure_version();
+    scc_valid_ = true;
+  }
+  return scc_mask_;
+}
+
+VerifyResult Verifier::verify_impl(const std::vector<CaseSpec>& cases) {
   VerifyResult r;
   // Arm one wall-clock deadline for the entire run: the base fixpoint, the
   // constraint checker, and every case snapshot poll this same point in
@@ -72,7 +126,7 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
   // file sweeping one control bus costs a single BFS.
   const Netlist& nl = ev_.netlist();
   const VerifierOptions& opts = ev_.options();
-  ConeIndex cone_index(nl);
+  const ConeIndex& cone_idx = cone_index();
   std::vector<std::shared_ptr<const Cone>> cones;
   cones.reserve(cases.size());
   for (const CaseSpec& c : cases) {
@@ -84,7 +138,7 @@ VerifyResult Verifier::verify(const std::vector<CaseSpec>& cases) {
       }
       pins.push_back(sig);
     }
-    cones.push_back(cone_index.cone_of(std::move(pins)));
+    cones.push_back(cone_idx.cone_of(std::move(pins)));
   }
 
   // Each case evaluates on its own copy-on-write snapshot of the baseline

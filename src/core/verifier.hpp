@@ -13,6 +13,7 @@
 //   for (const auto& v : r.violations) std::cout << v.message;
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,10 @@
 #include "core/evaluator.hpp"
 
 namespace tv {
+
+class ConeIndex;
+struct NetlistDelta;
+struct ReverifyStats;
 
 struct VerifyResult {
   /// Violations found in the base (first) evaluation.
@@ -73,11 +78,45 @@ class Verifier {
   /// netlist is left holding the baseline fixpoint.
   VerifyResult verify(const std::vector<CaseSpec>& cases = {});
 
+  /// Incremental re-verification (core/incremental.hpp): applies `delta` to
+  /// the netlist, re-runs the event-driven fixpoint only where the edit can
+  /// propagate, re-checks only assertions whose support intersects the dirty
+  /// set, and splices the result into the previous report. The returned
+  /// report is byte-identical to a cold verify() of the edited design
+  /// (enforced by tvfuzz --incr-diff); edits the incremental engine cannot
+  /// prove safe (dirty cone touching an unclocked feedback loop, degraded or
+  /// non-convergent baseline) silently fall back to a cold run. Requires a
+  /// prior verify()/reverify() on this Verifier (throws std::logic_error
+  /// otherwise); throws std::invalid_argument on an invalid delta, with the
+  /// netlist and baseline left untouched. Defined in core/incremental.cpp.
+  VerifyResult reverify(const NetlistDelta& delta, ReverifyStats* stats = nullptr);
+
+  /// True after a successful verify()/reverify(): the netlist holds that
+  /// run's fixpoint and reverify() can splice against it.
+  bool has_baseline() const { return has_baseline_; }
+  const std::vector<CaseSpec>& baseline_cases() const { return last_cases_; }
+
   Evaluator& evaluator() { return ev_; }
   const Evaluator& evaluator() const { return ev_; }
 
  private:
+  VerifyResult verify_impl(const std::vector<CaseSpec>& cases);
+  /// The memoized cone index for the current fanout graph, rebuilt when a
+  /// structural edit bumped the netlist's structure version.
+  const ConeIndex& cone_index();
+  /// Per-prim mask: member of a nontrivial SCC of the non-checker fanout
+  /// graph (an unclocked feedback loop, where the fixpoint can depend on
+  /// evaluation history). Cached per structure version.
+  const std::vector<char>& scc_mask();
+
   Evaluator ev_;
+  bool has_baseline_ = false;
+  VerifyResult last_;                 // previous report, splice baseline
+  std::vector<CaseSpec> last_cases_;  // cases last_ was computed with
+  std::shared_ptr<ConeIndex> cone_index_;
+  std::vector<char> scc_mask_;
+  std::uint64_t scc_version_ = 0;
+  bool scc_valid_ = false;
 };
 
 // --- report formatting (Figs 3-10 / 3-11) ----------------------------------

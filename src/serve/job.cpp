@@ -148,6 +148,11 @@ std::optional<JobSpec> parse_job_line(const std::string& line, std::string* erro
         return fail("\"jobs\" must be a non-negative integer");
       }
       job.jobs = static_cast<unsigned>(v);
+    } else if (key == "reverify") {
+      if (!is_string || value.empty()) {
+        return fail("\"reverify\" must be a non-empty delta file path");
+      }
+      job.reverify = value;
     } else if (key == "fault") {
       std::string spec_error;
       // Validate eagerly so a typo'd chaos spec fails the batch load, not
@@ -232,6 +237,10 @@ std::vector<std::string> worker_args(const JobSpec& job) {
   if (job.jobs > 0) {
     args.push_back("--jobs");
     args.push_back(std::to_string(job.jobs));
+  }
+  if (!job.reverify.empty()) {
+    args.push_back("--reverify");
+    args.push_back(job.reverify);
   }
   args.push_back(job.design);
   return args;

@@ -21,6 +21,11 @@
 //   time_limit     seconds: forwarded as scaldtv --time-limit; also sets
 //                  the supervisor's watchdog for this job
 //   jobs           case-analysis worker threads inside the worker process
+//   reverify       path to a JSON netlist delta (docs/incremental.md): the
+//                  worker verifies the baseline, applies the delta, and
+//                  reports on the edited design (scaldtv --reverify); warm
+//                  workers restore their resident baseline afterwards by
+//                  applying the inverse delta
 //   fault          TV_FAULT spec injected into the worker's environment
 //   fault_attempts inject `fault` only on the first N attempts (0 = all):
 //                  chaos tests use 1 so the retry path is observably
@@ -42,6 +47,7 @@ struct JobSpec {
   bool stdlib = false;
   double time_limit = 0;   // 0 = no limit
   unsigned jobs = 0;       // 0 = worker default (1)
+  std::string reverify;    // delta path; empty = plain verification
   std::string fault;       // empty = no injection
   int fault_attempts = 0;  // 0 = every attempt
 };

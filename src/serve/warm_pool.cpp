@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/compiled.hpp"
+#include "core/incremental.hpp"
 #include "core/verifier.hpp"
 #include "diag/render.hpp"
 #include "hdl/elaborate.hpp"
@@ -110,7 +111,8 @@ class WarmPoolBackend : public WorkerBackend {
 
     std::string cmd = "run " + format_double(job.time_limit) + ' ' +
                       std::to_string(job.jobs) + ' ' +
-                      (spec && !spec->empty() ? *spec : std::string("-")) + '\n';
+                      (spec && !spec->empty() ? *spec : std::string("-")) + ' ' +
+                      (job.reverify.empty() ? std::string("-") : job.reverify) + '\n';
     w.resp_buf.clear();
     if (!write_all(w.cmd_fd, cmd)) {
       destroy(w);
@@ -345,7 +347,17 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
     return 0;
   };
 
-  auto run_once = [&](double time_limit, unsigned jobs) -> int {
+  // Forgets the resident design, verifier, and seed arena: the next run
+  // command reloads from disk. The escape hatch whenever a reverify job
+  // leaves (or may have left) the netlist off its artifact baseline.
+  auto drop_resident = [&]() {
+    verifier.reset();
+    loaded.reset();
+    seeds.reset();
+  };
+
+  auto run_once = [&](double time_limit, unsigned jobs,
+                      const std::string& reverify_path) -> int {
     try {
       int rc = ensure_loaded();
       if (rc != 0) return rc;
@@ -359,6 +371,45 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
       verifier->evaluator().set_jobs(jobs == 0 ? 1 : jobs);
       crash::set_context(design.c_str(), "verification (warm)");
       VerifyResult result = verifier->verify(loaded->cases);
+      if (!reverify_path.empty()) {
+        crash::set_context(reverify_path.c_str(), "reverify (warm)");
+        std::ifstream din(reverify_path);
+        if (!din) {
+          std::fprintf(stderr, "scaldtvd-worker: cannot open %s\n",
+                       reverify_path.c_str());
+          return 2;
+        }
+        if (fault::should_fail("io.read")) {
+          std::fprintf(stderr, "scaldtvd-worker: injected read failure on %s\n",
+                       reverify_path.c_str());
+          return 5;
+        }
+        std::stringstream dbuf;
+        dbuf << din.rdbuf();
+        NetlistDelta delta;
+        std::string derror;
+        if (!parse_delta_json(dbuf.str(), loaded->netlist, &delta, &derror)) {
+          std::fprintf(stderr, "scaldtvd-worker: %s: %s\n", reverify_path.c_str(),
+                       derror.c_str());
+          return 2;
+        }
+        ReverifyStats st;
+        try {
+          result = verifier->reverify(delta, &st);
+        } catch (...) {
+          // The netlist may hold a half-applied world (an injected fault can
+          // fire after the delta landed); never let a later job see it.
+          drop_resident();
+          throw;
+        }
+        // Return the resident netlist to its artifact baseline so the next
+        // job on this worker verifies the unedited design.
+        try {
+          verifier->reverify(st.inverse);
+        } catch (...) {
+          drop_resident();
+        }
+      }
       crash::set_context(design.c_str(), "warm worker idle");
       return diag::exit_code(false, result.partial,
                              result.total_violations() != 0);
@@ -384,12 +435,18 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
         fault_text.empty()) {
       return 1;  // protocol error: retire loudly (parent treats as lost)
     }
+    // The delta path is the rest of the line (it may contain spaces).
+    std::string reverify_text;
+    std::getline(is, reverify_text);
+    std::size_t rstart = reverify_text.find_first_not_of(' ');
+    reverify_text = rstart == std::string::npos ? "" : reverify_text.substr(rstart);
+    if (reverify_text == "-") reverify_text.clear();
     double time_limit = std::strtod(tl_text.c_str(), nullptr);
     unsigned jobs = static_cast<unsigned>(std::strtoul(jobs_text.c_str(), nullptr, 10));
     // Reconfigure fault injection per run so @N counters behave exactly as
     // in a freshly exec'd worker.
     fault::configure(fault_text == "-" ? "" : fault_text);
-    int code = run_once(time_limit, jobs);
+    int code = run_once(time_limit, jobs, reverify_text);
     if (!write_all(resp_fd, "done " + std::to_string(code) + '\n')) return 0;
   }
 }

@@ -12,8 +12,15 @@
 // Protocol (newline-delimited text, parent -> worker on the command pipe,
 // worker -> parent on the response pipe):
 //
-//   run <time_limit> <jobs> <fault-spec|->     one verification job
+//   run <time_limit> <jobs> <fault-spec|-> <delta-path|->   one job
 //   done <code>                                its scaldtv-compatible exit code
+//
+// A non-"-" delta path makes the run a reverify job (scaldtv --reverify):
+// after the baseline verification the worker applies the JSON netlist delta
+// and reports on the edited design. The worker then restores its resident
+// baseline by applying the inverse delta; if the restore fails for any
+// reason it drops the loaded design entirely, so a later job can never see
+// a half-edited netlist.
 //
 // Crash isolation is preserved, not traded away:
 //   * every worker is still a separate process -- a crashing or hanging

@@ -30,6 +30,8 @@
 //   wave_table.intern once per waveform intern (simulated allocation)
 //   io.read           design / job file reads in scaldtv and scaldtvd
 //   serve.spawn       worker process launch in the scaldtvd supervisor
+//   incremental.apply before a reverify delta is applied (baseline intact)
+//   incremental.cone  before incremental cone re-evaluation (netlist edited)
 //
 // The layer is off (and a single relaxed atomic load) unless a plan is
 // configured, so clean-run behavior and reports are untouched.

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "core/compiled.hpp"
+#include "core/incremental.hpp"
 #include "core/verifier.hpp"
 #include "example_designs.hpp"
 #include "hdl/elaborate.hpp"
@@ -139,5 +140,87 @@ void check_shdl(const std::string& name, bool with_stdlib) {
 TEST(GoldenReports, RegfileExampleShdl) { check_shdl("regfile_example", false); }
 
 TEST(GoldenReports, StdlibPipelineShdl) { check_shdl("stdlib_pipeline", true); }
+
+// --- incremental-delta goldens (docs/incremental.md) ----------------------
+//
+// Each tests/golden/<design>_delta*/ directory holds a checked-in
+// delta.json edit script; the golden report is what Verifier::reverify
+// produces after applying it to the design's cold baseline. The render
+// drops the cumulative "base events" counters -- the one legitimate
+// difference between an incremental and a cold report -- so the same bytes
+// also byte-compare against a from-scratch verify of the edited design,
+// which the test asserts inline.
+std::string render_delta_report(Netlist& nl, const VerifyResult& r) {
+  std::ostringstream os;
+  os << "signals " << nl.num_signals() << "  primitives " << nl.num_prims() << "\n";
+  os << "converged " << (r.converged ? "yes" : "no") << "\n\n";
+  os << timing_summary(nl) << "\n";
+  os << violations_report(r.violations);
+  for (const auto& c : r.cases) {
+    os << "\n=== case \"" << c.name << "\" (" << c.events << " events, converged "
+       << (c.converged ? "yes" : "no") << ") ===\n";
+    os << violations_report(c.violations);
+  }
+  os << "\n" << cross_reference_listing(nl, r.cross_reference);
+  return os.str();
+}
+
+void check_shdl_delta(const std::string& design, const std::string& dir,
+                      bool with_stdlib) {
+  const std::string text =
+      read_file(std::string(TV_REPO_ROOT) + "/designs/" + design + ".shdl");
+  ASSERT_FALSE(text.empty());
+  auto elaborate = [&]() {
+    return with_stdlib
+               ? hdl::elaborate_sources({hdl::std_chip_library(), text})
+               : hdl::elaborate_source(text);
+  };
+  const std::string delta_text =
+      read_file(std::string(TV_GOLDEN_DIR) + "/" + dir + "/delta.json");
+  ASSERT_FALSE(delta_text.empty());
+
+  // The incremental world: cold baseline, then one reverify.
+  hdl::ElaboratedDesign incr = elaborate();
+  Verifier v(incr.netlist, incr.options);
+  v.verify(incr.cases);
+  NetlistDelta delta;
+  std::string error;
+  ASSERT_TRUE(parse_delta_json(delta_text, incr.netlist, &delta, &error)) << error;
+  ReverifyStats st;
+  VerifyResult spliced = v.reverify(delta, &st);
+  EXPECT_TRUE(st.incremental) << dir << ": fell back (" << st.fallback_reason << ")";
+  const std::string report = render_delta_report(incr.netlist, spliced);
+
+  // The cold world: the same delta applied wholesale, verified from scratch.
+  hdl::ElaboratedDesign cold = elaborate();
+  apply_delta(cold.netlist, cold.cases, delta);
+  if (!cold.netlist.finalized()) cold.netlist.finalize();
+  Verifier cv(cold.netlist, cold.options);
+  VerifyResult cold_result = cv.verify(cold.cases);
+  EXPECT_EQ(report, render_delta_report(cold.netlist, cold_result))
+      << dir << ": incremental and cold reports diverged";
+
+  const std::string path = std::string(TV_GOLDEN_DIR) + "/" + dir + "/report.golden.txt";
+  if (std::getenv("TV_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << report;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " -- run with TV_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), report) << "report for " << dir << " diverged from " << path;
+}
+
+TEST(GoldenReports, RegfileExampleDelta1) {
+  check_shdl_delta("regfile_example", "regfile_example_delta1", false);
+}
+
+TEST(GoldenReports, StdlibPipelineDelta1) {
+  check_shdl_delta("stdlib_pipeline", "stdlib_pipeline_delta1", true);
+}
 
 }  // namespace

@@ -18,6 +18,10 @@
 //     --time-limit S   wall-clock budget in seconds; on expiry the affected
 //                      cones degrade to UNKNOWN (conservative) and the run
 //                      completes as partial
+//     --reverify FILE  after the baseline run, apply the JSON netlist delta
+//                      in FILE (docs/incremental.md) and re-verify
+//                      incrementally; the printed report describes the
+//                      edited design
 //     --no-cases       skip case analysis even if the design declares cases
 //     --jobs N         evaluate cases on N worker threads (0 = one per core;
 //                      results are identical for every N)
@@ -46,6 +50,7 @@
 
 #include "core/compiled.hpp"
 #include "core/explain.hpp"
+#include "core/incremental.hpp"
 #include "core/export.hpp"
 #include "core/storage_stats.hpp"
 #include "core/verifier.hpp"
@@ -62,6 +67,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
                "[--stdlib] [--compiled] [--slack] [--waves] [--where-used] [--explain] "
+               "[--reverify FILE] "
                "[--vcd FILE] [--json FILE] [--diag-json FILE] [--max-errors N] [--werror] "
                "[--time-limit SECONDS] [--jobs N] [--batch-lanes N] [--no-batch] "
                "[--fault SPEC] <design.shdl | design.tvc>\n");
@@ -97,6 +103,7 @@ int main(int argc, char** argv) {
   bool want_slack = false;
   bool want_waves = false, want_where_used = false;
   bool want_explain = false;
+  const char* reverify_path = nullptr;
   const char* vcd_path = nullptr;
   const char* json_path = nullptr;
   const char* diag_json_path = nullptr;
@@ -132,6 +139,8 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       want_explain = true;
+    } else if (std::strcmp(argv[i], "--reverify") == 0 && i + 1 < argc) {
+      reverify_path = argv[++i];
     } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -257,6 +266,41 @@ int main(int argc, char** argv) {
     tv::VerifyResult result =
         verifier.verify(run_cases ? design.cases : std::vector<tv::CaseSpec>{});
     timer.stop();
+
+    if (reverify_path) {
+      tv::crash::set_context(reverify_path, "read delta");
+      std::ifstream df(reverify_path);
+      if (!df) {
+        std::fprintf(stderr, "scaldtv: cannot open %s\n", reverify_path);
+        return 2;
+      }
+      if (tv::fault::should_fail("io.read")) {
+        std::fprintf(stderr, "scaldtv: injected read failure on %s\n", reverify_path);
+        return 5;
+      }
+      std::stringstream dbuf;
+      dbuf << df.rdbuf();
+      tv::NetlistDelta delta;
+      std::string derror;
+      if (!tv::parse_delta_json(dbuf.str(), design.netlist, &delta, &derror)) {
+        std::fprintf(stderr, "scaldtv: %s: %s\n", reverify_path, derror.c_str());
+        return 2;
+      }
+      tv::crash::set_context(reverify_path, "reverify");
+      timer.start("reverify");
+      tv::ReverifyStats rst;
+      result = verifier.reverify(delta, &rst);
+      timer.stop();
+      if (rst.incremental) {
+        std::printf("reverify %s: incremental, %zu dirty primitive(s), %zu touched "
+                    "signal(s), %zu case(s) re-evaluated, %zu spliced\n",
+                    reverify_path, rst.dirty_prims.size(), rst.touched_signals,
+                    rst.cases_reevaluated, rst.cases_spliced);
+      } else {
+        std::printf("reverify %s: full re-run (%s)\n", reverify_path,
+                    rst.fallback_reason.c_str());
+      }
+    }
     tv::crash::set_context(path, "reporting");
 
     std::printf("design %s: %zu primitives, %zu signals, %zu events, %zu case(s)\n",

@@ -31,6 +31,13 @@
 // fails on any divergence from the in-memory original, or on a
 // non-deterministic serialization (the artifact must be byte-stable).
 //
+// An eighth mode, --incr-diff, replays a K-step random edit script against
+// each random circuit both incrementally (Verifier::reverify, one long-lived
+// verifier) and cold (fresh build + delta prefix + from-scratch verify) on
+// both the source and the compiled front ends, and fails on any divergence
+// outside the sanctioned evaluation-effort counters (the reverify report
+// must be byte-identical to a cold run of the edited design).
+//
 // A fifth mode, --serve-chaos, pushes seeded batches of generated designs
 // with random fault specs through a real scaldtvd worker pool and asserts
 // every job ends in a terminal state, retries are visible in attempt
@@ -39,7 +46,8 @@
 //
 // Usage:
 //   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
-//          [--batch-diff] [--compile-diff] [--parser-fuzz] [--serve-chaos]
+//          [--batch-diff] [--compile-diff] [--incr-diff] [--incr-steps K]
+//          [--parser-fuzz] [--serve-chaos]
 //          [--scaldtvd PATH] [--scaldtv PATH] [--no-shrink] [-v]
 #include <cstdint>
 #include <cstdio>
@@ -47,6 +55,7 @@
 #include <cstring>
 #include <string>
 
+#include "check/incr_diff.hpp"
 #include "check/oracles.hpp"
 #include "check/parser_fuzz.hpp"
 #include "check/serve_chaos.hpp"
@@ -61,6 +70,8 @@ struct Options {
   bool memo_diff = false;
   bool batch_diff = false;
   bool compile_diff = false;
+  bool incr_diff = false;
+  int incr_steps = 4;
   bool parser_fuzz = false;
   bool serve_chaos = false;
   bool seeds_set = false;
@@ -84,6 +95,10 @@ void usage(const char* argv0) {
                "                and batch engines and fail on any divergence\n"
                "  --compile-diff round-trip each circuit through the compiled-design\n"
                "                artifact and fail on any divergence or instability\n"
+               "  --incr-diff   replay a K-step random edit script incrementally\n"
+               "                (Verifier::reverify) and cold per step, on both the\n"
+               "                source and compiled front ends; fail on divergence\n"
+               "  --incr-steps K edits per script in --incr-diff (default 4)\n"
                "  --parser-fuzz mutate valid SHDL sources and assert the front end\n"
                "                never crashes and always diagnoses rejected input\n"
                "  --serve-chaos run seeded faulted batches through scaldtvd and assert\n"
@@ -126,6 +141,14 @@ int main(int argc, char** argv) {
       opt.batch_diff = true;
     } else if (a == "--compile-diff") {
       opt.compile_diff = true;
+    } else if (a == "--incr-diff") {
+      opt.incr_diff = true;
+    } else if (a == "--incr-steps") {
+      next_int(opt.incr_steps);
+      if (opt.incr_steps < 1) {
+        usage(argv[0]);
+        return 2;
+      }
     } else if (a == "--parser-fuzz") {
       opt.parser_fuzz = true;
     } else if (a == "--serve-chaos") {
@@ -178,6 +201,20 @@ int main(int argc, char** argv) {
                   warm ? "warm" : "fork/exec", fail->kind.c_str(),
                   fail->detail.c_str());
     }
+    // Incremental-reverification chaos: faulted delta applications must
+    // retry byte-identically and never corrupt a warm worker's resident
+    // fixpoint (the scenario runs both backends internally).
+    {
+      auto fail = tv::check::check_reverify_chaos(sc);
+      if (opt.verbose) {
+        std::printf("serve-chaos reverify: %s\n", fail ? "FAIL" : "ok");
+      }
+      if (fail) {
+        ++failures;
+        std::printf("FAIL serve-chaos reverify [%s]\n  %s\n", fail->kind.c_str(),
+                    fail->detail.c_str());
+      }
+    }
     // Seeded chaos batches, alternating backends so both the fork/exec and
     // the warm-pool supervisors face the same fault mix.
     for (int i = 0; i < batches; ++i) {
@@ -219,6 +256,59 @@ int main(int argc, char** argv) {
     }
     std::printf("tvfuzz --parser-fuzz: %d cases, %d failure%s\n", opt.circuit_seeds,
                 failures, failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+  }
+
+  if (opt.incr_diff) {
+    // Differential incremental mode: every random circuit is edited K times
+    // and re-verified both incrementally and cold after each step, once per
+    // front end (source build and compiled-artifact round trip). The
+    // incremental report must be byte-identical each time, counters aside.
+    for (int i = 0; i < opt.circuit_seeds; ++i) {
+      std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+      tv::check::CircuitSpec spec = tv::check::random_spec(seed);
+      for (bool compiled : {false, true}) {
+        tv::check::IncrDiffOptions io;
+        io.steps = opt.incr_steps;
+        io.compiled = compiled;
+        auto fail = tv::check::check_incr_equivalence(spec, io);
+        if (opt.verbose) {
+          std::printf("incr-diff seed %llu (%s): %s\n",
+                      static_cast<unsigned long long>(seed),
+                      compiled ? "compiled" : "source", fail ? "FAIL" : "ok");
+        }
+        if (!fail) continue;
+        ++failures;
+        std::printf("FAIL incr-diff seed %llu (%s) [%s]\n  %s\n",
+                    static_cast<unsigned long long>(seed),
+                    compiled ? "compiled" : "source", fail->kind.c_str(),
+                    fail->detail.c_str());
+        if (opt.shrink) {
+          // The edit script is a pure function of the circuit seed; pin it
+          // so the script stays fixed while the circuit shrinks around it.
+          tv::check::IncrDiffOptions pinned = io;
+          pinned.edit_seed =
+              spec.seed * 0x9E3779B97F4A7C15ULL + 0x6C62272E07BB0142ULL;
+          std::string kind = fail->kind;
+          tv::check::CircuitSpec small = tv::check::shrink_circuit(
+              spec, [&](const tv::check::CircuitSpec& s) {
+                auto f = tv::check::check_incr_equivalence(s, pinned);
+                return f && f->kind == kind;
+              });
+          std::printf("shrunk repro (edit_seed %llu, %s front end):\n%s\n",
+                      static_cast<unsigned long long>(pinned.edit_seed),
+                      compiled ? "compiled" : "source",
+                      tv::check::gtest_repro(small, kind).c_str());
+        } else {
+          std::printf("repro:\n%s\n",
+                      tv::check::gtest_repro(spec, fail->kind).c_str());
+        }
+      }
+    }
+    std::printf("tvfuzz --incr-diff: %d circuit cases x 2 front ends x %d steps, "
+                "%d failure%s\n",
+                opt.circuit_seeds, opt.incr_steps, failures,
+                failures == 1 ? "" : "s");
     return failures ? 1 : 0;
   }
 
