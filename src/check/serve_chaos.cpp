@@ -460,6 +460,119 @@ std::optional<ServeChaosFailure> check_reverify_chaos(const ServeChaosOptions& o
   return std::nullopt;
 }
 
+std::optional<ServeChaosFailure> check_kill_restart(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "kill-restart needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-kill-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  // A small batch with observable retry structure: two clean jobs, one that
+  // aborts on attempt 1 only (its retry doubles the journal traffic for
+  // that job), one whose read fails on attempt 1. Seeded designs keep the
+  // batch content varied across chaos seeds.
+  std::mt19937_64 rng(opts.seed * 0x9E3779B97F4A7C15ull + 29);
+  std::vector<std::string> cleanup;
+  std::string jobs_path = dir + "/batch.jobs";
+  {
+    std::ofstream jobs_out(jobs_path);
+    for (int i = 0; i < 4; ++i) {
+      std::string design_file = dir + "/design_" + std::to_string(i) + ".shdl";
+      std::ofstream out(design_file);
+      out << seed_design(static_cast<std::size_t>(rng() % seed_design_count()));
+      out.close();
+      cleanup.push_back(design_file);
+      jobs_out << "{\"id\": \"kr-" << i << "\", \"design\": \"" << design_file << "\"";
+      if (i == 1) {
+        jobs_out << ", \"fault\": \"evaluator.eval@1:abort\", \"fault_attempts\": 1";
+      } else if (i == 2) {
+        jobs_out << ", \"fault\": \"io.read@1:fail\", \"fault_attempts\": 1";
+      }
+      jobs_out << "}\n";
+    }
+  }
+  cleanup.push_back(jobs_path);
+
+  std::string seed_arg = std::to_string(opts.seed % 1000000);
+  auto daemon_cmd = [&](const std::string& journal, const std::string& manifest,
+                        const std::string& fault, bool resume) {
+    std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                      "' --workers 2 --max-attempts 3 --backoff-ms 10 "
+                      "--backoff-max-ms 50 --job-timeout 2 --seed " + seed_arg +
+                      " --journal '" + journal + "' --manifest '" + manifest + "' ";
+    if (!fault.empty()) cmd += "--fault '" + fault + "' ";
+    if (resume) cmd += "--resume ";
+    if (opts.warm) cmd += "--warm ";
+    cmd += "'" + jobs_path + "'";
+    if (!opts.verbose) cmd += " 2>/dev/null";
+    return cmd;
+  };
+
+  // Reference: the same batch, journaled, uninterrupted. Its journal's line
+  // count is the number of durable transitions -- each one is a kill point.
+  std::string ref_journal = dir + "/ref.journal";
+  std::string ref_manifest = dir + "/ref.manifest.json";
+  cleanup.push_back(ref_journal);
+  cleanup.push_back(ref_manifest);
+  std::system(daemon_cmd(ref_journal, ref_manifest, "", false).c_str());
+  std::string reference = read_file(ref_manifest);
+  if (reference.empty()) {
+    return fail("bad-config", "reference run wrote no manifest; work dir kept at " + dir);
+  }
+  std::string ref_journal_text = read_file(ref_journal);
+  int transitions = 0;
+  for (char c : ref_journal_text) transitions += c == '\n';
+  --transitions;  // header line is written before any transition
+  if (transitions < 8) {
+    return fail("bad-config", "reference journal shows only " +
+                                  std::to_string(transitions) +
+                                  " transitions; work dir kept at " + dir);
+  }
+
+  std::string kill_journal = dir + "/kill.journal";
+  std::string kill_manifest = dir + "/kill.manifest.json";
+  cleanup.push_back(kill_journal);
+  cleanup.push_back(kill_manifest);
+  for (int n = 1; n <= transitions; ++n) {
+    std::remove(kill_journal.c_str());
+    std::remove(kill_manifest.c_str());
+    std::string fault = "serve.kill9@" + std::to_string(n) + ":kill9";
+    // First run dies at transition n (SIGKILL, nothing flushed beyond the
+    // journal). Restart with --resume until the manifest appears; the
+    // journal must make one restart enough, but allow a few in case the
+    // kill landed before the first append.
+    std::system(daemon_cmd(kill_journal, kill_manifest, fault, false).c_str());
+    int restarts = 0;
+    while (read_file(kill_manifest).empty() && restarts < 5) {
+      ++restarts;
+      std::system(daemon_cmd(kill_journal, kill_manifest, "", true).c_str());
+    }
+    std::string resumed = read_file(kill_manifest);
+    if (resumed.empty()) {
+      return fail("resume-wedged", "kill point " + std::to_string(n) + ": batch still "
+                                       "unfinished after 5 restarts; work dir kept at " + dir);
+    }
+    if (resumed != reference) {
+      return fail("resume-divergence",
+                  "kill point " + std::to_string(n) + ": resumed manifest differs from "
+                      "the uninterrupted run's; work dir kept at " + dir);
+    }
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
 std::optional<ServeChaosFailure> check_drain_requeue(const ServeChaosOptions& opts) {
   auto fail = [](std::string kind, std::string detail) {
     return ServeChaosFailure{std::move(kind), std::move(detail)};

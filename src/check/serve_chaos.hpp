@@ -58,6 +58,21 @@ std::optional<ServeChaosFailure> check_serve_chaos(const ServeChaosOptions& opts
 /// Ignores opts.warm (both backends run); honors seed/paths/verbose.
 std::optional<ServeChaosFailure> check_reverify_chaos(const ServeChaosOptions& opts);
 
+/// The kill/restart chaos scenario (docs/recovery.md): one reference batch
+/// runs uninterrupted under a write-ahead journal, then the same batch is
+/// re-run once per journal transition with the daemon SIGKILLed at exactly
+/// that transition (fault site serve.kill9) and restarted with
+/// `scaldtvd --resume` until the batch completes. Asserts:
+///
+///   * every kill point resumes to a manifest byte-identical to the
+///     uninterrupted run's -- attempts, outcomes, states, and counts;
+///   * a bounded number of restarts always finishes the batch (the journal
+///     can never wedge resume into a loop);
+///   * the journal itself replays cleanly after every kill (the torn-line
+///     tolerance never hides mid-file corruption).
+/// Honors opts.warm (backend under test), seed, and the binary paths.
+std::optional<ServeChaosFailure> check_kill_restart(const ServeChaosOptions& opts);
+
 /// The graceful-shutdown scenarios: SIGTERM lands (a) while a worker hangs
 /// with retries already exhausted-to-be, and (b) while a job sits in retry
 /// backoff. Both jobs must be recorded "requeued" -- never "crashed" -- with

@@ -1,0 +1,175 @@
+#include "check/snapshot_diff.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "check/incr_diff.hpp"
+#include "core/compiled.hpp"
+#include "core/fixpoint.hpp"
+#include "core/incremental.hpp"
+#include "core/verifier.hpp"
+#include "diag/diagnostic.hpp"
+#include "diag/render.hpp"
+
+namespace tv::check {
+
+namespace {
+
+/// Everything observable about one verification INCLUDING the cumulative
+/// evaluation-effort counters: a restored verifier re-bases its counters on
+/// the snapshot's, so unlike the incremental oracle (which sanctions the
+/// counter asymmetry as the speedup), the snapshot contract demands they
+/// match exactly.
+std::string render_full(const Netlist& nl, const VerifyResult& r) {
+  std::ostringstream os;
+  os << "converged=" << r.converged << " partial=" << r.partial
+     << " base_events=" << r.base_events << " base_evals=" << r.base_evals << '\n';
+  os << timing_summary(nl);
+  os << violations_report(r.violations);
+  for (const auto& c : r.cases) {
+    os << "case " << c.name << " events=" << c.events << " converged=" << c.converged
+       << " degraded=" << c.degraded << '\n'
+       << violations_report(c.violations);
+  }
+  os << "xref:";
+  for (SignalId id : r.cross_reference) os << ' ' << id;
+  os << '\n';
+  return os.str();
+}
+
+std::string diag_text(const diag::DiagnosticEngine& diags) {
+  std::string text = diag::render_text(diags);
+  return text.empty() ? "(no diagnostic)" : text;
+}
+
+}  // namespace
+
+std::optional<Failure> check_snapshot_equivalence(const CircuitSpec& spec,
+                                                  const SnapshotDiffOptions& opts) {
+  std::uint64_t edit_seed =
+      opts.edit_seed ? opts.edit_seed
+                     : spec.seed * 0x9E3779B97F4A7C15ULL + 0x6C62272E07BB0142ULL;
+  auto tag = [&](int step) {
+    std::string t = "seed " + std::to_string(spec.seed) + " edit_seed " +
+                    std::to_string(edit_seed) + " (" +
+                    (opts.compiled ? "compiled" : "source") + ")";
+    if (step > 0) t += " step " + std::to_string(step);
+    return t;
+  };
+
+  // Both worlds must come from identical bytes/ids: with the compiled front
+  // end, serialize once and load twice; otherwise build the spec twice.
+  std::string artifact;
+  if (opts.compiled) {
+    BuiltCircuit bc = build(spec);
+    CompiledSummary summary;
+    summary.primitives = bc.nl.num_prims();
+    summary.unique_signals = bc.nl.num_signals();
+    CompiledDesign d = compile_design("FUZZ", bc.nl, bc.opts, bc.cases, summary);
+    artifact = serialize_compiled(d);
+  }
+  std::optional<CompiledDesign> loaded_a, loaded_b;
+  std::optional<BuiltCircuit> built_a, built_b;
+  Netlist* nl_a = nullptr;
+  Netlist* nl_b = nullptr;
+  VerifierOptions vopts;
+  std::vector<CaseSpec> cases;
+  std::uint64_t artifact_hash = 0;
+  if (opts.compiled) {
+    diag::DiagnosticEngine diags;
+    loaded_a = load_compiled(artifact, "<memory>", diags);
+    loaded_b = load_compiled(artifact, "<memory>", diags);
+    if (!loaded_a || !loaded_b) {
+      return Failure{"snapshot-harness", tag(0) + ": compiled artifact failed to load"};
+    }
+    nl_a = &loaded_a->netlist;
+    nl_b = &loaded_b->netlist;
+    vopts = loaded_a->options;
+    cases = loaded_a->cases;
+    artifact_hash = loaded_a->content_hash;
+  } else {
+    built_a.emplace(build(spec));
+    built_b.emplace(build(spec));
+    nl_a = &built_a->nl;
+    nl_b = &built_b->nl;
+    vopts = built_a->opts;
+    cases = built_a->cases;
+  }
+
+  // Writer world: cold verify, then snapshot (twice -- determinism).
+  Verifier va(*nl_a, vopts);
+  if (loaded_a && va.evaluator().intern_context()) {
+    preintern_seeds(*loaded_a, va.evaluator().intern_context()->table);
+  }
+  va.verify(cases);
+  std::string snap1 = va.snapshot("FUZZ", artifact_hash);
+  std::string snap2 = va.snapshot("FUZZ", artifact_hash);
+  if (snap1 != snap2) {
+    return Failure{"snapshot-unstable",
+                   tag(0) + ": serializing the same baseline twice produced " +
+                       std::to_string(snap1.size()) + " vs " +
+                       std::to_string(snap2.size()) + " byte blobs that differ"};
+  }
+
+  diag::DiagnosticEngine load_diags;
+  std::optional<FixpointState> state = load_fixpoint(snap1, "<memory>", load_diags);
+  if (!state) {
+    return Failure{"snapshot-reject",
+                   tag(0) + ": a just-written snapshot failed to load:\n" +
+                       diag_text(load_diags)};
+  }
+
+  // Restored world: fresh build + restore, never a cold baseline.
+  Verifier vb(*nl_b, vopts);
+  if (loaded_b && vb.evaluator().intern_context()) {
+    preintern_seeds(*loaded_b, vb.evaluator().intern_context()->table);
+  }
+  diag::DiagnosticEngine restore_diags;
+  if (!vb.restore(*state, artifact_hash, restore_diags)) {
+    return Failure{"snapshot-restore",
+                   tag(0) + ": restore into a fresh verifier refused:\n" +
+                       diag_text(restore_diags)};
+  }
+  std::string ident_a = render_full(*nl_a, va.baseline());
+  std::string ident_b = render_full(*nl_b, vb.baseline());
+  if (ident_a != ident_b) {
+    return Failure{"snapshot-baseline-diff",
+                   tag(0) + ": restored baseline diverges\n--- writer ---\n" +
+                       ident_a + "--- restored ---\n" + ident_b};
+  }
+
+  // Warm equivalence: the same edit script replayed on both verifiers.
+  Rng rng(edit_seed);
+  for (int step = 1; step <= opts.steps; ++step) {
+    NetlistDelta delta = random_delta(rng, *nl_a, va.baseline_cases());
+    VerifyResult ra, rb;
+    ReverifyStats sa, sb;
+    try {
+      ra = va.reverify(delta, &sa);
+      rb = vb.reverify(delta, &sb);
+    } catch (const std::exception& e) {
+      return Failure{"snapshot-harness",
+                     tag(step) + ": reverify threw on a generated delta: " + e.what()};
+    }
+    ident_a = render_full(*nl_a, ra);
+    ident_b = render_full(*nl_b, rb);
+    if (ident_a != ident_b || sa.incremental != sb.incremental) {
+      std::ostringstream os;
+      os << tag(step) << " (writer " << (sa.incremental ? "incremental" : "cold")
+         << ", restored " << (sb.incremental ? "incremental" : "cold")
+         << "): reports diverge\n--- writer ---\n"
+         << ident_a << "--- restored ---\n"
+         << ident_b;
+      return Failure{"snapshot-diff", os.str()};
+    }
+    if (va.snapshot("FUZZ", artifact_hash) != vb.snapshot("FUZZ", artifact_hash)) {
+      return Failure{"snapshot-state-diff",
+                     tag(step) +
+                         ": the two worlds report identically but re-serialize "
+                         "to different snapshot bytes"};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tv::check

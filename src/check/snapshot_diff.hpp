@@ -1,0 +1,53 @@
+// The fixpoint-snapshot differential oracle (docs/recovery.md; tvfuzz
+// --snapshot-diff).
+//
+// For each seeded random circuit the oracle proves the durable-fixpoint
+// contract of core/fixpoint.hpp end to end:
+//
+//   * determinism -- serializing the same baseline twice yields
+//     byte-identical snapshot blobs (a snapshot can be content-addressed
+//     and diffed);
+//   * round trip -- a snapshot written by one Verifier loads cleanly and
+//     restores into a fresh Verifier over a freshly built world, with the
+//     restored baseline (waveforms, reports, case blocks, cross-reference,
+//     convergence flags, AND the evaluation-effort counters) byte-identical
+//     to the writer's;
+//   * warm equivalence -- a K-step random edit script (check/incr_diff.hpp's
+//     random_delta) replayed via Verifier::reverify on both the writer and
+//     the restored verifier produces byte-identical reports after every
+//     step, effort counters included: the restored process never pays the
+//     cold baseline, and its incremental engine takes the same
+//     incremental-vs-fallback decisions;
+//   * re-snapshot stability -- after every step the two verifiers serialize
+//     to byte-identical snapshots (restore loses nothing a later snapshot
+//     would need).
+//
+// With `compiled` set the circuit is first round-tripped through the
+// scaldtvc artifact, so the snapshot is exercised with a real artifact
+// content hash bound into its BIND section.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "check/oracles.hpp"
+#include "check/rand_netlist.hpp"
+
+namespace tv::check {
+
+struct SnapshotDiffOptions {
+  /// Seed for the edit script; 0 derives it from the circuit seed (same
+  /// derivation as --incr-diff so shrunk repros stay comparable).
+  std::uint64_t edit_seed = 0;
+  int steps = 3;
+  bool compiled = false;  // bind the snapshot to a compiled artifact
+};
+
+/// Runs the snapshot differential for one circuit. Returns the first
+/// divergence (kinds "snapshot-unstable", "snapshot-reject",
+/// "snapshot-restore", "snapshot-baseline-diff", "snapshot-diff",
+/// "snapshot-state-diff", "snapshot-harness"), nullopt when clean.
+std::optional<Failure> check_snapshot_equivalence(const CircuitSpec& spec,
+                                                  const SnapshotDiffOptions& opts = {});
+
+}  // namespace tv::check

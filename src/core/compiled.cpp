@@ -1,19 +1,32 @@
 // Compiled-design artifact serialization (see compiled.hpp for the format).
 #include "core/compiled.hpp"
 
-#include <bit>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include "core/wire_format.hpp"
+#include "util/atomic_file.hpp"
+
 namespace tv {
 namespace {
 
-constexpr std::uint32_t kEndianTag = 0x01020304u;
-constexpr std::uint32_t kEndianTagSwapped = 0x04030201u;
-constexpr std::size_t kHeaderSize = 40;
-constexpr std::size_t kSectionEntrySize = 24;
+using wire::ByteReader;
+using wire::ByteWriter;
+using wire::fnv1a;
+using wire::kEndianTag;
+using wire::kEndianTagSwapped;
+using wire::kHeaderSize;
+using wire::kSectionEntrySize;
+using wire::Loader;
+using wire::read_waveform;
+using wire::write_waveform;
 
 // Section ids (the table is written in this order).
 enum : std::uint32_t {
@@ -27,39 +40,7 @@ constexpr std::uint32_t kSectionIds[] = {kSecMeta, kSecSignals, kSecPrims, kSecC
                                          kSecWaves};
 constexpr std::size_t kSectionCount = sizeof(kSectionIds) / sizeof(kSectionIds[0]);
 
-std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 // ---------------------------------------------------------------- writing
-
-/// Appends explicitly little-endian records to a byte string, so the format
-/// is identical regardless of host byte order.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void str(std::string_view s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.append(s.data(), s.size());
-  }
-  std::string take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
 
 void write_assertion(ByteWriter& w, const Assertion& a) {
   w.u8(static_cast<std::uint8_t>(a.kind));
@@ -75,16 +56,6 @@ void write_assertion(ByteWriter& w, const Assertion& a) {
     w.f64(r.end);
     w.u8(r.width_ns ? 1 : 0);
     if (r.width_ns) w.f64(*r.width_ns);
-  }
-}
-
-void write_waveform(ByteWriter& w, const Waveform& wave) {
-  w.i64(wave.period());
-  w.i64(wave.skew());
-  w.u32(static_cast<std::uint32_t>(wave.segments().size()));
-  for (const Waveform::Segment& s : wave.segments()) {
-    w.u8(static_cast<std::uint8_t>(s.value));
-    w.i64(s.width);
   }
 }
 
@@ -193,77 +164,6 @@ std::string build_waves(const CompiledDesign& d) {
 
 // ---------------------------------------------------------------- reading
 
-/// Bounds-checked little-endian cursor over one section. Every read checks
-/// the remaining size; on underflow it sets `truncated` and returns zeros,
-/// so the caller can finish the record and fail once at the end.
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
-
-  std::uint8_t u8() {
-    if (!need(1)) return 0;
-    return static_cast<std::uint8_t>(bytes_[pos_++]);
-  }
-  std::uint32_t u32() {
-    if (!need(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i])) << (8 * i);
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    if (!need(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i])) << (8 * i);
-    pos_ += 8;
-    return v;
-  }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  double f64() { return std::bit_cast<double>(u64()); }
-  std::string str() {
-    std::uint32_t n = u32();
-    if (!need(n)) return {};
-    std::string s(bytes_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-
-  bool truncated() const { return truncated_; }
-  bool at_end() const { return pos_ == bytes_.size(); }
-
- private:
-  bool need(std::size_t n) {
-    if (truncated_ || bytes_.size() - pos_ < n) {
-      truncated_ = true;
-      return false;
-    }
-    return true;
-  }
-
-  std::string_view bytes_;
-  std::size_t pos_ = 0;
-  bool truncated_ = false;
-};
-
-/// Per-load validation state: reports exactly one diagnostic (the first
-/// failure) and remembers that loading failed.
-struct Loader {
-  diag::DiagnosticEngine& diags;
-  std::string_view origin;
-  bool failed = false;
-
-  bool fail(const char* code, const std::string& message) {
-    if (!failed) {
-      failed = true;
-      diags.report(diag::Severity::Error, code, diag::SourceLoc{},
-                   std::string(origin) + ": " + message);
-    }
-    return false;
-  }
-};
-
 bool read_assertion(ByteReader& r, Assertion& a, Loader& L) {
   std::uint8_t kind = r.u8();
   if (kind > static_cast<std::uint8_t>(Assertion::Kind::Stable))
@@ -284,31 +184,6 @@ bool read_assertion(ByteReader& r, Assertion& a, Loader& L) {
     if (r.u8() != 0) range.width_ns = r.f64();
     a.ranges.push_back(range);
   }
-  return true;
-}
-
-bool read_waveform(ByteReader& r, Waveform& out, Loader& L) {
-  Time period = r.i64();
-  Time skew = r.i64();
-  std::uint32_t nsegs = r.u32();
-  if (r.truncated()) return true;  // reported by the section-end check
-  if (period <= 0 || nsegs == 0)
-    return L.fail(diag::kErrArtifactMalformed, "bad waveform record");
-  std::vector<Waveform::Segment> segs;
-  segs.reserve(nsegs);
-  Time total = 0;
-  for (std::uint32_t i = 0; i < nsegs && !r.truncated(); ++i) {
-    std::uint8_t v = r.u8();
-    Time width = r.i64();
-    if (v >= kNumValues || width <= 0)
-      return L.fail(diag::kErrArtifactMalformed, "bad waveform segment");
-    segs.push_back({static_cast<Value>(v), width});
-    total += width;
-  }
-  if (r.truncated()) return true;
-  if (total != period)
-    return L.fail(diag::kErrArtifactMalformed, "waveform widths do not sum to the period");
-  out = Waveform::from_segments(period, skew, std::move(segs));
   return true;
 }
 
@@ -629,6 +504,30 @@ std::optional<CompiledDesign> load_compiled(std::string_view bytes, std::string_
 
 std::optional<CompiledDesign> load_compiled_file(const std::string& path,
                                                  diag::DiagnosticEngine& diags) {
+  // Map the artifact read-only and parse straight out of the mapping; the
+  // layout has been position-independent since PR 7, and load_compiled
+  // copies everything it keeps, so the mapping is released before return.
+  // Anything mmap can't serve (pipes, /proc, zero-length, exotic
+  // filesystems) falls back to a plain buffered read.
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    diags.report(diag::Severity::Error, diag::kErrArtifactIo, diag::SourceLoc{},
+                 path + ": cannot open compiled design");
+    return std::nullopt;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    std::size_t len = static_cast<std::size_t>(st.st_size);
+    void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      auto result = load_compiled(
+          std::string_view(static_cast<const char*>(map), len), path, diags);
+      ::munmap(map, len);
+      return result;
+    }
+  }
+  ::close(fd);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     diags.report(diag::Severity::Error, diag::kErrArtifactIo, diag::SourceLoc{},
@@ -648,18 +547,7 @@ std::optional<CompiledDesign> load_compiled_file(const std::string& path,
 
 bool write_compiled_file(CompiledDesign& design, const std::string& path, std::string* error) {
   std::string bytes = serialize_compiled(design);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    if (error) *error = path + ": cannot open for writing";
-    return false;
-  }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out.good()) {
-    if (error) *error = path + ": write error";
-    return false;
-  }
-  return true;
+  return util::atomic_write_file(path, bytes, error);
 }
 
 std::size_t preintern_seeds(const CompiledDesign& design, WaveformTable& table) {

@@ -97,13 +97,17 @@ std::string serialize_compiled(CompiledDesign& design);
 std::optional<CompiledDesign> load_compiled(std::string_view bytes, std::string_view origin,
                                             diag::DiagnosticEngine& diags);
 
-/// Reads + load_compiled. Reports TV-E300 when the file cannot be read.
+/// mmap (read() fallback) + load_compiled. The artifact is parsed
+/// straight out of a read-only mapping -- load_compiled copies everything
+/// it keeps, so the mapping is released before return. Reports TV-E300
+/// when the file cannot be read.
 std::optional<CompiledDesign> load_compiled_file(const std::string& path,
                                                  diag::DiagnosticEngine& diags);
 
-/// serialize_compiled + atomic-ish write (temp file + rename would need a
-/// directory walk; this is a plain overwrite). Returns false with `error`
-/// set on I/O failure.
+/// serialize_compiled + util::atomic_write_file (temp file in the target
+/// directory, fsync, rename, directory fsync): a crash mid-write can
+/// never leave a torn artifact. Returns false with `error` set on I/O
+/// failure.
 bool write_compiled_file(CompiledDesign& design, const std::string& path, std::string* error);
 
 /// Interns every arena waveform into `table`, warming it with the seed

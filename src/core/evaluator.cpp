@@ -143,6 +143,52 @@ void Evaluator::initialize() {
   }
 }
 
+void Evaluator::restore_fixpoint(const std::vector<Waveform>& waves,
+                                 const std::vector<std::string>& eval_strs,
+                                 bool converged, bool degraded,
+                                 std::vector<Degradation> degradations) {
+  // Mirror of initialize()'s reset, with the snapshot's settled state in
+  // place of seeding: after this the evaluator is indistinguishable (to
+  // reverify and the checkers) from one that just ran propagate() to this
+  // fixpoint -- empty worklist, fresh oscillation budget, no active case.
+  events_ = 0;
+  evals_ = 0;
+  converged_ = converged;
+  degraded_ = degraded;
+  degradations_ = std::move(degradations);
+  table_full_reported_ = false;
+  seg_degraded_.assign(nl_.num_signals(), 0);
+  worklist_.clear();
+  in_worklist_.assign(nl_.num_prims(), 0);
+  eval_count_.assign(nl_.num_prims(), 0);
+  case_map_.assign(nl_.num_signals(), -1);
+  case_pins_.clear();
+  track_touched_ = false;
+  touched_.clear();
+  touched_mark_.clear();
+  wave_refs_.assign(nl_.num_signals(), kNoWaveform);
+  for (SignalId id = 0; id < nl_.num_signals(); ++id) {
+    Signal& s = nl_.signal(id);
+    // Snapshot waveforms are canonical on disk; canonicalize defensively so
+    // a restored ref always compares equal to the same waveform recomputed
+    // in-process (the identity contract's foundation).
+    Waveform w = waves[id];
+    w.canonicalize();
+    s.eval_str = eval_strs[id];
+    if (intern_) {
+      WaveformRef ref = intern_->table.intern(w);
+      if (ref != kNoWaveform) {
+        wave_refs_[id] = ref;
+        s.wave = intern_->table.get(ref);
+        continue;
+      }
+      // Table full: keep the uninterned copy, exactly like store_wave --
+      // consumers of this signal fall back to uncached evaluation.
+    }
+    s.wave = std::move(w);
+  }
+}
+
 void Evaluator::enqueue(PrimId pid) {
   if (in_worklist_[pid]) return;
   in_worklist_[pid] = 1;

@@ -182,6 +182,18 @@ class Evaluator {
   /// check-cone construction.
   const std::vector<SignalId>& touched_signals() const { return touched_; }
 
+  /// Rebuilds the post-run fixpoint state from a restored snapshot
+  /// (core/fixpoint.hpp) without evaluating anything: writes each signal's
+  /// settled waveform and evaluation string back, re-interns every
+  /// waveform so refs and the memo behave exactly as after a real run,
+  /// and resets the worklist/oscillation/case state the way a completed
+  /// propagate() leaves it. Effort counters restart at zero (reverify
+  /// accounts in deltas, re-based on the restored report's cumulative
+  /// counters). `waves`/`eval_strs` must be sized to the netlist.
+  void restore_fixpoint(const std::vector<Waveform>& waves,
+                        const std::vector<std::string>& eval_strs, bool converged,
+                        bool degraded, std::vector<Degradation> degradations);
+
   const Waveform& wave(SignalId id) const { return nl_.signal(id).wave; }
   /// Interned ref of the signal's current waveform; kNoWaveform when
   /// interning is off or the signal was created after the last initialize().

@@ -25,6 +25,10 @@ namespace tv {
 class ConeIndex;
 struct NetlistDelta;
 struct ReverifyStats;
+struct FixpointState;
+namespace diag {
+class DiagnosticEngine;
+}
 
 struct VerifyResult {
   /// Violations found in the base (first) evaluation.
@@ -95,6 +99,28 @@ class Verifier {
   /// run's fixpoint and reverify() can splice against it.
   bool has_baseline() const { return has_baseline_; }
   const std::vector<CaseSpec>& baseline_cases() const { return last_cases_; }
+  /// The baseline report reverify() splices against (last verify's result).
+  /// Meaningful only when has_baseline().
+  const VerifyResult& baseline() const { return last_; }
+
+  /// Serializes the baseline fixpoint into a durable snapshot blob
+  /// (core/fixpoint.hpp; `artifact_hash` binds it to a compiled artifact,
+  /// 0 for source designs). Throws std::logic_error without a baseline.
+  /// Defined in core/fixpoint.cpp.
+  std::string snapshot(const std::string& design, std::uint64_t artifact_hash = 0) const;
+
+  /// Rebuilds the baseline from a loaded snapshot without evaluating
+  /// anything: binding digests are checked against this verifier's design
+  /// and options (TV-E317 on mismatch, reported to `diags`, returns
+  /// false with the verifier untouched), every signal's waveform and
+  /// evaluation string are written back and re-interned, and the prior
+  /// report becomes the splice baseline -- reverify() afterwards behaves
+  /// byte-identically to reverify() on the process that wrote the
+  /// snapshot, cold-baseline cost never paid. `expected_artifact_hash`
+  /// must equal the snapshot's bound artifact hash (0 for source
+  /// designs). Defined in core/fixpoint.cpp.
+  bool restore(const FixpointState& state, std::uint64_t expected_artifact_hash,
+               diag::DiagnosticEngine& diags);
 
   Evaluator& evaluator() { return ev_; }
   const Evaluator& evaluator() const { return ev_; }

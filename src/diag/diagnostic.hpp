@@ -153,5 +153,16 @@ inline constexpr const char* kErrArtifactTruncated = "TV-E303";  // short read /
 inline constexpr const char* kErrArtifactHash = "TV-E304";       // content-hash mismatch
 inline constexpr const char* kErrArtifactMalformed = "TV-E305";  // bad record / ref out of range
 inline constexpr const char* kErrArtifactEndian = "TV-E306";     // byte-order mismatch
+// Fixpoint snapshots (core/fixpoint.hpp), the TV-E30x codes' sidecar
+// mirror. All are input errors (exit 2): a rejected snapshot means "run
+// the cold baseline", never a crash or a retry.
+inline constexpr const char* kErrSnapshotIo = "TV-E310";         // cannot open/read
+inline constexpr const char* kErrSnapshotMagic = "TV-E311";      // not a fixpoint snapshot
+inline constexpr const char* kErrSnapshotVersion = "TV-E312";    // format-version skew
+inline constexpr const char* kErrSnapshotTruncated = "TV-E313";  // short read / bad section size
+inline constexpr const char* kErrSnapshotHash = "TV-E314";       // content-hash mismatch
+inline constexpr const char* kErrSnapshotMalformed = "TV-E315";  // bad record / ref out of range
+inline constexpr const char* kErrSnapshotEndian = "TV-E316";     // byte-order mismatch
+inline constexpr const char* kErrSnapshotBinding = "TV-E317";    // snapshot of a different design/options
 
 }  // namespace tv::diag

@@ -1,0 +1,441 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tv::serve {
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(const std::string& s, std::uint64_t h) {
+  // Length-prefixed so adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+  std::uint64_t n = s.size();
+  h = fnv1a(&n, sizeof n, h);
+  return fnv1a(s.data(), s.size(), h);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+  if (!end || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+// Same minimal flat-object scanner the job parser uses (serve/job.cpp):
+// string / number / boolean values, no nesting. Journal records are flat
+// by construction.
+struct JsonScanner {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string error;
+
+  explicit JsonScanner(const std::string& text) : s(text) {}
+
+  bool fail(const std::string& why) {
+    error = why + " at offset " + std::to_string(i);
+    return false;
+  }
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (i >= s.size() || s[i] != c) return fail(std::string("expected '") + c + "'");
+    ++i;
+    return true;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return fail("expected string");
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return fail("bad escape");
+        char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: return fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;
+    return true;
+  }
+  bool parse_value(std::string& out, bool& is_string) {
+    skip_ws();
+    if (i >= s.size()) return fail("expected value");
+    if (s[i] == '"') {
+      is_string = true;
+      return parse_string(out);
+    }
+    is_string = false;
+    std::size_t start = i;
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '-' || s[i] == '+' || s[i] == '.')) {
+      ++i;
+    }
+    if (i == start) return fail("expected value");
+    out = s.substr(start, i - start);
+    return true;
+  }
+};
+
+struct Field {
+  std::string value;
+  bool is_string = false;
+  bool present = false;
+};
+
+// Parses one record line into its key/value fields. Flat objects only;
+// duplicate keys rejected.
+bool parse_record(const std::string& line,
+                  std::unordered_map<std::string, Field>& fields, std::string* error) {
+  JsonScanner sc(line);
+  fields.clear();
+  if (!sc.expect('{')) { *error = sc.error; return false; }
+  bool first = true;
+  for (;;) {
+    sc.skip_ws();
+    if (sc.i < sc.s.size() && sc.s[sc.i] == '}') {
+      ++sc.i;
+      break;
+    }
+    if (!first && !sc.expect(',')) { *error = sc.error; return false; }
+    first = false;
+    std::string key;
+    Field f;
+    if (!sc.parse_string(key)) { *error = sc.error; return false; }
+    if (!sc.expect(':')) { *error = sc.error; return false; }
+    if (!sc.parse_value(f.value, f.is_string)) { *error = sc.error; return false; }
+    f.present = true;
+    if (!fields.emplace(std::move(key), std::move(f)).second) {
+      *error = "duplicate key";
+      return false;
+    }
+  }
+  sc.skip_ws();
+  if (sc.i != sc.s.size()) { *error = "trailing characters after object"; return false; }
+  return true;
+}
+
+bool parse_int(const std::string& text, long& out) {
+  char* end = nullptr;
+  out = std::strtol(text.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+JobState state_from_name(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "done") return JobState::Done;
+  if (name == "violations") return JobState::Violations;
+  if (name == "input-error") return JobState::InputError;
+  if (name == "degraded") return JobState::Degraded;
+  if (name == "crashed") return JobState::Crashed;
+  if (name == "requeued") return JobState::Requeued;
+  *ok = false;
+  return JobState::Requeued;
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string header_line(const std::vector<JobSpec>& jobs, std::uint64_t seed,
+                        int max_attempts) {
+  std::string line = "{\"journal\": \"scaldtvd\", \"version\": ";
+  line += std::to_string(kJournalVersion);
+  line += ", \"jobs\": " + std::to_string(jobs.size());
+  line += ", \"jobs_digest\": ";
+  append_escaped(line, hex64(jobs_digest(jobs)));
+  line += ", \"seed\": " + std::to_string(seed);
+  line += ", \"max_attempts\": " + std::to_string(max_attempts);
+  line += "}\n";
+  return line;
+}
+
+}  // namespace
+
+std::uint64_t jobs_digest(const std::vector<JobSpec>& jobs) {
+  std::uint64_t h = 14695981039346656037ull;
+  std::uint64_t n = jobs.size();
+  h = fnv1a(&n, sizeof n, h);
+  for (const JobSpec& j : jobs) {
+    h = fnv1a_str(j.id, h);
+    h = fnv1a_str(j.design, h);
+    unsigned char flags = static_cast<unsigned char>((j.compiled ? 1 : 0) |
+                                                     (j.stdlib ? 2 : 0));
+    h = fnv1a(&flags, sizeof flags, h);
+    h = fnv1a(&j.time_limit, sizeof j.time_limit, h);
+    h = fnv1a(&j.jobs, sizeof j.jobs, h);
+    h = fnv1a_str(j.reverify, h);
+    h = fnv1a_str(j.fault, h);
+    h = fnv1a(&j.fault_attempts, sizeof j.fault_attempts, h);
+  }
+  return h;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) close(fd_);
+}
+
+std::unique_ptr<Journal> Journal::create(const std::string& path,
+                                         const std::vector<JobSpec>& jobs,
+                                         std::uint64_t seed, int max_attempts,
+                                         std::string* error) {
+  int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error) *error = path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  std::unique_ptr<Journal> j(new Journal(fd));
+  j->append(header_line(jobs, seed, max_attempts));
+  if (!j->ok()) {
+    if (error) *error = j->error();
+    return nullptr;
+  }
+  return j;
+}
+
+std::unique_ptr<Journal> Journal::reopen(const std::string& path, std::string* error) {
+  int fd = open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    if (error) *error = path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  return std::unique_ptr<Journal>(new Journal(fd));
+}
+
+void Journal::append(const std::string& line) {
+  if (!ok_) return;
+  if (!write_all(fd_, line.data(), line.size()) || fsync(fd_) != 0) {
+    ok_ = false;
+    error_ = std::string("journal append failed: ") + std::strerror(errno);
+  }
+}
+
+void Journal::record_launch(const std::string& job_id, int attempt) {
+  std::string line = "{\"job\": ";
+  append_escaped(line, job_id);
+  line += ", \"attempt\": " + std::to_string(attempt);
+  line += ", \"event\": \"launch\"}\n";
+  append(line);
+}
+
+void Journal::record_outcome(const std::string& job_id, int attempt,
+                             const std::string& outcome) {
+  std::string line = "{\"job\": ";
+  append_escaped(line, job_id);
+  line += ", \"attempt\": " + std::to_string(attempt);
+  line += ", \"event\": \"outcome\", \"outcome\": ";
+  append_escaped(line, outcome);
+  line += "}\n";
+  append(line);
+}
+
+void Journal::record_settle(const std::string& job_id, JobState state) {
+  std::string line = "{\"job\": ";
+  append_escaped(line, job_id);
+  line += ", \"event\": \"settle\", \"state\": \"";
+  line += job_state_name(state);
+  line += "\"}\n";
+  append(line);
+}
+
+bool derive_settlement(const std::vector<std::string>& outcomes, int max_attempts,
+                       JobState* out) {
+  // Mirrors the live reap path exactly (serve/supervisor.cpp): exits 0/1/3
+  // are verdicts, exit 5 / signals / timeouts / spawn failures are
+  // transient (retried), everything else is a permanent input error.
+  for (const std::string& o : outcomes) {
+    if (o.rfind("exit:", 0) == 0) {
+      long code = 0;
+      if (!parse_int(o.substr(5), code)) code = 127;
+      switch (code) {
+        case 0: *out = JobState::Done; return true;
+        case 1: *out = JobState::Violations; return true;
+        case 3: *out = JobState::Degraded; return true;
+        case 5: break;  // transient
+        default: *out = JobState::InputError; return true;
+      }
+    }
+    // "signal:N", "timeout", "spawn-failed": transient, keep walking.
+  }
+  if (static_cast<int>(outcomes.size()) >= max_attempts) {
+    *out = JobState::Crashed;
+    return true;
+  }
+  return false;
+}
+
+std::optional<JournalReplay> replay_journal(const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<JournalReplay> {
+    if (error) *error = path + ": " + why;
+    return std::nullopt;
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  JournalReplay replay;
+  bool saw_header = false;
+  std::size_t lineno = 0;
+  std::size_t from = 0;
+  while (from < text.size()) {
+    std::size_t nl = text.find('\n', from);
+    bool torn = nl == std::string::npos;  // no newline: crash tore this line
+    std::string line = text.substr(from, torn ? std::string::npos : nl - from);
+    from = torn ? text.size() : nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    std::unordered_map<std::string, Field> f;
+    std::string perror;
+    if (!parse_record(line, f, &perror)) {
+      if (torn) break;  // a torn final record is the expected crash artifact
+      return fail("line " + std::to_string(lineno) + ": " + perror);
+    }
+    if (torn) {
+      // Parsed, but unterminated: still a torn write (the record is only
+      // durable once its newline hit the disk). Drop it -- the attempt it
+      // described will simply re-run.
+      break;
+    }
+
+    auto str_field = [&](const char* key) -> const Field* {
+      auto it = f.find(key);
+      return (it != f.end() && it->second.is_string) ? &it->second : nullptr;
+    };
+    auto num_field = [&](const char* key, long& out) {
+      auto it = f.find(key);
+      return it != f.end() && !it->second.is_string && parse_int(it->second.value, out);
+    };
+
+    if (!saw_header) {
+      const Field* kind = str_field("journal");
+      if (!kind || kind->value != "scaldtvd") return fail("not a scaldtvd journal");
+      long version = 0, njobs = 0, seed = 0, max_attempts = 0;
+      const Field* digest = str_field("jobs_digest");
+      if (!num_field("version", version) || !num_field("jobs", njobs) ||
+          !num_field("seed", seed) || !num_field("max_attempts", max_attempts) ||
+          !digest || njobs < 0 || seed < 0 || max_attempts < 1 ||
+          !parse_hex64(digest->value, replay.digest)) {
+        return fail("malformed journal header");
+      }
+      if (version != kJournalVersion) {
+        return fail("journal version " + std::to_string(version) +
+                    " (this build reads version " + std::to_string(kJournalVersion) + ")");
+      }
+      replay.version = static_cast<std::uint32_t>(version);
+      replay.num_jobs = static_cast<std::size_t>(njobs);
+      replay.seed = static_cast<std::uint64_t>(seed);
+      replay.max_attempts = static_cast<int>(max_attempts);
+      saw_header = true;
+      continue;
+    }
+
+    const Field* job = str_field("job");
+    const Field* event = str_field("event");
+    if (!job || !event) {
+      return fail("line " + std::to_string(lineno) + ": record without job/event");
+    }
+    ReplayedJob& rj = replay.jobs[job->value];
+    if (event->value == "launch") {
+      long attempt = 0;
+      if (!num_field("attempt", attempt) ||
+          attempt != static_cast<long>(rj.outcomes.size()) + 1) {
+        // A relaunch of the same attempt after an earlier kill is legal
+        // (same number); a gap or regression is not.
+        return fail("line " + std::to_string(lineno) + ": launch attempt " +
+                    std::to_string(attempt) + " out of order for job \"" +
+                    job->value + "\"");
+      }
+    } else if (event->value == "outcome") {
+      long attempt = 0;
+      const Field* outcome = str_field("outcome");
+      if (!outcome || !num_field("attempt", attempt) ||
+          attempt != static_cast<long>(rj.outcomes.size()) + 1) {
+        return fail("line " + std::to_string(lineno) + ": outcome out of order for job \"" +
+                    job->value + "\"");
+      }
+      rj.outcomes.push_back(outcome->value);
+    } else if (event->value == "settle") {
+      const Field* state = str_field("state");
+      bool ok = false;
+      JobState st = state ? state_from_name(state->value, &ok) : JobState::Requeued;
+      if (!ok) {
+        return fail("line " + std::to_string(lineno) + ": unknown settle state");
+      }
+      rj.settled = true;
+      rj.state = st;
+    } else {
+      return fail("line " + std::to_string(lineno) + ": unknown event \"" +
+                  event->value + "\"");
+    }
+  }
+  if (!saw_header) return fail("missing journal header");
+  return replay;
+}
+
+}  // namespace tv::serve

@@ -1,0 +1,132 @@
+// Write-ahead job journal for scaldtvd (docs/recovery.md).
+//
+// The supervisor's retry state machine is deterministic, but the process
+// running it is not durable: SIGKILL (OOM killer, node reboot, chaos
+// testing) between launches loses which attempts already ran and what they
+// returned. The journal fixes that with classic write-ahead discipline:
+// every job state transition is appended to an fsync'd newline-JSON log
+// *before* the batch moves on, so a restarted daemon can replay the log
+// and continue the batch exactly where it died.
+//
+// Record grammar (one flat JSON object per line):
+//
+//   {"journal": "scaldtvd", "version": 1, "jobs": 3,
+//    "jobs_digest": "9a0f...", "seed": 7, "max_attempts": 3}   header
+//   {"job": "smoke-1", "attempt": 1, "event": "launch"}        intent
+//   {"job": "smoke-1", "attempt": 1, "event": "outcome",
+//    "outcome": "exit:0"}                                      result
+//   {"job": "smoke-1", "event": "settle", "state": "done"}     terminal
+//
+// The header binds the journal to the batch: a digest of every JobSpec
+// plus the retry-relevant options (seed, max_attempts). --resume refuses a
+// journal whose header disagrees with the jobs actually loaded -- replaying
+// one batch's attempts into a different batch would fabricate results.
+//
+// Each record is one write(2) followed by fsync, so a crash can only tear
+// the final line (a prefix of a record, no trailing newline). replay_journal
+// tolerates exactly that -- a torn final line is dropped -- and rejects any
+// other malformation loudly: mid-file garbage means the file is not our
+// journal or the disk lied, and resuming from it would be a guess.
+//
+// Settlement is derived, not trusted: the terminal state of a replayed job
+// is recomputed from its outcome list with the same classification rules
+// the live supervisor uses (derive_settlement), so a journal killed between
+// an outcome append and its settle append still resumes correctly --
+// "settle" records are an observability nicety, not load-bearing state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/manifest.hpp"
+
+namespace tv::serve {
+
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/// Digest binding a journal to its batch: FNV-1a over every JobSpec field
+/// of every job, in input order. Two invocations with the same job files
+/// agree; any edit to any job disagrees.
+std::uint64_t jobs_digest(const std::vector<JobSpec>& jobs);
+
+/// Append-only journal writer. Failures are sticky: the first append that
+/// cannot be written+fsync'd latches ok() false and the error message;
+/// later appends are no-ops. The supervisor checks ok() when the batch
+/// ends -- a batch that ran fine but could not be journaled must not
+/// pretend to be durable.
+class Journal {
+ public:
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Creates (truncating any previous file) a fresh journal and writes the
+  /// fsync'd header record. Returns nullptr with *error set on I/O failure.
+  static std::unique_ptr<Journal> create(const std::string& path,
+                                         const std::vector<JobSpec>& jobs,
+                                         std::uint64_t seed, int max_attempts,
+                                         std::string* error);
+
+  /// Reopens an existing journal for appending (resume). The header is NOT
+  /// rewritten; the caller must have replayed and validated it first.
+  static std::unique_ptr<Journal> reopen(const std::string& path, std::string* error);
+
+  /// Write-ahead intent: attempt `attempt` of `job_id` is about to launch.
+  void record_launch(const std::string& job_id, int attempt);
+  /// The attempt finished with `outcome` ("exit:N", "signal:N", "timeout",
+  /// or "spawn-failed" -- the manifest's outcome vocabulary).
+  void record_outcome(const std::string& job_id, int attempt, const std::string& outcome);
+  /// The job reached terminal state `state`.
+  void record_settle(const std::string& job_id, JobState state);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  explicit Journal(int fd) : fd_(fd) {}
+  void append(const std::string& line);
+
+  int fd_ = -1;
+  bool ok_ = true;
+  std::string error_;
+};
+
+/// One job's replayed history.
+struct ReplayedJob {
+  std::vector<std::string> outcomes;  // oldest first, one per finished attempt
+  bool settled = false;               // a settle record was seen
+  JobState state = JobState::Requeued;
+};
+
+/// A replayed journal: the validated header plus per-job attempt history.
+struct JournalReplay {
+  std::uint32_t version = 0;
+  std::size_t num_jobs = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t seed = 0;
+  int max_attempts = 0;
+  std::unordered_map<std::string, ReplayedJob> jobs;
+};
+
+/// Reads and validates a journal file. A torn final line (no trailing
+/// newline -- the one artifact a crash mid-append can leave) is dropped
+/// silently; any other malformation fails with *error set. Returns
+/// std::nullopt on failure.
+std::optional<JournalReplay> replay_journal(const std::string& path, std::string* error);
+
+/// Re-applies the supervisor's outcome classification to a replayed
+/// attempt history: walks `outcomes` oldest-first, returns true with *out
+/// set when the job is already terminal (a terminal-classified outcome, or
+/// `max_attempts` transient ones => Crashed), false when the job must
+/// re-enter the queue with its attempt count preserved. This is the exact
+/// function the live reap path applies, so a resumed batch settles every
+/// replayed job precisely as the uninterrupted run would have.
+bool derive_settlement(const std::vector<std::string>& outcomes, int max_attempts,
+                       JobState* out);
+
+}  // namespace tv::serve

@@ -105,7 +105,9 @@ std::string Manifest::to_json() const {
     out += "\": ";
     out += std::to_string(count(s));
   }
-  out += "},\n  \"exit_code\": ";
+  out += "},\n  \"evictions\": ";
+  out += std::to_string(evictions);
+  out += ",\n  \"exit_code\": ";
   out += std::to_string(exit_code());
   out += "\n}\n";
   return out;

@@ -41,6 +41,13 @@ struct JobRecord {
 struct Manifest {
   std::vector<JobRecord> jobs;
 
+  // Warm-pool residents retired by the --max-resident LRU cap during this
+  // run. Always 0 for the fork/exec backend and for uncapped warm runs, so
+  // backend-identity checks stay byte-exact; with a cap configured the
+  // count reflects actual completion scheduling and is the one field
+  // excluded from the byte-determinism guarantee.
+  std::size_t evictions = 0;
+
   /// Serializes the manifest: jobs sorted by id, fixed key order, one
   /// summary counts block. Deterministic for a given set of records.
   std::string to_json() const;

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <thread>
 
+#include "serve/journal.hpp"
 #include "serve/warm_pool.hpp"
 #include "util/fault.hpp"
 
@@ -155,15 +156,44 @@ std::unique_ptr<WorkerBackend> make_fork_exec_backend(const SupervisorOptions& o
 Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opts,
                   WorkerBackend& backend) {
   std::vector<Slot> slots(jobs.size());
+  std::size_t open_jobs = jobs.size();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     slots[i].job = &jobs[i];
     slots[i].record.id = jobs[i].id;
     slots[i].record.design = jobs[i].design;
+    if (opts.resume) {
+      // Resume: re-seed this slot from the replayed journal. Settlement is
+      // re-derived from the outcome list with the same classification the
+      // reap path below applies, so a job whose attempts already finished
+      // lands in the manifest exactly as the uninterrupted run would have
+      // put it -- without relaunching anything.
+      auto it = opts.resume->jobs.find(jobs[i].id);
+      if (it != opts.resume->jobs.end()) {
+        slots[i].record.outcomes = it->second.outcomes;
+        slots[i].record.attempts = static_cast<int>(it->second.outcomes.size());
+        JobState settled;
+        if (derive_settlement(slots[i].record.outcomes, opts.max_attempts, &settled)) {
+          slots[i].phase = Slot::Phase::Terminal;
+          slots[i].record.state = settled;
+          --open_jobs;
+          if (opts.verbose) {
+            std::fprintf(stderr, "scaldtvd: job %s -> %s (replayed from journal)\n",
+                         jobs[i].id.c_str(), job_state_name(settled));
+          }
+        }
+      }
+    }
   }
 
   unsigned running = 0;
-  std::size_t open_jobs = jobs.size();
   bool draining = false;
+
+  // The seeded kill point for the kill/restart chaos tests: armed with
+  // kill9, the daemon dies right after a journal append -- the exact
+  // boundary the write-ahead discipline must make safe.
+  auto chaos_point = [&] {
+    if (opts.journal) (void)fault::should_fail("serve.kill9");
+  };
 
   auto shutting_down = [&] { return opts.shutdown && *opts.shutdown != 0; };
 
@@ -178,6 +208,13 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     s.phase = Slot::Phase::Terminal;
     s.record.state = state;
     --open_jobs;
+    // Requeued is not terminal from the journal's point of view: a drained
+    // job re-enters the queue on --resume, so journaling it as settled
+    // would freeze the shutdown into the batch's durable state.
+    if (opts.journal && state != JobState::Requeued) {
+      opts.journal->record_settle(s.record.id, state);
+      chaos_point();
+    }
     if (opts.verbose) {
       std::fprintf(stderr, "scaldtvd: job %s -> %s after %d attempt(s)\n",
                    s.record.id.c_str(), job_state_name(state), s.record.attempts);
@@ -203,10 +240,28 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     s.retry_at = Clock::now() + std::chrono::milliseconds(delay);
   };
 
+  // Appends the just-recorded outcome (record.outcomes.back()) to the
+  // journal. Called at every point an attempt's result becomes known.
+  auto journal_outcome = [&](Slot& s) {
+    if (opts.journal) {
+      opts.journal->record_outcome(s.record.id, s.record.attempts,
+                                   s.record.outcomes.back());
+      chaos_point();
+    }
+  };
+
   auto launch = [&](Slot& s) {
     ++s.record.attempts;
+    // Write-ahead: the intent to launch is durable before any process
+    // exists, so a daemon killed mid-launch re-runs the same attempt
+    // number on resume instead of silently skipping it.
+    if (opts.journal) {
+      opts.journal->record_launch(s.record.id, s.record.attempts);
+      chaos_point();
+    }
     if (fault::should_fail("serve.spawn")) {
       s.record.outcomes.push_back("spawn-failed");
+      journal_outcome(s);
       note(s, "injected spawn failure");
       handle_transient(s);
       return;
@@ -214,6 +269,7 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     pid_t pid = backend.launch(*s.job, s.record.attempts);
     if (pid < 0) {
       s.record.outcomes.push_back("spawn-failed");
+      journal_outcome(s);
       note(s, "fork failed");
       handle_transient(s);
       return;
@@ -239,9 +295,11 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     if (p.kind == WorkerPoll::Kind::Signaled) {
       if (s.killed_by_watchdog) {
         s.record.outcomes.push_back("timeout");
+        journal_outcome(s);
         note(s, "watchdog timeout");
       } else {
         s.record.outcomes.push_back("signal:" + std::to_string(p.value));
+        journal_outcome(s);
         note(s, "died by signal");
       }
       handle_transient(s);
@@ -249,6 +307,7 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     }
     int code = p.value;
     s.record.outcomes.push_back("exit:" + std::to_string(code));
+    journal_outcome(s);
     switch (code) {
       case 0: settle(s, JobState::Done); return;
       case 1: settle(s, JobState::Violations); return;
@@ -325,6 +384,7 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
   Manifest m;
   m.jobs.reserve(slots.size());
   for (Slot& s : slots) m.jobs.push_back(std::move(s.record));
+  m.evictions = backend.evictions();
   return m;
 }
 

@@ -34,6 +34,9 @@
 
 namespace tv::serve {
 
+class Journal;
+struct JournalReplay;
+
 struct SupervisorOptions {
   std::string scaldtv_path = "scaldtv";  // worker binary (execvp semantics)
   unsigned workers = 1;                  // max jobs in flight
@@ -55,6 +58,27 @@ struct SupervisorOptions {
   // Crash isolation is unchanged: a worker that exits with anything but a
   // verdict (0/1/3) is discarded and the next attempt gets a fresh process.
   bool warm = false;
+  // Cap on idle resident workers the warm pool keeps alive between jobs
+  // (0 = unlimited). When a verdict would push the idle pool past the cap
+  // the least-recently-used resident is retired and counted in the
+  // manifest's "evictions" field. With the cap on, workers persist each
+  // design's fixpoint snapshot (<design>.tvf, core/fixpoint.hpp) after its
+  // first clean baseline, so an evicted design's next worker restores the
+  // warm baseline from the sidecar instead of re-verifying cold. Only
+  // meaningful with warm = true.
+  std::size_t max_resident = 0;
+  // Write-ahead job journal (serve/journal.hpp): every launch / outcome /
+  // settle transition is appended+fsync'd before the batch proceeds. After
+  // each append the supervisor touches the serve.kill9 fault site, so the
+  // chaos tests can SIGKILL the daemon at any seeded transition and prove
+  // --resume finishes the batch with a byte-identical manifest. Null = no
+  // journaling.
+  Journal* journal = nullptr;
+  // Replayed prior run (scaldtvd --resume): jobs whose replayed outcomes
+  // already settle them are carried straight into the manifest without
+  // relaunching; the rest re-enter the queue with their attempt counts and
+  // outcome histories preserved. Null = fresh batch.
+  const JournalReplay* resume = nullptr;
 };
 
 /// Deterministic backoff delay before `attempt`+1 (attempt is the 1-based
@@ -88,6 +112,10 @@ class WorkerBackend {
   virtual pid_t launch(const JobSpec& job, int attempt) = 0;
   virtual WorkerPoll poll(pid_t pid) = 0;
   virtual void kill_worker(pid_t pid) = 0;
+  /// Resident workers retired by the max_resident LRU cap so far. Backends
+  /// without a resident pool report 0, which keeps manifests byte-identical
+  /// across backends when no cap is configured.
+  virtual std::size_t evictions() const { return 0; }
 };
 
 /// The classic backend: one fork/exec of `opts.scaldtv_path` per attempt.

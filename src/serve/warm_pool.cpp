@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/compiled.hpp"
+#include "core/fixpoint.hpp"
 #include "core/incremental.hpp"
 #include "core/verifier.hpp"
 #include "diag/render.hpp"
@@ -71,6 +72,7 @@ struct WarmWorker {
   int resp_fd = -1;  // parent reads done lines (nonblocking)
   std::string key;   // which pool it belongs to
   std::string resp_buf;
+  std::uint64_t last_used = 0;  // LRU stamp, set when the worker goes idle
 };
 
 class WarmPoolBackend : public WorkerBackend {
@@ -157,7 +159,9 @@ class WarmPoolBackend : public WorkerBackend {
         done.resp_buf.clear();
         if (code == 0 || code == 1 || code == 3) {
           // A verdict: the worker is healthy, keep it warm.
+          done.last_used = ++tick_;
           idle_[done.key].push_back(std::move(done));
+          enforce_resident_cap();
         } else {
           // Transient failure or input error: the worker's state is
           // suspect, so the next attempt gets a fresh process.
@@ -190,7 +194,39 @@ class WarmPoolBackend : public WorkerBackend {
     if (running_.find(pid) != running_.end()) kill(pid, SIGKILL);
   }
 
+  std::size_t evictions() const override { return evictions_; }
+
  private:
+  /// Retires least-recently-used idle residents until the pool fits
+  /// opts_.max_resident (0 = unlimited). Running workers never count
+  /// against the cap -- they are mid-job and cannot be retired; the cap
+  /// bounds what is kept alive *between* jobs. An evicted design's next
+  /// worker warm-starts from the `.tvf` sidecar its first baseline wrote.
+  void enforce_resident_cap() {
+    if (opts_.max_resident == 0) return;
+    for (;;) {
+      std::size_t total = 0;
+      for (const auto& [key, pool] : idle_) total += pool.size();
+      if (total <= opts_.max_resident) return;
+      std::vector<WarmWorker>* lru_pool = nullptr;
+      std::size_t lru_at = 0;
+      std::uint64_t lru_stamp = UINT64_MAX;
+      for (auto& [key, pool] : idle_) {
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (pool[i].last_used < lru_stamp) {
+            lru_stamp = pool[i].last_used;
+            lru_pool = &pool;
+            lru_at = i;
+          }
+        }
+      }
+      if (lru_pool == nullptr) return;  // unreachable: total > 0
+      WarmWorker victim = std::move((*lru_pool)[lru_at]);
+      lru_pool->erase(lru_pool->begin() + static_cast<std::ptrdiff_t>(lru_at));
+      destroy(victim);
+      ++evictions_;
+    }
+  }
   // Idle workers are interchangeable only between jobs that would drive an
   // identical process: same design, same front-end mode, and -- for chaos
   // testing -- the same effective fault spec. Keying on the fault spec keeps
@@ -238,7 +274,7 @@ class WarmPoolBackend : public WorkerBackend {
         if (devnull > STDERR_FILENO) close(devnull);
       }
       _exit(warm_worker_main(job.design, job.stdlib, job.compiled,
-                             cmd_pipe[0], resp_pipe[1]));
+                             opts_.max_resident > 0, cmd_pipe[0], resp_pipe[1]));
     }
     close(cmd_pipe[0]);
     close(resp_pipe[1]);
@@ -270,6 +306,8 @@ class WarmPoolBackend : public WorkerBackend {
   const SupervisorOptions& opts_;
   std::unordered_map<pid_t, WarmWorker> running_;
   std::unordered_map<std::string, std::vector<WarmWorker>> idle_;
+  std::uint64_t tick_ = 0;        // monotonic use counter for LRU stamps
+  std::size_t evictions_ = 0;     // residents retired by the cap
 };
 
 }  // namespace
@@ -279,7 +317,7 @@ std::unique_ptr<WorkerBackend> make_warm_pool_backend(const SupervisorOptions& o
 }
 
 int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
-                     int cmd_fd, int resp_fd) {
+                     bool snapshot, int cmd_fd, int resp_fd) {
   crash::install_handler();
   crash::set_context(design.c_str(), "warm worker idle");
   fault::configure("");  // never inherit the daemon's own fault plan
@@ -287,6 +325,9 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
   std::optional<hdl::ElaboratedDesign> loaded;
   std::optional<CompiledDesign> seeds;  // pre-interned waveform arena
   std::unique_ptr<Verifier> verifier;
+  std::uint64_t artifact_hash = 0;  // bound .tvc content hash; 0 = source
+  bool restored = false;            // first run answers from the snapshot
+  bool snapshot_written = false;    // write the sidecar at most once
 
   auto dump_diags = [](const diag::DiagnosticEngine& diags) {
     if (!diags.diagnostics().empty()) {
@@ -312,6 +353,7 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
         return 2;
       }
       seeds = std::move(c);
+      artifact_hash = seeds->content_hash;
       hdl::ElaboratedDesign d;
       d.name = seeds->name;
       d.netlist = std::move(seeds->netlist);
@@ -354,6 +396,7 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
     verifier.reset();
     loaded.reset();
     seeds.reset();
+    restored = false;
   };
 
   auto run_once = [&](double time_limit, unsigned jobs,
@@ -366,11 +409,44 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
         if (seeds && verifier->evaluator().intern_context()) {
           preintern_seeds(*seeds, verifier->evaluator().intern_context()->table);
         }
+        if (snapshot && !fault::enabled()) {
+          // Eviction recovery: a previous worker for this design may have
+          // left its fixed point in the `.tvf` sidecar. Restoring it warms
+          // the baseline without re-paying the cold verification; any
+          // defect (missing, corrupt, or bound to a different design /
+          // artifact / option set) silently falls back to the cold path.
+          // Runs under an injected fault plan never restore: the plan's
+          // evaluation-site faults must fire exactly as they do cold.
+          crash::set_context(design.c_str(), "restore snapshot (warm)");
+          diag::DiagnosticEngine sdiags;
+          std::optional<FixpointState> st =
+              load_fixpoint_file(fixpoint_sidecar_path(design), sdiags);
+          restored = st && verifier->restore(*st, artifact_hash, sdiags);
+        }
       }
       verifier->evaluator().set_time_limit(time_limit);
       verifier->evaluator().set_jobs(jobs == 0 ? 1 : jobs);
       crash::set_context(design.c_str(), "verification (warm)");
-      VerifyResult result = verifier->verify(loaded->cases);
+      VerifyResult result;
+      if (restored) {
+        // The snapshot round-trip is byte-exact (tvfuzz --snapshot-diff),
+        // so the restored report answers this job; later runs on this
+        // worker re-verify against the warm intern table as usual.
+        result = verifier->baseline();
+        restored = false;
+      } else {
+        result = verifier->verify(loaded->cases);
+        if (snapshot && !snapshot_written && !fault::enabled() &&
+            result.converged && !result.partial) {
+          // First clean convergent baseline: persist it so the next worker
+          // for this design (post-eviction) warm-starts. Write failure is
+          // not an error -- the sidecar is an optimization only.
+          std::string werror;
+          (void)write_fixpoint_file(*verifier, loaded->name, artifact_hash,
+                                    fixpoint_sidecar_path(design), &werror);
+          snapshot_written = true;
+        }
+      }
       if (!reverify_path.empty()) {
         crash::set_context(reverify_path.c_str(), "reverify (warm)");
         std::ifstream din(reverify_path);

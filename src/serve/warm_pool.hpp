@@ -51,13 +51,28 @@ namespace tv::serve {
 /// backend SIGKILLs and reaps every resident worker. The constructor
 /// ignores SIGPIPE process-wide: writing a command to a worker that just
 /// died must surface as a failed launch, not kill the daemon.
+///
+/// When opts.max_resident > 0 the idle pool is bounded: returning a worker
+/// that would push the idle count past the cap retires the least-recently-
+/// used resident instead of keeping it (counted in Manifest::evictions),
+/// and workers run with fixpoint snapshots enabled so an evicted design's
+/// next process warm-starts from its `.tvf` sidecar.
 std::unique_ptr<WorkerBackend> make_warm_pool_backend(const SupervisorOptions& opts);
 
 /// Body of a resident worker (the child side of the protocol). Loads
 /// `design` lazily on the first run command, keeps the Verifier warm, and
 /// loops until the command pipe reaches EOF. Returns the worker's final
 /// exit status. Exposed for tests.
+///
+/// With `snapshot` set the worker participates in eviction recovery
+/// (docs/recovery.md): before the first cold baseline it tries to restore
+/// the design's `.tvf` sidecar (core/fixpoint.hpp) -- answering the first
+/// job from the restored fixed point with zero evaluations -- and after a
+/// clean convergent cold baseline it writes that sidecar atomically. A
+/// missing, stale, or unreadable sidecar silently falls back to the cold
+/// path; the snapshot is a warm-start optimization, never a correctness
+/// dependency.
 int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
-                     int cmd_fd, int resp_fd);
+                     bool snapshot, int cmd_fd, int resp_fd);
 
 }  // namespace tv::serve

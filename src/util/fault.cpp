@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -12,7 +13,7 @@ namespace tv::fault {
 
 namespace {
 
-enum class Action { Fail, Abort, Hang };
+enum class Action { Fail, Abort, Hang, Kill9 };
 
 struct Entry {
   std::string site;
@@ -51,8 +52,10 @@ bool parse_entry(const std::string& text, Entry& e, std::string* error) {
     e.action = Action::Abort;
   } else if (action == "hang") {
     e.action = Action::Hang;
+  } else if (action == "kill9") {
+    e.action = Action::Kill9;
   } else {
-    return fail("action must be fail, abort, or hang");
+    return fail("action must be fail, abort, hang, or kill9");
   }
   return true;
 }
@@ -123,6 +126,12 @@ bool should_fail(const char* site) {
       // Parked, not spinning: the process stays alive and idle until the
       // supervisor's watchdog delivers SIGKILL.
       for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    case Action::Kill9:
+      // Instant, uncatchable death -- no atexit handlers, no flushes. The
+      // kill/restart chaos tests use this to prove the write-ahead journal
+      // alone is enough to resume a batch (docs/recovery.md).
+      raise(SIGKILL);
+      return false;  // unreachable
   }
   return false;
 }
@@ -152,6 +161,7 @@ std::string describe() {
       case Action::Fail: out += "fail"; break;
       case Action::Abort: out += "abort"; break;
       case Action::Hang: out += "hang"; break;
+      case Action::Kill9: out += "kill9"; break;
     }
   }
   return out;

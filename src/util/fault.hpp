@@ -14,7 +14,7 @@
 //   entry  ::= site '@' nth ':' action
 //   site   ::= dotted identifier, e.g. evaluator.eval, wave_table.intern
 //   nth    ::= 1-based hit count at which the fault fires (once)
-//   action ::= 'fail' | 'abort' | 'hang'
+//   action ::= 'fail' | 'abort' | 'hang' | 'kill9'
 //
 //   TV_FAULT="evaluator.eval@100:abort,io.read@1:fail"
 //
@@ -22,7 +22,9 @@
 // InjectedFault, which drivers map to the transient exit code 5); `abort`
 // raises SIGABRT at the site (a crash, from the supervisor's point of
 // view); `hang` parks the thread in an interruptible sleep forever (the
-// supervisor's watchdog kills it).
+// supervisor's watchdog kills it); `kill9` raises SIGKILL -- instant,
+// uncatchable death with nothing flushed, the hammer the kill/restart
+// chaos tests swing at the scaldtvd supervisor itself.
 //
 // Sites compiled into this repo:
 //   evaluator.eval    once per primitive evaluation in the base fixpoint
@@ -30,6 +32,10 @@
 //   wave_table.intern once per waveform intern (simulated allocation)
 //   io.read           design / job file reads in scaldtv and scaldtvd
 //   serve.spawn       worker process launch in the scaldtvd supervisor
+//   serve.kill9       after every write-ahead journal append in the
+//                     supervisor (armed with kill9: the daemon dies
+//                     mid-batch at a seeded transition; scaldtvd --resume
+//                     must finish the batch with an identical manifest)
 //   incremental.apply before a reverify delta is applied (baseline intact)
 //   incremental.cone  before incremental cone re-evaluation (netlist edited)
 //

@@ -21,6 +21,7 @@
 #include "diag/diagnostic.hpp"
 #include "diag/render.hpp"
 #include "hdl/elaborate.hpp"
+#include "util/atomic_file.hpp"
 #include "hdl/stdlib.hpp"
 
 namespace {
@@ -70,9 +71,9 @@ std::string render_run(const FrontEndRun& r) {
 void compare_to_golden(const std::string& name, const std::string& rendered) {
   const std::string path = corpus_dir() + "/" + name + ".golden.txt";
   if (std::getenv("TV_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << rendered;
+    std::string error;
+    ASSERT_TRUE(tv::util::atomic_write_file(path, rendered, &error))
+        << "cannot write " << path << ": " << error;
     return;
   }
   std::ifstream in(path, std::ios::binary);

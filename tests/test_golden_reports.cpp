@@ -21,6 +21,7 @@
 #include "example_designs.hpp"
 #include "hdl/elaborate.hpp"
 #include "hdl/stdlib.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -55,9 +56,9 @@ std::string golden_path(const std::string& name) {
 void compare_to_golden(const std::string& name, const std::string& report) {
   const std::string path = golden_path(name);
   if (std::getenv("TV_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << report;
+    std::string error;
+    ASSERT_TRUE(tv::util::atomic_write_file(path, report, &error))
+        << "cannot write " << path << ": " << error;
     return;
   }
   std::ifstream in(path, std::ios::binary);
@@ -202,9 +203,9 @@ void check_shdl_delta(const std::string& design, const std::string& dir,
 
   const std::string path = std::string(TV_GOLDEN_DIR) + "/" + dir + "/report.golden.txt";
   if (std::getenv("TV_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << report;
+    std::string error;
+    ASSERT_TRUE(tv::util::atomic_write_file(path, report, &error))
+        << "cannot write " << path << ": " << error;
     return;
   }
   std::ifstream in(path, std::ios::binary);

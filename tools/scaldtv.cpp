@@ -22,6 +22,12 @@
 //                      in FILE (docs/incremental.md) and re-verify
 //                      incrementally; the printed report describes the
 //                      edited design
+//     --write-snapshot FILE  after the run, serialize the baseline fixpoint
+//                      to FILE as a .tvf snapshot (docs/recovery.md)
+//     --from-snapshot FILE  restore the baseline from a .tvf snapshot
+//                      instead of running the cold evaluation; the report
+//                      (and any --reverify after it) is byte-identical to
+//                      the run that wrote the snapshot, at zero evaluations
 //     --no-cases       skip case analysis even if the design declares cases
 //     --jobs N         evaluate cases on N worker threads (0 = one per core;
 //                      results are identical for every N)
@@ -50,6 +56,7 @@
 
 #include "core/compiled.hpp"
 #include "core/explain.hpp"
+#include "core/fixpoint.hpp"
 #include "core/incremental.hpp"
 #include "core/export.hpp"
 #include "core/storage_stats.hpp"
@@ -67,7 +74,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: scaldtv [--summary] [--xref] [--stats] [--storage] [--no-cases] "
                "[--stdlib] [--compiled] [--slack] [--waves] [--where-used] [--explain] "
-               "[--reverify FILE] "
+               "[--reverify FILE] [--write-snapshot FILE] [--from-snapshot FILE] "
                "[--vcd FILE] [--json FILE] [--diag-json FILE] [--max-errors N] [--werror] "
                "[--time-limit SECONDS] [--jobs N] [--batch-lanes N] [--no-batch] "
                "[--fault SPEC] <design.shdl | design.tvc>\n");
@@ -104,6 +111,8 @@ int main(int argc, char** argv) {
   bool want_waves = false, want_where_used = false;
   bool want_explain = false;
   const char* reverify_path = nullptr;
+  const char* write_snapshot_path = nullptr;
+  const char* from_snapshot_path = nullptr;
   const char* vcd_path = nullptr;
   const char* json_path = nullptr;
   const char* diag_json_path = nullptr;
@@ -141,6 +150,10 @@ int main(int argc, char** argv) {
       want_explain = true;
     } else if (std::strcmp(argv[i], "--reverify") == 0 && i + 1 < argc) {
       reverify_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--write-snapshot") == 0 && i + 1 < argc) {
+      write_snapshot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--from-snapshot") == 0 && i + 1 < argc) {
+      from_snapshot_path = argv[++i];
     } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       vcd_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -261,11 +274,38 @@ int main(int argc, char** argv) {
       // Warm the intern table with the artifact's pre-interned seed arena.
       tv::preintern_seeds(*compiled, verifier.evaluator().intern_context()->table);
     }
-    tv::crash::set_context(path, "verification");
-    timer.start("verification");
-    tv::VerifyResult result =
-        verifier.verify(run_cases ? design.cases : std::vector<tv::CaseSpec>{});
-    timer.stop();
+    tv::VerifyResult result;
+    if (from_snapshot_path) {
+      // Warm start: restore the baseline fixpoint from the snapshot instead
+      // of paying the cold evaluation. The restored report is byte-identical
+      // to the run that wrote the snapshot (enforced by tvfuzz
+      // --snapshot-diff); the printed evaluation count proves no baseline
+      // evaluation ran.
+      tv::crash::set_context(from_snapshot_path, "restore snapshot");
+      timer.start("restore snapshot");
+      auto state = tv::load_fixpoint_file(from_snapshot_path, diags);
+      if (!state) {
+        timer.stop();
+        flush_diagnostics(diags, diag_json_path);
+        return 2;
+      }
+      std::uint64_t expected_hash = compiled ? compiled->content_hash : 0;
+      if (!verifier.restore(*state, expected_hash, diags)) {
+        timer.stop();
+        flush_diagnostics(diags, diag_json_path);
+        return 2;
+      }
+      timer.stop();
+      result = verifier.baseline();
+      std::printf("restored snapshot %s: %zu signal(s), %zu evaluation(s) performed\n",
+                  from_snapshot_path, design.netlist.num_signals(),
+                  verifier.evaluator().evals_performed());
+    } else {
+      tv::crash::set_context(path, "verification");
+      timer.start("verification");
+      result = verifier.verify(run_cases ? design.cases : std::vector<tv::CaseSpec>{});
+      timer.stop();
+    }
 
     if (reverify_path) {
       tv::crash::set_context(reverify_path, "read delta");
@@ -300,6 +340,24 @@ int main(int argc, char** argv) {
         std::printf("reverify %s: full re-run (%s)\n", reverify_path,
                     rst.fallback_reason.c_str());
       }
+    }
+
+    if (write_snapshot_path) {
+      // Snapshot the final baseline (post-reverify when --reverify ran, so
+      // chained warm starts splice against the latest fixpoint).
+      tv::crash::set_context(write_snapshot_path, "write snapshot");
+      timer.start("write snapshot");
+      std::uint64_t bound_hash = compiled ? compiled->content_hash : 0;
+      std::string werror_msg;
+      bool ok = tv::write_fixpoint_file(verifier, design.name, bound_hash,
+                                        write_snapshot_path, &werror_msg);
+      timer.stop();
+      if (!ok) {
+        std::fprintf(stderr, "scaldtv: cannot write %s: %s\n", write_snapshot_path,
+                     werror_msg.c_str());
+        return 5;
+      }
+      std::printf("wrote %s\n", write_snapshot_path);
     }
     tv::crash::set_context(path, "reporting");
 

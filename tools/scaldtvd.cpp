@@ -21,6 +21,19 @@
 //                        before the watchdog SIGKILLs it (default 2.0 slack,
 //                        no default watchdog)
 //     --manifest FILE    write the run manifest here (default stdout)
+//     --journal FILE     write-ahead job journal (docs/recovery.md): every
+//                        launch/outcome/settle transition is appended and
+//                        fsync'd before the batch proceeds, so a killed
+//                        daemon can be restarted with --resume. Command-line
+//                        batches only (not --watch)
+//     --resume           replay FILE (from --journal) before running: jobs
+//                        whose journaled attempts already settle them are
+//                        carried into the manifest without relaunching, the
+//                        rest re-enter the queue where they left off. The
+//                        resumed manifest is byte-identical to the one an
+//                        uninterrupted run would have written. A missing
+//                        journal file is a fresh start, so "--journal J
+//                        --resume" is idempotent across any number of kills
 //     --scaldtv PATH     worker binary (default $TV_SCALDTV or "scaldtv")
 //     --fault SPEC       daemon-level fault plan: applied to scaldtvd's own
 //                        io.read/serve.spawn sites AND injected into every
@@ -31,6 +44,13 @@
 //                        loaded and the waveform-intern table stays warm,
 //                        while crash isolation, watchdogs, and retry
 //                        semantics are unchanged
+//     --max-resident N   bound the warm pool: keep at most N idle resident
+//                        workers, retiring the least-recently-used past the
+//                        cap (the manifest's "evictions" field counts the
+//                        retirements). Capped workers persist each design's
+//                        fixpoint snapshot (<design>.tvf), so a re-spawned
+//                        worker warm-starts from the sidecar instead of
+//                        re-verifying cold. Requires --warm
 //     -v                 per-attempt progress on stderr
 //
 // Exit status: worst terminal job state across all batches --
@@ -50,12 +70,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "serve/manifest.hpp"
 #include "serve/supervisor.hpp"
+#include "util/atomic_file.hpp"
 #include "util/fault.hpp"
 
 namespace {
@@ -68,8 +91,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: scaldtvd [--watch DIR] [--workers N] [--max-attempts N] "
                "[--backoff-ms N] [--backoff-max-ms N] [--job-timeout S] "
-               "[--manifest FILE] [--scaldtv PATH] [--fault SPEC] [--seed N] "
-               "[--warm] [-v] <jobs-file>...\n");
+               "[--manifest FILE] [--journal FILE] [--resume] [--scaldtv PATH] "
+               "[--fault SPEC] [--seed N] [--warm] [--max-resident N] [-v] "
+               "<jobs-file>...\n");
   return 2;
 }
 
@@ -78,12 +102,11 @@ bool write_manifest(const tv::serve::Manifest& m, const char* path) {
     std::fputs(m.to_json().c_str(), stdout);
     return true;
   }
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "scaldtvd: cannot write %s\n", path);
+  std::string error;
+  if (!tv::util::atomic_write_file(path, m.to_json(), &error)) {
+    std::fprintf(stderr, "scaldtvd: cannot write %s (%s)\n", path, error.c_str());
     return false;
   }
-  out << m.to_json();
   return true;
 }
 
@@ -117,6 +140,8 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("TV_SCALDTV")) opts.scaldtv_path = env;
   const char* watch_dir = nullptr;
   const char* manifest_path = nullptr;
+  const char* journal_path = nullptr;
+  bool resume = false;
   bool slack_set = false;
   std::vector<std::string> job_files;
   for (int i = 1; i < argc; ++i) {
@@ -132,6 +157,10 @@ int main(int argc, char** argv) {
       watch_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--manifest") == 0 && i + 1 < argc) {
       manifest_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else if (std::strcmp(argv[i], "--scaldtv") == 0 && i + 1 < argc) {
       opts.scaldtv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
@@ -165,6 +194,9 @@ int main(int argc, char** argv) {
       slack_set = true;
     } else if (std::strcmp(argv[i], "--warm") == 0) {
       opts.warm = true;
+    } else if (long_num("--max-resident", 1, n)) {
+      if (n < 1) return usage();
+      opts.max_resident = static_cast<std::size_t>(n);
     } else if (std::strcmp(argv[i], "-v") == 0 || std::strcmp(argv[i], "--verbose") == 0) {
       opts.verbose = true;
     } else if (argv[i][0] == '-') {
@@ -175,6 +207,18 @@ int main(int argc, char** argv) {
   }
   (void)slack_set;
   if (job_files.empty() && !watch_dir) return usage();
+  if (opts.max_resident > 0 && !opts.warm) {
+    std::fprintf(stderr, "scaldtvd: --max-resident requires --warm\n");
+    return usage();
+  }
+  if (resume && !journal_path) {
+    std::fprintf(stderr, "scaldtvd: --resume requires --journal FILE\n");
+    return usage();
+  }
+  if (journal_path && (watch_dir || job_files.empty())) {
+    std::fprintf(stderr, "scaldtvd: --journal applies to command-line batches only\n");
+    return usage();
+  }
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
@@ -202,7 +246,48 @@ int main(int argc, char** argv) {
       }
       for (auto& j : *batch) jobs.push_back(std::move(j));
     }
+    std::unique_ptr<tv::serve::Journal> journal;
+    tv::serve::JournalReplay replay;
+    if (journal_path) {
+      std::string jerror;
+      bool journal_exists = access(journal_path, F_OK) == 0;
+      if (resume && journal_exists) {
+        auto replayed = tv::serve::replay_journal(journal_path, &jerror);
+        if (!replayed) {
+          std::fprintf(stderr, "scaldtvd: %s\n", jerror.c_str());
+          return 2;
+        }
+        // The journal must describe *this* batch: replaying one batch's
+        // attempts into a different job list would fabricate results.
+        if (replayed->digest != tv::serve::jobs_digest(jobs) ||
+            replayed->num_jobs != jobs.size() ||
+            replayed->seed != opts.jitter_seed ||
+            replayed->max_attempts != opts.max_attempts) {
+          std::fprintf(stderr,
+                       "scaldtvd: %s was written for a different batch or "
+                       "retry configuration; refusing to resume\n", journal_path);
+          return 2;
+        }
+        replay = std::move(*replayed);
+        opts.resume = &replay;
+        journal = tv::serve::Journal::reopen(journal_path, &jerror);
+      } else {
+        journal = tv::serve::Journal::create(journal_path, jobs, opts.jitter_seed,
+                                             opts.max_attempts, &jerror);
+      }
+      if (!journal) {
+        std::fprintf(stderr, "scaldtvd: %s\n", jerror.c_str());
+        return 2;
+      }
+      opts.journal = journal.get();
+    }
     tv::serve::Manifest m = tv::serve::run_jobs(jobs, opts);
+    if (journal && !journal->ok()) {
+      // The batch itself finished, but its durable record is broken: a
+      // later --resume would replay a lie. Loud failure beats that.
+      std::fprintf(stderr, "scaldtvd: %s\n", journal->error().c_str());
+      fold(2);
+    }
     if (!write_manifest(m, manifest_path)) return 2;
     fold(m.exit_code());
   }
@@ -223,8 +308,11 @@ int main(int argc, char** argv) {
         continue;
       }
       tv::serve::Manifest m = tv::serve::run_jobs(*batch, opts);
-      std::ofstream out(base + ".manifest.json");
-      out << m.to_json();
+      std::string werror;
+      if (!tv::util::atomic_write_file(base + ".manifest.json", m.to_json(), &werror)) {
+        std::fprintf(stderr, "scaldtvd: cannot write %s.manifest.json (%s)\n",
+                     base.c_str(), werror.c_str());
+      }
       std::rename(file.c_str(), (file + ".done").c_str());
       fold(m.exit_code());
       if (opts.verbose) {

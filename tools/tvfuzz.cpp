@@ -38,6 +38,13 @@
 // outside the sanctioned evaluation-effort counters (the reverify report
 // must be byte-identical to a cold run of the edited design).
 //
+// A ninth mode, --snapshot-diff, snapshots each random circuit's baseline
+// fixpoint (core/fixpoint.hpp), restores it into a fresh verifier over a
+// freshly built world, and replays a K-step random edit script on both: the
+// restored world must match byte-for-byte after every step -- effort
+// counters included -- and re-serialize to identical snapshot bytes, on
+// both the source and compiled front ends.
+//
 // A fifth mode, --serve-chaos, pushes seeded batches of generated designs
 // with random fault specs through a real scaldtvd worker pool and asserts
 // every job ends in a terminal state, retries are visible in attempt
@@ -47,7 +54,7 @@
 // Usage:
 //   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
 //          [--batch-diff] [--compile-diff] [--incr-diff] [--incr-steps K]
-//          [--parser-fuzz] [--serve-chaos]
+//          [--snapshot-diff] [--parser-fuzz] [--serve-chaos]
 //          [--scaldtvd PATH] [--scaldtv PATH] [--no-shrink] [-v]
 #include <cstdint>
 #include <cstdio>
@@ -57,6 +64,7 @@
 
 #include "check/incr_diff.hpp"
 #include "check/oracles.hpp"
+#include "check/snapshot_diff.hpp"
 #include "check/parser_fuzz.hpp"
 #include "check/serve_chaos.hpp"
 #include "check/shrinker.hpp"
@@ -72,6 +80,7 @@ struct Options {
   bool compile_diff = false;
   bool incr_diff = false;
   int incr_steps = 4;
+  bool snapshot_diff = false;
   bool parser_fuzz = false;
   bool serve_chaos = false;
   bool seeds_set = false;
@@ -99,6 +108,9 @@ void usage(const char* argv0) {
                "                (Verifier::reverify) and cold per step, on both the\n"
                "                source and compiled front ends; fail on divergence\n"
                "  --incr-steps K edits per script in --incr-diff (default 4)\n"
+               "  --snapshot-diff snapshot each circuit's baseline fixpoint, restore\n"
+               "                it into a fresh verifier, and replay an edit script on\n"
+               "                both; fail on any byte divergence (counters included)\n"
                "  --parser-fuzz mutate valid SHDL sources and assert the front end\n"
                "                never crashes and always diagnoses rejected input\n"
                "  --serve-chaos run seeded faulted batches through scaldtvd and assert\n"
@@ -143,6 +155,8 @@ int main(int argc, char** argv) {
       opt.compile_diff = true;
     } else if (a == "--incr-diff") {
       opt.incr_diff = true;
+    } else if (a == "--snapshot-diff") {
+      opt.snapshot_diff = true;
     } else if (a == "--incr-steps") {
       next_int(opt.incr_steps);
       if (opt.incr_steps < 1) {
@@ -201,6 +215,24 @@ int main(int argc, char** argv) {
                   warm ? "warm" : "fork/exec", fail->kind.c_str(),
                   fail->detail.c_str());
     }
+    // Kill/restart chaos: SIGKILL the daemon itself at every write-ahead
+    // journal transition and assert --resume always finishes the batch
+    // with a manifest byte-identical to the uninterrupted run's.
+    for (bool warm : {false, true}) {
+      sc.warm = warm;
+      sc.seed = opt.start;
+      auto fail = tv::check::check_kill_restart(sc);
+      if (opt.verbose) {
+        std::printf("serve-chaos kill-restart (%s): %s\n",
+                    warm ? "warm" : "fork/exec", fail ? "FAIL" : "ok");
+      }
+      if (fail) {
+        ++failures;
+        std::printf("FAIL serve-chaos kill-restart (%s) [%s]\n  %s\n",
+                    warm ? "warm" : "fork/exec", fail->kind.c_str(),
+                    fail->detail.c_str());
+      }
+    }
     // Incremental-reverification chaos: faulted delta applications must
     // retry byte-identically and never corrupt a warm worker's resident
     // fixpoint (the scenario runs both backends internally).
@@ -256,6 +288,57 @@ int main(int argc, char** argv) {
     }
     std::printf("tvfuzz --parser-fuzz: %d cases, %d failure%s\n", opt.circuit_seeds,
                 failures, failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+  }
+
+  if (opt.snapshot_diff) {
+    // Differential snapshot mode: every random circuit's baseline fixpoint
+    // is serialized, restored into a fresh verifier, and edited K times on
+    // both sides; the restored world must stay byte-identical -- effort
+    // counters included -- once per front end.
+    for (int i = 0; i < opt.circuit_seeds; ++i) {
+      std::uint64_t seed = opt.start + static_cast<std::uint64_t>(i);
+      tv::check::CircuitSpec spec = tv::check::random_spec(seed);
+      for (bool compiled : {false, true}) {
+        tv::check::SnapshotDiffOptions so;
+        so.compiled = compiled;
+        auto fail = tv::check::check_snapshot_equivalence(spec, so);
+        if (opt.verbose) {
+          std::printf("snapshot-diff seed %llu (%s): %s\n",
+                      static_cast<unsigned long long>(seed),
+                      compiled ? "compiled" : "source", fail ? "FAIL" : "ok");
+        }
+        if (!fail) continue;
+        ++failures;
+        std::printf("FAIL snapshot-diff seed %llu (%s) [%s]\n  %s\n",
+                    static_cast<unsigned long long>(seed),
+                    compiled ? "compiled" : "source", fail->kind.c_str(),
+                    fail->detail.c_str());
+        if (opt.shrink) {
+          // Pin the edit script (a pure function of the circuit seed) so it
+          // stays fixed while the circuit shrinks around it.
+          tv::check::SnapshotDiffOptions pinned = so;
+          pinned.edit_seed =
+              spec.seed * 0x9E3779B97F4A7C15ULL + 0x6C62272E07BB0142ULL;
+          std::string kind = fail->kind;
+          tv::check::CircuitSpec small = tv::check::shrink_circuit(
+              spec, [&](const tv::check::CircuitSpec& s) {
+                auto f = tv::check::check_snapshot_equivalence(s, pinned);
+                return f && f->kind == kind;
+              });
+          std::printf("shrunk repro (edit_seed %llu, %s front end):\n%s\n",
+                      static_cast<unsigned long long>(pinned.edit_seed),
+                      compiled ? "compiled" : "source",
+                      tv::check::gtest_repro(small, kind).c_str());
+        } else {
+          std::printf("repro:\n%s\n",
+                      tv::check::gtest_repro(spec, fail->kind).c_str());
+        }
+      }
+    }
+    std::printf("tvfuzz --snapshot-diff: %d circuit cases x 2 front ends, "
+                "%d failure%s\n",
+                opt.circuit_seeds, failures, failures == 1 ? "" : "s");
     return failures ? 1 : 0;
   }
 
