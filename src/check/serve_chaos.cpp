@@ -669,4 +669,525 @@ std::optional<ServeChaosFailure> check_drain_requeue(const ServeChaosOptions& op
   return std::nullopt;
 }
 
+std::optional<ServeChaosFailure> check_mem_breach(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "mem-breach needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-mem-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  // One hog that leaks allocations until the RSS watchdog fires, three
+  // clean neighbors that must come through untouched. The bloat action
+  // grows ~2 MiB/ms, so a 384 MiB budget breaches in well under a second;
+  // --job-timeout stays the backstop, not the classifier.
+  std::mt19937_64 rng(opts.seed * 0x9E3779B97F4A7C15ull + 41);
+  std::vector<std::string> cleanup;
+  std::string jobs_path = dir + "/mem.jobs";
+  {
+    std::ofstream jobs_out(jobs_path);
+    for (int i = 0; i < 4; ++i) {
+      std::string design_file = dir + "/design_" + std::to_string(i) + ".shdl";
+      std::ofstream out(design_file);
+      out << seed_design(static_cast<std::size_t>(rng() % seed_design_count()));
+      out.close();
+      cleanup.push_back(design_file);
+      jobs_out << "{\"id\": \"" << (i == 0 ? "hog" : "mem-" + std::to_string(i))
+               << "\", \"design\": \"" << design_file << "\"";
+      if (i == 0) jobs_out << ", \"fault\": \"evaluator.eval@1:bloat\"";
+      jobs_out << "}\n";
+    }
+  }
+  cleanup.push_back(jobs_path);
+
+  std::string seed_arg = std::to_string(opts.seed % 1000000);
+  std::string manifests[2];
+  for (int warm = 0; warm < 2; ++warm) {
+    const char* backend = warm ? "warm" : "fork/exec";
+    std::string manifest_path = dir + "/warm" + std::to_string(warm) + ".manifest.json";
+    std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                      "' --workers 2 --max-attempts 3 --backoff-ms 10 "
+                      "--backoff-max-ms 50 --job-timeout 30 --mem-limit-mb 384 "
+                      "--seed " + seed_arg + " --manifest '" + manifest_path + "' '" +
+                      jobs_path + "'";
+    if (warm) cmd += " --warm";
+    if (!opts.verbose) cmd += " 2>/dev/null";
+    int status = std::system(cmd.c_str());
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    if (code != 6) {
+      return fail("bad-exit-code", std::string(backend) +
+                                       ": expected daemon exit 6 (resource-exhausted), got " +
+                                       std::to_string(code) + "; work dir kept at " + dir);
+    }
+    manifests[warm] = read_file(manifest_path);
+    cleanup.push_back(manifest_path);
+
+    std::vector<ManifestRecord> records = scan_manifest(manifests[warm]);
+    if (records.size() != 4) {
+      return fail("job-lost", std::string(backend) + ": manifest has " +
+                                  std::to_string(records.size()) +
+                                  " records, expected 4; work dir kept at " + dir);
+    }
+    for (const ManifestRecord& r : records) {
+      if (r.id == "hog") {
+        if (r.state != "resource-exhausted") {
+          return fail("breach-misclassified",
+                      std::string(backend) + ": memory hog ended \"" + r.state +
+                          "\" instead of \"resource-exhausted\"; work dir kept at " + dir);
+        }
+        if (r.attempts != 1) {
+          return fail("breach-retried",
+                      std::string(backend) + ": budget breach burned " +
+                          std::to_string(r.attempts) +
+                          " attempts without --mem-retry, expected 1; work dir kept at " + dir);
+        }
+      } else if (r.state != "done" && r.state != "violations") {
+        return fail("clean-job-failed", std::string(backend) + ": unfaulted job " + r.id +
+                                            " ended \"" + r.state +
+                                            "\"; work dir kept at " + dir);
+      }
+    }
+  }
+  if (manifests[0] != manifests[1]) {
+    return fail("backend-divergence",
+                "fork/exec and warm manifests differ under a memory budget; "
+                "work dir kept at " + dir);
+  }
+
+  // The retry policy: the same breach confined to attempt 1 plus --mem-retry
+  // must recover, with the mem-limit attempt visible in the count.
+  std::string retry_jobs = dir + "/mem-retry.jobs";
+  {
+    std::ofstream out(retry_jobs);
+    out << "{\"id\": \"hog-retry\", \"design\": \"" << dir
+        << "/design_0.shdl\", \"fault\": \"evaluator.eval@1:bloat\", "
+           "\"fault_attempts\": 1}\n";
+  }
+  cleanup.push_back(retry_jobs);
+  std::string retry_manifest = dir + "/mem-retry.manifest.json";
+  cleanup.push_back(retry_manifest);
+  {
+    std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                      "' --workers 1 --max-attempts 3 --backoff-ms 10 "
+                      "--backoff-max-ms 50 --job-timeout 30 --mem-limit-mb 384 "
+                      "--mem-retry --seed " + seed_arg + " --manifest '" +
+                      retry_manifest + "' '" + retry_jobs + "'";
+    if (!opts.verbose) cmd += " 2>/dev/null";
+    std::system(cmd.c_str());
+  }
+  std::vector<ManifestRecord> retry_records = scan_manifest(read_file(retry_manifest));
+  if (retry_records.size() != 1 || retry_records[0].state == "resource-exhausted" ||
+      retry_records[0].state == "crashed") {
+    return fail("mem-retry-ignored",
+                "attempt-1-only breach under --mem-retry ended \"" +
+                    (retry_records.empty() ? std::string("<missing>")
+                                           : retry_records[0].state) +
+                    "\"; work dir kept at " + dir);
+  }
+  if (retry_records[0].attempts < 2) {
+    return fail("retry-invisible",
+                "hog-retry recovered but shows only " +
+                    std::to_string(retry_records[0].attempts) +
+                    " attempt(s); work dir kept at " + dir);
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
+std::optional<ServeChaosFailure> check_shed(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "shed needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-shed-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  // Eight clean jobs against a five-slot admission cap: the first five run,
+  // the last three are shed at batch start by input position -- never by
+  // arrival timing, so the split must be byte-stable across runs.
+  constexpr int kJobs = 8;
+  constexpr int kMaxQueue = 5;
+  std::mt19937_64 rng(opts.seed * 0x9E3779B97F4A7C15ull + 53);
+  std::vector<std::string> cleanup;
+  std::string jobs_path = dir + "/shed.jobs";
+  {
+    std::ofstream jobs_out(jobs_path);
+    for (int i = 0; i < kJobs; ++i) {
+      std::string design_file = dir + "/design_" + std::to_string(i) + ".shdl";
+      std::ofstream out(design_file);
+      out << seed_design(static_cast<std::size_t>(rng() % seed_design_count()));
+      out.close();
+      cleanup.push_back(design_file);
+      jobs_out << "{\"id\": \"shed-" << i << "\", \"design\": \"" << design_file
+               << "\"}\n";
+    }
+  }
+  cleanup.push_back(jobs_path);
+
+  std::string manifests[2];
+  for (int run = 0; run < 2; ++run) {
+    std::string manifest_path = dir + "/run" + std::to_string(run) + ".manifest.json";
+    std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                      "' --workers 2 --max-attempts 3 --backoff-ms 10 "
+                      "--backoff-max-ms 50 --job-timeout 2 --max-queue " +
+                      std::to_string(kMaxQueue) + " --seed " +
+                      std::to_string(opts.seed % 1000000) + " --manifest '" +
+                      manifest_path + "' '" + jobs_path + "'";
+    if (opts.warm) cmd += " --warm";
+    if (!opts.verbose) cmd += " 2>/dev/null";
+    int status = std::system(cmd.c_str());
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    // Shed (7) outranks the verdict codes in the fold: a batch that dropped
+    // work must say so even when every admitted job came back clean.
+    if (code != 7) {
+      return fail("bad-exit-code", "run " + std::to_string(run) +
+                                       ": expected daemon exit 7 (shed), got " +
+                                       std::to_string(code) + "; work dir kept at " + dir);
+    }
+    manifests[run] = read_file(manifest_path);
+    cleanup.push_back(manifest_path);
+  }
+  if (manifests[0] != manifests[1]) {
+    return fail("manifest-unstable",
+                "two identical capped runs produced different manifests; "
+                "work dir kept at " + dir);
+  }
+
+  std::vector<ManifestRecord> records = scan_manifest(manifests[0]);
+  if (records.size() != kJobs) {
+    return fail("job-lost", "manifest has " + std::to_string(records.size()) +
+                                " records, expected " + std::to_string(kJobs) +
+                                "; work dir kept at " + dir);
+  }
+  for (int i = 0; i < kJobs; ++i) {
+    const ManifestRecord* rec = nullptr;
+    for (const ManifestRecord& r : records) {
+      if (r.id == "shed-" + std::to_string(i)) rec = &r;
+    }
+    if (!rec) {
+      return fail("job-lost", "job shed-" + std::to_string(i) +
+                                  " missing from the manifest; work dir kept at " + dir);
+    }
+    if (i < kMaxQueue) {
+      if (rec->state != "done" && rec->state != "violations") {
+        return fail("admitted-job-failed",
+                    "admitted job shed-" + std::to_string(i) + " ended \"" + rec->state +
+                        "\"; work dir kept at " + dir);
+      }
+    } else {
+      if (rec->state != "shed") {
+        return fail("shed-misclassified",
+                    "job shed-" + std::to_string(i) + " past the cap ended \"" +
+                        rec->state + "\" instead of \"shed\"; work dir kept at " + dir);
+      }
+      if (rec->attempts != 0) {
+        return fail("shed-attempt-burned",
+                    "shed job shed-" + std::to_string(i) + " shows " +
+                        std::to_string(rec->attempts) +
+                        " attempt(s), expected 0; work dir kept at " + dir);
+      }
+    }
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
+std::optional<ServeChaosFailure> check_quarantine_resume(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "quarantine-resume needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-quar-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  // Two designs with distinct content: the breaker keys on the design's
+  // bytes, so "poison" must only spread to jobs that share design A.
+  std::size_t other = 1;
+  while (other < seed_design_count() && seed_design(other) == seed_design(0)) ++other;
+  if (other >= seed_design_count()) {
+    return fail("bad-config", "no second distinct seed design available");
+  }
+  std::string design_a = dir + "/poison.shdl";
+  std::string design_b = dir + "/healthy.shdl";
+  {
+    std::ofstream a(design_a);
+    a << seed_design(0);
+    std::ofstream b(design_b);
+    b << seed_design(other);
+  }
+  std::vector<std::string> cleanup{design_a, design_b};
+
+  // qa-0 and qa-1 crash on every attempt and trip the K=2 breaker; qa-2 and
+  // qa-3 are clean jobs on the poisoned design that must be fast-failed
+  // "quarantined" with no attempt burned; qb-0 shares nothing and must be
+  // untouched; over-0 sits past the admission cap and must shed -- so one
+  // journal carries crash, quarantine, verdict, and shed settlements plus
+  // the quarantine ledger record for the kill sweep below to replay.
+  std::string jobs_path = dir + "/quarantine.jobs";
+  {
+    std::ofstream out(jobs_path);
+    out << "{\"id\": \"qa-0\", \"design\": \"" << design_a
+        << "\", \"fault\": \"evaluator.eval@1:abort\"}\n"
+        << "{\"id\": \"qa-1\", \"design\": \"" << design_a
+        << "\", \"fault\": \"evaluator.eval@1:abort\"}\n"
+        << "{\"id\": \"qa-2\", \"design\": \"" << design_a << "\"}\n"
+        << "{\"id\": \"qb-0\", \"design\": \"" << design_b << "\"}\n"
+        << "{\"id\": \"qa-3\", \"design\": \"" << design_a << "\"}\n"
+        << "{\"id\": \"over-0\", \"design\": \"" << design_b << "\"}\n";
+  }
+  cleanup.push_back(jobs_path);
+
+  std::string seed_arg = std::to_string(opts.seed % 1000000);
+  auto daemon_cmd = [&](const std::string& journal, const std::string& manifest,
+                        const std::string& fault, bool resume) {
+    // Resume validation covers the overload policy: every invocation,
+    // resumed or not, must carry the same --quarantine-after / --max-queue.
+    std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                      "' --workers 2 --max-attempts 3 --backoff-ms 10 "
+                      "--backoff-max-ms 50 --job-timeout 2 --quarantine-after 2 "
+                      "--max-queue 5 --seed " + seed_arg +
+                      " --journal '" + journal + "' --manifest '" + manifest + "' ";
+    if (!fault.empty()) cmd += "--fault '" + fault + "' ";
+    if (resume) cmd += "--resume ";
+    if (opts.warm) cmd += "--warm ";
+    cmd += "'" + jobs_path + "'";
+    if (!opts.verbose) cmd += " 2>/dev/null";
+    return cmd;
+  };
+
+  std::string ref_journal = dir + "/ref.journal";
+  std::string ref_manifest = dir + "/ref.manifest.json";
+  cleanup.push_back(ref_journal);
+  cleanup.push_back(ref_manifest);
+  int status = std::system(daemon_cmd(ref_journal, ref_manifest, "", false).c_str());
+  int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  // Crashed (4) outranks resource/overload states in the fold.
+  if (code != 4) {
+    return fail("bad-exit-code", "reference run: expected daemon exit 4, got " +
+                                     std::to_string(code) + "; work dir kept at " + dir);
+  }
+  std::string reference = read_file(ref_manifest);
+  std::vector<ManifestRecord> records = scan_manifest(reference);
+  if (records.size() != 6) {
+    return fail("job-lost", "manifest has " + std::to_string(records.size()) +
+                                " records, expected 6; work dir kept at " + dir);
+  }
+  for (const ManifestRecord& r : records) {
+    if (r.id == "qa-0" || r.id == "qa-1") {
+      if (r.state != "crashed" || r.attempts != 3) {
+        return fail("crash-not-detected",
+                    "poison job " + r.id + " ended \"" + r.state + "\" after " +
+                        std::to_string(r.attempts) +
+                        " attempt(s), expected crashed/3; work dir kept at " + dir);
+      }
+    } else if (r.id == "qa-2" || r.id == "qa-3") {
+      if (r.state != "quarantined") {
+        return fail("quarantine-missed",
+                    "job " + r.id + " on the poisoned design ended \"" + r.state +
+                        "\" instead of \"quarantined\"; work dir kept at " + dir);
+      }
+      if (r.attempts != 0) {
+        return fail("quarantine-attempt-burned",
+                    "quarantined job " + r.id + " shows " + std::to_string(r.attempts) +
+                        " attempt(s), expected 0; work dir kept at " + dir);
+      }
+    } else if (r.id == "qb-0") {
+      if (r.state != "done" && r.state != "violations") {
+        return fail("quarantine-overreach",
+                    "job qb-0 on the healthy design ended \"" + r.state +
+                        "\"; work dir kept at " + dir);
+      }
+    } else if (r.id == "over-0") {
+      if (r.state != "shed" || r.attempts != 0) {
+        return fail("shed-misclassified",
+                    "job over-0 past the cap ended \"" + r.state + "\"/" +
+                        std::to_string(r.attempts) +
+                        ", expected shed/0; work dir kept at " + dir);
+      }
+    }
+  }
+
+  // The kill sweep: SIGKILL at every durable transition, resume, and demand
+  // byte-identity -- quarantine and shed settlements must replay exactly
+  // like verdicts, and the ledger must re-trip the breaker on resume.
+  std::string ref_journal_text = read_file(ref_journal);
+  int transitions = 0;
+  for (char c : ref_journal_text) transitions += c == '\n';
+  --transitions;  // header line is written before any transition
+  if (transitions < 10) {
+    return fail("bad-config", "reference journal shows only " +
+                                  std::to_string(transitions) +
+                                  " transitions; work dir kept at " + dir);
+  }
+  std::string kill_journal = dir + "/kill.journal";
+  std::string kill_manifest = dir + "/kill.manifest.json";
+  cleanup.push_back(kill_journal);
+  cleanup.push_back(kill_manifest);
+  for (int n = 1; n <= transitions; ++n) {
+    std::remove(kill_journal.c_str());
+    std::remove(kill_manifest.c_str());
+    std::string fault = "serve.kill9@" + std::to_string(n) + ":kill9";
+    std::system(daemon_cmd(kill_journal, kill_manifest, fault, false).c_str());
+    int restarts = 0;
+    while (read_file(kill_manifest).empty() && restarts < 5) {
+      ++restarts;
+      std::system(daemon_cmd(kill_journal, kill_manifest, "", true).c_str());
+    }
+    std::string resumed = read_file(kill_manifest);
+    if (resumed.empty()) {
+      return fail("resume-wedged", "kill point " + std::to_string(n) + ": batch still "
+                                       "unfinished after 5 restarts; work dir kept at " + dir);
+    }
+    if (resumed != reference) {
+      return fail("resume-divergence",
+                  "kill point " + std::to_string(n) + ": resumed manifest differs from "
+                      "the uninterrupted run's; work dir kept at " + dir);
+    }
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
+std::optional<ServeChaosFailure> check_write_fail(const ServeChaosOptions& opts) {
+  auto fail = [](std::string kind, std::string detail) {
+    return ServeChaosFailure{std::move(kind), std::move(detail)};
+  };
+  if (opts.scaldtvd_path.empty() || opts.scaldtv_path.empty()) {
+    return fail("bad-config", "write-fail needs scaldtvd and scaldtv paths "
+                              "(TV_SCALDTVD / TV_SCALDTV)");
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp ? tmp : "/tmp") + "/serve-enospc-XXXXXX";
+  std::vector<char> dirbuf(dir.begin(), dir.end());
+  dirbuf.push_back('\0');
+  if (!mkdtemp(dirbuf.data())) return fail("bad-config", "mkdtemp failed");
+  dir.assign(dirbuf.data());
+
+  // The kill-restart batch shape: retries multiply the journal traffic, so
+  // the sweep covers appends from every record family.
+  std::mt19937_64 rng(opts.seed * 0x9E3779B97F4A7C15ull + 67);
+  std::vector<std::string> cleanup;
+  std::string jobs_path = dir + "/batch.jobs";
+  {
+    std::ofstream jobs_out(jobs_path);
+    for (int i = 0; i < 4; ++i) {
+      std::string design_file = dir + "/design_" + std::to_string(i) + ".shdl";
+      std::ofstream out(design_file);
+      out << seed_design(static_cast<std::size_t>(rng() % seed_design_count()));
+      out.close();
+      cleanup.push_back(design_file);
+      jobs_out << "{\"id\": \"wf-" << i << "\", \"design\": \"" << design_file << "\"";
+      if (i == 1) {
+        jobs_out << ", \"fault\": \"evaluator.eval@1:abort\", \"fault_attempts\": 1";
+      } else if (i == 2) {
+        jobs_out << ", \"fault\": \"io.read@1:fail\", \"fault_attempts\": 1";
+      }
+      jobs_out << "}\n";
+    }
+  }
+  cleanup.push_back(jobs_path);
+
+  std::string seed_arg = std::to_string(opts.seed % 1000000);
+  auto daemon_cmd = [&](const std::string& journal, const std::string& manifest,
+                        const std::string& fault, bool resume) {
+    std::string cmd = "'" + opts.scaldtvd_path + "' --scaldtv '" + opts.scaldtv_path +
+                      "' --workers 2 --max-attempts 3 --backoff-ms 10 "
+                      "--backoff-max-ms 50 --job-timeout 2 --seed " + seed_arg +
+                      " --journal '" + journal + "' --manifest '" + manifest + "' ";
+    if (!fault.empty()) cmd += "--fault '" + fault + "' ";
+    if (resume) cmd += "--resume ";
+    if (opts.warm) cmd += "--warm ";
+    cmd += "'" + jobs_path + "'";
+    if (!opts.verbose) cmd += " 2>/dev/null";
+    return cmd;
+  };
+
+  // Reference: uninterrupted and journaled. The daemon performs one durable
+  // write per journal line (the header and every append) plus one for the
+  // final manifest -- each is an injection point for the ENOSPC sweep.
+  std::string ref_journal = dir + "/ref.journal";
+  std::string ref_manifest = dir + "/ref.manifest.json";
+  cleanup.push_back(ref_journal);
+  cleanup.push_back(ref_manifest);
+  std::system(daemon_cmd(ref_journal, ref_manifest, "", false).c_str());
+  std::string reference = read_file(ref_manifest);
+  if (reference.empty()) {
+    return fail("bad-config", "reference run wrote no manifest; work dir kept at " + dir);
+  }
+  std::string ref_journal_text = read_file(ref_journal);
+  int writes = 0;
+  for (char c : ref_journal_text) writes += c == '\n';
+  ++writes;  // the manifest's atomic_write_file is the final durable write
+  if (writes < 10) {
+    return fail("bad-config", "reference run shows only " + std::to_string(writes) +
+                                  " durable writes; work dir kept at " + dir);
+  }
+
+  std::string kill_journal = dir + "/enospc.journal";
+  std::string kill_manifest = dir + "/enospc.manifest.json";
+  cleanup.push_back(kill_journal);
+  cleanup.push_back(kill_manifest);
+  for (int n = 1; n <= writes; ++n) {
+    std::remove(kill_journal.c_str());
+    std::remove(kill_manifest.c_str());
+    std::string fault = "io.write@" + std::to_string(n) + ":fail";
+    // Whichever durable write fails -- the journal header (the daemon
+    // refuses to start), a mid-run append (the daemon drains, requeues, and
+    // still writes a manifest), or the manifest itself -- the exit must be
+    // loud (2) and the journal on disk a clean replayable prefix.
+    int st = std::system(daemon_cmd(kill_journal, kill_manifest, fault, false).c_str());
+    int code = WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+    if (code != 2) {
+      return fail("write-fail-silent",
+                  "durable write " + std::to_string(n) + " failed but the daemon exited " +
+                      std::to_string(code) + ", expected 2; work dir kept at " + dir);
+    }
+    int restarts = 0;
+    while (read_file(kill_manifest) != reference && restarts < 5) {
+      ++restarts;
+      std::system(daemon_cmd(kill_journal, kill_manifest, "", true).c_str());
+    }
+    if (read_file(kill_manifest) != reference) {
+      return fail("resume-divergence",
+                  "durable write " + std::to_string(n) + ": manifest never converged to "
+                      "the uninterrupted run's after 5 resumes; work dir kept at " + dir);
+    }
+  }
+
+  for (const std::string& f : cleanup) std::remove(f.c_str());
+  rmdir(dir.c_str());
+  return std::nullopt;
+}
+
 }  // namespace tv::check

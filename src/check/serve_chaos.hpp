@@ -81,4 +81,53 @@ std::optional<ServeChaosFailure> check_kill_restart(const ServeChaosOptions& opt
 /// Ignores opts.seed/opts.jobs; honors the binary paths and opts.warm.
 std::optional<ServeChaosFailure> check_drain_requeue(const ServeChaosOptions& opts);
 
+/// The memory-budget scenario (docs/serving.md "Overload & quarantine
+/// semantics"): one job leaks allocations until it breaches --mem-limit-mb
+/// (fault site evaluator.eval, action bloat) amid clean jobs. Asserts:
+///
+///   * the breaching job settles "resource-exhausted" (exit 6) on its first
+///     attempt -- a budget breach is a classified verdict, never "crashed";
+///   * clean neighbors are unaffected and the daemon folds to exit 6;
+///   * the fork/exec and warm-pool manifests are byte-identical -- the RSS
+///     watchdog is backend-independent;
+///   * with --mem-retry, an attempt-1-only breach retries and the job
+///     recovers with the "mem-limit" attempt on record.
+/// Ignores opts.warm (both backends run); honors seed/paths/verbose.
+std::optional<ServeChaosFailure> check_mem_breach(const ServeChaosOptions& opts);
+
+/// The bounded-admission scenario: a batch larger than --max-queue. Jobs
+/// beyond the cap must settle "shed" with zero attempts burned (never
+/// launched, never retried), the daemon folds to exit 7, admitted jobs
+/// finish normally, and two identical runs produce byte-identical
+/// manifests (shedding is deterministic, not load-dependent).
+/// Honors opts.warm (backend under test), seed, and the binary paths.
+std::optional<ServeChaosFailure> check_shed(const ServeChaosOptions& opts);
+
+/// The poison-design quarantine scenario, with crash-resume on top: two
+/// jobs crash permanently against one design, tripping the breaker at
+/// --quarantine-after 2; later jobs on the same design content settle
+/// "quarantined" with zero attempts, a job on a different design is
+/// untouched, and a job past --max-queue sheds. The journaled reference
+/// run is then re-run once per durable transition with the daemon
+/// SIGKILLed at exactly that transition (serve.kill9) and resumed; every
+/// kill point must converge to a manifest byte-identical to the
+/// uninterrupted run's -- the quarantine ledger and Shed settlements
+/// replay exactly like verdicts do.
+/// Honors opts.warm (backend under test), seed, and the binary paths.
+std::optional<ServeChaosFailure> check_quarantine_resume(const ServeChaosOptions& opts);
+
+/// The disk-pressure sweep (docs/recovery.md): a journaled reference batch
+/// counts the daemon's durable writes (every journal append plus the final
+/// manifest), then the batch is re-run once per write with io.write forced
+/// to fail (ENOSPC) at exactly that write. Asserts:
+///
+///   * every faulted run fails loudly with exit 2 -- a dropped durable
+///     write is never silent;
+///   * the journal left behind is always a clean replayable prefix: a
+///     bounded number of --resume runs (without the fault) converges to a
+///     manifest byte-identical to the uninterrupted run's, whether the
+///     failure hit the journal header, a mid-run append, or the manifest.
+/// Honors opts.warm (backend under test), seed, and the binary paths.
+std::optional<ServeChaosFailure> check_write_fail(const ServeChaosOptions& opts);
+
 }  // namespace tv::check

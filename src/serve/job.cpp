@@ -174,7 +174,7 @@ std::optional<JobSpec> parse_job_line(const std::string& line, std::string* erro
               colon == std::string::npos ? "" : part.substr(colon + 1);
           if (at == std::string::npos || at == 0 || colon == std::string::npos ||
               (action != "fail" && action != "abort" && action != "hang" &&
-               action != "kill9")) {
+               action != "kill9" && action != "bloat")) {
             return fail("\"fault\" entry \"" + part + "\" is not site@N:action");
           }
         }

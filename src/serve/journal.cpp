@@ -11,6 +11,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault.hpp"
+
 namespace tv::serve {
 
 namespace {
@@ -182,6 +184,9 @@ JobState state_from_name(const std::string& name, bool* ok) {
   if (name == "input-error") return JobState::InputError;
   if (name == "degraded") return JobState::Degraded;
   if (name == "crashed") return JobState::Crashed;
+  if (name == "resource-exhausted") return JobState::ResourceExhausted;
+  if (name == "shed") return JobState::Shed;
+  if (name == "quarantined") return JobState::Quarantined;
   if (name == "requeued") return JobState::Requeued;
   *ok = false;
   return JobState::Requeued;
@@ -201,7 +206,7 @@ bool write_all(int fd, const char* data, std::size_t len) {
 }
 
 std::string header_line(const std::vector<JobSpec>& jobs, std::uint64_t seed,
-                        int max_attempts) {
+                        int max_attempts, const BatchPolicy& policy) {
   std::string line = "{\"journal\": \"scaldtvd\", \"version\": ";
   line += std::to_string(kJournalVersion);
   line += ", \"jobs\": " + std::to_string(jobs.size());
@@ -209,6 +214,10 @@ std::string header_line(const std::vector<JobSpec>& jobs, std::uint64_t seed,
   append_escaped(line, hex64(jobs_digest(jobs)));
   line += ", \"seed\": " + std::to_string(seed);
   line += ", \"max_attempts\": " + std::to_string(max_attempts);
+  line += ", \"mem_limit_mb\": " + std::to_string(policy.mem_limit_mb);
+  line += ", \"mem_retry\": " + std::to_string(policy.mem_retry ? 1 : 0);
+  line += ", \"max_queue\": " + std::to_string(policy.max_queue);
+  line += ", \"quarantine_after\": " + std::to_string(policy.quarantine_after);
   line += "}\n";
   return line;
 }
@@ -241,6 +250,7 @@ Journal::~Journal() {
 std::unique_ptr<Journal> Journal::create(const std::string& path,
                                          const std::vector<JobSpec>& jobs,
                                          std::uint64_t seed, int max_attempts,
+                                         const BatchPolicy& policy,
                                          std::string* error) {
   int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
@@ -248,7 +258,7 @@ std::unique_ptr<Journal> Journal::create(const std::string& path,
     return nullptr;
   }
   std::unique_ptr<Journal> j(new Journal(fd));
-  j->append(header_line(jobs, seed, max_attempts));
+  j->append(header_line(jobs, seed, max_attempts, policy));
   if (!j->ok()) {
     if (error) *error = j->error();
     return nullptr;
@@ -267,6 +277,15 @@ std::unique_ptr<Journal> Journal::reopen(const std::string& path, std::string* e
 
 void Journal::append(const std::string& line) {
   if (!ok_) return;
+  // Disk-pressure injection point: a planned io.write fault here behaves
+  // like ENOSPC on the journal device -- the record never lands (not even
+  // partially), the failure latches, and the daemon must wind down loudly
+  // with the on-disk journal still a clean resumable prefix.
+  if (fault::should_fail("io.write")) {
+    ok_ = false;
+    error_ = "journal append failed: injected io.write fault (ENOSPC)";
+    return;
+  }
   if (!write_all(fd_, line.data(), line.size()) || fsync(fd_) != 0) {
     ok_ = false;
     error_ = std::string("journal append failed: ") + std::strerror(errno);
@@ -301,11 +320,20 @@ void Journal::record_settle(const std::string& job_id, JobState state) {
   append(line);
 }
 
+void Journal::record_quarantine(const std::string& key_hex) {
+  std::string line = "{\"event\": \"quarantine\", \"key\": ";
+  append_escaped(line, key_hex);
+  line += "}\n";
+  append(line);
+}
+
 bool derive_settlement(const std::vector<std::string>& outcomes, int max_attempts,
-                       JobState* out) {
+                       bool mem_retry, JobState* out) {
   // Mirrors the live reap path exactly (serve/supervisor.cpp): exits 0/1/3
   // are verdicts, exit 5 / signals / timeouts / spawn failures are
-  // transient (retried), everything else is a permanent input error.
+  // transient (retried), a mem-limit breach is terminal ResourceExhausted
+  // (immediately, or after max_attempts under --mem-retry), everything
+  // else is a permanent input error.
   for (const std::string& o : outcomes) {
     if (o.rfind("exit:", 0) == 0) {
       long code = 0;
@@ -317,11 +345,17 @@ bool derive_settlement(const std::vector<std::string>& outcomes, int max_attempt
         case 5: break;  // transient
         default: *out = JobState::InputError; return true;
       }
+    } else if (o == "mem-limit" && !mem_retry) {
+      *out = JobState::ResourceExhausted;
+      return true;
     }
-    // "signal:N", "timeout", "spawn-failed": transient, keep walking.
+    // "signal:N", "timeout", "spawn-failed" (and "mem-limit" under
+    // --mem-retry): transient, keep walking.
   }
   if (static_cast<int>(outcomes.size()) >= max_attempts) {
-    *out = JobState::Crashed;
+    *out = (!outcomes.empty() && outcomes.back() == "mem-limit")
+               ? JobState::ResourceExhausted
+               : JobState::Crashed;
     return true;
   }
   return false;
@@ -387,16 +421,36 @@ std::optional<JournalReplay> replay_journal(const std::string& path, std::string
         return fail("journal version " + std::to_string(version) +
                     " (this build reads version " + std::to_string(kJournalVersion) + ")");
       }
+      long mem_limit_mb = 0, mem_retry = 0, max_queue = 0, quarantine_after = 0;
+      if (!num_field("mem_limit_mb", mem_limit_mb) ||
+          !num_field("mem_retry", mem_retry) ||
+          !num_field("max_queue", max_queue) ||
+          !num_field("quarantine_after", quarantine_after) ||
+          mem_limit_mb < 0 || (mem_retry != 0 && mem_retry != 1) ||
+          max_queue < 0 || quarantine_after < 0) {
+        return fail("malformed journal header (overload policy)");
+      }
       replay.version = static_cast<std::uint32_t>(version);
       replay.num_jobs = static_cast<std::size_t>(njobs);
       replay.seed = static_cast<std::uint64_t>(seed);
       replay.max_attempts = static_cast<int>(max_attempts);
+      replay.policy.mem_limit_mb = mem_limit_mb;
+      replay.policy.mem_retry = mem_retry == 1;
+      replay.policy.max_queue = max_queue;
+      replay.policy.quarantine_after = static_cast<int>(quarantine_after);
       saw_header = true;
       continue;
     }
 
-    const Field* job = str_field("job");
     const Field* event = str_field("event");
+    if (event && event->value == "quarantine") {
+      const Field* key = str_field("key");
+      if (!key) return fail("line " + std::to_string(lineno) + ": quarantine without key");
+      replay.quarantined_keys.push_back(key->value);
+      continue;
+    }
+
+    const Field* job = str_field("job");
     if (!job || !event) {
       return fail("line " + std::to_string(lineno) + ": record without job/event");
     }

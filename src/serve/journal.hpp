@@ -10,17 +10,22 @@
 //
 // Record grammar (one flat JSON object per line):
 //
-//   {"journal": "scaldtvd", "version": 1, "jobs": 3,
-//    "jobs_digest": "9a0f...", "seed": 7, "max_attempts": 3}   header
+//   {"journal": "scaldtvd", "version": 2, "jobs": 3,
+//    "jobs_digest": "9a0f...", "seed": 7, "max_attempts": 3,
+//    "mem_limit_mb": 0, "mem_retry": 0, "max_queue": 0,
+//    "quarantine_after": 0}                                    header
 //   {"job": "smoke-1", "attempt": 1, "event": "launch"}        intent
 //   {"job": "smoke-1", "attempt": 1, "event": "outcome",
 //    "outcome": "exit:0"}                                      result
 //   {"job": "smoke-1", "event": "settle", "state": "done"}     terminal
+//   {"event": "quarantine", "key": "9a0f..."}                  breaker trip
 //
 // The header binds the journal to the batch: a digest of every JobSpec
-// plus the retry-relevant options (seed, max_attempts). --resume refuses a
-// journal whose header disagrees with the jobs actually loaded -- replaying
-// one batch's attempts into a different batch would fabricate results.
+// plus the retry-relevant options (seed, max_attempts, and since version 2
+// the overload policy: mem limit/retry, admission cap, quarantine
+// threshold). --resume refuses a journal whose header disagrees with the
+// jobs actually loaded -- replaying one batch's attempts into a different
+// batch (or under a different policy) would fabricate results.
 //
 // Each record is one write(2) followed by fsync, so a crash can only tear
 // the final line (a prefix of a record, no trailing newline). replay_journal
@@ -32,7 +37,11 @@
 // is recomputed from its outcome list with the same classification rules
 // the live supervisor uses (derive_settlement), so a journal killed between
 // an outcome append and its settle append still resumes correctly --
-// "settle" records are an observability nicety, not load-bearing state.
+// "settle" records are an observability nicety for attempt-based states.
+// The exception is the *decision* states Shed and Quarantined: those jobs
+// never ran, have no outcomes, and their settle records (plus the
+// "quarantine" ledger records for breaker trips) ARE load-bearing -- a
+// resumed batch honors them rather than re-deciding.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +56,17 @@
 
 namespace tv::serve {
 
-inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::uint32_t kJournalVersion = 2;
+
+/// The overload-resilience knobs that change how a batch settles. Bound
+/// into the journal header (version 2) so --resume refuses to replay a
+/// batch under a different policy than the one that produced the journal.
+struct BatchPolicy {
+  long mem_limit_mb = 0;     // 0 = no per-job memory budget
+  bool mem_retry = false;    // mem-limit breaches: retry (true) or terminal
+  long max_queue = 0;        // 0 = unbounded admission
+  int quarantine_after = 0;  // 0 = breaker disabled
+};
 
 /// Digest binding a journal to its batch: FNV-1a over every JobSpec field
 /// of every job, in input order. Two invocations with the same job files
@@ -70,6 +89,7 @@ class Journal {
   static std::unique_ptr<Journal> create(const std::string& path,
                                          const std::vector<JobSpec>& jobs,
                                          std::uint64_t seed, int max_attempts,
+                                         const BatchPolicy& policy,
                                          std::string* error);
 
   /// Reopens an existing journal for appending (resume). The header is NOT
@@ -79,10 +99,13 @@ class Journal {
   /// Write-ahead intent: attempt `attempt` of `job_id` is about to launch.
   void record_launch(const std::string& job_id, int attempt);
   /// The attempt finished with `outcome` ("exit:N", "signal:N", "timeout",
-  /// or "spawn-failed" -- the manifest's outcome vocabulary).
+  /// "mem-limit", or "spawn-failed" -- the manifest's outcome vocabulary).
   void record_outcome(const std::string& job_id, int attempt, const std::string& outcome);
   /// The job reached terminal state `state`.
   void record_settle(const std::string& job_id, JobState state);
+  /// The poison-design breaker tripped for design key `key_hex` (ledger
+  /// record; a resumed batch fast-fails that key's remaining jobs).
+  void record_quarantine(const std::string& key_hex);
 
   bool ok() const { return ok_; }
   const std::string& error() const { return error_; }
@@ -110,7 +133,10 @@ struct JournalReplay {
   std::uint64_t digest = 0;
   std::uint64_t seed = 0;
   int max_attempts = 0;
+  BatchPolicy policy;
   std::unordered_map<std::string, ReplayedJob> jobs;
+  // Design keys whose breaker trip made it to the ledger before the crash.
+  std::vector<std::string> quarantined_keys;
 };
 
 /// Reads and validates a journal file. A torn final line (no trailing
@@ -122,11 +148,14 @@ std::optional<JournalReplay> replay_journal(const std::string& path, std::string
 /// Re-applies the supervisor's outcome classification to a replayed
 /// attempt history: walks `outcomes` oldest-first, returns true with *out
 /// set when the job is already terminal (a terminal-classified outcome, or
-/// `max_attempts` transient ones => Crashed), false when the job must
-/// re-enter the queue with its attempt count preserved. This is the exact
-/// function the live reap path applies, so a resumed batch settles every
-/// replayed job precisely as the uninterrupted run would have.
+/// `max_attempts` transient ones => Crashed -- or ResourceExhausted when
+/// the final attempt died to the memory watchdog), false when the job must
+/// re-enter the queue with its attempt count preserved. A "mem-limit"
+/// outcome is terminal ResourceExhausted immediately unless `mem_retry`.
+/// This is the exact function the live reap path applies, so a resumed
+/// batch settles every replayed job precisely as the uninterrupted run
+/// would have.
 bool derive_settlement(const std::vector<std::string>& outcomes, int max_attempts,
-                       JobState* out);
+                       bool mem_retry, JobState* out);
 
 }  // namespace tv::serve

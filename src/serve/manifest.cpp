@@ -30,6 +30,9 @@ const char* job_state_name(JobState s) {
     case JobState::InputError: return "input-error";
     case JobState::Degraded: return "degraded";
     case JobState::Crashed: return "crashed";
+    case JobState::ResourceExhausted: return "resource-exhausted";
+    case JobState::Shed: return "shed";
+    case JobState::Quarantined: return "quarantined";
     case JobState::Requeued: return "requeued";
   }
   return "unknown";
@@ -42,6 +45,9 @@ int job_state_exit_code(JobState s) {
     case JobState::InputError: return 2;
     case JobState::Degraded: return 3;
     case JobState::Crashed: return 4;
+    case JobState::ResourceExhausted: return 6;
+    case JobState::Shed: return 7;
+    case JobState::Quarantined: return 8;
     case JobState::Requeued: return -1;
   }
   return -1;
@@ -58,6 +64,9 @@ std::size_t Manifest::count(JobState state) const {
 int Manifest::exit_code() const {
   if (count(JobState::InputError)) return 2;
   if (count(JobState::Crashed)) return 4;
+  if (count(JobState::ResourceExhausted)) return 6;
+  if (count(JobState::Quarantined)) return 8;
+  if (count(JobState::Shed)) return 7;
   if (count(JobState::Degraded)) return 3;
   if (count(JobState::Violations)) return 1;
   return 0;
@@ -93,9 +102,15 @@ std::string Manifest::to_json() const {
     out += '\n';
   }
   out += "  ],\n  \"counts\": {";
-  const JobState order[] = {JobState::Done,    JobState::Violations,
-                            JobState::InputError, JobState::Degraded,
-                            JobState::Crashed, JobState::Requeued};
+  const JobState order[] = {JobState::Done,
+                            JobState::Violations,
+                            JobState::InputError,
+                            JobState::Degraded,
+                            JobState::Crashed,
+                            JobState::ResourceExhausted,
+                            JobState::Shed,
+                            JobState::Quarantined,
+                            JobState::Requeued};
   bool first = true;
   for (JobState s : order) {
     if (!first) out += ", ";
@@ -107,6 +122,8 @@ std::string Manifest::to_json() const {
   }
   out += "},\n  \"evictions\": ";
   out += std::to_string(evictions);
+  out += ",\n  \"durability_degraded\": ";
+  out += std::to_string(durability_degraded);
   out += ",\n  \"exit_code\": ";
   out += std::to_string(exit_code());
   out += "\n}\n";

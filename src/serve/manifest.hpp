@@ -18,14 +18,19 @@ enum class JobState {
   InputError,  // worker exit 2: bad design / usage (permanent; no retry)
   Degraded,    // worker exit 3: partial results (resource degradation)
   Crashed,     // signal-killed / hung / transient on every attempt (exit 4)
+  ResourceExhausted,  // breached --mem-limit-mb (exit 6; terminal unless
+                      // --mem-retry, in which case only after max attempts)
+  Shed,        // rejected at admission by --max-queue (exit 7; never ran)
+  Quarantined, // fast-failed by the poison-design breaker (exit 8; never ran)
   Requeued,    // batch shut down before the job reached a terminal state
 };
 
 const char* job_state_name(JobState s);
 
 /// Exit code scaldtvd reports for a job in this state (mirrors scaldtv's
-/// contract; Crashed maps to the daemon-only code 4, Requeued to -1 since
-/// the job never finished).
+/// contract; Crashed maps to the daemon-only code 4, ResourceExhausted /
+/// Shed / Quarantined to the daemon-only codes 6 / 7 / 8, and Requeued to
+/// -1 since the job never finished).
 int job_state_exit_code(JobState s);
 
 struct JobRecord {
@@ -44,9 +49,16 @@ struct Manifest {
   // Warm-pool residents retired by the --max-resident LRU cap during this
   // run. Always 0 for the fork/exec backend and for uncapped warm runs, so
   // backend-identity checks stay byte-exact; with a cap configured the
-  // count reflects actual completion scheduling and is the one field
-  // excluded from the byte-determinism guarantee.
+  // count reflects actual completion scheduling and is — together with
+  // durability_degraded — excluded from the byte-determinism guarantee.
   std::size_t evictions = 0;
+
+  // Durable writes (snapshot sidecars) the run had to skip because the
+  // filesystem refused them (ENOSPC-shaped failures). Serving continues
+  // without durability; this counter makes the degradation visible in the
+  // manifest. Like evictions, it reflects runtime scheduling/IO and is
+  // excluded from the byte-determinism guarantee.
+  std::size_t durability_degraded = 0;
 
   /// Serializes the manifest: jobs sorted by id, fixed key order, one
   /// summary counts block. Deterministic for a given set of records.
@@ -56,7 +68,8 @@ struct Manifest {
   std::size_t count(JobState state) const;
 
   /// The daemon exit code the batch maps to. Precedence (worst wins):
-  /// input-error 2 > crashed 4 > degraded 3 > violations 1 > clean 0.
+  /// input-error 2 > crashed 4 > resource-exhausted 6 > quarantined 8 >
+  /// shed 7 > degraded 3 > violations 1 > clean 0.
   /// Requeued jobs do not affect the exit code (shutdown is not failure).
   int exit_code() const;
 };

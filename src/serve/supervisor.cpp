@@ -1,6 +1,7 @@
 #include "serve/supervisor.hpp"
 
 #include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -9,11 +10,26 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "serve/journal.hpp"
 #include "serve/warm_pool.hpp"
 #include "util/fault.hpp"
+
+// The setrlimit backstop is compiled out under ASan: its shadow mappings
+// count toward RLIMIT_DATA on modern kernels and would kill every worker
+// at startup. The supervisor-side statm watchdog stays on either way.
+#if defined(__SANITIZE_ADDRESS__)
+#define TV_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TV_ASAN_BUILD 1
+#endif
+#endif
 
 namespace tv::serve {
 
@@ -40,8 +56,41 @@ struct Slot {
   Clock::time_point kill_at{};   // watchdog (Running, when armed)
   bool watchdog = false;
   bool killed_by_watchdog = false;
+  bool killed_by_memlimit = false;
   Clock::time_point retry_at{};  // backoff wake-up (Delayed)
 };
+
+// The poison-design breaker for one design key. `tripped` is sticky for
+// the life of the batch (and, via the journal ledger, across resumes).
+struct Breaker {
+  int consec = 0;
+  bool tripped = false;
+};
+
+// Design key for the quarantine breaker: FNV-1a over the design file's
+// *content* (so two paths to the same bytes share one breaker, and a fixed
+// design re-enters service under a new key) plus the front-end mode flags.
+// Unreadable designs fall back to hashing the path -- they will fail as
+// InputError anyway, and the key only has to be deterministic.
+std::string quarantine_key(const JobSpec& job) {
+  std::uint64_t h = 14695981039346656037ull;
+  std::ifstream in(job.design, std::ios::binary);
+  if (in) {
+    char buf[1 << 16];
+    while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+      h = fnv1a(buf, static_cast<std::size_t>(in.gcount()), h);
+      if (!in) break;
+    }
+  } else {
+    h = fnv1a(job.design.data(), job.design.size(), h);
+  }
+  unsigned char flags = static_cast<unsigned char>((job.compiled ? 1 : 0) |
+                                                   (job.stdlib ? 2 : 0));
+  h = fnv1a(&flags, sizeof flags, h);
+  char out[17];
+  std::snprintf(out, sizeof out, "%016llx", static_cast<unsigned long long>(h));
+  return out;
+}
 
 pid_t spawn_worker(const JobSpec& job, const SupervisorOptions& opts, int attempt) {
   std::vector<std::string> args = worker_args(job);
@@ -68,6 +117,21 @@ pid_t spawn_worker(const JobSpec& job, const SupervisorOptions& opts, int attemp
   } else {
     unsetenv("TV_FAULT");
   }
+#if !defined(TV_ASAN_BUILD)
+  if (opts.mem_limit_mb > 0) {
+    // Kernel-side backstop under the statm watchdog. RLIMIT_DATA counts
+    // reserved virtual memory, not resident pages, and glibc's malloc
+    // arenas over-reserve by design -- so the hard limit gets generous
+    // headroom (4x the budget + 256 MiB) and exists only to stop a worker
+    // that outruns the watchdog's sampling cadence, not to be the primary
+    // enforcement. The watchdog's kill is what classifies the breach.
+    struct rlimit rl;
+    rl.rlim_cur = rl.rlim_max =
+        static_cast<rlim_t>(opts.mem_limit_mb) * (1u << 20) * 4 +
+        (static_cast<rlim_t>(256) << 20);
+    setrlimit(RLIMIT_DATA, &rl);
+  }
+#endif
   execvp(opts.scaldtv_path.c_str(), argv.data());
   _exit(127);
 }
@@ -108,6 +172,20 @@ class ForkExecBackend : public WorkerBackend {
 };
 
 }  // namespace
+
+long worker_rss_bytes(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/%d/statm", static_cast<int>(pid));
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) return -1;
+  long pages_total = 0, pages_resident = 0;
+  int n = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (n != 2) return -1;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return pages_resident * page;
+}
 
 const std::string* effective_fault_spec(const JobSpec& job,
                                         const SupervisorOptions& opts,
@@ -172,7 +250,8 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
         slots[i].record.outcomes = it->second.outcomes;
         slots[i].record.attempts = static_cast<int>(it->second.outcomes.size());
         JobState settled;
-        if (derive_settlement(slots[i].record.outcomes, opts.max_attempts, &settled)) {
+        if (derive_settlement(slots[i].record.outcomes, opts.max_attempts,
+                              opts.mem_retry, &settled)) {
           slots[i].phase = Slot::Phase::Terminal;
           slots[i].record.state = settled;
           --open_jobs;
@@ -180,6 +259,68 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
             std::fprintf(stderr, "scaldtvd: job %s -> %s (replayed from journal)\n",
                          jobs[i].id.c_str(), job_state_name(settled));
           }
+        } else if (it->second.settled &&
+                   (it->second.state == JobState::Shed ||
+                    it->second.state == JobState::Quarantined)) {
+          // Shed/Quarantined jobs never ran, so they have no outcomes for
+          // derive_settlement to classify -- their journaled settle records
+          // ARE the durable decision, and a resumed batch honors them
+          // instead of re-deciding.
+          slots[i].phase = Slot::Phase::Terminal;
+          slots[i].record.state = it->second.state;
+          --open_jobs;
+          if (opts.verbose) {
+            std::fprintf(stderr, "scaldtvd: job %s -> %s (replayed from journal)\n",
+                         jobs[i].id.c_str(), job_state_name(it->second.state));
+          }
+        }
+      }
+    }
+  }
+
+  // Quarantine bookkeeping (only paid for when the breaker is enabled):
+  // one design key per slot, one breaker per key. On resume the breaker
+  // state is re-derived by walking the replayed terminal states in input
+  // order -- per-key serialization (below) makes that walk reproduce the
+  // live run's "consecutive" counts exactly -- with the journal's ledger
+  // records unioned in as a belt for trips whose settle cluster was torn.
+  const bool quarantine_on = opts.quarantine_after > 0;
+  std::vector<std::string> keys;
+  std::unordered_map<std::string, Breaker> breakers;
+  std::unordered_set<std::string> ledgered;
+  if (quarantine_on) {
+    keys.resize(jobs.size());
+    std::unordered_map<std::string, std::string> by_design;  // path+mode -> key
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::string cache_id = jobs[i].design + (jobs[i].compiled ? "|c" : "|s") +
+                             (jobs[i].stdlib ? "+l" : "");
+      auto it = by_design.find(cache_id);
+      if (it == by_design.end()) {
+        it = by_design.emplace(cache_id, quarantine_key(jobs[i])).first;
+      }
+      keys[i] = it->second;
+    }
+    if (opts.resume) {
+      for (const std::string& k : opts.resume->quarantined_keys) {
+        breakers[k].tripped = true;
+        ledgered.insert(k);
+      }
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].phase != Slot::Phase::Terminal) continue;
+        Breaker& b = breakers[keys[i]];
+        switch (slots[i].record.state) {
+          case JobState::Crashed:
+          case JobState::ResourceExhausted:
+            if (!b.tripped && ++b.consec >= opts.quarantine_after) b.tripped = true;
+            break;
+          case JobState::Done:
+          case JobState::Violations:
+          case JobState::InputError:
+          case JobState::Degraded:
+            b.consec = 0;
+            break;
+          default:  // Shed / Quarantined / Requeued leave the breaker alone
+            break;
         }
       }
     }
@@ -219,6 +360,39 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
       std::fprintf(stderr, "scaldtvd: job %s -> %s after %d attempt(s)\n",
                    s.record.id.c_str(), job_state_name(state), s.record.attempts);
     }
+    if (quarantine_on) {
+      // Breaker transition. Per-key serialization makes "consecutive"
+      // deterministic: same-key jobs settle in input order, so the count
+      // a resumed batch re-derives matches the live one.
+      Breaker& b = breakers[keys[static_cast<std::size_t>(&s - slots.data())]];
+      switch (state) {
+        case JobState::Crashed:
+        case JobState::ResourceExhausted:
+          if (!b.tripped && ++b.consec >= opts.quarantine_after) {
+            b.tripped = true;
+            const std::string& key = keys[static_cast<std::size_t>(&s - slots.data())];
+            if (opts.journal && !ledgered.count(key)) {
+              opts.journal->record_quarantine(key);
+              ledgered.insert(key);
+              chaos_point();
+            }
+            if (opts.verbose) {
+              std::fprintf(stderr,
+                           "scaldtvd: design key %s quarantined after %d "
+                           "consecutive failures\n", key.c_str(), b.consec);
+            }
+          }
+          break;
+        case JobState::Done:
+        case JobState::Violations:
+        case JobState::InputError:
+        case JobState::Degraded:
+          b.consec = 0;
+          break;
+        default:  // Shed / Quarantined / Requeued leave the breaker alone
+          break;
+      }
+    }
   };
 
   // A failed attempt either backs off for a retry or, with attempts
@@ -232,7 +406,12 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
       return;
     }
     if (s.record.attempts >= opts.max_attempts) {
-      settle(s, JobState::Crashed);
+      // Exhausted retries normally mean Crashed; when the final attempt
+      // died to the memory watchdog (--mem-retry path) the budget, not a
+      // crash, is the story -- mirror derive_settlement exactly.
+      settle(s, (!s.record.outcomes.empty() && s.record.outcomes.back() == "mem-limit")
+                    ? JobState::ResourceExhausted
+                    : JobState::Crashed);
       return;
     }
     std::uint64_t delay = backoff_delay_ms(opts, s.record.id, s.record.attempts);
@@ -277,6 +456,7 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     s.phase = Slot::Phase::Running;
     s.pid = pid;
     s.killed_by_watchdog = false;
+    s.killed_by_memlimit = false;
     double timeout = s.job->time_limit > 0
                          ? s.job->time_limit + opts.watchdog_slack
                          : opts.default_timeout;
@@ -292,6 +472,21 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
   auto reap = [&](Slot& s, const WorkerPoll& p) {
     s.pid = -1;
     --running;
+    if (s.killed_by_memlimit) {
+      // The memory watchdog's kill wins the classification no matter how
+      // the worker actually died (it may have exited in the race window
+      // between the RSS sample and the SIGKILL landing): once the budget
+      // was observed breached, the deterministic outcome is "mem-limit".
+      s.record.outcomes.push_back("mem-limit");
+      journal_outcome(s);
+      note(s, "memory budget breached");
+      if (opts.mem_retry) {
+        handle_transient(s);
+      } else {
+        settle(s, JobState::ResourceExhausted);
+      }
+      return;
+    }
     if (p.kind == WorkerPoll::Kind::Signaled) {
       if (s.killed_by_watchdog) {
         s.record.outcomes.push_back("timeout");
@@ -322,6 +517,32 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
     }
   };
 
+  // Bounded admission: with --max-queue N, only the first N jobs by input
+  // order are admitted; the rest settle (and journal) as Shed before the
+  // scheduler ever sees them. Input order -- not runtime scheduling --
+  // decides, so two runs of the batch (or a crash + --resume) shed the
+  // exact same jobs. Slots already terminal from replay keep their state.
+  if (opts.max_queue > 0) {
+    for (std::size_t i = static_cast<std::size_t>(opts.max_queue);
+         i < slots.size() && open_jobs > 0; ++i) {
+      if (slots[i].phase != Slot::Phase::Terminal) {
+        settle(slots[i], JobState::Shed);
+      }
+    }
+  }
+
+  // With the breaker enabled, a slot may only launch once every earlier
+  // same-key slot is terminal: per-key settle order becomes input order,
+  // which is what makes "K consecutive failures" (and therefore the
+  // quarantine decision) independent of worker scheduling.
+  auto key_blocked = [&](std::size_t i) {
+    if (!quarantine_on) return false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (keys[j] == keys[i] && slots[j].phase != Slot::Phase::Terminal) return true;
+    }
+    return false;
+  };
+
   // Adaptive poll cadence: a fixed sleep per iteration caps throughput at
   // workers / sleep regardless of how fast jobs actually finish (with warm
   // workers a job can complete in under a millisecond). After a productive
@@ -336,33 +557,58 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
                              "worker(s), requeueing the rest\n", running);
       }
     }
+    if (opts.journal && !opts.journal->ok() && !draining) {
+      // The write-ahead journal latched a failed append (disk full, device
+      // gone). Running blind would silently void the durability contract,
+      // so wind down exactly like a shutdown: running workers finish, the
+      // rest requeue, and scaldtvd exits loudly -- the on-disk journal is
+      // still a clean prefix that --resume can replay once space returns.
+      draining = true;
+      std::fprintf(stderr, "scaldtvd: %s; draining (batch stays resumable)\n",
+                   opts.journal->error().c_str());
+    }
     Clock::time_point now = Clock::now();
     std::size_t settled_before = open_jobs;
     unsigned launched_before = running;
 
-    for (Slot& s : slots) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& s = slots[i];
       switch (s.phase) {
         case Slot::Phase::Running: {
           WorkerPoll p = backend.poll(s.pid);
           if (p.kind != WorkerPoll::Kind::Running) {
             reap(s, p);
-          } else if (s.watchdog && !s.killed_by_watchdog && now >= s.kill_at) {
+          } else if (s.watchdog && !s.killed_by_watchdog && !s.killed_by_memlimit &&
+                     now >= s.kill_at) {
             s.killed_by_watchdog = true;
             backend.kill_worker(s.pid);
+          } else if (opts.mem_limit_mb > 0 && !s.killed_by_memlimit &&
+                     !s.killed_by_watchdog) {
+            long rss = worker_rss_bytes(s.pid);
+            if (rss > opts.mem_limit_mb * (1l << 20)) {
+              s.killed_by_memlimit = true;
+              backend.kill_worker(s.pid);
+            }
           }
           break;
         }
         case Slot::Phase::Delayed:
           if (draining) {
             settle(s, JobState::Requeued);
-          } else if (now >= s.retry_at && running < opts.workers) {
+          } else if (now >= s.retry_at && running < opts.workers && !key_blocked(i)) {
             launch(s);
           }
           break;
         case Slot::Phase::Pending:
           if (draining) {
             settle(s, JobState::Requeued);
-          } else if (running < opts.workers) {
+          } else if (quarantine_on && s.record.attempts == 0 &&
+                     breakers[keys[i]].tripped) {
+            // Fast-fail: the design's breaker is tripped and this job has
+            // never run, so it is spared its max_attempts * timeout burn.
+            // Jobs with prior attempts (resume) keep their retry budget.
+            settle(s, JobState::Quarantined);
+          } else if (running < opts.workers && !key_blocked(i)) {
             launch(s);
           }
           break;
@@ -385,6 +631,7 @@ Manifest run_jobs(const std::vector<JobSpec>& jobs, const SupervisorOptions& opt
   m.jobs.reserve(slots.size());
   for (Slot& s : slots) m.jobs.push_back(std::move(s.record));
   m.evictions = backend.evictions();
+  m.durability_degraded = backend.durability_degraded();
   return m;
 }
 

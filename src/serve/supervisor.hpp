@@ -14,7 +14,14 @@
 //     `max_attempts`; exhausted retries become JobState::Crashed (exit 4);
 //   * on SIGTERM/SIGINT (signalled via *shutdown) stops launching, lets
 //     running workers finish (watchdogs stay armed), and records pending
-//     and backing-off jobs as Requeued in the manifest.
+//     and backing-off jobs as Requeued in the manifest;
+//   * enforces the overload policy (docs/serving.md): per-job RSS budgets
+//     (mem_limit_mb -> ResourceExhausted), bounded admission (max_queue ->
+//     Shed), and the poison-design circuit breaker (quarantine_after ->
+//     Quarantined), all journaled so --resume replays them identically;
+//   * winds down loudly (draining, jobs Requeued) the moment the
+//     write-ahead journal latches a failed append -- a batch that cannot
+//     be journaled must not pretend to be durable.
 //
 // Determinism: backoff jitter is a pure function of (job id, attempt,
 // seed), and the manifest is sorted by id with no timestamps, so a batch
@@ -79,6 +86,29 @@ struct SupervisorOptions {
   // relaunching; the rest re-enter the queue with their attempt counts and
   // outcome histories preserved. Null = fresh batch.
   const JournalReplay* resume = nullptr;
+  // Per-job memory budget in MiB (0 = none). Enforced by a supervisor-side
+  // /proc/<pid>/statm RSS watchdog on running workers (both backends) plus
+  // a setrlimit(RLIMIT_DATA) backstop in fork/exec children (skipped under
+  // ASan, whose shadow mappings would trip it at startup). A breach is the
+  // deterministic outcome "mem-limit", never a raw SIGKILL mystery: the
+  // job settles ResourceExhausted immediately, or -- with mem_retry -- is
+  // retried like a transient and settles ResourceExhausted only once
+  // attempts are exhausted with the final attempt still breaching.
+  long mem_limit_mb = 0;
+  bool mem_retry = false;
+  // Bounded admission (0 = unbounded): only the first max_queue jobs by
+  // input order are admitted; the rest settle as JobState::Shed at batch
+  // start. Keyed to input order, not runtime scheduling, so a resumed
+  // batch sheds exactly the same jobs.
+  long max_queue = 0;
+  // Poison-design circuit breaker (0 = disabled): after quarantine_after
+  // consecutive Crashed/ResourceExhausted settlements of jobs sharing a
+  // design key (content hash of the design artifact + front-end mode
+  // flags), the breaker trips and every not-yet-attempted job with that
+  // key fast-fails as JobState::Quarantined. To make "consecutive" well
+  // defined under parallelism, jobs sharing a key are serialized in input
+  // order while the breaker is enabled.
+  int quarantine_after = 0;
 };
 
 /// Deterministic backoff delay before `attempt`+1 (attempt is the 1-based
@@ -116,6 +146,11 @@ class WorkerBackend {
   /// without a resident pool report 0, which keeps manifests byte-identical
   /// across backends when no cap is configured.
   virtual std::size_t evictions() const { return 0; }
+  /// Durable writes the backend's workers had to skip because the
+  /// filesystem refused them (warm-pool snapshot sidecars under disk
+  /// pressure). Feeds the manifest's durability_degraded counter; backends
+  /// without durable writes report 0.
+  virtual std::size_t durability_degraded() const { return 0; }
 };
 
 /// The classic backend: one fork/exec of `opts.scaldtv_path` per attempt.
@@ -129,6 +164,11 @@ std::unique_ptr<WorkerBackend> make_fork_exec_backend(const SupervisorOptions& o
 const std::string* effective_fault_spec(const JobSpec& job,
                                         const SupervisorOptions& opts,
                                         int attempt);
+
+/// Resident set size of `pid` in bytes via /proc/<pid>/statm, or -1 when
+/// the process is gone or /proc is unreadable. Shared by the supervisor's
+/// per-job RSS watchdog and the warm pool's between-jobs soft check.
+long worker_rss_bytes(pid_t pid);
 
 /// Runs every job to a terminal state (or Requeued under shutdown) and
 /// returns the manifest. Jobs are launched in input order; results are

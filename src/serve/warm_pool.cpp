@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <new>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
@@ -157,11 +158,24 @@ class WarmPoolBackend : public WorkerBackend {
         p.kind = WorkerPoll::Kind::Exited;
         p.value = code;
         done.resp_buf.clear();
+        // "nodur": the worker wanted to persist its fixpoint sidecar but
+        // the filesystem refused -- the verdict stands, serving continues
+        // without durability, and the manifest gets to see the count.
+        if (line.find(" nodur") != std::string::npos) ++durability_degraded_;
         if (code == 0 || code == 1 || code == 3) {
-          // A verdict: the worker is healthy, keep it warm.
-          done.last_used = ++tick_;
-          idle_[done.key].push_back(std::move(done));
-          enforce_resident_cap();
+          if (opts_.mem_limit_mb > 0 &&
+              worker_rss_bytes(done.pid) > opts_.mem_limit_mb * (1l << 20)) {
+            // Between-jobs soft check: the job finished with a verdict, so
+            // it is NOT a mem-limit breach -- but pooling a resident whose
+            // RSS already exceeds the per-job budget would start the next
+            // job over budget. Retire it; the next job gets a fresh process.
+            destroy(done);
+          } else {
+            // A verdict: the worker is healthy, keep it warm.
+            done.last_used = ++tick_;
+            idle_[done.key].push_back(std::move(done));
+            enforce_resident_cap();
+          }
         } else {
           // Transient failure or input error: the worker's state is
           // suspect, so the next attempt gets a fresh process.
@@ -195,6 +209,8 @@ class WarmPoolBackend : public WorkerBackend {
   }
 
   std::size_t evictions() const override { return evictions_; }
+
+  std::size_t durability_degraded() const override { return durability_degraded_; }
 
  private:
   /// Retires least-recently-used idle residents until the pool fits
@@ -308,7 +324,27 @@ class WarmPoolBackend : public WorkerBackend {
   std::unordered_map<std::string, std::vector<WarmWorker>> idle_;
   std::uint64_t tick_ = 0;        // monotonic use counter for LRU stamps
   std::size_t evictions_ = 0;     // residents retired by the cap
+  std::size_t durability_degraded_ = 0;  // "nodur" responses seen
 };
+
+// Response fd for the allocation-exhaustion handler. A resident worker is
+// single-threaded and installs the handler once, before serving commands.
+int g_oom_resp_fd = -1;
+
+[[noreturn]] void oom_new_handler() {
+  // Only async-signal-safe calls: the heap is gone, so no streams, no
+  // strings, no unwinding. Answer the protocol, then leave with the clean
+  // transient code so the supervisor retries instead of logging a mystery.
+  static const char msg[] =
+      "scaldtvd-worker: transient failure: out of memory (new handler)\n";
+  ssize_t ignored = write(STDERR_FILENO, msg, sizeof msg - 1);
+  if (g_oom_resp_fd >= 0) {
+    static const char done[] = "done 5\n";
+    ignored = write(g_oom_resp_fd, done, sizeof done - 1);
+  }
+  (void)ignored;
+  _exit(5);
+}
 
 }  // namespace
 
@@ -316,9 +352,15 @@ std::unique_ptr<WorkerBackend> make_warm_pool_backend(const SupervisorOptions& o
   return std::make_unique<WarmPoolBackend>(opts);
 }
 
+void warm_worker_install_oom_handler(int resp_fd) {
+  g_oom_resp_fd = resp_fd;
+  std::set_new_handler(oom_new_handler);
+}
+
 int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
                      bool snapshot, int cmd_fd, int resp_fd) {
   crash::install_handler();
+  warm_worker_install_oom_handler(resp_fd);
   crash::set_context(design.c_str(), "warm worker idle");
   fault::configure("");  // never inherit the daemon's own fault plan
 
@@ -400,7 +442,14 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
   };
 
   auto run_once = [&](double time_limit, unsigned jobs,
-                      const std::string& reverify_path) -> int {
+                      const std::string& reverify_path,
+                      bool& durability_lost) -> int {
+    // Snapshot participation under an injected fault plan: normally off
+    // (evaluation-site faults must fire exactly as they do cold), but a
+    // plan that *only* names io.write is the disk-pressure drill itself --
+    // it cannot perturb evaluation, and skipping the sidecar write would
+    // hide the very path being exercised.
+    bool snapshot_ok = snapshot && (!fault::enabled() || fault::plan_only_site("io.write"));
     try {
       int rc = ensure_loaded();
       if (rc != 0) return rc;
@@ -409,7 +458,7 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
         if (seeds && verifier->evaluator().intern_context()) {
           preintern_seeds(*seeds, verifier->evaluator().intern_context()->table);
         }
-        if (snapshot && !fault::enabled()) {
+        if (snapshot_ok) {
           // Eviction recovery: a previous worker for this design may have
           // left its fixed point in the `.tvf` sidecar. Restoring it warms
           // the baseline without re-paying the cold verification; any
@@ -436,14 +485,21 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
         restored = false;
       } else {
         result = verifier->verify(loaded->cases);
-        if (snapshot && !snapshot_written && !fault::enabled() &&
+        if (snapshot_ok && !snapshot_written &&
             result.converged && !result.partial) {
           // First clean convergent baseline: persist it so the next worker
           // for this design (post-eviction) warm-starts. Write failure is
-          // not an error -- the sidecar is an optimization only.
+          // not an error -- the sidecar is an optimization only -- but it
+          // IS a visible degradation: the verdict goes back with "nodur"
+          // so the manifest's durability_degraded counter sees it.
           std::string werror;
-          (void)write_fixpoint_file(*verifier, loaded->name, artifact_hash,
-                                    fixpoint_sidecar_path(design), &werror);
+          if (!write_fixpoint_file(*verifier, loaded->name, artifact_hash,
+                                   fixpoint_sidecar_path(design), &werror)) {
+            std::fprintf(stderr,
+                         "scaldtvd-worker: serving without durability: %s\n",
+                         werror.c_str());
+            durability_lost = true;
+          }
           snapshot_written = true;
         }
       }
@@ -522,8 +578,11 @@ int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
     // Reconfigure fault injection per run so @N counters behave exactly as
     // in a freshly exec'd worker.
     fault::configure(fault_text == "-" ? "" : fault_text);
-    int code = run_once(time_limit, jobs, reverify_text);
-    if (!write_all(resp_fd, "done " + std::to_string(code) + '\n')) return 0;
+    bool durability_lost = false;
+    int code = run_once(time_limit, jobs, reverify_text, durability_lost);
+    std::string resp = "done " + std::to_string(code);
+    if (durability_lost) resp += " nodur";
+    if (!write_all(resp_fd, resp + '\n')) return 0;
   }
 }
 

@@ -13,7 +13,12 @@
 // worker -> parent on the response pipe):
 //
 //   run <time_limit> <jobs> <fault-spec|-> <delta-path|->   one job
-//   done <code>                                its scaldtv-compatible exit code
+//   done <code> [nodur]                        its scaldtv-compatible exit code
+//
+// The optional "nodur" token reports that the run wanted to persist its
+// fixpoint sidecar but the filesystem refused the write (ENOSPC-shaped):
+// the verdict stands, the worker serves on without durability, and the
+// parent counts the degradation into Manifest::durability_degraded.
 //
 // A non-"-" delta path makes the run a reverify job (scaldtv --reverify):
 // after the baseline verification the worker applies the JSON netlist delta
@@ -74,5 +79,14 @@ std::unique_ptr<WorkerBackend> make_warm_pool_backend(const SupervisorOptions& o
 /// dependency.
 int warm_worker_main(const std::string& design, bool stdlib, bool compiled,
                      bool snapshot, int cmd_fd, int resp_fd);
+
+/// Installs a std::set_new_handler for a resident worker: on allocation
+/// exhaustion it answers "done 5" on `resp_fd` (async-signal-safe write)
+/// and _exit(5)s -- the clean transient exit -- instead of letting a
+/// std::bad_alloc unwind through the pipe protocol, where a half-written
+/// response line would be reported as a protocol violation (a lost
+/// attempt) rather than a retryable transient. warm_worker_main installs
+/// it; exposed separately for tests.
+void warm_worker_install_oom_handler(int resp_fd);
 
 }  // namespace tv::serve

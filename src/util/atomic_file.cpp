@@ -3,9 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include "util/fault.hpp"
 
 namespace tv::util {
 namespace {
@@ -44,7 +47,22 @@ bool atomic_write_file(const std::string& path, std::string_view data,
     if (dir.empty()) dir = "/";
     base = path.substr(slash + 1);
   }
-  std::string tmp = dir + "/." + base + ".tmp." + std::to_string(::getpid());
+  // The temp name carries both the pid (no cross-process collisions) and a
+  // process-wide counter (no collisions between two threads of one process
+  // racing to replace the same path -- with a shared name, one thread's
+  // rename could publish the other's half-written bytes).
+  static std::atomic<unsigned long long> g_seq{0};
+  std::string tmp = dir + "/." + base + ".tmp." + std::to_string(::getpid()) +
+                    "." + std::to_string(g_seq.fetch_add(1, std::memory_order_relaxed));
+
+  // Disk-pressure injection point (docs/serving.md): a planned io.write
+  // fault behaves like ENOSPC -- the write fails cleanly before any bytes
+  // land and the destination is left untouched.
+  if (fault::should_fail("io.write")) {
+    errno = ENOSPC;
+    set_error(error, "cannot write " + path + " (injected io.write fault)");
+    return false;
+  }
 
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {

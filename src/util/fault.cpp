@@ -5,6 +5,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,7 +14,7 @@ namespace tv::fault {
 
 namespace {
 
-enum class Action { Fail, Abort, Hang, Kill9 };
+enum class Action { Fail, Abort, Hang, Kill9, Bloat };
 
 struct Entry {
   std::string site;
@@ -54,8 +55,10 @@ bool parse_entry(const std::string& text, Entry& e, std::string* error) {
     e.action = Action::Hang;
   } else if (action == "kill9") {
     e.action = Action::Kill9;
+  } else if (action == "bloat") {
+    e.action = Action::Bloat;
   } else {
-    return fail("action must be fail, abort, hang, or kill9");
+    return fail("action must be fail, abort, hang, kill9, or bloat");
   }
   return true;
 }
@@ -98,6 +101,16 @@ void reset() {
 
 bool enabled() { return g_enabled.load(std::memory_order_acquire); }
 
+bool plan_only_site(const char* site) {
+  if (!g_enabled.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_plan.empty()) return false;
+  for (const Entry& e : g_plan) {
+    if (e.site != site) return false;
+  }
+  return true;
+}
+
 bool should_fail(const char* site) {
   if (!g_enabled.load(std::memory_order_acquire)) return false;
   Action action;
@@ -132,6 +145,25 @@ bool should_fail(const char* site) {
       // alone is enough to resume a batch (docs/recovery.md).
       raise(SIGKILL);
       return false;  // unreachable
+    case Action::Bloat: {
+      // Grow RSS steadily: allocate, touch, and leak 4 MiB chunks with a
+      // short pause between them so a supervisor-side watchdog sampling
+      // /proc/<pid>/statm sees the climb. Capped at 1 GiB as a safety net
+      // against the kernel OOM killer; past the cap the thread parks like
+      // `hang` and the watchdog (memory or time) reaps the worker.
+      constexpr std::size_t kChunk = 4u << 20;
+      constexpr std::size_t kCapBytes = 1u << 30;
+      std::size_t grown = 0;
+      while (grown < kCapBytes) {
+        char* p = static_cast<char*>(std::malloc(kChunk));
+        if (p) {
+          std::memset(p, 0x5a, kChunk);  // touch every page: VA -> RSS
+          grown += kChunk;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
   }
   return false;
 }
@@ -162,6 +194,7 @@ std::string describe() {
       case Action::Abort: out += "abort"; break;
       case Action::Hang: out += "hang"; break;
       case Action::Kill9: out += "kill9"; break;
+      case Action::Bloat: out += "bloat"; break;
     }
   }
   return out;

@@ -14,7 +14,7 @@
 //   entry  ::= site '@' nth ':' action
 //   site   ::= dotted identifier, e.g. evaluator.eval, wave_table.intern
 //   nth    ::= 1-based hit count at which the fault fires (once)
-//   action ::= 'fail' | 'abort' | 'hang' | 'kill9'
+//   action ::= 'fail' | 'abort' | 'hang' | 'kill9' | 'bloat'
 //
 //   TV_FAULT="evaluator.eval@100:abort,io.read@1:fail"
 //
@@ -24,13 +24,21 @@
 // view); `hang` parks the thread in an interruptible sleep forever (the
 // supervisor's watchdog kills it); `kill9` raises SIGKILL -- instant,
 // uncatchable death with nothing flushed, the hammer the kill/restart
-// chaos tests swing at the scaldtvd supervisor itself.
+// chaos tests swing at the scaldtvd supervisor itself; `bloat` grows the
+// process RSS without bound (touched, leaked allocations) so the
+// supervisor's --mem-limit-mb watchdog has something deterministic to
+// catch -- after a safety cap it parks like `hang` so an uncapped run
+// still ends via the watchdog instead of the kernel OOM killer.
 //
 // Sites compiled into this repo:
 //   evaluator.eval    once per primitive evaluation in the base fixpoint
 //   snapshot.case     once per case evaluated on a snapshot
 //   wave_table.intern once per waveform intern (simulated allocation)
 //   io.read           design / job file reads in scaldtv and scaldtvd
+//   io.write          durable file writes: atomic_write_file (snapshots,
+//                     compiled artifacts, manifests, warm-pool sidecars)
+//                     and write-ahead journal appends -- the ENOSPC-shaped
+//                     disk-pressure site
 //   serve.spawn       worker process launch in the scaldtvd supervisor
 //   serve.kill9       after every write-ahead journal append in the
 //                     supervisor (armed with kill9: the daemon dies
@@ -70,6 +78,13 @@ void reset();
 
 /// True when any plan entry is active.
 bool enabled();
+
+/// True when a plan is active and every entry targets `site`. Warm workers
+/// use this to keep snapshot sidecar writes on under a pure disk-pressure
+/// plan (io.write) -- such a plan cannot perturb evaluation, so the
+/// "never snapshot under faults" rule would only hide the ENOSPC path the
+/// plan exists to exercise.
+bool plan_only_site(const char* site);
 
 /// The injection point. Counts a hit at `site`; when the armed entry for
 /// this site reaches its hit count: action `fail` returns true (exactly

@@ -24,12 +24,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -41,6 +43,7 @@
 #include "example_designs.hpp"
 #include "serve/journal.hpp"
 #include "util/atomic_file.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -326,7 +329,7 @@ TEST(Journal, CreateReplayRoundTrip) {
   TempPath file;
   std::vector<serve::JobSpec> jobs = {make_job("a"), make_job("b")};
   std::string error;
-  auto j = serve::Journal::create(file.path(), jobs, 7, 3, &error);
+  auto j = serve::Journal::create(file.path(), jobs, 7, 3, serve::BatchPolicy{}, &error);
   ASSERT_TRUE(j) << error;
   j->record_launch("a", 1);
   j->record_outcome("a", 1, "exit:5");
@@ -360,7 +363,7 @@ TEST(Journal, TornFinalLineIsDroppedSilently) {
   TempPath file;
   std::vector<serve::JobSpec> jobs = {make_job("a")};
   std::string error;
-  auto j = serve::Journal::create(file.path(), jobs, 0, 3, &error);
+  auto j = serve::Journal::create(file.path(), jobs, 0, 3, serve::BatchPolicy{}, &error);
   ASSERT_TRUE(j) << error;
   j->record_launch("a", 1);
   j->record_outcome("a", 1, "exit:0");
@@ -385,7 +388,7 @@ TEST(Journal, MidFileGarbageFailsLoudly) {
   TempPath file;
   std::vector<serve::JobSpec> jobs = {make_job("a")};
   std::string error;
-  auto j = serve::Journal::create(file.path(), jobs, 0, 3, &error);
+  auto j = serve::Journal::create(file.path(), jobs, 0, 3, serve::BatchPolicy{}, &error);
   ASSERT_TRUE(j) << error;
   j->record_launch("a", 1);
   j.reset();
@@ -397,7 +400,7 @@ TEST(Journal, MidFileGarbageFailsLoudly) {
   EXPECT_FALSE(error.empty());
 
   // So is a well-formed line with an unknown event.
-  j = serve::Journal::create(file.path(), jobs, 0, 3, &error);
+  j = serve::Journal::create(file.path(), jobs, 0, 3, serve::BatchPolicy{}, &error);
   ASSERT_TRUE(j);
   j.reset();
   file.write(file.read() + "{\"job\": \"a\", \"event\": \"vanish\"}\n");
@@ -408,7 +411,7 @@ TEST(Journal, ReplayValidatesAttemptOrder) {
   TempPath file;
   std::vector<serve::JobSpec> jobs = {make_job("a")};
   std::string error;
-  auto j = serve::Journal::create(file.path(), jobs, 0, 3, &error);
+  auto j = serve::Journal::create(file.path(), jobs, 0, 3, serve::BatchPolicy{}, &error);
   ASSERT_TRUE(j) << error;
   j.reset();
   // Attempt 2 launching before any attempt-1 outcome exists cannot come
@@ -444,24 +447,143 @@ TEST(Journal, DeriveSettlementMatchesTheSupervisor) {
   using serve::JobState;
   JobState s;
   // Terminal exits settle immediately.
-  EXPECT_TRUE(derive_settlement({"exit:0"}, 3, &s));
+  EXPECT_TRUE(derive_settlement({"exit:0"}, 3, false, &s));
   EXPECT_EQ(s, JobState::Done);
-  EXPECT_TRUE(derive_settlement({"exit:1"}, 3, &s));
+  EXPECT_TRUE(derive_settlement({"exit:1"}, 3, false, &s));
   EXPECT_EQ(s, JobState::Violations);
-  EXPECT_TRUE(derive_settlement({"exit:3"}, 3, &s));
+  EXPECT_TRUE(derive_settlement({"exit:3"}, 3, false, &s));
   EXPECT_EQ(s, JobState::Degraded);
-  EXPECT_TRUE(derive_settlement({"exit:2"}, 3, &s));
+  EXPECT_TRUE(derive_settlement({"exit:2"}, 3, false, &s));
   EXPECT_EQ(s, JobState::InputError);
   // Transients retry until max_attempts, then the job is crashed.
-  EXPECT_FALSE(derive_settlement({"exit:5"}, 3, &s));
-  EXPECT_FALSE(derive_settlement({"signal:9", "timeout"}, 3, &s));
-  EXPECT_TRUE(derive_settlement({"signal:9", "timeout", "spawn-failed"}, 3, &s));
+  EXPECT_FALSE(derive_settlement({"exit:5"}, 3, false, &s));
+  EXPECT_FALSE(derive_settlement({"signal:9", "timeout"}, 3, false, &s));
+  EXPECT_TRUE(derive_settlement({"signal:9", "timeout", "spawn-failed"}, 3, false, &s));
   EXPECT_EQ(s, JobState::Crashed);
   // A recovery after transients settles with the final verdict.
-  EXPECT_TRUE(derive_settlement({"exit:5", "signal:6", "exit:0"}, 3, &s));
+  EXPECT_TRUE(derive_settlement({"exit:5", "signal:6", "exit:0"}, 3, false, &s));
   EXPECT_EQ(s, JobState::Done);
   // No attempts yet: nothing to settle.
-  EXPECT_FALSE(derive_settlement({}, 3, &s));
+  EXPECT_FALSE(derive_settlement({}, 3, false, &s));
+}
+
+TEST(Journal, DeriveSettlementMemLimitPolicy) {
+  using serve::derive_settlement;
+  using serve::JobState;
+  JobState s;
+  // Default policy: one breach is terminal ResourceExhausted, immediately,
+  // regardless of remaining retry budget.
+  EXPECT_TRUE(derive_settlement({"mem-limit"}, 3, false, &s));
+  EXPECT_EQ(s, JobState::ResourceExhausted);
+  EXPECT_TRUE(derive_settlement({"exit:5", "mem-limit"}, 3, false, &s));
+  EXPECT_EQ(s, JobState::ResourceExhausted);
+  // --mem-retry: breaches are transient until attempts run out...
+  EXPECT_FALSE(derive_settlement({"mem-limit"}, 3, true, &s));
+  EXPECT_FALSE(derive_settlement({"mem-limit", "mem-limit"}, 3, true, &s));
+  // ...then the job settles ResourceExhausted when the final attempt
+  // breached, and a later verdict still wins.
+  EXPECT_TRUE(derive_settlement({"mem-limit", "mem-limit", "mem-limit"}, 3, true, &s));
+  EXPECT_EQ(s, JobState::ResourceExhausted);
+  EXPECT_TRUE(derive_settlement({"mem-limit", "exit:0"}, 3, true, &s));
+  EXPECT_EQ(s, JobState::Done);
+  // A mem-limit breach followed by ordinary transients exhausting the
+  // budget is a crash story, not a budget story: the last attempt decides.
+  EXPECT_TRUE(derive_settlement({"mem-limit", "signal:9", "timeout"}, 3, true, &s));
+  EXPECT_EQ(s, JobState::Crashed);
+}
+
+TEST(Journal, PolicyHeaderRoundTripsAndQuarantineLedgerReplays) {
+  TempPath file;
+  std::vector<serve::JobSpec> jobs = {make_job("a"), make_job("b"), make_job("c")};
+  serve::BatchPolicy pol;
+  pol.mem_limit_mb = 512;
+  pol.mem_retry = true;
+  pol.max_queue = 4;
+  pol.quarantine_after = 2;
+  std::string error;
+  auto j = serve::Journal::create(file.path(), jobs, 9, 3, pol, &error);
+  ASSERT_TRUE(j) << error;
+  // Decision states carry no outcomes: their settle records (and the
+  // breaker's ledger record) are load-bearing on replay.
+  j->record_quarantine("00000000deadbeef");
+  j->record_settle("a", serve::JobState::Quarantined);
+  j->record_settle("b", serve::JobState::Shed);
+  ASSERT_TRUE(j->ok()) << j->error();
+  j.reset();
+
+  auto replay = serve::replay_journal(file.path(), &error);
+  ASSERT_TRUE(replay) << error;
+  EXPECT_EQ(replay->policy.mem_limit_mb, 512);
+  EXPECT_TRUE(replay->policy.mem_retry);
+  EXPECT_EQ(replay->policy.max_queue, 4);
+  EXPECT_EQ(replay->policy.quarantine_after, 2);
+  ASSERT_EQ(replay->quarantined_keys.size(), 1u);
+  EXPECT_EQ(replay->quarantined_keys[0], "00000000deadbeef");
+  ASSERT_EQ(replay->jobs.count("a"), 1u);
+  EXPECT_TRUE(replay->jobs.at("a").settled);
+  EXPECT_EQ(replay->jobs.at("a").state, serve::JobState::Quarantined);
+  ASSERT_EQ(replay->jobs.count("b"), 1u);
+  EXPECT_TRUE(replay->jobs.at("b").settled);
+  EXPECT_EQ(replay->jobs.at("b").state, serve::JobState::Shed);
+}
+
+TEST(Journal, MalformedPolicyHeaderFailsLoudly) {
+  TempPath file;
+  std::vector<serve::JobSpec> jobs = {make_job("a")};
+  std::string error;
+  auto j = serve::Journal::create(file.path(), jobs, 0, 3, serve::BatchPolicy{}, &error);
+  ASSERT_TRUE(j) << error;
+  j.reset();
+  std::string bytes = file.read();
+
+  // A header missing a version-2 policy field cannot come from our writer.
+  std::string missing = bytes;
+  std::size_t at = missing.find(", \"max_queue\": 0");
+  ASSERT_NE(at, std::string::npos);
+  missing.erase(at, std::string(", \"max_queue\": 0").size());
+  file.write(missing);
+  EXPECT_FALSE(serve::replay_journal(file.path(), &error));
+  EXPECT_FALSE(error.empty());
+
+  // So does a policy field with a nonsense value.
+  std::string negative = bytes;
+  at = negative.find("\"quarantine_after\": 0");
+  ASSERT_NE(at, std::string::npos);
+  negative.replace(at, std::string("\"quarantine_after\": 0").size(),
+                   "\"quarantine_after\": -1");
+  file.write(negative);
+  EXPECT_FALSE(serve::replay_journal(file.path(), &error));
+}
+
+TEST(Journal, AppendFailureIsStickyAndLeavesAResumableFile) {
+  // Disk pressure (ENOSPC) on a journal append: the failure latches, later
+  // appends are no-ops, and everything written *before* the failure is a
+  // valid journal a restarted daemon can replay.
+  TempPath file;
+  std::vector<serve::JobSpec> jobs = {make_job("a")};
+  std::string error;
+  auto j = serve::Journal::create(file.path(), jobs, 0, 3, serve::BatchPolicy{}, &error);
+  ASSERT_TRUE(j) << error;
+  j->record_launch("a", 1);
+  j->record_outcome("a", 1, "exit:0");
+  ASSERT_TRUE(j->ok());
+
+  ASSERT_TRUE(fault::configure("io.write@1:fail"));
+  j->record_settle("a", serve::JobState::Done);  // hits the injected ENOSPC
+  EXPECT_FALSE(j->ok());
+  EXPECT_NE(j->error().find("io.write"), std::string::npos) << j->error();
+  j->record_launch("a", 2);  // sticky: silently dropped
+  fault::reset();
+  j.reset();
+
+  auto replay = serve::replay_journal(file.path(), &error);
+  ASSERT_TRUE(replay) << error;
+  EXPECT_EQ(replay->jobs.at("a").outcomes, (std::vector<std::string>{"exit:0"}));
+  EXPECT_FALSE(replay->jobs.at("a").settled);
+  // The outcome survived, so settlement is still derivable on resume.
+  serve::JobState s;
+  EXPECT_TRUE(serve::derive_settlement(replay->jobs.at("a").outcomes, 3, false, &s));
+  EXPECT_EQ(s, serve::JobState::Done);
 }
 
 // ------------------------------------------------------ atomic replace
@@ -483,6 +605,78 @@ TEST(AtomicFile, FailureLeavesNoDebris) {
   // A successful write must not leave its temp file behind either.
   TempPath file;
   ASSERT_TRUE(util::atomic_write_file(file.path(), "data", &error)) << error;
+  std::string dir = file.path().substr(0, file.path().rfind('/'));
+  std::string base = file.path().substr(file.path().rfind('/') + 1);
+  DIR* d = opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    EXPECT_EQ(name.find("." + base + ".tmp."), std::string::npos)
+        << "temp debris: " << name;
+  }
+  closedir(d);
+}
+
+TEST(AtomicFile, InjectedWriteFaultFailsCleanlyWithoutDebris) {
+  // The io.write fault site models ENOSPC at the top of atomic_write_file:
+  // the call fails before the temp file is even created, so the previous
+  // contents survive complete and no `.tmp.` debris appears.
+  TempPath file;
+  std::string error;
+  ASSERT_TRUE(util::atomic_write_file(file.path(), "durable", &error)) << error;
+  ASSERT_TRUE(fault::configure("io.write@1:fail"));
+  EXPECT_FALSE(util::atomic_write_file(file.path(), "lost", &error));
+  fault::reset();
+  EXPECT_NE(error.find("io.write"), std::string::npos) << error;
+  EXPECT_EQ(file.read(), "durable");
+
+  std::string dir = file.path().substr(0, file.path().rfind('/'));
+  std::string base = file.path().substr(file.path().rfind('/') + 1);
+  DIR* d = opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    EXPECT_EQ(name.find("." + base + ".tmp."), std::string::npos)
+        << "temp debris: " << name;
+  }
+  closedir(d);
+}
+
+TEST(AtomicFile, ConcurrentWritersNeverCollideOrCorrupt) {
+  // Regression: the temp-file name used to be derived from the pid alone,
+  // so two concurrent writers in one process (warm workers snapshotting,
+  // the daemon writing its manifest) picked the SAME temp path and raced
+  // open/write/rename against each other. A process-wide counter now makes
+  // every writer's temp name unique; the last rename wins with one
+  // writer's payload intact.
+  TempPath file;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+  std::vector<std::string> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    payloads.push_back(std::string(1024 + 173 * static_cast<std::size_t>(t),
+                                   static_cast<char>('a' + t)));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        std::string error;
+        if (!util::atomic_write_file(file.path(), payloads[static_cast<std::size_t>(t)],
+                                     &error)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::string got = file.read();
+  bool intact = false;
+  for (const std::string& p : payloads) intact = intact || got == p;
+  EXPECT_TRUE(intact) << "torn final content, size " << got.size();
+
   std::string dir = file.path().substr(0, file.path().rfind('/'));
   std::string base = file.path().substr(file.path().rfind('/') + 1);
   DIR* d = opendir(dir.c_str());
@@ -540,6 +734,54 @@ TEST(SnapshotExitCodes, DamagedSnapshotsExitTwoGoodOnesVerify) {
                         " --from-snapshot /nonexistent/baseline.tvf"),
             2);
 }
+
+// ------------------------------------- disk pressure (ENOSPC) exit codes
+
+int run_cmd(const std::string& cmd) {
+  return WEXITSTATUS(std::system((cmd + " >/dev/null 2>&1").c_str()));
+}
+
+TEST(DiskPressureExitCodes, SnapshotWriteFailureExitsFiveAndKeepsTheOldFile) {
+  CompiledDesign design;
+  std::string artifact_bytes = serialize_example_artifact(0, &design);
+  TempPath artifact;
+  artifact.write(artifact_bytes);
+  TempPath snap;
+
+  // Clean run: the snapshot is written (exit 1 -- example 0 carries one
+  // deliberate violation).
+  EXPECT_EQ(run_cmd(std::string(TV_SCALDTV_PATH) + " --compiled " + artifact.path() +
+                    " --write-snapshot " + snap.path()),
+            1);
+  std::string good = snap.read();
+  ASSERT_FALSE(good.empty());
+
+  // ENOSPC-shaped failure on the snapshot write: scaldtv reports the loss
+  // loudly (exit 5, the transient code, so a supervisor retries it) and the
+  // previous snapshot survives complete -- old-complete or new-complete,
+  // never torn.
+  EXPECT_EQ(run_cmd("TV_FAULT=io.write@1:fail " + std::string(TV_SCALDTV_PATH) +
+                    " --compiled " + artifact.path() + " --write-snapshot " +
+                    snap.path()),
+            5);
+  EXPECT_EQ(snap.read(), good);
+}
+
+#ifdef TV_SCALDTVC_PATH
+TEST(DiskPressureExitCodes, CompilerOutputWriteFailureExitsTwo) {
+  std::string design = std::string(TV_REPO_ROOT) + "/designs/regfile_example.shdl";
+  TempPath out;
+  EXPECT_EQ(run_cmd("TV_FAULT=io.write@1:fail " + std::string(TV_SCALDTVC_PATH) + " " +
+                    design + " -o " + out.path()),
+            2);
+  EXPECT_EQ(out.read(), "");  // nothing half-written
+
+  // The same compile succeeds once the disk behaves.
+  EXPECT_EQ(run_cmd(std::string(TV_SCALDTVC_PATH) + " " + design + " -o " + out.path()),
+            0);
+  EXPECT_FALSE(out.read().empty());
+}
+#endif  // TV_SCALDTVC_PATH
 #endif  // TV_SCALDTV_PATH
 
 }  // namespace

@@ -9,13 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <new>
 #include <thread>
 
 #include "core/compiled.hpp"
 #include "example_designs.hpp"
+#include "serve/warm_pool.hpp"
 #include "util/fault.hpp"
 
 namespace tv::serve {
@@ -151,6 +156,47 @@ TEST(Manifest, ExitCodePrecedenceWorstWins) {
   Manifest r;
   r.jobs.push_back({"a", "a", JobState::Requeued, 0, {}});
   EXPECT_EQ(r.exit_code(), 0);
+}
+
+TEST(Manifest, OverloadStatesHaveNamesCodesAndPrecedence) {
+  EXPECT_STREQ(job_state_name(JobState::ResourceExhausted), "resource-exhausted");
+  EXPECT_STREQ(job_state_name(JobState::Shed), "shed");
+  EXPECT_STREQ(job_state_name(JobState::Quarantined), "quarantined");
+  EXPECT_EQ(job_state_exit_code(JobState::ResourceExhausted), 6);
+  EXPECT_EQ(job_state_exit_code(JobState::Shed), 7);
+  EXPECT_EQ(job_state_exit_code(JobState::Quarantined), 8);
+  // Overall precedence: 2 > 4 > 6 > 8 > 7 > 3 > 1 > 0. Shed outranks every
+  // ordinary verdict (work was refused), quarantined outranks shed (work
+  // was refused because earlier work kept dying), a real breach or crash
+  // outranks both.
+  Manifest m;
+  m.jobs.push_back({"a", "a", JobState::Violations, 1, {}});
+  m.jobs.push_back({"b", "b", JobState::Degraded, 1, {}});
+  EXPECT_EQ(m.exit_code(), 3);
+  m.jobs.push_back({"c", "c", JobState::Shed, 0, {}});
+  EXPECT_EQ(m.exit_code(), 7);
+  m.jobs.push_back({"d", "d", JobState::Quarantined, 0, {}});
+  EXPECT_EQ(m.exit_code(), 8);
+  m.jobs.push_back({"e", "e", JobState::ResourceExhausted, 1, {"mem-limit"}});
+  EXPECT_EQ(m.exit_code(), 6);
+  m.jobs.push_back({"f", "f", JobState::Crashed, 3, {}});
+  EXPECT_EQ(m.exit_code(), 4);
+  m.jobs.push_back({"g", "g", JobState::InputError, 1, {}});
+  EXPECT_EQ(m.exit_code(), 2);
+}
+
+TEST(Manifest, CountsAndDurabilityDegradedAreSerialized) {
+  Manifest m;
+  m.jobs.push_back({"a", "a", JobState::ResourceExhausted, 1, {"mem-limit"}});
+  m.jobs.push_back({"b", "b", JobState::Shed, 0, {}});
+  m.jobs.push_back({"c", "c", JobState::Quarantined, 0, {}});
+  m.durability_degraded = 2;
+  std::string json = m.to_json();
+  EXPECT_NE(json.find("\"resource-exhausted\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"durability_degraded\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"outcomes\": [\"mem-limit\"]"), std::string::npos);
 }
 
 // ------------------------------------------------------------------ backoff
@@ -445,6 +491,120 @@ TEST_F(SupervisorTest, DrainDuringRetryBackoffRequeuesWithoutBurningAnAttempt) {
   EXPECT_EQ(m.exit_code(), 0);
 }
 
+// ------------------------------------------ overload policy (mem/shed/poison)
+
+TEST_F(SupervisorTest, MemoryBudgetBreachSettlesResourceExhausted) {
+  // The bloat fault leaks touched pages until the supervisor's RSS watchdog
+  // (sampling /proc/<pid>/statm) crosses the budget and SIGKILLs the worker.
+  // Default policy: one breach is terminal -- a job that blows its budget
+  // once will blow it on every retry, so retrying just burns the node.
+  JobSpec j = job("hog", "/designs/regfile_example.shdl");
+  j.fault = "evaluator.eval@1:bloat";
+  SupervisorOptions opts = fast_opts();
+  opts.mem_limit_mb = 192;
+  opts.default_timeout = 30;  // the memory watchdog must fire, not the clock
+  Manifest m = run_jobs({j}, opts);
+  const JobRecord* r = find(m, "hog");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::ResourceExhausted);
+  EXPECT_EQ(r->attempts, 1);
+  ASSERT_EQ(r->outcomes.size(), 1u);
+  EXPECT_EQ(r->outcomes[0], "mem-limit");
+  EXPECT_EQ(m.exit_code(), 6);
+}
+
+TEST_F(SupervisorTest, MemRetryGivesBreachedJobsAnotherAttempt) {
+  JobSpec j = job("hog", "/designs/regfile_example.shdl");
+  j.fault = "evaluator.eval@1:bloat";
+  j.fault_attempts = 1;  // attempt 1 bloats, attempt 2 runs clean
+  SupervisorOptions opts = fast_opts();
+  opts.mem_limit_mb = 192;
+  opts.mem_retry = true;
+  opts.default_timeout = 30;
+  Manifest m = run_jobs({j}, opts);
+  const JobRecord* r = find(m, "hog");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::Violations);
+  EXPECT_EQ(r->attempts, 2);
+  ASSERT_EQ(r->outcomes.size(), 2u);
+  EXPECT_EQ(r->outcomes[0], "mem-limit");
+  EXPECT_EQ(r->outcomes[1], "exit:1");
+}
+
+TEST_F(SupervisorTest, AdmissionCapShedsBeyondMaxQueueDeterministically) {
+  // Bounded admission: jobs past the cap are refused up front (by input
+  // index, so the decision is reproducible), settle "shed" with zero
+  // attempts, and are journaled/reported explicitly rather than silently
+  // dropped.
+  std::vector<JobSpec> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(job("j" + std::to_string(i), "/designs/regfile_example.shdl"));
+  }
+  SupervisorOptions opts = fast_opts();
+  opts.max_queue = 3;
+  Manifest m = run_jobs(batch, opts);
+  ASSERT_EQ(m.jobs.size(), 5u);
+  for (int i = 0; i < 3; ++i) {
+    const JobRecord* r = find(m, "j" + std::to_string(i));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->state, JobState::Violations) << r->id;
+    EXPECT_EQ(r->attempts, 1) << r->id;
+  }
+  for (int i = 3; i < 5; ++i) {
+    const JobRecord* r = find(m, "j" + std::to_string(i));
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->state, JobState::Shed) << r->id;
+    EXPECT_EQ(r->attempts, 0) << r->id;
+    EXPECT_TRUE(r->outcomes.empty()) << r->id;
+  }
+  EXPECT_EQ(m.exit_code(), 7);  // shed work outranks a mere violation verdict
+  EXPECT_EQ(m.to_json(), run_jobs(batch, opts).to_json());
+}
+
+TEST_F(SupervisorTest, PoisonDesignTripsTheBreakerAndQuarantines) {
+  // Two consecutive crashed settlements against one design trip its breaker
+  // (K=2); the third job sharing the design fast-fails "quarantined" without
+  // ever launching a worker, while an unrelated design is untouched.
+  JobSpec c1 = job("c1", "/designs/regfile_example.shdl");
+  c1.fault = "evaluator.eval@1:abort";  // every attempt dies
+  JobSpec c2 = c1;
+  c2.id = "c2";
+  JobSpec victim = job("c3", "/designs/regfile_example.shdl");
+  JobSpec other = job("other", "/designs/stdlib_pipeline.shdl");
+  other.stdlib = true;
+  SupervisorOptions opts = fast_opts();
+  opts.quarantine_after = 2;
+  Manifest m = run_jobs({c1, c2, victim, other}, opts);
+  EXPECT_EQ(find(m, "c1")->state, JobState::Crashed);
+  EXPECT_EQ(find(m, "c2")->state, JobState::Crashed);
+  const JobRecord* q = find(m, "c3");
+  ASSERT_TRUE(q);
+  EXPECT_EQ(q->state, JobState::Quarantined);
+  EXPECT_EQ(q->attempts, 0);
+  EXPECT_TRUE(q->outcomes.empty());
+  EXPECT_EQ(find(m, "other")->state, JobState::Done);
+  EXPECT_EQ(m.exit_code(), 4);  // the real crashes outrank the quarantine
+}
+
+TEST_F(SupervisorTest, AVerdictResetsTheBreaker) {
+  // crash, verdict, crash against one design: never two *consecutive*
+  // failures, so with K=2 nothing is quarantined.
+  JobSpec c1 = job("c1", "/designs/regfile_example.shdl");
+  c1.fault = "evaluator.eval@1:abort";
+  JobSpec ok1 = job("ok1", "/designs/regfile_example.shdl");
+  JobSpec c2 = c1;
+  c2.id = "c2";
+  JobSpec tail = job("tail", "/designs/regfile_example.shdl");
+  SupervisorOptions opts = fast_opts();
+  opts.quarantine_after = 2;
+  Manifest m = run_jobs({c1, ok1, c2, tail}, opts);
+  EXPECT_EQ(find(m, "c1")->state, JobState::Crashed);
+  EXPECT_EQ(find(m, "ok1")->state, JobState::Violations);
+  EXPECT_EQ(find(m, "c2")->state, JobState::Crashed);
+  EXPECT_EQ(find(m, "tail")->state, JobState::Violations);
+  EXPECT_EQ(find(m, "tail")->attempts, 1);
+}
+
 // --------------------------------------------- warm in-process worker pool
 
 class WarmSupervisorTest : public SupervisorTest {
@@ -580,7 +740,61 @@ TEST_F(WarmSupervisorTest, ServesCompiledArtifacts) {
   std::remove(path.c_str());
 }
 
+TEST_F(WarmSupervisorTest, MemoryBreachManifestMatchesForkExecByteForByte) {
+  // A budget breach is a policy decision, not a backend detail: the same
+  // mixed batch (one hog, one clean job) must settle identically -- byte
+  // for byte -- whether the worker was fork/exec'd or warm.
+  JobSpec hog = job("hog", "/designs/regfile_example.shdl");
+  hog.fault = "evaluator.eval@1:bloat";
+  JobSpec clean = job("clean", "/designs/stdlib_pipeline.shdl");
+  clean.stdlib = true;
+  std::vector<JobSpec> batch{hog, clean};
+  SupervisorOptions warm = warm_opts();
+  warm.mem_limit_mb = 192;
+  warm.default_timeout = 30;
+  SupervisorOptions cold = fast_opts();
+  cold.mem_limit_mb = 192;
+  cold.default_timeout = 30;
+  Manifest wm = run_jobs(batch, warm);
+  const JobRecord* r = find(wm, "hog");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->state, JobState::ResourceExhausted);
+  ASSERT_EQ(r->outcomes.size(), 1u);
+  EXPECT_EQ(r->outcomes[0], "mem-limit");
+  EXPECT_EQ(wm.to_json(), run_jobs(batch, cold).to_json());
+}
+
 #endif  // TV_SCALDTV_PATH
+
+// ------------------------------------------------ warm worker OOM handling
+
+TEST(WarmWorkerOom, NewHandlerAnswersDoneFiveAndExitsCleanly) {
+  // Allocation exhaustion inside a resident worker must surface as the
+  // clean transient protocol answer ("done 5" -- retry on a fresh process),
+  // never as a half-written response line. Simulate what operator new does
+  // when it gives up: invoke the installed new-handler directly.
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(fds[0]);
+    warm_worker_install_oom_handler(fds[1]);
+    std::get_new_handler()();
+    _exit(99);  // unreachable: the handler never returns
+  }
+  close(fds[1]);
+  std::string got;
+  char buf[32];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof buf)) > 0) got.append(buf, static_cast<std::size_t>(n));
+  close(fds[0]);
+  EXPECT_EQ(got, "done 5\n");
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 5);
+}
 
 }  // namespace
 }  // namespace tv::serve

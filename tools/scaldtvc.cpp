@@ -26,6 +26,7 @@
 #include "diag/render.hpp"
 #include "hdl/elaborate.hpp"
 #include "hdl/stdlib.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -58,6 +59,7 @@ void flush_diagnostics(const tv::diag::DiagnosticEngine& diags, const char* diag
 }  // namespace
 
 int main(int argc, char** argv) {
+  tv::fault::configure_from_env();  // TV_FAULT: io.write etc. (util/fault.hpp)
   const char* path = nullptr;
   const char* out_path = nullptr;
   const char* diag_json_path = nullptr;

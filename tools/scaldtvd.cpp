@@ -51,11 +51,33 @@
 //                        fixpoint snapshot (<design>.tvf), so a re-spawned
 //                        worker warm-starts from the sidecar instead of
 //                        re-verifying cold. Requires --warm
+//     --mem-limit-mb N   per-job memory budget (docs/serving.md): an RSS
+//                        watchdog samples /proc/<pid>/statm and SIGKILLs a
+//                        worker past N MiB; the breach settles the job as
+//                        "resource-exhausted" (exit 6), never an anonymous
+//                        crash. Fork/exec workers also get a setrlimit
+//                        backstop
+//     --mem-retry        treat mem-limit breaches as transient: retry up to
+//                        --max-attempts, settling resource-exhausted only if
+//                        the final attempt still breaches
+//     --max-queue N      bounded admission: only the first N jobs (input
+//                        order) are admitted; the rest settle as "shed"
+//                        (exit 7) without running
+//     --quarantine-after K
+//                        poison-design breaker: after K consecutive
+//                        crashed/resource-exhausted settlements of one
+//                        design (keyed by artifact content hash + front-end
+//                        mode), fast-fail its remaining jobs as
+//                        "quarantined" (exit 8). Jobs sharing a design are
+//                        serialized so "consecutive" is deterministic
+//     --no-quarantine    force the breaker off (overrides --quarantine-after)
 //     -v                 per-attempt progress on stderr
 //
 // Exit status: worst terminal job state across all batches --
 //   0 all clean, 1 violations, 2 input errors (bad job file or design),
-//   3 degraded, 4 at least one job crashed after all retries.
+//   3 degraded, 4 at least one job crashed after all retries,
+//   6 resource-exhausted, 7 shed, 8 quarantined
+//   (precedence 2 > 4 > 6 > 8 > 7 > 3 > 1 > 0).
 // Requeued jobs (graceful shutdown) do not affect the exit status.
 //
 // SIGTERM/SIGINT trigger a graceful shutdown: running workers drain (their
@@ -71,6 +93,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -92,7 +115,9 @@ int usage() {
                "usage: scaldtvd [--watch DIR] [--workers N] [--max-attempts N] "
                "[--backoff-ms N] [--backoff-max-ms N] [--job-timeout S] "
                "[--manifest FILE] [--journal FILE] [--resume] [--scaldtv PATH] "
-               "[--fault SPEC] [--seed N] [--warm] [--max-resident N] [-v] "
+               "[--fault SPEC] [--seed N] [--warm] [--max-resident N] "
+               "[--mem-limit-mb N] [--mem-retry] [--max-queue N] "
+               "[--quarantine-after K] [--no-quarantine] [-v] "
                "<jobs-file>...\n");
   return 2;
 }
@@ -143,6 +168,7 @@ int main(int argc, char** argv) {
   const char* journal_path = nullptr;
   bool resume = false;
   bool slack_set = false;
+  bool no_quarantine = false;
   std::vector<std::string> job_files;
   for (int i = 1; i < argc; ++i) {
     auto long_num = [&](const char* flag, long lo, long& out) {
@@ -197,6 +223,20 @@ int main(int argc, char** argv) {
     } else if (long_num("--max-resident", 1, n)) {
       if (n < 1) return usage();
       opts.max_resident = static_cast<std::size_t>(n);
+    } else if (long_num("--mem-limit-mb", 1, n)) {
+      if (n < 1) return usage();
+      opts.mem_limit_mb = n;
+    } else if (std::strcmp(argv[i], "--mem-retry") == 0) {
+      opts.mem_retry = true;
+    } else if (long_num("--max-queue", 1, n)) {
+      if (n < 1) return usage();
+      opts.max_queue = n;
+    } else if (long_num("--quarantine-after", 1, n)) {
+      if (n < 1) return usage();
+      if (!no_quarantine) opts.quarantine_after = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--no-quarantine") == 0) {
+      no_quarantine = true;
+      opts.quarantine_after = 0;
     } else if (std::strcmp(argv[i], "-v") == 0 || std::strcmp(argv[i], "--verbose") == 0) {
       opts.verbose = true;
     } else if (argv[i][0] == '-') {
@@ -227,9 +267,9 @@ int main(int argc, char** argv) {
 
   int worst = 0;
   auto fold = [&](int code) {
-    // Worst-wins precedence: 2 > 4 > 3 > 1 > 0.
-    static const int rank[] = {0, 2, 5, 3, 4, 1};
-    auto r = [](int c) { return (c >= 0 && c <= 5) ? rank[c] : 5; };
+    // Worst-wins precedence: 2 > 4 > 6 > 8 > 7 > 3 > 1 > 0.
+    static const int rank[] = {0, 2, 8, 3, 7, 1, 6, 4, 5};
+    auto r = [](int c) { return (c >= 0 && c <= 8) ? rank[c] : 8; };
     if (r(code) > r(worst)) worst = code;
   };
 
@@ -248,9 +288,25 @@ int main(int argc, char** argv) {
     }
     std::unique_ptr<tv::serve::Journal> journal;
     tv::serve::JournalReplay replay;
+    tv::serve::BatchPolicy policy;
+    policy.mem_limit_mb = opts.mem_limit_mb;
+    policy.mem_retry = opts.mem_retry;
+    policy.max_queue = opts.max_queue;
+    policy.quarantine_after = opts.quarantine_after;
     if (journal_path) {
       std::string jerror;
       bool journal_exists = access(journal_path, F_OK) == 0;
+      if (resume && journal_exists) {
+        // A journal file with no newline at all -- empty, or one torn
+        // header line -- is the only artifact of a crash during the very
+        // first append. Nothing durable was recorded, so it is a fresh
+        // start, which keeps "--journal J --resume" idempotent even when
+        // the first kill lands inside the header write.
+        std::ifstream jin(journal_path, std::ios::binary);
+        std::stringstream jbuf;
+        jbuf << jin.rdbuf();
+        journal_exists = jbuf.str().find('\n') != std::string::npos;
+      }
       if (resume && journal_exists) {
         auto replayed = tv::serve::replay_journal(journal_path, &jerror);
         if (!replayed) {
@@ -258,11 +314,16 @@ int main(int argc, char** argv) {
           return 2;
         }
         // The journal must describe *this* batch: replaying one batch's
-        // attempts into a different job list would fabricate results.
+        // attempts into a different job list (or under a different retry /
+        // overload policy) would fabricate results.
         if (replayed->digest != tv::serve::jobs_digest(jobs) ||
             replayed->num_jobs != jobs.size() ||
             replayed->seed != opts.jitter_seed ||
-            replayed->max_attempts != opts.max_attempts) {
+            replayed->max_attempts != opts.max_attempts ||
+            replayed->policy.mem_limit_mb != policy.mem_limit_mb ||
+            replayed->policy.mem_retry != policy.mem_retry ||
+            replayed->policy.max_queue != policy.max_queue ||
+            replayed->policy.quarantine_after != policy.quarantine_after) {
           std::fprintf(stderr,
                        "scaldtvd: %s was written for a different batch or "
                        "retry configuration; refusing to resume\n", journal_path);
@@ -273,7 +334,7 @@ int main(int argc, char** argv) {
         journal = tv::serve::Journal::reopen(journal_path, &jerror);
       } else {
         journal = tv::serve::Journal::create(journal_path, jobs, opts.jitter_seed,
-                                             opts.max_attempts, &jerror);
+                                             opts.max_attempts, policy, &jerror);
       }
       if (!journal) {
         std::fprintf(stderr, "scaldtvd: %s\n", jerror.c_str());

@@ -48,8 +48,11 @@
 // A fifth mode, --serve-chaos, pushes seeded batches of generated designs
 // with random fault specs through a real scaldtvd worker pool and asserts
 // every job ends in a terminal state, retries are visible in attempt
-// counts, and the manifest is byte-stable across identical runs. Binaries
-// come from --scaldtvd/--scaldtv or TV_SCALDTVD/TV_SCALDTV.
+// counts, and the manifest is byte-stable across identical runs. The mode
+// also runs the overload scenarios (memory-budget breach, bounded
+// admission, poison-design quarantine + kill/resume, and the ENOSPC sweep
+// over every durable write) once per backend. Binaries come from
+// --scaldtvd/--scaldtv or TV_SCALDTVD/TV_SCALDTV.
 //
 // Usage:
 //   tvfuzz [--seeds N] [--wave N] [--start S] [--smoke] [--memo-diff]
@@ -233,6 +236,49 @@ int main(int argc, char** argv) {
                     fail->detail.c_str());
       }
     }
+    // Overload scenarios: bounded admission (shed past --max-queue), the
+    // poison-design quarantine breaker with its kill/resume sweep, and the
+    // ENOSPC sweep over every durable write -- once per backend.
+    for (bool warm : {false, true}) {
+      sc.warm = warm;
+      sc.seed = opt.start;
+      const struct {
+        const char* name;
+        std::optional<tv::check::ServeChaosFailure> (*run)(
+            const tv::check::ServeChaosOptions&);
+      } overload[] = {
+          {"shed", tv::check::check_shed},
+          {"quarantine-resume", tv::check::check_quarantine_resume},
+          {"write-fail", tv::check::check_write_fail},
+      };
+      for (const auto& sc_case : overload) {
+        auto fail = sc_case.run(sc);
+        if (opt.verbose) {
+          std::printf("serve-chaos %s (%s): %s\n", sc_case.name,
+                      warm ? "warm" : "fork/exec", fail ? "FAIL" : "ok");
+        }
+        if (fail) {
+          ++failures;
+          std::printf("FAIL serve-chaos %s (%s) [%s]\n  %s\n", sc_case.name,
+                      warm ? "warm" : "fork/exec", fail->kind.c_str(),
+                      fail->detail.c_str());
+        }
+      }
+    }
+    // Memory budgets: the RSS watchdog's resource-exhausted classification
+    // and the --mem-retry policy (the scenario runs both backends
+    // internally and compares their manifests byte for byte).
+    {
+      auto fail = tv::check::check_mem_breach(sc);
+      if (opt.verbose) {
+        std::printf("serve-chaos mem-breach: %s\n", fail ? "FAIL" : "ok");
+      }
+      if (fail) {
+        ++failures;
+        std::printf("FAIL serve-chaos mem-breach [%s]\n  %s\n", fail->kind.c_str(),
+                    fail->detail.c_str());
+      }
+    }
     // Incremental-reverification chaos: faulted delta applications must
     // retry byte-identically and never corrupt a warm worker's resident
     // fixpoint (the scenario runs both backends internally).
@@ -265,7 +311,8 @@ int main(int argc, char** argv) {
                   sc.warm ? "warm" : "fork/exec", fail->kind.c_str(),
                   fail->detail.c_str());
     }
-    std::printf("tvfuzz --serve-chaos: %d batch(es) + drain scenarios, %d failure%s\n",
+    std::printf("tvfuzz --serve-chaos: %d batch(es) + drain/overload scenarios, "
+                "%d failure%s\n",
                 batches, failures, failures == 1 ? "" : "s");
     return failures ? 1 : 0;
   }
